@@ -1,0 +1,288 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (see DESIGN.md's per-experiment index) plus ablations and Bechamel
+   microbenchmarks of the hot data structures.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, full scale
+     dune exec bench/main.exe -- fig3 fig10   # selected targets
+     QUICK=1 dune exec bench/main.exe         # reduced scale (CI-sized)
+*)
+
+let quick =
+  match Sys.getenv_opt "QUICK" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let scale = if quick then Minos.Experiment.quick_scale else Minos.Experiment.full_scale
+
+let fig2_requests = if quick then 60_000 else 300_000
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the core data structures. *)
+
+let micro_tests () =
+  let open Bechamel in
+  (* KV store pre-populated with 10k keys. *)
+  let store =
+    Kvstore.Store.create ~partition_bits:4 ~bucket_bits:10
+      ~value_arena_bytes:(1 lsl 24) ()
+  in
+  for i = 0 to 9_999 do
+    Kvstore.Store.put store ~guard:`Lock (Printf.sprintf "key-%d" i)
+      (Bytes.create 64)
+  done;
+  let get_i = ref 0 in
+  let kv_get =
+    Test.make ~name:"kvstore.get(64B)"
+      (Staged.stage (fun () ->
+           get_i := (!get_i + 1) land 0x1FFF;
+           ignore (Kvstore.Store.get store (Printf.sprintf "key-%d" !get_i))))
+  in
+  let put_value = Bytes.create 64 in
+  let put_i = ref 0 in
+  let kv_put =
+    Test.make ~name:"kvstore.put(64B)"
+      (Staged.stage (fun () ->
+           put_i := (!put_i + 1) land 0x1FFF;
+           Kvstore.Store.put store ~guard:`Lock
+             (Printf.sprintf "key-%d" !put_i)
+             put_value))
+  in
+  let ring = Netsim.Ring.create ~capacity:1024 in
+  let ring_cycle =
+    Test.make ~name:"ring.push+pop"
+      (Staged.stage (fun () ->
+           ignore (Netsim.Ring.try_push ring 42);
+           ignore (Netsim.Ring.try_pop ring)))
+  in
+  let heap = Dsim.Heap.create () in
+  let heap_seq = ref 0 in
+  let heap_cycle =
+    Test.make ~name:"heap.add+pop"
+      (Staged.stage (fun () ->
+           incr heap_seq;
+           Dsim.Heap.add heap ~time:(float_of_int (!heap_seq land 0xFF)) ~seq:!heap_seq ();
+           ignore (Dsim.Heap.pop_min heap)))
+  in
+  let toeplitz =
+    Test.make ~name:"toeplitz.hash_ipv4"
+      (Staged.stage (fun () ->
+           ignore
+             (Netsim.Toeplitz.hash_ipv4 ~src_ip:0x0A000001l ~dst_ip:0x0A000002l
+                ~src_port:12345 ~dst_port:11211 ())))
+  in
+  let zipf = Dsim.Dist.Zipf.create ~n:1_000_000 ~theta:0.99 in
+  let zipf_rng = Dsim.Rng.create 1 in
+  let zipf_sample =
+    Test.make ~name:"zipf.sample(1M keys)"
+      (Staged.stage (fun () -> ignore (Dsim.Dist.Zipf.sample zipf zipf_rng)))
+  in
+  let hist =
+    Stats.Log_histogram.create ~buckets_per_decade:32 ~min_value:1.0 ~max_value:2.0e6 ()
+  in
+  let hist_rng = Dsim.Rng.create 2 in
+  let hist_record =
+    Test.make ~name:"log_histogram.record"
+      (Staged.stage (fun () ->
+           Stats.Log_histogram.record hist
+             (float_of_int (1 + Dsim.Rng.int hist_rng 500_000))))
+  in
+  let slab = Kvstore.Slab.create ~capacity:(1 lsl 24) in
+  let slab_cycle =
+    Test.make ~name:"slab.alloc+free(100B)"
+      (Staged.stage (fun () ->
+           let r = Kvstore.Slab.alloc slab 100 in
+           Kvstore.Slab.free slab r))
+  in
+  let req =
+    {
+      Proto.Wire.id = 42L;
+      op = Proto.Wire.Get;
+      key = "some-key";
+      value = None;
+      client_ts = 123456L;
+      target_rx = 3;
+    }
+  in
+  let encode =
+    Test.make ~name:"wire.encode_request(get)"
+      (Staged.stage (fun () -> ignore (Proto.Wire.encode_request req)))
+  in
+  let encoded = Proto.Wire.encode_request req in
+  let decode =
+    Test.make ~name:"wire.decode_request(get)"
+      (Staged.stage (fun () -> ignore (Proto.Wire.decode_request encoded)))
+  in
+  let big = Bytes.create 100_000 in
+  let fragment =
+    Test.make ~name:"fragment.split(100KB)"
+      (Staged.stage (fun () -> ignore (Proto.Fragment.split ~msg_id:1L big)))
+  in
+  [
+    kv_get; kv_put; ring_cycle; heap_cycle; toeplitz; zipf_sample; hist_record;
+    slab_cycle; encode; decode; fragment;
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  Minos.Report.section "Microbenchmarks (Bechamel, ns per call)";
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.2 else 0.5))
+      ~kde:None ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let grouped = Test.make_grouped ~name:"micro" (micro_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> Printf.sprintf "%.1f" x
+          | Some [] | None -> "-"
+        in
+        [ name; ns ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Minos.Report.table ~title:"hot-path operations" ~headers:[ "operation"; "ns/call" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Closed-form capacity model: the numbers that explain where each curve
+   saturates. *)
+
+let run_capacity () =
+  Minos.Report.section "Capacity model (closed form, see Queueing.Capacity)";
+  let cost = Kvserver.Cost_model.default in
+  let rows =
+    List.map
+      (fun (label, spec) ->
+        let p = Queueing.Capacity.profile spec cost in
+        [
+          label;
+          Printf.sprintf "%.2f" p.Queueing.Capacity.mean_cpu_us;
+          Printf.sprintf "%.0f" p.Queueing.Capacity.mean_tx_bytes;
+          Printf.sprintf "%.1f" p.Queueing.Capacity.mean_service_latency_us;
+          Printf.sprintf "%.2f" (Queueing.Capacity.nic_bound_mops spec cost ~gbps:40.0);
+          Printf.sprintf "%.2f" (Queueing.Capacity.cpu_bound_mops spec cost ~cores:8 ());
+          string_of_int
+            (Queueing.Capacity.expected_large_cores spec cost ~cores:8 ~percentile:0.99);
+        ])
+      [
+        ("default (95:5)", Workload.Spec.default);
+        ("write-intensive", Workload.Spec.write_intensive);
+        ("pL=0.75", Workload.Spec.with_p_large Workload.Spec.default 0.75);
+        ("sL=1MB", Workload.Spec.with_s_large Workload.Spec.default 1_000_000);
+      ]
+  in
+  Minos.Report.table ~title:"per-workload bounds"
+    ~headers:
+      [ "workload"; "cpu us/op"; "tx B/op"; "svc lat us"; "NIC Mops"; "CPU Mops";
+        "large cores" ]
+    rows;
+  Minos.Report.note "HoL exposure (HKH, default, 1 Mops): %.1f%% of arrivals land behind a large request"
+    (100.0
+    *. Queueing.Capacity.hol_exposure Workload.Spec.default cost ~cores:8
+         ~offered_mops:1.0)
+
+let run_numa () =
+  Minos.Report.section "Multi-NUMA scaling (independent per-domain instances, §3)";
+  let cfg = Minos.Experiment.config_of_scale scale in
+  let rows =
+    List.map
+      (fun domains ->
+        let r =
+          Minos.Numa.run ~cfg ~domains Workload.Spec.default
+            ~offered_mops:(3.0 *. float_of_int domains)
+        in
+        [
+          string_of_int domains;
+          Printf.sprintf "%.2f" r.Minos.Numa.total_throughput_mops;
+          Minos.Report.f1 r.Minos.Numa.p50_us;
+          Minos.Report.f1 r.Minos.Numa.p99_us;
+          (if r.Minos.Numa.stable then "yes" else "no");
+        ])
+      [ 1; 2; 4 ]
+  in
+  Minos.Report.table ~title:"Minos at 3 Mops per domain"
+    ~headers:[ "domains"; "tput Mops"; "p50 us"; "p99 us"; "stable" ]
+    rows
+
+let targets : (string * string * (unit -> unit)) list =
+  [
+    ("fig1", "service time vs item size", fun () -> Minos.Figures.print_fig1 ());
+    ( "fig2",
+      "queueing models of size-unaware sharding",
+      fun () -> Minos.Figures.print_fig2 ~requests:fig2_requests () );
+    ("table1", "item size variability profiles", fun () -> Minos.Figures.print_table1 ());
+    ( "fig3",
+      "throughput vs 99p, default workload",
+      fun () -> Minos.Figures.print_fig3 ~scale () );
+    ("fig4", "99p of large requests", fun () -> Minos.Figures.print_fig4 ~scale ());
+    ("fig5", "throughput vs 99p, 50:50", fun () -> Minos.Figures.print_fig5 ~scale ());
+    ( "fig6",
+      "max throughput under SLO vs pL",
+      fun () -> Minos.Figures.print_fig6 ~scale () );
+    ( "fig7",
+      "max throughput under SLO vs sL",
+      fun () -> Minos.Figures.print_fig7 ~scale () );
+    ( "fig8",
+      "network bandwidth scaling (sampling)",
+      fun () -> Minos.Figures.print_fig8 ~scale () );
+    ("fig9", "per-core load breakdown", fun () -> Minos.Figures.print_fig9 ~scale ());
+    ("fig10", "dynamic workload", fun () -> Minos.Figures.print_fig10 ~scale ());
+    ( "fanout",
+      "tail-at-scale fan-out analysis",
+      fun () -> Minos.Figures.print_fanout ~scale () );
+    ( "ablation-threshold",
+      "adaptive vs static threshold",
+      fun () -> Minos.Figures.print_ablation_threshold ~scale () );
+    ( "ablation-cost",
+      "control-loop cost functions",
+      fun () -> Minos.Figures.print_ablation_cost_fn ~scale () );
+    ( "ablation-steal",
+      "large-core RX stealing variant",
+      fun () -> Minos.Figures.print_ablation_steal ~scale () );
+    ( "ablation-epoch",
+      "epoch length / smoothing sensitivity",
+      fun () -> Minos.Figures.print_ablation_epoch ~scale () );
+    ( "ablation-erew",
+      "HKH CREW vs EREW dispatch under skew",
+      fun () -> Minos.Figures.print_ablation_erew ~scale () );
+    ("capacity", "closed-form capacity model", run_capacity);
+    ("numa", "multi-NUMA-domain scaling", run_numa);
+    ("micro", "bechamel microbenchmarks", run_micro);
+  ]
+
+let usage () =
+  print_endline "usage: bench/main.exe [target ...]   (default: all targets)";
+  print_endline "targets:";
+  List.iter (fun (name, doc, _) -> Printf.printf "  %-20s %s\n" name doc) targets
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--help" ] | [ "-h" ] -> usage ()
+  | [] ->
+      Printf.printf "Minos benchmark harness (%s scale)\n"
+        (if quick then "quick" else "full");
+      List.iter
+        (fun (name, _, f) ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0))
+        targets
+  | names ->
+      List.iter
+        (fun name ->
+          match List.find_opt (fun (n, _, _) -> n = name) targets with
+          | Some (_, _, f) -> f ()
+          | None ->
+              Printf.eprintf "unknown target %s\n" name;
+              usage ();
+              exit 1)
+        names

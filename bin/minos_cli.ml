@@ -1,0 +1,454 @@
+(* Command-line front end for the Minos reproduction.
+
+   Subcommands:
+     run      simulate one (design x workload x load) point
+     sweep    throughput vs latency curve for one design
+     slo      max throughput under a 99p SLO
+     figure   regenerate one of the paper's tables/figures
+     queueing run a §2.2 queueing model point
+*)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument definitions *)
+
+let design_conv =
+  let parse s =
+    match Minos.Experiment.design_of_name s with
+    | Some d -> Ok d
+    | None -> Error (`Msg (Printf.sprintf "unknown design %S (minos|hkh|hkh+ws|sho)" s))
+  in
+  let print fmt d = Format.pp_print_string fmt (Minos.Experiment.design_name d) in
+  Arg.conv (parse, print)
+
+let design =
+  Arg.(
+    value
+    & opt design_conv Minos.Experiment.Minos
+    & info [ "d"; "design" ] ~docv:"DESIGN" ~doc:"Server design: minos, hkh, hkh+ws, sho.")
+
+let load =
+  Arg.(
+    value
+    & opt float 3.0
+    & info [ "l"; "load" ] ~docv:"MOPS" ~doc:"Offered load in million ops/s.")
+
+let p_large =
+  Arg.(
+    value
+    & opt float 0.125
+    & info [ "p-large" ] ~docv:"PCT" ~doc:"Percentage of requests for large items.")
+
+let s_large =
+  Arg.(
+    value
+    & opt int 500_000
+    & info [ "s-large" ] ~docv:"BYTES" ~doc:"Maximum large item size in bytes.")
+
+let get_ratio =
+  Arg.(
+    value
+    & opt float 0.95
+    & info [ "get-ratio" ] ~docv:"FRAC" ~doc:"Fraction of GET operations (0..1).")
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use the reduced (test-sized) run scale.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed for the run.")
+
+let spec_of ~p_large ~s_large ~get_ratio =
+  {
+    Workload.Spec.default with
+    Workload.Spec.p_large;
+    s_large_max = s_large;
+    get_ratio;
+  }
+
+let scale_of quick =
+  if quick then Minos.Experiment.quick_scale else Minos.Experiment.full_scale
+
+let print_metrics m =
+  Format.printf "%a@." Kvserver.Metrics.pp_row m;
+  Format.printf
+    "  p50=%.1fus p95=%.1fus p99=%.1fus p999=%.1fus small_p99=%.1fus large_p99=%.1fus@."
+    m.Kvserver.Metrics.p50_us m.Kvserver.Metrics.p95_us m.Kvserver.Metrics.p99_us
+    m.Kvserver.Metrics.p999_us m.Kvserver.Metrics.small_p99_us
+    m.Kvserver.Metrics.large_p99_us;
+  if m.Kvserver.Metrics.final_large_cores > 0 then
+    Format.printf "  large cores=%d threshold=%.0fB@."
+      m.Kvserver.Metrics.final_large_cores m.Kvserver.Metrics.final_threshold
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let run_cmd =
+  let action design load p_large s_large get_ratio quick seed =
+    let spec = spec_of ~p_large ~s_large ~get_ratio in
+    let cfg = Minos.Experiment.config_of_scale (scale_of quick) in
+    let m = Minos.Experiment.run ~cfg ~seed design spec ~offered_mops:load in
+    print_metrics m
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate one (design, workload, load) point.")
+    Term.(const action $ design $ load $ p_large $ s_large $ get_ratio $ quick $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* sweep *)
+
+let sweep_cmd =
+  let loads_arg =
+    Arg.(
+      value
+      & opt (list float) [ 1.0; 2.0; 3.0; 4.0; 5.0; 5.5; 6.0; 6.5 ]
+      & info [ "loads" ] ~docv:"MOPS,..." ~doc:"Comma-separated offered loads.")
+  in
+  let action design loads p_large s_large get_ratio quick =
+    let spec = spec_of ~p_large ~s_large ~get_ratio in
+    let cfg = Minos.Experiment.config_of_scale (scale_of quick) in
+    List.iter
+      (fun (_, m) -> Format.printf "%a@." Kvserver.Metrics.pp_row m)
+      (Minos.Experiment.sweep ~cfg design spec ~loads_mops:loads)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Throughput vs latency curve for one design.")
+    Term.(const action $ design $ loads_arg $ p_large $ s_large $ get_ratio $ quick)
+
+(* ------------------------------------------------------------------ *)
+(* slo *)
+
+let slo_cmd =
+  let slo_us =
+    Arg.(
+      value
+      & opt float 50.0
+      & info [ "slo" ] ~docv:"US" ~doc:"The 99p latency bound in microseconds.")
+  in
+  let action design slo_us p_large s_large get_ratio quick =
+    let spec = spec_of ~p_large ~s_large ~get_ratio in
+    let scale = scale_of quick in
+    let cfg = Minos.Experiment.config_of_scale scale in
+    let eval rate = Minos.Experiment.run ~cfg design spec ~offered_mops:rate in
+    let r =
+      Minos.Slo_search.search ~eval ~slo_p99_us:slo_us ~lo_mops:0.25 ~hi_mops:8.0
+        ~iters:scale.Minos.Experiment.slo_iters
+    in
+    Format.printf "%s: max throughput %.2f Mops under p99 <= %.0f us (%d evaluations)@."
+      (Minos.Experiment.design_name design)
+      r.Minos.Slo_search.max_mops slo_us r.Minos.Slo_search.evaluations
+  in
+  Cmd.v
+    (Cmd.info "slo" ~doc:"Maximum throughput under a 99p latency SLO.")
+    Term.(const action $ design $ slo_us $ p_large $ s_large $ get_ratio $ quick)
+
+(* ------------------------------------------------------------------ *)
+(* figure *)
+
+let figure_cmd =
+  let fig_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FIGURE"
+          ~doc:"One of: fig1 fig2 table1 fig3 ... fig10 fanout.")
+  in
+  let action name quick =
+    let scale = scale_of quick in
+    match name with
+    | "fig1" -> Minos.Figures.print_fig1 ()
+    | "fig2" -> Minos.Figures.print_fig2 ()
+    | "table1" -> Minos.Figures.print_table1 ()
+    | "fig3" -> Minos.Figures.print_fig3 ~scale ()
+    | "fig4" -> Minos.Figures.print_fig4 ~scale ()
+    | "fig5" -> Minos.Figures.print_fig5 ~scale ()
+    | "fig6" -> Minos.Figures.print_fig6 ~scale ()
+    | "fig7" -> Minos.Figures.print_fig7 ~scale ()
+    | "fig8" -> Minos.Figures.print_fig8 ~scale ()
+    | "fig9" -> Minos.Figures.print_fig9 ~scale ()
+    | "fig10" -> Minos.Figures.print_fig10 ~scale ()
+    | "fanout" -> Minos.Figures.print_fanout ~scale ()
+    | other ->
+        Printf.eprintf "unknown figure %s\n" other;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate one of the paper's tables or figures.")
+    Term.(const action $ fig_name $ quick)
+
+(* ------------------------------------------------------------------ *)
+(* queueing *)
+
+let queueing_cmd =
+  let discipline_conv =
+    let parse = function
+      | "percore" | "nxmg1" -> Ok Queueing.Models.Per_core_queues
+      | "single" | "mgn" -> Ok Queueing.Models.Single_queue
+      | "steal" | "ws" -> Ok Queueing.Models.Work_stealing
+      | s -> Error (`Msg (Printf.sprintf "unknown discipline %S (percore|single|steal)" s))
+    in
+    let print fmt d = Format.pp_print_string fmt (Queueing.Models.discipline_name d) in
+    Arg.conv (parse, print)
+  in
+  let discipline =
+    Arg.(
+      value
+      & opt discipline_conv Queueing.Models.Per_core_queues
+      & info [ "discipline" ] ~docv:"D" ~doc:"percore, single or steal.")
+  in
+  let k =
+    Arg.(value & opt float 100.0 & info [ "k" ] ~docv:"K" ~doc:"Large service multiplier.")
+  in
+  let qload =
+    Arg.(value & opt float 0.5 & info [ "load" ] ~docv:"RHO" ~doc:"Normalized load (0..1).")
+  in
+  let action discipline k load =
+    let r =
+      Queueing.Models.run discipline { Queueing.Models.default_config with k; load }
+    in
+    Format.printf "%s K=%.0f load=%.2f: mean=%.2f p50=%.2f p99=%.2f (small-service units)@."
+      (Queueing.Models.discipline_name discipline)
+      k load r.Queueing.Models.mean r.Queueing.Models.p50 r.Queueing.Models.p99
+  in
+  Cmd.v
+    (Cmd.info "queueing" ~doc:"Run one point of the §2.2 queueing simulation.")
+    Term.(const action $ discipline $ k $ qload)
+
+(* ------------------------------------------------------------------ *)
+(* trace: capture a workload trace and run the §6.2 offline analysis *)
+
+let trace_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the trace.")
+  in
+  let count =
+    Arg.(
+      value & opt int 500_000 & info [ "n" ] ~docv:"N" ~doc:"Requests to capture.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some design_conv) None
+      & info [ "replay" ] ~docv:"DESIGN"
+          ~doc:"After capturing, replay the trace through this design.")
+  in
+  let action out count p_large s_large get_ratio seed replay load quick =
+    let spec = spec_of ~p_large ~s_large ~get_ratio in
+    let dataset = Minos.Experiment.dataset_for spec in
+    let gen = Workload.Generator.create ~seed ~p_large ~get_ratio dataset in
+    let trace = Workload.Trace.capture gen ~n:count in
+    Workload.Trace.save out trace;
+    Format.printf "wrote %d requests to %s@." count out;
+    Format.printf "offline analysis: p99 item size = %.0f B (static threshold),@."
+      (Workload.Trace.size_percentile trace 0.99);
+    Format.printf "  %.3f%% large requests, mean item %.0f B@."
+      (Workload.Trace.percent_large trace)
+      (Workload.Trace.mean_item_size trace);
+    match replay with
+    | None -> ()
+    | Some design ->
+        let cfg = Minos.Experiment.config_of_scale (scale_of quick) in
+        let m =
+          Minos.Experiment.run_trace ~cfg design trace ~spec ~offered_mops:load
+        in
+        Format.printf "trace-driven replay:@.";
+        print_metrics m
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Capture a workload trace, derive the static size threshold offline, and \
+          optionally replay it.")
+    Term.(
+      const action $ out $ count $ p_large $ s_large $ get_ratio $ seed $ replay $ load
+      $ quick)
+
+(* ------------------------------------------------------------------ *)
+(* numa: multi-domain scaling *)
+
+let numa_cmd =
+  let domains =
+    Arg.(value & opt int 2 & info [ "domains" ] ~docv:"N" ~doc:"NUMA domains.")
+  in
+  let action design domains load p_large s_large get_ratio quick =
+    let spec = spec_of ~p_large ~s_large ~get_ratio in
+    let cfg = Minos.Experiment.config_of_scale (scale_of quick) in
+    let r = Minos.Numa.run ~cfg ~design ~domains spec ~offered_mops:load in
+    Format.printf
+      "%d domains x %s: tput=%.2f Mops p50=%.1fus p99=%.1fus p999=%.1fus%s@." domains
+      (Minos.Experiment.design_name design)
+      r.Minos.Numa.total_throughput_mops r.Minos.Numa.p50_us r.Minos.Numa.p99_us
+      r.Minos.Numa.p999_us
+      (if r.Minos.Numa.stable then "" else " UNSTABLE");
+    List.iteri
+      (fun i m -> Format.printf "  domain %d: %a@." i Kvserver.Metrics.pp_row m)
+      r.Minos.Numa.per_domain
+  in
+  Cmd.v
+    (Cmd.info "numa" ~doc:"Scale across NUMA domains (independent instances, §3).")
+    Term.(const action $ design $ domains $ load $ p_large $ s_large $ get_ratio $ quick)
+
+(* ------------------------------------------------------------------ *)
+(* serve: run the native size-aware KV server over kernel UDP *)
+
+let serve_cmd =
+  let port =
+    Arg.(value & opt int 47700 & info [ "port" ] ~docv:"PORT" ~doc:"First RX-queue port.")
+  in
+  let cores =
+    Arg.(value & opt int 4 & info [ "cores" ] ~docv:"N" ~doc:"Worker domains (>= 2).")
+  in
+  let arena_mb =
+    Arg.(
+      value & opt int 256 & info [ "arena-mb" ] ~docv:"MB" ~doc:"Value arena size in MiB.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log control-loop decisions.")
+  in
+  let action port cores arena_mb verbose =
+    if verbose then begin
+      Logs.set_reporter (Logs_fmt.reporter ());
+      Logs.set_level (Some Logs.Info)
+    end;
+    let store =
+      Kvstore.Store.create ~partition_bits:4 ~bucket_bits:12
+        ~value_arena_bytes:(arena_mb * 1024 * 1024) ()
+    in
+    let config = { Runtime.Server.default_config with Runtime.Server.cores } in
+    let udp = Runtime.Udp.start ~config ~base_port:port store in
+    Format.printf
+      "minos: serving on 127.0.0.1 UDP ports %d-%d (%d worker domains)@." port
+      (port + cores - 1) cores;
+    Format.printf "GETs: any port; PUTs: keyhash port. Ctrl-C to stop.@.";
+    let stop = ref false in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+    while not !stop do
+      Unix.sleepf 0.5
+    done;
+    Format.printf "stopping...@.";
+    Runtime.Udp.stop udp;
+    let stats = Runtime.Server.stats (Runtime.Udp.server udp) in
+    Format.printf "served %d requests (%d handoffs, threshold %.0f B)@."
+      (Array.fold_left ( + ) 0 stats.Runtime.Server.served)
+      stats.Runtime.Server.handoffs stats.Runtime.Server.threshold
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the native size-aware KV server over kernel UDP.")
+    Term.(const action $ port $ cores $ arena_mb $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* kv: talk to a running `minos serve` instance *)
+
+let kv_cmd =
+  let port =
+    Arg.(value & opt int 47700 & info [ "port" ] ~docv:"PORT" ~doc:"Server base port.")
+  in
+  let queues =
+    Arg.(value & opt int 4 & info [ "queues" ] ~docv:"N" ~doc:"Server RX queues (= cores).")
+  in
+  let op =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("get", `Get); ("put", `Put); ("del", `Del) ])) None
+      & info [] ~docv:"OP" ~doc:"get, put or del.")
+  in
+  let key = Arg.(required & pos 1 (some string) None & info [] ~docv:"KEY") in
+  let value = Arg.(value & pos 2 (some string) None & info [] ~docv:"VALUE") in
+  let action port queues op key value =
+    let client = Runtime.Udp.Client.connect ~base_port:port ~queues () in
+    Fun.protect
+      ~finally:(fun () -> Runtime.Udp.Client.close client)
+      (fun () ->
+        try
+          match (op, value) with
+          | `Get, _ -> (
+              match Runtime.Udp.Client.get client key with
+              | Some v ->
+                  print_bytes v;
+                  print_newline ()
+              | None ->
+                  prerr_endline "(not found)";
+                  exit 1)
+          | `Put, Some v -> Runtime.Udp.Client.put client key (Bytes.of_string v)
+          | `Put, None ->
+              prerr_endline "put requires a VALUE";
+              exit 2
+          | `Del, _ -> if not (Runtime.Udp.Client.delete client key) then exit 1
+        with Runtime.Udp.Client.Timeout ->
+          prerr_endline "timeout: is `minos serve` running on this port?";
+          exit 3)
+  in
+  Cmd.v
+    (Cmd.info "kv" ~doc:"GET/PUT/DELETE against a running `minos serve` instance.")
+    Term.(const action $ port $ queues $ op $ key $ value)
+
+(* ------------------------------------------------------------------ *)
+(* loadtest: drive a running server from several client domains *)
+
+let loadtest_cmd =
+  let port =
+    Arg.(value & opt int 47700 & info [ "port" ] ~docv:"PORT" ~doc:"Server base port.")
+  in
+  let queues =
+    Arg.(value & opt int 4 & info [ "queues" ] ~docv:"N" ~doc:"Server RX queues.")
+  in
+  let clients =
+    Arg.(value & opt int 2 & info [ "clients" ] ~docv:"N" ~doc:"Client domains.")
+  in
+  let requests =
+    Arg.(value & opt int 5000 & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let value_size =
+    Arg.(value & opt int 100 & info [ "value-size" ] ~docv:"BYTES" ~doc:"PUT value size.")
+  in
+  let action port queues clients requests value_size =
+    let worker c =
+      Domain.spawn (fun () ->
+          let client =
+            Runtime.Udp.Client.connect ~base_port:port ~queues ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Runtime.Udp.Client.close client)
+            (fun () ->
+              let latencies = Stats.Float_vec.create ~capacity:requests () in
+              let value = Bytes.create value_size in
+              for i = 0 to requests - 1 do
+                let key = Printf.sprintf "bench-%d-%d" c (i mod 512) in
+                let t0 = Unix.gettimeofday () in
+                (if i mod 10 = 0 then Runtime.Udp.Client.put client key value
+                 else ignore (Runtime.Udp.Client.get client key));
+                Stats.Float_vec.push latencies
+                  (1.0e6 *. (Unix.gettimeofday () -. t0))
+              done;
+              latencies))
+    in
+    let t0 = Unix.gettimeofday () in
+    let all = List.map Domain.join (List.map worker (List.init clients Fun.id)) in
+    let dt = Unix.gettimeofday () -. t0 in
+    let merged = Stats.Float_vec.create () in
+    List.iter (fun v -> Stats.Float_vec.iter (Stats.Float_vec.push merged) v) all;
+    let qs = Stats.Quantile.many_of_vec merged [ 0.5; 0.99 ] in
+    Format.printf "%d clients x %d requests in %.2fs: %.0f rps, p50=%.0fus p99=%.0fus@."
+      clients requests dt
+      (float_of_int (clients * requests) /. dt)
+      (List.nth qs 0) (List.nth qs 1)
+  in
+  Cmd.v
+    (Cmd.info "loadtest" ~doc:"Closed-loop load test against a running `minos serve`.")
+    Term.(const action $ port $ queues $ clients $ requests $ value_size)
+
+let () =
+  let info =
+    Cmd.info "minos" ~version:"1.0.0"
+      ~doc:"Size-aware sharding for in-memory key-value stores (NSDI'19 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd; sweep_cmd; slo_cmd; figure_cmd; queueing_cmd; trace_cmd; numa_cmd;
+            serve_cmd; kv_cmd; loadtest_cmd;
+          ]))

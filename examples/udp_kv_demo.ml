@@ -1,0 +1,139 @@
+(* End-to-end demo over a real kernel UDP socket on loopback.
+
+   A server domain answers Minos wire-protocol requests against a real
+   Kvstore.Store; the client (main domain) performs PUTs and GETs —
+   including a 300 KB value that is fragmented into ~200 UDP datagrams and
+   reassembled on both sides, exactly as §4.1 describes (minus DPDK).
+
+   Run with: dune exec examples/udp_kv_demo.exe
+*)
+
+let port = 47_621
+let server_addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+(* Loopback happily carries datagrams larger than the Ethernet MTU, but we
+   fragment exactly as the DPDK path would. *)
+let max_datagram = Netsim.Frame.max_udp_payload
+
+let send_message sock dest ~msg_id payload =
+  List.iter
+    (fun frag -> ignore (Unix.sendto sock frag 0 (Bytes.length frag) [] dest))
+    (Proto.Fragment.split ~msg_id payload)
+
+let recv_message sock reassembler =
+  let buf = Bytes.create (max_datagram + 64) in
+  let rec loop () =
+    let len, from = Unix.recvfrom sock buf 0 (Bytes.length buf) [] in
+    match Proto.Fragment.offer reassembler (Bytes.sub buf 0 len) with
+    | Some (_, msg) -> (msg, from)
+    | None -> loop ()
+  in
+  loop ()
+
+let server_loop sock store stop =
+  let reassembler = Proto.Fragment.create_reassembler () in
+  while not (Atomic.get stop) do
+    match recv_message sock reassembler with
+    | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> Thread.yield ()
+    | msg, client -> (
+        match Proto.Wire.decode_request msg with
+        | Error _ -> () (* malformed datagrams are dropped, like any UDP server *)
+        | Ok req ->
+            let reply =
+              match req.Proto.Wire.op with
+              | Proto.Wire.Get -> (
+                  match Kvstore.Store.get store req.Proto.Wire.key with
+                  | Some value ->
+                      { Proto.Wire.id = req.Proto.Wire.id; status = Proto.Wire.Ok;
+                        value = Some value; client_ts = req.Proto.Wire.client_ts }
+                  | None ->
+                      { Proto.Wire.id = req.Proto.Wire.id; status = Proto.Wire.Not_found;
+                        value = None; client_ts = req.Proto.Wire.client_ts })
+              | Proto.Wire.Put ->
+                  Kvstore.Store.put store ~guard:`Lock req.Proto.Wire.key
+                    (Option.value ~default:Bytes.empty req.Proto.Wire.value);
+                  { Proto.Wire.id = req.Proto.Wire.id; status = Proto.Wire.Ok;
+                    value = None; client_ts = req.Proto.Wire.client_ts }
+              | Proto.Wire.Delete ->
+                  let existed = Kvstore.Store.delete store ~guard:`Lock req.Proto.Wire.key in
+                  { Proto.Wire.id = req.Proto.Wire.id;
+                    status = (if existed then Proto.Wire.Ok else Proto.Wire.Not_found);
+                    value = None; client_ts = req.Proto.Wire.client_ts }
+            in
+            send_message sock client ~msg_id:req.Proto.Wire.id
+              (Proto.Wire.encode_reply reply))
+  done
+
+let () =
+  let store =
+    Kvstore.Store.create ~partition_bits:3 ~bucket_bits:8
+      ~value_arena_bytes:(16 * 1024 * 1024) ()
+  in
+  let server_sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.bind server_sock server_addr;
+  (* Generous kernel buffers: a 300 KB value arrives as a burst of ~200
+     datagrams. *)
+  Unix.setsockopt_int server_sock Unix.SO_RCVBUF (4 * 1024 * 1024);
+  let stop = Atomic.make false in
+  let server = Domain.spawn (fun () -> server_loop server_sock store stop) in
+
+  let client_sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.setsockopt_int client_sock Unix.SO_RCVBUF (4 * 1024 * 1024);
+  let reassembler = Proto.Fragment.create_reassembler () in
+  let next_id = ref 0L in
+  let rpc op key value =
+    next_id := Int64.add !next_id 1L;
+    let req =
+      { Proto.Wire.id = !next_id; op; key; value; client_ts = 0L; target_rx = 0 }
+    in
+    send_message client_sock server_addr ~msg_id:!next_id (Proto.Wire.encode_request req);
+    let msg, _ = recv_message client_sock reassembler in
+    match Proto.Wire.decode_reply msg with
+    | Ok reply -> reply
+    | Error e -> Format.kasprintf failwith "bad reply: %a" Proto.Wire.pp_error e
+  in
+
+  (* Small PUT + GET. *)
+  let r = rpc Proto.Wire.Put "greeting" (Some (Bytes.of_string "hello over UDP")) in
+  assert (r.Proto.Wire.status = Proto.Wire.Ok);
+  let r = rpc Proto.Wire.Get "greeting" None in
+  Printf.printf "GET greeting -> %S\n"
+    (Bytes.to_string (Option.value ~default:Bytes.empty r.Proto.Wire.value));
+
+  (* Large PUT: fragmented into ~200 datagrams each way. *)
+  let big = Bytes.init 300_000 (fun i -> Char.chr (i mod 256)) in
+  let r = rpc Proto.Wire.Put "blob" (Some big) in
+  assert (r.Proto.Wire.status = Proto.Wire.Ok);
+  let r = rpc Proto.Wire.Get "blob" None in
+  let got = Option.value ~default:Bytes.empty r.Proto.Wire.value in
+  Printf.printf "GET blob     -> %d bytes, %s\n" (Bytes.length got)
+    (if Bytes.equal got big then "intact after fragmentation/reassembly" else "CORRUPTED");
+
+  (* Miss and delete. *)
+  let r = rpc Proto.Wire.Get "missing" None in
+  Printf.printf "GET missing  -> %s\n"
+    (match r.Proto.Wire.status with
+    | Proto.Wire.Not_found -> "Not_found"
+    | Proto.Wire.Ok -> "Ok?");
+  let r = rpc Proto.Wire.Delete "greeting" None in
+  assert (r.Proto.Wire.status = Proto.Wire.Ok);
+
+  (* A small closed-loop latency measurement, like Figure 1's setup. *)
+  let n = 2000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    ignore (rpc Proto.Wire.Get (if i mod 2 = 0 then "blob" else "missing") None)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%d closed-loop RPCs (half 300KB GETs): %.1f us mean round-trip\n" n
+    (1.0e6 *. dt /. float_of_int n);
+
+  Atomic.set stop true;
+  (* Unblock the server's recvfrom with one last datagram. *)
+  ignore
+    (Unix.sendto client_sock (Bytes.create 1) 0 1 [] server_addr);
+  Domain.join server;
+  Unix.close client_sock;
+  Unix.close server_sock;
+  let stats = Kvstore.Store.stats store in
+  Printf.printf "server store at shutdown: %d items\n" stats.Kvstore.Store.items

@@ -1,0 +1,164 @@
+type design = Minos | Hkh | Hkh_ws | Sho
+
+let all_designs = [ Minos; Hkh; Hkh_ws; Sho ]
+
+let design_name = function
+  | Minos -> Kvserver.Design_minos.name
+  | Hkh -> Kvserver.Design_hkh.name
+  | Hkh_ws -> Kvserver.Design_hkh_ws.name
+  | Sho -> Kvserver.Design_sho.name
+
+let design_of_name s =
+  match String.lowercase_ascii s with
+  | "minos" -> Some Minos
+  | "hkh" -> Some Hkh
+  | "hkh+ws" | "hkh_ws" | "hkhws" | "ws" -> Some Hkh_ws
+  | "sho" -> Some Sho
+  | _ -> None
+
+let maker = function
+  | Minos -> Kvserver.Design_minos.make
+  | Hkh -> Kvserver.Design_hkh.make
+  | Hkh_ws -> Kvserver.Design_hkh_ws.make
+  | Sho -> Kvserver.Design_sho.make
+
+type scale = {
+  duration_us : float;
+  warmup_us : float;
+  epoch_us : float;
+  slo_iters : int;
+  phase_us : float;
+  window_us : float;
+}
+
+let full_scale =
+  {
+    duration_us = 400_000.0;
+    warmup_us = 150_000.0;
+    epoch_us = 50_000.0;
+    slo_iters = 7;
+    phase_us = 2_000_000.0;
+    window_us = 200_000.0;
+  }
+
+let quick_scale =
+  {
+    duration_us = 120_000.0;
+    warmup_us = 40_000.0;
+    epoch_us = 15_000.0;
+    slo_iters = 7;
+    phase_us = 500_000.0;
+    window_us = 50_000.0;
+  }
+
+(* Dataset memoization: sizes depend on shape fields only, so the key is
+   the tuple of those fields. *)
+let dataset_cache : (int * int * int * float * float * int, Workload.Dataset.t) Hashtbl.t
+    =
+  Hashtbl.create 8
+
+let dataset_for (spec : Workload.Spec.t) =
+  let key =
+    ( spec.Workload.Spec.n_keys,
+      spec.Workload.Spec.n_large_keys,
+      spec.Workload.Spec.s_large_max,
+      spec.Workload.Spec.tiny_fraction,
+      spec.Workload.Spec.zipf_theta,
+      spec.Workload.Spec.key_size )
+  in
+  match Hashtbl.find_opt dataset_cache key with
+  | Some d -> d
+  | None ->
+      let d = Workload.Dataset.create spec in
+      Hashtbl.add dataset_cache key d;
+      d
+
+let config_of_scale ?(base = Kvserver.Config.default) scale =
+  {
+    base with
+    Kvserver.Config.duration_us = scale.duration_us;
+    warmup_us = scale.warmup_us;
+    epoch_us = scale.epoch_us;
+  }
+
+let run_raw ?cfg ?dynamic ?store ?(seed = 1) design spec ~offered_mops =
+  let cfg = match cfg with Some c -> c | None -> config_of_scale full_scale in
+  let dataset = dataset_for spec in
+  let gen =
+    Workload.Generator.create ~seed:(seed + 101)
+      ~p_large:spec.Workload.Spec.p_large ~get_ratio:spec.Workload.Spec.get_ratio dataset
+  in
+  let cfg = { cfg with Kvserver.Config.seed = cfg.Kvserver.Config.seed + seed } in
+  let eng = Kvserver.Engine.create ?dynamic ?store cfg gen ~offered_mops in
+  let metrics = Kvserver.Engine.run eng (maker design) in
+  (metrics, Kvserver.Engine.raw_latencies eng)
+
+let run ?cfg ?dynamic ?store ?seed design spec ~offered_mops =
+  fst (run_raw ?cfg ?dynamic ?store ?seed design spec ~offered_mops)
+
+let better (a : Kvserver.Metrics.t) (b : Kvserver.Metrics.t) =
+  if a.Kvserver.Metrics.stable <> b.Kvserver.Metrics.stable then
+    if a.Kvserver.Metrics.stable then a else b
+  else if
+    abs_float (a.Kvserver.Metrics.throughput_mops -. b.Kvserver.Metrics.throughput_mops)
+    > 0.02 *. Float.max a.Kvserver.Metrics.throughput_mops 0.01
+  then
+    if a.Kvserver.Metrics.throughput_mops > b.Kvserver.Metrics.throughput_mops then a
+    else b
+  else if a.Kvserver.Metrics.p99_us <= b.Kvserver.Metrics.p99_us then a
+  else b
+
+let run_sho_best ?cfg ?seed spec ~offered_mops =
+  let base = match cfg with Some c -> c | None -> config_of_scale full_scale in
+  [ 1; 2; 3 ]
+  |> List.filter (fun h -> h < base.Kvserver.Config.cores)
+  |> List.map (fun handoff_cores ->
+         run ~cfg:{ base with Kvserver.Config.handoff_cores } ?seed Sho spec
+           ~offered_mops)
+  |> function
+  | [] -> invalid_arg "run_sho_best: no valid handoff configuration"
+  | first :: rest -> List.fold_left better first rest
+
+let run_trace ?cfg ?(seed = 1) design trace ~spec ~offered_mops =
+  if Array.length trace = 0 then invalid_arg "run_trace: empty trace";
+  let cfg = match cfg with Some c -> c | None -> config_of_scale full_scale in
+  let cfg = { cfg with Kvserver.Config.seed = cfg.Kvserver.Config.seed + seed } in
+  let gen = Workload.Generator.create ~seed:(seed + 101) (dataset_for spec) in
+  let next = Workload.Trace.replayer ~loop:true trace in
+  let source () = Option.get (next ()) in
+  let eng = Kvserver.Engine.create ~source cfg gen ~offered_mops in
+  Kvserver.Engine.run eng (maker design)
+
+type replicated = {
+  runs : Kvserver.Metrics.t list;
+  p99_mean : float;
+  p99_stddev : float;
+  throughput_mean : float;
+}
+
+let run_replicated ?cfg ?(seeds = [ 1; 2; 3 ]) design spec ~offered_mops =
+  if seeds = [] then invalid_arg "run_replicated: need at least one seed";
+  let runs = List.map (fun seed -> run ?cfg ~seed design spec ~offered_mops) seeds in
+  let p99s = Stats.Summary.create () and tput = Stats.Summary.create () in
+  List.iter
+    (fun (m : Kvserver.Metrics.t) ->
+      if not (Float.is_nan m.Kvserver.Metrics.p99_us) then
+        Stats.Summary.add p99s m.Kvserver.Metrics.p99_us;
+      Stats.Summary.add tput m.Kvserver.Metrics.throughput_mops)
+    runs;
+  {
+    runs;
+    p99_mean = Stats.Summary.mean p99s;
+    p99_stddev = Stats.Summary.stddev p99s;
+    throughput_mean = Stats.Summary.mean tput;
+  }
+
+let sweep ?cfg ?(sho_best = false) design spec ~loads_mops =
+  List.map
+    (fun load ->
+      let m =
+        if sho_best && design = Sho then run_sho_best ?cfg spec ~offered_mops:load
+        else run ?cfg design spec ~offered_mops:load
+      in
+      (load, m))
+    loads_mops

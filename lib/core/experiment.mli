@@ -1,0 +1,115 @@
+(** Running a (design × workload × arrival rate) point.
+
+    This is the library's front door for the evaluation: pick a design,
+    a workload spec and an offered load, get back {!Kvserver.Metrics.t}.
+    Datasets are memoized across runs (their sizes depend only on the
+    dataset-shape fields of the spec, not on the request mix). *)
+
+type design = Minos | Hkh | Hkh_ws | Sho
+
+val all_designs : design list
+(** [Minos; Hkh; Hkh_ws; Sho] *)
+
+val design_name : design -> string
+
+val design_of_name : string -> design option
+(** Case-insensitive; accepts ["minos"], ["hkh"], ["hkh+ws"/"hkh_ws"/"ws"],
+    ["sho"]. *)
+
+val maker : design -> Kvserver.Engine.t -> Kvserver.Engine.design
+
+(** Time parameters for one simulated run; see DESIGN.md on time scaling
+    versus the paper's 60-second runs. *)
+type scale = {
+  duration_us : float;
+  warmup_us : float;
+  epoch_us : float;
+  slo_iters : int;   (** bisection iterations for SLO searches *)
+  phase_us : float;  (** dynamic-workload phase length (paper: 20 s) *)
+  window_us : float; (** p99 reporting window (paper: 1 s) *)
+}
+
+val full_scale : scale
+(** 400 ms runs (150 ms warm-up), 50 ms epochs, 7 bisection iterations,
+    2 s dynamic phases with 200 ms windows. *)
+
+val quick_scale : scale
+(** Roughly 4× cheaper; used by tests and [--quick] benches. *)
+
+val dataset_for : Workload.Spec.t -> Workload.Dataset.t
+(** Memoized dataset construction. *)
+
+val config_of_scale : ?base:Kvserver.Config.t -> scale -> Kvserver.Config.t
+
+val run :
+  ?cfg:Kvserver.Config.t ->
+  ?dynamic:Workload.Dynamic.t ->
+  ?store:Kvstore.Store.t ->
+  ?seed:int ->
+  design ->
+  Workload.Spec.t ->
+  offered_mops:float ->
+  Kvserver.Metrics.t
+(** Simulate one point.  [cfg] defaults to {!config_of_scale}[ full_scale]. *)
+
+val run_sho_best :
+  ?cfg:Kvserver.Config.t ->
+  ?seed:int ->
+  Workload.Spec.t ->
+  offered_mops:float ->
+  Kvserver.Metrics.t
+(** SHO with 1, 2 and 3 handoff cores, keeping the best result (the paper
+    reports SHO's best configuration per workload, §5.2).  "Best" prefers
+    stability, then higher throughput, then lower p99. *)
+
+val sweep :
+  ?cfg:Kvserver.Config.t ->
+  ?sho_best:bool ->
+  design ->
+  Workload.Spec.t ->
+  loads_mops:float list ->
+  (float * Kvserver.Metrics.t) list
+(** One run per offered load. *)
+
+val run_raw :
+  ?cfg:Kvserver.Config.t ->
+  ?dynamic:Workload.Dynamic.t ->
+  ?store:Kvstore.Store.t ->
+  ?seed:int ->
+  design ->
+  Workload.Spec.t ->
+  offered_mops:float ->
+  Kvserver.Metrics.t * Stats.Float_vec.t
+(** Like {!run}, additionally returning the raw latency samples (µs) —
+    for analyses that need the full distribution (fan-out, NUMA
+    merging). *)
+
+val run_trace :
+  ?cfg:Kvserver.Config.t ->
+  ?seed:int ->
+  design ->
+  Workload.Trace.t ->
+  spec:Workload.Spec.t ->
+  offered_mops:float ->
+  Kvserver.Metrics.t
+(** Trace-driven simulation: requests come from the captured trace
+    (looping if the run outlasts it) instead of the synthetic generator.
+    [spec] should be the spec the trace was captured under. *)
+
+type replicated = {
+  runs : Kvserver.Metrics.t list;
+  p99_mean : float;
+  p99_stddev : float;
+  throughput_mean : float;
+}
+
+val run_replicated :
+  ?cfg:Kvserver.Config.t ->
+  ?seeds:int list ->
+  design ->
+  Workload.Spec.t ->
+  offered_mops:float ->
+  replicated
+(** The same point under several seeds (default [1; 2; 3]), with the
+    across-seed mean and standard deviation of the p99 — the error bars
+    behind the single-seed numbers the tables report. *)

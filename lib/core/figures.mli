@@ -1,0 +1,151 @@
+(** One runner per table/figure of the paper's evaluation (see DESIGN.md's
+    per-experiment index).  Each [figN] returns the figure's data; each
+    [print_figN] renders it as a text table the way the paper reports it.
+
+    All runners accept a {!Experiment.scale} so tests can run miniature
+    versions ([Experiment.quick_scale]) while the benchmark harness runs
+    the full versions. *)
+
+type scale = Experiment.scale
+
+(** {1 Figure 1 — service time vs item size} *)
+
+val fig1 : unit -> (int * float) list
+(** Closed-loop (no queueing) service latency for GETs of each size:
+    pipeline + CPU + reply wire time. *)
+
+val print_fig1 : unit -> unit
+
+(** {1 Figure 2 — queueing simulation of size-unaware sharding} *)
+
+type fig2_series = {
+  discipline : Queueing.Models.discipline;
+  k : float;
+  points : (float * float) list; (** (normalized load, p99 in small units) *)
+}
+
+val fig2 : ?requests:int -> ?loads:float list -> unit -> fig2_series list
+
+val print_fig2 : ?requests:int -> unit -> unit
+
+(** {1 Table 1 — item size variability profiles} *)
+
+val table1 : ?mc_samples:int -> unit -> (float * int * float * float) list
+(** (p_l, s_l, analytic % data large, Monte-Carlo % data large). *)
+
+val print_table1 : unit -> unit
+
+(** {1 Figures 3/5 — throughput vs 99p latency, default and 50:50} *)
+
+type curve = {
+  design : Experiment.design;
+  points : (float * Kvserver.Metrics.t) list;
+}
+
+val fig3 : ?scale:scale -> ?loads:float list -> unit -> curve list
+
+val print_fig3 : ?scale:scale -> ?loads:float list -> unit -> unit
+
+val fig5 : ?scale:scale -> ?loads:float list -> unit -> curve list
+
+val print_fig5 : ?scale:scale -> ?loads:float list -> unit -> unit
+
+(** {1 Figure 4 — 99p latency of large requests} *)
+
+val fig4 : ?scale:scale -> ?loads:float list -> unit -> curve list
+(** Minos and HKH+WS only; read [large_p99_us] from the metrics. *)
+
+val print_fig4 : ?scale:scale -> ?loads:float list -> unit -> unit
+
+(** {1 Figures 6/7 — max throughput under an SLO} *)
+
+type slo_row = {
+  varied : float; (** p_l (fig 6) or s_l in bytes (fig 7) *)
+  slo_us : float;
+  minos_mops : float;
+  hkh_mops : float;
+  hkh_ws_mops : float;
+  sho_mops : float;
+}
+
+val fig6 : ?scale:scale -> ?p_values:float list -> unit -> slo_row list
+
+val print_fig6 : ?scale:scale -> ?p_values:float list -> unit -> unit
+
+val fig7 : ?scale:scale -> ?s_values:int list -> unit -> slo_row list
+
+val print_fig7 : ?scale:scale -> ?s_values:int list -> unit -> unit
+
+(** {1 Figure 8 — scaling with network bandwidth via reply sampling} *)
+
+type fig8_series = {
+  sampling : float;
+  points : (float * Kvserver.Metrics.t) list;
+}
+
+val fig8 : ?scale:scale -> ?samplings:float list -> ?loads:float list -> unit ->
+  fig8_series list
+
+val print_fig8 : ?scale:scale -> unit -> unit
+
+(** {1 Figure 9 — per-core load breakdown} *)
+
+type fig9_row = {
+  p_large : float;
+  n_small : int;
+  ops_share : float array;     (** per core, fraction of total ops *)
+  packet_share : float array;  (** per core, fraction of total packets *)
+}
+
+val fig9 : ?scale:scale -> ?p_values:float list -> unit -> fig9_row list
+
+val print_fig9 : ?scale:scale -> unit -> unit
+
+(** {1 Figure 10 — dynamic workload} *)
+
+type fig10_result = {
+  minos_p99 : (float * float) list;   (** (window start s, p99 µs) *)
+  hkh_ws_p99 : (float * float) list;
+  large_cores : (float * int) list;   (** (time s, Minos n_large) *)
+}
+
+val fig10 : ?scale:scale -> ?rate_mops:float -> unit -> fig10_result
+
+val print_fig10 : ?scale:scale -> unit -> unit
+
+(** {1 Fan-out analysis (the §1 motivation, quantified)} *)
+
+type fanout_row = {
+  fanout : int;
+  minos_p99_us : float;  (** p99 of the max of [fanout] parallel requests *)
+  hkh_p99_us : float;
+}
+
+val fanout : ?scale:scale -> ?fanouts:int list -> ?load:float -> unit -> fanout_row list
+(** Monte-Carlo estimate of the response time of a fan-out-[N] operation
+    (its latency is the maximum of N independent KV requests), from
+    measured latency distributions at [load] (default 4 Mops).  Shows how
+    head-of-line blocking compounds with fan-out: with N = 100, {e most}
+    user operations hit the server's tail. *)
+
+val print_fanout : ?scale:scale -> unit -> unit
+
+(** {1 Ablations (beyond the paper's figures)} *)
+
+val print_ablation_threshold : ?scale:scale -> unit -> unit
+(** Adaptive vs static threshold on the write-intensive workload (§6.2). *)
+
+val print_ablation_cost_fn : ?scale:scale -> unit -> unit
+(** Packets vs bytes vs constant+bytes control-loop cost functions. *)
+
+val print_ablation_steal : ?scale:scale -> unit -> unit
+(** §6.1 variant: extra large core + RX stealing by idle large cores. *)
+
+val print_ablation_epoch : ?scale:scale -> unit -> unit
+(** Control-epoch length and smoothing-α sensitivity on the dynamic
+    workload. *)
+
+val print_ablation_erew : ?scale:scale -> unit -> unit
+(** MICA CREW vs EREW dispatch for the HKH baseline under zipfian skew
+    (the paper picks CREW, §5.2: "This policy performs the best on skewed
+    read-dominated workloads"). *)

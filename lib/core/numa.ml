@@ -1,0 +1,51 @@
+type result = {
+  per_domain : Kvserver.Metrics.t list;
+  total_throughput_mops : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  stable : bool;
+}
+
+let run ?cfg ?(design = Experiment.Minos) ?(seed = 1) ~domains spec ~offered_mops =
+  if domains < 1 then invalid_arg "Numa.run: need at least one domain";
+  let cfg = match cfg with Some c -> c | None -> Experiment.config_of_scale Experiment.full_scale in
+  (* Each domain owns a disjoint key-space slice: same size distribution,
+     1/domains of the keys and of the large keys. *)
+  let domain_spec =
+    {
+      spec with
+      Workload.Spec.n_keys = max 2 (spec.Workload.Spec.n_keys / domains);
+      n_large_keys = max 1 (spec.Workload.Spec.n_large_keys / domains);
+    }
+  in
+  let per_rate = offered_mops /. float_of_int domains in
+  let runs =
+    List.init domains (fun d ->
+        let dataset = Experiment.dataset_for domain_spec in
+        let gen =
+          Workload.Generator.create
+            ~seed:(seed + 101 + (31 * d))
+            ~p_large:spec.Workload.Spec.p_large
+            ~get_ratio:spec.Workload.Spec.get_ratio dataset
+        in
+        let cfg = { cfg with Kvserver.Config.seed = cfg.Kvserver.Config.seed + d } in
+        let eng = Kvserver.Engine.create cfg gen ~offered_mops:per_rate in
+        let metrics = Kvserver.Engine.run eng (Experiment.maker design) in
+        (metrics, Kvserver.Engine.raw_latencies eng))
+  in
+  let per_domain = List.map fst runs in
+  let all = Stats.Float_vec.create () in
+  List.iter (fun (_, vec) -> Stats.Float_vec.iter (Stats.Float_vec.push all) vec) runs;
+  let q p =
+    if Stats.Float_vec.length all = 0 then Float.nan else Stats.Quantile.of_vec all p
+  in
+  {
+    per_domain;
+    total_throughput_mops =
+      List.fold_left (fun acc m -> acc +. m.Kvserver.Metrics.throughput_mops) 0.0 per_domain;
+    p50_us = q 0.5;
+    p99_us = q 0.99;
+    p999_us = q 0.999;
+    stable = List.for_all (fun m -> m.Kvserver.Metrics.stable) per_domain;
+  }

@@ -1,0 +1,44 @@
+type result = {
+  max_mops : float;
+  metrics : Kvserver.Metrics.t option;
+  evaluations : int;
+}
+
+let meets (m : Kvserver.Metrics.t) ~slo_p99_us =
+  m.Kvserver.Metrics.stable
+  && (not (Float.is_nan m.Kvserver.Metrics.p99_us))
+  && m.Kvserver.Metrics.p99_us <= slo_p99_us
+
+let search ~eval ~slo_p99_us ~lo_mops ~hi_mops ~iters =
+  if not (0.0 < lo_mops && lo_mops < hi_mops) then
+    invalid_arg "Slo_search.search: need 0 < lo < hi";
+  let evaluations = ref 0 in
+  let probe rate =
+    incr evaluations;
+    eval rate
+  in
+  (* Establish the bracket: if even [lo] fails the SLO, report zero; if
+     [hi] passes, report [hi] directly. *)
+  let m_lo = probe lo_mops in
+  if not (meets m_lo ~slo_p99_us) then
+    { max_mops = 0.0; metrics = None; evaluations = !evaluations }
+  else begin
+    let m_hi = probe hi_mops in
+    if meets m_hi ~slo_p99_us then
+      { max_mops = hi_mops; metrics = Some m_hi; evaluations = !evaluations }
+    else begin
+      let best = ref (lo_mops, m_lo) in
+      let lo = ref lo_mops and hi = ref hi_mops in
+      for _ = 1 to iters do
+        let mid = 0.5 *. (!lo +. !hi) in
+        let m = probe mid in
+        if meets m ~slo_p99_us then begin
+          best := (mid, m);
+          lo := mid
+        end
+        else hi := mid
+      done;
+      let rate, m = !best in
+      { max_mops = rate; metrics = Some m; evaluations = !evaluations }
+    end
+  end

@@ -1,0 +1,23 @@
+(** Maximum throughput under a tail-latency SLO (§6.3).
+
+    The paper's headline metric: the largest arrival rate at which the
+    99th-percentile latency stays within X times the mean service time.
+    Found by bisection on the offered load, treating a run as satisfying
+    the SLO when it is stable and its p99 is within the bound. *)
+
+type result = {
+  max_mops : float;           (** 0.0 when even the lowest load misses *)
+  metrics : Kvserver.Metrics.t option; (** the run at [max_mops] *)
+  evaluations : int;
+}
+
+val search :
+  eval:(float -> Kvserver.Metrics.t) ->
+  slo_p99_us:float ->
+  lo_mops:float ->
+  hi_mops:float ->
+  iters:int ->
+  result
+(** [search ~eval ~slo_p99_us ~lo_mops ~hi_mops ~iters] bisects on
+    \[lo, hi\].  [eval] runs one simulation at the given rate.  Assumes p99
+    is (noisily) nondecreasing in load, which holds for these systems. *)

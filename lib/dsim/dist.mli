@@ -1,0 +1,43 @@
+(** Random distributions used by the workload generators. *)
+
+module Zipf : sig
+  (** Zipfian distribution over ranks [0, n), using the O(1) sampling
+      method of Gray et al. ("Quickly generating billion-record synthetic
+      databases", SIGMOD 1994), as popularized by YCSB.  Rank 0 is the most
+      popular item.  Construction is O(n) (computes the generalized
+      harmonic number); sampling is O(1). *)
+
+  type t
+
+  val create : n:int -> theta:float -> t
+  (** [create ~n ~theta] with [n >= 1] and [0 <= theta < 1].  [theta = 0.99]
+      is the YCSB default used by the paper. *)
+
+  val n : t -> int
+  val theta : t -> float
+
+  val sample : t -> Rng.t -> int
+  (** A rank in [0, n); rank 0 most likely. *)
+
+  val prob : t -> int -> float
+  (** [prob t k] is the exact probability of rank [k]. *)
+end
+
+module Alias : sig
+  (** Vose's alias method: O(1) sampling from an arbitrary finite discrete
+      distribution after O(k) preprocessing. *)
+
+  type t
+
+  val create : float array -> t
+  (** [create weights] normalizes [weights] (all [>= 0], at least one
+      [> 0]) into a distribution over indices [0, length). *)
+
+  val sample : t -> Rng.t -> int
+end
+
+val uniform_int_in : Rng.t -> lo:int -> hi:int -> int
+(** Uniform integer in the inclusive range \[lo, hi\]. *)
+
+val exponential : Rng.t -> mean:float -> float
+(** Re-export of {!Rng.exponential} for discoverability. *)

@@ -1,0 +1,75 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable size : int }
+
+(* A dummy entry used to fill unused slots; never observed because [size]
+   bounds all reads.  We stash the first real insertion there instead of
+   using Obj.magic: until then the array is empty. *)
+
+let create () = { arr = [||]; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t entry =
+  let cap = Array.length t.arr in
+  let new_cap = if cap = 0 then 16 else 2 * cap in
+  let arr = Array.make new_cap entry in
+  Array.blit t.arr 0 arr 0 t.size;
+  t.arr <- arr
+
+let rec sift_up arr i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt arr.(i) arr.(parent) then begin
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(parent);
+      arr.(parent) <- tmp;
+      sift_up arr parent
+    end
+  end
+
+let rec sift_down arr size i =
+  let l = (2 * i) + 1 in
+  let r = l + 1 in
+  let smallest = if l < size && lt arr.(l) arr.(i) then l else i in
+  let smallest = if r < size && lt arr.(r) arr.(smallest) then r else smallest in
+  if smallest <> i then begin
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(smallest);
+    arr.(smallest) <- tmp;
+    sift_down arr size smallest
+  end
+
+let add t ~time ~seq value =
+  let entry = { time; seq; value } in
+  if t.size = Array.length t.arr then grow t entry;
+  t.arr.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t.arr (t.size - 1)
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let min = t.arr.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.arr.(0) <- t.arr.(t.size);
+      t.arr.(t.size) <- min (* keep the slot typed; overwritten on next add *);
+      sift_down t.arr t.size 0
+    end;
+    Some (min.time, min.seq, min.value)
+  end
+
+let peek_min t =
+  if t.size = 0 then None
+  else
+    let e = t.arr.(0) in
+    Some (e.time, e.seq, e.value)
+
+let clear t =
+  t.arr <- [||];
+  t.size <- 0

@@ -1,0 +1,26 @@
+(** Array-based binary min-heap keyed by [(float, int)].
+
+    The event queue of the simulator.  Keys are compared first by the float
+    component (event time) and then by the int component (a monotonically
+    increasing sequence number), which makes the ordering total and the
+    simulation deterministic even when many events share a timestamp. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:float -> seq:int -> 'a -> unit
+(** Insert an element.  O(log n). *)
+
+val pop_min : 'a t -> (float * int * 'a) option
+(** Remove and return the element with the smallest key.  O(log n). *)
+
+val peek_min : 'a t -> (float * int * 'a) option
+(** Return the element with the smallest key without removing it.  O(1). *)
+
+val clear : 'a t -> unit
+(** Remove all elements (releases references to stored values). *)

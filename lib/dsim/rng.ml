@@ -1,0 +1,50 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  (* Mix once more so the child stream is decorrelated from the parent's
+     raw output. *)
+  { state = mix64 s }
+
+let copy t = { state = t.state }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let rec go () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r n64 in
+    if Int64.sub r v > Int64.sub Int64.max_int (Int64.sub n64 1L) then go ()
+    else Int64.to_int v
+  in
+  go ()
+
+let unit_float t =
+  (* 53 random bits scaled into [0,1). *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r *. 0x1p-53
+
+let float t x =
+  if x <= 0.0 then invalid_arg "Rng.float: bound must be positive";
+  unit_float t *. x
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~mean =
+  let u = unit_float t in
+  (* 1 - u is in (0, 1], so log is finite. *)
+  -.mean *. log1p (-.u)

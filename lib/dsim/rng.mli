@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation for simulations.
+
+    The simulator must be fully deterministic for a given seed so that
+    experiments are reproducible and failures can be replayed.  We use
+    SplitMix64 (Steele et al., "Fast splittable pseudorandom number
+    generators", OOPSLA 2014): it is tiny, fast, passes BigCrush when used
+    as a 64-bit generator, and supports cheap splitting, which we use to
+    derive independent streams for clients, the NIC and each core. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Two generators created with
+    the same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is statistically
+    independent of [t]'s subsequent output. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy and the original then
+    produce identical streams. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in \[0, n).  Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in \[0, x).  Requires [x > 0]. *)
+
+val unit_float : t -> float
+(** Uniform in \[0, 1), with 53 bits of precision. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean (inverse-CDF
+    method).  Used for Poisson inter-arrival times. *)

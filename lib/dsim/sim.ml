@@ -1,0 +1,59 @@
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  mutable processed : int;
+  events : (unit -> unit) Heap.t;
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 42) () =
+  { clock = 0.0; seq = 0; processed = 0; events = Heap.create (); root_rng = Rng.create seed }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let fork_rng t = Rng.split t.root_rng
+
+let schedule_at t time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: time %.3f is before now %.3f" time t.clock);
+  Heap.add t.events ~time ~seq:t.seq f;
+  t.seq <- t.seq + 1
+
+let schedule_after t delay f =
+  if delay < 0.0 then invalid_arg "Sim.schedule_after: negative delay";
+  schedule_at t (t.clock +. delay) f
+
+let run t ~until =
+  let rec loop () =
+    match Heap.peek_min t.events with
+    | Some (time, _, _) when time <= until ->
+        (match Heap.pop_min t.events with
+        | Some (time, _, f) ->
+            t.clock <- time;
+            t.processed <- t.processed + 1;
+            f ();
+            loop ()
+        | None -> assert false)
+    | Some _ | None -> ()
+  in
+  loop ();
+  if t.clock < until then t.clock <- until
+
+let run_until_idle t =
+  let rec loop () =
+    match Heap.pop_min t.events with
+    | Some (time, _, f) ->
+        t.clock <- time;
+        t.processed <- t.processed + 1;
+        f ();
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+let pending_events t = Heap.length t.events
+
+let events_processed t = t.processed

@@ -1,0 +1,49 @@
+(** Discrete-event simulation engine.
+
+    A simulation is a clock (in microseconds) plus a priority queue of
+    pending events.  Events are thunks scheduled at absolute or relative
+    times; ties are broken by insertion order, so a run is fully
+    deterministic for a given seed.
+
+    The engine is deliberately minimal: entities (cores, NICs, clients) are
+    ordinary OCaml values whose methods schedule further events by capturing
+    the simulation in closures. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] makes a simulation whose clock starts at 0.0 µs and
+    whose root RNG is seeded with [seed] (default 42). *)
+
+val now : t -> float
+(** Current simulated time in microseconds. *)
+
+val rng : t -> Rng.t
+(** The simulation's root RNG.  Prefer {!fork_rng} for per-entity streams. *)
+
+val fork_rng : t -> Rng.t
+(** An independent RNG stream split off the root; give each stochastic
+    entity its own stream so that adding an entity does not perturb the
+    others' draws. *)
+
+val schedule_at : t -> float -> (unit -> unit) -> unit
+(** [schedule_at t time f] runs [f] when the clock reaches [time].
+    Scheduling in the past raises [Invalid_argument]. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> unit
+(** [schedule_after t delay f] runs [f] [delay] µs from now ([delay >= 0]). *)
+
+val run : t -> until:float -> unit
+(** Process events in time order until the clock would exceed [until] or no
+    events remain.  Events scheduled exactly at [until] are processed.  The
+    clock is left at [until] (or at the last event time if the queue drains
+    earlier). *)
+
+val run_until_idle : t -> unit
+(** Process events until none remain. *)
+
+val pending_events : t -> int
+(** Number of events currently queued. *)
+
+val events_processed : t -> int
+(** Total events executed since creation; useful for cost reporting. *)

@@ -1,0 +1,32 @@
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let avalanche z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 33)) 0xFF51AFD7ED558CCDL) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L) in
+  Int64.(logxor z (shift_right_logical z 33))
+
+let hash key =
+  let h = ref fnv_offset in
+  for i = 0 to String.length key - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (String.unsafe_get key i)));
+    h := Int64.mul !h fnv_prime
+  done;
+  avalanche !h
+
+let mask_of_bits bits =
+  if bits < 0 || bits > 30 then invalid_arg "Keyhash: bits out of [0, 30]";
+  (1 lsl bits) - 1
+
+let partition_of h ~bits =
+  let m = mask_of_bits bits in
+  Int64.to_int (Int64.shift_right_logical h (64 - bits)) land m
+
+let bucket_of h ~bits =
+  let m = mask_of_bits bits in
+  (* Skip the low 16 tag bits. *)
+  Int64.to_int (Int64.shift_right_logical h 16) land m
+
+let tag_of h =
+  let t = Int64.to_int h land 0xFFFF in
+  if t = 0 then 1 else t

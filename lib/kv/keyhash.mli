@@ -1,0 +1,21 @@
+(** 64-bit key hashing and hash-bit allocation.
+
+    Following MICA (and §4.2 of the paper), one keyhash drives three
+    decisions: the partition that owns the key (high bits), the bucket
+    within the partition (middle bits), and a 16-bit tag stored in the
+    bucket slot to filter false candidates before the full key compare. *)
+
+val hash : string -> int64
+(** FNV-1a 64 with a final avalanche mix; deterministic across runs. *)
+
+val partition_of : int64 -> bits:int -> int
+(** [partition_of h ~bits] uses the top [bits] bits: a value in
+    [0, 2^bits). *)
+
+val bucket_of : int64 -> bits:int -> int
+(** [bucket_of h ~bits] uses the middle bits (below the 16 partition bits):
+    a value in [0, 2^bits). *)
+
+val tag_of : int64 -> int
+(** The low 16 bits, with 0 mapped to 1 so that tag 0 can mean "empty
+    slot". *)

@@ -1,0 +1,27 @@
+type t = bool Atomic.t
+
+let create () = Atomic.make false
+
+let try_lock t = not (Atomic.exchange t true)
+
+let rec lock t =
+  if not (try_lock t) then begin
+    (* Test-and-test-and-set: spin on plain reads to avoid cache-line
+       ping-pong, then retry the exchange. *)
+    while Atomic.get t do
+      Domain.cpu_relax ()
+    done;
+    lock t
+  end
+
+let unlock t = Atomic.set t false
+
+let with_lock t f =
+  lock t;
+  match f () with
+  | v ->
+      unlock t;
+      v
+  | exception e ->
+      unlock t;
+      raise e

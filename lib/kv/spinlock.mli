@@ -1,0 +1,20 @@
+(** Test-and-test-and-set spinlock.
+
+    Guards PUTs on keys whose master core is a large core (§4.2): those
+    writes can be issued from any core, so CREW's lock-free write path does
+    not apply.  Contention is expected to be very low (large keys are rare
+    and sharded by size range), so a spinlock beats a mutex. *)
+
+type t
+
+val create : unit -> t
+
+val try_lock : t -> bool
+
+val lock : t -> unit
+(** Spins (with [Domain.cpu_relax]) until acquired. *)
+
+val unlock : t -> unit
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Runs the thunk under the lock; always releases, even on exception. *)

@@ -1,0 +1,211 @@
+type guard = [ `Crew | `Lock ]
+
+let slots_per_bucket = 7
+
+type slot = {
+  mutable tag : int; (* 0 = empty *)
+  mutable key : string;
+  mutable region : Slab.region option;
+}
+
+type bucket = { slots : slot array; mutable overflow : bucket option }
+
+type chain = { epoch : int Atomic.t; head : bucket }
+
+type partition = { chains : chain array; lock : Spinlock.t }
+
+type t = {
+  partition_bits : int;
+  bucket_bits : int;
+  partitions : partition array;
+  slab : Slab.t;
+  items : int Atomic.t;
+  overflow_count : int Atomic.t;
+}
+
+let fresh_bucket () =
+  {
+    slots = Array.init slots_per_bucket (fun _ -> { tag = 0; key = ""; region = None });
+    overflow = None;
+  }
+
+let create ?(partition_bits = 4) ?(bucket_bits = 10) ?(value_arena_bytes = 256 * 1024 * 1024)
+    () =
+  let n_part = 1 lsl partition_bits in
+  let n_buck = 1 lsl bucket_bits in
+  let mk_partition _ =
+    {
+      chains =
+        Array.init n_buck (fun _ -> { epoch = Atomic.make 0; head = fresh_bucket () });
+      lock = Spinlock.create ();
+    }
+  in
+  {
+    partition_bits;
+    bucket_bits;
+    partitions = Array.init n_part mk_partition;
+    slab = Slab.create ~capacity:value_arena_bytes;
+    items = Atomic.make 0;
+    overflow_count = Atomic.make 0;
+  }
+
+let partition_count t = Array.length t.partitions
+
+let locate t key =
+  let h = Keyhash.hash key in
+  let p = Keyhash.partition_of h ~bits:t.partition_bits in
+  let b = Keyhash.bucket_of h ~bits:t.bucket_bits in
+  let tag = Keyhash.tag_of h in
+  (t.partitions.(p), t.partitions.(p).chains.(b), tag)
+
+let partition_of_key t key =
+  Keyhash.partition_of (Keyhash.hash key) ~bits:t.partition_bits
+
+(* Walk the bucket chain, applying [f] to each slot whose tag matches and
+   whose key equals [key].  Returns [f]'s result for the first match. *)
+let rec find_slot bucket tag key =
+  let rec scan i =
+    if i >= slots_per_bucket then None
+    else begin
+      let s = bucket.slots.(i) in
+      if s.tag = tag && String.equal s.key key then Some s else scan (i + 1)
+    end
+  in
+  match scan 0 with
+  | Some _ as r -> r
+  | None -> ( match bucket.overflow with None -> None | Some b -> find_slot b tag key)
+
+(* Optimistic read: retry while a writer holds the chain epoch odd or the
+   epoch changed underneath us. *)
+let optimistic_read chain f =
+  let rec attempt () =
+    let e1 = Atomic.get chain.epoch in
+    if e1 land 1 = 1 then begin
+      Domain.cpu_relax ();
+      attempt ()
+    end
+    else begin
+      let result = f () in
+      let e2 = Atomic.get chain.epoch in
+      if e1 = e2 then result
+      else begin
+        Domain.cpu_relax ();
+        attempt ()
+      end
+    end
+  in
+  attempt ()
+
+let get t key =
+  let _, chain, tag = locate t key in
+  optimistic_read chain (fun () ->
+      match find_slot chain.head tag key with
+      | Some s -> ( match s.region with Some r -> Some (Slab.read t.slab r) | None -> None)
+      | None -> None)
+
+let size_of t key =
+  let _, chain, tag = locate t key in
+  optimistic_read chain (fun () ->
+      match find_slot chain.head tag key with
+      | Some s -> ( match s.region with Some r -> Some r.Slab.len | None -> None)
+      | None -> None)
+
+let mem t key = size_of t key <> None
+
+(* Find an empty slot in the chain, extending it with an overflow bucket if
+   necessary.  Must be called inside the write critical section. *)
+let rec empty_slot t bucket =
+  let rec scan i =
+    if i >= slots_per_bucket then None
+    else if bucket.slots.(i).tag = 0 then Some bucket.slots.(i)
+    else scan (i + 1)
+  in
+  match scan 0 with
+  | Some s -> s
+  | None -> (
+      match bucket.overflow with
+      | Some b -> empty_slot t b
+      | None ->
+          let b = fresh_bucket () in
+          bucket.overflow <- Some b;
+          Atomic.incr t.overflow_count;
+          b.slots.(0))
+
+let begin_write chain = Atomic.incr chain.epoch (* even -> odd *)
+
+let end_write chain = Atomic.incr chain.epoch (* odd -> even *)
+
+let with_guard partition guard f =
+  match guard with
+  | `Crew -> f ()
+  | `Lock -> Spinlock.with_lock partition.lock f
+
+let put t ~guard key value =
+  let partition, chain, tag = locate t key in
+  with_guard partition guard (fun () ->
+      match find_slot chain.head tag key with
+      | Some s ->
+          let old = s.region in
+          (* Allocate and fill the new region before publishing it, so
+             readers never observe a partially written value for the new
+             pointer; the epoch protocol covers the pointer swap itself. *)
+          let r = Slab.alloc t.slab (Bytes.length value) in
+          Slab.write t.slab r value;
+          begin_write chain;
+          s.region <- Some r;
+          end_write chain;
+          (match old with Some r0 -> Slab.free t.slab r0 | None -> ())
+      | None ->
+          let r = Slab.alloc t.slab (Bytes.length value) in
+          Slab.write t.slab r value;
+          begin_write chain;
+          let s = empty_slot t chain.head in
+          s.key <- key;
+          s.region <- Some r;
+          s.tag <- tag (* publish last: readers scan by tag *);
+          end_write chain;
+          Atomic.incr t.items)
+
+let delete t ~guard key =
+  let partition, chain, tag = locate t key in
+  with_guard partition guard (fun () ->
+      match find_slot chain.head tag key with
+      | Some s ->
+          let old = s.region in
+          begin_write chain;
+          s.tag <- 0;
+          s.key <- "";
+          s.region <- None;
+          end_write chain;
+          (match old with Some r -> Slab.free t.slab r | None -> ());
+          Atomic.decr t.items;
+          true
+      | None -> false)
+
+type stats = {
+  items : int;
+  value_bytes : int;
+  overflow_buckets : int;
+  partitions : int;
+}
+
+let stats (t : t) =
+  {
+    items = Atomic.get t.items;
+    value_bytes = Slab.used_bytes t.slab;
+    overflow_buckets = Atomic.get t.overflow_count;
+    partitions = partition_count t;
+  }
+
+let iter (t : t) f =
+  let rec iter_bucket b =
+    Array.iter
+      (fun s ->
+        if s.tag <> 0 then
+          match s.region with Some r -> f s.key r.Slab.len | None -> ())
+      b.slots;
+    match b.overflow with Some b -> iter_bucket b | None -> ()
+  in
+  Array.iter
+    (fun p -> Array.iter (fun c -> iter_bucket c.head) p.chains)
+    t.partitions

@@ -1,0 +1,66 @@
+(** MICA-style in-memory key-value store (§4.2 of the paper).
+
+    Keys are split into partitions by keyhash.  Each partition is a hash
+    table whose entries are cache-line-like buckets of {!slots_per_bucket}
+    slots; each slot holds a 16-bit tag plus the key and a slab region with
+    the value.  Overflow buckets are chained dynamically when a bucket
+    fills up.
+
+    Concurrency follows the paper's scheme:
+    - GETs are optimistic: each bucket chain has a 64-bit epoch, odd while
+      a write is in flight; readers snapshot the epoch, read, re-check, and
+      retry on a mismatch.
+    - PUTs/DELETEs either rely on CREW (the caller is the partition's
+      master core, so writes are already serialized — [`Crew]) or take the
+      partition spinlock ([`Lock], used for keys mastered by large cores,
+      which any core may write). *)
+
+type t
+
+type guard = [ `Crew  (** caller is the partition master; no lock *)
+             | `Lock  (** take the partition spinlock *) ]
+
+val slots_per_bucket : int
+(** 7, as in a 64-byte cache-line bucket with a header word. *)
+
+val create :
+  ?partition_bits:int -> ?bucket_bits:int -> ?value_arena_bytes:int -> unit -> t
+(** [create ~partition_bits ~bucket_bits ~value_arena_bytes ()] makes a
+    store with [2^partition_bits] partitions (default 4 → 16 partitions) of
+    [2^bucket_bits] buckets each (default 10 → 1024), and a slab arena for
+    values (default 256 MiB). *)
+
+val partition_count : t -> int
+
+val partition_of_key : t -> string -> int
+(** The partition a key hashes to; the server layer uses this to implement
+    CREW master assignment. *)
+
+val get : t -> string -> bytes option
+(** Optimistic read; returns a copy of the value. *)
+
+val size_of : t -> string -> int option
+(** Size of the stored value without copying it.  This is the lookup a
+    Minos small core performs to classify a GET as small or large (§3). *)
+
+val put : t -> guard:guard -> string -> bytes -> unit
+(** Insert or update.  Raises {!Slab.Out_of_memory} if the value arena is
+    exhausted. *)
+
+val delete : t -> guard:guard -> string -> bool
+(** Remove a key; [true] if it was present. *)
+
+val mem : t -> string -> bool
+
+type stats = {
+  items : int;
+  value_bytes : int;      (** bytes handed out by the slab (rounded to class) *)
+  overflow_buckets : int; (** dynamically chained buckets *)
+  partitions : int;
+}
+
+val stats : t -> stats
+
+val iter : t -> (string -> int -> unit) -> unit
+(** [iter t f] calls [f key value_size] for every item.  Not linearizable
+    with respect to concurrent writes; intended for tests and tooling. *)

@@ -1,0 +1,23 @@
+type 'a t = { q : 'a Queue.t; mutable total : int; mutable high_water : int }
+
+let create () = { q = Queue.create (); total = 0; high_water = 0 }
+
+let push t v =
+  Queue.add v t.q;
+  t.total <- t.total + 1;
+  let n = Queue.length t.q in
+  if n > t.high_water then t.high_water <- n
+
+let pop t = Queue.take_opt t.q
+
+let peek t = Queue.peek_opt t.q
+
+let length t = Queue.length t.q
+
+let is_empty t = Queue.is_empty t.q
+
+let total_enqueued t = t.total
+
+let max_occupancy t = t.high_water
+
+let clear t = Queue.clear t.q

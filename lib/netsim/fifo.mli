@@ -1,0 +1,26 @@
+(** Unbounded FIFO with occupancy statistics.
+
+    The simulator's model of an RX queue or software queue: ordering and
+    occupancy are what matter for queueing behaviour; the real lock-free
+    counterpart is {!Ring}.  Tracks total enqueues and the high-water mark
+    so experiments can report queue depths. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+
+val peek : 'a t -> 'a option
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val total_enqueued : 'a t -> int
+
+val max_occupancy : 'a t -> int
+
+val clear : 'a t -> unit

@@ -1,0 +1,58 @@
+type flow = { dst_port : int; src_port : int option }
+
+type t = {
+  capacity : int;
+  queues : int;
+  rules : (flow, int) Hashtbl.t;
+}
+
+let create ?(capacity = 8192) ~queues () =
+  if queues < 1 then invalid_arg "Flow_director.create: need at least one queue";
+  if capacity < 1 then invalid_arg "Flow_director.create: capacity must be >= 1";
+  { capacity; queues; rules = Hashtbl.create 64 }
+
+let validate_flow flow =
+  if flow.dst_port < 0 || flow.dst_port > 0xFFFF then
+    invalid_arg "Flow_director: dst_port out of range";
+  match flow.src_port with
+  | Some p when p < 0 || p > 0xFFFF -> invalid_arg "Flow_director: src_port out of range"
+  | Some _ | None -> ()
+
+let add_rule t flow ~queue =
+  validate_flow flow;
+  if queue < 0 || queue >= t.queues then Error `Bad_queue
+  else if Hashtbl.length t.rules >= t.capacity && not (Hashtbl.mem t.rules flow) then
+    Error `Table_full
+  else begin
+    Hashtbl.replace t.rules flow queue;
+    Ok ()
+  end
+
+let remove_rule t flow =
+  validate_flow flow;
+  let existed = Hashtbl.mem t.rules flow in
+  Hashtbl.remove t.rules flow;
+  existed
+
+let rule_count t = Hashtbl.length t.rules
+
+let dispatch t ~src_ip ~dst_ip ~src_port ~dst_port =
+  (* Most specific first: (dst, src) pair, then dst-only, then RSS. *)
+  match Hashtbl.find_opt t.rules { dst_port; src_port = Some src_port } with
+  | Some q -> q
+  | None -> (
+      match Hashtbl.find_opt t.rules { dst_port; src_port = None } with
+      | Some q -> q
+      | None ->
+          Toeplitz.queue_of_hash
+            (Toeplitz.hash_ipv4 ~src_ip ~dst_ip ~src_port ~dst_port ())
+            ~queues:t.queues)
+
+let program_identity t ~base_port =
+  for q = 0 to t.queues - 1 do
+    match add_rule t { dst_port = base_port + q; src_port = None } ~queue:q with
+    | Ok () -> ()
+    | Error `Bad_queue -> assert false
+    | Error `Table_full ->
+        invalid_arg "Flow_director.program_identity: table too small"
+  done

@@ -1,0 +1,36 @@
+(** Flow-Director-style exact-match RX dispatch.
+
+    §4.1/§5.1: RSS forces the paper's clients to probe source ports until
+    the Toeplitz hash lands on the intended queue; NICs with Flow Director
+    support can instead be programmed with exact-match rules — e.g. "UDP
+    destination port P → queue Q" — so the client simply names the queue
+    in the destination port.
+
+    This models the relevant slice of Intel's Flow Director: a bounded
+    table of exact-match rules consulted before RSS, with RSS as the
+    fallback for unmatched packets. *)
+
+type t
+
+type flow = { dst_port : int; src_port : int option }
+(** A match on the UDP destination port, optionally narrowed by source
+    port.  More specific rules win. *)
+
+val create : ?capacity:int -> queues:int -> unit -> t
+(** [capacity] bounds the rule table (hardware tables are small; default
+    8192 perfect-match filters). *)
+
+val add_rule : t -> flow -> queue:int -> (unit, [ `Table_full | `Bad_queue ]) result
+
+val remove_rule : t -> flow -> bool
+
+val rule_count : t -> int
+
+val dispatch :
+  t -> src_ip:int32 -> dst_ip:int32 -> src_port:int -> dst_port:int -> int
+(** The RX queue for a packet: the most specific matching rule, or the
+    RSS (Toeplitz) fallback. *)
+
+val program_identity : t -> base_port:int -> unit
+(** The configuration Minos would install (§4.1): destination port
+    [base_port + q] → queue [q], for every queue. *)

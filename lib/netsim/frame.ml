@@ -1,0 +1,23 @@
+let mtu = 1500
+let eth_header = 18
+let eth_overhead_on_wire = 20
+let ip_header = 20
+let udp_header = 8
+let max_udp_payload = mtu - ip_header - udp_header
+
+let frames_for_payload bytes =
+  if bytes < 0 then invalid_arg "Frame.frames_for_payload: negative size";
+  if bytes = 0 then 1 else (bytes + max_udp_payload - 1) / max_udp_payload
+
+let wire_bytes_for_frame_payload payload =
+  if payload < 0 || payload > max_udp_payload then
+    invalid_arg "Frame.wire_bytes_for_frame_payload: payload out of range";
+  payload + udp_header + ip_header + eth_header + eth_overhead_on_wire
+
+let wire_bytes_for_payload bytes =
+  let n = frames_for_payload bytes in
+  let full = bytes / max_udp_payload in
+  let rest = bytes - (full * max_udp_payload) in
+  let full_bytes = full * wire_bytes_for_frame_payload max_udp_payload in
+  if rest = 0 && full = n then full_bytes
+  else full_bytes + wire_bytes_for_frame_payload rest

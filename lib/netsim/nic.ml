@@ -1,0 +1,31 @@
+type queue_stats = { frames : int; wire_bytes : int }
+
+type 'a t = {
+  rx_queues : 'a Fifo.t array;
+  stats : queue_stats array;
+  tx : Txlink.t;
+}
+
+let create ~queues ~tx_gbps =
+  if queues <= 0 then invalid_arg "Nic.create: need at least one queue";
+  {
+    rx_queues = Array.init queues (fun _ -> Fifo.create ());
+    stats = Array.make queues { frames = 0; wire_bytes = 0 };
+    tx = Txlink.create ~gbps:tx_gbps;
+  }
+
+let queues t = Array.length t.rx_queues
+
+let rx t i = t.rx_queues.(i)
+
+let tx t = t.tx
+
+let deliver t ~queue ~wire_bytes ~frames v =
+  let s = t.stats.(queue) in
+  t.stats.(queue) <- { frames = s.frames + frames; wire_bytes = s.wire_bytes + wire_bytes };
+  Fifo.push t.rx_queues.(queue) v
+
+let rx_stats t i = t.stats.(i)
+
+let total_rx_wire_bytes t =
+  Array.fold_left (fun acc s -> acc + s.wire_bytes) 0 t.stats

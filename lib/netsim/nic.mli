@@ -1,0 +1,31 @@
+(** Multi-queue NIC model.
+
+    One receive queue per core (the paper configures n RX and n TX queues),
+    hardware dispatch chooses the RX queue per request — at random for GETs,
+    by keyhash for PUTs, both realized by clients picking a UDP source port
+    whose Toeplitz hash lands on the intended queue — and a single shared
+    transmit line ({!Txlink}) serializes replies.
+
+    The element type is abstract: the server library enqueues its own
+    request records. *)
+
+type 'a t
+
+val create : queues:int -> tx_gbps:float -> 'a t
+
+val queues : 'a t -> int
+
+val rx : 'a t -> int -> 'a Fifo.t
+(** The RX queue with the given id. *)
+
+val tx : 'a t -> Txlink.t
+
+val deliver : 'a t -> queue:int -> wire_bytes:int -> frames:int -> 'a -> unit
+(** A request (possibly spanning several frames) arrives on [queue];
+    updates per-queue frame/byte counters and enqueues the element. *)
+
+type queue_stats = { frames : int; wire_bytes : int }
+
+val rx_stats : 'a t -> int -> queue_stats
+
+val total_rx_wire_bytes : 'a t -> int

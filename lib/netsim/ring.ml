@@ -1,0 +1,63 @@
+type 'a cell = { seq : int Atomic.t; mutable value : 'a option }
+
+type 'a t = {
+  buffer : 'a cell array;
+  mask : int;
+  head : int Atomic.t; (* next position to pop *)
+  tail : int Atomic.t; (* next position to push *)
+}
+
+let create ~capacity =
+  if capacity < 2 || capacity land (capacity - 1) <> 0 then
+    invalid_arg "Ring.create: capacity must be a power of two >= 2";
+  {
+    buffer = Array.init capacity (fun i -> { seq = Atomic.make i; value = None });
+    mask = capacity - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+let try_push t v =
+  let rec attempt () =
+    let pos = Atomic.get t.tail in
+    let cell = t.buffer.(pos land t.mask) in
+    let seq = Atomic.get cell.seq in
+    let diff = seq - pos in
+    if diff = 0 then
+      if Atomic.compare_and_set t.tail pos (pos + 1) then begin
+        cell.value <- Some v;
+        Atomic.set cell.seq (pos + 1);
+        true
+      end
+      else attempt ()
+    else if diff < 0 then false (* full *)
+    else attempt () (* another producer grabbed this slot; retry *)
+  in
+  attempt ()
+
+let try_pop t =
+  let rec attempt () =
+    let pos = Atomic.get t.head in
+    let cell = t.buffer.(pos land t.mask) in
+    let seq = Atomic.get cell.seq in
+    let diff = seq - (pos + 1) in
+    if diff = 0 then
+      if Atomic.compare_and_set t.head pos (pos + 1) then begin
+        let v = cell.value in
+        cell.value <- None;
+        Atomic.set cell.seq (pos + t.mask + 1);
+        v
+      end
+      else attempt ()
+    else if diff < 0 then None (* empty *)
+    else attempt ()
+  in
+  attempt ()
+
+let length t =
+  let tail = Atomic.get t.tail and head = Atomic.get t.head in
+  max 0 (tail - head)
+
+let is_empty t = length t = 0

@@ -1,0 +1,27 @@
+(** Bounded lock-free multi-producer/multi-consumer ring.
+
+    Stands in for the DPDK rte_ring that Minos uses to dispatch large
+    requests from small cores to large cores (§4.1).  The implementation is
+    Vyukov's bounded MPMC queue: each slot carries a sequence number that
+    encodes whether it is ready for a producer or a consumer, so both ends
+    make progress with one CAS each and no locks.
+
+    Safe for use from multiple OCaml domains. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] must be a power of two, >= 2. *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the ring is full. *)
+
+val try_pop : 'a t -> 'a option
+(** [None] when the ring is empty. *)
+
+val length : 'a t -> int
+(** Approximate occupancy (exact when quiescent). *)
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,68 @@
+type key = string
+
+let default_key =
+  let bytes =
+    [
+      0x6d; 0x5a; 0x56; 0xda; 0x25; 0x5b; 0x0e; 0xc2; 0x41; 0x67;
+      0x25; 0x3d; 0x43; 0xa3; 0x8f; 0xb0; 0xd0; 0xca; 0x2b; 0xcb;
+      0xae; 0x7b; 0x30; 0xb4; 0x77; 0xcb; 0x2d; 0xa3; 0x80; 0x30;
+      0xf2; 0x0c; 0x6a; 0x42; 0xb7; 0x3b; 0xbe; 0xac; 0x01; 0xfa;
+    ]
+  in
+  String.init (List.length bytes) (fun i -> Char.chr (List.nth bytes i))
+
+(* The Toeplitz hash: for each set bit of the input (MSB first), XOR in the
+   32-bit window of the key starting at that bit position. *)
+let hash_bytes ?(key = default_key) input =
+  if String.length key < String.length input + 4 then
+    invalid_arg "Toeplitz.hash_bytes: key too short for input";
+  let result = ref 0l in
+  (* Sliding 32-bit window of the key, advanced one bit per input bit. *)
+  let window =
+    ref
+      (Int32.logor
+         (Int32.shift_left (Int32.of_int (Char.code key.[0])) 24)
+         (Int32.logor
+            (Int32.shift_left (Int32.of_int (Char.code key.[1])) 16)
+            (Int32.logor
+               (Int32.shift_left (Int32.of_int (Char.code key.[2])) 8)
+               (Int32.of_int (Char.code key.[3])))))
+  in
+  for i = 0 to String.length input - 1 do
+    let b = Char.code input.[i] in
+    let next_key_byte =
+      if i + 4 < String.length key then Char.code key.[i + 4] else 0
+    in
+    for bit = 7 downto 0 do
+      if b land (1 lsl bit) <> 0 then result := Int32.logxor !result !window;
+      (* Shift the window left by one bit, pulling in the next key bit. *)
+      let incoming = (next_key_byte lsr bit) land 1 in
+      window := Int32.logor (Int32.shift_left !window 1) (Int32.of_int incoming)
+    done
+  done;
+  !result
+
+let be32 v =
+  String.init 4 (fun i ->
+      Char.chr (Int32.to_int (Int32.shift_right_logical v (8 * (3 - i))) land 0xFF))
+
+let be16 v = String.init 2 (fun i -> Char.chr ((v lsr (8 * (1 - i))) land 0xFF))
+
+let hash_ipv4 ?key ~src_ip ~dst_ip ~src_port ~dst_port () =
+  hash_bytes ?key (be32 src_ip ^ be32 dst_ip ^ be16 src_port ^ be16 dst_port)
+
+let queue_of_hash h ~queues =
+  if queues <= 0 then invalid_arg "Toeplitz.queue_of_hash: queues must be > 0";
+  Int32.to_int (Int32.logand h 0x7FFFFFFFl) mod queues
+
+let find_src_port ?key ~src_ip ~dst_ip ~dst_port ~queues ~target_queue () =
+  if target_queue < 0 || target_queue >= queues then
+    invalid_arg "Toeplitz.find_src_port: target queue out of range";
+  let rec go port =
+    if port > 0xFFFF then raise Not_found
+    else begin
+      let h = hash_ipv4 ?key ~src_ip ~dst_ip ~src_port:port ~dst_port () in
+      if queue_of_hash h ~queues = target_queue then port else go (port + 1)
+    end
+  in
+  go 1024

@@ -1,0 +1,37 @@
+(** Toeplitz hash used by Receive-Side Scaling (RSS).
+
+    Commodity NICs compute this hash over the IPv4 4-tuple (source address,
+    destination address, source port, destination port) and use low-order
+    bits of the result to pick the RX queue for an incoming frame.  The
+    paper's clients probe source ports until the hash lands on the intended
+    queue; our simulated clients do the same computation directly.
+
+    The implementation is verified against the canonical Microsoft RSS test
+    vectors. *)
+
+type key = string
+(** The 40-byte RSS secret key. *)
+
+val default_key : key
+(** The well-known Microsoft verification key
+    [6d 5a 56 da 25 5b 0e c2 ...]. *)
+
+val hash_bytes : ?key:key -> string -> int32
+(** Toeplitz hash of an arbitrary input string. *)
+
+val hash_ipv4 :
+  ?key:key -> src_ip:int32 -> dst_ip:int32 -> src_port:int -> dst_port:int -> unit -> int32
+(** Hash of the IPv4+ports input: src ip, dst ip, src port, dst port, each
+    big-endian, concatenated — the NDIS "IPv4 with ports" hash type. *)
+
+val queue_of_hash : int32 -> queues:int -> int
+(** RSS indirection: hash modulo the number of queues (the common
+    power-of-two table configuration). *)
+
+val find_src_port :
+  ?key:key ->
+  src_ip:int32 ->
+  dst_ip:int32 -> dst_port:int -> queues:int -> target_queue:int -> unit -> int
+(** The port-probing procedure of §5.1: the smallest source port >= 1024
+    that makes the flow land on [target_queue].  Raises [Not_found] if no
+    16-bit port works (practically impossible for queues <= 64k). *)

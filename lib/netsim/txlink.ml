@@ -1,0 +1,35 @@
+type t = {
+  gbps : float;
+  us_per_byte : float;
+  mutable busy_until : float;
+  mutable busy_accum : float; (* µs spent transmitting since last reset *)
+  mutable total_bytes : int;
+}
+
+let create ~gbps =
+  if not (gbps > 0.0) then invalid_arg "Txlink.create: rate must be > 0";
+  (* bytes -> µs: 8 bits / (gbps * 1e9 bits/s) = 8e-3 / gbps µs per byte. *)
+  { gbps; us_per_byte = 8.0e-3 /. gbps; busy_until = 0.0; busy_accum = 0.0; total_bytes = 0 }
+
+let gbps t = t.gbps
+
+let transmit t ~now ~bytes =
+  if bytes < 0 then invalid_arg "Txlink.transmit: negative size";
+  let start = Float.max now t.busy_until in
+  let duration = float_of_int bytes *. t.us_per_byte in
+  t.busy_until <- start +. duration;
+  t.busy_accum <- t.busy_accum +. duration;
+  t.total_bytes <- t.total_bytes + bytes;
+  t.busy_until
+
+let busy_until t = t.busy_until
+
+let total_bytes t = t.total_bytes
+
+let utilization t ~elapsed =
+  if not (elapsed > 0.0) then invalid_arg "Txlink.utilization: elapsed must be > 0";
+  Float.min 1.0 (t.busy_accum /. elapsed)
+
+let reset_counters t =
+  t.busy_accum <- 0.0;
+  t.total_bytes <- 0

@@ -1,0 +1,35 @@
+(** Transmit-side line model of the NIC.
+
+    The server's 40 Gbit NIC serializes outgoing frames at line rate; when
+    the offered reply traffic approaches the line rate, replies queue at
+    the NIC and end-to-end latency includes that queueing.  This is the
+    effect that makes the default workload network-bound (the paper reports
+    93 % NIC utilization at Minos' peak, §6.4) and that Figure 8 removes by
+    sampling replies.
+
+    The model is a single FIFO resource: a transmission occupies the line
+    for [bytes * 8 / rate] microseconds starting no earlier than the end of
+    the previous transmission. *)
+
+type t
+
+val create : gbps:float -> t
+(** [create ~gbps:40.0] models a 40 Gbit/s link. *)
+
+val gbps : t -> float
+
+val transmit : t -> now:float -> bytes:int -> float
+(** [transmit t ~now ~bytes] enqueues [bytes] on the wire and returns the
+    completion time.  Also accumulates busy time for {!utilization}. *)
+
+val busy_until : t -> float
+(** Time at which the line becomes idle given current commitments. *)
+
+val total_bytes : t -> int
+
+val utilization : t -> elapsed:float -> float
+(** Fraction of [elapsed] µs the line spent transmitting, in [0, 1]. *)
+
+val reset_counters : t -> unit
+(** Zero the byte/busy counters (e.g. after warm-up) without forgetting
+    the current line occupancy. *)

@@ -1,0 +1,118 @@
+type message = {
+  mutable full_frames_left : int;
+  full_frame_bytes : int;
+  last_frame_bytes : int; (* transmitted after all full frames *)
+  mutable last_done : bool;
+  on_complete : float -> unit;
+}
+
+type t = {
+  us_per_byte : float;
+  queues : message Queue.t array;
+  mutable rr : int; (* next queue to consider *)
+  mutable wire_busy : bool;
+  mutable busy_accum : float;
+  mutable total_bytes : int;
+  schedule : float -> (unit -> unit) -> unit;
+  now : unit -> float;
+}
+
+let create ~gbps ~queues ~schedule ~now =
+  if not (gbps > 0.0) then invalid_arg "Txsched.create: rate must be > 0";
+  if queues < 1 then invalid_arg "Txsched.create: need at least one queue";
+  {
+    us_per_byte = 8.0e-3 /. gbps;
+    queues = Array.init queues (fun _ -> Queue.create ());
+    rr = 0;
+    wire_busy = false;
+    busy_accum = 0.0;
+    total_bytes = 0;
+    schedule;
+    now;
+  }
+
+let message_done m = m.full_frames_left = 0 && m.last_done
+
+(* Pick the next frame to put on the wire, round-robin over non-empty
+   queues.  Returns the frame size and whether it completes its message. *)
+let next_frame t =
+  let n = Array.length t.queues in
+  let rec scan i =
+    if i >= n then None
+    else begin
+      let qi = (t.rr + i) mod n in
+      let q = t.queues.(qi) in
+      match Queue.peek_opt q with
+      | None -> scan (i + 1)
+      | Some m ->
+          t.rr <- (qi + 1) mod n;
+          let bytes =
+            if m.full_frames_left > 0 then begin
+              m.full_frames_left <- m.full_frames_left - 1;
+              m.full_frame_bytes
+            end
+            else begin
+              m.last_done <- true;
+              m.last_frame_bytes
+            end
+          in
+          if message_done m then ignore (Queue.pop q);
+          Some (bytes, m)
+    end
+  in
+  scan 0
+
+let rec pump t =
+  match next_frame t with
+  | None -> t.wire_busy <- false
+  | Some (bytes, m) ->
+      t.wire_busy <- true;
+      let dt = float_of_int bytes *. t.us_per_byte in
+      t.busy_accum <- t.busy_accum +. dt;
+      t.total_bytes <- t.total_bytes + bytes;
+      t.schedule dt (fun () ->
+          if message_done m then m.on_complete (t.now ());
+          pump t)
+
+let send t ~queue ~payload_bytes ~on_complete =
+  if payload_bytes < 0 then invalid_arg "Txsched.send: negative payload";
+  let max_p = Frame.max_udp_payload in
+  let full = payload_bytes / max_p in
+  let rest = payload_bytes - (full * max_p) in
+  (* A payload that is an exact multiple of the fragment size has no
+     partial trailer; its "last frame" is one of the full ones. *)
+  let m =
+    if rest = 0 && full > 0 then
+      {
+        full_frames_left = full - 1;
+        full_frame_bytes = Frame.wire_bytes_for_frame_payload max_p;
+        last_frame_bytes = Frame.wire_bytes_for_frame_payload max_p;
+        last_done = false;
+        on_complete;
+      }
+    else
+      {
+        full_frames_left = full;
+        full_frame_bytes = Frame.wire_bytes_for_frame_payload max_p;
+        last_frame_bytes = Frame.wire_bytes_for_frame_payload rest;
+        last_done = false;
+        on_complete;
+      }
+  in
+  Queue.add m t.queues.(queue);
+  if not t.wire_busy then pump t
+
+let busy t = t.wire_busy
+
+let total_bytes t = t.total_bytes
+
+let utilization t ~elapsed =
+  if not (elapsed > 0.0) then invalid_arg "Txsched.utilization: elapsed must be > 0";
+  Float.min 1.0 (t.busy_accum /. elapsed)
+
+let reset_counters t =
+  t.busy_accum <- 0.0;
+  t.total_bytes <- 0
+
+let pending_messages t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues

@@ -1,0 +1,38 @@
+(** UDP-level fragmentation and reassembly.
+
+    "Requests that span multiple frames (large PUT requests and large GET
+    replies) are fragmented and defragmented at the UDP level" (§4.1).
+    Each fragment carries a small header naming the message, its index and
+    the fragment count, so the receiver can reassemble messages that
+    interleave on the same queue and discard incomplete ones. *)
+
+val header_size : int
+(** Bytes of fragment header per frame: magic(1) msg_id(8) index(2)
+    count(2) payload_len(2) = 15. *)
+
+val max_fragment_payload : int
+(** Message bytes that fit in one fragment:
+    [Netsim.Frame.max_udp_payload - header_size]. *)
+
+val fragments_for : int -> int
+(** Number of fragments needed for an encoded message of this size. *)
+
+val split : msg_id:int64 -> bytes -> bytes list
+(** Split an encoded message into ready-to-send datagrams (each at most
+    {!Netsim.Frame.max_udp_payload} bytes, including the fragment
+    header). *)
+
+type reassembler
+
+val create_reassembler : unit -> reassembler
+
+val offer : reassembler -> bytes -> (int64 * bytes) option
+(** Feed one received datagram.  Returns [Some (msg_id, message)] when this
+    datagram completes a message.  Malformed or duplicate fragments are
+    ignored ([None]).  Fragments of different messages may interleave. *)
+
+val pending : reassembler -> int
+(** Number of partially reassembled messages currently buffered. *)
+
+val drop_incomplete : reassembler -> unit
+(** Discard all partial messages (e.g. on epoch change or timeout). *)

@@ -1,0 +1,27 @@
+type config = { max_attempts : int; timeout_us : float; backoff : float }
+
+let default_config = { max_attempts = 5; timeout_us = 1000.0; backoff = 2.0 }
+
+let validate c =
+  if c.max_attempts < 1 then invalid_arg "Retry: max_attempts must be >= 1";
+  if not (c.timeout_us > 0.0) then invalid_arg "Retry: timeout must be > 0";
+  if c.backoff < 1.0 then invalid_arg "Retry: backoff must be >= 1.0"
+
+let call ?(config = default_config) ~send ~wait_reply () =
+  validate config;
+  let rec attempt n timeout =
+    send ~attempt:n;
+    match wait_reply ~timeout_us:timeout with
+    | Some reply -> Ok reply
+    | None ->
+        if n >= config.max_attempts then Error (`Timed_out n)
+        else attempt (n + 1) (timeout *. config.backoff)
+  in
+  attempt 1 config.timeout_us
+
+let total_budget_us c =
+  validate c;
+  let rec go n timeout acc =
+    if n > c.max_attempts then acc else go (n + 1) (timeout *. c.backoff) (acc +. timeout)
+  in
+  go 1 c.timeout_us 0.0

@@ -1,0 +1,31 @@
+(** Client-side retransmission with exponential backoff (§4.1:
+    "Retransmission is handled by the client").
+
+    The driver is transport-agnostic: the caller supplies [send] (emit the
+    request, possibly again) and [wait_reply] (block up to a deadline for
+    a matching reply).  Paired with a server-side {!Dedup} cache this
+    yields exactly-once-observable semantics over a lossy datagram
+    transport. *)
+
+type config = {
+  max_attempts : int;   (** total transmissions, >= 1 *)
+  timeout_us : float;   (** wait after the first transmission *)
+  backoff : float;      (** timeout multiplier per retry, >= 1.0 *)
+}
+
+val default_config : config
+(** 5 attempts, 1000 µs initial timeout, 2x backoff. *)
+
+val call :
+  ?config:config ->
+  send:(attempt:int -> unit) ->
+  wait_reply:(timeout_us:float -> 'reply option) ->
+  unit ->
+  ('reply, [ `Timed_out of int ]) result
+(** [call ~send ~wait_reply ()] transmits, waits, and retransmits until a
+    reply arrives or the attempt budget is exhausted.  [`Timed_out n]
+    reports the number of transmissions made. *)
+
+val total_budget_us : config -> float
+(** Worst-case time the call can take: the sum of all attempt timeouts.
+    A server {!Dedup} cache must retain replies at least this long. *)

@@ -1,0 +1,60 @@
+(** Minos wire protocol: binary request/reply codecs.
+
+    Clients and the server exchange UDP datagrams (§4.1).  A request names
+    the operation, carries the client's send timestamp (echoed in the reply
+    and used for end-to-end latency measurement, §5.4), the RX queue the
+    client aimed the packet at, and a request id for client-side
+    retransmission of idempotent operations.
+
+    The encoding is little-endian with fixed-width fields — no varints, so
+    sizes are predictable for the framing arithmetic. *)
+
+type op = Get | Put | Delete
+
+type request = {
+  id : int64;          (** client-chosen id, echoed in the reply *)
+  op : op;
+  key : string;
+  value : bytes option;(** present for [Put] *)
+  client_ts : int64;   (** client send timestamp (ns or µs; opaque) *)
+  target_rx : int;     (** RX queue id the client aimed at, 0..65535 *)
+}
+
+type status = Ok | Not_found
+
+type reply = {
+  id : int64;
+  status : status;
+  value : bytes option;(** present for a successful [Get] *)
+  client_ts : int64;   (** echoed request timestamp *)
+}
+
+type error = Truncated | Bad_magic | Bad_op | Bad_status
+
+val pp_error : Format.formatter -> error -> unit
+
+val request_size : request -> int
+(** Exact encoded size in bytes, without encoding. *)
+
+val reply_size : reply -> int
+
+val encode_request : request -> bytes
+
+val decode_request : bytes -> (request, error) result
+
+val encode_reply : reply -> bytes
+
+val decode_reply : bytes -> (reply, error) result
+
+val get_reply_size : value_len:int -> int
+(** Encoded size of a successful GET reply carrying a value of this length;
+    used by the simulator without materializing values. *)
+
+val put_request_size : key_len:int -> value_len:int -> int
+(** Encoded size of a PUT request; used by the simulator. *)
+
+val get_request_size : key_len:int -> int
+
+val put_reply_size : int
+(** PUT replies carry no value payload — the reason 50:50 workloads push
+    more ops through the same NIC (§6.2). *)

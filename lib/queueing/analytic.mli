@@ -1,0 +1,31 @@
+(** Closed-form queueing results used to validate the simulators.
+
+    The discrete-event models in {!Models} are checked in the test suite
+    against these formulas on the cases where exact answers exist. *)
+
+val mm1_mean_response : lambda:float -> mu:float -> float
+(** Mean response time of an M/M/1 queue, [1 / (mu - lambda)].  Requires
+    [lambda < mu]. *)
+
+val mm1_response_quantile : lambda:float -> mu:float -> q:float -> float
+(** Exact quantile of the (exponential) M/M/1 response-time distribution:
+    [-ln(1 - q) / (mu - lambda)]. *)
+
+val mg1_mean_wait : lambda:float -> es:float -> es2:float -> float
+(** Pollaczek–Khinchine mean waiting time: [lambda * E(S^2) / (2 (1 - rho))]
+    with [rho = lambda * E(S)].  [es] is E(S), [es2] is E(S^2). *)
+
+val mg1_mean_response : lambda:float -> es:float -> es2:float -> float
+
+val mmn_erlang_c : n:int -> offered:float -> float
+(** Erlang C: probability an arrival waits in an M/M/n queue with offered
+    load [offered = lambda / mu] (in Erlangs).  Requires [offered < n]. *)
+
+val mmn_mean_wait : n:int -> lambda:float -> mu:float -> float
+(** Mean waiting time of M/M/n via Erlang C. *)
+
+val bimodal_moments :
+  p_large:float -> small:float -> large:float -> float * float
+(** [(E(S), E(S^2))] of the two-point service distribution used in §2.2:
+    service [small] with probability [1 - p_large], [large] with
+    probability [p_large]. *)

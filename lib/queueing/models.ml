@@ -1,0 +1,181 @@
+type discipline = Per_core_queues | Single_queue | Work_stealing
+
+let discipline_name = function
+  | Per_core_queues -> "nxM/G/1"
+  | Single_queue -> "M/G/n"
+  | Work_stealing -> "nxM/G/1+WS"
+
+type config = {
+  cores : int;
+  load : float;
+  p_large : float;
+  k : float;
+  requests : int;
+  warmup_fraction : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    cores = 8;
+    load = 0.5;
+    p_large = 0.00125;
+    k = 100.0;
+    requests = 200_000;
+    warmup_fraction = 0.1;
+    seed = 1;
+  }
+
+type result = {
+  mean : float;
+  p50 : float;
+  p99 : float;
+  throughput : float;
+  completed : int;
+}
+
+type job = { arrival : float; service : float; index : int }
+
+type core = { mutable busy : bool; queue : job Netsim.Fifo.t }
+
+type state = {
+  sim : Dsim.Sim.t;
+  cfg : config;
+  cores : core array;
+  shared : job Netsim.Fifo.t; (* Single_queue only *)
+  latencies : Stats.Float_vec.t;
+  mutable completed_measured : int;
+  mutable first_measured_completion : float;
+  mutable last_measured_completion : float;
+  rng : Dsim.Rng.t;
+}
+
+let record st job =
+  let warmup = int_of_float (st.cfg.warmup_fraction *. float_of_int st.cfg.requests) in
+  if job.index >= warmup then begin
+    let now = Dsim.Sim.now st.sim in
+    Stats.Float_vec.push st.latencies (now -. job.arrival);
+    if st.completed_measured = 0 then st.first_measured_completion <- now;
+    st.last_measured_completion <- now;
+    st.completed_measured <- st.completed_measured + 1
+  end
+
+(* Work selection per discipline, called when [core] goes looking for its
+   next job.  Returns the job to run, if any. *)
+let next_job st discipline core_id =
+  let core = st.cores.(core_id) in
+  match discipline with
+  | Single_queue -> Netsim.Fifo.pop st.shared
+  | Per_core_queues -> Netsim.Fifo.pop core.queue
+  | Work_stealing -> (
+      match Netsim.Fifo.pop core.queue with
+      | Some _ as j -> j
+      | None ->
+          (* Steal one queued request from another core, scanning from a
+             rotating start so no victim is systematically favoured. *)
+          let n = Array.length st.cores in
+          let start = Dsim.Rng.int st.rng n in
+          let rec scan i =
+            if i >= n then None
+            else begin
+              let victim = st.cores.((start + i) mod n) in
+              match Netsim.Fifo.pop victim.queue with
+              | Some _ as j -> j
+              | None -> scan (i + 1)
+            end
+          in
+          scan 0)
+
+let rec run_core st discipline core_id =
+  let core = st.cores.(core_id) in
+  match next_job st discipline core_id with
+  | None -> core.busy <- false
+  | Some job ->
+      core.busy <- true;
+      Dsim.Sim.schedule_after st.sim job.service (fun () ->
+          record st job;
+          run_core st discipline core_id)
+
+let wake st discipline core_id =
+  if not (st.cores.(core_id).busy) then begin
+    st.cores.(core_id).busy <- true;
+    run_core st discipline core_id
+  end
+
+let find_idle st =
+  let n = Array.length st.cores in
+  let rec go i = if i >= n then None else if not st.cores.(i).busy then Some i else go (i + 1) in
+  go 0
+
+let on_arrival st discipline job =
+  match discipline with
+  | Single_queue -> (
+      Netsim.Fifo.push st.shared job;
+      match find_idle st with Some c -> wake st discipline c | None -> ())
+  | Per_core_queues ->
+      let c = Dsim.Rng.int st.rng st.cfg.cores in
+      Netsim.Fifo.push st.cores.(c).queue job;
+      wake st discipline c
+  | Work_stealing -> (
+      let c = Dsim.Rng.int st.rng st.cfg.cores in
+      Netsim.Fifo.push st.cores.(c).queue job;
+      if not st.cores.(c).busy then wake st discipline c
+      else
+        (* Another idle core steals the request straight away: with zero
+           stealing cost an idle core and a queued request never coexist. *)
+        match find_idle st with
+        | Some idle -> wake st discipline idle
+        | None -> ())
+
+let run discipline (cfg : config) =
+  if cfg.cores < 1 then invalid_arg "Models.run: need at least one core";
+  if not (cfg.load > 0.0) then invalid_arg "Models.run: load must be > 0";
+  let sim = Dsim.Sim.create ~seed:cfg.seed () in
+  let st =
+    {
+      sim;
+      cfg;
+      cores = Array.init cfg.cores (fun _ -> { busy = false; queue = Netsim.Fifo.create () });
+      shared = Netsim.Fifo.create ();
+      latencies = Stats.Float_vec.create ~capacity:cfg.requests ();
+      completed_measured = 0;
+      first_measured_completion = 0.0;
+      last_measured_completion = 0.0;
+      rng = Dsim.Sim.fork_rng sim;
+    }
+  in
+  let lambda = cfg.load *. float_of_int cfg.cores in
+  let mean_gap = 1.0 /. lambda in
+  let arrival_rng = Dsim.Sim.fork_rng sim in
+  let service_rng = Dsim.Sim.fork_rng sim in
+  let rec arrive index =
+    if index < cfg.requests then begin
+      let service =
+        if Dsim.Rng.unit_float service_rng < cfg.p_large then cfg.k else 1.0
+      in
+      let job = { arrival = Dsim.Sim.now sim; service; index } in
+      on_arrival st discipline job;
+      Dsim.Sim.schedule_after sim
+        (Dsim.Rng.exponential arrival_rng ~mean:mean_gap)
+        (fun () -> arrive (index + 1))
+    end
+  in
+  Dsim.Sim.schedule_after sim 0.0 (fun () -> arrive 0);
+  Dsim.Sim.run_until_idle sim;
+  let qs = Stats.Quantile.many_of_vec st.latencies [ 0.5; 0.99 ] in
+  let p50, p99 = (List.nth qs 0, List.nth qs 1) in
+  let span = st.last_measured_completion -. st.first_measured_completion in
+  let throughput =
+    if span > 0.0 then float_of_int st.completed_measured /. span /. float_of_int cfg.cores
+    else 0.0
+  in
+  {
+    mean = Stats.Quantile.mean_of_vec st.latencies;
+    p50;
+    p99;
+    throughput;
+    completed = st.completed_measured;
+  }
+
+let sweep discipline cfg ~loads =
+  List.map (fun load -> (load, run discipline { cfg with load })) loads

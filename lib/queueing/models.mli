@@ -1,0 +1,54 @@
+(** The §2.2 queueing simulators.
+
+    The paper motivates size-aware sharding with an idealized simulation of
+    three size-unaware sharding strategies on an n-core server (Figure 2):
+
+    - {b n×M/G/1} — early binding: each request is dispatched on arrival to
+      a random core's private queue (keyhash-style, as in MICA EREW);
+    - {b M/G/n} — late binding: one shared queue, an idle core takes the
+      next request (as in RAMCloud);
+    - {b n×M/G/1 + work stealing} — private queues, but an idle core steals
+      queued requests from others (as in ZygOS).
+
+    Dispatching, synchronization and locality costs are deliberately zero:
+    the point is the queueing effect of a small fraction of large requests,
+    not implementation overheads.
+
+    Service times are bimodal: 1 time unit with probability [1 - p_large],
+    [k] units with probability [p_large].  Arrivals are Poisson. *)
+
+type discipline = Per_core_queues | Single_queue | Work_stealing
+
+val discipline_name : discipline -> string
+
+type config = {
+  cores : int;
+  load : float;
+      (** offered load normalized to the all-small capacity: arrival rate =
+          [load * cores / 1.0] requests per time unit.  This matches
+          Figure 2's x-axis ("throughput normalized w.r.t. max with
+          K = 1"). *)
+  p_large : float;   (** fraction (e.g. 0.00125) of large requests *)
+  k : float;         (** service time of a large request, in small units *)
+  requests : int;    (** sample size *)
+  warmup_fraction : float; (** fraction of requests excluded from stats *)
+  seed : int;
+}
+
+val default_config : config
+(** 8 cores, p_large = 0.00125, K = 100, 200k requests, 10 % warm-up. *)
+
+type result = {
+  mean : float;
+  p50 : float;
+  p99 : float;
+  throughput : float; (** completed per time unit, normalized like [load] *)
+  completed : int;
+}
+
+val run : discipline -> config -> result
+(** Simulate and report response-time statistics in small-service units. *)
+
+val sweep :
+  discipline -> config -> loads:float list -> (float * result) list
+(** [sweep d cfg ~loads] runs the model at each normalized load. *)

@@ -1,0 +1,146 @@
+let populate store dataset =
+  for id = 0 to Workload.Dataset.n_keys dataset - 1 do
+    Kvstore.Store.put store ~guard:`Lock
+      (Workload.Dataset.key_name id)
+      (Bytes.create (Workload.Dataset.size_of_key dataset id))
+  done
+
+type result = {
+  completed : int;
+  not_found : int;
+  latencies : Stats.Float_vec.t;
+  rejected_submits : int;
+}
+
+(* The common client loop.  [make_id] namespaces request ids (concurrent
+   clients must not collide) and [poll] supplies this client's replies. *)
+let client_loop ?(concurrency = 64) ~server ~dataset ~requests ~seed ~make_id ~poll () =
+  if requests < 0 then invalid_arg "Loadgen.run: negative request count";
+  let gen = Workload.Generator.create ~seed dataset in
+  let outstanding : (int64, Message.request) Hashtbl.t = Hashtbl.create concurrency in
+  let latencies = Stats.Float_vec.create ~capacity:requests () in
+  let completed = ref 0 and not_found = ref 0 and rejected = ref 0 in
+  let next_id = ref 0L in
+  let make_request () =
+    let g = Workload.Generator.next gen in
+    next_id := Int64.add !next_id 1L;
+    {
+      Message.id = make_id !next_id;
+      op =
+        (match g.Workload.Generator.op with
+        | Workload.Generator.Get -> Message.Get
+        | Workload.Generator.Put ->
+            Message.Put (Bytes.create g.Workload.Generator.item_size));
+      key = Workload.Dataset.key_name g.Workload.Generator.key_id;
+      submitted_at = Unix.gettimeofday ();
+    }
+  in
+  let collect_one ~block =
+    let rec go () =
+      match poll () with
+      | Some reply -> (
+          match Hashtbl.find_opt outstanding reply.Message.request_id with
+          | Some req ->
+              Hashtbl.remove outstanding reply.Message.request_id;
+              Stats.Float_vec.push latencies (Message.latency_us req reply);
+              incr completed;
+              if reply.Message.status = Message.Not_found then incr not_found;
+              true
+          | None ->
+              (* A reply for a request we did not issue would be a bug. *)
+              invalid_arg "Loadgen: unmatched reply id")
+      | None ->
+          if block then begin
+            Domain.cpu_relax ();
+            go ()
+          end
+          else false
+    in
+    go ()
+  in
+  let issued = ref 0 in
+  while !issued < requests do
+    if Hashtbl.length outstanding >= concurrency then ignore (collect_one ~block:true)
+    else begin
+      let req = make_request () in
+      let rec try_submit () =
+        if Server.submit server req then begin
+          Hashtbl.replace outstanding req.Message.id req;
+          incr issued
+        end
+        else begin
+          incr rejected;
+          (* Ring full: drain a reply (making progress) and retry. *)
+          ignore (collect_one ~block:false);
+          Domain.cpu_relax ();
+          try_submit ()
+        end
+      in
+      try_submit ()
+    end
+  done;
+  while Hashtbl.length outstanding > 0 do
+    ignore (collect_one ~block:true)
+  done;
+  {
+    completed = !completed;
+    not_found = !not_found;
+    latencies;
+    rejected_submits = !rejected;
+  }
+
+let run ?concurrency ~server ~dataset ~requests ~seed () =
+  client_loop ?concurrency ~server ~dataset ~requests ~seed ~make_id:Fun.id
+    ~poll:(fun () -> Server.poll_reply server)
+    ()
+
+(* Multi-client mode: ids carry the 1-based client index in bits 48+; a
+   collector domain routes replies to per-client mailbox rings. *)
+let client_of_id id = Int64.to_int (Int64.shift_right_logical id 48) - 1
+
+let tag_id ~client id = Int64.logor (Int64.shift_left (Int64.of_int (client + 1)) 48) id
+
+let run_concurrent ?(clients = 3) ?concurrency ~server ~dataset ~requests_per_client
+    ~seed () =
+  if clients < 1 then invalid_arg "Loadgen.run_concurrent: need at least one client";
+  let mailboxes =
+    Array.init clients (fun _ -> (Netsim.Ring.create ~capacity:4096 : Message.reply Netsim.Ring.t))
+  in
+  let total = clients * requests_per_client in
+  let routed = Atomic.make 0 in
+  let collector =
+    Domain.spawn (fun () ->
+        while Atomic.get routed < total do
+          match Server.poll_reply server with
+          | Some reply ->
+              let c = client_of_id reply.Message.request_id in
+              if c < 0 || c >= clients then
+                invalid_arg "Loadgen.run_concurrent: reply for unknown client";
+              while not (Netsim.Ring.try_push mailboxes.(c) reply) do
+                Domain.cpu_relax ()
+              done;
+              Atomic.incr routed
+          | None -> Domain.cpu_relax ()
+        done)
+  in
+  let client_domains =
+    List.init clients (fun c ->
+        Domain.spawn (fun () ->
+            client_loop ?concurrency ~server ~dataset ~requests:requests_per_client
+              ~seed:(seed + (101 * c))
+              ~make_id:(tag_id ~client:c)
+              ~poll:(fun () -> Netsim.Ring.try_pop mailboxes.(c))
+              ()))
+  in
+  let results = List.map Domain.join client_domains in
+  Domain.join collector;
+  let latencies = Stats.Float_vec.create ~capacity:total () in
+  List.iter
+    (fun r -> Stats.Float_vec.iter (Stats.Float_vec.push latencies) r.latencies)
+    results;
+  {
+    completed = List.fold_left (fun acc r -> acc + r.completed) 0 results;
+    not_found = List.fold_left (fun acc r -> acc + r.not_found) 0 results;
+    latencies;
+    rejected_submits = List.fold_left (fun acc r -> acc + r.rejected_submits) 0 results;
+  }

@@ -1,0 +1,45 @@
+(** Load generation against the native {!Server}.
+
+    A windowed closed-loop client: keep up to [concurrency] requests
+    outstanding, match replies to requests by id, and record end-to-end
+    latencies.  Runs in the calling domain. *)
+
+val populate : Kvstore.Store.t -> Workload.Dataset.t -> unit
+(** Insert every dataset key with a real value of its assigned size.
+    Use dataset specs with a modest [s_large_max] (e.g. 64 KB) and key
+    count so the value arena fits in memory. *)
+
+type result = {
+  completed : int;
+  not_found : int;          (** replies with status Not_found (should be 0
+                                after {!populate}) *)
+  latencies : Stats.Float_vec.t; (** µs, one per completed request *)
+  rejected_submits : int;   (** RX-ring-full backpressure events *)
+}
+
+val run :
+  ?concurrency:int ->
+  server:Server.t ->
+  dataset:Workload.Dataset.t ->
+  requests:int ->
+  seed:int ->
+  unit ->
+  result
+(** [run ~server ~dataset ~requests ~seed ()] issues [requests] operations
+    drawn from the dataset's spec (GET:PUT mix, zipf popularity, size
+    classes) and waits for all replies.  [concurrency] defaults to 64. *)
+
+val run_concurrent :
+  ?clients:int ->
+  ?concurrency:int ->
+  server:Server.t ->
+  dataset:Workload.Dataset.t ->
+  requests_per_client:int ->
+  seed:int ->
+  unit ->
+  result
+(** Multiple client domains driving the server at once — the in-process
+    analogue of the paper's 7 client machines.  Request ids carry the
+    client index in their top bits; a collector domain demultiplexes the
+    shared reply stream back to per-client mailboxes.  Results are
+    aggregated across clients.  [clients] defaults to 3. *)

@@ -1,0 +1,16 @@
+type op = Get | Put of bytes | Delete
+
+type request = { id : int64; op : op; key : string; submitted_at : float }
+
+type status = Ok | Not_found
+
+type reply = {
+  request_id : int64;
+  status : status;
+  value : bytes option;
+  value_size : int;
+  served_by : int;
+  completed_at : float;
+}
+
+let latency_us req rep = 1.0e6 *. (rep.completed_at -. req.submitted_at)

@@ -1,0 +1,32 @@
+(** Messages exchanged between load generators and the native server.
+
+    The native runtime ({!Server}) runs the size-aware sharding design on
+    real OCaml domains.  In-process transport carries these records over
+    lock-free rings; the UDP example converts them to {!Proto.Wire}
+    datagrams instead. *)
+
+type op =
+  | Get
+  | Put of bytes  (** the bytes to store *)
+  | Delete        (** "considered [a] special version of PUT" (§3) *)
+
+type request = {
+  id : int64;
+  op : op;
+  key : string;
+  submitted_at : float; (** [Unix.gettimeofday] at submission, seconds *)
+}
+
+type status = Ok | Not_found
+
+type reply = {
+  request_id : int64;
+  status : status;
+  value : bytes option;  (** the item for a successful GET *)
+  value_size : int;      (** bytes returned (GET) or written (PUT) *)
+  served_by : int;       (** worker core id, for load accounting *)
+  completed_at : float;
+}
+
+val latency_us : request -> reply -> float
+(** End-to-end latency in microseconds. *)

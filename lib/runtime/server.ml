@@ -1,0 +1,354 @@
+let log_src = Logs.Src.create "minos.runtime" ~doc:"Native Minos server"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type mode = Size_aware | Keyhash
+
+type config = {
+  cores : int;
+  batch : int;
+  epoch_s : float;
+  alpha : float;
+  percentile : float;
+  cost_fn : Kvserver.Cost_model.cost_fn;
+  mode : mode;
+  ring_capacity : int;
+  idle_backoff_s : float;
+}
+
+let default_config =
+  {
+    cores = 4;
+    batch = 32;
+    epoch_s = 0.05;
+    alpha = 0.9;
+    percentile = 0.99;
+    cost_fn = Kvserver.Cost_model.Packets;
+    mode = Size_aware;
+    ring_capacity = 4096;
+    idle_backoff_s = 0.0002;
+  }
+
+type worker = {
+  id : int;
+  rx : Message.request Netsim.Ring.t;
+  swq : Message.request Netsim.Ring.t;
+  hist : Stats.Log_histogram.t Atomic.t;
+  served : int Atomic.t;
+}
+
+type t = {
+  cfg : config;
+  store : Kvstore.Store.t;
+  workers : worker array;
+  replies : Message.reply Netsim.Ring.t;
+  stash : Message.reply Queue.t; (* replies drained during stop *)
+  stash_lock : Mutex.t;
+  plan : Kvserver.Control.plan Atomic.t;
+  handoffs : int Atomic.t;
+  epochs : int Atomic.t;
+  in_flight : int Atomic.t;
+  accepting : bool Atomic.t;
+  stop_flag : bool Atomic.t;
+  mutable domains : unit Domain.t list;
+  mutable stopped : bool;
+}
+
+let fresh_hist () =
+  Stats.Log_histogram.create ~buckets_per_decade:32 ~min_value:1.0 ~max_value:2.0e6 ()
+
+(* Stateless uniform spreading for GET dispatch: mix the request id so any
+   domain can dispatch without a shared RNG. *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 33)) 0xFF51AFD7ED558CCDL) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 29)) 0xC4CEB9FE1A85EC53L) in
+  Int64.(logxor z (shift_right_logical z 32))
+
+let key_master t key =
+  Kvstore.Keyhash.partition_of (Kvstore.Keyhash.hash key) ~bits:30 mod t.cfg.cores
+
+let dispatch_ring t (req : Message.request) =
+  match req.Message.op with
+  | Message.Get -> Int64.to_int (Int64.rem (mix64 req.Message.id) (Int64.of_int t.cfg.cores))
+                   |> abs
+  | Message.Put _ | Message.Delete -> key_master t req.Message.key
+
+let submit t req =
+  if not (Atomic.get t.accepting) then false
+  else begin
+    let ring = t.workers.(dispatch_ring t req).rx in
+    if Netsim.Ring.try_push ring req then begin
+      Atomic.incr t.in_flight;
+      true
+    end
+    else false
+  end
+
+let store_of t = t.store
+
+let poll_reply t =
+  match Netsim.Ring.try_pop t.replies with
+  | Some _ as r -> r
+  | None ->
+      Mutex.lock t.stash_lock;
+      let r = Queue.take_opt t.stash in
+      Mutex.unlock t.stash_lock;
+      r
+
+(* ------------------------------------------------------------------ *)
+(* Request execution on a worker *)
+
+let push_reply t reply =
+  (* Spin with backoff: the ring is large and clients are expected to
+     drain; during [stop] the stopping thread drains for them. *)
+  while not (Netsim.Ring.try_push t.replies reply) do
+    Domain.cpu_relax ()
+  done;
+  Atomic.decr t.in_flight
+
+let serve t (w : worker) (req : Message.request) =
+  let reply_with status value value_size =
+    push_reply t
+      {
+        Message.request_id = req.Message.id;
+        status;
+        value;
+        value_size;
+        served_by = w.id;
+        completed_at = Unix.gettimeofday ();
+      }
+  in
+  (match req.Message.op with
+  | Message.Get -> (
+      match Kvstore.Store.get t.store req.Message.key with
+      | Some value -> reply_with Message.Ok (Some value) (Bytes.length value)
+      | None -> reply_with Message.Not_found None 0)
+  | Message.Put value ->
+      let master = key_master t req.Message.key in
+      (* CREW: the master core writes lock-free; anyone else locks. *)
+      let guard = if master = w.id then `Crew else `Lock in
+      Kvstore.Store.put t.store ~guard req.Message.key value;
+      reply_with Message.Ok None (Bytes.length value)
+  | Message.Delete ->
+      let master = key_master t req.Message.key in
+      let guard = if master = w.id then `Crew else `Lock in
+      let existed = Kvstore.Store.delete t.store ~guard req.Message.key in
+      reply_with (if existed then Message.Ok else Message.Not_found) None 0);
+  Atomic.incr w.served
+
+(* Size of the item a request touches: the stored size for GETs (the
+   lookup the paper's small cores perform), the carried size for PUTs. *)
+let request_item_size t (req : Message.request) =
+  match req.Message.op with
+  | Message.Put value -> Bytes.length value
+  | Message.Delete -> 0 (* always "small": frees, never copies *)
+  | Message.Get ->
+      Option.value ~default:0 (Kvstore.Store.size_of t.store req.Message.key)
+
+let classify_and_serve t (w : worker) plan req =
+  let size = float_of_int (request_item_size t req) in
+  Stats.Log_histogram.record (Atomic.get w.hist) size;
+  match Kvserver.Control.route plan size with
+  | None -> serve t w req
+  | Some j ->
+      let target =
+        t.workers.(Kvserver.Control.large_core_id plan ~cores:t.cfg.cores j)
+      in
+      if target.id = w.id then serve t w req
+      else if Netsim.Ring.try_push target.swq req then Atomic.incr t.handoffs
+      else
+        (* Software queue full: serve in place rather than block or drop —
+           backpressure degrades to size-unaware behaviour momentarily. *)
+        serve t w req
+
+let drain_batch ring limit =
+  let rec go acc n =
+    if n >= limit then List.rev acc
+    else
+      match Netsim.Ring.try_pop ring with
+      | Some r -> go (r :: acc) (n + 1)
+      | None -> List.rev acc
+  in
+  go [] 0
+
+(* One scheduling iteration; returns the number of requests handled. *)
+let size_aware_iteration t (w : worker) =
+  let plan = Atomic.get t.plan in
+  if Kvserver.Control.is_small_core plan w.id then begin
+    (* Small core: drain own RX plus a fair share of the large cores'. *)
+    let batch = drain_batch w.rx t.cfg.batch in
+    let ns = max 1 plan.Kvserver.Control.n_small in
+    let share = (t.cfg.batch + ns - 1) / ns in
+    let extra =
+      List.concat
+        (List.init (t.cfg.cores - plan.Kvserver.Control.n_small) (fun i ->
+             drain_batch t.workers.(plan.Kvserver.Control.n_small + i).rx share))
+    in
+    (* Standby large duty: serve anything already in our software queue
+       first. *)
+    let queued = drain_batch w.swq t.cfg.batch in
+    List.iter (serve t w) queued;
+    List.iter (classify_and_serve t w plan) batch;
+    List.iter (classify_and_serve t w plan) extra;
+    List.length batch + List.length extra + List.length queued
+  end
+  else begin
+    (* Large core: serve the software queue; leftover batch items from a
+       role change are classified rather than stranded. *)
+    let queued = drain_batch w.swq t.cfg.batch in
+    List.iter (serve t w) queued;
+    let leftover = drain_batch w.rx 0 in
+    List.iter (classify_and_serve t w plan) leftover;
+    List.length queued
+  end
+
+let keyhash_iteration t (w : worker) =
+  let batch = drain_batch w.rx t.cfg.batch in
+  List.iter (serve t w) batch;
+  List.length batch
+
+(* ------------------------------------------------------------------ *)
+(* Control loop: run by core 0 between batches (as in the paper). *)
+
+let controller_tick t ~smoothed =
+  let merged = fresh_hist () in
+  Array.iter
+    (fun w ->
+      let h = Atomic.exchange w.hist (fresh_hist ()) in
+      Stats.Log_histogram.merge_into ~dst:merged h)
+    t.workers;
+  if not (Stats.Log_histogram.is_empty merged) then begin
+    let s =
+      match !smoothed with
+      | None -> merged
+      | Some prev -> Stats.Log_histogram.smooth ~prev ~current:merged ~alpha:t.cfg.alpha
+    in
+    smoothed := Some s;
+    let plan =
+      Kvserver.Control.compute ~cores:t.cfg.cores ~cost_fn:t.cfg.cost_fn
+        ~percentile:t.cfg.percentile s
+    in
+    let old = Atomic.exchange t.plan plan in
+    if
+      old.Kvserver.Control.n_large <> plan.Kvserver.Control.n_large
+      || abs_float (old.Kvserver.Control.threshold -. plan.Kvserver.Control.threshold)
+         > 0.05 *. plan.Kvserver.Control.threshold
+    then
+      Log.info (fun m ->
+          m "epoch %d: threshold %.0fB, %d small + %d large cores"
+            (Atomic.get t.epochs + 1)
+            plan.Kvserver.Control.threshold plan.Kvserver.Control.n_small
+            plan.Kvserver.Control.n_large);
+    Atomic.incr t.epochs
+  end
+
+let worker_loop t (w : worker) =
+  let smoothed = ref None in
+  let last_epoch = ref (Unix.gettimeofday ()) in
+  let idle_streak = ref 0 in
+  while not (Atomic.get t.stop_flag) do
+    let handled =
+      match t.cfg.mode with
+      | Size_aware -> size_aware_iteration t w
+      | Keyhash -> keyhash_iteration t w
+    in
+    if w.id = 0 && t.cfg.mode = Size_aware then begin
+      let now = Unix.gettimeofday () in
+      if now -. !last_epoch >= t.cfg.epoch_s then begin
+        last_epoch := now;
+        controller_tick t ~smoothed
+      end
+    end;
+    if handled = 0 then begin
+      incr idle_streak;
+      if !idle_streak > 64 then begin
+        idle_streak := 0;
+        Unix.sleepf t.cfg.idle_backoff_s
+      end
+      else Domain.cpu_relax ()
+    end
+    else idle_streak := 0
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let start ?(config = default_config) store =
+  if config.cores < 2 then invalid_arg "Server.start: need at least 2 cores";
+  if config.batch < 1 then invalid_arg "Server.start: batch must be >= 1";
+  let t =
+    {
+      cfg = config;
+      store;
+      workers =
+        Array.init config.cores (fun id ->
+            {
+              id;
+              rx = Netsim.Ring.create ~capacity:config.ring_capacity;
+              swq = Netsim.Ring.create ~capacity:config.ring_capacity;
+              hist = Atomic.make (fresh_hist ());
+              served = Atomic.make 0;
+            });
+      replies = Netsim.Ring.create ~capacity:65536;
+      stash = Queue.create ();
+      stash_lock = Mutex.create ();
+      plan = Atomic.make (Kvserver.Control.initial ~cores:config.cores);
+      handoffs = Atomic.make 0;
+      epochs = Atomic.make 0;
+      in_flight = Atomic.make 0;
+      accepting = Atomic.make true;
+      stop_flag = Atomic.make false;
+      domains = [];
+      stopped = false;
+    }
+  in
+  Log.info (fun m ->
+      m "starting: %d worker domains, batch %d, %s mode" config.cores config.batch
+        (match config.mode with Size_aware -> "size-aware" | Keyhash -> "keyhash"));
+  t.domains <-
+    List.init config.cores (fun i ->
+        Domain.spawn (fun () -> worker_loop t t.workers.(i)));
+  t
+
+type stats = {
+  served : int array;
+  handoffs : int;
+  threshold : float;
+  n_small : int;
+  n_large : int;
+  epochs : int;
+}
+
+let stats (t : t) =
+  let plan = Atomic.get t.plan in
+  {
+    served = Array.map (fun (w : worker) -> Atomic.get w.served) t.workers;
+    handoffs = Atomic.get t.handoffs;
+    threshold = plan.Kvserver.Control.threshold;
+    n_small = plan.Kvserver.Control.n_small;
+    n_large = plan.Kvserver.Control.n_large;
+    epochs = Atomic.get t.epochs;
+  }
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.accepting false;
+    (* Drain: keep emptying the reply ring (on the clients' behalf) until
+       every accepted request has been answered. *)
+    while Atomic.get t.in_flight > 0 do
+      (match Netsim.Ring.try_pop t.replies with
+      | Some r ->
+          Mutex.lock t.stash_lock;
+          Queue.add r t.stash;
+          Mutex.unlock t.stash_lock
+      | None -> ());
+      Domain.cpu_relax ()
+    done;
+    Atomic.set t.stop_flag true;
+    List.iter Domain.join t.domains;
+    t.domains <- [];
+    Log.info (fun m ->
+        m "stopped: %d requests served, %d handoffs"
+          (Array.fold_left (fun acc (w : worker) -> acc + Atomic.get w.served) 0 t.workers)
+          (Atomic.get t.handoffs))
+  end

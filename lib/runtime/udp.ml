@@ -1,0 +1,288 @@
+let loopback = Unix.inet_addr_loopback
+
+let max_datagram = Netsim.Frame.max_udp_payload
+
+type pending = { addr : Unix.sockaddr; queue : int; client_ts : int64 }
+
+type t = {
+  server : Server.t;
+  base_port : int;
+  sockets : Unix.file_descr array;
+  pending : (int64, pending) Hashtbl.t;
+  pending_lock : Mutex.t;
+  dedup : bytes Proto.Dedup.t; (* request id -> encoded reply *)
+  dedup_lock : Mutex.t;
+  stopping : bool Atomic.t;
+  mutable domains : unit Domain.t list;
+  mutable stopped : bool;
+}
+
+let send_fragments sock addr ~msg_id payload =
+  List.iter
+    (fun frag -> ignore (Unix.sendto sock frag 0 (Bytes.length frag) [] addr))
+    (Proto.Fragment.split ~msg_id payload)
+
+let cached_reply t id =
+  Mutex.lock t.dedup_lock;
+  let r = Proto.Dedup.find t.dedup id in
+  Mutex.unlock t.dedup_lock;
+  r
+
+let cache_reply t id encoded =
+  Mutex.lock t.dedup_lock;
+  let r, _ = Proto.Dedup.execute t.dedup ~id (fun () -> encoded) in
+  Mutex.unlock t.dedup_lock;
+  r
+
+let register_pending t id p =
+  Mutex.lock t.pending_lock;
+  Hashtbl.replace t.pending id p;
+  Mutex.unlock t.pending_lock
+
+let take_pending t id =
+  Mutex.lock t.pending_lock;
+  let r = Hashtbl.find_opt t.pending id in
+  Hashtbl.remove t.pending id;
+  Mutex.unlock t.pending_lock;
+  r
+
+(* One reader domain per socket / RX queue. *)
+let reader_loop t queue =
+  let sock = t.sockets.(queue) in
+  let buf = Bytes.create (max_datagram + 64) in
+  let reassembler = Proto.Fragment.create_reassembler () in
+  while not (Atomic.get t.stopping) do
+    match Unix.recvfrom sock buf 0 (Bytes.length buf) [] with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        ()
+    | len, addr -> (
+        match Proto.Fragment.offer reassembler (Bytes.sub buf 0 len) with
+        | None -> ()
+        | Some (_, msg) -> (
+            match Proto.Wire.decode_request msg with
+            | Error _ -> () (* malformed datagrams are dropped *)
+            | Ok req -> (
+                let id = req.Proto.Wire.id in
+                match cached_reply t id with
+                | Some encoded ->
+                    (* Retransmission of a completed request: replay. *)
+                    send_fragments sock addr ~msg_id:id encoded
+                | None ->
+                    register_pending t id
+                      { addr; queue; client_ts = req.Proto.Wire.client_ts };
+                    let message =
+                      {
+                        Message.id;
+                        op =
+                          (match req.Proto.Wire.op with
+                          | Proto.Wire.Get -> Message.Get
+                          | Proto.Wire.Put ->
+                              Message.Put
+                                (Option.value ~default:Bytes.empty req.Proto.Wire.value)
+                          | Proto.Wire.Delete -> Message.Delete);
+                        key = req.Proto.Wire.key;
+                        submitted_at = Unix.gettimeofday ();
+                      }
+                    in
+                    (* The server's RX ring applies backpressure; spin
+                       briefly, then drop (the client retransmits). *)
+                    let rec push n =
+                      if Atomic.get t.stopping then ignore (take_pending t id)
+                      else if not (Server.submit t.server message) then
+                        if n > 1000 then ignore (take_pending t id)
+                        else begin
+                          Domain.cpu_relax ();
+                          push (n + 1)
+                        end
+                    in
+                    push 0)))
+  done
+
+(* The reply pump: collect completions, encode, cache for dedup, send. *)
+let pump_loop t =
+  let should_run () =
+    (not (Atomic.get t.stopping))
+    ||
+    (Mutex.lock t.pending_lock;
+     let busy = Hashtbl.length t.pending > 0 in
+     Mutex.unlock t.pending_lock;
+     busy)
+  in
+  while should_run () do
+    match Server.poll_reply t.server with
+    | None -> Unix.sleepf 0.0002
+    | Some reply -> (
+        let id = reply.Message.request_id in
+        match take_pending t id with
+        | None -> () (* request was dropped after backpressure *)
+        | Some p ->
+            let encoded =
+              Proto.Wire.encode_reply
+                {
+                  Proto.Wire.id;
+                  status =
+                    (match reply.Message.status with
+                    | Message.Ok -> Proto.Wire.Ok
+                    | Message.Not_found -> Proto.Wire.Not_found);
+                  value = reply.Message.value;
+                  client_ts = p.client_ts;
+                }
+            in
+            let encoded = cache_reply t id encoded in
+            send_fragments t.sockets.(p.queue) p.addr ~msg_id:id encoded)
+  done
+
+let start ?(config = Server.default_config) ?(base_port = 47700) ?(dedup_capacity = 8192)
+    store =
+  let server = Server.start ~config store in
+  let sockets =
+    Array.init config.Server.cores (fun q ->
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+        Unix.setsockopt sock Unix.SO_REUSEADDR true;
+        Unix.setsockopt_int sock Unix.SO_RCVBUF (4 * 1024 * 1024);
+        Unix.setsockopt_float sock Unix.SO_RCVTIMEO 0.05;
+        Unix.bind sock (Unix.ADDR_INET (loopback, base_port + q));
+        sock)
+  in
+  let t =
+    {
+      server;
+      base_port;
+      sockets;
+      pending = Hashtbl.create 256;
+      pending_lock = Mutex.create ();
+      dedup = Proto.Dedup.create ~capacity:dedup_capacity ();
+      dedup_lock = Mutex.create ();
+      stopping = Atomic.make false;
+      domains = [];
+      stopped = false;
+    }
+  in
+  t.domains <-
+    Domain.spawn (fun () -> pump_loop t)
+    :: List.init config.Server.cores (fun q -> Domain.spawn (fun () -> reader_loop t q));
+  t
+
+let base_port t = t.base_port
+
+let queues t = Array.length t.sockets
+
+let server t = t.server
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stopping true;
+    List.iter Domain.join t.domains;
+    t.domains <- [];
+    Server.stop t.server;
+    Array.iter Unix.close t.sockets
+  end
+
+(* ------------------------------------------------------------------ *)
+
+module Client = struct
+  type c = {
+    sock : Unix.file_descr;
+    base_port : int;
+    queues : int;
+    retry : Proto.Retry.config;
+    rng : Dsim.Rng.t;
+    reassembler : Proto.Fragment.reassembler;
+    buf : Bytes.t;
+    mutable next_id : int64;
+  }
+
+  exception Timeout
+
+  let connect ?(retry = { Proto.Retry.max_attempts = 5; timeout_us = 200_000.0; backoff = 2.0 })
+      ?seed ?(base_port = 47700) ~queues () =
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+    Unix.setsockopt_int sock Unix.SO_RCVBUF (4 * 1024 * 1024);
+    (* Distinct client sessions must not reuse request ids: the server's
+       dedup cache would replay another session's replies.  Each session
+       draws a random id-space origin (a fixed [seed] makes it
+       reproducible for tests). *)
+    let seed =
+      match seed with
+      | Some s -> s
+      | None -> Hashtbl.hash (Unix.gettimeofday (), Unix.getpid ())
+    in
+    let rng = Dsim.Rng.create seed in
+    {
+      sock;
+      base_port;
+      queues;
+      retry;
+      rng;
+      reassembler = Proto.Fragment.create_reassembler ();
+      buf = Bytes.create (max_datagram + 64);
+      next_id = Dsim.Rng.bits64 rng;
+    }
+
+  let close c = Unix.close c.sock
+
+  let key_queue c key =
+    Kvstore.Keyhash.partition_of (Kvstore.Keyhash.hash key) ~bits:30 mod c.queues
+
+  (* Wait up to [timeout_us] for the reply with [id], feeding any received
+     fragments (late replies of other requests are discarded). *)
+  let wait_reply c ~id ~timeout_us =
+    let deadline = Unix.gettimeofday () +. (timeout_us /. 1.0e6) in
+    let rec go () =
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then None
+      else begin
+        Unix.setsockopt_float c.sock Unix.SO_RCVTIMEO (Float.max 0.001 remaining);
+        match Unix.recvfrom c.sock c.buf 0 (Bytes.length c.buf) [] with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+            go ()
+        | len, _ -> (
+            match Proto.Fragment.offer c.reassembler (Bytes.sub c.buf 0 len) with
+            | Some (msg_id, msg) when msg_id = id -> (
+                match Proto.Wire.decode_reply msg with
+                | Ok reply -> Some reply
+                | Error _ -> go ())
+            | Some _ | None -> go ())
+      end
+    in
+    go ()
+
+  let rpc c op key value =
+    c.next_id <- Int64.add c.next_id 1L;
+    let id = c.next_id in
+    let queue =
+      match op with
+      | Proto.Wire.Get -> Dsim.Rng.int c.rng c.queues
+      | Proto.Wire.Put | Proto.Wire.Delete -> key_queue c key
+    in
+    let addr = Unix.ADDR_INET (loopback, c.base_port + queue) in
+    let encoded =
+      Proto.Wire.encode_request
+        { Proto.Wire.id; op; key; value; client_ts = 0L; target_rx = queue }
+    in
+    let send ~attempt:_ = send_fragments c.sock addr ~msg_id:id encoded in
+    match
+      Proto.Retry.call ~config:c.retry ~send
+        ~wait_reply:(fun ~timeout_us -> wait_reply c ~id ~timeout_us)
+        ()
+    with
+    | Ok reply -> reply
+    | Error (`Timed_out _) -> raise Timeout
+
+  let get c key =
+    let reply = rpc c Proto.Wire.Get key None in
+    match reply.Proto.Wire.status with
+    | Proto.Wire.Ok -> Some (Option.value ~default:Bytes.empty reply.Proto.Wire.value)
+    | Proto.Wire.Not_found -> None
+
+  let put c key value =
+    let reply = rpc c Proto.Wire.Put key (Some value) in
+    match reply.Proto.Wire.status with
+    | Proto.Wire.Ok -> ()
+    | Proto.Wire.Not_found -> failwith "Udp.Client.put: unexpected Not_found"
+
+  let delete c key =
+    (rpc c Proto.Wire.Delete key None).Proto.Wire.status = Proto.Wire.Ok
+end

@@ -1,0 +1,55 @@
+(** Kernel-UDP front end for the native server.
+
+    The closest commodity-hardware analogue of the paper's deployment: one
+    UDP socket per worker core plays the role of that core's NIC RX queue
+    (the paper steers packets to queues with RSS; here the client picks
+    the destination port, which is what its port probing achieves).
+    Reader domains decode {!Proto.Wire} datagrams — reassembling
+    multi-fragment PUTs — and feed the {!Server}; a reply pump encodes,
+    fragments and transmits replies, and a {!Proto.Dedup} cache makes
+    retransmitted idempotent requests observable-exactly-once.
+
+    All operations — including DELETEs, which the paper treats as special
+    PUTs (§3) — flow through the size-aware scheduler. *)
+
+type t
+
+val start :
+  ?config:Server.config ->
+  ?base_port:int ->
+  ?dedup_capacity:int ->
+  Kvstore.Store.t ->
+  t
+(** Bind [config.cores] sockets on [base_port..base_port+cores-1]
+    (default 47700) on the loopback interface and start serving. *)
+
+val base_port : t -> int
+
+val queues : t -> int
+
+val server : t -> Server.t
+
+val stop : t -> unit
+(** Stop intake, drain, join all domains and close the sockets. *)
+
+(** A blocking client with client-side retransmission (§4.1). *)
+module Client : sig
+  type c
+
+  exception Timeout
+
+  val connect : ?retry:Proto.Retry.config -> ?seed:int -> ?base_port:int -> queues:int -> unit -> c
+  (** [connect ~queues ()] prepares a client for a server with that many
+      RX queues.  GETs go to a uniformly random queue, PUTs to the key's
+      master queue — the client-side dispatch of §3. *)
+
+  val get : c -> string -> bytes option
+  (** [None] when the key is absent.  Raises {!Timeout} when every
+      retransmission went unanswered. *)
+
+  val put : c -> string -> bytes -> unit
+
+  val delete : c -> string -> bool
+
+  val close : c -> unit
+end

@@ -1,0 +1,54 @@
+type t = {
+  cores : int;
+  batch : int;
+  tx_gbps : float;
+  cost : Cost_model.t;
+  cost_fn : Cost_model.cost_fn;
+  sampling : float;
+  duration_us : float;
+  warmup_us : float;
+  seed : int;
+  epoch_us : float;
+  alpha : float;
+  percentile : float;
+  handoff_cores : int;
+  static_threshold : float option;
+  window_us : float option;
+  large_rx_steal : bool;
+  hkh_erew : bool;
+}
+
+let default =
+  {
+    cores = 8;
+    batch = 32;
+    tx_gbps = 40.0;
+    cost = Cost_model.default;
+    cost_fn = Cost_model.Packets;
+    sampling = 1.0;
+    duration_us = 1_500_000.0;
+    warmup_us = 500_000.0;
+    seed = 42;
+    epoch_us = 150_000.0;
+    alpha = 0.9;
+    percentile = 0.99;
+    handoff_cores = 1;
+    static_threshold = None;
+    window_us = None;
+    large_rx_steal = false;
+    hkh_erew = false;
+  }
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.cores < 2 then err "need at least 2 cores"
+  else if t.batch < 1 then err "batch must be >= 1"
+  else if not (t.tx_gbps > 0.0) then err "tx_gbps must be > 0"
+  else if t.sampling <= 0.0 || t.sampling > 1.0 then err "sampling out of (0, 1]"
+  else if not (t.warmup_us < t.duration_us) then err "warmup must precede duration end"
+  else if not (t.epoch_us > 0.0) then err "epoch must be positive"
+  else if t.alpha < 0.0 || t.alpha > 1.0 then err "alpha out of [0, 1]"
+  else if t.percentile <= 0.0 || t.percentile > 1.0 then err "percentile out of (0, 1]"
+  else if t.handoff_cores < 1 || t.handoff_cores >= t.cores then
+    err "handoff_cores out of [1, cores)"
+  else Ok ()

@@ -1,0 +1,39 @@
+(** Server/simulation configuration shared by all designs. *)
+
+type t = {
+  cores : int;            (** physical cores = RX queues (paper: 8) *)
+  batch : int;            (** RX poll batch size (paper: 32) *)
+  tx_gbps : float;        (** NIC line rate (paper: 40) *)
+  cost : Cost_model.t;
+  cost_fn : Cost_model.cost_fn; (** control-loop cost function (§3) *)
+  sampling : float;       (** fraction of GET replies actually sent (§6.4);
+                              1.0 = reply to everything *)
+  duration_us : float;    (** simulated run length *)
+  warmup_us : float;      (** excluded from all reported statistics *)
+  seed : int;
+  epoch_us : float;       (** Minos statistics/adaptation epoch (paper: 1 s;
+                              scaled down with our shorter runs) *)
+  alpha : float;          (** histogram smoothing weight of the new epoch
+                              (paper: 0.9) *)
+  percentile : float;     (** size percentile defining the threshold (0.99) *)
+  handoff_cores : int;    (** SHO handoff core count (paper tried 1–3) *)
+  static_threshold : float option;
+      (** §6.2 offline variant: fix the size threshold and skip per-request
+          profiling (no [profile_us] charge) *)
+  window_us : float option; (** record per-window p99 series (Fig. 10) *)
+  large_rx_steal : bool;  (** §6.1 future-work variant: large cores steal
+                              single requests from small cores' RX queues
+                              when their own queue is empty *)
+  hkh_erew : bool;        (** MICA EREW mode for the HKH baseline: GETs are
+                              also dispatched to the key's master core
+                              (better locality, but zipfian skew
+                              concentrates load on hot cores).  The paper
+                              uses CREW — GETs to random cores — "the best
+                              on skewed read-dominated workloads". *)
+}
+
+val default : t
+(** 8 cores, batch 32, 40 Gbit, 1.5 s simulated (0.5 s warm-up), 150 ms
+    epochs, α = 0.9, packets cost function, 1 SHO handoff core. *)
+
+val validate : t -> (unit, string) result

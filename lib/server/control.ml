@@ -1,0 +1,112 @@
+type plan = {
+  threshold : float;
+  n_small : int;
+  n_large : int;
+  ranges : (float * float) array;
+}
+
+let initial ~cores =
+  { threshold = infinity; n_small = cores; n_large = 0; ranges = [||] }
+
+let standby_core ~cores = cores - 1
+
+(* Split the above-threshold buckets of [hist] into [n] contiguous ranges
+   of approximately equal total cost.  Walk the cumulative cost and cut
+   whenever it crosses a multiple of [total / n]. *)
+let split_ranges hist ~cost_fn ~threshold ~n =
+  let module H = Stats.Log_histogram in
+  let buckets =
+    H.fold
+      (fun i count acc ->
+        let ub = H.bucket_upper_bound hist i in
+        if ub > threshold then (ub, count *. Cost_model.cost_of_size cost_fn ub) :: acc
+        else acc)
+      hist []
+    |> List.rev
+  in
+  let total = List.fold_left (fun acc (_, c) -> acc +. c) 0.0 buckets in
+  if total <= 0.0 || n = 0 then
+    Array.init n (fun i -> if i = n - 1 then (threshold, infinity) else (threshold, threshold))
+  else begin
+    let per_core = total /. float_of_int n in
+    let ranges = Array.make n (threshold, infinity) in
+    let core = ref 0 in
+    let lo = ref threshold in
+    let acc = ref 0.0 in
+    List.iter
+      (fun (ub, cost) ->
+        acc := !acc +. cost;
+        if !acc >= float_of_int (!core + 1) *. per_core && !core < n - 1 then begin
+          ranges.(!core) <- (!lo, ub);
+          lo := ub;
+          incr core
+        end)
+      buckets;
+    (* Whatever remains belongs to the last active core; its range is
+       open-ended so oversized outliers still route somewhere. *)
+    ranges.(!core) <- (!lo, infinity);
+    (* Cores after [!core] (possible when there are fewer distinct buckets
+       than cores) get empty ranges. *)
+    for i = !core + 1 to n - 1 do
+      ranges.(i) <- (infinity, infinity)
+    done;
+    ranges
+  end
+
+let compute ~cores ~cost_fn ~percentile ?threshold_override ?(extra_large_core = false)
+    hist =
+  let module H = Stats.Log_histogram in
+  if H.is_empty hist then initial ~cores
+  else begin
+    let threshold =
+      match threshold_override with
+      | Some t -> t
+      | None -> H.quantile hist percentile
+    in
+    let small_cost, large_cost =
+      H.fold
+        (fun i count (s, l) ->
+          let ub = H.bucket_upper_bound hist i in
+          let c = count *. Cost_model.cost_of_size cost_fn ub in
+          if ub <= threshold then (s +. c, l) else (s, l +. c))
+        hist (0.0, 0.0)
+    in
+    let total = small_cost +. large_cost in
+    let frac_small = if total > 0.0 then small_cost /. total else 1.0 in
+    let n_small =
+      int_of_float (ceil (frac_small *. float_of_int cores)) |> max 1 |> min cores
+    in
+    let n_large = cores - n_small in
+    let n_large =
+      if extra_large_core && n_large > 0 then min (cores - 1) (n_large + 1) else n_large
+    in
+    let n_small = cores - n_large in
+    if n_large = 0 then { threshold; n_small = cores; n_large = 0; ranges = [||] }
+    else
+      {
+        threshold;
+        n_small;
+        n_large;
+        ranges = split_ranges hist ~cost_fn ~threshold ~n:n_large;
+      }
+  end
+
+let route plan size =
+  if size <= plan.threshold then None
+  else if plan.n_large = 0 then Some 0 (* standby core, by convention *)
+  else begin
+    let n = Array.length plan.ranges in
+    let rec go i =
+      if i >= n - 1 then Some (n - 1)
+      else begin
+        let _, hi = plan.ranges.(i) in
+        if size <= hi then Some i else go (i + 1)
+      end
+    in
+    go 0
+  end
+
+let is_small_core plan id = id < plan.n_small
+
+let large_core_id plan ~cores j =
+  if plan.n_large = 0 then standby_core ~cores else plan.n_small + j

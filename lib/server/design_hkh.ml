@@ -1,0 +1,55 @@
+let name = "HKH"
+
+type core = { id : int; mutable idle : bool; batch : Engine.request Queue.t }
+
+let make eng =
+  let cfg = Engine.config eng in
+  let cores =
+    Array.init (Engine.cores eng) (fun id -> { id; idle = true; batch = Queue.create () })
+  in
+  let rec step c =
+    match Queue.take_opt c.batch with
+    | Some req -> Engine.execute eng ~core:c.id req ~k:(fun () -> step c)
+    | None ->
+        let rx = Engine.rx eng c.id in
+        if Netsim.Fifo.is_empty rx then c.idle <- true
+        else begin
+          let pulled = ref 0 in
+          while
+            !pulled < cfg.Config.batch
+            &&
+            match Netsim.Fifo.pop rx with
+            | Some r ->
+                Queue.add r c.batch;
+                incr pulled;
+                true
+            | None -> false
+          do
+            ()
+          done;
+          Engine.busy eng ~core:c.id cfg.Config.cost.Cost_model.poll_us ~k:(fun () ->
+              step c)
+        end
+  in
+  let wake c =
+    if c.idle then begin
+      c.idle <- false;
+      step c
+    end
+  in
+  {
+    Engine.name;
+    dispatch =
+      (fun req ->
+        match req.Engine.op with
+        | Cost_model.Get ->
+            (* CREW sprays GETs; EREW sends them to the key's master core
+               (all-exclusive, better locality, skew-sensitive). *)
+            if cfg.Config.hkh_erew then Engine.put_master eng req
+            else Engine.uniform_queue eng
+        | Cost_model.Put -> Engine.put_master eng req);
+    on_arrival = (fun ~queue -> wake cores.(queue));
+    on_epoch = ignore;
+    large_core_count = (fun () -> 0);
+    current_threshold = (fun () -> Float.nan);
+  }

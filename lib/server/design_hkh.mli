@@ -1,0 +1,11 @@
+(** Hardware keyhash-based sharding (HKH) — the n×M/G/1 baseline.
+
+    The MICA-style design (§5.2): every request is dispatched in hardware
+    to one core's RX queue (GETs to a random queue, PUTs to the key's
+    master queue, per CREW) and is served by that core, run-to-completion,
+    in batches of B.  No software queues, no stealing — and therefore full
+    exposure to head-of-line blocking behind large requests. *)
+
+val name : string
+
+val make : Engine.t -> Engine.design

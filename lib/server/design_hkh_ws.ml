@@ -1,0 +1,112 @@
+let name = "HKH+WS"
+
+type core = { id : int; mutable idle : bool; swq : Engine.request Netsim.Fifo.t }
+
+let make eng =
+  let cfg = Engine.config eng in
+  let n = Engine.cores eng in
+  let cost = cfg.Config.cost in
+  let cores = Array.init n (fun id -> { id; idle = true; swq = Netsim.Fifo.create () }) in
+  let steal_rng = Dsim.Sim.fork_rng (Engine.sim eng) in
+  let move_batch src dst =
+    let pulled = ref 0 in
+    while
+      !pulled < cfg.Config.batch
+      &&
+      match Netsim.Fifo.pop src with
+      | Some r ->
+          Netsim.Fifo.push dst r;
+          incr pulled;
+          true
+      | None -> false
+    do
+      ()
+    done;
+    !pulled
+  in
+  (* PUTs executed by a non-master core need the partition spinlock. *)
+  let put_lock_cost c req =
+    match req.Engine.op with
+    | Cost_model.Put when Engine.put_master eng req <> c.id -> cost.Cost_model.lock_us
+    | Cost_model.Put | Cost_model.Get -> 0.0
+  in
+  let rec step c =
+    match Netsim.Fifo.pop c.swq with
+    | Some req ->
+        Engine.execute eng ~core:c.id ~extra_cpu:(put_lock_cost c req) req ~k:(fun () ->
+            step c)
+    | None ->
+        if not (Netsim.Fifo.is_empty (Engine.rx eng c.id)) then begin
+          ignore (move_batch (Engine.rx eng c.id) c.swq);
+          Engine.busy eng ~core:c.id cost.Cost_model.poll_us ~k:(fun () -> step c)
+        end
+        else begin
+          (* Steal one queued request from another core's software queue,
+             scanning from a random start. *)
+          let start = Dsim.Rng.int steal_rng n in
+          let rec steal_swq i =
+            if i >= n then None
+            else begin
+              let victim = cores.((start + i) mod n) in
+              if victim.id = c.id then steal_swq (i + 1)
+              else
+                match Netsim.Fifo.pop victim.swq with
+                | Some r -> Some r
+                | None -> steal_swq (i + 1)
+            end
+          in
+          match steal_swq 0 with
+          | Some req ->
+              Engine.execute eng ~core:c.id
+                ~extra_cpu:(cost.Cost_model.steal_us +. put_lock_cost c req)
+                req
+                ~k:(fun () -> step c)
+          | None -> (
+              (* All software queues empty: steal a batch of packets from
+                 another core's RX queue into our software queue. *)
+              let rec steal_rx i =
+                if i >= n then 0
+                else begin
+                  let victim = cores.((start + i) mod n) in
+                  if victim.id = c.id then steal_rx (i + 1)
+                  else begin
+                    let got = move_batch (Engine.rx eng victim.id) c.swq in
+                    if got > 0 then got else steal_rx (i + 1)
+                  end
+                end
+              in
+              match steal_rx 0 with
+              | 0 -> c.idle <- true
+              | _ ->
+                  Engine.busy eng ~core:c.id
+                    (cost.Cost_model.poll_us +. cost.Cost_model.steal_us)
+                    ~k:(fun () -> step c))
+        end
+  in
+  let wake c =
+    if c.idle then begin
+      c.idle <- false;
+      step c
+    end
+  in
+  {
+    Engine.name;
+    dispatch =
+      (fun req ->
+        match req.Engine.op with
+        | Cost_model.Get -> Engine.uniform_queue eng
+        | Cost_model.Put -> Engine.put_master eng req);
+    on_arrival =
+      (fun ~queue ->
+        let owner = cores.(queue) in
+        if owner.idle then wake owner
+        else
+          (* The owner is busy; an idle core (if any) can pick the request
+             up by stealing.  One thief suffices for one request. *)
+          match Array.find_opt (fun c -> c.idle) cores with
+          | Some thief -> wake thief
+          | None -> ());
+    on_epoch = ignore;
+    large_core_count = (fun () -> 0);
+    current_threshold = (fun () -> Float.nan);
+  }

@@ -1,0 +1,17 @@
+(** HKH + work stealing (HKH+WS) — the ZygOS-style baseline.
+
+    Hardware keyhash dispatch as in {!Design_hkh}, but each core stages the
+    requests from its RX queue in a software queue and serves them one at a
+    time; an idle core steals single requests from other cores' software
+    queues, and — when all software queues are empty — batches of packets
+    from other cores' RX queues (stolen packets land in the thief's
+    software queue so they can be stolen in turn, §5.2).
+
+    Stealing narrows the window for head-of-line blocking but cannot close
+    it: it only happens when a core is idle, which becomes rare at high
+    load, and a stolen request has usually already waited behind a large
+    one. *)
+
+val name : string
+
+val make : Engine.t -> Engine.design

@@ -1,0 +1,309 @@
+let name = "Minos"
+
+type core = {
+  id : int;
+  mutable idle : bool;
+  batch : Engine.request Queue.t; (* small-core run-to-completion batch *)
+  swq : Engine.request Netsim.Fifo.t; (* software queue when large/standby *)
+  hist : Stats.Log_histogram.t; (* item sizes observed this epoch *)
+}
+
+type state = {
+  eng : Engine.t;
+  cfg : Config.t;
+  n : int;
+  cores : core array;
+  mutable plan : Control.plan;
+  mutable smoothed : Stats.Log_histogram.t option;
+  mutable standby_engaged : bool;
+      (** In standby mode (n_large = 0), whether the standby core is
+          currently acting as a large core.  While engaged it stops
+          reading RX queues and the small cores drain its RX queue for it
+          — "if a large request arrives, it is sent to this core, which
+          then becomes a large core" (§3). *)
+}
+
+let size_histogram () =
+  Stats.Log_histogram.create ~buckets_per_decade:32 ~min_value:1.0 ~max_value:2.0e6 ()
+
+let profiling_cost st =
+  (* The §6.2 static-threshold variant skips per-request profiling. *)
+  match st.cfg.Config.static_threshold with
+  | Some _ -> 0.0
+  | None -> st.cfg.Config.cost.Cost_model.profile_us
+
+(* PUTs on keys mastered by a large core may be written by any core and
+   need the partition spinlock (§4.2). *)
+let put_lock_cost st (req : Engine.request) =
+  match req.Engine.op with
+  | Cost_model.Put when Engine.put_master st.eng req >= st.plan.Control.n_small ->
+      st.cfg.Config.cost.Cost_model.lock_us
+  | Cost_model.Put | Cost_model.Get -> 0.0
+
+let standby_mode st = st.plan.Control.n_large = 0
+
+let is_small st id =
+  Control.is_small_core st.plan id
+  && not (standby_mode st && st.standby_engaged && id = Control.standby_core ~cores:st.n)
+
+let rec step st c =
+  if is_small st c.id then small_step st c else large_step st c
+
+and wake st c =
+  if c.idle then begin
+    c.idle <- false;
+    step st c
+  end
+
+(* ---------------- small cores ---------------- *)
+
+and small_step st c =
+  match Queue.take_opt c.batch with
+  | Some req -> classify_and_serve st c req
+  | None -> refill st c
+
+and classify_and_serve st c req =
+  let size = float_of_int req.Engine.item_size in
+  Stats.Log_histogram.record c.hist size;
+  let profile = profiling_cost st in
+  match Control.route st.plan size with
+  | None ->
+      Engine.execute st.eng ~core:c.id
+        ~extra_cpu:(profile +. put_lock_cost st req)
+        req
+        ~k:(fun () -> step st c)
+  | Some j ->
+      (* Software handoff: push onto the owning large core's queue.  In
+         standby mode this engages the standby core as a large core. *)
+      let target = st.cores.(Control.large_core_id st.plan ~cores:st.n j) in
+      if standby_mode st then st.standby_engaged <- true;
+      Netsim.Fifo.push target.swq req;
+      wake st target;
+      Engine.busy st.eng ~core:c.id
+        (st.cfg.Config.cost.Cost_model.handoff_us +. profile)
+        ~k:(fun () -> step st c)
+
+and refill st c =
+  let b = st.cfg.Config.batch in
+  let pulled = ref 0 in
+  let pull_from rx limit =
+    let got = ref 0 in
+    while
+      !got < limit
+      &&
+      match Netsim.Fifo.pop rx with
+      | Some r ->
+          Queue.add r c.batch;
+          incr got;
+          true
+      | None -> false
+    do
+      ()
+    done;
+    pulled := !pulled + !got
+  in
+  (* Own RX queue first, then an equal share of every large core's RX
+     queue, so all queues drain at the same rate (§3).  An engaged standby
+     core counts as a large core here: its RX queue is drained by the
+     other small cores. *)
+  pull_from (Engine.rx st.eng c.id) b;
+  let standby_engaged = standby_mode st && st.standby_engaged in
+  let ns = max 1 (st.plan.Control.n_small - if standby_engaged then 1 else 0) in
+  let share = (b + ns - 1) / ns in
+  for id = st.plan.Control.n_small to st.n - 1 do
+    pull_from (Engine.rx st.eng id) share
+  done;
+  if standby_engaged then begin
+    let standby = Control.standby_core ~cores:st.n in
+    if c.id <> standby then pull_from (Engine.rx st.eng standby) share
+  end;
+  if !pulled > 0 then
+    Engine.busy st.eng ~core:c.id st.cfg.Config.cost.Cost_model.poll_us ~k:(fun () ->
+        step st c)
+  else c.idle <- true
+
+(* ---------------- large cores ---------------- *)
+
+and large_step st c =
+  match Netsim.Fifo.pop c.swq with
+  | Some req ->
+      Engine.execute st.eng ~core:c.id ~extra_cpu:(put_lock_cost st req) req ~k:(fun () ->
+          step st c)
+  | None -> (
+      (* A core that just turned large may still hold a batch it pulled
+         while small; classify those so nothing is stranded. *)
+      match Queue.take_opt c.batch with
+      | Some req -> classify_and_serve st c req
+      | None ->
+          if st.cfg.Config.large_rx_steal && st.plan.Control.n_large > 0 then
+            rx_steal_step st c
+          else
+            (* An engaged standby core stays a large core until the next
+               control epoch re-designates roles; reverting per-request
+               would re-expose every batch it pulls to head-of-line
+               blocking behind the next large arrival. *)
+            c.idle <- true)
+
+(* §6.1 variant: an idle large core steals a single request from a small
+   core's RX queue — one at a time, so a small request is never queued
+   behind a large one. *)
+and rx_steal_step st c =
+  let rec scan id =
+    if id >= st.plan.Control.n_small then c.idle <- true
+    else
+      match Netsim.Fifo.pop (Engine.rx st.eng id) with
+      | Some req ->
+          let size = float_of_int req.Engine.item_size in
+          Stats.Log_histogram.record c.hist size;
+          (* TX-queue discipline mirrors the size split: a stolen small
+             replies on the victim's (small) TX queue so it never
+             serializes behind this core's in-flight large replies; a
+             stolen large stays on this large core's queue so it never
+             blocks a small queue. *)
+          let tx_queue = if size <= st.plan.Control.threshold then id else c.id in
+          Engine.execute st.eng ~core:c.id ~tx_queue
+            ~extra_cpu:
+              (st.cfg.Config.cost.Cost_model.steal_us
+              +. profiling_cost st +. put_lock_cost st req)
+            req
+            ~k:(fun () -> step st c)
+      | None -> scan (id + 1)
+  in
+  scan 0
+
+(* ---------------- control loop ---------------- *)
+
+let on_epoch st () =
+  let merged = size_histogram () in
+  Array.iter
+    (fun c ->
+      Stats.Log_histogram.merge_into ~dst:merged c.hist;
+      Stats.Log_histogram.reset c.hist)
+    st.cores;
+  if not (Stats.Log_histogram.is_empty merged) then begin
+    let smoothed =
+      match st.smoothed with
+      | None -> merged
+      | Some prev ->
+          Stats.Log_histogram.smooth ~prev ~current:merged ~alpha:st.cfg.Config.alpha
+    in
+    st.smoothed <- Some smoothed;
+    let new_plan =
+      Control.compute ~cores:st.n ~cost_fn:st.cfg.Config.cost_fn
+        ~percentile:st.cfg.Config.percentile
+        ?threshold_override:st.cfg.Config.static_threshold
+        ~extra_large_core:st.cfg.Config.large_rx_steal smoothed
+    in
+    let old_plan = st.plan in
+    st.plan <- new_plan;
+    (* Each epoch re-designates roles; a previously engaged standby core
+       returns to small duty once its queue is clear. *)
+    st.standby_engaged <-
+      new_plan.Control.n_large = 0
+      && not (Netsim.Fifo.is_empty st.cores.(Control.standby_core ~cores:st.n).swq);
+    (* Requests queued for cores whose role or range changed are
+       re-routed under the new plan. *)
+    if
+      new_plan.Control.n_small <> old_plan.Control.n_small
+      || new_plan.Control.ranges <> old_plan.Control.ranges
+    then begin
+      let displaced = ref [] in
+      Array.iter
+        (fun c ->
+          let rec drain () =
+            match Netsim.Fifo.pop c.swq with
+            | Some r ->
+                displaced := r :: !displaced;
+                drain ()
+            | None -> ()
+          in
+          drain ())
+        st.cores;
+      List.iter
+        (fun (r : Engine.request) ->
+          match Control.route st.plan (float_of_int r.Engine.item_size) with
+          | Some j ->
+              if standby_mode st then st.standby_engaged <- true;
+              Netsim.Fifo.push st.cores.(Control.large_core_id st.plan ~cores:st.n j).swq r
+          | None ->
+              (* Under the new threshold this queued request counts as
+                 small; stage it in a (small) core's local batch. *)
+              Queue.add r st.cores.(Control.standby_core ~cores:st.n).batch)
+        (List.rev !displaced)
+    end;
+    (* Charge the aggregation work to core 0 if it is idle; when busy the
+       merge overlaps with request processing. *)
+    let c0 = st.cores.(0) in
+    if c0.idle then begin
+      c0.idle <- false;
+      Engine.busy st.eng ~core:0 st.cfg.Config.cost.Cost_model.epoch_aggregate_us
+        ~k:(fun () -> step st c0)
+    end;
+    (* Roles may have changed: give every core a chance to find work. *)
+    Array.iter (fun c -> wake st c) st.cores
+  end
+
+let make eng =
+  let cfg = Engine.config eng in
+  let n = Engine.cores eng in
+  let st =
+    {
+      eng;
+      cfg;
+      n;
+      cores =
+        Array.init n (fun id ->
+            {
+              id;
+              idle = true;
+              batch = Queue.create ();
+              swq = Netsim.Fifo.create ();
+              hist = size_histogram ();
+            });
+      plan =
+        (match cfg.Config.static_threshold with
+        | Some threshold ->
+            { (Control.initial ~cores:n) with Control.threshold }
+        | None -> Control.initial ~cores:n);
+      smoothed = None;
+      standby_engaged = false;
+    }
+  in
+  {
+    Engine.name;
+    dispatch =
+      (fun req ->
+        (* Clients are unaware of roles: GETs go to a random RX queue,
+           PUTs to the keyhash queue (§3). *)
+        match req.Engine.op with
+        | Cost_model.Get -> Engine.uniform_queue eng
+        | Cost_model.Put -> Engine.put_master eng req);
+    on_arrival =
+      (fun ~queue ->
+        if is_small st queue then begin
+          let owner = st.cores.(queue) in
+          if owner.idle then wake st owner
+          else if st.cfg.Config.large_rx_steal then
+            (* An idle large core may steal the queued request. *)
+            match
+              Array.find_opt
+                (fun c -> c.idle && not (is_small st c.id))
+                st.cores
+            with
+            | Some thief -> wake st thief
+            | None -> ()
+        end
+        else
+          (* Large cores never read their own RX queue; wake an idle small
+             core to drain it. *)
+          match
+            Array.find_opt (fun c -> c.idle && is_small st c.id) st.cores
+          with
+          | Some helper -> wake st helper
+          | None -> ());
+    on_epoch = on_epoch st;
+    large_core_count =
+      (fun () ->
+        if standby_mode st && st.standby_engaged then 1 else st.plan.Control.n_large);
+    current_threshold = (fun () -> st.plan.Control.threshold);
+  }

@@ -1,0 +1,27 @@
+(** Minos: size-aware sharding (§3) — the paper's contribution.
+
+    Cores are split into a small pool and a large pool.  Only small cores
+    read RX queues: each drains a batch of B from its own queue plus
+    B/n_small from every large core's queue, so all queues drain at the
+    same rate and a large core never pulls a small request behind a large
+    one.  A small core classifies each request by item size against the
+    current threshold: small requests are served in place (pure hardware
+    dispatch — no software handoff on the 99 % path); large ones are pushed
+    onto the software queue of the large core whose size range covers them.
+
+    A control loop (implemented in {!Control}) re-derives the threshold
+    (the 99th percentile of observed item sizes, smoothed across epochs)
+    and the core split (proportional to cost share) every epoch, and
+    re-shards the large size ranges so each large core carries equal cost.
+    When no core needs to be large, the last core becomes a standby large
+    core: it serves small requests but accepts any large request that
+    shows up.
+
+    Options (see {!Config}): a static threshold (the §6.2 offline variant,
+    which also drops the per-request profiling cost) and large-core RX
+    stealing (the §6.1 future-work variant: one extra large core, and idle
+    large cores steal single requests from small cores' RX queues). *)
+
+val name : string
+
+val make : Engine.t -> Engine.design

@@ -1,0 +1,91 @@
+let name = "SHO"
+
+type handoff = {
+  id : int;
+  mutable idle : bool;
+  staged : Engine.request Queue.t; (* batch pulled from RX, not yet dispatched *)
+  swq : Engine.request Netsim.Fifo.t;
+}
+
+type worker = { wid : int; mutable idle : bool; mutable rr : int }
+
+let make eng =
+  let cfg = Engine.config eng in
+  let n = Engine.cores eng in
+  let n_handoff = cfg.Config.handoff_cores in
+  let handoffs =
+    Array.init n_handoff (fun id ->
+        { id; idle = true; staged = Queue.create (); swq = Netsim.Fifo.create () })
+  in
+  let workers =
+    Array.init (n - n_handoff) (fun i -> { wid = n_handoff + i; idle = true; rr = 0 })
+  in
+  let rec worker_step w =
+    (* Round-robin across handoff queues, one request at a time. *)
+    let rec find i =
+      if i >= n_handoff then None
+      else begin
+        let h = handoffs.((w.rr + i) mod n_handoff) in
+        match Netsim.Fifo.pop h.swq with
+        | Some r ->
+            w.rr <- (w.rr + i + 1) mod n_handoff;
+            Some r
+        | None -> find (i + 1)
+      end
+    in
+    match find 0 with
+    | Some req -> Engine.execute eng ~core:w.wid req ~k:(fun () -> worker_step w)
+    | None -> w.idle <- true
+  in
+  let wake_idle_worker () =
+    match Array.find_opt (fun w -> w.idle) workers with
+    | Some w ->
+        w.idle <- false;
+        worker_step w
+    | None -> ()
+  in
+  let rec handoff_step h =
+    match Queue.take_opt h.staged with
+    | Some req ->
+        Netsim.Fifo.push h.swq req;
+        wake_idle_worker ();
+        Engine.busy eng ~core:h.id cfg.Config.cost.Cost_model.handoff_us ~k:(fun () ->
+            handoff_step h)
+    | None ->
+        let rx = Engine.rx eng h.id in
+        if Netsim.Fifo.is_empty rx then h.idle <- true
+        else begin
+          let pulled = ref 0 in
+          while
+            !pulled < cfg.Config.batch
+            &&
+            match Netsim.Fifo.pop rx with
+            | Some r ->
+                Queue.add r h.staged;
+                incr pulled;
+                true
+            | None -> false
+          do
+            ()
+          done;
+          Engine.busy eng ~core:h.id cfg.Config.cost.Cost_model.poll_us ~k:(fun () ->
+              handoff_step h)
+        end
+  in
+  {
+    Engine.name;
+    dispatch =
+      (fun _req ->
+        (* Clients know the handoff cores and spray uniformly over them. *)
+        Dsim.Rng.int (Engine.dispatch_rng eng) n_handoff);
+    on_arrival =
+      (fun ~queue ->
+        let h = handoffs.(queue) in
+        if h.idle then begin
+          h.idle <- false;
+          handoff_step h
+        end);
+    on_epoch = ignore;
+    large_core_count = (fun () -> 0);
+    current_threshold = (fun () -> Float.nan);
+  }

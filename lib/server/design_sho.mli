@@ -1,0 +1,14 @@
+(** Software handoff (SHO) — the M/G/n baseline.
+
+    The RAMCloud-style design (§5.2): a fixed set of handoff cores drains
+    the RX queues into software queues; worker cores pull {e one request at
+    a time} (late binding) from those queues, round-robin, and serve it.
+    Clients only target the handoff cores' RX queues.
+
+    Late binding mostly avoids head-of-line blocking, but peak throughput
+    is bounded by the handoff cores' dispatch rate, and bursts of large
+    requests can still occupy all workers at once. *)
+
+val name : string
+
+val make : Engine.t -> Engine.design

@@ -1,0 +1,98 @@
+(** Shared simulation harness underneath every server design.
+
+    The engine owns the clock, the open-loop Poisson clients, the NIC (RX
+    queues + TX line), the per-core accounting and the latency recorders.
+    A {!design} supplies the scheduling policy: where an incoming request
+    is aimed (client-side dispatch), what each core does next, and what
+    happens on a control-loop epoch.
+
+    Designs call back into the engine to consume CPU ({!busy}) and to
+    serve requests ({!execute}); the engine handles completion, reply
+    transmission, sampling and statistics. *)
+
+type request = {
+  op : Cost_model.op;
+  key_id : int;
+  item_size : int;   (** GET: stored size (discovered at lookup);
+                         PUT: size carried in the request *)
+  is_large_truth : bool; (** dataset ground truth, for per-class metrics *)
+  arrival_us : float;
+  frames_in : int;
+  mutable rx_queue : int;
+}
+
+type t
+
+(** The policy interface a server design implements. *)
+type design = {
+  name : string;
+  dispatch : request -> int;
+      (** client-side choice of RX queue (hardware dispatch) *)
+  on_arrival : queue:int -> unit;
+      (** a request was enqueued on [queue]; wake whoever polls it *)
+  on_epoch : unit -> unit;  (** control-loop tick *)
+  large_core_count : unit -> int;
+  current_threshold : unit -> float;
+}
+
+val create :
+  ?dynamic:Workload.Dynamic.t ->
+  ?store:Kvstore.Store.t ->
+  ?source:(unit -> Workload.Generator.request) ->
+  Config.t ->
+  Workload.Generator.t ->
+  offered_mops:float ->
+  t
+(** [create cfg gen ~offered_mops] prepares a run at the given arrival rate
+    (million ops/s).  [dynamic] varies the generator's p_large over time
+    (§6.6).  [store] routes every simulated operation through a real
+    {!Kvstore.Store} (used by examples and integration tests; the store
+    must already contain the dataset's keys).  [source] overrides the
+    generator as the supplier of request descriptors — e.g. a looping
+    {!Workload.Trace.replayer} for trace-driven simulation; [dynamic] is
+    ignored in that case. *)
+
+val sim : t -> Dsim.Sim.t
+val config : t -> Config.t
+val cores : t -> int
+val now : t -> float
+val rx : t -> int -> request Netsim.Fifo.t
+val dispatch_rng : t -> Dsim.Rng.t
+(** RNG stream reserved for design dispatch decisions. *)
+
+val put_master : t -> request -> int
+(** The core that masters this request's key (keyhash-based): the RX queue
+    for PUT dispatch under CREW. *)
+
+val uniform_queue : t -> int
+(** A uniformly random RX queue (GET dispatch). *)
+
+val busy : t -> core:int -> float -> k:(unit -> unit) -> unit
+(** Occupy [core] for the given CPU time, then continue with [k]. *)
+
+val execute :
+  t ->
+  core:int ->
+  ?tx_queue:int ->
+  ?extra_cpu:float ->
+  request ->
+  k:(unit -> unit) ->
+  unit
+(** Serve [request] on [core]: consumes its CPU cost (+ [extra_cpu]),
+    then transmits the reply (subject to sampling), records latency and
+    per-core counters, and finally calls [k].  [tx_queue] overrides the TX
+    queue the reply leaves on (default: [core]'s own queue) — the §6.1
+    RX-stealing variant sends stolen smalls' replies through the victim's
+    queue so they never serialize behind a large reply. *)
+
+val run : t -> (t -> design) -> Metrics.t
+(** Build the design, generate load, simulate, and report. *)
+
+val raw_latencies : t -> Stats.Float_vec.t
+(** All recorded end-to-end latencies (µs) of the last {!run}; used to
+    combine distributions across NUMA domains ({!Minos.Numa}). *)
+
+val set_probe : t -> (core:int -> request -> unit) -> unit
+(** Install an observer called at the start of every request execution
+    (with the executing core).  For tests asserting scheduling invariants;
+    no effect on simulated behaviour. *)

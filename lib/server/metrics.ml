@@ -1,0 +1,33 @@
+type t = {
+  design : string;
+  offered_mops : float;
+  issued : int;
+  completed : int;
+  throughput_mops : float;
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  p999_us : float;
+  small_p99_us : float;
+  large_p99_us : float;
+  nic_tx_utilization : float;
+  stable : bool;
+  per_core_ops : int array;
+  per_core_packets : int array;
+  final_large_cores : int;
+  final_threshold : float;
+  p99_series : (float * float) list;
+  large_core_series : (float * int) list;
+  in_flight_end : int;
+  mean_queue_wait_us : float;
+  mean_service_us : float;
+  mean_tx_wait_us : float;
+}
+
+let pp_row fmt t =
+  Format.fprintf fmt
+    "%-10s offered=%.2fM tput=%.2fM mean=%.1fus p50=%.1f p99=%.1f p999=%.1f nic=%.0f%%%s"
+    t.design t.offered_mops t.throughput_mops t.mean_us t.p50_us t.p99_us t.p999_us
+    (100.0 *. t.nic_tx_utilization)
+    (if t.stable then "" else " UNSTABLE")

@@ -1,0 +1,38 @@
+(** Results of one simulated run. *)
+
+type t = {
+  design : string;
+  offered_mops : float;       (** configured arrival rate *)
+  issued : int;               (** requests generated *)
+  completed : int;            (** replies delivered inside the window *)
+  throughput_mops : float;
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  p999_us : float;
+  small_p99_us : float;       (** 99p over requests for truly small items;
+                                  [nan] when no samples *)
+  large_p99_us : float;       (** 99p over requests for truly large items *)
+  nic_tx_utilization : float; (** over the measurement window *)
+  stable : bool;              (** backlog did not grow without bound *)
+  per_core_ops : int array;
+  per_core_packets : int array;
+  final_large_cores : int;    (** Minos: n_large at end of run; others 0 *)
+  final_threshold : float;    (** Minos: size threshold; [nan] otherwise *)
+  p99_series : (float * float) list;
+      (** per-window (start µs, p99 µs), when windowing was enabled *)
+  large_core_series : (float * int) list;
+      (** per-epoch (time µs, n_large), Minos only *)
+  in_flight_end : int;
+  mean_queue_wait_us : float;
+      (** time from arrival to the start of service — where head-of-line
+          blocking shows up *)
+  mean_service_us : float; (** CPU occupancy per request *)
+  mean_tx_wait_us : float;
+      (** from end of service to the reply leaving the wire (queueing at
+          the NIC + transmission) *)
+}
+
+val pp_row : Format.formatter -> t -> unit
+(** One human-readable summary line. *)

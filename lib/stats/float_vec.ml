@@ -1,0 +1,35 @@
+type t = { mutable arr : float array; mutable len : int }
+
+let create ?(capacity = 1024) () =
+  { arr = Array.make (max capacity 1) 0.0; len = 0 }
+
+let length t = t.len
+
+let push t x =
+  if t.len = Array.length t.arr then begin
+    let arr = Array.make (2 * t.len) 0.0 in
+    Array.blit t.arr 0 arr 0 t.len;
+    t.arr <- arr
+  end;
+  t.arr.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Float_vec.get: index out of bounds";
+  t.arr.(i)
+
+let to_array t = Array.sub t.arr 0 t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.arr.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.arr.(i)
+  done;
+  !acc
+
+let clear t = t.len <- 0

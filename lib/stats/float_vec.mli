@@ -1,0 +1,24 @@
+(** Growable array of floats.
+
+    Used to record per-request latencies during a simulation run; keeps
+    allocation unboxed ([float array]) and amortized O(1) per append. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+val push : t -> float -> unit
+
+val get : t -> int -> float
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val to_array : t -> float array
+(** A fresh array with exactly [length t] elements. *)
+
+val iter : (float -> unit) -> t -> unit
+
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val clear : t -> unit

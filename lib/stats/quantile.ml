@@ -1,0 +1,23 @@
+let of_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Quantile.of_sorted: empty sample";
+  if q <= 0.0 || q > 1.0 then invalid_arg "Quantile.of_sorted: q out of (0, 1]";
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  let idx = max 0 (min (n - 1) (rank - 1)) in
+  sorted.(idx)
+
+let of_array arr q =
+  let copy = Array.copy arr in
+  Array.sort compare copy;
+  of_sorted copy q
+
+let of_vec vec q = of_array (Float_vec.to_array vec) q
+
+let many_of_vec vec qs =
+  let copy = Float_vec.to_array vec in
+  Array.sort compare copy;
+  List.map (of_sorted copy) qs
+
+let mean_of_vec vec =
+  let n = Float_vec.length vec in
+  if n = 0 then 0.0 else Float_vec.fold ( +. ) 0.0 vec /. float_of_int n

@@ -1,0 +1,21 @@
+(** Exact quantiles of in-memory samples.
+
+    Uses the nearest-rank definition: the [q]-quantile of [n] sorted samples
+    is the element at index [ceil(q * n) - 1] (clamped), so the 0.99-quantile
+    of 100 samples is the 99th smallest.  This matches how the paper reports
+    "the 99th percentile". *)
+
+val of_sorted : float array -> float -> float
+(** [of_sorted sorted q] with [0 < q <= 1].  Raises [Invalid_argument] on an
+    empty array or out-of-range [q]. *)
+
+val of_array : float array -> float -> float
+(** Sorts a copy, then applies {!of_sorted}. *)
+
+val of_vec : Float_vec.t -> float -> float
+
+val many_of_vec : Float_vec.t -> float list -> float list
+(** Compute several quantiles with a single sort. *)
+
+val mean_of_vec : Float_vec.t -> float
+(** Arithmetic mean; 0 for an empty vector. *)

@@ -1,0 +1,26 @@
+type t = {
+  capacity : int;
+  arr : float array;
+  mutable seen : int;
+  rng : Dsim.Rng.t;
+}
+
+let create ?(seed = 0x5eed) ~capacity () =
+  if capacity <= 0 then invalid_arg "Reservoir.create: capacity must be > 0";
+  { capacity; arr = Array.make capacity 0.0; seen = 0; rng = Dsim.Rng.create seed }
+
+let add t x =
+  if t.seen < t.capacity then t.arr.(t.seen) <- x
+  else begin
+    let j = Dsim.Rng.int t.rng (t.seen + 1) in
+    if j < t.capacity then t.arr.(j) <- x
+  end;
+  t.seen <- t.seen + 1
+
+let seen t = t.seen
+
+let size t = min t.seen t.capacity
+
+let to_array t = Array.sub t.arr 0 (size t)
+
+let quantile t q = Quantile.of_array (to_array t) q

@@ -1,0 +1,22 @@
+(** Reservoir sampling (Vitter's algorithm R).
+
+    Keeps a uniform random subset of bounded size from an unbounded stream;
+    used to bound memory when recording latencies of very long runs. *)
+
+type t
+
+val create : ?seed:int -> capacity:int -> unit -> t
+
+val add : t -> float -> unit
+
+val seen : t -> int
+(** Total number of samples offered. *)
+
+val size : t -> int
+(** Number of samples currently retained, [min seen capacity]. *)
+
+val to_array : t -> float array
+(** The retained samples, in arbitrary order. *)
+
+val quantile : t -> float -> float
+(** Quantile estimate over the retained samples. *)

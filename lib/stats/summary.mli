@@ -1,0 +1,32 @@
+(** Streaming summary statistics (Welford's online algorithm).
+
+    Constant memory; numerically stable mean/variance. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 when fewer than two samples. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val sum : t -> float
+
+val merge : t -> t -> t
+(** Combine two summaries as if all samples were seen by one. *)
+
+val reset : t -> unit

@@ -1,0 +1,81 @@
+type t = {
+  spec : Spec.t;
+  sizes : int array;
+  zipf : Dsim.Dist.Zipf.t;
+  n_small : int;
+  perm_key : int; (* parameter of the rank -> key-id scrambling *)
+}
+
+(* Multiplicative scrambling of zipf ranks onto key ids: an affine map with
+   a multiplier coprime to n distributes the popular ranks across the whole
+   id space while remaining a bijection. *)
+let scramble ~n ~mult rank = (rank * mult + 0x9E37) mod n
+
+let rec coprime_mult n candidate =
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  if gcd candidate n = 1 then candidate else coprime_mult n (candidate + 2)
+
+let create ?(seed = 7) spec =
+  (match Spec.validate spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Dataset.create: " ^ msg));
+  let rng = Dsim.Rng.create seed in
+  let n = spec.Spec.n_keys in
+  let n_large = spec.Spec.n_large_keys in
+  let n_small = n - n_large in
+  let sizes = Array.make n 0 in
+  for i = 0 to n_small - 1 do
+    if Dsim.Rng.unit_float rng < spec.Spec.tiny_fraction then
+      sizes.(i) <- Dsim.Dist.uniform_int_in rng ~lo:Spec.tiny_min ~hi:Spec.tiny_max
+    else sizes.(i) <- Dsim.Dist.uniform_int_in rng ~lo:Spec.small_min ~hi:Spec.small_max
+  done;
+  for i = n_small to n - 1 do
+    sizes.(i) <-
+      Dsim.Dist.uniform_int_in rng ~lo:Spec.large_min ~hi:spec.Spec.s_large_max
+  done;
+  {
+    spec;
+    sizes;
+    zipf = Dsim.Dist.Zipf.create ~n:n_small ~theta:spec.Spec.zipf_theta;
+    n_small;
+    perm_key = coprime_mult n_small 2_654_435_761;
+  }
+
+let spec t = t.spec
+
+let n_keys t = Array.length t.sizes
+
+let n_small_keys t = t.n_small
+
+let size_of_key t id = t.sizes.(id)
+
+let is_large_key t id = id >= t.n_small
+
+let key_name id = Printf.sprintf "k%08x" id
+
+let sample_small_key t rng =
+  let rank = Dsim.Dist.Zipf.sample t.zipf rng in
+  scramble ~n:t.n_small ~mult:t.perm_key rank
+
+let sample_large_key t rng =
+  t.n_small + Dsim.Rng.int rng (Array.length t.sizes - t.n_small)
+
+let sample_get_key t rng =
+  if Dsim.Rng.unit_float rng < t.spec.Spec.p_large /. 100.0 then sample_large_key t rng
+  else sample_small_key t rng
+
+let sample_put t rng =
+  let key = sample_get_key t rng in
+  let new_size =
+    if is_large_key t key then
+      Dsim.Dist.uniform_int_in rng ~lo:Spec.large_min ~hi:t.spec.Spec.s_large_max
+    else if t.sizes.(key) <= Spec.tiny_max then
+      Dsim.Dist.uniform_int_in rng ~lo:Spec.tiny_min ~hi:Spec.tiny_max
+    else Dsim.Dist.uniform_int_in rng ~lo:Spec.small_min ~hi:Spec.small_max
+  in
+  (key, new_size)
+
+let mean_item_bytes_per_request t =
+  let pl = t.spec.Spec.p_large /. 100.0 in
+  (pl *. Spec.mean_large_item_bytes t.spec)
+  +. ((1.0 -. pl) *. Spec.mean_small_item_bytes t.spec)

@@ -1,0 +1,47 @@
+(** A concrete dataset instance: one size per key.
+
+    Keys are dense integers [0, n).  The first [n - n_large] ids are the
+    tiny/small population (targets of the zipfian distribution); the rest
+    are the large population (accessed uniformly, §5.3: "large items ...
+    are chosen uniformly at random", which "avoids pathological cases in
+    which the most accessed large item is the biggest or the smallest").
+
+    Zipf ranks are scrambled onto small-key ids with a Feistel-style
+    permutation so that popularity is independent of the id (and hence of
+    the keyhash and of the size assignment). *)
+
+type t
+
+val create : ?seed:int -> Spec.t -> t
+
+val spec : t -> Spec.t
+
+val n_keys : t -> int
+
+val n_small_keys : t -> int
+
+val size_of_key : t -> int -> int
+(** Item size in bytes for a key id. *)
+
+val is_large_key : t -> int -> bool
+
+val key_name : int -> string
+(** Stable printable key for use with the real {!Kvstore.Store}. *)
+
+val sample_small_key : t -> Dsim.Rng.t -> int
+(** A zipf-distributed tiny/small key. *)
+
+val sample_large_key : t -> Dsim.Rng.t -> int
+(** A uniformly distributed large key. *)
+
+val sample_get_key : t -> Dsim.Rng.t -> int
+(** Pick a key for a GET: with probability [p_large/100] a uniform large
+    key, otherwise a zipf-distributed small key. *)
+
+val sample_put : t -> Dsim.Rng.t -> int * int
+(** Pick a key and the new value size for a PUT.  The new size is drawn
+    from the key's own class (tiny/small/large), modelling updates that
+    keep an item's character without keeping its exact size. *)
+
+val mean_item_bytes_per_request : t -> float
+(** Expected item size per request under the spec's request mix. *)

@@ -1,0 +1,55 @@
+type op = Get | Put
+
+type request = { op : op; key_id : int; item_size : int; is_large : bool }
+
+type t = {
+  dataset : Dataset.t;
+  rng : Dsim.Rng.t;
+  mutable p_large : float;
+  get_ratio : float;
+}
+
+let create ?(seed = 11) ?p_large ?get_ratio dataset =
+  let spec = Dataset.spec dataset in
+  {
+    dataset;
+    rng = Dsim.Rng.create seed;
+    p_large = Option.value p_large ~default:spec.Spec.p_large;
+    get_ratio = Option.value get_ratio ~default:spec.Spec.get_ratio;
+  }
+
+let dataset t = t.dataset
+
+let p_large t = t.p_large
+
+let set_p_large t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Generator.set_p_large: out of [0, 100]";
+  t.p_large <- p
+
+let next t =
+  let large = Dsim.Rng.unit_float t.rng < t.p_large /. 100.0 in
+  let key_id =
+    if large then Dataset.sample_large_key t.dataset t.rng
+    else Dataset.sample_small_key t.dataset t.rng
+  in
+  if Dsim.Rng.unit_float t.rng < t.get_ratio then
+    { op = Get; key_id; item_size = Dataset.size_of_key t.dataset key_id; is_large = large }
+  else begin
+    let spec = Dataset.spec t.dataset in
+    let new_size =
+      if large then
+        Dsim.Dist.uniform_int_in t.rng ~lo:Spec.large_min ~hi:spec.Spec.s_large_max
+      else if Dataset.size_of_key t.dataset key_id <= Spec.tiny_max then
+        Dsim.Dist.uniform_int_in t.rng ~lo:Spec.tiny_min ~hi:Spec.tiny_max
+      else Dsim.Dist.uniform_int_in t.rng ~lo:Spec.small_min ~hi:Spec.small_max
+    in
+    { op = Put; key_id; item_size = new_size; is_large = large }
+  end
+
+let request_wire_bytes r ~key_size =
+  match r.op with
+  | Get ->
+      Netsim.Frame.wire_bytes_for_payload (Proto.Wire.get_request_size ~key_len:key_size)
+  | Put ->
+      Netsim.Frame.wire_bytes_for_payload
+        (Proto.Wire.put_request_size ~key_len:key_size ~value_len:r.item_size)

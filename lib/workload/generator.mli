@@ -1,0 +1,39 @@
+(** Request stream generator.
+
+    Draws the operation (GET/PUT per the spec's ratio), the key and — for
+    PUTs — the new item size.  The large-request probability can be changed
+    at runtime, which is how the dynamic workload of §6.6 varies [p_l]
+    while everything else stays fixed. *)
+
+type op = Get | Put
+
+type request = {
+  op : op;
+  key_id : int;
+  item_size : int;
+      (** For GET: the stored size of the item (what the server will
+          discover at lookup).  For PUT: the size being written (carried in
+          the request, §3). *)
+  is_large : bool; (** ground truth w.r.t. the dataset class, for metrics *)
+}
+
+type t
+
+val create : ?seed:int -> ?p_large:float -> ?get_ratio:float -> Dataset.t -> t
+(** [p_large] and [get_ratio] default to the dataset's spec.  Overrides let
+    one dataset (whose sizes do not depend on the mix) serve many request
+    mixes. *)
+
+val dataset : t -> Dataset.t
+
+val p_large : t -> float
+(** Current large-request percentage (initially the spec's). *)
+
+val set_p_large : t -> float -> unit
+
+val next : t -> request
+(** Generate the next request. *)
+
+val request_wire_bytes : request -> key_size:int -> int
+(** Bytes the request occupies on the wire (the whole encoded request for
+    a PUT, the small fixed-size request for a GET), including framing. *)

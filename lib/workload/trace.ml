@@ -1,0 +1,95 @@
+type t = Generator.request array
+
+let capture gen ~n =
+  if n < 0 then invalid_arg "Trace.capture: negative count";
+  Array.init n (fun _ -> Generator.next gen)
+
+let magic = "MNTR1\n"
+
+(* Record layout: op(1) is_large(1) key_id(8) item_size(4), little endian. *)
+let record_size = 14
+
+let save path trace =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      let count = Bytes.create 8 in
+      Bytes.set_int64_le count 0 (Int64.of_int (Array.length trace));
+      output_bytes oc count;
+      let buf = Bytes.create record_size in
+      Array.iter
+        (fun (r : Generator.request) ->
+          Bytes.set_uint8 buf 0 (match r.Generator.op with Generator.Get -> 0 | Generator.Put -> 1);
+          Bytes.set_uint8 buf 1 (if r.Generator.is_large then 1 else 0);
+          Bytes.set_int64_le buf 2 (Int64.of_int r.Generator.key_id);
+          Bytes.set_int32_le buf 10 (Int32.of_int r.Generator.item_size);
+          output_bytes oc buf)
+        trace)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = really_input_string ic (String.length magic) in
+      if header <> magic then failwith "Trace.load: bad magic";
+      let count_buf = Bytes.create 8 in
+      really_input ic count_buf 0 8;
+      let count = Int64.to_int (Bytes.get_int64_le count_buf 0) in
+      if count < 0 then failwith "Trace.load: bad count";
+      let buf = Bytes.create record_size in
+      Array.init count (fun _ ->
+          really_input ic buf 0 record_size;
+          let op =
+            match Bytes.get_uint8 buf 0 with
+            | 0 -> Generator.Get
+            | 1 -> Generator.Put
+            | _ -> failwith "Trace.load: bad opcode"
+          in
+          {
+            Generator.op;
+            is_large = Bytes.get_uint8 buf 1 = 1;
+            key_id = Int64.to_int (Bytes.get_int64_le buf 2);
+            item_size = Int32.to_int (Bytes.get_int32_le buf 10);
+          }))
+
+let replayer ?(loop = false) trace =
+  let pos = ref 0 in
+  fun () ->
+    if Array.length trace = 0 then None
+    else if !pos < Array.length trace then begin
+      let r = trace.(!pos) in
+      incr pos;
+      Some r
+    end
+    else if loop then begin
+      pos := 1;
+      Some trace.(0)
+    end
+    else None
+
+let size_percentile trace q =
+  if Array.length trace = 0 then invalid_arg "Trace.size_percentile: empty trace";
+  let sizes =
+    Array.map (fun (r : Generator.request) -> float_of_int r.Generator.item_size) trace
+  in
+  Stats.Quantile.of_array sizes q
+
+let percent_large trace =
+  if Array.length trace = 0 then invalid_arg "Trace.percent_large: empty trace";
+  let larges =
+    Array.fold_left
+      (fun acc (r : Generator.request) ->
+        if r.Generator.item_size >= Spec.large_min then acc + 1 else acc)
+      0 trace
+  in
+  100.0 *. float_of_int larges /. float_of_int (Array.length trace)
+
+let mean_item_size trace =
+  if Array.length trace = 0 then invalid_arg "Trace.mean_item_size: empty trace";
+  Array.fold_left
+    (fun acc (r : Generator.request) -> acc +. float_of_int r.Generator.item_size)
+    0.0 trace
+  /. float_of_int (Array.length trace)

@@ -1,0 +1,37 @@
+(** Request-trace capture, storage and offline analysis.
+
+    §6.2: "if traces of the target workload are available for off-line
+    analysis (as typical in production workloads), the threshold between
+    large and small requests can be set statically."  This module provides
+    that workflow: capture a request stream from a generator, persist it
+    in a compact binary format, and derive the static threshold (the 99th
+    percentile of item sizes) to feed into
+    {!Kvserver.Config.static_threshold}. *)
+
+type t = Generator.request array
+
+val capture : Generator.t -> n:int -> t
+(** Draw [n] requests from the generator. *)
+
+val save : string -> t -> unit
+(** Write the trace to a file (fixed-width little-endian records under a
+    magic header).  Raises [Sys_error] on I/O failure. *)
+
+val load : string -> t
+(** Read a trace back.  Raises [Failure] on a malformed file. *)
+
+val replayer : ?loop:bool -> t -> unit -> Generator.request option
+(** [replayer trace] returns a pull function yielding the trace in order;
+    [loop] (default false) restarts from the beginning instead of
+    returning [None] at the end. *)
+
+(** Offline analysis *)
+
+val size_percentile : t -> float -> float
+(** [size_percentile t 0.99]: the static threshold §6.2 describes. *)
+
+val percent_large : t -> float
+(** Fraction (in percent) of requests whose item exceeds the large-class
+    boundary; a sanity check against the generating spec. *)
+
+val mean_item_size : t -> float

@@ -1,0 +1,342 @@
+(* Tests for the simulation substrate: RNG, distributions, event heap and
+   the simulation engine. *)
+
+open Dsim
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let approx tolerance = Alcotest.float tolerance
+
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 1234 and b = Rng.create 1234 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  check bool "different seeds differ" true !differs
+
+let test_rng_copy () =
+  let a = Rng.create 99 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  (* The split stream must not equal the parent's continued stream. *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check int "no collisions expected" 0 !same
+
+let test_rng_int_bounds () =
+  let r = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "Rng.int out of bounds"
+  done;
+  Alcotest.check_raises "n = 0 rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_rng_int_uniformity () =
+  (* Loose chi-square-style check over 8 cells. *)
+  let r = Rng.create 11 in
+  let n = 80_000 and cells = 8 in
+  let counts = Array.make cells 0 in
+  for _ = 1 to n do
+    let v = Rng.int r cells in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int n /. float_of_int cells in
+  Array.iter
+    (fun c ->
+      let dev = abs_float (float_of_int c -. expected) /. expected in
+      if dev > 0.05 then
+        Alcotest.failf "cell deviates %.1f%% from uniform" (100.0 *. dev))
+    counts
+
+let test_rng_unit_float_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.unit_float r in
+    if v < 0.0 || v >= 1.0 then Alcotest.fail "unit_float out of [0,1)"
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 17 in
+  let n = 200_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:5.0
+  done;
+  check (approx 0.1) "empirical mean" 5.0 (!sum /. float_of_int n)
+
+(* ------------------------------------------------------------------ *)
+(* Dist.Zipf *)
+
+let test_zipf_prob_sums_to_one () =
+  let z = Dist.Zipf.create ~n:1000 ~theta:0.99 in
+  let sum = ref 0.0 in
+  for k = 0 to 999 do
+    sum := !sum +. Dist.Zipf.prob z k
+  done;
+  check (approx 1e-9) "probabilities sum to 1" 1.0 !sum
+
+let test_zipf_monotone () =
+  let z = Dist.Zipf.create ~n:100 ~theta:0.9 in
+  for k = 0 to 98 do
+    if Dist.Zipf.prob z k < Dist.Zipf.prob z (k + 1) then
+      Alcotest.fail "zipf probabilities must be nonincreasing in rank"
+  done
+
+let test_zipf_sample_range_and_skew () =
+  let n = 10_000 in
+  let z = Dist.Zipf.create ~n ~theta:0.99 in
+  let r = Rng.create 23 in
+  let draws = 100_000 in
+  let rank0 = ref 0 in
+  for _ = 1 to draws do
+    let v = Dist.Zipf.sample z r in
+    if v < 0 || v >= n then Alcotest.fail "zipf sample out of range";
+    if v = 0 then incr rank0
+  done;
+  let expected = Dist.Zipf.prob z 0 in
+  let got = float_of_int !rank0 /. float_of_int draws in
+  (* Rank 0 is ~11% for n=10k, theta=.99; demand agreement within 10% rel. *)
+  if abs_float (got -. expected) /. expected > 0.1 then
+    Alcotest.failf "rank-0 frequency %.4f vs expected %.4f" got expected
+
+let test_zipf_theta_zero_is_uniform () =
+  let n = 16 in
+  let z = Dist.Zipf.create ~n ~theta:0.0 in
+  List.iter
+    (fun k -> check (approx 1e-9) "uniform prob" (1.0 /. float_of_int n)
+        (Dist.Zipf.prob z k))
+    [ 0; 7; 15 ]
+
+let test_zipf_single_key () =
+  let z = Dist.Zipf.create ~n:1 ~theta:0.5 in
+  let r = Rng.create 2 in
+  for _ = 1 to 100 do
+    check int "only rank 0" 0 (Dist.Zipf.sample z r)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Dist.Alias *)
+
+let test_alias_empirical () =
+  let weights = [| 1.0; 3.0; 6.0 |] in
+  let a = Dist.Alias.create weights in
+  let r = Rng.create 31 in
+  let n = 200_000 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to n do
+    let v = Dist.Alias.sample a r in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i w ->
+      let expected = w /. 10.0 in
+      let got = float_of_int counts.(i) /. float_of_int n in
+      if abs_float (got -. expected) > 0.01 then
+        Alcotest.failf "alias cell %d: %.3f vs %.3f" i got expected)
+    weights
+
+let test_alias_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Alias.create: empty weights")
+    (fun () -> ignore (Dist.Alias.create [||]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Alias.create: negative weight") (fun () ->
+      ignore (Dist.Alias.create [| 1.0; -1.0 |]));
+  Alcotest.check_raises "zero total"
+    (Invalid_argument "Alias.create: total weight must be > 0") (fun () ->
+      ignore (Dist.Alias.create [| 0.0; 0.0 |]))
+
+let prop_alias_in_range =
+  QCheck.Test.make ~name:"alias samples in range" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 10) (float_bound_inclusive 10.0))
+    (fun ws ->
+      QCheck.assume (List.exists (fun w -> w > 0.0) ws);
+      let a = Dist.Alias.create (Array.of_list ws) in
+      let r = Rng.create 1 in
+      let k = List.length ws in
+      List.for_all
+        (fun _ ->
+          let v = Dist.Alias.sample a r in
+          v >= 0 && v < k)
+        (List.init 100 Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  Heap.add h ~time:3.0 ~seq:0 "c";
+  Heap.add h ~time:1.0 ~seq:1 "a";
+  Heap.add h ~time:2.0 ~seq:2 "b";
+  let pop () = match Heap.pop_min h with Some (_, _, v) -> v | None -> "?" in
+  check Alcotest.string "first" "a" (pop ());
+  check Alcotest.string "second" "b" (pop ());
+  check Alcotest.string "third" "c" (pop ());
+  check bool "empty" true (Heap.is_empty h)
+
+let test_heap_tie_break_by_seq () =
+  let h = Heap.create () in
+  Heap.add h ~time:1.0 ~seq:5 "later";
+  Heap.add h ~time:1.0 ~seq:2 "earlier";
+  (match Heap.pop_min h with
+  | Some (_, seq, v) ->
+      check int "lowest seq first" 2 seq;
+      check Alcotest.string "value" "earlier" v
+  | None -> Alcotest.fail "expected element");
+  ignore (Heap.pop_min h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted key order" ~count:200
+    QCheck.(list (pair (float_bound_inclusive 1000.0) small_nat))
+    (fun pairs ->
+      let h = Heap.create () in
+      List.iteri (fun i (t, _) -> Heap.add h ~time:t ~seq:i i) pairs;
+      let rec drain acc =
+        match Heap.pop_min h with
+        | Some (t, s, _) -> drain ((t, s) :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      let sorted = List.sort compare popped in
+      popped = sorted)
+
+let test_heap_peek () =
+  let h = Heap.create () in
+  check bool "peek empty" true (Heap.peek_min h = None);
+  Heap.add h ~time:9.0 ~seq:0 42;
+  (match Heap.peek_min h with
+  | Some (t, _, v) ->
+      check (approx 0.0) "peek time" 9.0 t;
+      check int "peek value" 42 v
+  | None -> Alcotest.fail "expected element");
+  check int "peek does not remove" 1 (Heap.length h)
+
+(* ------------------------------------------------------------------ *)
+(* Sim *)
+
+let test_sim_runs_in_time_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule_at sim 5.0 (fun () -> log := 5 :: !log);
+  Sim.schedule_at sim 1.0 (fun () -> log := 1 :: !log);
+  Sim.schedule_at sim 3.0 (fun () -> log := 3 :: !log);
+  Sim.run_until_idle sim;
+  check (Alcotest.list int) "order" [ 1; 3; 5 ] (List.rev !log);
+  check (approx 0.0) "clock at last event" 5.0 (Sim.now sim)
+
+let test_sim_schedule_after () =
+  let sim = Sim.create () in
+  let fired_at = ref 0.0 in
+  Sim.schedule_at sim 10.0 (fun () ->
+      Sim.schedule_after sim 2.5 (fun () -> fired_at := Sim.now sim));
+  Sim.run_until_idle sim;
+  check (approx 1e-9) "relative scheduling" 12.5 !fired_at
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    Sim.schedule_after sim 1.0 tick
+  in
+  Sim.schedule_at sim 0.0 tick;
+  Sim.run sim ~until:10.5;
+  (* Events at 0,1,...,10 fire: 11 total; the clock ends at [until]. *)
+  check int "events within horizon" 11 !count;
+  check (approx 1e-9) "clock stops at until" 10.5 (Sim.now sim);
+  check int "one event still pending" 1 (Sim.pending_events sim)
+
+let test_sim_rejects_past () =
+  let sim = Sim.create () in
+  Sim.schedule_at sim 5.0 (fun () ->
+      match Sim.schedule_at sim 1.0 ignore with
+      | () -> Alcotest.fail "scheduling in the past must raise"
+      | exception Invalid_argument _ -> ());
+  Sim.run_until_idle sim
+
+let test_sim_same_time_fifo () =
+  (* Events scheduled for the same instant run in scheduling order. *)
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.schedule_at sim 1.0 (fun () -> log := i :: !log)
+  done;
+  Sim.run_until_idle sim;
+  check (Alcotest.list int) "fifo at equal time" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_sim_events_processed_counter () =
+  let sim = Sim.create () in
+  for i = 1 to 4 do
+    Sim.schedule_at sim (float_of_int i) ignore
+  done;
+  Sim.run_until_idle sim;
+  check int "processed" 4 (Sim.events_processed sim)
+
+let () =
+  Alcotest.run "dsim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int uniformity" `Slow test_rng_int_uniformity;
+          Alcotest.test_case "unit_float range" `Quick test_rng_unit_float_range;
+          Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "probs sum to 1" `Quick test_zipf_prob_sums_to_one;
+          Alcotest.test_case "monotone" `Quick test_zipf_monotone;
+          Alcotest.test_case "sample range and skew" `Slow test_zipf_sample_range_and_skew;
+          Alcotest.test_case "theta 0 uniform" `Quick test_zipf_theta_zero_is_uniform;
+          Alcotest.test_case "single key" `Quick test_zipf_single_key;
+        ] );
+      ( "alias",
+        [
+          Alcotest.test_case "empirical distribution" `Slow test_alias_empirical;
+          Alcotest.test_case "validation" `Quick test_alias_validation;
+        ]
+        @ qsuite [ prop_alias_in_range ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "tie break by seq" `Quick test_heap_tie_break_by_seq;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+        ]
+        @ qsuite [ prop_heap_sorts ] );
+      ( "sim",
+        [
+          Alcotest.test_case "time order" `Quick test_sim_runs_in_time_order;
+          Alcotest.test_case "schedule after" `Quick test_sim_schedule_after;
+          Alcotest.test_case "run until" `Quick test_sim_run_until;
+          Alcotest.test_case "rejects past" `Quick test_sim_rejects_past;
+          Alcotest.test_case "same-time fifo" `Quick test_sim_same_time_fifo;
+          Alcotest.test_case "events processed" `Quick test_sim_events_processed_counter;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+(* Tests for the exactly-once machinery: the server-side reply cache
+   (Dedup) and the client-side retransmission driver (Retry), separately
+   and composed over a lossy channel. *)
+
+open Proto
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
+
+(* ------------------------------------------------------------------ *)
+(* Dedup *)
+
+let test_dedup_executes_once () =
+  let d = Dedup.create () in
+  let executions = ref 0 in
+  let op () =
+    incr executions;
+    "reply"
+  in
+  let r1, k1 = Dedup.execute d ~id:7L op in
+  let r2, k2 = Dedup.execute d ~id:7L op in
+  check Alcotest.string "same reply" r1 r2;
+  check bool "first fresh" true (k1 = `Fresh);
+  check bool "second replayed" true (k2 = `Replayed);
+  check int "executed once" 1 !executions
+
+let test_dedup_distinct_ids () =
+  let d = Dedup.create () in
+  let _ = Dedup.execute d ~id:1L (fun () -> "a") in
+  let _ = Dedup.execute d ~id:2L (fun () -> "b") in
+  check (Alcotest.option Alcotest.string) "id 1" (Some "a") (Dedup.find d 1L);
+  check (Alcotest.option Alcotest.string) "id 2" (Some "b") (Dedup.find d 2L);
+  check int "two entries" 2 (Dedup.size d)
+
+let test_dedup_fifo_eviction () =
+  let d = Dedup.create ~capacity:3 () in
+  for i = 1 to 5 do
+    ignore (Dedup.execute d ~id:(Int64.of_int i) (fun () -> i))
+  done;
+  check int "bounded" 3 (Dedup.size d);
+  check bool "oldest evicted" false (Dedup.mem d 1L);
+  check bool "newest kept" true (Dedup.mem d 5L);
+  (* A re-arriving evicted id re-executes (at-most-once within the
+     retention window, which the client's retry budget must respect). *)
+  let _, kind = Dedup.execute d ~id:1L (fun () -> 99) in
+  check bool "evicted id is fresh again" true (kind = `Fresh)
+
+let test_dedup_validation () =
+  Alcotest.check_raises "capacity" (Invalid_argument "Dedup.create: capacity must be >= 1")
+    (fun () -> ignore (Dedup.create ~capacity:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Retry *)
+
+let test_retry_first_try () =
+  let sends = ref 0 in
+  let r =
+    Retry.call
+      ~send:(fun ~attempt:_ -> incr sends)
+      ~wait_reply:(fun ~timeout_us:_ -> Some "ok")
+      ()
+  in
+  check bool "ok" true (r = Ok "ok");
+  check int "one send" 1 !sends
+
+let test_retry_eventual_success () =
+  let sends = ref 0 in
+  let r =
+    Retry.call
+      ~config:{ Retry.max_attempts = 5; timeout_us = 10.0; backoff = 2.0 }
+      ~send:(fun ~attempt:_ -> incr sends)
+      ~wait_reply:(fun ~timeout_us:_ -> if !sends >= 3 then Some "late" else None)
+      ()
+  in
+  check bool "ok" true (r = Ok "late");
+  check int "three sends" 3 !sends
+
+let test_retry_timeout () =
+  let sends = ref 0 in
+  let timeouts = ref [] in
+  let r =
+    Retry.call
+      ~config:{ Retry.max_attempts = 3; timeout_us = 10.0; backoff = 2.0 }
+      ~send:(fun ~attempt:_ -> incr sends)
+      ~wait_reply:(fun ~timeout_us ->
+        timeouts := timeout_us :: !timeouts;
+        None)
+      ()
+  in
+  check bool "timed out after 3" true (r = Error (`Timed_out 3));
+  check int "three sends" 3 !sends;
+  check (Alcotest.list (Alcotest.float 1e-9)) "exponential backoff" [ 10.0; 20.0; 40.0 ]
+    (List.rev !timeouts)
+
+let test_retry_budget () =
+  let c = { Retry.max_attempts = 3; timeout_us = 10.0; backoff = 2.0 } in
+  check (Alcotest.float 1e-9) "budget" 70.0 (Retry.total_budget_us c)
+
+let test_retry_validation () =
+  Alcotest.check_raises "attempts" (Invalid_argument "Retry: max_attempts must be >= 1")
+    (fun () ->
+      ignore
+        (Retry.call
+           ~config:{ Retry.max_attempts = 0; timeout_us = 1.0; backoff = 1.0 }
+           ~send:(fun ~attempt:_ -> ())
+           ~wait_reply:(fun ~timeout_us:_ -> None)
+           ()))
+
+(* ------------------------------------------------------------------ *)
+(* Composition: retries over a lossy channel against a deduplicating
+   server must execute each operation's side effect exactly once, and the
+   client must succeed whenever at least one round trip survives. *)
+
+let prop_exactly_once_over_lossy_channel =
+  QCheck.Test.make ~name:"retry + dedup = exactly-once over lossy channel" ~count:200
+    QCheck.(pair (int_range 0 80) small_nat)
+    (fun (loss_pct, seed) ->
+      let rng = Dsim.Rng.create (seed + 1) in
+      let lossy () = Dsim.Rng.int rng 100 < loss_pct in
+      let dedup = Dedup.create () in
+      let counter = ref 0 in
+      (* counter increments are the side effect that must happen exactly
+         once per request id. *)
+      let requests = 50 in
+      let successes = ref 0 in
+      for id = 1 to requests do
+        let in_flight = ref None in
+        let send ~attempt:_ =
+          (* Request datagram may be dropped. *)
+          if not (lossy ()) then begin
+            let reply, _ =
+              Dedup.execute dedup ~id:(Int64.of_int id) (fun () ->
+                  incr counter;
+                  !counter)
+            in
+            (* Reply datagram may be dropped too. *)
+            if not (lossy ()) then in_flight := Some reply
+          end
+        in
+        let wait_reply ~timeout_us:_ =
+          let r = !in_flight in
+          in_flight := None;
+          r
+        in
+        match
+          Retry.call
+            ~config:{ Retry.max_attempts = 8; timeout_us = 1.0; backoff = 1.5 }
+            ~send ~wait_reply ()
+        with
+        | Ok _ -> incr successes
+        | Error (`Timed_out _) -> ()
+      done;
+      (* Side effects happened at most once per request, and exactly once
+         for every request the client saw succeed. *)
+      !counter <= requests && !counter >= !successes)
+
+let () =
+  Alcotest.run "exactly_once"
+    [
+      ( "dedup",
+        [
+          Alcotest.test_case "executes once" `Quick test_dedup_executes_once;
+          Alcotest.test_case "distinct ids" `Quick test_dedup_distinct_ids;
+          Alcotest.test_case "fifo eviction" `Quick test_dedup_fifo_eviction;
+          Alcotest.test_case "validation" `Quick test_dedup_validation;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "first try" `Quick test_retry_first_try;
+          Alcotest.test_case "eventual success" `Quick test_retry_eventual_success;
+          Alcotest.test_case "timeout + backoff" `Quick test_retry_timeout;
+          Alcotest.test_case "budget" `Quick test_retry_budget;
+          Alcotest.test_case "validation" `Quick test_retry_validation;
+        ] );
+      ("composition", qsuite [ prop_exactly_once_over_lossy_channel ]);
+    ]

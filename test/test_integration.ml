@@ -1,0 +1,344 @@
+(* Integration tests: miniature versions of the paper's experiments,
+   asserting the qualitative claims each figure makes.  These use
+   [Experiment.quick_scale]; the full-size runs live in bench/. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let scale = Minos.Experiment.quick_scale
+let cfg = Minos.Experiment.config_of_scale scale
+
+let run ?(cfg = cfg) design load =
+  Minos.Experiment.run ~cfg design Workload.Spec.default ~offered_mops:load
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 claims *)
+
+let test_fig3_minos_dominates_tail () =
+  (* "Minos does better than HKH at any load, with improvements reaching
+     an order of magnitude as soon as the load exceeds 1 Mops." *)
+  List.iter
+    (fun load ->
+      let minos = run Minos.Experiment.Minos load in
+      let hkh = run Minos.Experiment.Hkh load in
+      check bool
+        (Printf.sprintf "minos < hkh p99 at %.1fM" load)
+        true
+        (minos.Kvserver.Metrics.p99_us < hkh.Kvserver.Metrics.p99_us))
+    [ 1.0; 3.0; 5.0 ];
+  let minos = run Minos.Experiment.Minos 3.0 in
+  let hkh = run Minos.Experiment.Hkh 3.0 in
+  check bool "order of magnitude at 3 Mops" true
+    (10.0 *. minos.Kvserver.Metrics.p99_us < hkh.Kvserver.Metrics.p99_us)
+
+let test_fig3_ws_between () =
+  (* Work stealing mitigates HoL at moderate load but degrades toward HKH
+     as load grows. *)
+  let at load =
+    ( (run Minos.Experiment.Minos load).Kvserver.Metrics.p99_us,
+      (run Minos.Experiment.Hkh_ws load).Kvserver.Metrics.p99_us,
+      (run Minos.Experiment.Hkh load).Kvserver.Metrics.p99_us )
+  in
+  let m3, w3, h3 = at 3.0 in
+  check bool "minos < ws at 3M" true (m3 < w3);
+  check bool "ws < hkh at 3M" true (w3 < h3)
+
+let test_fig3_minos_meets_strict_slo_near_peak () =
+  (* Minos keeps p99 <= 50us (10x mean service time) deep into the load
+     range. *)
+  let m = run Minos.Experiment.Minos 5.5 in
+  check bool "stable" true m.Kvserver.Metrics.stable;
+  check bool "p99 within 50us at 5.5 Mops" true (m.Kvserver.Metrics.p99_us <= 50.0)
+
+let test_fig3_peaks () =
+  (* All hardware-dispatch systems reach a similar peak; SHO peaks lower
+     (software handoff bound). *)
+  let peak design =
+    let rec highest_stable best = function
+      | [] -> best
+      | load :: rest ->
+          let m =
+            if design = Minos.Experiment.Sho then
+              Minos.Experiment.run_sho_best ~cfg Workload.Spec.default ~offered_mops:load
+            else run design load
+          in
+          if m.Kvserver.Metrics.stable then
+            highest_stable (Float.max best m.Kvserver.Metrics.throughput_mops) rest
+          else best
+    in
+    highest_stable 0.0 [ 5.0; 5.5; 6.0; 6.3 ]
+  in
+  let minos = peak Minos.Experiment.Minos in
+  let hkh = peak Minos.Experiment.Hkh in
+  let sho = peak Minos.Experiment.Sho in
+  check bool "minos within 10% of hkh peak" true (minos >= 0.9 *. hkh);
+  check bool "sho below hkh peak" true (sho <= 0.97 *. hkh)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4 claim *)
+
+let test_fig4_large_requests_pay_a_bounded_price () =
+  (* Minos penalizes large requests (bounded, ~2x before saturation). *)
+  let minos = run Minos.Experiment.Minos 4.0 in
+  let ws = run Minos.Experiment.Hkh_ws 4.0 in
+  let ml = minos.Kvserver.Metrics.large_p99_us in
+  let wl = ws.Kvserver.Metrics.large_p99_us in
+  check bool "minos large p99 finite" true ((not (Float.is_nan ml)) && ml > 0.0);
+  (* Penalty factor stays within ~4x of the stealing baseline at this
+     moderate load (paper: up to 2x near saturation). *)
+  check bool "bounded penalty" true (ml < 4.0 *. wl);
+  (* ...and the overall p99 win is much larger than the large-request
+     loss. *)
+  check bool "trade is worth it" true
+    (ws.Kvserver.Metrics.p99_us /. minos.Kvserver.Metrics.p99_us > 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5 claim *)
+
+let test_fig5_write_intensive () =
+  (* Minos keeps its tail advantage on 50:50. *)
+  let spec = Workload.Spec.write_intensive in
+  let minos = Minos.Experiment.run ~cfg Minos.Experiment.Minos spec ~offered_mops:4.0 in
+  let hkh = Minos.Experiment.run ~cfg Minos.Experiment.Hkh spec ~offered_mops:4.0 in
+  check bool "tail advantage holds under writes" true
+    (minos.Kvserver.Metrics.p99_us < hkh.Kvserver.Metrics.p99_us)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6/7 claim (one representative point) *)
+
+let test_fig6_slo_speedup () =
+  (* Under the strict 50us SLO, Minos sustains a multiple of HKH's load. *)
+  let eval design rate =
+    Minos.Experiment.run ~cfg design Workload.Spec.default ~offered_mops:rate
+  in
+  let max_of design =
+    (Minos.Slo_search.search
+       ~eval:(eval design)
+       ~slo_p99_us:50.0 ~lo_mops:0.25 ~hi_mops:7.0 ~iters:6)
+      .Minos.Slo_search.max_mops
+  in
+  let minos = max_of Minos.Experiment.Minos in
+  let hkh = max_of Minos.Experiment.Hkh in
+  check bool "minos sustains load under slo" true (minos > 3.0);
+  check bool "speedup > 2x" true (minos > 2.0 *. hkh)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8 claim *)
+
+let test_fig8_sampling_shifts_bottleneck () =
+  let spec = Workload.Spec.with_p_large Workload.Spec.default 0.75 in
+  let with_sampling s load =
+    Minos.Experiment.run
+      ~cfg:{ cfg with Kvserver.Config.sampling = s }
+      Minos.Experiment.Minos spec ~offered_mops:load
+  in
+  (* At the same offered load, sampling frees NIC bandwidth... *)
+  let full = with_sampling 1.0 1.5 in
+  let quarter = with_sampling 0.25 1.5 in
+  check bool "nic util drops" true
+    (quarter.Kvserver.Metrics.nic_tx_utilization
+    < 0.5 *. full.Kvserver.Metrics.nic_tx_utilization);
+  (* ...which lets the system sustain loads that saturate the full-reply
+     configuration. *)
+  let full_hi = with_sampling 1.0 3.5 in
+  let quarter_hi = with_sampling 0.25 3.5 in
+  check bool "sampled sustains higher load" true
+    (quarter_hi.Kvserver.Metrics.stable
+    && ((not full_hi.Kvserver.Metrics.stable)
+       || quarter_hi.Kvserver.Metrics.p99_us < full_hi.Kvserver.Metrics.p99_us))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9 claim *)
+
+let test_fig9_balanced_packets () =
+  (* Packets processed per core are roughly uniform across cores, even
+     though ops per core differ wildly between small and large cores. *)
+  let m = run Minos.Experiment.Minos 4.0 in
+  let packets = m.Kvserver.Metrics.per_core_packets in
+  let total = Array.fold_left ( + ) 0 packets in
+  let n = Array.length packets in
+  let mean = float_of_int total /. float_of_int n in
+  Array.iteri
+    (fun i p ->
+      let ratio = float_of_int p /. mean in
+      if ratio < 0.4 || ratio > 1.8 then
+        Alcotest.failf "core %d handles %.2fx the mean packet load" i ratio)
+    packets
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10 claim *)
+
+let test_fig10_dynamic () =
+  let r = Minos.Figures.fig10 ~scale ~rate_mops:2.0 () in
+  check bool "has p99 series" true (List.length r.Minos.Figures.minos_p99 > 3);
+  (* Minos must beat HKH+WS in the heavy-large middle phases. *)
+  let mid lo hi series =
+    List.filter (fun (t, _) -> t >= lo && t <= hi) series |> List.map snd
+  in
+  let total = 7.0 *. scale.Minos.Experiment.phase_us /. 1.0e6 in
+  let lo = 0.4 *. total and hi = 0.6 *. total in
+  let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)) in
+  let minos_mid = mean (mid lo hi r.Minos.Figures.minos_p99) in
+  let ws_mid = mean (mid lo hi r.Minos.Figures.hkh_ws_p99) in
+  check bool "minos wins in heavy phase" true (minos_mid < ws_mid);
+  (* The large-core count must rise toward the middle and fall back. *)
+  let cores_at t =
+    List.fold_left (fun acc (ct, n) -> if ct <= t then n else acc) 0
+      r.Minos.Figures.large_cores
+  in
+  let early = cores_at (0.15 *. total) and middle = cores_at (0.55 *. total) in
+  check bool "controller adds large cores in heavy phase" true (middle > early)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 *)
+
+let test_table1_mc_matches_analytic () =
+  (* Large requests are ~0.1% of samples, so the byte-share estimate needs
+     a big sample to stabilize (625 large draws at 500k samples). *)
+  List.iter
+    (fun (_, _, analytic, mc) ->
+      if abs_float (analytic -. mc) > 3.0 then
+        Alcotest.failf "analytic %.1f vs measured %.1f" analytic mc)
+    (Minos.Figures.table1 ~mc_samples:500_000 ())
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 *)
+
+let test_fig1_span () =
+  let data = Minos.Figures.fig1 () in
+  let small = List.assoc 64 data and big = List.assoc 1_000_000 data in
+  check bool "hundreds of times slower" true (big /. small > 100.0);
+  (* Monotone in size. *)
+  let rec monotone = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  check bool "monotone" true (monotone data)
+
+(* ------------------------------------------------------------------ *)
+(* SLO search unit behavior *)
+
+let synthetic_metrics rate p99 =
+  {
+    Kvserver.Metrics.design = "synthetic";
+    offered_mops = rate;
+    issued = 1000;
+    completed = 1000;
+    throughput_mops = rate;
+    mean_us = 0.0;
+    p50_us = 0.0;
+    p95_us = 0.0;
+    p99_us = p99;
+    p999_us = 0.0;
+    small_p99_us = 0.0;
+    large_p99_us = 0.0;
+    nic_tx_utilization = 0.0;
+    stable = true;
+    per_core_ops = [||];
+    per_core_packets = [||];
+    final_large_cores = 0;
+    final_threshold = Float.nan;
+    p99_series = [];
+    large_core_series = [];
+    in_flight_end = 0;
+    mean_queue_wait_us = 0.0;
+    mean_service_us = 0.0;
+    mean_tx_wait_us = 0.0;
+  }
+
+let test_slo_search_mechanics () =
+  (* A synthetic convex latency curve: p99 = 10 + load^3. *)
+  let eval rate = synthetic_metrics rate (10.0 +. (rate ** 3.0)) in
+  let r =
+    Minos.Slo_search.search ~eval ~slo_p99_us:50.0 ~lo_mops:0.5 ~hi_mops:8.0 ~iters:12
+  in
+  (* p99 = 50 at load = 40^(1/3) = 3.42. *)
+  if abs_float (r.Minos.Slo_search.max_mops -. 3.42) > 0.05 then
+    Alcotest.failf "found %.3f, expected ~3.42" r.Minos.Slo_search.max_mops;
+  (* Infeasible SLO. *)
+  let r0 = Minos.Slo_search.search ~eval ~slo_p99_us:5.0 ~lo_mops:0.5 ~hi_mops:8.0 ~iters:4 in
+  check (Alcotest.float 0.0) "infeasible -> 0" 0.0 r0.Minos.Slo_search.max_mops;
+  (* SLO met everywhere. *)
+  let r8 =
+    Minos.Slo_search.search ~eval ~slo_p99_us:1.0e6 ~lo_mops:0.5 ~hi_mops:8.0 ~iters:4
+  in
+  check (Alcotest.float 0.0) "hi when always met" 8.0 r8.Minos.Slo_search.max_mops
+
+let test_replication_stability () =
+  (* Three seeds at a moderate load: p99s agree within a few times their
+     spread, and every run is stable.  Guards against seed-sensitive
+     artifacts in the reported numbers. *)
+  let r =
+    Minos.Experiment.run_replicated ~cfg Minos.Experiment.Minos Workload.Spec.default
+      ~offered_mops:3.0
+  in
+  check bool "all stable" true
+    (List.for_all (fun m -> m.Kvserver.Metrics.stable) r.Minos.Experiment.runs);
+  check bool "p99 positive" true (r.Minos.Experiment.p99_mean > 0.0);
+  if r.Minos.Experiment.p99_stddev > 0.35 *. r.Minos.Experiment.p99_mean then
+    Alcotest.failf "p99 %.1f +- %.1f: too seed-sensitive" r.Minos.Experiment.p99_mean
+      r.Minos.Experiment.p99_stddev
+
+let test_csv_export () =
+  let dir = Filename.get_temp_dir_name () in
+  Unix.putenv "MINOS_CSV_DIR" dir;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "MINOS_CSV_DIR" "")
+    (fun () ->
+      Minos.Report.table ~title:"CSV Export Check!" ~headers:[ "a"; "b" ]
+        [ [ "1"; "x,y" ]; [ "2"; "plain" ] ];
+      let path = Filename.concat dir "csv_export_check_.csv" in
+      check bool "file written" true (Sys.file_exists path);
+      let ic = open_in path in
+      let line1 = input_line ic in
+      let line2 = input_line ic in
+      close_in ic;
+      Sys.remove path;
+      check bool "header row" true (line1 = "a,b");
+      check bool "quoted comma cell" true (line2 = "1,\"x,y\""))
+
+let test_design_names_roundtrip () =
+  List.iter
+    (fun d ->
+      match Minos.Experiment.design_of_name (Minos.Experiment.design_name d) with
+      | Some d' -> check bool "roundtrip" true (d = d')
+      | None -> Alcotest.fail "name did not parse")
+    Minos.Experiment.all_designs;
+  check bool "unknown rejected" true (Minos.Experiment.design_of_name "nope" = None)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "fig3",
+        [
+          Alcotest.test_case "minos dominates tail" `Slow test_fig3_minos_dominates_tail;
+          Alcotest.test_case "ws between" `Slow test_fig3_ws_between;
+          Alcotest.test_case "strict slo near peak" `Slow
+            test_fig3_minos_meets_strict_slo_near_peak;
+          Alcotest.test_case "peaks" `Slow test_fig3_peaks;
+        ] );
+      ( "fig4",
+        [
+          Alcotest.test_case "large request price" `Slow
+            test_fig4_large_requests_pay_a_bounded_price;
+        ] );
+      ("fig5", [ Alcotest.test_case "write intensive" `Slow test_fig5_write_intensive ]);
+      ("fig6", [ Alcotest.test_case "slo speedup" `Slow test_fig6_slo_speedup ]);
+      ( "fig8",
+        [
+          Alcotest.test_case "sampling bottleneck shift" `Slow
+            test_fig8_sampling_shifts_bottleneck;
+        ] );
+      ("fig9", [ Alcotest.test_case "balanced packets" `Slow test_fig9_balanced_packets ]);
+      ("fig10", [ Alcotest.test_case "dynamic workload" `Slow test_fig10_dynamic ]);
+      ( "table1",
+        [ Alcotest.test_case "mc vs analytic" `Quick test_table1_mc_matches_analytic ] );
+      ("fig1", [ Alcotest.test_case "service time span" `Quick test_fig1_span ]);
+      ( "harness",
+        [
+          Alcotest.test_case "slo search mechanics" `Quick test_slo_search_mechanics;
+          Alcotest.test_case "design names" `Quick test_design_names_roundtrip;
+          Alcotest.test_case "replication stability" `Slow test_replication_stability;
+          Alcotest.test_case "csv export" `Quick test_csv_export;
+        ] );
+    ]

@@ -1,0 +1,380 @@
+(* Tests for the MICA-style KV store: keyhash, slab allocator, spinlock,
+   and the store with its optimistic-read / CREW concurrency scheme. *)
+
+open Kvstore
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
+
+(* ------------------------------------------------------------------ *)
+(* Keyhash *)
+
+let test_keyhash_deterministic () =
+  check Alcotest.int64 "same key same hash" (Keyhash.hash "hello") (Keyhash.hash "hello");
+  if Keyhash.hash "hello" = Keyhash.hash "hellp" then
+    Alcotest.fail "close keys should differ"
+
+let test_keyhash_field_ranges () =
+  List.iter
+    (fun key ->
+      let h = Keyhash.hash key in
+      let p = Keyhash.partition_of h ~bits:4 in
+      if p < 0 || p >= 16 then Alcotest.failf "partition %d out of range" p;
+      let b = Keyhash.bucket_of h ~bits:10 in
+      if b < 0 || b >= 1024 then Alcotest.failf "bucket %d out of range" b;
+      let t = Keyhash.tag_of h in
+      if t < 1 || t > 0xFFFF then Alcotest.failf "tag %d out of range" t)
+    [ ""; "a"; "key1"; "key2"; String.make 100 'x' ]
+
+let test_keyhash_partition_spread () =
+  (* 4 partition bits over 4096 sequential keys: every partition hit. *)
+  let seen = Array.make 16 0 in
+  for i = 0 to 4095 do
+    let p = Keyhash.partition_of (Keyhash.hash (Printf.sprintf "key-%d" i)) ~bits:4 in
+    seen.(p) <- seen.(p) + 1
+  done;
+  Array.iteri
+    (fun i c -> if c = 0 then Alcotest.failf "partition %d never hit" i)
+    seen
+
+let test_keyhash_bits_validation () =
+  let h = Keyhash.hash "x" in
+  Alcotest.check_raises "negative bits" (Invalid_argument "Keyhash: bits out of [0, 30]")
+    (fun () -> ignore (Keyhash.partition_of h ~bits:(-1)));
+  Alcotest.check_raises "too many bits" (Invalid_argument "Keyhash: bits out of [0, 30]")
+    (fun () -> ignore (Keyhash.bucket_of h ~bits:31));
+  (* bits = 0 is the degenerate single-partition case. *)
+  check int "0 bits -> partition 0" 0 (Keyhash.partition_of h ~bits:0)
+
+let prop_tag_never_zero =
+  QCheck.Test.make ~name:"tag never 0 (0 marks empty slots)" ~count:500
+    QCheck.small_string
+    (fun key -> Keyhash.tag_of (Keyhash.hash key) <> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Slab *)
+
+let test_slab_class_rounding () =
+  check int "min class" 16 (Slab.class_of_size 0);
+  check int "exact" 16 (Slab.class_of_size 16);
+  check int "rounds up" 32 (Slab.class_of_size 17);
+  check int "large" 262144 (Slab.class_of_size 250_000)
+
+let test_slab_alloc_write_read () =
+  let s = Slab.create ~capacity:4096 in
+  let r = Slab.alloc s 10 in
+  Slab.write s r (Bytes.of_string "0123456789");
+  check Alcotest.string "roundtrip" "0123456789" (Bytes.to_string (Slab.read s r));
+  check int "len" 10 r.Slab.len;
+  check int "cap is class" 16 r.Slab.cap;
+  check int "used" 16 (Slab.used_bytes s);
+  check int "live" 1 (Slab.live_regions s)
+
+let test_slab_free_and_reuse () =
+  let s = Slab.create ~capacity:64 in
+  let r1 = Slab.alloc s 30 in
+  (* class 32 *)
+  Slab.free s r1;
+  check int "used after free" 0 (Slab.used_bytes s);
+  let r2 = Slab.alloc s 25 in
+  (* same class: reuses the freed region, no new arena consumption *)
+  check int "recycled offset" r1.Slab.off r2.Slab.off;
+  let r3 = Slab.alloc s 20 in
+  (* fresh region from the remaining 32 bytes *)
+  check bool "distinct offsets" true (r3.Slab.off <> r2.Slab.off)
+
+let test_slab_double_free () =
+  let s = Slab.create ~capacity:64 in
+  let r = Slab.alloc s 8 in
+  Slab.free s r;
+  Alcotest.check_raises "double free" (Invalid_argument "Slab.free: double free")
+    (fun () -> Slab.free s r)
+
+let test_slab_out_of_memory () =
+  let s = Slab.create ~capacity:32 in
+  ignore (Slab.alloc s 32);
+  (match Slab.alloc s 1 with
+  | _ -> Alcotest.fail "expected Out_of_memory"
+  | exception Slab.Out_of_memory 1 -> ()
+  | exception Slab.Out_of_memory n -> Alcotest.failf "wrong size in exn: %d" n)
+
+let test_slab_write_overflow () =
+  let s = Slab.create ~capacity:64 in
+  let r = Slab.alloc s 8 in
+  Alcotest.check_raises "write too big"
+    (Invalid_argument "Slab.write: data exceeds region capacity") (fun () ->
+      Slab.write s r (Bytes.create 17))
+
+let prop_slab_many_alloc_free =
+  QCheck.Test.make ~name:"slab conserves accounting through alloc/free churn"
+    ~count:50
+    QCheck.(list_of_size Gen.(1 -- 50) (int_range 1 500))
+    (fun sizes ->
+      let s = Slab.create ~capacity:(1 lsl 20) in
+      let regions = List.map (fun n -> Slab.alloc s n) sizes in
+      let live_ok = Slab.live_regions s = List.length sizes in
+      List.iter (Slab.free s) regions;
+      live_ok && Slab.live_regions s = 0 && Slab.used_bytes s = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Spinlock *)
+
+let test_spinlock_basic () =
+  let l = Spinlock.create () in
+  check bool "acquire free lock" true (Spinlock.try_lock l);
+  check bool "contended try fails" false (Spinlock.try_lock l);
+  Spinlock.unlock l;
+  check bool "re-acquire" true (Spinlock.try_lock l);
+  Spinlock.unlock l
+
+let test_spinlock_mutual_exclusion () =
+  (* Two domains increment a plain (non-atomic) counter under the lock:
+     the final count is exact only if the lock provides mutual exclusion. *)
+  let l = Spinlock.create () in
+  let counter = ref 0 in
+  let per_domain = 50_000 in
+  let worker () =
+    Domain.spawn (fun () ->
+        for _ = 1 to per_domain do
+          Spinlock.with_lock l (fun () -> incr counter)
+        done)
+  in
+  let d1 = worker () and d2 = worker () in
+  Domain.join d1;
+  Domain.join d2;
+  check int "no lost updates" (2 * per_domain) !counter
+
+let test_spinlock_releases_on_exception () =
+  let l = Spinlock.create () in
+  (try Spinlock.with_lock l (fun () -> failwith "boom") with Failure _ -> ());
+  check bool "released after exception" true (Spinlock.try_lock l);
+  Spinlock.unlock l
+
+(* ------------------------------------------------------------------ *)
+(* Store *)
+
+let small_store () = Store.create ~partition_bits:2 ~bucket_bits:4 ~value_arena_bytes:(1 lsl 20) ()
+
+let test_store_put_get () =
+  let s = small_store () in
+  Store.put s ~guard:`Lock "alpha" (Bytes.of_string "one");
+  Store.put s ~guard:`Lock "beta" (Bytes.of_string "two");
+  check (Alcotest.option Alcotest.string) "get alpha" (Some "one")
+    (Option.map Bytes.to_string (Store.get s "alpha"));
+  check (Alcotest.option Alcotest.string) "get beta" (Some "two")
+    (Option.map Bytes.to_string (Store.get s "beta"));
+  check (Alcotest.option Alcotest.string) "get missing" None
+    (Option.map Bytes.to_string (Store.get s "gamma"));
+  check int "item count" 2 (Store.stats s).Store.items
+
+let test_store_update_in_place () =
+  let s = small_store () in
+  Store.put s ~guard:`Crew "k" (Bytes.of_string "short");
+  Store.put s ~guard:`Crew "k" (Bytes.of_string "a much longer replacement value");
+  check (Alcotest.option Alcotest.string) "updated" (Some "a much longer replacement value")
+    (Option.map Bytes.to_string (Store.get s "k"));
+  check int "still one item" 1 (Store.stats s).Store.items;
+  (* The old region must have been freed: churn the same key and verify
+     arena usage stays bounded. *)
+  for i = 1 to 1000 do
+    Store.put s ~guard:`Crew "k" (Bytes.of_string (Printf.sprintf "value-%d" i))
+  done;
+  let used = (Store.stats s).Store.value_bytes in
+  if used > 1024 then Alcotest.failf "arena leak: %d bytes for one small item" used
+
+let test_store_size_of () =
+  let s = small_store () in
+  Store.put s ~guard:`Lock "k" (Bytes.create 12345);
+  check (Alcotest.option int) "size_of" (Some 12345) (Store.size_of s "k");
+  check (Alcotest.option int) "size_of missing" None (Store.size_of s "nope");
+  check bool "mem" true (Store.mem s "k")
+
+let test_store_delete () =
+  let s = small_store () in
+  Store.put s ~guard:`Lock "k" (Bytes.of_string "v");
+  check bool "delete present" true (Store.delete s ~guard:`Lock "k");
+  check bool "delete absent" false (Store.delete s ~guard:`Lock "k");
+  check (Alcotest.option int) "gone" None (Store.size_of s "k");
+  check int "count" 0 (Store.stats s).Store.items;
+  (* The slot is reusable. *)
+  Store.put s ~guard:`Lock "k" (Bytes.of_string "w");
+  check (Alcotest.option Alcotest.string) "reinserted" (Some "w")
+    (Option.map Bytes.to_string (Store.get s "k"))
+
+let test_store_overflow_chains () =
+  (* 1 partition x 2 buckets x 7 slots = 14 slots; 200 keys force overflow
+     bucket chaining, and every key must remain reachable. *)
+  let s = Store.create ~partition_bits:0 ~bucket_bits:1 ~value_arena_bytes:(1 lsl 20) () in
+  for i = 1 to 200 do
+    Store.put s ~guard:`Lock (Printf.sprintf "key%d" i)
+      (Bytes.of_string (Printf.sprintf "v%d" i))
+  done;
+  check int "all stored" 200 (Store.stats s).Store.items;
+  if (Store.stats s).Store.overflow_buckets = 0 then
+    Alcotest.fail "expected overflow buckets";
+  for i = 1 to 200 do
+    check (Alcotest.option Alcotest.string)
+      (Printf.sprintf "key%d survives" i)
+      (Some (Printf.sprintf "v%d" i))
+      (Option.map Bytes.to_string (Store.get s (Printf.sprintf "key%d" i)))
+  done
+
+let test_store_iter () =
+  let s = small_store () in
+  for i = 1 to 50 do
+    Store.put s ~guard:`Lock (Printf.sprintf "k%d" i) (Bytes.create i)
+  done;
+  let count = ref 0 and bytes = ref 0 in
+  Store.iter s (fun _ size ->
+      incr count;
+      bytes := !bytes + size);
+  check int "iter count" 50 !count;
+  check int "iter sizes" (50 * 51 / 2) !bytes
+
+let test_store_concurrent_readers_writer () =
+  (* One writer updates keys with self-describing values; reader domains
+     must never observe a value inconsistent with its key.  Exercises the
+     bucket-epoch optimistic read protocol for real. *)
+  let s = Store.create ~partition_bits:2 ~bucket_bits:4 ~value_arena_bytes:(1 lsl 22) () in
+  let keys = Array.init 16 (fun i -> Printf.sprintf "key-%d" i) in
+  Array.iteri
+    (fun i k -> Store.put s ~guard:`Lock k (Bytes.of_string (Printf.sprintf "%d:0" i)))
+    keys;
+  let stop = Atomic.make false in
+  let violations = Atomic.make 0 in
+  let reader () =
+    Domain.spawn (fun () ->
+        let r = Dsim.Rng.create (Domain.self () :> int) in
+        while not (Atomic.get stop) do
+          let i = Dsim.Rng.int r 16 in
+          match Store.get s keys.(i) with
+          | Some v ->
+              let str = Bytes.to_string v in
+              (match String.index_opt str ':' with
+              | Some colon ->
+                  if int_of_string (String.sub str 0 colon) <> i then
+                    Atomic.incr violations
+              | None -> Atomic.incr violations)
+          | None -> Atomic.incr violations
+        done)
+  in
+  let writer =
+    Domain.spawn (fun () ->
+        for round = 1 to 20_000 do
+          let i = round mod 16 in
+          Store.put s ~guard:`Lock keys.(i)
+            (Bytes.of_string (Printf.sprintf "%d:%d" i round))
+        done;
+        Atomic.set stop true)
+  in
+  let r1 = reader () and r2 = reader () in
+  Domain.join writer;
+  Domain.join r1;
+  Domain.join r2;
+  check int "no torn reads" 0 (Atomic.get violations)
+
+let test_store_concurrent_mixed_churn () =
+  (* Four domains doing mixed put/get/delete churn on a shared key space:
+     no crashes, no torn reads, and a sane final state. *)
+  let s = Store.create ~partition_bits:2 ~bucket_bits:3 ~value_arena_bytes:(1 lsl 22) () in
+  let n_keys = 32 in
+  let keys = Array.init n_keys (fun i -> Printf.sprintf "churn-%d" i) in
+  let errors = Atomic.make 0 in
+  let worker seed =
+    Domain.spawn (fun () ->
+        let rng = Dsim.Rng.create seed in
+        for _ = 1 to 20_000 do
+          let i = Dsim.Rng.int rng n_keys in
+          match Dsim.Rng.int rng 4 with
+          | 0 | 1 -> (
+              (* The value length encodes the key index. *)
+              match Store.get s keys.(i) with
+              | Some v -> if Bytes.length v mod n_keys <> i then Atomic.incr errors
+              | None -> ())
+          | 2 -> Store.put s ~guard:`Lock keys.(i) (Bytes.create (i + (n_keys * Dsim.Rng.int rng 4)))
+          | _ -> ignore (Store.delete s ~guard:`Lock keys.(i))
+        done)
+  in
+  let ds = List.init 4 (fun d -> worker (100 + d)) in
+  List.iter Domain.join ds;
+  check int "no inconsistent reads" 0 (Atomic.get errors);
+  (* Every surviving key must still be internally consistent. *)
+  Array.iteri
+    (fun i k ->
+      match Store.get s k with
+      | Some v -> if Bytes.length v mod n_keys <> i then Alcotest.fail "corrupt survivor"
+      | None -> ())
+    keys
+
+let prop_store_model_check =
+  (* Compare the store against a Hashtbl model under a random op sequence. *)
+  QCheck.Test.make ~name:"store agrees with model" ~count:30
+    QCheck.(list_of_size Gen.(1 -- 200)
+              (triple (int_bound 20) (int_bound 2) (int_range 0 64)))
+    (fun ops ->
+      let s = Store.create ~partition_bits:1 ~bucket_bits:2
+          ~value_arena_bytes:(1 lsl 20) ()
+      in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (key_idx, op, size) ->
+          let key = Printf.sprintf "key%d" key_idx in
+          match op with
+          | 0 ->
+              let v = Bytes.make size 'x' in
+              Store.put s ~guard:`Lock key v;
+              Hashtbl.replace model key size;
+              true
+          | 1 ->
+              let expected = Hashtbl.mem model key in
+              Hashtbl.remove model key;
+              Store.delete s ~guard:`Lock key = expected
+          | _ -> Store.size_of s key = Hashtbl.find_opt model key)
+        ops
+      && (Store.stats s).Store.items = Hashtbl.length model)
+
+let () =
+  Alcotest.run "kvstore"
+    [
+      ( "keyhash",
+        [
+          Alcotest.test_case "deterministic" `Quick test_keyhash_deterministic;
+          Alcotest.test_case "field ranges" `Quick test_keyhash_field_ranges;
+          Alcotest.test_case "partition spread" `Quick test_keyhash_partition_spread;
+          Alcotest.test_case "bits validation" `Quick test_keyhash_bits_validation;
+        ]
+        @ qsuite [ prop_tag_never_zero ] );
+      ( "slab",
+        [
+          Alcotest.test_case "class rounding" `Quick test_slab_class_rounding;
+          Alcotest.test_case "alloc write read" `Quick test_slab_alloc_write_read;
+          Alcotest.test_case "free and reuse" `Quick test_slab_free_and_reuse;
+          Alcotest.test_case "double free" `Quick test_slab_double_free;
+          Alcotest.test_case "out of memory" `Quick test_slab_out_of_memory;
+          Alcotest.test_case "write overflow" `Quick test_slab_write_overflow;
+        ]
+        @ qsuite [ prop_slab_many_alloc_free ] );
+      ( "spinlock",
+        [
+          Alcotest.test_case "basic" `Quick test_spinlock_basic;
+          Alcotest.test_case "mutual exclusion" `Slow test_spinlock_mutual_exclusion;
+          Alcotest.test_case "exception safety" `Quick test_spinlock_releases_on_exception;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "put get" `Quick test_store_put_get;
+          Alcotest.test_case "update in place" `Quick test_store_update_in_place;
+          Alcotest.test_case "size_of" `Quick test_store_size_of;
+          Alcotest.test_case "delete" `Quick test_store_delete;
+          Alcotest.test_case "overflow chains" `Quick test_store_overflow_chains;
+          Alcotest.test_case "iter" `Quick test_store_iter;
+          Alcotest.test_case "concurrent readers/writer" `Slow
+            test_store_concurrent_readers_writer;
+          Alcotest.test_case "concurrent mixed churn" `Slow
+            test_store_concurrent_mixed_churn;
+        ]
+        @ qsuite [ prop_store_model_check ] );
+    ]

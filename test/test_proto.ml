@@ -1,0 +1,306 @@
+(* Tests for the wire protocol: codecs and fragmentation/reassembly. *)
+
+open Proto
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
+
+let req ?(id = 7L) ?(op = Wire.Get) ?(key = "mykey") ?value ?(ts = 123456789L)
+    ?(rx = 3) () =
+  { Wire.id; op; key; value; client_ts = ts; target_rx = rx }
+
+(* ------------------------------------------------------------------ *)
+(* Wire *)
+
+let test_request_roundtrip_get () =
+  let r = req () in
+  match Wire.decode_request (Wire.encode_request r) with
+  | Ok r' ->
+      check Alcotest.int64 "id" r.Wire.id r'.Wire.id;
+      check bool "op" true (r'.Wire.op = Wire.Get);
+      check Alcotest.string "key" "mykey" r'.Wire.key;
+      check bool "no value" true (r'.Wire.value = None);
+      check Alcotest.int64 "ts" r.Wire.client_ts r'.Wire.client_ts;
+      check int "rx" 3 r'.Wire.target_rx
+  | Error e -> Alcotest.failf "decode failed: %a" Wire.pp_error e
+
+let test_request_roundtrip_put () =
+  let value = Bytes.of_string (String.make 5000 'v') in
+  let r = req ~op:Wire.Put ~value () in
+  match Wire.decode_request (Wire.encode_request r) with
+  | Ok r' ->
+      check bool "op" true (r'.Wire.op = Wire.Put);
+      check (Alcotest.option Alcotest.bytes) "value" (Some value) r'.Wire.value
+  | Error e -> Alcotest.failf "decode failed: %a" Wire.pp_error e
+
+let test_empty_value_distinct_from_none () =
+  (* A PUT of a zero-length value is not the same as a GET's absent
+     value. *)
+  let r = req ~op:Wire.Put ~value:Bytes.empty () in
+  match Wire.decode_request (Wire.encode_request r) with
+  | Ok r' -> check (Alcotest.option Alcotest.bytes) "empty value" (Some Bytes.empty) r'.Wire.value
+  | Error e -> Alcotest.failf "decode failed: %a" Wire.pp_error e
+
+let test_reply_roundtrip () =
+  let rep =
+    { Wire.id = 99L; status = Wire.Ok; value = Some (Bytes.of_string "data");
+      client_ts = 42L }
+  in
+  (match Wire.decode_reply (Wire.encode_reply rep) with
+  | Ok r ->
+      check Alcotest.int64 "id" 99L r.Wire.id;
+      check bool "status" true (r.Wire.status = Wire.Ok);
+      check (Alcotest.option Alcotest.string) "value" (Some "data")
+        (Option.map Bytes.to_string r.Wire.value)
+  | Error e -> Alcotest.failf "decode failed: %a" Wire.pp_error e);
+  let nf = { Wire.id = 1L; status = Wire.Not_found; value = None; client_ts = 0L } in
+  match Wire.decode_reply (Wire.encode_reply nf) with
+  | Ok r -> check bool "not found" true (r.Wire.status = Wire.Not_found)
+  | Error e -> Alcotest.failf "decode failed: %a" Wire.pp_error e
+
+let test_decode_errors () =
+  let good = Wire.encode_request (req ()) in
+  (match Wire.decode_request (Bytes.sub good 0 5) with
+  | Error Wire.Truncated -> ()
+  | _ -> Alcotest.fail "expected Truncated");
+  let bad_magic = Bytes.copy good in
+  Bytes.set_uint8 bad_magic 0 0x00;
+  (match Wire.decode_request bad_magic with
+  | Error Wire.Bad_magic -> ()
+  | _ -> Alcotest.fail "expected Bad_magic");
+  let bad_op = Bytes.copy good in
+  Bytes.set_uint8 bad_op 1 200;
+  (match Wire.decode_request bad_op with
+  | Error Wire.Bad_op -> ()
+  | _ -> Alcotest.fail "expected Bad_op");
+  (* Truncated value payload. *)
+  let put = Wire.encode_request (req ~op:Wire.Put ~value:(Bytes.create 100) ()) in
+  match Wire.decode_request (Bytes.sub put 0 (Bytes.length put - 1)) with
+  | Error Wire.Truncated -> ()
+  | _ -> Alcotest.fail "expected Truncated value"
+
+let test_size_accessors_match_encoding () =
+  let get = req () in
+  check int "request_size get" (Bytes.length (Wire.encode_request get))
+    (Wire.request_size get);
+  check int "get_request_size" (Bytes.length (Wire.encode_request get))
+    (Wire.get_request_size ~key_len:5);
+  let put = req ~op:Wire.Put ~value:(Bytes.create 321) () in
+  check int "put_request_size" (Bytes.length (Wire.encode_request put))
+    (Wire.put_request_size ~key_len:5 ~value_len:321);
+  let rep = { Wire.id = 1L; status = Wire.Ok; value = Some (Bytes.create 77);
+              client_ts = 0L } in
+  check int "get_reply_size" (Bytes.length (Wire.encode_reply rep))
+    (Wire.get_reply_size ~value_len:77);
+  let prep = { Wire.id = 1L; status = Wire.Ok; value = None; client_ts = 0L } in
+  check int "put_reply_size" (Bytes.length (Wire.encode_reply prep)) Wire.put_reply_size
+
+let prop_decode_never_crashes =
+  (* Fuzz: arbitrary bytes must decode to Ok/Error, never raise — a UDP
+     server feeds attacker-controlled datagrams straight into these. *)
+  QCheck.Test.make ~name:"decoders total on arbitrary input" ~count:1000
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      let b = Bytes.of_string s in
+      (match Wire.decode_request b with Ok _ | Error _ -> ());
+      (match Wire.decode_reply b with Ok _ | Error _ -> ());
+      true)
+
+let prop_fragment_offer_never_crashes =
+  QCheck.Test.make ~name:"reassembler total on arbitrary datagrams" ~count:500
+    QCheck.(list_of_size Gen.(1 -- 20) (string_of_size Gen.(0 -- 100)))
+    (fun datagrams ->
+      let r = Fragment.create_reassembler () in
+      List.iter (fun s -> ignore (Fragment.offer r (Bytes.of_string s))) datagrams;
+      true)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request codec roundtrip" ~count:300
+    QCheck.(quad small_string (option (string_of_size Gen.(0 -- 3000)))
+              (int_bound 0xFFFF) (int_bound 1000000))
+    (fun (key, value, rx, id) ->
+      let op = match value with Some _ -> Wire.Put | None -> Wire.Get in
+      let r =
+        { Wire.id = Int64.of_int id; op; key;
+          value = Option.map Bytes.of_string value;
+          client_ts = Int64.of_int (id * 3); target_rx = rx }
+      in
+      match Wire.decode_request (Wire.encode_request r) with
+      | Ok r' ->
+          r'.Wire.key = key && r'.Wire.target_rx = rx
+          && Option.map Bytes.to_string r'.Wire.value = value
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Fragment *)
+
+let test_fragment_counts () =
+  check int "empty -> 1" 1 (Fragment.fragments_for 0);
+  check int "fits" 1 (Fragment.fragments_for Fragment.max_fragment_payload);
+  check int "one over" 2 (Fragment.fragments_for (Fragment.max_fragment_payload + 1));
+  check int "header size" 15 Fragment.header_size
+
+let test_split_respects_mtu () =
+  let msg = Bytes.create 10_000 in
+  let frags = Fragment.split ~msg_id:5L msg in
+  check int "fragment count" (Fragment.fragments_for 10_000) (List.length frags);
+  List.iter
+    (fun f ->
+      if Bytes.length f > Netsim.Frame.max_udp_payload then
+        Alcotest.fail "fragment exceeds UDP payload")
+    frags
+
+let test_reassembly_in_order () =
+  let msg = Bytes.init 5000 (fun i -> Char.chr (i mod 256)) in
+  let frags = Fragment.split ~msg_id:9L msg in
+  let r = Fragment.create_reassembler () in
+  let rec feed = function
+    | [] -> Alcotest.fail "never completed"
+    | [ last ] -> (
+        match Fragment.offer r last with
+        | Some (id, out) ->
+            check Alcotest.int64 "msg id" 9L id;
+            check Alcotest.bytes "payload" msg out
+        | None -> Alcotest.fail "final fragment should complete")
+    | f :: rest ->
+        (match Fragment.offer r f with
+        | None -> ()
+        | Some _ -> Alcotest.fail "completed early");
+        feed rest
+  in
+  feed frags;
+  check int "nothing pending" 0 (Fragment.pending r)
+
+let test_reassembly_out_of_order_and_interleaved () =
+  let m1 = Bytes.init 4000 (fun i -> Char.chr (i mod 251)) in
+  let m2 = Bytes.init 6000 (fun i -> Char.chr ((i * 7) mod 253)) in
+  let f1 = Fragment.split ~msg_id:1L m1 in
+  let f2 = Fragment.split ~msg_id:2L m2 in
+  let r = Fragment.create_reassembler () in
+  let completed = Hashtbl.create 4 in
+  (* Interleave reversed fragment lists of two messages. *)
+  let rec weave a b =
+    match (a, b) with
+    | [], [] -> ()
+    | x :: xs, b ->
+        (match Fragment.offer r x with
+        | Some (id, out) -> Hashtbl.replace completed id out
+        | None -> ());
+        weave b xs
+    | [], x :: xs ->
+        (match Fragment.offer r x with
+        | Some (id, out) -> Hashtbl.replace completed id out
+        | None -> ());
+        weave [] xs
+  in
+  weave (List.rev f1) (List.rev f2);
+  check (Alcotest.option Alcotest.bytes) "m1" (Some m1) (Hashtbl.find_opt completed 1L);
+  check (Alcotest.option Alcotest.bytes) "m2" (Some m2) (Hashtbl.find_opt completed 2L)
+
+let test_duplicate_fragments_ignored () =
+  let msg = Bytes.create 4000 in
+  let frags = Fragment.split ~msg_id:3L msg in
+  let r = Fragment.create_reassembler () in
+  match frags with
+  | first :: rest ->
+      ignore (Fragment.offer r first);
+      ignore (Fragment.offer r first);
+      (* duplicate *)
+      let final = List.fold_left (fun _ f -> Fragment.offer r f) None rest in
+      (match final with
+      | Some (_, out) -> check int "length preserved" 4000 (Bytes.length out)
+      | None -> Alcotest.fail "should have completed")
+  | [] -> Alcotest.fail "expected fragments"
+
+let test_garbage_datagrams_ignored () =
+  let r = Fragment.create_reassembler () in
+  check bool "short" true (Fragment.offer r (Bytes.create 3) = None);
+  let junk = Bytes.make 100 '\x42' in
+  check bool "bad magic" true (Fragment.offer r junk = None);
+  check int "no partials" 0 (Fragment.pending r)
+
+let test_drop_incomplete () =
+  let msg = Bytes.create 4000 in
+  let r = Fragment.create_reassembler () in
+  (match Fragment.split ~msg_id:8L msg with
+  | f :: _ -> ignore (Fragment.offer r f)
+  | [] -> ());
+  check int "one pending" 1 (Fragment.pending r);
+  Fragment.drop_incomplete r;
+  check int "dropped" 0 (Fragment.pending r)
+
+let prop_fragment_roundtrip =
+  QCheck.Test.make ~name:"fragment/reassemble roundtrip, shuffled" ~count:100
+    QCheck.(pair (string_of_size Gen.(0 -- 20_000)) small_nat)
+    (fun (payload, seed) ->
+      let msg = Bytes.of_string payload in
+      let frags = Array.of_list (Fragment.split ~msg_id:77L msg) in
+      (* Fisher-Yates shuffle with a deterministic RNG. *)
+      let rng = Dsim.Rng.create seed in
+      for i = Array.length frags - 1 downto 1 do
+        let j = Dsim.Rng.int rng (i + 1) in
+        let tmp = frags.(i) in
+        frags.(i) <- frags.(j);
+        frags.(j) <- tmp
+      done;
+      let r = Fragment.create_reassembler () in
+      let result =
+        Array.fold_left
+          (fun acc f -> match Fragment.offer r f with Some (_, m) -> Some m | None -> acc)
+          None frags
+      in
+      result = Some msg)
+
+(* Wire messages larger than one frame survive the full encode -> fragment
+   -> reassemble -> decode pipeline. *)
+let test_end_to_end_large_put () =
+  let value = Bytes.init 300_000 (fun i -> Char.chr (i mod 256)) in
+  let r = req ~op:Wire.Put ~value () in
+  let encoded = Wire.encode_request r in
+  let frags = Fragment.split ~msg_id:55L encoded in
+  check bool "multi-frame" true (List.length frags > 100);
+  let re = Fragment.create_reassembler () in
+  let out = List.fold_left (fun acc f ->
+      match Fragment.offer re f with Some (_, m) -> Some m | None -> acc)
+      None frags
+  in
+  match out with
+  | Some m -> (
+      match Wire.decode_request m with
+      | Ok r' -> check (Alcotest.option Alcotest.bytes) "value intact" (Some value) r'.Wire.value
+      | Error e -> Alcotest.failf "decode failed: %a" Wire.pp_error e)
+  | None -> Alcotest.fail "reassembly failed"
+
+let () =
+  Alcotest.run "proto"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "get roundtrip" `Quick test_request_roundtrip_get;
+          Alcotest.test_case "put roundtrip" `Quick test_request_roundtrip_put;
+          Alcotest.test_case "empty vs absent value" `Quick
+            test_empty_value_distinct_from_none;
+          Alcotest.test_case "reply roundtrip" `Quick test_reply_roundtrip;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "size accessors" `Quick test_size_accessors_match_encoding;
+        ]
+        @ qsuite
+            [ prop_request_roundtrip; prop_decode_never_crashes;
+              prop_fragment_offer_never_crashes ] );
+      ( "fragment",
+        [
+          Alcotest.test_case "counts" `Quick test_fragment_counts;
+          Alcotest.test_case "split respects mtu" `Quick test_split_respects_mtu;
+          Alcotest.test_case "in-order reassembly" `Quick test_reassembly_in_order;
+          Alcotest.test_case "out of order + interleaved" `Quick
+            test_reassembly_out_of_order_and_interleaved;
+          Alcotest.test_case "duplicates ignored" `Quick test_duplicate_fragments_ignored;
+          Alcotest.test_case "garbage ignored" `Quick test_garbage_datagrams_ignored;
+          Alcotest.test_case "drop incomplete" `Quick test_drop_incomplete;
+          Alcotest.test_case "end-to-end large put" `Quick test_end_to_end_large_put;
+        ]
+        @ qsuite [ prop_fragment_roundtrip ] );
+    ]

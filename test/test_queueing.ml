@@ -1,0 +1,167 @@
+(* Tests for the queueing library: analytic formulas (against textbook
+   values) and the discrete-event models (against the analytic formulas —
+   the strongest correctness check we have for the simulator core). *)
+
+open Queueing
+
+let check = Alcotest.check
+let approx t = Alcotest.float t
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Analytic *)
+
+let test_mm1_mean () =
+  (* rho = 0.5, mu = 1: T = 1/(1-0.5) = 2 *)
+  check (approx 1e-9) "mm1 mean" 2.0 (Analytic.mm1_mean_response ~lambda:0.5 ~mu:1.0);
+  Alcotest.check_raises "unstable" (Invalid_argument "Analytic: unstable queue (lambda >= mu)")
+    (fun () -> ignore (Analytic.mm1_mean_response ~lambda:2.0 ~mu:1.0))
+
+let test_mm1_quantile () =
+  (* p99 of exp(mu - lambda): -ln(0.01)/(mu-lambda) *)
+  let v = Analytic.mm1_response_quantile ~lambda:0.5 ~mu:1.0 ~q:0.99 in
+  check (approx 1e-6) "mm1 p99" (-.log 0.01 /. 0.5) v
+
+let test_mg1_pollaczek_khinchine () =
+  (* Deterministic service (M/D/1): E(S)=1, E(S^2)=1, rho=0.5:
+     W = 0.5*1/(2*0.5) = 0.5 *)
+  check (approx 1e-9) "md1 wait" 0.5 (Analytic.mg1_mean_wait ~lambda:0.5 ~es:1.0 ~es2:1.0);
+  (* Exponential service (M/M/1): E(S^2) = 2/mu^2; W = rho/(mu - lambda) *)
+  let w = Analytic.mg1_mean_wait ~lambda:0.5 ~es:1.0 ~es2:2.0 in
+  check (approx 1e-9) "mm1 via pk" 1.0 w;
+  check (approx 1e-9) "response = wait + service" 2.0
+    (Analytic.mg1_mean_response ~lambda:0.5 ~es:1.0 ~es2:2.0)
+
+let test_erlang_c_known_values () =
+  (* Single server: Erlang C = rho. *)
+  check (approx 1e-9) "n=1" 0.3 (Analytic.mmn_erlang_c ~n:1 ~offered:0.3);
+  (* Textbook value: n=2, offered a=1 -> C = 1/3. *)
+  check (approx 1e-9) "n=2 a=1" (1.0 /. 3.0) (Analytic.mmn_erlang_c ~n:2 ~offered:1.0);
+  (* Erlang C decreases with more servers at the same per-server load. *)
+  let c2 = Analytic.mmn_erlang_c ~n:2 ~offered:1.0 in
+  let c8 = Analytic.mmn_erlang_c ~n:8 ~offered:4.0 in
+  check bool "pooling helps" true (c8 < c2)
+
+let test_mmn_mean_wait () =
+  (* n=1 reduces to M/M/1: W = rho/(mu - lambda). *)
+  let w = Analytic.mmn_mean_wait ~n:1 ~lambda:0.5 ~mu:1.0 in
+  check (approx 1e-9) "n=1 wait" 1.0 w
+
+let test_bimodal_moments () =
+  let es, es2 = Analytic.bimodal_moments ~p_large:0.00125 ~small:1.0 ~large:100.0 in
+  check (approx 1e-9) "E(S)" (0.99875 +. 0.125) es;
+  check (approx 1e-6) "E(S2)" (0.99875 +. 12.5) es2
+
+(* ------------------------------------------------------------------ *)
+(* Models vs analytic *)
+
+let run_model ?(requests = 400_000) discipline ~cores ~load ~p_large ~k ~seed =
+  Models.run discipline
+    { Models.cores; load; p_large; k; requests; warmup_fraction = 0.1; seed }
+
+(* Single core, no large requests: M/D/1.  The simulated mean response
+   must match Pollaczek-Khinchine within a few percent. *)
+let test_md1_mean_vs_pk () =
+  List.iter
+    (fun load ->
+      let r = run_model Models.Per_core_queues ~cores:1 ~load ~p_large:0.0 ~k:1.0 ~seed:3 in
+      let expected = Analytic.mg1_mean_response ~lambda:load ~es:1.0 ~es2:1.0 in
+      let err = abs_float (r.Models.mean -. expected) /. expected in
+      if err > 0.05 then
+        Alcotest.failf "load %.1f: mean %.3f vs PK %.3f (%.1f%% off)" load r.Models.mean
+          expected (100.0 *. err))
+    [ 0.3; 0.5; 0.7 ]
+
+(* Single core, bimodal service: M/G/1 with the paper's service mix. *)
+let test_mg1_bimodal_vs_pk () =
+  let p_large = 0.00125 and k = 100.0 in
+  let es, es2 = Analytic.bimodal_moments ~p_large ~small:1.0 ~large:k in
+  List.iter
+    (fun load ->
+      let lambda = load in
+      (* load is normalized to small-only capacity; for 1 core that's
+         requests per time unit. *)
+      let r = run_model ~requests:800_000 Models.Per_core_queues ~cores:1 ~load ~p_large ~k ~seed:5 in
+      let expected = Analytic.mg1_mean_response ~lambda ~es ~es2 in
+      let err = abs_float (r.Models.mean -. expected) /. expected in
+      if err > 0.10 then
+        Alcotest.failf "load %.2f: mean %.2f vs PK %.2f (%.1f%% off)" load r.Models.mean
+          expected (100.0 *. err))
+    [ 0.3; 0.5 ]
+
+(* The Figure 2 qualitative claims. *)
+let test_fig2_ordering_at_high_load () =
+  let cfg d = run_model d ~cores:8 ~load:0.5 ~p_large:0.00125 ~k:1000.0 ~seed:7 in
+  let per_core = cfg Models.Per_core_queues in
+  let single = cfg Models.Single_queue in
+  let steal = cfg Models.Work_stealing in
+  (* Late binding and stealing beat early binding on p99. *)
+  check bool "single < per-core p99" true (single.Models.p99 < per_core.Models.p99);
+  check bool "stealing < per-core p99" true (steal.Models.p99 < per_core.Models.p99)
+
+let test_fig2_k1_baseline_flat () =
+  (* With K=1 the workload is homogeneous: p99 stays within a small
+     multiple of the service time at moderate load. *)
+  let r = run_model Models.Per_core_queues ~cores:8 ~load:0.5 ~p_large:0.00125 ~k:1.0 ~seed:9 in
+  check bool "modest p99" true (r.Models.p99 < 10.0)
+
+let test_fig2_large_k_hurts_per_core () =
+  (* Even at 10% load, K=1000 inflates nxM/G/1's p99 by >= an order of
+     magnitude over K=1 — the paper's headline motivation. *)
+  let k1 = run_model Models.Per_core_queues ~cores:8 ~load:0.1 ~p_large:0.00125 ~k:1.0 ~seed:11 in
+  let k1000 =
+    run_model Models.Per_core_queues ~cores:8 ~load:0.1 ~p_large:0.00125 ~k:1000.0 ~seed:11
+  in
+  check bool "order of magnitude" true (k1000.Models.p99 > 10.0 *. k1.Models.p99)
+
+let test_model_throughput_matches_load () =
+  let r = run_model Models.Single_queue ~cores:8 ~load:0.6 ~p_large:0.0 ~k:1.0 ~seed:13 in
+  if abs_float (r.Models.throughput -. 0.6) > 0.05 then
+    Alcotest.failf "throughput %.3f vs offered 0.6" r.Models.throughput
+
+let test_model_completes_all () =
+  let cfg =
+    { Models.default_config with Models.requests = 50_000; load = 0.4; seed = 15 }
+  in
+  let r = Models.run Models.Work_stealing cfg in
+  (* 10% warmup excluded. *)
+  check Alcotest.int "completed" 45_000 r.Models.completed
+
+let test_model_validation () =
+  Alcotest.check_raises "no cores" (Invalid_argument "Models.run: need at least one core")
+    (fun () ->
+      ignore (Models.run Models.Single_queue { Models.default_config with Models.cores = 0 }));
+  Alcotest.check_raises "no load" (Invalid_argument "Models.run: load must be > 0")
+    (fun () ->
+      ignore (Models.run Models.Single_queue { Models.default_config with Models.load = 0.0 }))
+
+let test_discipline_names () =
+  check Alcotest.string "names" "nxM/G/1" (Models.discipline_name Models.Per_core_queues);
+  check Alcotest.string "names" "M/G/n" (Models.discipline_name Models.Single_queue);
+  check Alcotest.string "names" "nxM/G/1+WS" (Models.discipline_name Models.Work_stealing)
+
+let () =
+  Alcotest.run "queueing"
+    [
+      ( "analytic",
+        [
+          Alcotest.test_case "mm1 mean" `Quick test_mm1_mean;
+          Alcotest.test_case "mm1 quantile" `Quick test_mm1_quantile;
+          Alcotest.test_case "pollaczek-khinchine" `Quick test_mg1_pollaczek_khinchine;
+          Alcotest.test_case "erlang c" `Quick test_erlang_c_known_values;
+          Alcotest.test_case "mmn wait" `Quick test_mmn_mean_wait;
+          Alcotest.test_case "bimodal moments" `Quick test_bimodal_moments;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "M/D/1 vs PK" `Slow test_md1_mean_vs_pk;
+          Alcotest.test_case "bimodal M/G/1 vs PK" `Slow test_mg1_bimodal_vs_pk;
+          Alcotest.test_case "fig2 ordering" `Slow test_fig2_ordering_at_high_load;
+          Alcotest.test_case "fig2 K=1 flat" `Quick test_fig2_k1_baseline_flat;
+          Alcotest.test_case "fig2 K=1000 hurts" `Quick test_fig2_large_k_hurts_per_core;
+          Alcotest.test_case "throughput = load" `Quick test_model_throughput_matches_load;
+          Alcotest.test_case "completes all" `Quick test_model_completes_all;
+          Alcotest.test_case "validation" `Quick test_model_validation;
+          Alcotest.test_case "names" `Quick test_discipline_names;
+        ] );
+    ]

@@ -1,0 +1,261 @@
+(* Tests for the native multicore runtime: real domains, real rings, real
+   store, real control loop.  These assert functional properties —
+   completeness, classification, adaptation, CREW safety — not latency
+   (domains time-slice on small CI machines). *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* A dataset small enough to materialize fully (values are real bytes). *)
+let runtime_spec =
+  {
+    Workload.Spec.default with
+    Workload.Spec.n_keys = 3_000;
+    n_large_keys = 30;
+    s_large_max = 64_000; (* large class: 1.5KB - 64KB *)
+  }
+
+let with_server ?config f =
+  let dataset = Workload.Dataset.create runtime_spec in
+  let store =
+    Kvstore.Store.create ~partition_bits:4 ~bucket_bits:8
+      ~value_arena_bytes:(64 * 1024 * 1024) ()
+  in
+  Runtime.Loadgen.populate store dataset;
+  let server = Runtime.Server.start ?config store in
+  Fun.protect ~finally:(fun () -> Runtime.Server.stop server) (fun () -> f server dataset)
+
+let test_all_requests_answered () =
+  with_server (fun server dataset ->
+      let r =
+        Runtime.Loadgen.run ~server ~dataset ~requests:20_000 ~seed:3 ()
+      in
+      check int "every request answered" 20_000 r.Runtime.Loadgen.completed;
+      check int "no spurious misses" 0 r.Runtime.Loadgen.not_found;
+      check int "latency per request" 20_000
+        (Stats.Float_vec.length r.Runtime.Loadgen.latencies))
+
+let test_served_counts_conserve () =
+  with_server (fun server dataset ->
+      let r = Runtime.Loadgen.run ~server ~dataset ~requests:10_000 ~seed:5 () in
+      let stats = Runtime.Server.stats server in
+      let total = Array.fold_left ( + ) 0 stats.Runtime.Server.served in
+      check int "per-core serves sum to completions" r.Runtime.Loadgen.completed total)
+
+let test_controller_converges () =
+  with_server (fun server dataset ->
+      (* Enough traffic to span several 50 ms epochs. *)
+      let _ = Runtime.Loadgen.run ~server ~dataset ~requests:60_000 ~seed:7 () in
+      let stats = Runtime.Server.stats server in
+      check bool "control loop ran" true (stats.Runtime.Server.epochs >= 1);
+      (* The p99 item size of this spec sits inside the small class. *)
+      if
+        stats.Runtime.Server.threshold < 900.0
+        || stats.Runtime.Server.threshold > 1600.0
+      then Alcotest.failf "threshold %.0f out of band" stats.Runtime.Server.threshold;
+      check bool "big requests produced handoffs" true
+        (stats.Runtime.Server.handoffs > 0);
+      check bool "small pool + large pool = cores" true
+        (stats.Runtime.Server.n_small + stats.Runtime.Server.n_large
+        = Runtime.Server.default_config.Runtime.Server.cores))
+
+let test_keyhash_mode () =
+  let config =
+    { Runtime.Server.default_config with Runtime.Server.mode = Runtime.Server.Keyhash }
+  in
+  with_server ~config (fun server dataset ->
+      let r = Runtime.Loadgen.run ~server ~dataset ~requests:10_000 ~seed:9 () in
+      check int "completed" 10_000 r.Runtime.Loadgen.completed;
+      let stats = Runtime.Server.stats server in
+      check int "keyhash mode never hands off" 0 stats.Runtime.Server.handoffs)
+
+let test_store_consistent_after_run () =
+  let dataset = Workload.Dataset.create runtime_spec in
+  let store =
+    Kvstore.Store.create ~partition_bits:4 ~bucket_bits:8
+      ~value_arena_bytes:(64 * 1024 * 1024) ()
+  in
+  Runtime.Loadgen.populate store dataset;
+  let before = (Kvstore.Store.stats store).Kvstore.Store.items in
+  let server = Runtime.Server.start store in
+  let _ = Runtime.Loadgen.run ~server ~dataset ~requests:15_000 ~seed:11 () in
+  Runtime.Server.stop server;
+  (* PUTs overwrite existing keys, so the item count is unchanged and
+     every key still resolves with a class-consistent size. *)
+  check int "item count preserved" before (Kvstore.Store.stats store).Kvstore.Store.items;
+  for id = 0 to Workload.Dataset.n_keys dataset - 1 do
+    match Kvstore.Store.size_of store (Workload.Dataset.key_name id) with
+    | None -> Alcotest.failf "key %d lost" id
+    | Some size ->
+        let large = Workload.Dataset.is_large_key dataset id in
+        if large && size < Workload.Spec.large_min then
+          Alcotest.failf "large key %d shrank to %d" id size;
+        if (not large) && size > Workload.Spec.small_max then
+          Alcotest.failf "small key %d grew to %d" id size
+  done
+
+let test_concurrent_clients () =
+  (* Several client domains submitting at once: exercises multi-producer
+     RX rings, the shared reply ring and the collector demux.  Every
+     request must be answered exactly once to its own client. *)
+  with_server (fun server dataset ->
+      let r =
+        Runtime.Loadgen.run_concurrent ~clients:3 ~server ~dataset
+          ~requests_per_client:4_000 ~seed:21 ()
+      in
+      check int "all clients fully answered" 12_000 r.Runtime.Loadgen.completed;
+      check int "no misses" 0 r.Runtime.Loadgen.not_found;
+      check int "one latency per request" 12_000
+        (Stats.Float_vec.length r.Runtime.Loadgen.latencies))
+
+let test_delete_through_scheduler () =
+  (* DELETE is a "special PUT": it dispatches by keyhash and flows through
+     the workers like any write. *)
+  let store =
+    Kvstore.Store.create ~partition_bits:3 ~bucket_bits:6
+      ~value_arena_bytes:(1 lsl 22) ()
+  in
+  Kvstore.Store.put store ~guard:`Lock "victim" (Bytes.of_string "doomed");
+  let server = Runtime.Server.start store in
+  Fun.protect
+    ~finally:(fun () -> Runtime.Server.stop server)
+    (fun () ->
+      let submit op =
+        let req =
+          { Runtime.Message.id = Int64.of_int (Hashtbl.hash op);
+            op; key = "victim"; submitted_at = Unix.gettimeofday () }
+        in
+        while not (Runtime.Server.submit server req) do
+          Domain.cpu_relax ()
+        done;
+        let rec wait () =
+          match Runtime.Server.poll_reply server with
+          | Some r -> r
+          | None ->
+              Domain.cpu_relax ();
+              wait ()
+        in
+        wait ()
+      in
+      let r = submit Runtime.Message.Delete in
+      check bool "delete ok" true (r.Runtime.Message.status = Runtime.Message.Ok);
+      let r = submit Runtime.Message.Get in
+      check bool "gone" true (r.Runtime.Message.status = Runtime.Message.Not_found);
+      check bool "store empty" true ((Kvstore.Store.stats store).Kvstore.Store.items = 0))
+
+let test_stop_is_idempotent () =
+  with_server (fun server _ ->
+      Runtime.Server.stop server;
+      Runtime.Server.stop server;
+      (* [with_server]'s finally will call it a third time. *)
+      check bool "stopped" true true)
+
+let test_submit_refused_after_stop () =
+  let dataset = Workload.Dataset.create runtime_spec in
+  let store =
+    Kvstore.Store.create ~partition_bits:4 ~bucket_bits:8
+      ~value_arena_bytes:(8 * 1024 * 1024) ()
+  in
+  let server = Runtime.Server.start store in
+  Runtime.Server.stop server;
+  let accepted =
+    Runtime.Server.submit server
+      { Runtime.Message.id = 1L; op = Runtime.Message.Get;
+        key = Workload.Dataset.key_name 0; submitted_at = 0.0 }
+  in
+  ignore dataset;
+  check bool "refused" false accepted
+
+let test_config_validation () =
+  let store = Kvstore.Store.create ~value_arena_bytes:(1 lsl 20) () in
+  Alcotest.check_raises "cores" (Invalid_argument "Server.start: need at least 2 cores")
+    (fun () ->
+      ignore
+        (Runtime.Server.start
+           ~config:{ Runtime.Server.default_config with Runtime.Server.cores = 1 }
+           store))
+
+(* ------------------------------------------------------------------ *)
+(* UDP front end *)
+
+let with_udp ?(base_port = 48111) f =
+  let store =
+    Kvstore.Store.create ~partition_bits:4 ~bucket_bits:8
+      ~value_arena_bytes:(32 * 1024 * 1024) ()
+  in
+  let udp = Runtime.Udp.start ~base_port store in
+  let client =
+    Runtime.Udp.Client.connect ~base_port ~queues:(Runtime.Udp.queues udp) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Runtime.Udp.Client.close client;
+      Runtime.Udp.stop udp)
+    (fun () -> f udp client store)
+
+let test_udp_roundtrip () =
+  with_udp (fun _udp client _store ->
+      Runtime.Udp.Client.put client "hello" (Bytes.of_string "world");
+      check (Alcotest.option Alcotest.string) "get" (Some "world")
+        (Option.map Bytes.to_string (Runtime.Udp.Client.get client "hello"));
+      check (Alcotest.option Alcotest.string) "miss" None
+        (Option.map Bytes.to_string (Runtime.Udp.Client.get client "absent"));
+      check bool "delete present" true (Runtime.Udp.Client.delete client "hello");
+      check bool "delete absent" false (Runtime.Udp.Client.delete client "hello");
+      check (Alcotest.option Alcotest.string) "gone" None
+        (Option.map Bytes.to_string (Runtime.Udp.Client.get client "hello")))
+
+let test_udp_large_value_fragmentation () =
+  with_udp ~base_port:48211 (fun _udp client _store ->
+      (* ~80 fragments each way. *)
+      let big = Bytes.init 120_000 (fun i -> Char.chr (i mod 251)) in
+      Runtime.Udp.Client.put client "blob" big;
+      match Runtime.Udp.Client.get client "blob" with
+      | Some v -> check bool "intact" true (Bytes.equal v big)
+      | None -> Alcotest.fail "blob lost")
+
+let test_udp_many_operations () =
+  with_udp ~base_port:48311 (fun udp client store ->
+      for i = 1 to 300 do
+        Runtime.Udp.Client.put client
+          (Printf.sprintf "k%03d" i)
+          (Bytes.make (1 + (i mod 1400)) 'x')
+      done;
+      for i = 1 to 300 do
+        match Runtime.Udp.Client.get client (Printf.sprintf "k%03d" i) with
+        | Some v -> check int "size" (1 + (i mod 1400)) (Bytes.length v)
+        | None -> Alcotest.failf "k%03d lost" i
+      done;
+      check int "store item count" 300 (Kvstore.Store.stats store).Kvstore.Store.items;
+      (* Every op went through the size-aware scheduler. *)
+      let stats = Runtime.Server.stats (Runtime.Udp.server udp) in
+      check int "server served the RPCs" 600
+        (Array.fold_left ( + ) 0 stats.Runtime.Server.served))
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "udp",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_udp_roundtrip;
+          Alcotest.test_case "large value fragmentation" `Quick
+            test_udp_large_value_fragmentation;
+          Alcotest.test_case "many operations" `Slow test_udp_many_operations;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "all requests answered" `Slow test_all_requests_answered;
+          Alcotest.test_case "served counts conserve" `Slow test_served_counts_conserve;
+          Alcotest.test_case "controller converges" `Slow test_controller_converges;
+          Alcotest.test_case "keyhash mode" `Slow test_keyhash_mode;
+          Alcotest.test_case "store consistent after run" `Slow
+            test_store_consistent_after_run;
+          Alcotest.test_case "concurrent clients" `Slow test_concurrent_clients;
+          Alcotest.test_case "delete through scheduler" `Quick
+            test_delete_through_scheduler;
+          Alcotest.test_case "stop idempotent" `Quick test_stop_is_idempotent;
+          Alcotest.test_case "submit after stop" `Quick test_submit_refused_after_stop;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+        ] );
+    ]
