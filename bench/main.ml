@@ -22,21 +22,23 @@ let fig2_requests = if quick then 60_000 else 300_000
 
 let micro_tests () =
   let open Bechamel in
-  (* KV store pre-populated with 10k keys. *)
+  (* KV store pre-populated with 10k keys.  Key names are materialized up
+     front: the staged closures must time store operations, not
+     [Printf.sprintf] (format interpretation used to dominate them). *)
+  let micro_keys = Array.init 10_000 (Printf.sprintf "key-%d") in
   let store =
     Kvstore.Store.create ~partition_bits:4 ~bucket_bits:10
       ~value_arena_bytes:(1 lsl 24) ()
   in
-  for i = 0 to 9_999 do
-    Kvstore.Store.put store ~guard:`Lock (Printf.sprintf "key-%d" i)
-      (Bytes.create 64)
-  done;
+  Array.iter
+    (fun key -> Kvstore.Store.put store ~guard:`Lock key (Bytes.create 64))
+    micro_keys;
   let get_i = ref 0 in
   let kv_get =
     Test.make ~name:"kvstore.get(64B)"
       (Staged.stage (fun () ->
            get_i := (!get_i + 1) land 0x1FFF;
-           ignore (Kvstore.Store.get store (Printf.sprintf "key-%d" !get_i))))
+           ignore (Kvstore.Store.get store micro_keys.(!get_i))))
   in
   let put_value = Bytes.create 64 in
   let put_i = ref 0 in
@@ -44,9 +46,7 @@ let micro_tests () =
     Test.make ~name:"kvstore.put(64B)"
       (Staged.stage (fun () ->
            put_i := (!put_i + 1) land 0x1FFF;
-           Kvstore.Store.put store ~guard:`Lock
-             (Printf.sprintf "key-%d" !put_i)
-             put_value))
+           Kvstore.Store.put store ~guard:`Lock micro_keys.(!put_i) put_value))
   in
   let ring = Netsim.Ring.create ~capacity:1024 in
   let ring_cycle =
@@ -150,6 +150,50 @@ let run_micro () =
   in
   Minos.Report.table ~title:"hot-path operations" ~headers:[ "operation"; "ns/call" ]
     rows
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path performance profile.  Three numbers the CI perf step tracks:
+   heap ns per add+pop, simulator events/sec and minor words allocated per
+   simulated request, plus the wall-clock of one figure sweep.  Written to
+   BENCH_perf.json so runs can be compared across commits. *)
+
+let perf_heap_ns () =
+  let heap = Dsim.Heap.create () in
+  for i = 1 to 64 do
+    Dsim.Heap.add heap ~time:(float_of_int i) ~seq:i ()
+  done;
+  for _ = 1 to 64 do
+    ignore (Dsim.Heap.pop heap)
+  done;
+  let iters = 2_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to iters do
+    Dsim.Heap.add heap ~time:(float_of_int (i land 0xFF)) ~seq:i ();
+    ignore (Dsim.Heap.pop heap)
+  done;
+  1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int iters
+
+(* One Minos run at a fixed 4 Mops on the default workload, instrumented
+   for allocation rate and event throughput. *)
+let perf_sim () =
+  let cfg = Minos.Experiment.config_of_scale scale in
+  let spec = Workload.Spec.default in
+  let dataset = Minos.Experiment.dataset_for spec in
+  let gen =
+    Workload.Generator.create ~seed:101 ~p_large:spec.Workload.Spec.p_large
+      ~get_ratio:spec.Workload.Spec.get_ratio dataset
+  in
+  let eng = Kvserver.Engine.create cfg gen ~offered_mops:4.0 in
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let m = Kvserver.Engine.run eng (Minos.Experiment.maker Minos.Experiment.Minos) in
+  let dt = Unix.gettimeofday () -. t0 in
+  let minor = Gc.minor_words () -. minor0 in
+  let events = Dsim.Sim.events_processed (Kvserver.Engine.sim eng) in
+  let issued = m.Kvserver.Metrics.issued in
+  ( float_of_int events /. dt,
+    minor /. float_of_int (max 1 issued),
+    events, issued )
 
 (* ------------------------------------------------------------------ *)
 (* Closed-form capacity model: the numbers that explain where each curve
@@ -258,8 +302,53 @@ let targets : (string * string * (unit -> unit)) list =
     ("micro", "bechamel microbenchmarks", run_micro);
   ]
 
+let run_perf sweep_target =
+  Minos.Report.section "Hot-path performance profile";
+  let heap_ns = perf_heap_ns () in
+  let events_per_sec, words_per_req, events, issued = perf_sim () in
+  let sweep_fn =
+    match List.find_opt (fun (n, _, _) -> n = sweep_target) targets with
+    | Some (_, _, f) -> f
+    | None ->
+        Printf.eprintf "perf: unknown sweep target %s\n" sweep_target;
+        exit 1
+  in
+  let t0 = Unix.gettimeofday () in
+  sweep_fn ();
+  let sweep_s = Unix.gettimeofday () -. t0 in
+  Minos.Report.table ~title:"perf summary" ~headers:[ "metric"; "value" ]
+    [
+      [ "heap add+pop ns/op"; Printf.sprintf "%.1f" heap_ns ];
+      [ "dsim events/sec"; Printf.sprintf "%.0f" events_per_sec ];
+      [ "minor words/request"; Printf.sprintf "%.1f" words_per_req ];
+      [ sweep_target ^ " sweep seconds"; Printf.sprintf "%.2f" sweep_s ];
+    ];
+  let oc = open_out "BENCH_perf.json" in
+  Printf.fprintf oc
+    {|{
+  "quick": %b,
+  "jobs": %d,
+  "heap_add_pop_ns": %.2f,
+  "dsim_events_per_sec": %.0f,
+  "minor_words_per_request": %.2f,
+  "sim_events": %d,
+  "sim_issued": %d,
+  "sweep_target": %S,
+  "sweep_seconds": %.3f
+}
+|}
+    quick (Minos.Par.jobs ()) heap_ns events_per_sec words_per_req events issued
+    sweep_target sweep_s;
+  close_out oc;
+  Printf.printf "[perf profile written to BENCH_perf.json]\n%!"
+
 let usage () =
   print_endline "usage: bench/main.exe [target ...]   (default: all targets)";
+  print_endline "       bench/main.exe perf [sweep-target]";
+  print_endline
+    "  perf measures heap ns/op, dsim events/sec, minor words/request and";
+  print_endline
+    "  the wall-clock of one sweep (default fig3); writes BENCH_perf.json.";
   print_endline "targets:";
   List.iter (fun (name, doc, _) -> Printf.printf "  %-20s %s\n" name doc) targets
 
@@ -267,6 +356,9 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [ "--help" ] | [ "-h" ] -> usage ()
+  | "perf" :: rest ->
+      let sweep_target = match rest with [] -> "fig3" | t :: _ -> t in
+      run_perf sweep_target
   | [] ->
       Printf.printf "Minos benchmark harness (%s scale)\n"
         (if quick then "quick" else "full");

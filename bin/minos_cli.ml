@@ -58,6 +58,16 @@ let quick =
 let seed =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed for the run.")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel experiment runs (default: the MINOS_JOBS \
+           environment variable, else the machine's core count; 1 forces sequential \
+           execution).  Results are identical for every value.")
+
 let spec_of ~p_large ~s_large ~get_ratio =
   {
     Workload.Spec.default with
@@ -104,7 +114,8 @@ let sweep_cmd =
       & opt (list float) [ 1.0; 2.0; 3.0; 4.0; 5.0; 5.5; 6.0; 6.5 ]
       & info [ "loads" ] ~docv:"MOPS,..." ~doc:"Comma-separated offered loads.")
   in
-  let action design loads p_large s_large get_ratio quick =
+  let action design loads p_large s_large get_ratio quick jobs =
+    Minos.Par.set_jobs jobs;
     let spec = spec_of ~p_large ~s_large ~get_ratio in
     let cfg = Minos.Experiment.config_of_scale (scale_of quick) in
     List.iter
@@ -113,7 +124,8 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Throughput vs latency curve for one design.")
-    Term.(const action $ design $ loads_arg $ p_large $ s_large $ get_ratio $ quick)
+    Term.(
+      const action $ design $ loads_arg $ p_large $ s_large $ get_ratio $ quick $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* slo *)
@@ -125,7 +137,8 @@ let slo_cmd =
       & opt float 50.0
       & info [ "slo" ] ~docv:"US" ~doc:"The 99p latency bound in microseconds.")
   in
-  let action design slo_us p_large s_large get_ratio quick =
+  let action design slo_us p_large s_large get_ratio quick jobs =
+    Minos.Par.set_jobs jobs;
     let spec = spec_of ~p_large ~s_large ~get_ratio in
     let scale = scale_of quick in
     let cfg = Minos.Experiment.config_of_scale scale in
@@ -140,7 +153,7 @@ let slo_cmd =
   in
   Cmd.v
     (Cmd.info "slo" ~doc:"Maximum throughput under a 99p latency SLO.")
-    Term.(const action $ design $ slo_us $ p_large $ s_large $ get_ratio $ quick)
+    Term.(const action $ design $ slo_us $ p_large $ s_large $ get_ratio $ quick $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* figure *)
@@ -153,7 +166,8 @@ let figure_cmd =
       & info [] ~docv:"FIGURE"
           ~doc:"One of: fig1 fig2 table1 fig3 ... fig10 fanout.")
   in
-  let action name quick =
+  let action name quick jobs =
+    Minos.Par.set_jobs jobs;
     let scale = scale_of quick in
     match name with
     | "fig1" -> Minos.Figures.print_fig1 ()
@@ -174,7 +188,7 @@ let figure_cmd =
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Regenerate one of the paper's tables or figures.")
-    Term.(const action $ fig_name $ quick)
+    Term.(const action $ fig_name $ quick $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* queueing *)

@@ -52,7 +52,12 @@ let quick_scale =
   }
 
 (* Dataset memoization: sizes depend on shape fields only, so the key is
-   the tuple of those fields. *)
+   the tuple of those fields.  Guarded by a mutex — {!Par} runs experiment
+   points on several domains, and all of them share this cache.  Creation
+   happens under the lock so a dataset is built exactly once (a duplicate
+   build would waste hundreds of milliseconds and break sharing). *)
+let dataset_mutex = Mutex.create ()
+
 let dataset_cache : (int * int * int * float * float * int, Workload.Dataset.t) Hashtbl.t
     =
   Hashtbl.create 8
@@ -66,12 +71,16 @@ let dataset_for (spec : Workload.Spec.t) =
       spec.Workload.Spec.zipf_theta,
       spec.Workload.Spec.key_size )
   in
-  match Hashtbl.find_opt dataset_cache key with
-  | Some d -> d
-  | None ->
-      let d = Workload.Dataset.create spec in
-      Hashtbl.add dataset_cache key d;
-      d
+  Mutex.lock dataset_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock dataset_mutex)
+    (fun () ->
+      match Hashtbl.find_opt dataset_cache key with
+      | Some d -> d
+      | None ->
+          let d = Workload.Dataset.create spec in
+          Hashtbl.add dataset_cache key d;
+          d)
 
 let config_of_scale ?(base = Kvserver.Config.default) scale =
   {
@@ -112,7 +121,7 @@ let run_sho_best ?cfg ?seed spec ~offered_mops =
   let base = match cfg with Some c -> c | None -> config_of_scale full_scale in
   [ 1; 2; 3 ]
   |> List.filter (fun h -> h < base.Kvserver.Config.cores)
-  |> List.map (fun handoff_cores ->
+  |> Par.map_list (fun handoff_cores ->
          run ~cfg:{ base with Kvserver.Config.handoff_cores } ?seed Sho spec
            ~offered_mops)
   |> function
@@ -138,7 +147,7 @@ type replicated = {
 
 let run_replicated ?cfg ?(seeds = [ 1; 2; 3 ]) design spec ~offered_mops =
   if seeds = [] then invalid_arg "run_replicated: need at least one seed";
-  let runs = List.map (fun seed -> run ?cfg ~seed design spec ~offered_mops) seeds in
+  let runs = Par.map_list (fun seed -> run ?cfg ~seed design spec ~offered_mops) seeds in
   let p99s = Stats.Summary.create () and tput = Stats.Summary.create () in
   List.iter
     (fun (m : Kvserver.Metrics.t) ->
@@ -154,7 +163,7 @@ let run_replicated ?cfg ?(seeds = [ 1; 2; 3 ]) design spec ~offered_mops =
   }
 
 let sweep ?cfg ?(sho_best = false) design spec ~loads_mops =
-  List.map
+  Par.map_list
     (fun load ->
       let m =
         if sho_best && design = Sho then run_sho_best ?cfg spec ~offered_mops:load

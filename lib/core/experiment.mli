@@ -3,7 +3,14 @@
     This is the library's front door for the evaluation: pick a design,
     a workload spec and an offered load, get back {!Kvserver.Metrics.t}.
     Datasets are memoized across runs (their sizes depend only on the
-    dataset-shape fields of the spec, not on the request mix). *)
+    dataset-shape fields of the spec, not on the request mix); the cache
+    is mutex-guarded, so runs may execute on any domain.
+
+    {!sweep}, {!run_sho_best} and {!run_replicated} fan their independent
+    points out over {!Par}'s domain pool.  Every point owns its own
+    simulator and RNG streams and derives its seeds from the job, so
+    parallel results are bit-identical to sequential ([MINOS_JOBS=1])
+    ones. *)
 
 type design = Minos | Hkh | Hkh_ws | Sho
 
@@ -69,7 +76,8 @@ val sweep :
   Workload.Spec.t ->
   loads_mops:float list ->
   (float * Kvserver.Metrics.t) list
-(** One run per offered load. *)
+(** One run per offered load, computed in parallel across domains (results
+    in load order, identical to a sequential run). *)
 
 val run_raw :
   ?cfg:Kvserver.Config.t ->

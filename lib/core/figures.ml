@@ -54,18 +54,16 @@ let fig2_ks = [ 1.0; 10.0; 100.0; 1000.0 ]
 
 let fig2 ?(requests = 200_000) ?(loads = fig2_loads) () =
   List.concat_map
-    (fun discipline ->
-      List.map
-        (fun k ->
-          let cfg = { Queueing.Models.default_config with k; requests } in
-          let points =
-            Queueing.Models.sweep discipline cfg ~loads
-            |> List.map (fun (load, r) -> (load, r.Queueing.Models.p99))
-          in
-          { discipline; k; points })
-        fig2_ks)
+    (fun discipline -> List.map (fun k -> (discipline, k)) fig2_ks)
     [ Queueing.Models.Per_core_queues; Queueing.Models.Single_queue;
       Queueing.Models.Work_stealing ]
+  |> Par.map_list (fun (discipline, k) ->
+         let cfg = { Queueing.Models.default_config with k; requests } in
+         let points =
+           Queueing.Models.sweep discipline cfg ~loads
+           |> List.map (fun (load, r) -> (load, r.Queueing.Models.p99))
+         in
+         { discipline; k; points })
 
 let print_fig2 ?requests () =
   Report.section
@@ -100,7 +98,7 @@ let print_fig2 ?requests () =
 (* Table 1 *)
 
 let table1 ?(mc_samples = 500_000) () =
-  List.map
+  Par.map_list
     (fun (p_large, s_large_max) ->
       let spec =
         { Workload.Spec.default with Workload.Spec.p_large; s_large_max }
@@ -265,21 +263,20 @@ let slo_cfg scale =
 
 let slo_rows ?(scale = Experiment.full_scale) specs ~varied_of =
   let cfg = slo_cfg scale in
-  List.concat_map
-    (fun spec ->
-      List.map
-        (fun slo_us ->
-          let max d = max_under_slo ~cfg ~iters:scale.Experiment.slo_iters d spec ~slo_us in
-          {
-            varied = varied_of spec;
-            slo_us;
-            minos_mops = max Experiment.Minos;
-            hkh_mops = max Experiment.Hkh;
-            hkh_ws_mops = max Experiment.Hkh_ws;
-            sho_mops = max Experiment.Sho;
-          })
-        [ 50.0; 100.0 ])
+  (* One parallel job per (workload, SLO) row; each row runs its four
+     bisections sequentially inside the job. *)
+  List.concat_map (fun spec -> List.map (fun slo_us -> (spec, slo_us)) [ 50.0; 100.0 ])
     specs
+  |> Par.map_list (fun (spec, slo_us) ->
+         let max d = max_under_slo ~cfg ~iters:scale.Experiment.slo_iters d spec ~slo_us in
+         {
+           varied = varied_of spec;
+           slo_us;
+           minos_mops = max Experiment.Minos;
+           hkh_mops = max Experiment.Hkh;
+           hkh_ws_mops = max Experiment.Hkh_ws;
+           sho_mops = max Experiment.Sho;
+         })
 
 let fig6 ?scale ?(p_values = [ 0.0625; 0.125; 0.25; 0.5; 0.75 ]) () =
   let specs = List.map (Workload.Spec.with_p_large Workload.Spec.default) p_values in
@@ -338,6 +335,7 @@ let fig8_loads = [ 0.5; 1.0; 1.5; 2.0; 2.5; 3.0; 3.5; 4.0; 4.5 ]
 let fig8 ?(scale = Experiment.full_scale) ?(samplings = [ 1.0; 0.75; 0.5; 0.25 ])
     ?(loads = fig8_loads) () =
   let spec = Workload.Spec.with_p_large Workload.Spec.default 0.75 in
+  (* The sweep inside each series already fans out across domains. *)
   List.map
     (fun sampling ->
       let cfg =
@@ -388,7 +386,7 @@ type fig9_row = {
 
 let fig9 ?(scale = Experiment.full_scale) ?(p_values = [ 0.0625; 0.25; 0.75 ]) () =
   let cfg = Experiment.config_of_scale scale in
-  List.map
+  Par.map_list
     (fun p_large ->
       let spec = Workload.Spec.with_p_large Workload.Spec.default p_large in
       (* A high-but-stable load so the balance is meaningful. *)
@@ -460,8 +458,11 @@ let fig10 ?(scale = Experiment.full_scale) ?(rate_mops = 2.0) () =
     Experiment.run ~cfg ~dynamic:schedule design Workload.Spec.default
       ~offered_mops:rate_mops
   in
-  let minos = run Experiment.Minos in
-  let ws = run Experiment.Hkh_ws in
+  let minos, ws =
+    match Par.map_list run [ Experiment.Minos; Experiment.Hkh_ws ] with
+    | [ m; w ] -> (m, w)
+    | _ -> assert false
+  in
   let to_seconds series = List.map (fun (t, v) -> (t /. 1.0e6, v)) series in
   {
     minos_p99 = to_seconds minos.Kvserver.Metrics.p99_series;
@@ -511,11 +512,15 @@ let max_of_n_quantile ~rng latencies n ~q ~trials =
 let fanout ?(scale = Experiment.full_scale) ?(fanouts = [ 1; 10; 40; 100 ])
     ?(load = 4.0) () =
   let cfg = Experiment.config_of_scale scale in
-  let _, minos_lat =
-    Experiment.run_raw ~cfg Experiment.Minos Workload.Spec.default ~offered_mops:load
-  in
-  let _, hkh_lat =
-    Experiment.run_raw ~cfg Experiment.Hkh Workload.Spec.default ~offered_mops:load
+  let minos_lat, hkh_lat =
+    match
+      Par.map_list
+        (fun design ->
+          snd (Experiment.run_raw ~cfg design Workload.Spec.default ~offered_mops:load))
+        [ Experiment.Minos; Experiment.Hkh ]
+    with
+    | [ m; h ] -> (m, h)
+    | _ -> assert false
   in
   let rng = Dsim.Rng.create 1234 in
   List.map
@@ -555,7 +560,7 @@ let print_ablation_threshold ?(scale = Experiment.full_scale) () =
     { cfg with Kvserver.Config.static_threshold = Some 1472.0 }
   in
   let rows =
-    List.map
+    Par.map_list
       (fun (label, cfg) ->
         let m =
           Experiment.run ~cfg Experiment.Minos Workload.Spec.write_intensive
@@ -575,7 +580,7 @@ let print_ablation_cost_fn ?(scale = Experiment.full_scale) () =
   Report.section "Ablation: control-loop cost function";
   let base = Experiment.config_of_scale scale in
   let rows =
-    List.map
+    Par.map_list
       (fun cost_fn ->
         let cfg = { base with Kvserver.Config.cost_fn } in
         let m =
@@ -596,7 +601,7 @@ let print_ablation_steal ?(scale = Experiment.full_scale) () =
   Report.section "Ablation: large-core RX stealing (future-work variant of §6.1)";
   let base = Experiment.config_of_scale scale in
   let rows =
-    List.map
+    Par.map_list
       (fun (label, large_rx_steal) ->
         let cfg = { base with Kvserver.Config.large_rx_steal } in
         let m =
@@ -617,24 +622,22 @@ let print_ablation_erew ?(scale = Experiment.full_scale) () =
   let base = Experiment.config_of_scale scale in
   let rows =
     List.concat_map
-      (fun (label, hkh_erew) ->
-        let cfg = { base with Kvserver.Config.hkh_erew } in
-        List.map
-          (fun load ->
-            let m =
-              Experiment.run ~cfg Experiment.Hkh Workload.Spec.default ~offered_mops:load
-            in
-            let ops = m.Kvserver.Metrics.per_core_ops in
-            let total = Array.fold_left ( + ) 0 ops in
-            let hottest = Array.fold_left max 0 ops in
-            [ label; Report.f2 load;
-              (if m.Kvserver.Metrics.stable then Report.f1 m.Kvserver.Metrics.p99_us
-               else "sat");
-              Printf.sprintf "%.2fx"
-                (float_of_int hottest *. float_of_int (Array.length ops)
-                /. float_of_int (max total 1)) ])
-          [ 3.0; 5.0 ])
+      (fun (label, hkh_erew) -> List.map (fun load -> (label, hkh_erew, load)) [ 3.0; 5.0 ])
       [ ("CREW", false); ("EREW", true) ]
+    |> Par.map_list (fun (label, hkh_erew, load) ->
+           let cfg = { base with Kvserver.Config.hkh_erew } in
+           let m =
+             Experiment.run ~cfg Experiment.Hkh Workload.Spec.default ~offered_mops:load
+           in
+           let ops = m.Kvserver.Metrics.per_core_ops in
+           let total = Array.fold_left ( + ) 0 ops in
+           let hottest = Array.fold_left max 0 ops in
+           [ label; Report.f2 load;
+             (if m.Kvserver.Metrics.stable then Report.f1 m.Kvserver.Metrics.p99_us
+              else "sat");
+             Printf.sprintf "%.2fx"
+               (float_of_int hottest *. float_of_int (Array.length ops)
+               /. float_of_int (max total 1)) ])
   in
   Report.table ~title:"HKH on the default (zipf 0.99) workload"
     ~headers:[ "mode"; "offered Mops"; "p99 us"; "hottest core / mean" ]
@@ -648,7 +651,7 @@ let print_ablation_epoch ?(scale = Experiment.full_scale) () =
   let schedule = Workload.Dynamic.create (List.map phase [ 0.125; 0.75; 0.125 ]) in
   let total = Workload.Dynamic.total_duration schedule in
   let rows =
-    List.map
+    Par.map_list
       (fun (epoch_us, alpha) ->
         let cfg =
           {

@@ -36,7 +36,7 @@ let run ?cfg ?(design = Experiment.Minos) ?(seed = 1) ~domains spec ~offered_mop
   in
   let per_domain = List.map fst runs in
   let all = Stats.Float_vec.create () in
-  List.iter (fun (_, vec) -> Stats.Float_vec.iter (Stats.Float_vec.push all) vec) runs;
+  List.iter (fun (_, vec) -> Stats.Float_vec.append all vec) runs;
   let q p =
     if Stats.Float_vec.length all = 0 then Float.nan else Stats.Quantile.of_vec all p
   in

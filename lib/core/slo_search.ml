@@ -12,18 +12,24 @@ let meets (m : Kvserver.Metrics.t) ~slo_p99_us =
 let search ~eval ~slo_p99_us ~lo_mops ~hi_mops ~iters =
   if not (0.0 < lo_mops && lo_mops < hi_mops) then
     invalid_arg "Slo_search.search: need 0 < lo < hi";
-  let evaluations = ref 0 in
+  (* Establish the bracket: both endpoints are probed up front — in
+     parallel when domains are available — so the bisection starts from a
+     known [lo passes, hi fails] interval.  Probing [hi] eagerly also makes
+     the evaluation count independent of the outcome, which keeps parallel
+     and sequential runs identical. *)
+  let m_lo, m_hi =
+    match Par.map_list eval [ lo_mops; hi_mops ] with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  in
+  let evaluations = ref 2 in
   let probe rate =
     incr evaluations;
     eval rate
   in
-  (* Establish the bracket: if even [lo] fails the SLO, report zero; if
-     [hi] passes, report [hi] directly. *)
-  let m_lo = probe lo_mops in
   if not (meets m_lo ~slo_p99_us) then
     { max_mops = 0.0; metrics = None; evaluations = !evaluations }
   else begin
-    let m_hi = probe hi_mops in
     if meets m_hi ~slo_p99_us then
       { max_mops = hi_mops; metrics = Some m_hi; evaluations = !evaluations }
     else begin

@@ -20,4 +20,9 @@ val search :
   result
 (** [search ~eval ~slo_p99_us ~lo_mops ~hi_mops ~iters] bisects on
     \[lo, hi\].  [eval] runs one simulation at the given rate.  Assumes p99
-    is (noisily) nondecreasing in load, which holds for these systems. *)
+    is (noisily) nondecreasing in load, which holds for these systems.
+
+    The two bracket endpoints are evaluated eagerly, through {!Par} —
+    [eval] must therefore be domain-safe ({!Experiment.run} closures are).
+    The bisection itself is inherently sequential.  Results are identical
+    whether or not domains are available. *)

@@ -1,75 +1,133 @@
-type 'a entry = { time : float; seq : int; value : 'a }
+(* The event queue is the innermost loop of the simulator, so the heap is
+   laid out as three parallel arrays — an unboxed [float array] of times, an
+   [int array] of sequence numbers and a value array — instead of an array
+   of boxed entry records.  [add] and [pop] allocate nothing in steady
+   state: sifting moves a hole through the arrays rather than swapping
+   entries, and the non-optional accessors ([min_time], [min_seq], [pop])
+   never materialize tuples. *)
 
-type 'a t = { mutable arr : 'a entry array; mutable size : int }
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+  mutable size : int;
+}
 
-(* A dummy entry used to fill unused slots; never observed because [size]
-   bounds all reads.  We stash the first real insertion there instead of
-   using Obj.magic: until then the array is empty. *)
+(* Unused value slots are filled with a previously stored (or just-added)
+   value so the array stays well-typed without [Obj.magic]; [size] bounds
+   all reads, so the filler is never observed. *)
 
-let create () = { arr = [||]; size = 0 }
+let create () = { times = [||]; seqs = [||]; vals = [||]; size = 0 }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let capacity t = Array.length t.vals
 
-let grow t entry =
-  let cap = Array.length t.arr in
+let grow t filler =
+  let cap = Array.length t.vals in
   let new_cap = if cap = 0 then 16 else 2 * cap in
-  let arr = Array.make new_cap entry in
-  Array.blit t.arr 0 arr 0 t.size;
-  t.arr <- arr
-
-let rec sift_up arr i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if lt arr.(i) arr.(parent) then begin
-      let tmp = arr.(i) in
-      arr.(i) <- arr.(parent);
-      arr.(parent) <- tmp;
-      sift_up arr parent
-    end
-  end
-
-let rec sift_down arr size i =
-  let l = (2 * i) + 1 in
-  let r = l + 1 in
-  let smallest = if l < size && lt arr.(l) arr.(i) then l else i in
-  let smallest = if r < size && lt arr.(r) arr.(smallest) then r else smallest in
-  if smallest <> i then begin
-    let tmp = arr.(i) in
-    arr.(i) <- arr.(smallest);
-    arr.(smallest) <- tmp;
-    sift_down arr size smallest
-  end
+  let times = Array.make new_cap 0.0 in
+  let seqs = Array.make new_cap 0 in
+  let vals = Array.make new_cap filler in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.vals 0 vals 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.vals <- vals
 
 let add t ~time ~seq value =
-  let entry = { time; seq; value } in
-  if t.size = Array.length t.arr then grow t entry;
-  t.arr.(t.size) <- entry;
+  if t.size = Array.length t.vals then grow t value;
+  let times = t.times and seqs = t.seqs and vals = t.vals in
+  (* Sift the hole up from the new leaf until [time, seq] fits. *)
+  let i = ref t.size in
   t.size <- t.size + 1;
-  sift_up t.arr (t.size - 1)
+  let placed = ref false in
+  while (not !placed) && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let pt = times.(p) in
+    if time < pt || (time = pt && seq < seqs.(p)) then begin
+      times.(!i) <- pt;
+      seqs.(!i) <- seqs.(p);
+      vals.(!i) <- vals.(p);
+      i := p
+    end
+    else placed := true
+  done;
+  times.(!i) <- time;
+  seqs.(!i) <- seq;
+  vals.(!i) <- value
+
+(* Sift the root hole down, descending element [(time, seq, value)]. *)
+let sift_down_root t time seq value =
+  let times = t.times and seqs = t.seqs and vals = t.vals in
+  let size = t.size in
+  let i = ref 0 in
+  let placed = ref false in
+  while not !placed do
+    let l = (2 * !i) + 1 in
+    if l >= size then placed := true
+    else begin
+      let r = l + 1 in
+      let c =
+        if
+          r < size
+          && (times.(r) < times.(l) || (times.(r) = times.(l) && seqs.(r) < seqs.(l)))
+        then r
+        else l
+      in
+      let ct = times.(c) in
+      if ct < time || (ct = time && seqs.(c) < seq) then begin
+        times.(!i) <- ct;
+        seqs.(!i) <- seqs.(c);
+        vals.(!i) <- vals.(c);
+        i := c
+      end
+      else placed := true
+    end
+  done;
+  times.(!i) <- time;
+  seqs.(!i) <- seq;
+  vals.(!i) <- value
+
+let min_time t =
+  if t.size = 0 then invalid_arg "Heap.min_time: empty heap";
+  t.times.(0)
+
+let min_seq t =
+  if t.size = 0 then invalid_arg "Heap.min_seq: empty heap";
+  t.seqs.(0)
+
+let pop t =
+  if t.size = 0 then invalid_arg "Heap.pop: empty heap";
+  let v = t.vals.(0) in
+  let n = t.size - 1 in
+  t.size <- n;
+  if n > 0 then begin
+    let lt = t.times.(n) and ls = t.seqs.(n) and lv = t.vals.(n) in
+    t.vals.(n) <- v (* keep the slot typed; overwritten on the next add *);
+    sift_down_root t lt ls lv
+  end;
+  v
 
 let pop_min t =
   if t.size = 0 then None
   else begin
-    let min = t.arr.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.arr.(0) <- t.arr.(t.size);
-      t.arr.(t.size) <- min (* keep the slot typed; overwritten on next add *);
-      sift_down t.arr t.size 0
-    end;
-    Some (min.time, min.seq, min.value)
+    let time = t.times.(0) and seq = t.seqs.(0) in
+    let v = pop t in
+    Some (time, seq, v)
   end
 
 let peek_min t =
-  if t.size = 0 then None
-  else
-    let e = t.arr.(0) in
-    Some (e.time, e.seq, e.value)
+  if t.size = 0 then None else Some (t.times.(0), t.seqs.(0), t.vals.(0))
 
 let clear t =
-  t.arr <- [||];
+  (* Retain the backing arrays so a reused heap does not re-grow from 16;
+     overwrite the value slots with one surviving filler so at most a
+     single previously stored value stays reachable. *)
+  (if Array.length t.vals > 0 then
+     let filler = t.vals.(0) in
+     Array.fill t.vals 0 (Array.length t.vals) filler);
   t.size <- 0

@@ -3,7 +3,12 @@
     The event queue of the simulator.  Keys are compared first by the float
     component (event time) and then by the int component (a monotonically
     increasing sequence number), which makes the ordering total and the
-    simulation deterministic even when many events share a timestamp. *)
+    simulation deterministic even when many events share a timestamp.
+
+    The heap is stored as three parallel arrays (unboxed [float] times,
+    [int] seqs, values), so [add] and the non-optional accessors below are
+    allocation-free in steady state — the event loop of {!Sim} runs without
+    producing minor garbage per event. *)
 
 type 'a t
 
@@ -13,14 +18,34 @@ val length : 'a t -> int
 
 val is_empty : 'a t -> bool
 
+val capacity : 'a t -> int
+(** Current backing-array capacity (for growth diagnostics and tests). *)
+
 val add : 'a t -> time:float -> seq:int -> 'a -> unit
-(** Insert an element.  O(log n). *)
+(** Insert an element.  O(log n); allocates only when the heap grows. *)
+
+val min_time : 'a t -> float
+(** Time key of the minimum element.  O(1).
+    @raise Invalid_argument on an empty heap. *)
+
+val min_seq : 'a t -> int
+(** Sequence key of the minimum element.  O(1).
+    @raise Invalid_argument on an empty heap. *)
+
+val pop : 'a t -> 'a
+(** Remove the minimum element and return its value, without materializing
+    a tuple.  Read {!min_time} first if the key is needed.  O(log n).
+    @raise Invalid_argument on an empty heap. *)
 
 val pop_min : 'a t -> (float * int * 'a) option
-(** Remove and return the element with the smallest key.  O(log n). *)
+(** Remove and return the element with the smallest key.  O(log n).
+    Allocating convenience wrapper around {!pop}; prefer
+    {!is_empty}/{!min_time}/{!pop} on hot paths. *)
 
 val peek_min : 'a t -> (float * int * 'a) option
 (** Return the element with the smallest key without removing it.  O(1). *)
 
 val clear : 'a t -> unit
-(** Remove all elements (releases references to stored values). *)
+(** Remove all elements.  The backing arrays (capacity) are retained so a
+    reused heap does not re-grow from scratch; at most one previously
+    stored value may stay reachable as the slot filler. *)

@@ -1,48 +1,56 @@
-type t = { mutable state : int64 }
+(* State and mixing use native [int] arithmetic, wrapping mod 2^63.  The
+   original implementation worked on [Int64.t]; without flambda the
+   compiler boxes every Int64 intermediate, which put ~8 words of minor
+   allocation in each draw — inside the innermost loop of every
+   simulation.  The mixer is SplitMix64's finalizer with the constants
+   truncated to fit native integers (odd, near the original bit
+   patterns); output quality stays far above what the simulation needs,
+   and the distribution tests guard it. *)
+type t = { mutable state : int }
 
-let golden_gamma = 0x9E3779B97F4A7C15L
+let golden_gamma = 0x1E3779B97F4A7C15
 
-let mix64 z =
-  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
-  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
-  Int64.(logxor z (shift_right_logical z 31))
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x2F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
 
-let create seed = { state = mix64 (Int64.of_int seed) }
+let create seed = { state = mix seed }
 
-let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix64 t.state
+let bits t =
+  t.state <- t.state + golden_gamma;
+  mix t.state
+
+let bits64 t = Int64.of_int (bits t)
 
 let split t =
-  let s = bits64 t in
+  let s = bits t in
   (* Mix once more so the child stream is decorrelated from the parent's
      raw output. *)
-  { state = mix64 s }
+  { state = mix s }
 
 let copy t = { state = t.state }
 
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling to avoid modulo bias. *)
-  let n64 = Int64.of_int n in
   let rec go () =
-    let r = Int64.shift_right_logical (bits64 t) 1 in
-    let v = Int64.rem r n64 in
-    if Int64.sub r v > Int64.sub Int64.max_int (Int64.sub n64 1L) then go ()
-    else Int64.to_int v
+    let r = bits t lsr 1 in
+    let v = r mod n in
+    if r - v > max_int - (n - 1) then go () else v
   in
   go ()
 
 let unit_float t =
   (* 53 random bits scaled into [0,1). *)
-  let r = Int64.shift_right_logical (bits64 t) 11 in
-  Int64.to_float r *. 0x1p-53
+  let r = bits t lsr 10 in
+  float_of_int r *. 0x1p-53
 
 let float t x =
   if x <= 0.0 then invalid_arg "Rng.float: bound must be positive";
   unit_float t *. x
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let bool t = bits t land 1 = 1
 
 let exponential t ~mean =
   let u = unit_float t in

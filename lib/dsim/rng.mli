@@ -1,11 +1,12 @@
 (** Deterministic pseudo-random number generation for simulations.
 
     The simulator must be fully deterministic for a given seed so that
-    experiments are reproducible and failures can be replayed.  We use
-    SplitMix64 (Steele et al., "Fast splittable pseudorandom number
-    generators", OOPSLA 2014): it is tiny, fast, passes BigCrush when used
-    as a 64-bit generator, and supports cheap splitting, which we use to
-    derive independent streams for clients, the NIC and each core. *)
+    experiments are reproducible and failures can be replayed.  We use a
+    native-integer variant of SplitMix64 (Steele et al., "Fast splittable
+    pseudorandom number generators", OOPSLA 2014): tiny, fast,
+    allocation-free per draw (Int64 state would box on every operation),
+    and it supports cheap splitting, which we use to derive independent
+    streams for clients, the NIC and each core. *)
 
 type t
 
@@ -22,7 +23,8 @@ val copy : t -> t
     produce identical streams. *)
 
 val bits64 : t -> int64
-(** Next raw 64-bit output. *)
+(** Next raw output, sign-extended to 64 bits (the generator itself works
+    on 63-bit native integers). *)
 
 val int : t -> int -> int
 (** [int t n] is uniform in \[0, n).  Requires [n > 0]. *)

@@ -1,5 +1,10 @@
+(* The clock lives in its own all-float record: float-only records use
+   the flat layout, so the per-event [clock <- time] store does not box
+   (it would in this mixed record). *)
+type clock_cell = { mutable now_us : float }
+
 type t = {
-  mutable clock : float;
+  clock : clock_cell;
   mutable seq : int;
   mutable processed : int;
   events : (unit -> unit) Heap.t;
@@ -7,50 +12,51 @@ type t = {
 }
 
 let create ?(seed = 42) () =
-  { clock = 0.0; seq = 0; processed = 0; events = Heap.create (); root_rng = Rng.create seed }
+  { clock = { now_us = 0.0 }; seq = 0; processed = 0; events = Heap.create (); root_rng = Rng.create seed }
 
-let now t = t.clock
+let now t = t.clock.now_us
 
 let rng t = t.root_rng
 
 let fork_rng t = Rng.split t.root_rng
 
 let schedule_at t time f =
-  if time < t.clock then
+  if time < t.clock.now_us then
     invalid_arg
-      (Printf.sprintf "Sim.schedule_at: time %.3f is before now %.3f" time t.clock);
+      (Printf.sprintf "Sim.schedule_at: time %.3f is before now %.3f" time t.clock.now_us);
   Heap.add t.events ~time ~seq:t.seq f;
   t.seq <- t.seq + 1
 
 let schedule_after t delay f =
   if delay < 0.0 then invalid_arg "Sim.schedule_after: negative delay";
-  schedule_at t (t.clock +. delay) f
+  schedule_at t (t.clock.now_us +. delay) f
 
 let run t ~until =
   let rec loop () =
-    match Heap.peek_min t.events with
-    | Some (time, _, _) when time <= until ->
-        (match Heap.pop_min t.events with
-        | Some (time, _, f) ->
-            t.clock <- time;
-            t.processed <- t.processed + 1;
-            f ();
-            loop ()
-        | None -> assert false)
-    | Some _ | None -> ()
-  in
-  loop ();
-  if t.clock < until then t.clock <- until
-
-let run_until_idle t =
-  let rec loop () =
-    match Heap.pop_min t.events with
-    | Some (time, _, f) ->
-        t.clock <- time;
+    if not (Heap.is_empty t.events) then begin
+      let time = Heap.min_time t.events in
+      if time <= until then begin
+        let f = Heap.pop t.events in
+        t.clock.now_us <- time;
         t.processed <- t.processed + 1;
         f ();
         loop ()
-    | None -> ()
+      end
+    end
+  in
+  loop ();
+  if t.clock.now_us < until then t.clock.now_us <- until
+
+let run_until_idle t =
+  let rec loop () =
+    if not (Heap.is_empty t.events) then begin
+      let time = Heap.min_time t.events in
+      let f = Heap.pop t.events in
+      t.clock.now_us <- time;
+      t.processed <- t.processed + 1;
+      f ();
+      loop ()
+    end
   in
   loop ()
 

@@ -1,4 +1,4 @@
-type queue_stats = { frames : int; wire_bytes : int }
+type queue_stats = { mutable frames : int; mutable wire_bytes : int }
 
 type 'a t = {
   rx_queues : 'a Fifo.t array;
@@ -10,7 +10,7 @@ let create ~queues ~tx_gbps =
   if queues <= 0 then invalid_arg "Nic.create: need at least one queue";
   {
     rx_queues = Array.init queues (fun _ -> Fifo.create ());
-    stats = Array.make queues { frames = 0; wire_bytes = 0 };
+    stats = Array.init queues (fun _ -> { frames = 0; wire_bytes = 0 });
     tx = Txlink.create ~gbps:tx_gbps;
   }
 
@@ -22,7 +22,8 @@ let tx t = t.tx
 
 let deliver t ~queue ~wire_bytes ~frames v =
   let s = t.stats.(queue) in
-  t.stats.(queue) <- { frames = s.frames + frames; wire_bytes = s.wire_bytes + wire_bytes };
+  s.frames <- s.frames + frames;
+  s.wire_bytes <- s.wire_bytes + wire_bytes;
   Fifo.push t.rx_queues.(queue) v
 
 let rx_stats t i = t.stats.(i)

@@ -24,7 +24,9 @@ val deliver : 'a t -> queue:int -> wire_bytes:int -> frames:int -> 'a -> unit
 (** A request (possibly spanning several frames) arrives on [queue];
     updates per-queue frame/byte counters and enqueues the element. *)
 
-type queue_stats = { frames : int; wire_bytes : int }
+type queue_stats = { mutable frames : int; mutable wire_bytes : int }
+(** Counters are updated in place on every delivery; treat the returned
+    record as read-only. *)
 
 val rx_stats : 'a t -> int -> queue_stats
 

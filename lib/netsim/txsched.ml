@@ -6,73 +6,105 @@ type message = {
   on_complete : float -> unit;
 }
 
+(* Flat float cell: avoids boxing the per-frame busy-time accumulation
+   (a float field in the mixed record below would box on every store). *)
+type accum = { mutable v : float }
+
 type t = {
   us_per_byte : float;
   queues : message Queue.t array;
   mutable rr : int; (* next queue to consider *)
   mutable wire_busy : bool;
-  mutable busy_accum : float;
+  busy_accum : accum;
   mutable total_bytes : int;
   schedule : float -> (unit -> unit) -> unit;
   now : unit -> float;
+  mutable inflight : message; (* message owning the frame on the wire *)
+  mutable on_frame_done : unit -> unit;
+      (* preallocated completion continuation: the wire serializes frames,
+         so at most one is outstanding and a single closure suffices
+         (allocating one per frame was a measurable hot-path cost) *)
 }
 
-let create ~gbps ~queues ~schedule ~now =
-  if not (gbps > 0.0) then invalid_arg "Txsched.create: rate must be > 0";
-  if queues < 1 then invalid_arg "Txsched.create: need at least one queue";
+let dummy_message =
   {
-    us_per_byte = 8.0e-3 /. gbps;
-    queues = Array.init queues (fun _ -> Queue.create ());
-    rr = 0;
-    wire_busy = false;
-    busy_accum = 0.0;
-    total_bytes = 0;
-    schedule;
-    now;
+    full_frames_left = 0;
+    full_frame_bytes = 0;
+    last_frame_bytes = 0;
+    last_done = false;
+    on_complete = ignore;
   }
 
 let message_done m = m.full_frames_left = 0 && m.last_done
 
 (* Pick the next frame to put on the wire, round-robin over non-empty
-   queues.  Returns the frame size and whether it completes its message. *)
-let next_frame t =
+   queues.  On success stores the owning message in [t.inflight] and
+   returns the frame's wire bytes; returns -1 when every queue is empty
+   (frames always cost at least their headers, so 0 is never a valid
+   size). *)
+let next_frame_bytes t =
   let n = Array.length t.queues in
   let rec scan i =
-    if i >= n then None
+    if i >= n then -1
     else begin
       let qi = (t.rr + i) mod n in
       let q = t.queues.(qi) in
-      match Queue.peek_opt q with
-      | None -> scan (i + 1)
-      | Some m ->
-          t.rr <- (qi + 1) mod n;
-          let bytes =
-            if m.full_frames_left > 0 then begin
-              m.full_frames_left <- m.full_frames_left - 1;
-              m.full_frame_bytes
-            end
-            else begin
-              m.last_done <- true;
-              m.last_frame_bytes
-            end
-          in
-          if message_done m then ignore (Queue.pop q);
-          Some (bytes, m)
+      if Queue.is_empty q then scan (i + 1)
+      else begin
+        let m = Queue.peek q in
+        t.rr <- (qi + 1) mod n;
+        let bytes =
+          if m.full_frames_left > 0 then begin
+            m.full_frames_left <- m.full_frames_left - 1;
+            m.full_frame_bytes
+          end
+          else begin
+            m.last_done <- true;
+            m.last_frame_bytes
+          end
+        in
+        if message_done m then ignore (Queue.pop q);
+        t.inflight <- m;
+        bytes
+      end
     end
   in
   scan 0
 
-let rec pump t =
-  match next_frame t with
-  | None -> t.wire_busy <- false
-  | Some (bytes, m) ->
-      t.wire_busy <- true;
-      let dt = float_of_int bytes *. t.us_per_byte in
-      t.busy_accum <- t.busy_accum +. dt;
-      t.total_bytes <- t.total_bytes + bytes;
-      t.schedule dt (fun () ->
-          if message_done m then m.on_complete (t.now ());
-          pump t)
+let pump t =
+  let bytes = next_frame_bytes t in
+  if bytes < 0 then t.wire_busy <- false
+  else begin
+    t.wire_busy <- true;
+    let dt = float_of_int bytes *. t.us_per_byte in
+    t.busy_accum.v <- t.busy_accum.v +. dt;
+    t.total_bytes <- t.total_bytes + bytes;
+    t.schedule dt t.on_frame_done
+  end
+
+let create ~gbps ~queues ~schedule ~now =
+  if not (gbps > 0.0) then invalid_arg "Txsched.create: rate must be > 0";
+  if queues < 1 then invalid_arg "Txsched.create: need at least one queue";
+  let t =
+    {
+      us_per_byte = 8.0e-3 /. gbps;
+      queues = Array.init queues (fun _ -> Queue.create ());
+      rr = 0;
+      wire_busy = false;
+      busy_accum = { v = 0.0 };
+      total_bytes = 0;
+      schedule;
+      now;
+      inflight = dummy_message;
+      on_frame_done = (fun () -> ());
+    }
+  in
+  t.on_frame_done <-
+    (fun () ->
+      let m = t.inflight in
+      if message_done m then m.on_complete (t.now ());
+      pump t);
+  t
 
 let send t ~queue ~payload_bytes ~on_complete =
   if payload_bytes < 0 then invalid_arg "Txsched.send: negative payload";
@@ -108,10 +140,10 @@ let total_bytes t = t.total_bytes
 
 let utilization t ~elapsed =
   if not (elapsed > 0.0) then invalid_arg "Txsched.utilization: elapsed must be > 0";
-  Float.min 1.0 (t.busy_accum /. elapsed)
+  Float.min 1.0 (t.busy_accum.v /. elapsed)
 
 let reset_counters t =
-  t.busy_accum <- 0.0;
+  t.busy_accum.v <- 0.0;
   t.total_bytes <- 0
 
 let pending_messages t =

@@ -135,9 +135,7 @@ let run_concurrent ?(clients = 3) ?concurrency ~server ~dataset ~requests_per_cl
   let results = List.map Domain.join client_domains in
   Domain.join collector;
   let latencies = Stats.Float_vec.create ~capacity:total () in
-  List.iter
-    (fun r -> Stats.Float_vec.iter (Stats.Float_vec.push latencies) r.latencies)
-    results;
+  List.iter (fun r -> Stats.Float_vec.append latencies r.latencies) results;
   {
     completed = List.fold_left (fun acc r -> acc + r.completed) 0 results;
     not_found = List.fold_left (fun acc r -> acc + r.not_found) 0 results;

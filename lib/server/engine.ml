@@ -8,23 +8,24 @@ type request = {
   mutable rx_queue : int;
 }
 
-type core_accounting = {
-  mutable ops : int;
-  mutable packets : int;
-  mutable busy_us : float;
-}
-
 type t = {
   cfg : Config.t;
   sim : Dsim.Sim.t;
   gen : Workload.Generator.t;
+  dataset : Workload.Dataset.t;
+  key_names : string array;
+      (* materialized key strings, only when a real store is attached *)
   source : (unit -> Workload.Generator.request) option;
   dynamic : Workload.Dynamic.t option;
   store : Kvstore.Store.t option;
   nic : request Netsim.Nic.t;
   tx : Netsim.Txsched.t;
   offered_mops : float;
-  accounting : core_accounting array;
+  (* Per-core accounting as parallel arrays: float stores into a float
+     array don't box, unlike stores into a mixed record's float field. *)
+  core_ops : int array;
+  core_packets : int array;
+  core_busy_us : float array;
   latencies : Stats.Float_vec.t;
   small_latencies : Stats.Float_vec.t;
   large_latencies : Stats.Float_vec.t;
@@ -49,10 +50,17 @@ let create ?dynamic ?store ?source cfg gen ~offered_mops =
   | Error msg -> invalid_arg ("Engine.create: " ^ msg));
   if not (offered_mops > 0.0) then invalid_arg "Engine.create: offered_mops must be > 0";
   let sim = Dsim.Sim.create ~seed:cfg.Config.seed () in
+  let dataset = Workload.Generator.dataset gen in
   {
     cfg;
     sim;
     gen;
+    dataset;
+    key_names =
+      (match store with
+      | None -> [||]
+      | Some _ ->
+          Array.init (Workload.Dataset.n_keys dataset) Workload.Dataset.key_name);
     source;
     dynamic;
     store;
@@ -62,8 +70,9 @@ let create ?dynamic ?store ?source cfg gen ~offered_mops =
         ~schedule:(fun delay f -> Dsim.Sim.schedule_after sim delay f)
         ~now:(fun () -> Dsim.Sim.now sim);
     offered_mops;
-    accounting =
-      Array.init cfg.Config.cores (fun _ -> { ops = 0; packets = 0; busy_us = 0.0 });
+    core_ops = Array.make cfg.Config.cores 0;
+    core_packets = Array.make cfg.Config.cores 0;
+    core_busy_us = Array.make cfg.Config.cores 0.0;
     latencies = Stats.Float_vec.create ~capacity:65536 ();
     small_latencies = Stats.Float_vec.create ~capacity:65536 ();
     large_latencies = Stats.Float_vec.create ~capacity:1024 ();
@@ -95,10 +104,10 @@ let rx t i = Netsim.Nic.rx t.nic i
 let dispatch_rng t = t.dispatch_rng
 
 (* Keyhash-based master core: mix the key id so that dense ids spread, as a
-   real keyhash would. *)
+   real keyhash would.  The 30-bit partition of each key's name hash is
+   precomputed in the dataset, so dispatch is a table lookup. *)
 let put_master t req =
-  let h = Kvstore.Keyhash.hash (Workload.Dataset.key_name req.key_id) in
-  Kvstore.Keyhash.partition_of h ~bits:30 mod t.cfg.Config.cores
+  Workload.Dataset.key_partition t.dataset req.key_id mod t.cfg.Config.cores
 
 let uniform_queue t = Dsim.Rng.int t.dispatch_rng t.cfg.Config.cores
 
@@ -106,14 +115,14 @@ let in_window t time =
   time >= t.cfg.Config.warmup_us && time <= t.cfg.Config.duration_us
 
 let busy t ~core dt ~k =
-  t.accounting.(core).busy_us <- t.accounting.(core).busy_us +. dt;
+  t.core_busy_us.(core) <- t.core_busy_us.(core) +. dt;
   Dsim.Sim.schedule_after t.sim dt k
 
 let touch_real_store t req =
   match t.store with
   | None -> ()
   | Some store -> (
-      let key = Workload.Dataset.key_name req.key_id in
+      let key = t.key_names.(req.key_id) in
       match req.op with
       | Cost_model.Get -> ignore (Kvstore.Store.size_of store key)
       | Cost_model.Put ->
@@ -139,7 +148,6 @@ let record_reply t req ~finish_time =
 
 let execute t ~core ?tx_queue ?(extra_cpu = 0.0) req ~k =
   let tx_queue = Option.value tx_queue ~default:core in
-  let acct = t.accounting.(core) in
   let cpu =
     Cost_model.cpu_time t.cfg.Config.cost req.op ~item_size:req.item_size +. extra_cpu
   in
@@ -149,7 +157,7 @@ let execute t ~core ?tx_queue ?(extra_cpu = 0.0) req ~k =
     Stats.Summary.add t.queue_wait (start -. req.arrival_us);
     Stats.Summary.add t.service cpu
   end;
-  acct.busy_us <- acct.busy_us +. cpu;
+  t.core_busy_us.(core) <- t.core_busy_us.(core) +. cpu;
   Dsim.Sim.schedule_after t.sim cpu (fun () ->
       touch_real_store t req;
       (* §6.4: under reply sampling the server does all the processing but
@@ -163,8 +171,9 @@ let execute t ~core ?tx_queue ?(extra_cpu = 0.0) req ~k =
             || Dsim.Rng.unit_float t.sampling_rng < t.cfg.Config.sampling
       in
       let reply_frames = Cost_model.reply_frames req.op ~item_size:req.item_size in
-      acct.ops <- acct.ops + 1;
-      acct.packets <- acct.packets + req.frames_in + (if replied then reply_frames else 0);
+      t.core_ops.(core) <- t.core_ops.(core) + 1;
+      t.core_packets.(core) <-
+        t.core_packets.(core) + req.frames_in + (if replied then reply_frames else 0);
       t.processed_total <- t.processed_total + 1;
       if in_window t (Dsim.Sim.now t.sim) then
         t.processed_window <- t.processed_window + 1;
@@ -285,8 +294,8 @@ let run t make_design =
     large_p99_us = quantile_or_nan t.large_latencies 0.99;
     nic_tx_utilization = Netsim.Txsched.utilization t.tx ~elapsed:window;
     stable = in_flight <= backlog_cap;
-    per_core_ops = Array.map (fun a -> a.ops) t.accounting;
-    per_core_packets = Array.map (fun a -> a.packets) t.accounting;
+    per_core_ops = Array.copy t.core_ops;
+    per_core_packets = Array.copy t.core_packets;
     final_large_cores = design.large_core_count ();
     final_threshold = design.current_threshold ();
     p99_series =

@@ -25,6 +25,30 @@ let iter f t =
     f t.arr.(i)
   done
 
+let append dst src =
+  let need = dst.len + src.len in
+  if need > Array.length dst.arr then begin
+    let cap = ref (max 1 (Array.length dst.arr)) in
+    while !cap < need do
+      cap := 2 * !cap
+    done;
+    let arr = Array.make !cap 0.0 in
+    Array.blit dst.arr 0 arr 0 dst.len;
+    dst.arr <- arr
+  end;
+  Array.blit src.arr 0 dst.arr dst.len src.len;
+  dst.len <- need
+
+let sum t =
+  (* Accumulate through a one-element float array: flat float storage, so
+     the loop allocates nothing (a [float ref] would box every update,
+     and [fold ( +. )] boxes both arguments per element). *)
+  let acc = [| 0.0 |] in
+  for i = 0 to t.len - 1 do
+    acc.(0) <- acc.(0) +. t.arr.(i)
+  done;
+  acc.(0)
+
 let fold f init t =
   let acc = ref init in
   for i = 0 to t.len - 1 do

@@ -19,6 +19,13 @@ val to_array : t -> float array
 
 val iter : (float -> unit) -> t -> unit
 
+val append : t -> t -> unit
+(** [append dst src] pushes every element of [src] onto [dst] with a
+    single blit (no per-element work).  [src] is unchanged. *)
+
+val sum : t -> float
+(** Sum of all elements; allocation-free (unlike [fold ( +. ) 0.0]). *)
+
 val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
 
 val clear : t -> unit

@@ -1,3 +1,52 @@
+(* Monomorphic in-place sort.  [Array.sort compare] on a [float array]
+   reads elements through the generic array primitives (boxing each one)
+   and dispatches the polymorphic comparison per pair — on the
+   million-sample latency vectors this was the simulator's single largest
+   source of minor allocation.  A float-specialized quicksort does direct
+   unboxed comparisons and allocates nothing per element.  NaNs are not
+   ordered ([compare] ordered them); latency samples are always finite. *)
+let sort_floats (a : float array) =
+  let swap i j =
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  in
+  let insertion lo hi =
+    for i = lo + 1 to hi do
+      let v = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > v do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- v
+    done
+  in
+  let rec qsort lo hi =
+    if hi - lo < 16 then insertion lo hi
+    else begin
+      (* Median-of-three pivot, then Hoare partition. *)
+      let mid = lo + ((hi - lo) / 2) in
+      if a.(mid) < a.(lo) then swap mid lo;
+      if a.(hi) < a.(lo) then swap hi lo;
+      if a.(hi) < a.(mid) then swap hi mid;
+      let pivot = a.(mid) in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while a.(!i) < pivot do incr i done;
+        while a.(!j) > pivot do decr j done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      qsort lo !j;
+      qsort !i hi
+    end
+  in
+  if Array.length a > 1 then qsort 0 (Array.length a - 1)
+
 let of_sorted sorted q =
   let n = Array.length sorted in
   if n = 0 then invalid_arg "Quantile.of_sorted: empty sample";
@@ -8,16 +57,16 @@ let of_sorted sorted q =
 
 let of_array arr q =
   let copy = Array.copy arr in
-  Array.sort compare copy;
+  sort_floats copy;
   of_sorted copy q
 
 let of_vec vec q = of_array (Float_vec.to_array vec) q
 
 let many_of_vec vec qs =
   let copy = Float_vec.to_array vec in
-  Array.sort compare copy;
+  sort_floats copy;
   List.map (of_sorted copy) qs
 
 let mean_of_vec vec =
   let n = Float_vec.length vec in
-  if n = 0 then 0.0 else Float_vec.fold ( +. ) 0.0 vec /. float_of_int n
+  if n = 0 then 0.0 else Float_vec.sum vec /. float_of_int n

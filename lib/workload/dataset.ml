@@ -4,6 +4,7 @@ type t = {
   zipf : Dsim.Dist.Zipf.t;
   n_small : int;
   perm_key : int; (* parameter of the rank -> key-id scrambling *)
+  part30 : int array; (* per-key 30-bit keyhash partition, precomputed *)
 }
 
 (* Multiplicative scrambling of zipf ranks onto key ids: an affine map with
@@ -14,6 +15,21 @@ let scramble ~n ~mult rank = (rank * mult + 0x9E37) mod n
 let rec coprime_mult n candidate =
   let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
   if gcd candidate n = 1 then candidate else coprime_mult n (candidate + 2)
+
+(* Hand-rolled ["k%08x"]: producing the same strings as [Printf.sprintf]
+   without interpreting a format per key makes the whole-dataset hash
+   precomputation (and real-store key materialization) cheap. *)
+let hex_digits = "0123456789abcdef"
+
+let key_name id =
+  let b = Bytes.create 9 in
+  Bytes.unsafe_set b 0 'k';
+  let v = ref id in
+  for i = 8 downto 1 do
+    Bytes.unsafe_set b i (String.unsafe_get hex_digits (!v land 0xF));
+    v := !v lsr 4
+  done;
+  Bytes.unsafe_to_string b
 
 let create ?(seed = 7) spec =
   (match Spec.validate spec with
@@ -39,6 +55,9 @@ let create ?(seed = 7) spec =
     zipf = Dsim.Dist.Zipf.create ~n:n_small ~theta:spec.Spec.zipf_theta;
     n_small;
     perm_key = coprime_mult n_small 2_654_435_761;
+    part30 =
+      Array.init n (fun id ->
+          Kvstore.Keyhash.partition_of (Kvstore.Keyhash.hash (key_name id)) ~bits:30);
   }
 
 let spec t = t.spec
@@ -51,7 +70,7 @@ let size_of_key t id = t.sizes.(id)
 
 let is_large_key t id = id >= t.n_small
 
-let key_name id = Printf.sprintf "k%08x" id
+let key_partition t id = t.part30.(id)
 
 let sample_small_key t rng =
   let rank = Dsim.Dist.Zipf.sample t.zipf rng in

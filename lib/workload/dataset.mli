@@ -26,7 +26,13 @@ val size_of_key : t -> int -> int
 val is_large_key : t -> int -> bool
 
 val key_name : int -> string
-(** Stable printable key for use with the real {!Kvstore.Store}. *)
+(** Stable printable key for use with the real {!Kvstore.Store}
+    (equivalent to [Printf.sprintf "k%08x" id], without the formatter). *)
+
+val key_partition : t -> int -> int
+(** The 30-bit {!Kvstore.Keyhash} partition index of the key's name hash,
+    precomputed at dataset creation — the engine's PUT dispatch never
+    formats or hashes key names on the per-request path. *)
 
 val sample_small_key : t -> Dsim.Rng.t -> int
 (** A zipf-distributed tiny/small key. *)

@@ -234,6 +234,73 @@ let test_heap_peek () =
   | None -> Alcotest.fail "expected element");
   check int "peek does not remove" 1 (Heap.length h)
 
+(* Random add/pop interleavings against a sorted-list model: every pop
+   must return the live element with the least (time, seq) key, not just
+   a fully-built heap drained at the end. *)
+let prop_heap_interleaved =
+  QCheck.Test.make ~name:"heap interleaved add/pop matches model" ~count:300
+    QCheck.(list (option (float_bound_inclusive 100.0)))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] (* ascending by (time, seq) *) in
+      let seq = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some time ->
+              Heap.add h ~time ~seq:!seq !seq;
+              model := List.merge compare !model [ (time, !seq) ];
+              incr seq;
+              true
+          | None -> (
+              match (Heap.pop_min h, !model) with
+              | None, [] -> true
+              | Some (t, s, v), (mt, ms) :: rest ->
+                  model := rest;
+                  t = mt && s = ms && v = ms
+              | Some _, [] | None, _ :: _ -> false))
+        ops)
+
+let test_heap_nonallocating_accessors () =
+  let h = Heap.create () in
+  Alcotest.check_raises "min_time empty"
+    (Invalid_argument "Heap.min_time: empty heap") (fun () ->
+      ignore (Heap.min_time h));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Heap.pop: empty heap")
+    (fun () -> ignore (Heap.pop h));
+  Heap.add h ~time:3.0 ~seq:9 "x";
+  check (approx 0.0) "min_time" 3.0 (Heap.min_time h);
+  check int "min_seq" 9 (Heap.min_seq h);
+  check Alcotest.string "pop" "x" (Heap.pop h)
+
+let test_heap_capacity_steady_state () =
+  let h = Heap.create () in
+  for i = 1 to 64 do
+    Heap.add h ~time:(float_of_int i) ~seq:i i
+  done;
+  for _ = 1 to 64 do
+    ignore (Heap.pop h)
+  done;
+  let cap = Heap.capacity h in
+  check bool "warmed capacity" true (cap >= 64);
+  for i = 1 to 10_000 do
+    Heap.add h ~time:(float_of_int (i land 0xFF)) ~seq:i i;
+    ignore (Heap.pop h)
+  done;
+  check int "steady-state add/pop never grows" cap (Heap.capacity h)
+
+let test_heap_clear_retains_capacity () =
+  let h = Heap.create () in
+  for i = 1 to 100 do
+    Heap.add h ~time:(float_of_int i) ~seq:i i
+  done;
+  let cap = Heap.capacity h in
+  Heap.clear h;
+  check int "empty after clear" 0 (Heap.length h);
+  check int "capacity retained" cap (Heap.capacity h);
+  Heap.add h ~time:1.0 ~seq:0 7;
+  check int "usable after clear" 1 (Heap.length h)
+
 (* ------------------------------------------------------------------ *)
 (* Sim *)
 
@@ -328,8 +395,14 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "tie break by seq" `Quick test_heap_tie_break_by_seq;
           Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "non-allocating accessors" `Quick
+            test_heap_nonallocating_accessors;
+          Alcotest.test_case "steady-state capacity" `Quick
+            test_heap_capacity_steady_state;
+          Alcotest.test_case "clear retains capacity" `Quick
+            test_heap_clear_retains_capacity;
         ]
-        @ qsuite [ prop_heap_sorts ] );
+        @ qsuite [ prop_heap_sorts; prop_heap_interleaved ] );
       ( "sim",
         [
           Alcotest.test_case "time order" `Quick test_sim_runs_in_time_order;
