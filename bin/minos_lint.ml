@@ -1,0 +1,31 @@
+(* Hot-path lint driver: `minos_lint [--allow FILE] ROOT...`.
+   Exit 0 iff no violations and no stale allowlist entries; the `@lint`
+   dune alias runs it over lib/ with lint_allow.txt. *)
+
+let usage = "minos_lint [--allow FILE] ROOT..."
+
+let () =
+  let allow_file = ref None in
+  let roots = ref [] in
+  Arg.parse
+    [ ("--allow", Arg.String (fun f -> allow_file := Some f), "FILE allowlist") ]
+    (fun r -> roots := r :: !roots)
+    usage;
+  let roots = List.rev !roots in
+  if roots = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let allow =
+    match !allow_file with
+    | None -> []
+    | Some f -> Lint.Lint_core.parse_allowlist f
+  in
+  let report = Lint.Lint_core.lint_tree ~allow roots in
+  Lint.Lint_core.pp_report Format.std_formatter report;
+  if Lint.Lint_core.report_clean report then begin
+    Printf.printf "lint: clean (%d suppressed by allowlist)\n"
+      (List.length report.suppressed);
+    exit 0
+  end
+  else exit 1

@@ -1,0 +1,54 @@
+(* Signature of the atomic operations the lock-free kernel is written
+   against, plus the production instantiation.
+
+   Ring and Spinlock are functorized over [S] so the model checker in
+   lib/check can substitute traced atomics whose every access yields to an
+   effect-handler scheduler.  Production code uses [Native], which is
+   [Stdlib.Atomic] re-exported with zero wrapping of the representation
+   ([type 'a t = 'a Stdlib.Atomic.t]). *)
+
+module type S = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+
+  val cpu_relax : unit -> unit
+  (** Hint issued inside spin loops.  [Domain.cpu_relax] in production; a
+      no-op under the model checker (every traced access is already a
+      scheduling point). *)
+
+  (* Plain (non-atomic) shared mutable cells.  Production compiles these
+     to a bare mutable field; the model checker traces them so that the
+     placement of plain accesses relative to the release/acquire atomics
+     around them becomes a checkable property (e.g. a ring slot written
+     after its sequence number was published shows up as an interleaving
+     where a consumer reads the stale slot). *)
+  type 'a cell
+
+  val cell : 'a -> 'a cell
+  val read : 'a cell -> 'a
+  val write : 'a cell -> 'a -> unit
+end
+
+module Native : S with type 'a t = 'a Stdlib.Atomic.t = struct
+  type 'a t = 'a Stdlib.Atomic.t
+
+  let make = Stdlib.Atomic.make
+  let get = Stdlib.Atomic.get
+  let set = Stdlib.Atomic.set
+  let exchange = Stdlib.Atomic.exchange
+  let compare_and_set = Stdlib.Atomic.compare_and_set
+  let fetch_and_add = Stdlib.Atomic.fetch_and_add
+  let cpu_relax = Domain.cpu_relax
+
+  type 'a cell = { mutable contents : 'a }
+
+  let cell v = { contents = v }
+  let read c = c.contents
+  let write c v = c.contents <- v
+end

@@ -1,0 +1,33 @@
+(** Atomic-operations signature shared by the lock-free kernel.
+
+    [Ring.Make] and [Spinlock.Make] take an [S]; production instantiates
+    [Native] (a transparent re-export of [Stdlib.Atomic]) while the model
+    checker in lib/check instantiates traced atomics driven by an
+    effect-handler scheduler. *)
+
+module type S = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+
+  val cpu_relax : unit -> unit
+  (** Spin-loop hint: [Domain.cpu_relax] in production, no-op in the
+      model. *)
+
+  type 'a cell
+  (** A plain (non-atomic) shared mutable cell: a bare mutable field in
+      production, a traced location under the model checker so that the
+      ordering of plain accesses against the surrounding release/acquire
+      atomics is part of the explored state space. *)
+
+  val cell : 'a -> 'a cell
+  val read : 'a cell -> 'a
+  val write : 'a cell -> 'a -> unit
+end
+
+module Native : S with type 'a t = 'a Stdlib.Atomic.t

@@ -1,0 +1,270 @@
+(* Model-checked instantiations of the lock-free kernel, plus the canned
+   scenarios the tests and `minos check` drive, plus deliberately broken
+   variants that validate the checker catches real bugs. *)
+
+module Ring = Netsim.Ring.Make (Traced_atomic)
+module Spinlock = Kvstore.Spinlock.Make (Traced_atomic)
+
+(* ------------------------------------------------------------------ *)
+(* Ring scenarios *)
+
+(* Values are [producer * 1000 + i], so the producer and per-producer rank
+   are recoverable; [pre_cycles] quiescent push/pop rounds advance the
+   head/tail counters before the concurrent part, exercising slot reuse
+   and sequence wrap-around. *)
+
+let value_producer v = v / 1000
+
+let value_rank v = v mod 1000
+
+(* Each consumer's pop sequence is totally ordered by the head CAS, so
+   within it the values of any single producer must appear in push order.
+   [label] only decorates the failure message. *)
+let check_fifo ~producers ~label seq =
+  for p = 0 to producers - 1 do
+    let rank = ref (-1) in
+    List.iter
+      (fun v ->
+        if v >= 0 && value_producer v = p then begin
+          if value_rank v <= !rank then
+            failwith
+              (Printf.sprintf "ring: FIFO violated for producer %d in %s" p
+                 label);
+          rank := value_rank v
+        end)
+      seq
+  done
+
+let ring_conservation ?(pre_cycles = 0) ~capacity ~producers ~pushes_per_producer
+    ~consumers ~pops_per_consumer () : Trace_sched.scenario =
+ fun () ->
+  let r = Ring.create ~capacity in
+  for i = 1 to pre_cycles do
+    if not (Ring.try_push r (-i)) then failwith "ring: pre-cycle push failed";
+    match Ring.try_pop r with
+    | Some _ -> ()
+    | None -> failwith "ring: pre-cycle pop failed"
+  done;
+  let pushed = Array.make producers [] in
+  let popped = Array.make consumers [] in
+  let producer p () =
+    for i = 0 to pushes_per_producer - 1 do
+      let v = (p * 1000) + i in
+      if Ring.try_push r v then pushed.(p) <- v :: pushed.(p)
+    done
+  in
+  let consumer c () =
+    for _ = 1 to pops_per_consumer do
+      match Ring.try_pop r with
+      | Some v -> popped.(c) <- v :: popped.(c)
+      | None -> ()
+    done
+  in
+  let procs =
+    Array.init (producers + consumers) (fun i ->
+        if i < producers then producer i else consumer (i - producers))
+  in
+  let final () =
+    let drained = ref [] in
+    (try
+       while true do
+         drained := Ring.pop_exn r :: !drained
+       done
+     with Netsim.Ring.Empty -> ());
+    let drained = List.rev !drained in
+    let all_pushed = List.concat_map List.rev (Array.to_list pushed) in
+    let consumed = List.concat_map List.rev (Array.to_list popped) in
+    let all_popped = consumed @ drained in
+    let sorted = List.sort Int.compare in
+    if sorted all_popped <> sorted all_pushed then
+      failwith
+        (Printf.sprintf "ring: lost/duplicated values (%d pushed, %d popped)"
+           (List.length all_pushed) (List.length all_popped));
+    Array.iteri
+      (fun c seq ->
+        check_fifo ~producers ~label:(Printf.sprintf "consumer %d" c)
+          (List.rev seq))
+      popped;
+    check_fifo ~producers ~label:"final drain" drained
+  in
+  (procs, final)
+
+(* Concurrent pushes/pops with an observer asserting the documented
+   [length] bounds: every snapshot must land in [0, capacity]. *)
+let ring_length_bounds ~capacity ~producers ~pushes_per_producer ~observations
+    () : Trace_sched.scenario =
+ fun () ->
+  let r = Ring.create ~capacity in
+  let producer p () =
+    for i = 0 to pushes_per_producer - 1 do
+      ignore (Ring.try_push r ((p * 1000) + i))
+    done
+  in
+  let consumer () = ignore (Ring.try_pop r) in
+  let observer () =
+    for _ = 1 to observations do
+      let len = Ring.length r in
+      if len < 0 || len > capacity then
+        failwith (Printf.sprintf "ring: length %d outside [0, %d]" len capacity)
+    done
+  in
+  let procs =
+    Array.init (producers + 2) (fun i ->
+        if i < producers then producer i
+        else if i = producers then consumer
+        else observer)
+  in
+  (procs, fun () -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Spinlock scenario *)
+
+(* Mutual exclusion via a traced in-critical-section flag, plus a
+   non-atomic read-modify-write counter whose lost updates would betray
+   two holders even if the flag check were racy itself.  Acquisition uses
+   bounded [try_lock] retries: [lock]'s unbounded TTAS spin would make the
+   schedule tree infinite (see Trace_sched on scenario requirements). *)
+let spinlock_mutex ~domains ~iters ~retries () : Trace_sched.scenario =
+ fun () ->
+  let l = Spinlock.create () in
+  let in_cs = Traced_atomic.cell false in
+  let count = Traced_atomic.cell 0 in
+  let acquired = Array.make domains 0 in
+  let proc d () =
+    for _ = 1 to iters do
+      let rec attempt n = n > 0 && (Spinlock.try_lock l || attempt (n - 1)) in
+      if attempt retries then begin
+        if Traced_atomic.read in_cs then
+          failwith "spinlock: two processes in the critical section";
+        Traced_atomic.write in_cs true;
+        let v = Traced_atomic.read count in
+        Traced_atomic.write count (v + 1);
+        Traced_atomic.write in_cs false;
+        Spinlock.unlock l;
+        acquired.(d) <- acquired.(d) + 1
+      end
+    done
+  in
+  let final () =
+    let total = Array.fold_left ( + ) 0 acquired in
+    let counted = Traced_atomic.read count in
+    if counted <> total then
+      failwith
+        (Printf.sprintf "spinlock: %d of %d critical sections lost"
+           (total - counted) total)
+  in
+  (Array.init domains (fun d -> proc d), final)
+
+(* ------------------------------------------------------------------ *)
+(* Deliberately broken variants: the checker must find their bugs, or it
+   is not checking anything. *)
+
+module Buggy = struct
+  module A = Traced_atomic
+
+  (* Vyukov ring with the publication order reversed: the slot sequence is
+     released before the value is written, so a consumer interleaved
+     between the two reads the stale slot (the sentinel). *)
+  module Late_write_ring = struct
+    type t = {
+      seqs : int A.t array;
+      vals : int A.cell array;
+      mask : int;
+      head : int A.t;
+      tail : int A.t;
+    }
+
+    let sentinel = min_int
+
+    let create ~capacity =
+      {
+        seqs = Array.init capacity (fun i -> A.make i);
+        vals = Array.init capacity (fun _ -> A.cell sentinel);
+        mask = capacity - 1;
+        head = A.make 0;
+        tail = A.make 0;
+      }
+
+    let try_push t v =
+      let rec attempt () =
+        let pos = A.get t.tail in
+        let i = pos land t.mask in
+        let seq = A.get t.seqs.(i) in
+        let diff = seq - pos in
+        if diff = 0 then
+          if A.compare_and_set t.tail pos (pos + 1) then begin
+            A.set t.seqs.(i) (pos + 1) (* BUG: published before the write *);
+            A.write t.vals.(i) v;
+            true
+          end
+          else attempt ()
+        else if diff < 0 then false
+        else attempt ()
+      in
+      attempt ()
+
+    let try_pop t =
+      let rec attempt () =
+        let pos = A.get t.head in
+        let i = pos land t.mask in
+        let seq = A.get t.seqs.(i) in
+        let diff = seq - (pos + 1) in
+        if diff = 0 then
+          if A.compare_and_set t.head pos (pos + 1) then begin
+            let v = A.read t.vals.(i) in
+            A.write t.vals.(i) sentinel;
+            A.set t.seqs.(i) (pos + t.mask + 1);
+            Some v
+          end
+          else attempt ()
+        else if diff < 0 then None
+        else attempt ()
+      in
+      attempt ()
+  end
+
+  (* One producer, one consumer: any popped value must be a real one. *)
+  let late_write_ring_scenario () : Trace_sched.scenario =
+   fun () ->
+    let r = Late_write_ring.create ~capacity:2 in
+    let procs =
+      [|
+        (fun () -> ignore (Late_write_ring.try_push r 7));
+        (fun () ->
+          match Late_write_ring.try_pop r with
+          | Some v when v = Late_write_ring.sentinel ->
+              failwith "buggy ring: popped an unwritten slot"
+          | Some _ | None -> ());
+      |]
+    in
+    (procs, fun () -> ())
+
+  (* Test-and-set "lock" whose test and set are two separate atomic
+     operations: two processes can both observe the lock free. *)
+  module Tas_lock = struct
+    let create () = A.make false
+
+    let try_lock t =
+      if A.get t then false
+      else begin
+        A.set t true (* BUG: not atomic with the test *);
+        true
+      end
+
+    let unlock t = A.set t false
+  end
+
+  let tas_lock_scenario ~domains () : Trace_sched.scenario =
+   fun () ->
+    let l = Tas_lock.create () in
+    let in_cs = A.cell false in
+    let proc _ () =
+      if Tas_lock.try_lock l then begin
+        if A.read in_cs then failwith "buggy lock: mutual exclusion violated";
+        A.write in_cs true;
+        A.write in_cs false;
+        Tas_lock.unlock l
+      end
+    in
+    (Array.init domains (fun d -> proc d), fun () -> ())
+end

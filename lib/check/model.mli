@@ -1,0 +1,53 @@
+(** Model-checked instantiations of the lock-free kernel and the canned
+    scenarios driven by test/test_check.ml and `minos check`. *)
+
+module Ring : Netsim.Ring.S
+(** [Netsim.Ring.Make (Traced_atomic)]. *)
+
+module Spinlock : Kvstore.Spinlock.S
+(** [Kvstore.Spinlock.Make (Traced_atomic)]. *)
+
+val ring_conservation :
+  ?pre_cycles:int ->
+  capacity:int ->
+  producers:int ->
+  pushes_per_producer:int ->
+  consumers:int ->
+  pops_per_consumer:int ->
+  unit ->
+  Trace_sched.scenario
+(** Producers push tagged values (with bounded attempts), consumers pop
+    with bounded attempts; the final check drains the ring and fails on
+    any lost, duplicated or torn value, or on a per-producer FIFO
+    violation within any consumer's pop sequence.  [pre_cycles] quiescent
+    push/pop rounds run first to exercise slot reuse and sequence
+    wrap-around. *)
+
+val ring_length_bounds :
+  capacity:int ->
+  producers:int ->
+  pushes_per_producer:int ->
+  observations:int ->
+  unit ->
+  Trace_sched.scenario
+(** Concurrent pushes/pops with an observer asserting every [Ring.length]
+    snapshot lands in [0, capacity]. *)
+
+val spinlock_mutex :
+  domains:int -> iters:int -> retries:int -> unit -> Trace_sched.scenario
+(** Each domain repeatedly acquires via bounded [try_lock] retries, runs a
+    critical section over traced shared state, and releases.  Fails if two
+    processes are ever inside the critical section or an update is lost. *)
+
+(** Deliberately broken variants used to validate that the checker
+    actually catches bugs (see test_check.ml). *)
+module Buggy : sig
+  val late_write_ring_scenario : unit -> Trace_sched.scenario
+  (** Ring that publishes the slot sequence before writing the value; the
+      checker must find the schedule where a consumer pops the unwritten
+      slot. *)
+
+  val tas_lock_scenario : domains:int -> unit -> Trace_sched.scenario
+  (** Lock whose test and set are two separate atomics; the checker must
+      find the schedule where two processes both acquire. *)
+end

@@ -1,0 +1,307 @@
+(* Exhaustive interleaving explorer for the lock-free kernel, in the style
+   of dscheck.
+
+   Checked code (Ring/Spinlock instantiated on Traced_atomic) performs the
+   [Step] effect before every shared-memory access.  A deep effect handler
+   captures the continuation, which hands the scheduler one "grant = one
+   shared access" unit of progress per process.  The explorer then drives
+   a depth-first search over all schedules: each execution replays the
+   scenario from scratch following a prefix of choices, extends it with a
+   default run-to-completion policy while recording which processes were
+   enabled (and their pending operations) at every step, and finally
+   spawns one backtrack point per not-chosen enabled process.
+
+   Pruning ("DPOR-lite"):
+   - Sleep sets (Godefroid).  After a child of a node has been fully
+     explored, the process that took it is put to sleep for the node's
+     remaining children and stays asleep down those subtrees until some
+     executed operation is dependent with its pending operation (same
+     location, at least one write).  Sleep sets only skip schedules that
+     are Mazurkiewicz-equivalent to an already-explored one, so the
+     reduction is sound: a violation reachable by any interleaving is
+     still reached.  [~sleep_sets:false] disables the pruning (the
+     explorer then enumerates every interleaving literally, which the
+     tests use to cross-validate the reduction on small histories).
+   - Optional CHESS-style preemption bounding ([?preemption_bound]) for
+     histories too big to exhaust.
+
+   Model assumptions (see DESIGN.md §8): scheduling points are the traced
+   operations — the atomics plus the [Atomic_ops.S.cell] plain slots — so
+   exploration is sequentially consistent over those; untraced process
+   code executes atomically with the preceding traced operation of the
+   same process.  Scenario setup and final checks run unscheduled. *)
+
+type op_kind = Get | Set | Exchange | Cas | Faa | Plain_read | Plain_write
+
+type op = { loc : int; kind : op_kind }
+
+type _ Effect.t += Step : op -> unit Effect.t
+
+(* Outside the scheduler (scenario setup, final checks) there is no
+   handler: swallow [Unhandled] so traced atomics degrade to immediate
+   execution. *)
+let step op = try Effect.perform (Step op) with Effect.Unhandled _ -> ()
+
+type scenario = unit -> (unit -> unit) array * (unit -> unit)
+
+type stats = {
+  executions : int;
+  pruned : int;
+  truncated : int;
+  longest_trace : int;
+  complete : bool;
+  violation : (string * int list) option;
+}
+
+exception Violation of string * int list
+
+let is_read = function Get | Plain_read -> true | _ -> false
+
+(* Two operations commute unless they touch the same location and at
+   least one of them can write it. *)
+let independent a b = a.loc <> b.loc || (is_read a.kind && is_read b.kind)
+
+(* ------------------------------------------------------------------ *)
+(* One process under the scheduler *)
+
+type proc_state =
+  | Not_started of (unit -> unit)
+  | Paused of op * (unit, unit) Effect.Deep.continuation
+  | Finished
+
+type proc = { mutable state : proc_state }
+
+let handler proc =
+  let open Effect.Deep in
+  {
+    retc = (fun () -> proc.state <- Finished);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Step op ->
+            Some
+              (fun (k : (a, unit) continuation) -> proc.state <- Paused (op, k))
+        | _ -> None);
+  }
+
+(* Run the process's (process-local) preamble up to its first traced
+   operation, which becomes pending.  Processes with no traced operations
+   finish here. *)
+let ensure_started proc =
+  match proc.state with
+  | Not_started f -> Effect.Deep.match_with f () (handler proc)
+  | Paused _ | Finished -> ()
+
+(* Commit the pending operation and run the process up to its next traced
+   operation (or to termination). *)
+let commit proc =
+  match proc.state with
+  | Paused (_, k) -> Effect.Deep.continue k ()
+  | Not_started _ | Finished ->
+      invalid_arg "Trace_sched.commit: process has no pending operation"
+
+let alive proc = match proc.state with Finished -> false | _ -> true
+
+let pending proc =
+  match proc.state with
+  | Paused (op, _) -> op
+  | Not_started _ | Finished ->
+      invalid_arg "Trace_sched.pending: process has no pending operation"
+
+(* ------------------------------------------------------------------ *)
+(* One execution *)
+
+type sched_point = {
+  chosen : int;
+  enabled : int array;  (** processes alive at this point *)
+  ops : op array;  (** pending operation of each process in [enabled] *)
+  sleep : int list;  (** sleep set at this point (extension region only) *)
+}
+
+type run_end = Completed | Sleep_blocked | Truncated
+
+(* Replays [scenario] following [prefix], then extends with the default
+   policy (stick with the current process while it stays enabled and
+   awake — the preemption-minimal path), starting from sleep set [sleep0]
+   at the end of the prefix.  Raises [Violation] if the scenario or the
+   checked code raised. *)
+let run_one ~(scenario : scenario) ~prefix ~sleep0 ~max_steps =
+  let fns, final = scenario () in
+  let procs = Array.map (fun f -> { state = Not_started f }) fns in
+  let schedule = ref [] in
+  (* [!schedule] is newest-first; [rev_map] restores chronological order. *)
+  let choices () = List.rev_map (fun sp -> sp.chosen) !schedule in
+  let snapshot () =
+    let n = ref 0 in
+    Array.iter (fun p -> if alive p then incr n) procs;
+    let enabled = Array.make !n 0 in
+    let ops = Array.make !n { loc = 0; kind = Get } in
+    let j = ref 0 in
+    Array.iteri
+      (fun i p ->
+        if alive p then begin
+          enabled.(!j) <- i;
+          ops.(!j) <- pending p;
+          incr j
+        end)
+      procs;
+    (enabled, ops)
+  in
+  let do_step i sleep =
+    let enabled, ops = snapshot () in
+    schedule := { chosen = i; enabled; ops; sleep } :: !schedule;
+    try commit procs.(i)
+    with e -> raise (Violation (Printexc.to_string e, choices ()))
+  in
+  (try Array.iter ensure_started procs
+   with e -> raise (Violation (Printexc.to_string e, [])));
+  List.iter (fun i -> do_step i []) prefix;
+  let steps = ref (List.length prefix) in
+  let last = ref (match List.rev prefix with [] -> -1 | i :: _ -> i) in
+  let sleep = ref sleep0 in
+  let rec extend () =
+    let alive_count = Array.fold_left (fun n p -> if alive p then n + 1 else n) 0 procs in
+    if alive_count = 0 then Completed
+    else if !steps >= max_steps then Truncated
+    else begin
+      let awake i = alive procs.(i) && not (List.mem i !sleep) in
+      let choice =
+        if !last >= 0 && awake !last then Some !last
+        else begin
+          let found = ref None in
+          Array.iteri
+            (fun i _ -> if !found = None && awake i then found := Some i)
+            procs;
+          !found
+        end
+      in
+      match choice with
+      | None -> Sleep_blocked (* every live process is asleep: redundant *)
+      | Some i ->
+          let op_i = pending procs.(i) in
+          do_step i !sleep;
+          (* Dependent operations wake sleepers; note [pending] of a
+             sleeping process is unchanged since it did not run. *)
+          sleep :=
+            List.filter (fun s -> independent op_i (pending procs.(s))) !sleep;
+          last := i;
+          incr steps;
+          extend ()
+    end
+  in
+  let ending = extend () in
+  if ending = Completed then begin
+    match final () with
+    | () -> ()
+    | exception e -> raise (Violation (Printexc.to_string e, choices ()))
+  end;
+  (Array.of_list (List.rev !schedule), ending)
+
+(* ------------------------------------------------------------------ *)
+(* DFS over schedules *)
+
+let array_mem x a =
+  let n = Array.length a in
+  let rec go i = i < n && (a.(i) = x || go (i + 1)) in
+  go 0
+
+(* Number of preemptions in choices[0..i-1] @ [q]: a switch away from a
+   process that was still enabled at the switch point. *)
+let preemptions trace i q =
+  let count = ref 0 in
+  let prev = ref (-1) in
+  for j = 0 to i - 1 do
+    let c = trace.(j).chosen in
+    if !prev >= 0 && !prev <> c && array_mem !prev trace.(j).enabled then
+      incr count;
+    prev := c
+  done;
+  if !prev >= 0 && !prev <> q && array_mem !prev trace.(i).enabled then
+    incr count;
+  !count
+
+let explore ?(max_steps = 2000) ?(max_executions = 5_000_000)
+    ?preemption_bound ?(sleep_sets = true) (scenario : scenario) =
+  let executions = ref 0 in
+  let pruned = ref 0 in
+  let truncated = ref 0 in
+  let longest = ref 0 in
+  let complete = ref true in
+  let violation = ref None in
+  let prefix_of trace i =
+    let rec go j acc =
+      if j < 0 then acc else go (j - 1) (trace.(j).chosen :: acc)
+    in
+    go (i - 1) []
+  in
+  let op_of sp q =
+    let rec go i =
+      if i >= Array.length sp.enabled then
+        invalid_arg "Trace_sched.explore: process not enabled"
+      else if sp.enabled.(i) = q then sp.ops.(i)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let rec go prefix sleep0 =
+    if !violation = None then begin
+      if !executions + !pruned >= max_executions then complete := false
+      else
+        match run_one ~scenario ~prefix ~sleep0 ~max_steps with
+        | exception Violation (msg, sched) ->
+            incr executions;
+            violation := Some (msg, sched)
+        | trace, ending ->
+            (match ending with
+            | Completed -> incr executions
+            | Sleep_blocked -> incr pruned
+            | Truncated ->
+                incr executions;
+                incr truncated);
+            if Array.length trace > !longest then longest := Array.length trace;
+            let plen = List.length prefix in
+            for i = plen to Array.length trace - 1 do
+              let sp = trace.(i) in
+              (* Children explored so far at this node (first the default
+                 child, then earlier siblings), with their operations:
+                 they go to sleep for the remaining siblings. *)
+              let explored = ref [ (sp.chosen, op_of sp sp.chosen) ] in
+              List.iter
+                (fun s -> explored := (s, op_of sp s) :: !explored)
+                sp.sleep;
+              Array.iter
+                (fun q ->
+                  if q <> sp.chosen && not (List.mem q sp.sleep) then begin
+                    let admit =
+                      match preemption_bound with
+                      | None -> true
+                      | Some b -> preemptions trace i q <= b
+                    in
+                    if admit then begin
+                      let op_q = op_of sp q in
+                      let child_sleep =
+                        if sleep_sets then
+                          List.filter_map
+                            (fun (s, op_s) ->
+                              if independent op_q op_s then Some s else None)
+                            !explored
+                        else []
+                      in
+                      go (prefix_of trace i @ [ q ]) child_sleep;
+                      explored := (q, op_q) :: !explored
+                    end
+                  end)
+                sp.enabled
+            done
+    end
+  in
+  go [] [];
+  {
+    executions = !executions;
+    pruned = !pruned;
+    truncated = !truncated;
+    longest_trace = !longest;
+    complete = !complete;
+    violation = !violation;
+  }

@@ -1,0 +1,76 @@
+(** dscheck-style exhaustive interleaving explorer.
+
+    Checked code performs the {!Step} effect before every traced
+    shared-memory access (see {!Traced_atomic}); the explorer replays a
+    scenario under an effect-handler scheduler, enumerating every
+    interleaving of the traced operations — pruned by sleep sets, which
+    only skip schedules Mazurkiewicz-equivalent to an explored one — or
+    every interleaving within a preemption bound.
+
+    Scheduling points are exactly the traced operations: the atomics plus
+    the [Atomic_ops.S.cell] plain slots.  Exploration is sequentially
+    consistent over those, and untraced process code executes atomically
+    with the preceding traced operation of the same process.  This is the
+    granularity at which the release/acquire discipline of
+    [Ring]/[Spinlock] can be checked; see DESIGN.md §8 for the full list
+    of model assumptions. *)
+
+type op_kind = Get | Set | Exchange | Cas | Faa | Plain_read | Plain_write
+
+type op = { loc : int; kind : op_kind }
+
+type _ Effect.t += Step : op -> unit Effect.t
+
+val step : op -> unit
+(** Performed by traced atomics before committing the operation.  Outside
+    the scheduler (scenario setup / final checks) it is a no-op, so traced
+    data structures also work untraced. *)
+
+val independent : op -> op -> bool
+(** Whether two operations commute: different locations, or both reads. *)
+
+type scenario = unit -> (unit -> unit) array * (unit -> unit)
+(** A scenario builds a fresh instance of the state under test and returns
+    the concurrent processes plus a final check to run (unscheduled) once
+    every process has terminated.  It is re-invoked from scratch for every
+    explored schedule, so it must not share mutable state across
+    invocations.  Processes must perform a bounded number of traced
+    operations on every path (no unbounded spin loops: use
+    [try_lock]-style bounded retries), or the step budget will truncate
+    schedules.  Code before a process's first traced operation is treated
+    as process-local setup and runs unscheduled. *)
+
+type stats = {
+  executions : int;
+      (** schedules fully explored (leaves of the exploration tree) *)
+  pruned : int;  (** schedules cut short by sleep sets as redundant *)
+  truncated : int;  (** schedules abandoned by the [max_steps] budget *)
+  longest_trace : int;  (** traced steps in the longest schedule *)
+  complete : bool;  (** false iff [max_executions] stopped the search *)
+  violation : (string * int list) option;
+      (** first violation: exception text plus the schedule (process index
+          per step) that produced it *)
+}
+
+exception Violation of string * int list
+
+val explore :
+  ?max_steps:int ->
+  ?max_executions:int ->
+  ?preemption_bound:int ->
+  ?sleep_sets:bool ->
+  scenario ->
+  stats
+(** Depth-first search over all schedules of [scenario].  Any exception
+    raised by a process or by the final check is reported as a violation
+    (with its schedule) in the result; [explore] itself does not raise.
+
+    [max_steps] (default 2000) bounds the length of one schedule.
+    [max_executions] (default 5,000,000) bounds the search as a safety
+    valve — [complete = true] means the enumeration was exhaustive.
+    [preemption_bound], when given, switches to CHESS-style context
+    bounding: only schedules with at most that many preemptions (switches
+    away from a still-enabled process) are explored.
+    [sleep_sets] (default true) toggles the sound sleep-set reduction;
+    disable it to enumerate interleavings literally (tests cross-validate
+    the reduction this way on small histories). *)

@@ -1,0 +1,57 @@
+(* Atomics that yield to the interleaving scheduler before every access.
+   Execution under the explorer is single-domain and sequential, so plain
+   mutable state plus an effect per access models sequentially consistent
+   atomics exactly. *)
+
+type 'a t = { id : int; mutable v : 'a }
+
+let ids = ref 0
+
+let make v =
+  incr ids;
+  { id = !ids; v }
+
+let get t =
+  Trace_sched.step { Trace_sched.loc = t.id; kind = Trace_sched.Get };
+  t.v
+
+let set t x =
+  Trace_sched.step { Trace_sched.loc = t.id; kind = Trace_sched.Set };
+  t.v <- x
+
+let exchange t x =
+  Trace_sched.step { Trace_sched.loc = t.id; kind = Trace_sched.Exchange };
+  let old = t.v in
+  t.v <- x;
+  old
+
+let compare_and_set t expected desired =
+  Trace_sched.step { Trace_sched.loc = t.id; kind = Trace_sched.Cas };
+  (* Physical equality, like [Stdlib.Atomic.compare_and_set]. *)
+  if t.v == expected then begin
+    t.v <- desired;
+    true
+  end
+  else false
+
+let fetch_and_add t d =
+  Trace_sched.step { Trace_sched.loc = t.id; kind = Trace_sched.Faa };
+  let old = t.v in
+  t.v <- old + d;
+  old
+
+let cpu_relax () = ()
+
+(* Plain cells reuse the traced-location representation; only the op kind
+   differs, which is what the independence relation and reports see. *)
+type 'a cell = 'a t
+
+let cell v = make v
+
+let read t =
+  Trace_sched.step { Trace_sched.loc = t.id; kind = Trace_sched.Plain_read };
+  t.v
+
+let write t x =
+  Trace_sched.step { Trace_sched.loc = t.id; kind = Trace_sched.Plain_write };
+  t.v <- x

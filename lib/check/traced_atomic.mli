@@ -1,0 +1,5 @@
+(** [Atomic_ops.S] instance whose every operation is a scheduling point of
+    {!Trace_sched}.  Instantiate [Ring.Make]/[Spinlock.Make] with this to
+    model-check them; see {!Model}. *)
+
+include Atomic_ops.S

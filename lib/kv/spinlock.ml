@@ -1,3 +1,51 @@
+(* TTAS spinlock, twice: as a functor over the atomics implementation
+   (model-checked by lib/check) and hand-specialized on Stdlib.Atomic for
+   production (no flambda, so the functor would cost an indirect call per
+   atomic access).  Keep the two bodies textually identical up to the
+   [A.]/[Atomic.] prefix. *)
+
+module type S = sig
+  type t
+
+  val create : unit -> t
+  val try_lock : t -> bool
+  val lock : t -> unit
+  val unlock : t -> unit
+  val with_lock : t -> (unit -> 'a) -> 'a
+end
+
+module Make (A : Atomic_ops.S) = struct
+  type t = bool A.t
+
+  let create () = A.make false
+
+  let try_lock t = not (A.exchange t true)
+
+  let rec lock t =
+    if not (try_lock t) then begin
+      (* Test-and-test-and-set: spin on plain reads to avoid cache-line
+         ping-pong, then retry the exchange. *)
+      while A.get t do
+        A.cpu_relax ()
+      done;
+      lock t
+    end
+
+  let unlock t = A.set t false
+
+  let with_lock t f =
+    lock t;
+    match f () with
+    | v ->
+        unlock t;
+        v
+    | exception e ->
+        unlock t;
+        raise e
+end
+
+(* Specialized default instantiation: [Make] with [A := Stdlib.Atomic]. *)
+
 type t = bool Atomic.t
 
 let create () = Atomic.make false

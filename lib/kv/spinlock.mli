@@ -3,18 +3,34 @@
     Guards PUTs on keys whose master core is a large core (§4.2): those
     writes can be issued from any core, so CREW's lock-free write path does
     not apply.  Contention is expected to be very low (large keys are rare
-    and sharded by size range), so a spinlock beats a mutex. *)
+    and sharded by size range), so a spinlock beats a mutex.
 
-type t
+    Memory-model contract (OCaml 5, see DESIGN.md §8): [lock]'s successful
+    [Atomic.exchange] is an acquire, [unlock]'s [Atomic.set] a release, so
+    plain accesses inside the critical section cannot leak outside it.
+    The interleaving model checker in lib/check verifies mutual exclusion
+    exhaustively via [Make]. *)
 
-val create : unit -> t
+(** Operations provided by every instantiation. *)
+module type S = sig
+  type t
 
-val try_lock : t -> bool
+  val create : unit -> t
 
-val lock : t -> unit
-(** Spins (with [Domain.cpu_relax]) until acquired. *)
+  val try_lock : t -> bool
 
-val unlock : t -> unit
+  val lock : t -> unit
+  (** Spins (with [cpu_relax]) until acquired. *)
 
-val with_lock : t -> (unit -> 'a) -> 'a
-(** Runs the thunk under the lock; always releases, even on exception. *)
+  val unlock : t -> unit
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+  (** Runs the thunk under the lock; always releases, even on exception. *)
+end
+
+(** The spinlock over an explicit atomics implementation, for the model
+    checker.  Production uses the specialized default below (same
+    algorithm on [Stdlib.Atomic], no functor indirection). *)
+module Make (_ : Atomic_ops.S) : S
+
+include S

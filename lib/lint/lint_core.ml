@@ -1,0 +1,226 @@
+(* Name-based parsetree lint; see lint_core.mli for scope and the
+   deliberate "no typedtree" trade-off. *)
+
+type violation = {
+  file : string;
+  line : int;
+  col : int;
+  ident : string;
+  rule : string;
+  message : string;
+}
+
+let hot_dirs = [ "lib/dsim/"; "lib/netsim/"; "lib/server/"; "lib/kv/" ]
+
+(* Match the dir anywhere in the path so invocations from outside the
+   repo root (absolute paths, sandboxes) still classify. *)
+let contains ~sub s =
+  let n = String.length sub in
+  let rec at i = i >= 0 && (String.sub s i n = sub || at (i - 1)) in
+  at (String.length s - n)
+
+let is_hot_path path =
+  let path = String.concat "/" (String.split_on_char '\\' path) in
+  List.exists (fun dir -> contains ~sub:dir path) hot_dirs
+
+(* ------------------------------------------------------------------ *)
+(* Rules *)
+
+let strip_stdlib ident =
+  match String.index_opt ident '.' with
+  | Some i when String.sub ident 0 i = "Stdlib" ->
+      String.sub ident (i + 1) (String.length ident - i - 1)
+  | _ -> ident
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Returns [Some (rule, message)] if [ident] (already Stdlib-stripped) is
+   banned in the given scope. *)
+let classify ~hot ident =
+  if ident = "Obj.magic" then
+    Some ("obj-magic", "unsafe cast defeats the type system")
+  else if has_prefix ~prefix:"Obj." ident then
+    Some ("obj-primitive", "unsafe runtime representation access")
+  else if not hot then None
+  else if ident = "compare" || ident = "Pervasives.compare" then
+    Some ("polymorphic-compare", "allocates and walks the representation; use a monomorphic compare")
+  else if ident = "Hashtbl.hash" || ident = "Hashtbl.seeded_hash" then
+    Some ("polymorphic-hash", "polymorphic hash on the hot path; use a keyed/monomorphic hash")
+  else if has_prefix ~prefix:"Printf." ident || has_prefix ~prefix:"Format." ident
+  then
+    Some ("printf-in-hot-path", "formatting allocates; keep it out of sim/server hot paths")
+  else if
+    has_prefix ~prefix:"Random." ident
+    && not (has_prefix ~prefix:"Random.State." ident)
+  then
+    Some ("global-random", "global Random state breaks determinism; thread a Random.State.t")
+  else if ident = "Unix.gettimeofday" || ident = "Unix.time" || ident = "Sys.time"
+  then
+    Some ("wallclock", "wall-clock read; simulated components must use sim time")
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Per-file walk *)
+
+let flatten_longident lid =
+  match Longident.flatten lid with
+  | parts -> String.concat "." parts
+  | exception _ -> ""
+
+let violations_of_structure ~hot ~file ast =
+  let acc = ref [] in
+  let visit_ident (loc : Location.t) lid =
+    let raw = flatten_longident lid in
+    let ident = strip_stdlib raw in
+    match classify ~hot ident with
+    | None -> ()
+    | Some (rule, message) ->
+        let p = loc.loc_start in
+        acc :=
+          {
+            file;
+            line = p.pos_lnum;
+            col = p.pos_cnum - p.pos_bol;
+            ident = raw;
+            rule;
+            message;
+          }
+          :: !acc
+  in
+  let expr (it : Ast_iterator.iterator) (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> visit_ident loc txt
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it ast;
+  List.rev !acc
+
+let lint_file ~hot path =
+  let parsed =
+    In_channel.with_open_text path (fun ic ->
+        let lexbuf = Lexing.from_channel ic in
+        Lexing.set_filename lexbuf path;
+        match Parse.implementation lexbuf with
+        | ast -> Ok ast
+        | exception exn -> Error (Printexc.to_string exn))
+  in
+  match parsed with
+  | Ok ast -> violations_of_structure ~hot ~file:path ast
+  | Error err ->
+      [
+        {
+          file = path;
+          line = 1;
+          col = 0;
+          ident = "";
+          rule = "parse-error";
+          message = err;
+        };
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist *)
+
+type allow_entry = { allow_path : string; allow_ident : string }
+
+let parse_allowlist path =
+  In_channel.with_open_text path (fun ic ->
+      let rec go n acc =
+        match In_channel.input_line ic with
+        | None -> List.rev acc
+        | Some line ->
+            let line =
+              match String.index_opt line '#' with
+              | Some i -> String.sub line 0 i
+              | None -> line
+            in
+            let acc =
+              match
+                String.split_on_char ' ' line
+                |> List.concat_map (String.split_on_char '\t')
+                |> List.filter (fun s -> s <> "")
+              with
+              | [] -> acc
+              | [ allow_path; allow_ident ] -> { allow_path; allow_ident } :: acc
+              | _ ->
+                  failwith
+                    (Printf.sprintf
+                       "%s:%d: malformed allowlist line (want: <path> <ident>)"
+                       path n)
+            in
+            go (n + 1) acc
+      in
+      go 1 [])
+
+let entry_covers entry (v : violation) =
+  let has_suffix ~suffix s =
+    String.length s >= String.length suffix
+    && String.sub s
+         (String.length s - String.length suffix)
+         (String.length suffix)
+       = suffix
+  in
+  v.ident = entry.allow_ident
+  && (v.file = entry.allow_path || has_suffix ~suffix:("/" ^ entry.allow_path) v.file)
+
+(* ------------------------------------------------------------------ *)
+(* Tree walk + report *)
+
+type report = {
+  violations : violation list;
+  suppressed : violation list;
+  stale : allow_entry list;
+}
+
+let rec ml_files path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun name ->
+           if name = "" || name.[0] = '.' || name.[0] = '_' then []
+           else ml_files (Filename.concat path name))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let lint_tree ~allow roots =
+  let files = List.concat_map ml_files roots in
+  let all =
+    List.concat_map (fun f -> lint_file ~hot:(is_hot_path f) f) files
+  in
+  let used = Array.make (List.length allow) false in
+  let violations, suppressed =
+    List.partition
+      (fun v ->
+        let covered = ref false in
+        List.iteri
+          (fun i e ->
+            if entry_covers e v then begin
+              used.(i) <- true;
+              covered := true
+            end)
+          allow;
+        not !covered)
+      all
+  in
+  let stale =
+    List.filteri (fun i _ -> not used.(i)) allow
+  in
+  { violations; suppressed; stale }
+
+let pp_report ppf r =
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "%s:%d:%d: [%s] %s: %s@." v.file v.line v.col v.rule
+        v.ident v.message)
+    r.violations;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf
+        "allowlist: stale entry '%s %s' matches nothing; remove it@."
+        e.allow_path e.allow_ident)
+    r.stale
+
+let report_clean r = r.violations = [] && r.stale = []

@@ -1,0 +1,60 @@
+(** AST-level hot-path lint for the simulator and server kernel.
+
+    Parses every [.ml] file with compiler-libs and walks the parsetree
+    flagging identifiers from a ban list.  Two scopes:
+
+    - {b all} of [lib/]: unsafe [Obj.*] primitives;
+    - {b hot-path} directories ([lib/dsim], [lib/netsim], [lib/server],
+      [lib/kv]): polymorphic [compare]/[Hashtbl.hash], [Printf.*] and
+      [Format.*], the global [Random] state (per-state [Random.State.*]
+      is fine), and wall-clock reads ([Unix.gettimeofday], [Unix.time],
+      [Sys.time]) which break simulator determinism.
+
+    Matching is purely name-based on flattened [Longident]s after
+    stripping a leading [Stdlib.]; a module alias or [open] that renames
+    a banned module evades it.  That trade-off (no typedtree, so no
+    build-context coupling) is documented in DESIGN.md §8.
+
+    Known-good uses are suppressed by an allowlist file of
+    [<path> <ident>] lines; entries that no longer match anything are
+    themselves reported, so the file cannot rot. *)
+
+type violation = {
+  file : string;
+  line : int;
+  col : int;
+  ident : string;  (** flattened identifier as written, e.g. ["Printf.sprintf"] *)
+  rule : string;  (** rule name, e.g. ["printf-in-hot-path"] *)
+  message : string;
+}
+
+val is_hot_path : string -> bool
+(** [true] for files under a hot-path directory (see above). *)
+
+val lint_file : hot:bool -> string -> violation list
+(** Parse [path] and return its violations, in source order.  A file that
+    fails to parse yields a single [rule = "parse-error"] violation. *)
+
+type allow_entry = { allow_path : string; allow_ident : string }
+
+val parse_allowlist : string -> allow_entry list
+(** Parse an allowlist file: one [<path> <ident>] pair per line, [#]
+    comments and blank lines ignored. *)
+
+type report = {
+  violations : violation list;  (** not covered by any allow entry *)
+  suppressed : violation list;  (** covered by an allow entry *)
+  stale : allow_entry list;  (** entries that matched no violation *)
+}
+
+val lint_tree : allow:allow_entry list -> string list -> report
+(** Recursively lint every [.ml] file under the given roots (directories
+    or single files; dot- and [_]-prefixed directories are skipped),
+    classifying each file as hot via [is_hot_path]. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable [file:line:col: [rule] ...] lines, plus stale allowlist
+    entries. *)
+
+val report_clean : report -> bool
+(** No violations and no stale allowlist entries. *)

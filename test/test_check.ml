@@ -1,0 +1,197 @@
+(* Model-checker tests: the interleaving explorer must (a) pass the real
+   Ring/Spinlock on exhaustively explored small histories, (b) catch the
+   bugs seeded in Check.Model.Buggy, and (c) agree with the literal
+   (no-sleep-set) enumeration on small histories. *)
+
+open Check
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let no_violation name (st : Trace_sched.stats) =
+  (match st.violation with
+  | None -> ()
+  | Some (msg, sched) ->
+      Alcotest.failf "%s: violation %s after schedule %s" name msg
+        (String.concat "," (List.map string_of_int sched)));
+  check bool (name ^ ": search complete") true st.complete;
+  check int (name ^ ": no truncated schedules") 0 st.truncated;
+  check bool (name ^ ": explored at least one schedule") true (st.executions > 0)
+
+let has_violation name (st : Trace_sched.stats) =
+  match st.violation with
+  | Some _ -> ()
+  | None ->
+      Alcotest.failf "%s: expected a violation, explored %d schedules" name
+        st.executions
+
+(* ------------------------------------------------------------------ *)
+(* Ring *)
+
+let test_ring_spsc () =
+  let st =
+    Trace_sched.explore
+      (Model.ring_conservation ~capacity:4 ~producers:1 ~pushes_per_producer:2
+         ~consumers:1 ~pops_per_consumer:2 ())
+  in
+  no_violation "spsc 2-push/2-pop" st
+
+let test_ring_2p1c () =
+  (* The acceptance history: 2 producers x 1 push + 1 consumer pop,
+     explored exhaustively. *)
+  let st =
+    Trace_sched.explore
+      (Model.ring_conservation ~capacity:2 ~producers:2 ~pushes_per_producer:1
+         ~consumers:1 ~pops_per_consumer:1 ())
+  in
+  no_violation "2p/1c 3-op" st;
+  (* Sleep sets prune most schedules, so count branch points rather than
+     completed executions: ~14 executions but >100 explored-or-pruned. *)
+  check bool "2p/1c 3-op: nontrivial state space" true
+    (st.executions + st.pruned > 100)
+
+let test_ring_2p1c_deeper () =
+  let st =
+    Trace_sched.explore
+      (Model.ring_conservation ~capacity:2 ~producers:2 ~pushes_per_producer:1
+         ~consumers:1 ~pops_per_consumer:2 ())
+  in
+  no_violation "2p/1c 4-op" st
+
+let test_ring_wraparound () =
+  (* Advance head/tail well past capacity first: slot reuse and sequence
+     wrap-around under concurrency. *)
+  let st =
+    Trace_sched.explore
+      (Model.ring_conservation ~pre_cycles:3 ~capacity:2 ~producers:1
+         ~pushes_per_producer:2 ~consumers:1 ~pops_per_consumer:2 ())
+  in
+  no_violation "wraparound spsc" st
+
+let test_ring_mpsc_bounded () =
+  (* 3 producers under a preemption bound: bigger history, bounded
+     search. *)
+  let st =
+    Trace_sched.explore ~preemption_bound:2
+      (Model.ring_conservation ~capacity:4 ~producers:3 ~pushes_per_producer:1
+         ~consumers:1 ~pops_per_consumer:2 ())
+  in
+  (match st.violation with
+  | None -> ()
+  | Some (msg, _) -> Alcotest.failf "mpsc bounded: violation %s" msg);
+  check int "mpsc bounded: no truncated schedules" 0 st.truncated
+
+let test_ring_length_bounds () =
+  let st =
+    Trace_sched.explore
+      (Model.ring_length_bounds ~capacity:2 ~producers:2 ~pushes_per_producer:1
+         ~observations:2 ())
+  in
+  no_violation "length bounds" st
+
+let test_sleep_set_cross_validation () =
+  (* The sleep-set reduction must agree with the literal enumeration on
+     violation-freeness, explore no more schedules, and — the real
+     soundness criterion — reach exactly the same set of observable final
+     outcomes. *)
+  let outcomes = Hashtbl.create 16 in
+  let scenario () : Trace_sched.scenario =
+   fun () ->
+    let r = Model.Ring.create ~capacity:2 in
+    let pushed = ref false in
+    let popped = ref None in
+    let procs =
+      [|
+        (fun () -> pushed := Model.Ring.try_push r 7);
+        (fun () -> popped := Model.Ring.try_pop r);
+      |]
+    in
+    let final () =
+      let drained = match Model.Ring.try_pop r with Some v -> [ v ] | None -> [] in
+      Hashtbl.replace outcomes (!pushed, !popped, drained) ()
+    in
+    (procs, final)
+  in
+  let collect ~sleep_sets =
+    Hashtbl.clear outcomes;
+    let st = Trace_sched.explore ~sleep_sets (scenario ()) in
+    let keys = Hashtbl.fold (fun k () acc -> k :: acc) outcomes [] in
+    (st, List.sort compare keys)
+  in
+  let reduced, reduced_outcomes = collect ~sleep_sets:true in
+  let literal, literal_outcomes = collect ~sleep_sets:false in
+  no_violation "reduced" reduced;
+  no_violation "literal" literal;
+  check bool "reduction explores no more schedules" true
+    (reduced.executions <= literal.executions);
+  check bool "reduction reaches every outcome" true
+    (reduced_outcomes = literal_outcomes);
+  check bool "multiple outcomes reachable" true (List.length literal_outcomes > 1)
+
+(* ------------------------------------------------------------------ *)
+(* Spinlock *)
+
+let test_spinlock_mutex () =
+  let st =
+    Trace_sched.explore (Model.spinlock_mutex ~domains:2 ~iters:1 ~retries:2 ())
+  in
+  no_violation "2-domain mutex" st;
+  check bool "2-domain mutex: nontrivial state space" true
+    (st.executions + st.pruned > 10)
+
+let test_spinlock_mutex_two_rounds () =
+  let st =
+    Trace_sched.explore (Model.spinlock_mutex ~domains:2 ~iters:2 ~retries:2 ())
+  in
+  no_violation "2-domain mutex, 2 rounds" st
+
+(* ------------------------------------------------------------------ *)
+(* The checker itself: seeded bugs must be caught *)
+
+let test_catches_late_write () =
+  let st = Trace_sched.explore (Model.Buggy.late_write_ring_scenario ()) in
+  has_violation "late-write ring" st
+
+let test_catches_tas_lock () =
+  let st = Trace_sched.explore (Model.Buggy.tas_lock_scenario ~domains:2 ()) in
+  has_violation "non-atomic TAS lock" st
+
+let test_catches_tas_lock_without_sleep_sets () =
+  let st =
+    Trace_sched.explore ~sleep_sets:false
+      (Model.Buggy.tas_lock_scenario ~domains:2 ())
+  in
+  has_violation "non-atomic TAS lock (literal)" st
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "spsc conservation" `Quick test_ring_spsc;
+          Alcotest.test_case "2p/1c exhaustive" `Quick test_ring_2p1c;
+          Alcotest.test_case "2p/1c deeper" `Slow test_ring_2p1c_deeper;
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "mpsc preemption-bounded" `Slow
+            test_ring_mpsc_bounded;
+          Alcotest.test_case "length bounds" `Quick test_ring_length_bounds;
+          Alcotest.test_case "sleep-set cross-validation" `Quick
+            test_sleep_set_cross_validation;
+        ] );
+      ( "spinlock",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_spinlock_mutex;
+          Alcotest.test_case "mutual exclusion, 2 rounds" `Slow
+            test_spinlock_mutex_two_rounds;
+        ] );
+      ( "checker-validation",
+        [
+          Alcotest.test_case "catches late slot write" `Quick
+            test_catches_late_write;
+          Alcotest.test_case "catches non-atomic TAS" `Quick
+            test_catches_tas_lock;
+          Alcotest.test_case "catches non-atomic TAS (literal)" `Quick
+            test_catches_tas_lock_without_sleep_sets;
+        ] );
+    ]

@@ -153,6 +153,35 @@ let test_spinlock_releases_on_exception () =
   check bool "released after exception" true (Spinlock.try_lock l);
   Spinlock.unlock l
 
+(* The specialized default must behave like [Make (Atomic_ops.Native)] —
+   the default exists only to avoid functor indirection on the hot path. *)
+module NativeLock = Spinlock.Make (Atomic_ops.Native)
+
+let test_spinlock_functor_equivalence () =
+  let d = Spinlock.create () and n = NativeLock.create () in
+  let ops =
+    [ `Try; `Try; `Unlock; `Lock; `Try; `Unlock; `Try; `Unlock; `Try ]
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | `Try ->
+          check bool "try_lock agrees" (NativeLock.try_lock n)
+            (Spinlock.try_lock d)
+      | `Lock ->
+          Spinlock.lock d;
+          NativeLock.lock n
+      | `Unlock ->
+          Spinlock.unlock d;
+          NativeLock.unlock n)
+    ops;
+  Spinlock.unlock d;
+  NativeLock.unlock n;
+  let counter = ref 0 in
+  NativeLock.with_lock n (fun () -> incr counter);
+  check int "with_lock runs the body" 1 !counter;
+  check bool "released after with_lock" true (NativeLock.try_lock n)
+
 (* ------------------------------------------------------------------ *)
 (* Store *)
 
@@ -362,6 +391,8 @@ let () =
           Alcotest.test_case "basic" `Quick test_spinlock_basic;
           Alcotest.test_case "mutual exclusion" `Slow test_spinlock_mutual_exclusion;
           Alcotest.test_case "exception safety" `Quick test_spinlock_releases_on_exception;
+          Alcotest.test_case "functor equivalence" `Quick
+            test_spinlock_functor_equivalence;
         ] );
       ( "store",
         [
