@@ -196,6 +196,72 @@ let perf_sim () =
     events, issued )
 
 (* ------------------------------------------------------------------ *)
+(* Flight-recorder overhead: the same fixed-load Minos run as [perf_sim],
+   once without an instrument and once fully sampled.  The "off" numbers
+   price merely compiling the hooks in (CI compares them against a fresh
+   BENCH_perf.json: <= 2 extra minor words/request, <= 3% events/sec);
+   the "on" numbers price actual recording.  Written to BENCH_obs.json. *)
+
+let obs_run ?obs () =
+  let cfg = Minos.Experiment.config_of_scale scale in
+  let spec = Workload.Spec.default in
+  let dataset = Minos.Experiment.dataset_for spec in
+  let gen =
+    Workload.Generator.create ~seed:101 ~p_large:spec.Workload.Spec.p_large
+      ~get_ratio:spec.Workload.Spec.get_ratio dataset
+  in
+  let eng = Kvserver.Engine.create ?obs cfg gen ~offered_mops:4.0 in
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let m = Kvserver.Engine.run eng (Minos.Experiment.maker Minos.Experiment.Minos) in
+  let dt = Unix.gettimeofday () -. t0 in
+  let minor = Gc.minor_words () -. minor0 in
+  let events = Dsim.Sim.events_processed (Kvserver.Engine.sim eng) in
+  let issued = m.Kvserver.Metrics.issued in
+  (float_of_int events /. dt, minor /. float_of_int (max 1 issued))
+
+let run_obs () =
+  Minos.Report.section "Flight-recorder overhead (recorder off vs on)";
+  let cfg = Minos.Experiment.config_of_scale scale in
+  let ev_off, w_off = obs_run () in
+  let obs =
+    Obs.Instrument.create ~spans:65536 ~cores:cfg.Kvserver.Config.cores ~seed:1 ()
+  in
+  let ev_on, w_on = obs_run ~obs () in
+  let recorded = Obs.Recorder.recorded obs.Obs.Instrument.recorder in
+  Minos.Report.table ~title:"recorder cost"
+    ~headers:[ "metric"; "obs off"; "obs on"; "delta" ]
+    [
+      [
+        "dsim events/sec";
+        Printf.sprintf "%.0f" ev_off;
+        Printf.sprintf "%.0f" ev_on;
+        Printf.sprintf "%+.1f%%" (100.0 *. ((ev_on /. ev_off) -. 1.0));
+      ];
+      [
+        "minor words/request";
+        Printf.sprintf "%.2f" w_off;
+        Printf.sprintf "%.2f" w_on;
+        Printf.sprintf "%+.2f" (w_on -. w_off);
+      ];
+    ];
+  Minos.Report.note "%d spans recorded while on" recorded;
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    {|{
+  "quick": %b,
+  "events_per_sec_off": %.0f,
+  "events_per_sec_on": %.0f,
+  "minor_words_per_request_off": %.2f,
+  "minor_words_per_request_on": %.2f,
+  "spans_recorded": %d
+}
+|}
+    quick ev_off ev_on w_off w_on recorded;
+  close_out oc;
+  Printf.printf "[recorder overhead written to BENCH_obs.json]\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Closed-form capacity model: the numbers that explain where each curve
    saturates. *)
 
@@ -298,6 +364,7 @@ let targets : (string * string * (unit -> unit)) list =
       "HKH CREW vs EREW dispatch under skew",
       fun () -> Minos.Figures.print_ablation_erew ~scale () );
     ("capacity", "closed-form capacity model", run_capacity);
+    ("obs", "flight-recorder overhead on/off", run_obs);
     ("numa", "multi-NUMA-domain scaling", run_numa);
     ("micro", "bechamel microbenchmarks", run_micro);
   ]

@@ -191,6 +191,48 @@ let figure_cmd =
     Term.(const action $ fig_name $ quick $ jobs)
 
 (* ------------------------------------------------------------------ *)
+(* obs: instrumented run with flight-recorder trace + latency anatomy *)
+
+let obs_cmd =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of the sampled requests (load in \
+             Perfetto or chrome://tracing).")
+  in
+  let sample_rate =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "sample-rate" ] ~docv:"FRAC"
+          ~doc:"Fraction of requests recorded, in (0, 1].")
+  in
+  let spans =
+    Arg.(
+      value
+      & opt int 65536
+      & info [ "spans" ] ~docv:"N" ~doc:"Flight-recorder capacity in spans.")
+  in
+  let action design load p_large s_large get_ratio quick seed trace_out sample_rate
+      spans =
+    let spec = spec_of ~p_large ~s_large ~get_ratio in
+    ignore
+      (Minos.Obs_report.run ~scale:(scale_of quick) ~design ~seed ~spans ~sample_rate
+         ?trace_out spec ~offered_mops:load)
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:
+         "Instrumented simulation: per-request flight-recorder spans, latency-anatomy \
+          table, control-loop decisions and an optional Perfetto trace.")
+    Term.(
+      const action $ design $ load $ p_large $ s_large $ get_ratio $ quick $ seed
+      $ trace_out $ sample_rate $ spans)
+
+(* ------------------------------------------------------------------ *)
 (* queueing *)
 
 let queueing_cmd =
@@ -322,7 +364,16 @@ let serve_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log control-loop decisions.")
   in
-  let action port cores arena_mb verbose =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Attach a flight recorder and write a Chrome trace-event JSON of the \
+             served requests on shutdown.")
+  in
+  let action port cores arena_mb verbose trace_out =
     if verbose then begin
       Logs.set_reporter (Logs_fmt.reporter ());
       Logs.set_level (Some Logs.Info)
@@ -332,7 +383,12 @@ let serve_cmd =
         ~value_arena_bytes:(arena_mb * 1024 * 1024) ()
     in
     let config = { Runtime.Server.default_config with Runtime.Server.cores } in
-    let udp = Runtime.Udp.start ~config ~base_port:port store in
+    let obs =
+      match trace_out with
+      | None -> None
+      | Some _ -> Some (Obs.Instrument.create ~cores ~seed:1 ())
+    in
+    let udp = Runtime.Udp.start ?obs ~config ~base_port:port store in
     Format.printf
       "minos: serving on 127.0.0.1 UDP ports %d-%d (%d worker domains)@." port
       (port + cores - 1) cores;
@@ -347,11 +403,19 @@ let serve_cmd =
     let stats = Runtime.Server.stats (Runtime.Udp.server udp) in
     Format.printf "served %d requests (%d handoffs, threshold %.0f B)@."
       (Array.fold_left ( + ) 0 stats.Runtime.Server.served)
-      stats.Runtime.Server.handoffs stats.Runtime.Server.threshold
+      stats.Runtime.Server.handoffs stats.Runtime.Server.threshold;
+    match (obs, trace_out) with
+    | Some o, Some path ->
+        Obs.Chrome_trace.write ~path ~name:"minos serve"
+          ?timeline:o.Obs.Instrument.timeline ~decisions:o.Obs.Instrument.decisions
+          o.Obs.Instrument.recorder;
+        Minos.Obs_report.print_anatomy (Obs.Anatomy.compute o.Obs.Instrument.recorder);
+        Format.printf "trace written to %s@." path
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the native size-aware KV server over kernel UDP.")
-    Term.(const action $ port $ cores $ arena_mb $ verbose)
+    Term.(const action $ port $ cores $ arena_mb $ verbose $ trace_out)
 
 (* ------------------------------------------------------------------ *)
 (* kv: talk to a running `minos serve` instance *)
@@ -463,6 +527,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            run_cmd; sweep_cmd; slo_cmd; figure_cmd; queueing_cmd; trace_cmd; numa_cmd;
-            serve_cmd; kv_cmd; loadtest_cmd;
+            run_cmd; sweep_cmd; slo_cmd; figure_cmd; obs_cmd; queueing_cmd; trace_cmd;
+            numa_cmd; serve_cmd; kv_cmd; loadtest_cmd;
           ]))

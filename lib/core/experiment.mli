@@ -52,12 +52,16 @@ val run :
   ?cfg:Kvserver.Config.t ->
   ?dynamic:Workload.Dynamic.t ->
   ?store:Kvstore.Store.t ->
+  ?obs:Obs.Instrument.t ->
   ?seed:int ->
   design ->
   Workload.Spec.t ->
   offered_mops:float ->
   Kvserver.Metrics.t
-(** Simulate one point.  [cfg] defaults to {!config_of_scale}[ full_scale]. *)
+(** Simulate one point.  [cfg] defaults to {!config_of_scale}[ full_scale].
+    [obs] attaches a flight recorder to the run (see {!Kvserver.Engine.create});
+    sampling draws from the recorder's own stream, so an instrumented run
+    reports the same metrics as an uninstrumented one. *)
 
 val run_sho_best :
   ?cfg:Kvserver.Config.t ->
@@ -83,6 +87,7 @@ val run_raw :
   ?cfg:Kvserver.Config.t ->
   ?dynamic:Workload.Dynamic.t ->
   ?store:Kvstore.Store.t ->
+  ?obs:Obs.Instrument.t ->
   ?seed:int ->
   design ->
   Workload.Spec.t ->

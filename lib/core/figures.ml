@@ -209,7 +209,19 @@ let print_fig4 ?scale ?loads () =
   in
   Report.table ~title:"99p of requests for large items (us)"
     ~headers:[ "offered Mops"; "Minos"; "HKH+WS" ]
-    rows
+    rows;
+  (* Per-class tails and wait breakdown at each design's highest stable
+     load — where the small/large split pays off. *)
+  List.iter
+    (fun c ->
+      match
+        List.filter (fun (_, m) -> m.Kvserver.Metrics.stable) c.points
+        |> List.rev
+      with
+      | (_, m) :: _ ->
+          Report.note "%s" (Format.asprintf "%a" Kvserver.Metrics.pp_breakdown m)
+      | [] -> ())
+    curves
 
 (* ------------------------------------------------------------------ *)
 (* Figures 6 and 7 *)

@@ -10,7 +10,8 @@ type violation = {
   message : string;
 }
 
-let hot_dirs = [ "lib/dsim/"; "lib/netsim/"; "lib/server/"; "lib/kv/" ]
+let hot_dirs =
+  [ "lib/dsim/"; "lib/netsim/"; "lib/server/"; "lib/kv/"; "lib/obs/"; "lib/stats/" ]
 
 (* Match the dir anywhere in the path so invocations from outside the
    repo root (absolute paths, sandboxes) still classify. *)

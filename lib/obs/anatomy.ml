@@ -1,0 +1,93 @@
+(* Latency anatomy: decompose recorded spans into telescoping components;
+   see anatomy.mli for the invariant. *)
+
+type stat = { n : int; mean : float; p50 : float; p99 : float }
+
+type row = { component : string; small : stat; large : stat; all : stat }
+
+type t = {
+  rows : row list;
+  end_to_end : row;
+  spans_used : int;
+  max_sum_error_us : float;
+}
+
+let empty_stat = { n = 0; mean = Float.nan; p50 = Float.nan; p99 = Float.nan }
+
+let stat_of_vec v =
+  let n = Stats.Float_vec.length v in
+  if n = 0 then empty_stat
+  else
+    match Stats.Quantile.many_of_vec v [ 0.5; 0.99 ] with
+    | [ p50; p99 ] -> { n; mean = Stats.Quantile.mean_of_vec v; p50; p99 }
+    | _ -> assert false
+
+(* Component deltas for one complete span.  [poll] falls back to
+   [service_start] when a design never reported a dequeue, so the
+   telescoping sum always holds:
+     (poll - rx) + (start - poll) + (end - start) + (tx - end)
+       + (e2e_end - tx) = e2e_end - rx. *)
+let components r slot out =
+  let ts f = Recorder.get_ts r slot f in
+  let rx = ts Span.ts_rx_enq in
+  let start = ts Span.ts_service_start in
+  let poll =
+    let p = ts Span.ts_poll in
+    if Float.is_nan p then start else p
+  in
+  let stop = ts Span.ts_service_end in
+  let tx = ts Span.ts_tx_done in
+  let e2e_end = ts Span.ts_end in
+  out.(0) <- poll -. rx;
+  out.(1) <- start -. poll;
+  out.(2) <- stop -. start;
+  out.(3) <- tx -. stop;
+  out.(4) <- e2e_end -. tx;
+  e2e_end -. rx
+
+let compute recorder =
+  let vec () = Stats.Float_vec.create ~capacity:1024 () in
+  let per_class () = (vec (), vec (), vec ()) in
+  let comps = Array.init Span.n_components (fun _ -> per_class ()) in
+  let e2e = per_class () in
+  let out = Array.make Span.n_components 0.0 in
+  let spans_used = ref 0 in
+  let max_err = ref 0.0 in
+  let n = Recorder.recorded recorder in
+  for slot = 0 to n - 1 do
+    if Recorder.complete recorder slot then begin
+      incr spans_used;
+      let total = components recorder slot out in
+      let large =
+        Recorder.get_meta recorder slot Span.meta_class = Span.class_large
+      in
+      let add (s, l, a) v =
+        (if large then Stats.Float_vec.push l v else Stats.Float_vec.push s v);
+        Stats.Float_vec.push a v
+      in
+      let sum = ref 0.0 in
+      for c = 0 to Span.n_components - 1 do
+        sum := !sum +. out.(c);
+        add comps.(c) out.(c)
+      done;
+      add e2e total;
+      let err = Float.abs (!sum -. total) in
+      if err > !max_err then max_err := err
+    end
+  done;
+  let row name (s, l, a) =
+    {
+      component = name;
+      small = stat_of_vec s;
+      large = stat_of_vec l;
+      all = stat_of_vec a;
+    }
+  in
+  {
+    rows =
+      List.init Span.n_components (fun c ->
+          row (Span.component_name c) comps.(c));
+    end_to_end = row "end_to_end" e2e;
+    spans_used = !spans_used;
+    max_sum_error_us = !max_err;
+  }

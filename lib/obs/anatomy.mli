@@ -1,0 +1,37 @@
+(** Latency anatomy: where each microsecond of a request's end-to-end
+    latency went.
+
+    Every complete span decomposes into {!Span.n_components} telescoping
+    deltas over its ordered timestamps —
+
+    - [rx_wait]: RX enqueue → poll dequeue (head-of-line blocking and
+      polling delay show up here);
+    - [dispatch]: poll → service start (classification plus software
+      handoff queueing in Minos/SHO);
+    - [service]: CPU occupancy;
+    - [tx]: service end → last reply frame on the wire (TX queueing and
+      wire time);
+    - [pipeline]: the constant client/NIC pipeline tail —
+
+    whose sum equals the span's end-to-end latency {e exactly} (up to
+    float rounding); {!t.max_sum_error_us} reports the worst observed
+    deviation so exporters and tests can assert the invariant. *)
+
+type stat = { n : int; mean : float; p50 : float; p99 : float }
+(** All values in µs; [nan] when there are no samples. *)
+
+type row = { component : string; small : stat; large : stat; all : stat }
+(** Per size class (ground truth of the workload generator) and overall. *)
+
+type t = {
+  rows : row list; (** one per component, in component order *)
+  end_to_end : row;
+  spans_used : int; (** complete spans the table is built from *)
+  max_sum_error_us : float;
+      (** max over spans of |sum of components − end-to-end| *)
+}
+
+val compute : Recorder.t -> t
+(** Build the anatomy table from every complete span in the recorder.
+    Incomplete spans (no reply recorded — e.g. still in flight, or the
+    reply was sampled away under §6.4 reply sampling) are skipped. *)

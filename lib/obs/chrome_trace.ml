@@ -1,0 +1,168 @@
+(* Chrome trace-event JSON exporter; see chrome_trace.mli.
+
+   Offline export path: runs once after a simulation/serve finishes, so
+   the Printf use here is reviewed in lint_allow.txt (the record path in
+   Recorder/Timeline/Decision_log stays allocation- and Printf-free).
+   All numbers are formatted with fixed precision so traces are
+   byte-identical across runs of the same seed. *)
+
+let esc s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let ts_s v = Printf.sprintf "%.3f" v
+
+(* Track (tid) layout: cores at their id, TX queues offset, one synthetic
+   track for the control loop. *)
+let tx_tid q = 1000 + q
+let control_tid = 9999
+
+type emitter = { buf : Buffer.t; mutable first : bool }
+
+let event e fmt =
+  Printf.ksprintf
+    (fun body ->
+      if e.first then e.first <- false else Buffer.add_string e.buf ",\n";
+      Buffer.add_string e.buf "  {";
+      Buffer.add_string e.buf body;
+      Buffer.add_char e.buf '}')
+    fmt
+
+let thread_name e ~tid name =
+  event e
+    {|"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"%s"}|}
+    tid (esc name)
+
+let span_events e r slot =
+  let ts f = Recorder.get_ts r slot f in
+  let meta f = Recorder.get_meta r slot f in
+  let seq = meta Span.meta_seq in
+  let core = meta Span.meta_core in
+  let txq = meta Span.meta_tx_queue in
+  let rx_queue = meta Span.meta_rx_queue in
+  let cls =
+    if meta Span.meta_class = Span.class_large then "large" else "small"
+  in
+  let op = if meta Span.meta_op = Span.op_put then "put" else "get" in
+  let t0 = ts Span.ts_rx_enq in
+  let t_start = ts Span.ts_service_start in
+  let t_stop = ts Span.ts_service_end in
+  let t_tx = ts Span.ts_tx_done in
+  let t_end = ts Span.ts_end in
+  (* Async request span: RX enqueue to end-to-end completion. *)
+  event e
+    {|"ph":"b","cat":"request","id":%d,"name":"%s","pid":0,"tid":%d,"ts":%s|}
+    seq cls rx_queue (ts_s t0);
+  List.iter
+    (fun f ->
+      let v = ts f in
+      if not (Float.is_nan v) then
+        event e
+          {|"ph":"n","cat":"request","id":%d,"name":"%s","pid":0,"tid":%d,"ts":%s,"args":{"step":"%s"}|}
+          seq cls rx_queue (ts_s v) (Span.ts_name f))
+    [ Span.ts_poll; Span.ts_classify; Span.ts_handoff_enq; Span.ts_handoff_deq ];
+  event e
+    {|"ph":"e","cat":"request","id":%d,"name":"%s","pid":0,"tid":%d,"ts":%s,"args":{"e2e_us":%s,"bytes":%d,"op":"%s"}|}
+    seq cls rx_queue (ts_s t_end)
+    (ts_s (t_end -. t0))
+    (meta Span.meta_size) op;
+  (* Service occupies the serving core; cores run one request at a time,
+     so these B/E pairs are disjoint per track. *)
+  event e {|"ph":"B","name":"service","pid":0,"tid":%d,"ts":%s,"args":{"id":%d}|}
+    core (ts_s t_start) seq;
+  event e {|"ph":"E","name":"service","pid":0,"tid":%d,"ts":%s|} core
+    (ts_s t_stop);
+  (* Reply transmission: messages on one TX queue can overlap (frames are
+     round-robined), so use complete events, which need not nest. *)
+  if t_tx >= t_stop then
+    event e
+      {|"ph":"X","name":"tx","pid":0,"tid":%d,"ts":%s,"dur":%s,"args":{"id":%d}|}
+      (tx_tid (if txq >= 0 then txq else core))
+      (ts_s t_stop)
+      (ts_s (t_tx -. t_stop))
+      seq
+
+let counter_args_int tl s =
+  String.concat ","
+    (List.init (Timeline.cores tl) (fun c ->
+         Printf.sprintf {|"core%d":%d|} c (Timeline.depth tl s c)))
+
+let counter_args_util tl s =
+  String.concat ","
+    (List.init (Timeline.cores tl) (fun c ->
+         Printf.sprintf {|"core%d":%.4f|} c (Timeline.utilization tl s c)))
+
+let to_buffer ?(name = "minos") ?timeline ?decisions recorder buf =
+  let e = { buf; first = true } in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  event e {|"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"%s"}|}
+    (esc name);
+  (* Name the per-core and per-TX-queue tracks we will reference. *)
+  let max_core = ref (-1) and max_tx = ref (-1) in
+  (match timeline with
+  | Some tl -> max_core := Timeline.cores tl - 1
+  | None -> ());
+  let n = Recorder.recorded recorder in
+  for slot = 0 to n - 1 do
+    if Recorder.complete recorder slot then begin
+      let m f = Recorder.get_meta recorder slot f in
+      if m Span.meta_core > !max_core then max_core := m Span.meta_core;
+      if m Span.meta_rx_queue > !max_core then max_core := m Span.meta_rx_queue;
+      let txq = m Span.meta_tx_queue in
+      let txq = if txq >= 0 then txq else m Span.meta_core in
+      if txq > !max_tx then max_tx := txq
+    end
+  done;
+  for c = 0 to !max_core do
+    thread_name e ~tid:c (Printf.sprintf "core %d" c)
+  done;
+  for q = 0 to !max_tx do
+    thread_name e ~tid:(tx_tid q) (Printf.sprintf "tx %d" q)
+  done;
+  if decisions <> None then thread_name e ~tid:control_tid "control";
+  for slot = 0 to n - 1 do
+    if Recorder.complete recorder slot then span_events e recorder slot
+  done;
+  (match timeline with
+  | None -> ()
+  | Some tl ->
+      for s = 0 to Timeline.samples tl - 1 do
+        event e {|"ph":"C","name":"rx_depth","pid":0,"tid":0,"ts":%s,"args":{%s}|}
+          (ts_s (Timeline.time tl s))
+          (counter_args_int tl s);
+        event e
+          {|"ph":"C","name":"utilization","pid":0,"tid":0,"ts":%s,"args":{%s}|}
+          (ts_s (Timeline.time tl s))
+          (counter_args_util tl s)
+      done);
+  (match decisions with
+  | None -> ()
+  | Some d ->
+      for i = 0 to Decision_log.length d - 1 do
+        event e
+          {|"ph":"C","name":"control","pid":0,"tid":%d,"ts":%s,"args":{"threshold_B":%s,"n_small":%d,"n_large":%d}|}
+          control_tid
+          (ts_s (Decision_log.time d i))
+          (ts_s (Decision_log.threshold d i))
+          (Decision_log.n_small d i) (Decision_log.n_large d i)
+      done);
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let write ~path ?name ?timeline ?decisions recorder =
+  let buf = Buffer.create 65536 in
+  to_buffer ?name ?timeline ?decisions recorder buf;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)

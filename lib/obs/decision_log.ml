@@ -1,0 +1,50 @@
+(* Bounded control-loop decision log; see decision_log.mli. *)
+
+type t = {
+  capacity : int;
+  times : float array;
+  thresholds : float array;
+  n_small : int array;
+  n_large : int array;
+  mutable n : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Decision_log.create: capacity must be >= 1";
+  {
+    capacity;
+    times = Array.make capacity Float.nan;
+    thresholds = Array.make capacity Float.nan;
+    n_small = Array.make capacity 0;
+    n_large = Array.make capacity 0;
+    n = 0;
+    dropped = 0;
+  }
+
+let record t ~now ~threshold ~n_small ~n_large =
+  if t.n >= t.capacity then t.dropped <- t.dropped + 1
+  else begin
+    let i = t.n in
+    t.times.(i) <- now;
+    t.thresholds.(i) <- threshold;
+    t.n_small.(i) <- n_small;
+    t.n_large.(i) <- n_large;
+    t.n <- i + 1
+  end
+
+let length t = t.n
+let dropped t = t.dropped
+let time t i = t.times.(i)
+let threshold t i = t.thresholds.(i)
+let n_small t i = t.n_small.(i)
+let n_large t i = t.n_large.(i)
+
+(* Number of epochs whose decision changed the small/large core split —
+   the n_small -> n_large "moves" the paper's control loop makes. *)
+let moves t =
+  let m = ref 0 in
+  for i = 1 to t.n - 1 do
+    if t.n_large.(i) <> t.n_large.(i - 1) then incr m
+  done;
+  !m

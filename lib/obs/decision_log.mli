@@ -1,0 +1,25 @@
+(** Control-loop decision log.
+
+    One entry per control epoch: when it fired, the size threshold it
+    chose and the resulting small/large core split.  Bounded and
+    preallocated; recording never allocates.  Entries past the capacity
+    are counted in {!dropped}. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 4096 epochs. *)
+
+val record : t -> now:float -> threshold:float -> n_small:int -> n_large:int -> unit
+
+val length : t -> int
+val dropped : t -> int
+
+val time : t -> int -> float
+val threshold : t -> int -> float
+val n_small : t -> int -> int
+val n_large : t -> int -> int
+
+val moves : t -> int
+(** Number of epochs whose decision changed [n_large] — how often the
+    control loop re-partitioned the cores. *)

@@ -1,0 +1,20 @@
+(* Bundle of the three collectors one instrumented run carries. *)
+
+type t = {
+  recorder : Recorder.t;
+  timeline : Timeline.t option;
+  decisions : Decision_log.t;
+}
+
+let create ?spans ?sample_rate ?(timeline_interval_us = 500.0)
+    ?(timeline_capacity = 8192) ?(timeline = true) ~cores ~seed () =
+  {
+    recorder = Recorder.create ?capacity:spans ?sample_rate ~seed ();
+    timeline =
+      (if timeline then
+         Some
+           (Timeline.create ~cores ~interval_us:timeline_interval_us
+              ~capacity:timeline_capacity)
+       else None);
+    decisions = Decision_log.create ();
+  }

@@ -1,0 +1,25 @@
+(** The three collectors one instrumented run carries: the per-request
+    flight {!Recorder}, an optional per-core {!Timeline} sampler and the
+    control-loop {!Decision_log}.  Execution engines take an optional
+    [Instrument.t]; when absent, every hook is a no-op. *)
+
+type t = {
+  recorder : Recorder.t;
+  timeline : Timeline.t option;
+  decisions : Decision_log.t;
+}
+
+val create :
+  ?spans:int ->
+  ?sample_rate:float ->
+  ?timeline_interval_us:float ->
+  ?timeline_capacity:int ->
+  ?timeline:bool ->
+  cores:int ->
+  seed:int ->
+  unit ->
+  t
+(** [spans] and [sample_rate] configure the recorder (defaults 65536 and
+    1.0); the timeline samples every [timeline_interval_us] µs (default
+    500) for up to [timeline_capacity] samples, or is omitted entirely
+    with [~timeline:false]. *)

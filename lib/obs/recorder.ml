@@ -1,0 +1,95 @@
+(* Allocation-disciplined per-request flight recorder; see recorder.mli.
+
+   Storage is two flat arrays (timestamps as unboxed floats, metadata as
+   ints) indexed by [slot * stride + field]: recording a span is a handful
+   of array stores and never allocates.  Slot acquisition is an atomic
+   counter so the same recorder works both on the single-domain simulator
+   hot path and on the multicore runtime (each slot is owned by exactly
+   one request; cross-domain visibility of its cells is ordered by the
+   ring push/pop the request itself travels through). *)
+
+type t = {
+  capacity : int;
+  sample_rate : float;
+  sample_threshold : int; (* of the 30-bit id hash, for try_sample_id *)
+  ts : float array; (* capacity * Span.n_ts *)
+  meta : int array; (* capacity * Span.n_meta *)
+  next : int Atomic.t;
+  dropped : int Atomic.t;
+  rng : Dsim.Rng.t; (* try_sample's deterministic sampling stream *)
+}
+
+let create ?(capacity = 65536) ?(sample_rate = 1.0) ~seed () =
+  if capacity < 1 then invalid_arg "Recorder.create: capacity must be >= 1";
+  if not (sample_rate > 0.0 && sample_rate <= 1.0) then
+    invalid_arg "Recorder.create: sample_rate out of (0, 1]";
+  {
+    capacity;
+    sample_rate;
+    sample_threshold =
+      (let bits = 1 lsl 30 in
+       let t = int_of_float (sample_rate *. float_of_int bits) in
+       if t < 1 then 1 else if t > bits then bits else t);
+    ts = Array.make (capacity * Span.n_ts) Float.nan;
+    meta = Array.make (capacity * Span.n_meta) (-1);
+    next = Atomic.make 0;
+    dropped = Atomic.make 0;
+    rng = Dsim.Rng.create (seed lxor 0x0b5eca11);
+  }
+
+let capacity t = t.capacity
+let sample_rate t = t.sample_rate
+let recorded t = min (Atomic.get t.next) t.capacity
+let dropped t = Atomic.get t.dropped
+
+let acquire t =
+  let slot = Atomic.fetch_and_add t.next 1 in
+  if slot < t.capacity then begin
+    (* Reset the slot: create fills arrays once, but a recorder may be
+       reused across runs via [reset]. *)
+    let tb = slot * Span.n_ts in
+    for i = 0 to Span.n_ts - 1 do
+      t.ts.(tb + i) <- Float.nan
+    done;
+    let mb = slot * Span.n_meta in
+    for i = 0 to Span.n_meta - 1 do
+      t.meta.(mb + i) <- -1
+    done;
+    slot
+  end
+  else begin
+    Atomic.incr t.dropped;
+    -1
+  end
+
+let try_sample t =
+  (* Draw before checking capacity so the sampling stream consumes one
+     value per offered request regardless of ring occupancy: two runs of
+     the same workload sample identical request sets. *)
+  if t.sample_rate >= 1.0 then acquire t
+  else if Dsim.Rng.unit_float t.rng < t.sample_rate then acquire t
+  else -1
+
+(* SplitMix-style finalizer over the low bits of an id; used by the
+   multicore runtime, where a shared RNG would be a race and a
+   nondeterministic sample set. *)
+let mix_id id =
+  let z = id * 0x9e3779b9 in
+  let z = (z lxor (z lsr 16)) * 0x85ebca6b in
+  let z = (z lxor (z lsr 13)) * 0xc2b2ae35 in
+  (z lxor (z lsr 16)) land 0x3FFFFFFF
+
+let try_sample_id t ~id =
+  if t.sample_rate >= 1.0 then acquire t
+  else if mix_id id < t.sample_threshold then acquire t
+  else -1
+
+let set_ts t slot field v = t.ts.((slot * Span.n_ts) + field) <- v
+let get_ts t slot field = t.ts.((slot * Span.n_ts) + field)
+let set_meta t slot field v = t.meta.((slot * Span.n_meta) + field) <- v
+let get_meta t slot field = t.meta.((slot * Span.n_meta) + field)
+let complete t slot = not (Float.is_nan (get_ts t slot Span.ts_end))
+
+let reset t =
+  Atomic.set t.next 0;
+  Atomic.set t.dropped 0

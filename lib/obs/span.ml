@@ -1,0 +1,51 @@
+(* Field layout of one flight-recorder span; see span.mli. *)
+
+let ts_rx_enq = 0
+let ts_poll = 1
+let ts_classify = 2
+let ts_handoff_enq = 3
+let ts_handoff_deq = 4
+let ts_service_start = 5
+let ts_service_end = 6
+let ts_tx_done = 7
+let ts_end = 8
+let n_ts = 9
+
+let ts_name = function
+  | 0 -> "rx_enqueue"
+  | 1 -> "poll_dequeue"
+  | 2 -> "classify"
+  | 3 -> "handoff_enqueue"
+  | 4 -> "handoff_dequeue"
+  | 5 -> "service_start"
+  | 6 -> "service_end"
+  | 7 -> "tx_done"
+  | 8 -> "end"
+  | _ -> invalid_arg "Span.ts_name"
+
+let meta_seq = 0
+let meta_rx_queue = 1
+let meta_core = 2
+let meta_tx_queue = 3
+let meta_class = 4
+let meta_op = 5
+let meta_size = 6
+let n_meta = 7
+
+let class_small = 0
+let class_large = 1
+let op_get = 0
+let op_put = 1
+
+(* The five telescoping latency components (consecutive deltas over the
+   ordered timestamps, plus the constant pipeline tail); by construction
+   they sum to the end-to-end latency exactly. *)
+let n_components = 5
+
+let component_name = function
+  | 0 -> "rx_wait"
+  | 1 -> "dispatch"
+  | 2 -> "service"
+  | 3 -> "tx"
+  | 4 -> "pipeline"
+  | _ -> invalid_arg "Span.component_name"

@@ -1,0 +1,76 @@
+(** Field layout of one flight-recorder span.
+
+    A span is one sampled request's timeline, stored as [n_ts] cells of a
+    flat [float array] (timestamps, µs; unset cells are [nan]) plus
+    [n_meta] cells of a flat [int array] (identity and classification).
+    The indices below are the schema; {!Recorder} owns the storage.
+
+    Timestamp order on the happy path is
+    [rx_enq <= poll <= classify <= handoff_enq <= handoff_deq <=
+     service_start <= service_end <= tx_done <= end]; any of the middle
+    stages may be unset (e.g. no handoff for a small request, no classify
+    for size-unaware designs).  [ts_end] doubles as the completeness flag:
+    a span is complete iff it is set. *)
+
+val ts_rx_enq : int
+(** Request enqueued on an RX queue (its arrival time). *)
+
+val ts_poll : int
+(** Request dequeued from the RX queue by a core. *)
+
+val ts_classify : int
+(** Size classification (size-aware designs only). *)
+
+val ts_handoff_enq : int
+(** Pushed onto a software handoff queue (Minos/SHO; HKH+WS uses it for
+    the local software queue). *)
+
+val ts_handoff_deq : int
+(** Popped from the software handoff queue by the serving core. *)
+
+val ts_service_start : int
+val ts_service_end : int
+
+val ts_tx_done : int
+(** Last frame of the reply left the wire. *)
+
+val ts_end : int
+(** End-to-end completion ([ts_tx_done] plus the constant pipeline
+    latency).  Set iff the span is complete. *)
+
+val n_ts : int
+
+val ts_name : int -> string
+(** Stable label for a timestamp index; raises on out-of-range. *)
+
+val meta_seq : int
+(** Request issue index / id. *)
+
+val meta_rx_queue : int
+
+val meta_core : int
+(** Serving core. *)
+
+val meta_tx_queue : int
+
+val meta_class : int
+(** {!class_small} or {!class_large}. *)
+
+val meta_op : int
+(** {!op_get} or {!op_put}. *)
+
+val meta_size : int
+(** Item size in bytes. *)
+
+val n_meta : int
+
+val class_small : int
+val class_large : int
+val op_get : int
+val op_put : int
+
+val n_components : int
+(** Number of latency-anatomy components (see {!Anatomy}). *)
+
+val component_name : int -> string
+(** [rx_wait], [dispatch], [service], [tx], [pipeline]. *)

@@ -1,0 +1,63 @@
+(* Per-core queue-depth / utilization time series; see timeline.mli. *)
+
+type t = {
+  cores : int;
+  interval_us : float;
+  capacity : int;
+  times : float array; (* capacity *)
+  depth : int array; (* capacity * cores *)
+  busy : float array; (* capacity * cores, cumulative busy µs *)
+  mutable n : int;
+}
+
+let create ~cores ~interval_us ~capacity =
+  if cores < 1 then invalid_arg "Timeline.create: cores must be >= 1";
+  if not (interval_us > 0.0) then
+    invalid_arg "Timeline.create: interval_us must be > 0";
+  if capacity < 1 then invalid_arg "Timeline.create: capacity must be >= 1";
+  {
+    cores;
+    interval_us;
+    capacity;
+    times = Array.make capacity Float.nan;
+    depth = Array.make (capacity * cores) 0;
+    busy = Array.make (capacity * cores) 0.0;
+    n = 0;
+  }
+
+let cores t = t.cores
+let interval_us t = t.interval_us
+let samples t = t.n
+
+let start_sample t ~now =
+  if t.n >= t.capacity then -1
+  else begin
+    let s = t.n in
+    t.times.(s) <- now;
+    t.n <- s + 1;
+    s
+  end
+
+let set_core t ~sample ~core ~depth ~busy_us =
+  let i = (sample * t.cores) + core in
+  t.depth.(i) <- depth;
+  t.busy.(i) <- busy_us
+
+let time t s = t.times.(s)
+let depth t s core = t.depth.((s * t.cores) + core)
+let busy_us t s core = t.busy.((s * t.cores) + core)
+
+(* Utilization of [core] over the interval ending at sample [s]: the
+   busy-time delta against the previous sample, clamped to [0, 1].  The
+   first sample has no predecessor and reports 0. *)
+let utilization t s core =
+  if s = 0 then 0.0
+  else begin
+    let dt = t.times.(s) -. t.times.(s - 1) in
+    if not (dt > 0.0) then 0.0
+    else begin
+      let db = busy_us t s core -. busy_us t (s - 1) core in
+      let u = db /. dt in
+      if u < 0.0 then 0.0 else if u > 1.0 then 1.0 else u
+    end
+  end

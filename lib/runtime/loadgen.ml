@@ -33,6 +33,7 @@ let client_loop ?(concurrency = 64) ~server ~dataset ~requests ~seed ~make_id ~p
             Message.Put (Bytes.create g.Workload.Generator.item_size));
       key = Workload.Dataset.key_name g.Workload.Generator.key_id;
       submitted_at = Unix.gettimeofday ();
+      obs_slot = -1;
     }
   in
   let collect_one ~block =

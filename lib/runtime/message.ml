@@ -1,6 +1,12 @@
 type op = Get | Put of bytes | Delete
 
-type request = { id : int64; op : op; key : string; submitted_at : float }
+type request = {
+  id : int64;
+  op : op;
+  key : string;
+  submitted_at : float;
+  mutable obs_slot : int;
+}
 
 type status = Ok | Not_found
 

@@ -15,6 +15,9 @@ type request = {
   op : op;
   key : string;
   submitted_at : float; (** [Unix.gettimeofday] at submission, seconds *)
+  mutable obs_slot : int;
+      (** flight-recorder slot assigned by {!Server.submit} when the
+          request is sampled; construct with [-1] *)
 }
 
 type status = Ok | Not_found

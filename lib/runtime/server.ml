@@ -35,6 +35,8 @@ type worker = {
   swq : Message.request Netsim.Ring.t;
   hist : Stats.Log_histogram.t Atomic.t;
   served : int Atomic.t;
+  busy_ns : int Atomic.t;
+      (* cumulative busy time, only maintained while a timeline samples *)
 }
 
 type t = {
@@ -52,7 +54,49 @@ type t = {
   stop_flag : bool Atomic.t;
   mutable domains : unit Domain.t list;
   mutable stopped : bool;
+  obs : Obs.Instrument.t option;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder hooks.  The simulator samples from an RNG stream in
+   arrival order; here requests race in from many domains, so sampling
+   hashes the request id instead ([Recorder.try_sample_id]) — equally
+   deterministic for a fixed id sequence.  Every hook is a conditional
+   store into preallocated arrays; none allocates. *)
+
+let now_us () = Unix.gettimeofday () *. 1.0e6
+
+let obs_mark t field (req : Message.request) =
+  if req.Message.obs_slot >= 0 then
+    match t.obs with
+    | None -> ()
+    | Some o ->
+        Obs.Recorder.set_ts o.Obs.Instrument.recorder req.Message.obs_slot field
+          (now_us ())
+
+let obs_sample_submit t (req : Message.request) ~ring_idx =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      let r = o.Obs.Instrument.recorder in
+      let slot = Obs.Recorder.try_sample_id r ~id:(Int64.to_int req.Message.id) in
+      if slot >= 0 then begin
+        req.Message.obs_slot <- slot;
+        Obs.Recorder.set_ts r slot Obs.Span.ts_rx_enq (now_us ());
+        Obs.Recorder.set_meta r slot Obs.Span.meta_seq (Int64.to_int req.Message.id);
+        Obs.Recorder.set_meta r slot Obs.Span.meta_rx_queue ring_idx;
+        (* Class and size are unknown until the server looks the item up;
+           [classify_and_serve] refines both. *)
+        Obs.Recorder.set_meta r slot Obs.Span.meta_class Obs.Span.class_small;
+        Obs.Recorder.set_meta r slot Obs.Span.meta_op
+          (match req.Message.op with
+          | Message.Get -> Obs.Span.op_get
+          | Message.Put _ | Message.Delete -> Obs.Span.op_put);
+        Obs.Recorder.set_meta r slot Obs.Span.meta_size
+          (match req.Message.op with
+          | Message.Put v -> Bytes.length v
+          | Message.Get | Message.Delete -> 0)
+      end
 
 let fresh_hist () =
   Stats.Log_histogram.create ~buckets_per_decade:32 ~min_value:1.0 ~max_value:2.0e6 ()
@@ -76,8 +120,9 @@ let dispatch_ring t (req : Message.request) =
 let submit t req =
   if not (Atomic.get t.accepting) then false
   else begin
-    let ring = t.workers.(dispatch_ring t req).rx in
-    if Netsim.Ring.try_push ring req then begin
+    let ring_idx = dispatch_ring t req in
+    obs_sample_submit t req ~ring_idx;
+    if Netsim.Ring.try_push t.workers.(ring_idx).rx req then begin
       Atomic.incr t.in_flight;
       true
     end
@@ -107,7 +152,16 @@ let push_reply t reply =
   Atomic.decr t.in_flight
 
 let serve t (w : worker) (req : Message.request) =
+  obs_mark t Obs.Span.ts_service_start req;
+  (if req.Message.obs_slot >= 0 then
+     match t.obs with
+     | None -> ()
+     | Some o ->
+         let r = o.Obs.Instrument.recorder in
+         Obs.Recorder.set_meta r req.Message.obs_slot Obs.Span.meta_core w.id;
+         Obs.Recorder.set_meta r req.Message.obs_slot Obs.Span.meta_tx_queue w.id);
   let reply_with status value value_size =
+    obs_mark t Obs.Span.ts_service_end req;
     push_reply t
       {
         Message.request_id = req.Message.id;
@@ -116,7 +170,11 @@ let serve t (w : worker) (req : Message.request) =
         value_size;
         served_by = w.id;
         completed_at = Unix.gettimeofday ();
-      }
+      };
+    (* The reply sits on the ring until the client drains it; its push is
+       the closest native analogue of the reply leaving the wire. *)
+    obs_mark t Obs.Span.ts_tx_done req;
+    obs_mark t Obs.Span.ts_end req
   in
   (match req.Message.op with
   | Message.Get -> (
@@ -146,16 +204,33 @@ let request_item_size t (req : Message.request) =
       Option.value ~default:0 (Kvstore.Store.size_of t.store req.Message.key)
 
 let classify_and_serve t (w : worker) plan req =
-  let size = float_of_int (request_item_size t req) in
+  let item_size = request_item_size t req in
+  let size = float_of_int item_size in
   Stats.Log_histogram.record (Atomic.get w.hist) size;
+  obs_mark t Obs.Span.ts_classify req;
+  (if req.Message.obs_slot >= 0 then
+     match t.obs with
+     | None -> ()
+     | Some o ->
+         Obs.Recorder.set_meta o.Obs.Instrument.recorder req.Message.obs_slot
+           Obs.Span.meta_size item_size);
   match Kvserver.Control.route plan size with
   | None -> serve t w req
   | Some j ->
       let target =
         t.workers.(Kvserver.Control.large_core_id plan ~cores:t.cfg.cores j)
       in
+      (if req.Message.obs_slot >= 0 then
+         match t.obs with
+         | None -> ()
+         | Some o ->
+             Obs.Recorder.set_meta o.Obs.Instrument.recorder req.Message.obs_slot
+               Obs.Span.meta_class Obs.Span.class_large);
       if target.id = w.id then serve t w req
-      else if Netsim.Ring.try_push target.swq req then Atomic.incr t.handoffs
+      else if Netsim.Ring.try_push target.swq req then begin
+        obs_mark t Obs.Span.ts_handoff_enq req;
+        Atomic.incr t.handoffs
+      end
       else
         (* Software queue full: serve in place rather than block or drop —
            backpressure degrades to size-unaware behaviour momentarily. *)
@@ -190,6 +265,9 @@ let size_aware_iteration t (w : worker) =
     (* Standby large duty: serve anything already in our software queue
        first. *)
     let queued = drain_batch w.swq t.cfg.batch in
+    List.iter (obs_mark t Obs.Span.ts_handoff_deq) queued;
+    List.iter (obs_mark t Obs.Span.ts_poll) batch;
+    List.iter (obs_mark t Obs.Span.ts_poll) extra;
     List.iter (serve t w) queued;
     List.iter (classify_and_serve t w plan) batch;
     List.iter (classify_and_serve t w plan) extra;
@@ -199,14 +277,17 @@ let size_aware_iteration t (w : worker) =
     (* Large core: serve the software queue; leftover batch items from a
        role change are classified rather than stranded. *)
     let queued = drain_batch w.swq t.cfg.batch in
+    List.iter (obs_mark t Obs.Span.ts_handoff_deq) queued;
     List.iter (serve t w) queued;
     let leftover = drain_batch w.rx 0 in
+    List.iter (obs_mark t Obs.Span.ts_poll) leftover;
     List.iter (classify_and_serve t w plan) leftover;
     List.length queued
   end
 
 let keyhash_iteration t (w : worker) =
   let batch = drain_batch w.rx t.cfg.batch in
+  List.iter (obs_mark t Obs.Span.ts_poll) batch;
   List.iter (serve t w) batch;
   List.length batch
 
@@ -242,19 +323,62 @@ let controller_tick t ~smoothed =
             (Atomic.get t.epochs + 1)
             plan.Kvserver.Control.threshold plan.Kvserver.Control.n_small
             plan.Kvserver.Control.n_large);
+    (match t.obs with
+    | None -> ()
+    | Some o ->
+        (* Only worker 0 runs the controller, so the log needs no lock. *)
+        Obs.Decision_log.record o.Obs.Instrument.decisions ~now:(now_us ())
+          ~threshold:plan.Kvserver.Control.threshold
+          ~n_small:plan.Kvserver.Control.n_small
+          ~n_large:plan.Kvserver.Control.n_large);
     Atomic.incr t.epochs
   end
+
+let timeline_tick t tl ~now =
+  let s = Obs.Timeline.start_sample tl ~now:(now *. 1.0e6) in
+  if s >= 0 then
+    Array.iter
+      (fun (w : worker) ->
+        Obs.Timeline.set_core tl ~sample:s ~core:w.id
+          ~depth:(Netsim.Ring.length w.rx)
+          ~busy_us:(float_of_int (Atomic.get w.busy_ns) /. 1.0e3))
+      t.workers
 
 let worker_loop t (w : worker) =
   let smoothed = ref None in
   let last_epoch = ref (Unix.gettimeofday ()) in
+  let last_tl = ref !last_epoch in
   let idle_streak = ref 0 in
+  (* Busy accounting (per-iteration clock reads) only when a timeline is
+     attached; the uninstrumented loop keeps its single clock read on
+     worker 0. *)
+  let tl =
+    match t.obs with
+    | Some { Obs.Instrument.timeline = Some tl; _ } -> Some tl
+    | Some _ | None -> None
+  in
   while not (Atomic.get t.stop_flag) do
+    let iter_start =
+      match tl with Some _ -> Unix.gettimeofday () | None -> 0.0
+    in
     let handled =
       match t.cfg.mode with
       | Size_aware -> size_aware_iteration t w
       | Keyhash -> keyhash_iteration t w
     in
+    (match tl with
+    | Some tl ->
+        let now = Unix.gettimeofday () in
+        if handled > 0 then
+          ignore
+            (Atomic.fetch_and_add w.busy_ns
+               (int_of_float ((now -. iter_start) *. 1.0e9)));
+        if w.id = 0 && now -. !last_tl >= Obs.Timeline.interval_us tl /. 1.0e6
+        then begin
+          last_tl := now;
+          timeline_tick t tl ~now
+        end
+    | None -> ());
     if w.id = 0 && t.cfg.mode = Size_aware then begin
       let now = Unix.gettimeofday () in
       if now -. !last_epoch >= t.cfg.epoch_s then begin
@@ -275,7 +399,7 @@ let worker_loop t (w : worker) =
 
 (* ------------------------------------------------------------------ *)
 
-let start ?(config = default_config) store =
+let start ?obs ?(config = default_config) store =
   if config.cores < 2 then invalid_arg "Server.start: need at least 2 cores";
   if config.batch < 1 then invalid_arg "Server.start: batch must be >= 1";
   let t =
@@ -290,6 +414,7 @@ let start ?(config = default_config) store =
               swq = Netsim.Ring.create ~capacity:config.ring_capacity;
               hist = Atomic.make (fresh_hist ());
               served = Atomic.make 0;
+              busy_ns = Atomic.make 0;
             });
       replies = Netsim.Ring.create ~capacity:65536;
       stash = Queue.create ();
@@ -302,6 +427,7 @@ let start ?(config = default_config) store =
       stop_flag = Atomic.make false;
       domains = [];
       stopped = false;
+      obs;
     }
   in
   Log.info (fun m ->

@@ -50,9 +50,16 @@ val default_config : config
 
 type t
 
-val start : ?config:config -> Kvstore.Store.t -> t
+val start : ?obs:Obs.Instrument.t -> ?config:config -> Kvstore.Store.t -> t
 (** Spawn the worker domains and the dispatcher state.  The store must
-    outlive the server. *)
+    outlive the server.  [obs] attaches a flight recorder: {!submit}
+    samples requests by a hash of their id ({!Obs.Recorder.try_sample_id}
+    — deterministic per id with no cross-domain RNG), workers record the
+    poll / classify / handoff / service / reply stages with wall-clock
+    microsecond timestamps, worker 0 appends one {!Obs.Decision_log}
+    entry per control epoch and, when the instrument carries a timeline,
+    samples per-core RX depth and busy time.  Export (e.g. with
+    {!Obs.Chrome_trace}) only after {!stop}. *)
 
 val submit : t -> Message.request -> bool
 (** Hardware-dispatch stand-in: route the request to an RX ring (random

@@ -82,6 +82,7 @@ let reader_loop t queue =
                           | Proto.Wire.Delete -> Message.Delete);
                         key = req.Proto.Wire.key;
                         submitted_at = Unix.gettimeofday ();
+                        obs_slot = -1;
                       }
                     in
                     (* The server's RX ring applies backpressure; spin
@@ -132,9 +133,9 @@ let pump_loop t =
             send_fragments t.sockets.(p.queue) p.addr ~msg_id:id encoded)
   done
 
-let start ?(config = Server.default_config) ?(base_port = 47700) ?(dedup_capacity = 8192)
-    store =
-  let server = Server.start ~config store in
+let start ?obs ?(config = Server.default_config) ?(base_port = 47700)
+    ?(dedup_capacity = 8192) store =
+  let server = Server.start ?obs ~config store in
   let sockets =
     Array.init config.Server.cores (fun q ->
         let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in

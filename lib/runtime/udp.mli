@@ -15,13 +15,15 @@
 type t
 
 val start :
+  ?obs:Obs.Instrument.t ->
   ?config:Server.config ->
   ?base_port:int ->
   ?dedup_capacity:int ->
   Kvstore.Store.t ->
   t
 (** Bind [config.cores] sockets on [base_port..base_port+cores-1]
-    (default 47700) on the loopback interface and start serving. *)
+    (default 47700) on the loopback interface and start serving.  [obs]
+    is forwarded to {!Server.start}. *)
 
 val base_port : t -> int
 

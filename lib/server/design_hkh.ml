@@ -20,6 +20,7 @@ let make eng =
             &&
             match Netsim.Fifo.pop rx with
             | Some r ->
+                Engine.obs_poll eng r;
                 Queue.add r c.batch;
                 incr pulled;
                 true

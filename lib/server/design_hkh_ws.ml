@@ -15,6 +15,10 @@ let make eng =
       &&
       match Netsim.Fifo.pop src with
       | Some r ->
+          (* Both call sites move RX → software queue: the pop is the poll,
+             the push the handoff enqueue. *)
+          Engine.obs_poll eng r;
+          Engine.obs_handoff_enq eng r;
           Netsim.Fifo.push dst r;
           incr pulled;
           true
@@ -33,6 +37,7 @@ let make eng =
   let rec step c =
     match Netsim.Fifo.pop c.swq with
     | Some req ->
+        Engine.obs_handoff_deq eng req;
         Engine.execute eng ~core:c.id ~extra_cpu:(put_lock_cost c req) req ~k:(fun () ->
             step c)
     | None ->
@@ -51,7 +56,9 @@ let make eng =
               if victim.id = c.id then steal_swq (i + 1)
               else
                 match Netsim.Fifo.pop victim.swq with
-                | Some r -> Some r
+                | Some r ->
+                    Engine.obs_handoff_deq eng r;
+                    Some r
                 | None -> steal_swq (i + 1)
             end
           in

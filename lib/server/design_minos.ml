@@ -65,6 +65,7 @@ and small_step st c =
 and classify_and_serve st c req =
   let size = float_of_int req.Engine.item_size in
   Stats.Log_histogram.record c.hist size;
+  Engine.obs_classify st.eng req;
   let profile = profiling_cost st in
   match Control.route st.plan size with
   | None ->
@@ -77,6 +78,7 @@ and classify_and_serve st c req =
          standby mode this engages the standby core as a large core. *)
       let target = st.cores.(Control.large_core_id st.plan ~cores:st.n j) in
       if standby_mode st then st.standby_engaged <- true;
+      Engine.obs_handoff_enq st.eng req;
       Netsim.Fifo.push target.swq req;
       wake st target;
       Engine.busy st.eng ~core:c.id
@@ -93,6 +95,7 @@ and refill st c =
       &&
       match Netsim.Fifo.pop rx with
       | Some r ->
+          Engine.obs_poll st.eng r;
           Queue.add r c.batch;
           incr got;
           true
@@ -127,6 +130,7 @@ and refill st c =
 and large_step st c =
   match Netsim.Fifo.pop c.swq with
   | Some req ->
+      Engine.obs_handoff_deq st.eng req;
       Engine.execute st.eng ~core:c.id ~extra_cpu:(put_lock_cost st req) req ~k:(fun () ->
           step st c)
   | None -> (
@@ -153,8 +157,10 @@ and rx_steal_step st c =
     else
       match Netsim.Fifo.pop (Engine.rx st.eng id) with
       | Some req ->
+          Engine.obs_poll st.eng req;
           let size = float_of_int req.Engine.item_size in
           Stats.Log_histogram.record c.hist size;
+          Engine.obs_classify st.eng req;
           (* TX-queue discipline mirrors the size split: a stolen small
              replies on the victim's (small) TX queue so it never
              serializes behind this core's in-flight large replies; a
@@ -224,6 +230,7 @@ let on_epoch st () =
           match Control.route st.plan (float_of_int r.Engine.item_size) with
           | Some j ->
               if standby_mode st then st.standby_engaged <- true;
+              Engine.obs_handoff_enq st.eng r;
               Netsim.Fifo.push st.cores.(Control.large_core_id st.plan ~cores:st.n j).swq r
           | None ->
               (* Under the new threshold this queued request counts as

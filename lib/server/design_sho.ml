@@ -28,6 +28,7 @@ let make eng =
         let h = handoffs.((w.rr + i) mod n_handoff) in
         match Netsim.Fifo.pop h.swq with
         | Some r ->
+            Engine.obs_handoff_deq eng r;
             w.rr <- (w.rr + i + 1) mod n_handoff;
             Some r
         | None -> find (i + 1)
@@ -47,6 +48,7 @@ let make eng =
   let rec handoff_step h =
     match Queue.take_opt h.staged with
     | Some req ->
+        Engine.obs_handoff_enq eng req;
         Netsim.Fifo.push h.swq req;
         wake_idle_worker ();
         Engine.busy eng ~core:h.id cfg.Config.cost.Cost_model.handoff_us ~k:(fun () ->
@@ -61,6 +63,7 @@ let make eng =
             &&
             match Netsim.Fifo.pop rx with
             | Some r ->
+                Engine.obs_poll eng r;
                 Queue.add r h.staged;
                 incr pulled;
                 true

@@ -6,6 +6,7 @@ type request = {
   arrival_us : float;
   frames_in : int;
   mutable rx_queue : int;
+  mutable span : int; (* flight-recorder slot, -1 when not sampled *)
 }
 
 type t = {
@@ -42,9 +43,10 @@ type t = {
   dispatch_rng : Dsim.Rng.t;
   put_value : bytes; (* scratch buffer reused for real-store writes *)
   mutable probe : (core:int -> request -> unit) option;
+  obs : Obs.Instrument.t option;
 }
 
-let create ?dynamic ?store ?source cfg gen ~offered_mops =
+let create ?dynamic ?store ?source ?obs cfg gen ~offered_mops =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.create: " ^ msg));
@@ -92,9 +94,49 @@ let create ?dynamic ?store ?source cfg gen ~offered_mops =
     dispatch_rng = Dsim.Sim.fork_rng sim;
     put_value = Bytes.create 16;
     probe = None;
+    obs;
   }
 
 let set_probe t f = t.probe <- Some f
+
+(* ---------------- flight-recorder hooks ----------------
+
+   Each hook is a conditional store into the recorder's preallocated
+   arrays: nothing here allocates, so instrumented designs keep the
+   zero-allocation hot path. *)
+
+let obs_mark t field (req : request) =
+  if req.span >= 0 then
+    match t.obs with
+    | None -> ()
+    | Some o ->
+        Obs.Recorder.set_ts o.Obs.Instrument.recorder req.span field
+          (Dsim.Sim.now t.sim)
+
+let obs_poll t req = obs_mark t Obs.Span.ts_poll req
+let obs_classify t req = obs_mark t Obs.Span.ts_classify req
+let obs_handoff_enq t req = obs_mark t Obs.Span.ts_handoff_enq req
+let obs_handoff_deq t req = obs_mark t Obs.Span.ts_handoff_deq req
+
+let obs_sample_arrival t (req : request) ~queue =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      let r = o.Obs.Instrument.recorder in
+      let slot = Obs.Recorder.try_sample r in
+      if slot >= 0 then begin
+        req.span <- slot;
+        Obs.Recorder.set_ts r slot Obs.Span.ts_rx_enq req.arrival_us;
+        Obs.Recorder.set_meta r slot Obs.Span.meta_seq (t.issued - 1);
+        Obs.Recorder.set_meta r slot Obs.Span.meta_rx_queue queue;
+        Obs.Recorder.set_meta r slot Obs.Span.meta_class
+          (if req.is_large_truth then Obs.Span.class_large else Obs.Span.class_small);
+        Obs.Recorder.set_meta r slot Obs.Span.meta_op
+          (match req.op with
+          | Cost_model.Get -> Obs.Span.op_get
+          | Cost_model.Put -> Obs.Span.op_put);
+        Obs.Recorder.set_meta r slot Obs.Span.meta_size req.item_size
+      end
 
 let sim t = t.sim
 let config t = t.cfg
@@ -153,6 +195,14 @@ let execute t ~core ?tx_queue ?(extra_cpu = 0.0) req ~k =
   in
   (match t.probe with Some f -> f ~core req | None -> ());
   let start = Dsim.Sim.now t.sim in
+  (if req.span >= 0 then
+     match t.obs with
+     | None -> ()
+     | Some o ->
+         let r = o.Obs.Instrument.recorder in
+         Obs.Recorder.set_ts r req.span Obs.Span.ts_service_start start;
+         Obs.Recorder.set_meta r req.span Obs.Span.meta_core core;
+         Obs.Recorder.set_meta r req.span Obs.Span.meta_tx_queue tx_queue);
   if in_window t start then begin
     Stats.Summary.add t.queue_wait (start -. req.arrival_us);
     Stats.Summary.add t.service cpu
@@ -177,6 +227,7 @@ let execute t ~core ?tx_queue ?(extra_cpu = 0.0) req ~k =
       t.processed_total <- t.processed_total + 1;
       if in_window t (Dsim.Sim.now t.sim) then
         t.processed_window <- t.processed_window + 1;
+      obs_mark t Obs.Span.ts_service_end req;
       if replied then begin
         let cpu_done = Dsim.Sim.now t.sim in
         Netsim.Txsched.send t.tx ~queue:tx_queue
@@ -184,6 +235,15 @@ let execute t ~core ?tx_queue ?(extra_cpu = 0.0) req ~k =
           ~on_complete:(fun finish_time ->
             if in_window t finish_time then
               Stats.Summary.add t.tx_wait (finish_time -. cpu_done);
+            (if req.span >= 0 then
+               match t.obs with
+               | None -> ()
+               | Some o ->
+                   let r = o.Obs.Instrument.recorder in
+                   Obs.Recorder.set_ts r req.span Obs.Span.ts_tx_done finish_time;
+                   Obs.Recorder.set_ts r req.span Obs.Span.ts_end
+                     (finish_time
+                     +. t.cfg.Config.cost.Cost_model.pipeline_latency_us));
             record_reply t req ~finish_time)
       end;
       (* The core is free as soon as the reply is handed to the NIC. *)
@@ -212,6 +272,7 @@ let make_request t (g : Workload.Generator.request) =
     arrival_us = Dsim.Sim.now t.sim;
     frames_in = Cost_model.request_frames op ~item_size:g.Workload.Generator.item_size;
     rx_queue = 0;
+    span = -1;
   }
 
 let raw_latencies t = t.latencies
@@ -240,6 +301,7 @@ let run t make_design =
       let queue = design.dispatch req in
       req.rx_queue <- queue;
       t.issued <- t.issued + 1;
+      obs_sample_arrival t req ~queue;
       let wire_bytes =
         Netsim.Frame.wire_bytes_for_payload
           (Cost_model.request_payload req.op ~item_size:req.item_size)
@@ -256,11 +318,35 @@ let run t make_design =
       design.on_epoch ();
       t.large_core_series <-
         (Dsim.Sim.now t.sim, design.large_core_count ()) :: t.large_core_series;
+      (match t.obs with
+      | None -> ()
+      | Some o ->
+          let n_large = design.large_core_count () in
+          Obs.Decision_log.record o.Obs.Instrument.decisions
+            ~now:(Dsim.Sim.now t.sim)
+            ~threshold:(design.current_threshold ())
+            ~n_small:(cfg.Config.cores - n_large) ~n_large);
       Dsim.Sim.schedule_after t.sim cfg.Config.epoch_us epoch
     end
   in
   Dsim.Sim.schedule_after t.sim 0.0 arrive;
   Dsim.Sim.schedule_after t.sim cfg.Config.epoch_us epoch;
+  (match t.obs with
+  | Some { Obs.Instrument.timeline = Some tl; _ } ->
+      let rec tick () =
+        if Dsim.Sim.now t.sim < cfg.Config.duration_us then begin
+          let s = Obs.Timeline.start_sample tl ~now:(Dsim.Sim.now t.sim) in
+          if s >= 0 then
+            for c = 0 to cfg.Config.cores - 1 do
+              Obs.Timeline.set_core tl ~sample:s ~core:c
+                ~depth:(Netsim.Fifo.length (Netsim.Nic.rx t.nic c))
+                ~busy_us:t.core_busy_us.(c)
+            done;
+          Dsim.Sim.schedule_after t.sim (Obs.Timeline.interval_us tl) tick
+        end
+      in
+      Dsim.Sim.schedule_after t.sim 0.0 tick
+  | Some _ | None -> ());
   (* Reset NIC counters at the start of the measurement window so TX
      utilization covers only the measured interval. *)
   Dsim.Sim.schedule_at t.sim cfg.Config.warmup_us (fun () ->

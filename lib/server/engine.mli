@@ -19,6 +19,9 @@ type request = {
   arrival_us : float;
   frames_in : int;
   mutable rx_queue : int;
+  mutable span : int;
+      (** flight-recorder slot assigned at arrival, [-1] when the request
+          is not sampled (or no recorder is attached) *)
 }
 
 type t
@@ -39,6 +42,7 @@ val create :
   ?dynamic:Workload.Dynamic.t ->
   ?store:Kvstore.Store.t ->
   ?source:(unit -> Workload.Generator.request) ->
+  ?obs:Obs.Instrument.t ->
   Config.t ->
   Workload.Generator.t ->
   offered_mops:float ->
@@ -50,7 +54,12 @@ val create :
     must already contain the dataset's keys).  [source] overrides the
     generator as the supplier of request descriptors — e.g. a looping
     {!Workload.Trace.replayer} for trace-driven simulation; [dynamic] is
-    ignored in that case. *)
+    ignored in that case.  [obs] attaches a flight recorder: arrivals are
+    sampled into spans (from the recorder's own RNG stream, so attaching
+    it perturbs no simulation randomness), the engine records RX-enqueue /
+    service / TX / end-to-end timestamps, per-core timeline samples and
+    one {!Obs.Decision_log} entry per control epoch; designs fill in the
+    poll / classify / handoff stages via the [obs_*] hooks below. *)
 
 val sim : t -> Dsim.Sim.t
 val config : t -> Config.t
@@ -96,3 +105,21 @@ val set_probe : t -> (core:int -> request -> unit) -> unit
 (** Install an observer called at the start of every request execution
     (with the executing core).  For tests asserting scheduling invariants;
     no effect on simulated behaviour. *)
+
+(** {2 Flight-recorder hooks}
+
+    Called by designs at the corresponding scheduling points; each is a
+    single timestamp store when the request carries a sampled span and a
+    no-op otherwise (never allocates, safe on the hot path). *)
+
+val obs_poll : t -> request -> unit
+(** The request was dequeued from its RX queue. *)
+
+val obs_classify : t -> request -> unit
+(** The request was size-classified (size-aware designs). *)
+
+val obs_handoff_enq : t -> request -> unit
+(** Pushed onto a software handoff queue. *)
+
+val obs_handoff_deq : t -> request -> unit
+(** Popped from a software handoff queue by its serving core. *)

@@ -31,3 +31,9 @@ let pp_row fmt t =
     t.design t.offered_mops t.throughput_mops t.mean_us t.p50_us t.p99_us t.p999_us
     (100.0 *. t.nic_tx_utilization)
     (if t.stable then "" else " UNSTABLE")
+
+let pp_breakdown fmt t =
+  Format.fprintf fmt
+    "%-10s small_p99=%.1fus large_p99=%.1fus wait: queue=%.1f service=%.1f tx=%.1f (mean us)"
+    t.design t.small_p99_us t.large_p99_us t.mean_queue_wait_us t.mean_service_us
+    t.mean_tx_wait_us

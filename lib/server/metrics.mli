@@ -36,3 +36,8 @@ type t = {
 
 val pp_row : Format.formatter -> t -> unit
 (** One human-readable summary line. *)
+
+val pp_breakdown : Format.formatter -> t -> unit
+(** Verbose companion to {!pp_row}: per-class tails ([small_p99]/
+    [large_p99]) plus the mean wait breakdown (queue / service / TX), the
+    coarse engine-side counterpart of the per-span {!Obs.Anatomy}. *)

@@ -23,7 +23,7 @@ let add t ~time x =
 
 let windows t =
   Hashtbl.fold (fun _ w acc -> w :: acc) t.table []
-  |> List.sort (fun a b -> compare a.start_time b.start_time)
+  |> List.sort (fun a b -> Float.compare a.start_time b.start_time)
 
 let quantile_series t q =
   windows t

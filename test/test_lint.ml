@@ -63,7 +63,8 @@ let test_is_hot_path () =
   check bool "netsim is hot" true (Lint_core.is_hot_path "lib/netsim/ring.ml");
   check bool "absolute path classifies" true
     (Lint_core.is_hot_path "/root/repo/lib/kv/store.ml");
-  check bool "stats is cold" false (Lint_core.is_hot_path "lib/stats/quantile.ml");
+  check bool "stats is hot" true (Lint_core.is_hot_path "lib/stats/quantile.ml");
+  check bool "obs is hot" true (Lint_core.is_hot_path "lib/obs/recorder.ml");
   check bool "check is cold" false
     (Lint_core.is_hot_path "lib/check/trace_sched.ml")
 
@@ -117,19 +118,19 @@ let test_tree_walk () =
   mkdir root 0o755;
   mkdir (Filename.concat root "lib") 0o755;
   mkdir (Filename.concat root "lib/dsim") 0o755;
-  mkdir (Filename.concat root "lib/stats") 0o755;
+  mkdir (Filename.concat root "lib/check") 0o755;
   let write rel contents =
     Out_channel.with_open_text (Filename.concat root rel) (fun oc ->
         Out_channel.output_string oc contents)
   in
   write "lib/dsim/engine.ml" "let f x = Printf.sprintf \"%d\" x\n";
-  write "lib/stats/report.ml" "let f x = Printf.sprintf \"%d\" x\n";
+  write "lib/check/report.ml" "let f x = Printf.sprintf \"%d\" x\n";
   Fun.protect
     ~finally:(fun () ->
       Sys.remove (Filename.concat root "lib/dsim/engine.ml");
-      Sys.remove (Filename.concat root "lib/stats/report.ml");
+      Sys.remove (Filename.concat root "lib/check/report.ml");
       Unix.rmdir (Filename.concat root "lib/dsim");
-      Unix.rmdir (Filename.concat root "lib/stats");
+      Unix.rmdir (Filename.concat root "lib/check");
       Unix.rmdir (Filename.concat root "lib");
       Unix.rmdir root)
     (fun () ->

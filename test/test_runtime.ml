@@ -124,7 +124,8 @@ let test_delete_through_scheduler () =
       let submit op =
         let req =
           { Runtime.Message.id = Int64.of_int (Hashtbl.hash op);
-            op; key = "victim"; submitted_at = Unix.gettimeofday () }
+            op; key = "victim"; submitted_at = Unix.gettimeofday ();
+            obs_slot = -1 }
         in
         while not (Runtime.Server.submit server req) do
           Domain.cpu_relax ()
@@ -162,7 +163,7 @@ let test_submit_refused_after_stop () =
   let accepted =
     Runtime.Server.submit server
       { Runtime.Message.id = 1L; op = Runtime.Message.Get;
-        key = Workload.Dataset.key_name 0; submitted_at = 0.0 }
+        key = Workload.Dataset.key_name 0; submitted_at = 0.0; obs_slot = -1 }
   in
   ignore dataset;
   check bool "refused" false accepted

@@ -418,6 +418,7 @@ let test_put_master_spread () =
         arrival_us = 0.0;
         frames_in = 1;
         rx_queue = 0;
+        span = -1;
       }
     in
     let q = Engine.put_master eng req in
