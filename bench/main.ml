@@ -322,6 +322,21 @@ let run_numa () =
     ~headers:[ "domains"; "tput Mops"; "p50 us"; "p99 us"; "stable" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* Chaos harness: every canned fault plan against the guarded Minos, the
+   plain Minos and HKH+WS.  The JSON is the record CI compares: for the
+   core-stall and loss plans the guarded p99 must beat the unguarded one,
+   and a rerun at the same seed must be byte-identical. *)
+
+let run_chaos () =
+  let cfg = Minos.Experiment.config_of_scale scale in
+  let t = Minos.Chaos.run ~cfg ~seed:1 () in
+  Minos.Chaos.print t;
+  let oc = open_out "BENCH_chaos.json" in
+  output_string oc (Minos.Chaos.to_json t);
+  close_out oc;
+  Printf.printf "[chaos results written to BENCH_chaos.json]\n%!"
+
 let targets : (string * string * (unit -> unit)) list =
   [
     ("fig1", "service time vs item size", fun () -> Minos.Figures.print_fig1 ());
@@ -364,6 +379,7 @@ let targets : (string * string * (unit -> unit)) list =
       "HKH CREW vs EREW dispatch under skew",
       fun () -> Minos.Figures.print_ablation_erew ~scale () );
     ("capacity", "closed-form capacity model", run_capacity);
+    ("chaos", "fault plans vs hardened/plain designs", run_chaos);
     ("obs", "flight-recorder overhead on/off", run_obs);
     ("numa", "multi-NUMA-domain scaling", run_numa);
     ("micro", "bechamel microbenchmarks", run_micro);

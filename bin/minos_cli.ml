@@ -6,6 +6,7 @@
      slo      max throughput under a 99p SLO
      figure   regenerate one of the paper's tables/figures
      queueing run a §2.2 queueing model point
+     chaos    fault plans against hardened/plain Minos and HKH+WS
 *)
 
 open Cmdliner
@@ -518,6 +519,86 @@ let loadtest_cmd =
     (Cmd.info "loadtest" ~doc:"Closed-loop load test against a running `minos serve`.")
     Term.(const action $ port $ queues $ clients $ requests $ value_size)
 
+(* ------------------------------------------------------------------ *)
+(* chaos *)
+
+let chaos_cmd =
+  let plan_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "fault-plan" ] ~docv:"FILE"
+          ~doc:
+            "Run a fault plan from a file (see lib/fault/plan.mli for the \
+             format) instead of the canned scenarios.")
+  in
+  let plans_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "plans" ] ~docv:"NAME,..."
+          ~doc:
+            "Canned plans to run (default: all of core-stall, loss10, overload, \
+             ctrl-corrupt).  Ignored with $(b,--fault-plan).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the results as JSON.")
+  in
+  let chaos_load =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "l"; "load" ] ~docv:"MOPS"
+          ~doc:
+            "Base offered load in million ops/s (default 4.0).  Canned plans \
+             scale it per plan: loss10 runs at 1.75x, overload at 2x.")
+  in
+  let action plan_file plans json load p_large s_large get_ratio quick seed jobs =
+    Minos.Par.set_jobs jobs;
+    let spec = spec_of ~p_large ~s_large ~get_ratio in
+    let cfg = Minos.Experiment.config_of_scale (scale_of quick) in
+    let t =
+      match plan_file with
+      | Some file -> (
+          match Fault.Plan.of_file file with
+          | Error e ->
+              Printf.eprintf "chaos: %s\n" e;
+              exit 1
+          | Ok plan ->
+              let offered = Option.value load ~default:4.0 in
+              {
+                Minos.Chaos.seed;
+                rows =
+                  Minos.Chaos.run_plan ~cfg ~spec ~seed ~offered_mops:offered
+                    plan;
+              })
+      | None ->
+          let plans = match plans with [] -> None | l -> Some l in
+          Minos.Chaos.run ~cfg ~spec ~seed ?offered_mops:load ?plans ()
+    in
+    Minos.Chaos.print t;
+    match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Minos.Chaos.to_json t);
+        close_out oc;
+        Printf.printf "[chaos results written to %s]\n%!" file
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the chaos harness: deterministic fault plans (core stalls, packet \
+          loss, ring squeezes, control corruption) against the hardened Minos, \
+          the plain Minos and the HKH+WS baseline.  Fixed (plan, seed) pairs \
+          reproduce byte-identical results.")
+    Term.(
+      const action $ plan_file $ plans_arg $ json_arg $ chaos_load $ p_large
+      $ s_large $ get_ratio $ quick $ seed $ jobs)
+
 let () =
   let info =
     Cmd.info "minos" ~version:"1.0.0"
@@ -528,5 +609,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; sweep_cmd; slo_cmd; figure_cmd; obs_cmd; queueing_cmd; trace_cmd;
-            numa_cmd; serve_cmd; kv_cmd; loadtest_cmd;
+            numa_cmd; serve_cmd; kv_cmd; loadtest_cmd; chaos_cmd;
           ]))

@@ -114,6 +114,7 @@ let () =
   Printf.printf "GET missing  -> %s\n"
     (match r.Proto.Wire.status with
     | Proto.Wire.Not_found -> "Not_found"
+    | Proto.Wire.Overloaded -> "Overloaded?"
     | Proto.Wire.Ok -> "Ok?");
   let r = rpc Proto.Wire.Delete "greeting" None in
   assert (r.Proto.Wire.status = Proto.Wire.Ok);

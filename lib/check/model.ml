@@ -89,6 +89,74 @@ let ring_conservation ?(pre_cycles = 0) ~capacity ~producers ~pushes_per_produce
   in
   (procs, final)
 
+(* The shed path of admission control: a producer whose push is refused
+   by a full ring sheds the request (in the server: replies Overloaded)
+   instead of retrying.  Conservation must still hold with the extra
+   disposition — every request ends up served, still queued, or shed,
+   exactly once; a request that is both shed and served (double-counted)
+   or neither (lost) is the bug this scenario exists to catch. *)
+let ring_shed_conservation ~capacity ~producers ~pushes_per_producer ~consumers
+    ~pops_per_consumer () : Trace_sched.scenario =
+ fun () ->
+  let r = Ring.create ~capacity in
+  let accepted = Array.make producers [] in
+  let shed = Array.make producers [] in
+  let served = Array.make consumers [] in
+  let producer p () =
+    for i = 0 to pushes_per_producer - 1 do
+      let v = (p * 1000) + i in
+      if Ring.try_push r v then accepted.(p) <- v :: accepted.(p)
+      else shed.(p) <- v :: shed.(p)
+    done
+  in
+  let consumer c () =
+    for _ = 1 to pops_per_consumer do
+      match Ring.try_pop r with
+      | Some v -> served.(c) <- v :: served.(c)
+      | None -> ()
+    done
+  in
+  let procs =
+    Array.init (producers + consumers) (fun i ->
+        if i < producers then producer i else consumer (i - producers))
+  in
+  let final () =
+    let drained = ref [] in
+    (try
+       while true do
+         drained := Ring.pop_exn r :: !drained
+       done
+     with Netsim.Ring.Empty -> ());
+    let sorted = List.sort Int.compare in
+    let attempted =
+      List.concat
+        (List.init producers (fun p ->
+             List.init pushes_per_producer (fun i -> (p * 1000) + i)))
+    in
+    let drained = List.rev !drained in
+    let dispositions =
+      List.concat_map List.rev (Array.to_list shed)
+      @ List.concat_map List.rev (Array.to_list served)
+      @ drained
+    in
+    if sorted dispositions <> sorted attempted then
+      failwith
+        (Printf.sprintf
+           "ring+shed: %d requests attempted but %d dispositions \
+            (served/queued/shed) — lost or double-counted"
+           (List.length attempted)
+           (List.length dispositions));
+    (* Shed decisions happen outside the ring, so FIFO still holds for
+       what went through it. *)
+    Array.iteri
+      (fun c seq ->
+        check_fifo ~producers ~label:(Printf.sprintf "consumer %d" c)
+          (List.rev seq))
+      served;
+    check_fifo ~producers ~label:"final drain" drained
+  in
+  (procs, final)
+
 (* Concurrent pushes/pops with an observer asserting the documented
    [length] bounds: every snapshot must land in [0, capacity]. *)
 let ring_length_bounds ~capacity ~producers ~pushes_per_producer ~observations

@@ -23,6 +23,21 @@ val ring_conservation :
     push/pop rounds run first to exercise slot reuse and sequence
     wrap-around. *)
 
+val ring_shed_conservation :
+  capacity:int ->
+  producers:int ->
+  pushes_per_producer:int ->
+  consumers:int ->
+  pops_per_consumer:int ->
+  unit ->
+  Trace_sched.scenario
+(** The admission-control shed path: a producer whose push is refused by
+    the full ring sheds the request instead of retrying (in the server:
+    replies [Overloaded]).  The final check asserts every request gets
+    exactly one disposition — served, still queued, or shed — so nothing
+    is lost or double-counted, and per-producer FIFO still holds for the
+    requests that did enter the ring. *)
+
 val ring_length_bounds :
   capacity:int ->
   producers:int ->

@@ -1,0 +1,173 @@
+type row = {
+  plan : string;
+  label : string;
+  offered_mops : float;
+  metrics : Kvserver.Metrics.t;
+}
+
+type t = { seed : int; rows : row list }
+
+let variants = [ "Minos+guard"; "Minos"; "HKH+WS" ]
+
+(* Each canned plan is run at the load that makes its failure mode bite.
+   A core stall or a corrupted control loop collapses the tail even at
+   moderate load, but 10% loss only separates the variants once the
+   retransmission storm matters, and the overload plan needs offered
+   load past the squeezed ring's service rate or nothing is ever shed. *)
+let plan_load ?(base = 4.0) = function
+  | "loss10" -> base *. 1.75
+  | "overload" -> base *. 2.0
+  | _ -> base
+
+let guard_config (base : Kvserver.Config.t) =
+  {
+    base with
+    Kvserver.Config.watchdog = true;
+    shed_watermark = Some 256;
+    clamp_threshold = Some 0.5;
+    rx_capacity = Some 4096;
+  }
+
+(* The baseline gets the same admission control as the guarded Minos — it
+   has no watchdog or threshold to harden, so this is the strongest
+   size-unaware contender under overload, not a strawman. *)
+let baseline_config (base : Kvserver.Config.t) =
+  { base with Kvserver.Config.shed_watermark = Some 256; rx_capacity = Some 4096 }
+
+let variant_points base =
+  [
+    ("Minos+guard", Experiment.Minos, guard_config base);
+    ("Minos", Experiment.Minos, base);
+    ("HKH+WS", Experiment.Hkh_ws, baseline_config base);
+  ]
+
+let run_plan ?cfg ?(spec = Workload.Spec.default) ?(seed = 1) ?(offered_mops = 4.0)
+    plan =
+  let base =
+    match cfg with Some c -> c | None -> Experiment.config_of_scale Experiment.full_scale
+  in
+  variant_points base
+  |> Par.map_list (fun (label, design, cfg) ->
+         (* Each run owns its injector: the fault stream advances as the
+            run consumes it, so sharing one across runs would entangle
+            their decisions. *)
+         let fault = Fault.Inject.create ~seed plan in
+         let metrics = Experiment.run ~cfg ~fault ~seed design spec ~offered_mops in
+         { plan = plan.Fault.Plan.name; label; offered_mops; metrics })
+
+let run ?cfg ?spec ?(seed = 1) ?offered_mops ?plans () =
+  let base =
+    match cfg with Some c -> c | None -> Experiment.config_of_scale Experiment.full_scale
+  in
+  let names = match plans with Some l -> l | None -> Fault.Plan.canned_names in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let plan =
+          match
+            Fault.Plan.canned name ~cores:base.Kvserver.Config.cores
+              ~warmup_us:base.Kvserver.Config.warmup_us
+              ~duration_us:base.Kvserver.Config.duration_us
+          with
+          | Some p -> p
+          | None -> invalid_arg ("Chaos.run: unknown canned plan " ^ name)
+        in
+        run_plan ~cfg:base ?spec ~seed
+          ~offered_mops:(plan_load ?base:offered_mops name)
+          plan)
+      names
+  in
+  { seed; rows }
+
+let print t =
+  let plans =
+    List.fold_left
+      (fun acc r -> if List.mem r.plan acc then acc else acc @ [ r.plan ])
+      [] t.rows
+  in
+  List.iter
+    (fun plan ->
+      Report.section ("Chaos: " ^ plan ^ " (seed " ^ string_of_int t.seed ^ ")");
+      let plan_rows = List.filter (fun r -> r.plan = plan) t.rows in
+      let offered =
+        match plan_rows with r :: _ -> r.offered_mops | [] -> 0.0
+      in
+      let rows =
+        plan_rows
+        |> List.map (fun r ->
+               let m = r.metrics in
+               [
+                 r.label;
+                 Report.f1 m.Kvserver.Metrics.p50_us;
+                 Report.f1 m.Kvserver.Metrics.p99_us;
+                 Report.f2 m.Kvserver.Metrics.throughput_mops;
+                 Report.pct (Kvserver.Metrics.goodput_fraction m);
+                 string_of_int (Kvserver.Metrics.shed_total m);
+                 string_of_int
+                   (m.Kvserver.Metrics.net_dropped + m.Kvserver.Metrics.rx_dropped);
+                 (if m.Kvserver.Metrics.stable then "yes" else "no");
+               ])
+      in
+      Report.table ~title:("offered " ^ Report.f1 offered ^ " Mops")
+        ~headers:
+          [ "variant"; "p50 us"; "p99 us"; "tput Mops"; "goodput"; "shed"; "dropped";
+            "stable" ]
+        rows)
+    plans
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b " "
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  let fl x = Printf.sprintf "%.3f" x in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" t.seed);
+  Buffer.add_string b "  \"plans\": {\n";
+  let plans =
+    List.fold_left
+      (fun acc r -> if List.mem r.plan acc then acc else acc @ [ r.plan ])
+      [] t.rows
+  in
+  List.iteri
+    (fun pi plan ->
+      Buffer.add_string b (Printf.sprintf "    \"%s\": {\n" (json_escape plan));
+      let rows = List.filter (fun r -> r.plan = plan) t.rows in
+      (match rows with
+      | r :: _ ->
+          Buffer.add_string b
+            (Printf.sprintf "      \"offered_mops\": %s,\n" (fl r.offered_mops))
+      | [] -> ());
+      List.iteri
+        (fun ri r ->
+          let m = r.metrics in
+          Buffer.add_string b
+            (Printf.sprintf
+               "      \"%s\": {\"p99_us\": %s, \"p50_us\": %s, \
+                \"throughput_mops\": %s, \"goodput\": %s, \"served\": %d, \
+                \"shed_small\": %d, \"shed_large\": %d, \"net_dropped\": %d, \
+                \"rx_dropped\": %d, \"stable\": %b}%s\n"
+               (json_escape r.label)
+               (fl m.Kvserver.Metrics.p99_us)
+               (fl m.Kvserver.Metrics.p50_us)
+               (fl m.Kvserver.Metrics.throughput_mops)
+               (fl (Kvserver.Metrics.goodput_fraction m))
+               m.Kvserver.Metrics.served_total m.Kvserver.Metrics.shed_small
+               m.Kvserver.Metrics.shed_large m.Kvserver.Metrics.net_dropped
+               m.Kvserver.Metrics.rx_dropped m.Kvserver.Metrics.stable
+               (if ri = List.length rows - 1 then "" else ",")))
+        rows;
+      Buffer.add_string b
+        (Printf.sprintf "    }%s\n" (if pi = List.length plans - 1 then "" else ",")))
+    plans;
+  Buffer.add_string b "  }\n}\n";
+  Buffer.contents b

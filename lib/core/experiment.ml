@@ -90,7 +90,7 @@ let config_of_scale ?(base = Kvserver.Config.default) scale =
     epoch_us = scale.epoch_us;
   }
 
-let run_raw ?cfg ?dynamic ?store ?obs ?(seed = 1) design spec ~offered_mops =
+let run_raw ?cfg ?dynamic ?store ?obs ?fault ?(seed = 1) design spec ~offered_mops =
   let cfg = match cfg with Some c -> c | None -> config_of_scale full_scale in
   let dataset = dataset_for spec in
   let gen =
@@ -98,12 +98,12 @@ let run_raw ?cfg ?dynamic ?store ?obs ?(seed = 1) design spec ~offered_mops =
       ~p_large:spec.Workload.Spec.p_large ~get_ratio:spec.Workload.Spec.get_ratio dataset
   in
   let cfg = { cfg with Kvserver.Config.seed = cfg.Kvserver.Config.seed + seed } in
-  let eng = Kvserver.Engine.create ?dynamic ?store ?obs cfg gen ~offered_mops in
+  let eng = Kvserver.Engine.create ?dynamic ?store ?obs ?fault cfg gen ~offered_mops in
   let metrics = Kvserver.Engine.run eng (maker design) in
   (metrics, Kvserver.Engine.raw_latencies eng)
 
-let run ?cfg ?dynamic ?store ?obs ?seed design spec ~offered_mops =
-  fst (run_raw ?cfg ?dynamic ?store ?obs ?seed design spec ~offered_mops)
+let run ?cfg ?dynamic ?store ?obs ?fault ?seed design spec ~offered_mops =
+  fst (run_raw ?cfg ?dynamic ?store ?obs ?fault ?seed design spec ~offered_mops)
 
 let better (a : Kvserver.Metrics.t) (b : Kvserver.Metrics.t) =
   if a.Kvserver.Metrics.stable <> b.Kvserver.Metrics.stable then

@@ -53,6 +53,7 @@ val run :
   ?dynamic:Workload.Dynamic.t ->
   ?store:Kvstore.Store.t ->
   ?obs:Obs.Instrument.t ->
+  ?fault:Fault.Inject.t ->
   ?seed:int ->
   design ->
   Workload.Spec.t ->
@@ -61,7 +62,9 @@ val run :
 (** Simulate one point.  [cfg] defaults to {!config_of_scale}[ full_scale].
     [obs] attaches a flight recorder to the run (see {!Kvserver.Engine.create});
     sampling draws from the recorder's own stream, so an instrumented run
-    reports the same metrics as an uninstrumented one. *)
+    reports the same metrics as an uninstrumented one.  [fault] runs the
+    point under a deterministic fault plan ({!Fault.Inject.create}); each
+    run needs its own injector (its RNG advances during the run). *)
 
 val run_sho_best :
   ?cfg:Kvserver.Config.t ->
@@ -88,6 +91,7 @@ val run_raw :
   ?dynamic:Workload.Dynamic.t ->
   ?store:Kvstore.Store.t ->
   ?obs:Obs.Instrument.t ->
+  ?fault:Fault.Inject.t ->
   ?seed:int ->
   design ->
   Workload.Spec.t ->

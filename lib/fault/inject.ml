@@ -1,0 +1,195 @@
+type fate = Pass | Drop | Duplicate | Reorder
+
+(* Events compiled into parallel arrays per kind: queries scan a handful
+   of windows with no allocation and no closure captures. *)
+type t = {
+  plan : Plan.t;
+  rng : Dsim.Rng.t;
+  stall_core : int array;
+  stall_from : float array;
+  stall_until : float array;
+  stall_factor : float array;
+  net_queue : int array;
+  net_from : float array;
+  net_until : float array;
+  net_drop : float array;
+  net_dup : float array;
+  net_reorder : float array;
+  net_reorder_max : float array;
+  sq_queue : int array;
+  sq_from : float array;
+  sq_until : float array;
+  sq_cap : int array;
+  cd_from : float array;
+  cd_until : float array;
+  cc_from : float array;
+  cc_until : float array;
+  cc_nan : bool array;
+  cc_scale : float array;
+}
+
+let create ~seed (plan : Plan.t) =
+  (match Plan.validate plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Fault.Inject.create: " ^ msg));
+  let stalls = ref []
+  and nets = ref []
+  and squeezes = ref []
+  and delays = ref []
+  and corrupts = ref [] in
+  List.iter
+    (fun ev ->
+      match (ev : Plan.event) with
+      | Plan.Core_stall { core; from_us; until_us; factor } ->
+          stalls := (core, from_us, until_us, factor) :: !stalls
+      | Plan.Net_fault { queue; from_us; until_us; drop; dup; reorder; reorder_max_us }
+        ->
+          nets := (queue, from_us, until_us, drop, dup, reorder, reorder_max_us) :: !nets
+      | Plan.Ring_squeeze { queue; from_us; until_us; capacity } ->
+          squeezes := (queue, from_us, until_us, capacity) :: !squeezes
+      | Plan.Ctrl_delay { from_us; until_us } ->
+          delays := (from_us, until_us) :: !delays
+      | Plan.Ctrl_corrupt { from_us; until_us; mode } ->
+          corrupts := (from_us, until_us, mode) :: !corrupts)
+    plan.Plan.events;
+  let stalls = Array.of_list (List.rev !stalls) in
+  let nets = Array.of_list (List.rev !nets) in
+  let squeezes = Array.of_list (List.rev !squeezes) in
+  let delays = Array.of_list (List.rev !delays) in
+  let corrupts = Array.of_list (List.rev !corrupts) in
+  {
+    plan;
+    rng = Dsim.Rng.create (seed lxor 0x2FA171);
+    stall_core = Array.map (fun (c, _, _, _) -> c) stalls;
+    stall_from = Array.map (fun (_, f, _, _) -> f) stalls;
+    stall_until = Array.map (fun (_, _, u, _) -> u) stalls;
+    stall_factor = Array.map (fun (_, _, _, x) -> x) stalls;
+    net_queue = Array.map (fun (q, _, _, _, _, _, _) -> q) nets;
+    net_from = Array.map (fun (_, f, _, _, _, _, _) -> f) nets;
+    net_until = Array.map (fun (_, _, u, _, _, _, _) -> u) nets;
+    net_drop = Array.map (fun (_, _, _, d, _, _, _) -> d) nets;
+    net_dup = Array.map (fun (_, _, _, _, d, _, _) -> d) nets;
+    net_reorder = Array.map (fun (_, _, _, _, _, r, _) -> r) nets;
+    net_reorder_max = Array.map (fun (_, _, _, _, _, _, m) -> m) nets;
+    sq_queue = Array.map (fun (q, _, _, _) -> q) squeezes;
+    sq_from = Array.map (fun (_, f, _, _) -> f) squeezes;
+    sq_until = Array.map (fun (_, _, u, _) -> u) squeezes;
+    sq_cap = Array.map (fun (_, _, _, c) -> c) squeezes;
+    cd_from = Array.map (fun (f, _) -> f) delays;
+    cd_until = Array.map (fun (_, u) -> u) delays;
+    cc_from = Array.map (fun (f, _, _) -> f) corrupts;
+    cc_until = Array.map (fun (_, u, _) -> u) corrupts;
+    cc_nan =
+      Array.map
+        (fun (_, _, mode) -> match mode with Plan.Nan -> true | Plan.Scale _ -> false)
+        corrupts;
+    cc_scale =
+      Array.map
+        (fun (_, _, mode) -> match mode with Plan.Nan -> 1.0 | Plan.Scale s -> s)
+        corrupts;
+  }
+
+let plan t = t.plan
+let in_window ~from_us ~until_us now = now >= from_us && now < until_us
+
+let slowdown t ~core ~now =
+  let n = Array.length t.stall_core in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let acc =
+        if
+          (t.stall_core.(i) = core || t.stall_core.(i) = Plan.all)
+          && in_window ~from_us:t.stall_from.(i) ~until_us:t.stall_until.(i) now
+        then Float.max acc t.stall_factor.(i)
+        else acc
+      in
+      go (i + 1) acc
+  in
+  go 0 1.0
+
+let stall_end t ~core ~now =
+  let n = Array.length t.stall_core in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let acc =
+        if
+          (t.stall_core.(i) = core || t.stall_core.(i) = Plan.all)
+          && in_window ~from_us:t.stall_from.(i) ~until_us:t.stall_until.(i) now
+        then Float.max acc t.stall_until.(i)
+        else acc
+      in
+      go (i + 1) acc
+  in
+  go 0 now
+
+(* First matching open net window wins; plans with overlapping windows on
+   the same queue are legal but only the first listed applies. *)
+let net_window t ~queue ~now =
+  let n = Array.length t.net_queue in
+  let rec go i =
+    if i >= n then -1
+    else if
+      (t.net_queue.(i) = queue || t.net_queue.(i) = Plan.all)
+      && in_window ~from_us:t.net_from.(i) ~until_us:t.net_until.(i) now
+    then i
+    else go (i + 1)
+  in
+  go 0
+
+let fate t ~queue ~now =
+  let i = net_window t ~queue ~now in
+  if i < 0 then Pass
+  else begin
+    let u = Dsim.Rng.unit_float t.rng in
+    if u < t.net_drop.(i) then Drop
+    else if u < t.net_drop.(i) +. t.net_dup.(i) then Duplicate
+    else if u < t.net_drop.(i) +. t.net_dup.(i) +. t.net_reorder.(i) then Reorder
+    else Pass
+  end
+
+let reorder_delay_us t ~queue ~now =
+  let i = net_window t ~queue ~now in
+  let max_us = if i < 0 then 1.0 else t.net_reorder_max.(i) in
+  let u = Dsim.Rng.unit_float t.rng in
+  (1.0 -. u) *. max_us
+
+let rx_capacity t ~queue ~now =
+  let n = Array.length t.sq_queue in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let acc =
+        if
+          (t.sq_queue.(i) = queue || t.sq_queue.(i) = Plan.all)
+          && in_window ~from_us:t.sq_from.(i) ~until_us:t.sq_until.(i) now
+        then min acc t.sq_cap.(i)
+        else acc
+      in
+      go (i + 1) acc
+  in
+  go 0 max_int
+
+let ctrl_delayed t ~now =
+  let n = Array.length t.cd_from in
+  let rec go i =
+    if i >= n then false
+    else if in_window ~from_us:t.cd_from.(i) ~until_us:t.cd_until.(i) now then true
+    else go (i + 1)
+  in
+  go 0
+
+let corrupt_threshold t ~now threshold =
+  let n = Array.length t.cc_from in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let acc =
+        if in_window ~from_us:t.cc_from.(i) ~until_us:t.cc_until.(i) now then
+          if t.cc_nan.(i) then Float.nan else acc *. t.cc_scale.(i)
+        else acc
+      in
+      go (i + 1) acc
+  in
+  go 0 threshold

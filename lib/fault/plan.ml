@@ -1,0 +1,332 @@
+type corrupt = Nan | Scale of float
+
+type event =
+  | Core_stall of { core : int; from_us : float; until_us : float; factor : float }
+  | Net_fault of {
+      queue : int;
+      from_us : float;
+      until_us : float;
+      drop : float;
+      dup : float;
+      reorder : float;
+      reorder_max_us : float;
+    }
+  | Ring_squeeze of { queue : int; from_us : float; until_us : float; capacity : int }
+  | Ctrl_delay of { from_us : float; until_us : float }
+  | Ctrl_corrupt of { from_us : float; until_us : float; mode : corrupt }
+
+type t = { name : string; events : event list }
+
+let all = -1
+let empty = { name = "empty"; events = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+let window_ok ~from_us ~until_us =
+  Float.is_finite from_us && from_us >= 0.0 && until_us > from_us
+  && not (Float.is_nan until_us)
+
+let rate_ok r = Float.is_finite r && r >= 0.0 && r <= 1.0
+
+let validate_event = function
+  | Core_stall { core; from_us; until_us; factor } ->
+      if core < all then Error "core-stall: bad core index"
+      else if not (window_ok ~from_us ~until_us) then Error "core-stall: bad window"
+      else if Float.is_nan factor || factor < 1.0 then
+        Error "core-stall: factor must be >= 1"
+      else Ok ()
+  | Net_fault { queue; from_us; until_us; drop; dup; reorder; reorder_max_us } ->
+      if queue < all then Error "net: bad queue index"
+      else if not (window_ok ~from_us ~until_us) then Error "net: bad window"
+      else if not (rate_ok drop && rate_ok dup && rate_ok reorder) then
+        Error "net: rates must be in [0, 1]"
+      else if drop +. dup +. reorder > 1.0 then
+        Error "net: drop + dup + reorder must be <= 1"
+      else if reorder > 0.0 && not (reorder_max_us > 0.0) then
+        Error "net: reorder-max must be > 0 when reorder > 0"
+      else if Float.is_nan reorder_max_us || reorder_max_us < 0.0 then
+        Error "net: bad reorder-max"
+      else Ok ()
+  | Ring_squeeze { queue; from_us; until_us; capacity } ->
+      if queue < all then Error "squeeze: bad queue index"
+      else if not (window_ok ~from_us ~until_us) then Error "squeeze: bad window"
+      else if capacity < 1 then Error "squeeze: capacity must be >= 1"
+      else Ok ()
+  | Ctrl_delay { from_us; until_us } ->
+      if window_ok ~from_us ~until_us then Ok () else Error "ctrl-delay: bad window"
+  | Ctrl_corrupt { from_us; until_us; mode } ->
+      if not (window_ok ~from_us ~until_us) then Error "ctrl-corrupt: bad window"
+      else (
+        match mode with
+        | Nan -> Ok ()
+        | Scale s ->
+            if Float.is_finite s && s > 0.0 then Ok ()
+            else Error "ctrl-corrupt: scale must be finite and > 0")
+
+let validate t =
+  let rec go = function
+    | [] -> Ok ()
+    | e :: rest -> ( match validate_event e with Ok () -> go rest | Error _ as e -> e)
+  in
+  go t.events
+
+(* ------------------------------------------------------------------ *)
+(* Canned scenarios *)
+
+let canned_names = [ "core-stall"; "loss10"; "overload"; "ctrl-corrupt" ]
+
+let canned name ~cores ~warmup_us ~duration_us =
+  let window = duration_us -. warmup_us in
+  match name with
+  | "core-stall" ->
+      (* Slow one small-serving core by 50x across most of the measurement
+         window.  Core 1: core 0 also runs the epoch aggregation and the
+         tail cores serve larges, so 1 is a plain small core under every
+         plan the default workload produces. *)
+      let core = min 1 (cores - 1) in
+      Some
+        {
+          name;
+          events =
+            [
+              Core_stall
+                {
+                  core;
+                  from_us = warmup_us +. (0.05 *. window);
+                  until_us = warmup_us +. (0.85 *. window);
+                  factor = 50.0;
+                };
+            ];
+        }
+  | "loss10" ->
+      (* A degraded link: 10 % loss, 10 % retransmission echoes (double
+         frames), 2 % late deliveries, on every RX queue, from mid-warmup
+         to the end of the run. *)
+      Some
+        {
+          name;
+          events =
+            [
+              Net_fault
+                {
+                  queue = all;
+                  from_us = 0.5 *. warmup_us;
+                  until_us = infinity;
+                  drop = 0.10;
+                  dup = 0.10;
+                  reorder = 0.02;
+                  reorder_max_us = 200.0;
+                };
+            ];
+        }
+  | "overload" ->
+      (* Every RX ring squeezed to a small capacity for the whole run:
+         arrivals beyond the cap are tail-dropped, and a configured shed
+         watermark kicks in well before the cap. *)
+      Some
+        {
+          name;
+          events =
+            [
+              Ring_squeeze
+                { queue = all; from_us = 0.0; until_us = infinity; capacity = 192 };
+            ];
+        }
+  | "ctrl-corrupt" ->
+      (* The control loop misbehaves: NaN thresholds over the first half
+         of the window, then stale (frozen) statistics to the end. *)
+      Some
+        {
+          name;
+          events =
+            [
+              Ctrl_corrupt
+                {
+                  from_us = warmup_us;
+                  until_us = warmup_us +. (0.5 *. window);
+                  mode = Nan;
+                };
+              Ctrl_delay
+                { from_us = warmup_us +. (0.5 *. window); until_us = infinity };
+            ];
+        }
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Textual format *)
+
+let fail line msg = Error ("line " ^ string_of_int line ^ ": " ^ msg)
+
+let split_fields s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun f -> f <> "")
+
+let lookup pairs key = List.assoc_opt key pairs
+
+let parse_pairs line fields =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | f :: rest -> (
+        match String.index_opt f '=' with
+        | None -> fail line ("expected key=value, got '" ^ f ^ "'")
+        | Some i ->
+            let k = String.sub f 0 i in
+            let v = String.sub f (i + 1) (String.length f - i - 1) in
+            go ((k, v) :: acc) rest)
+  in
+  go [] fields
+
+let parse_float line key pairs ~default =
+  match lookup pairs key with
+  | None -> (
+      match default with
+      | Some d -> Ok d
+      | None -> fail line ("missing " ^ key ^ "="))
+  | Some "end" | Some "inf" -> Ok infinity
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> fail line ("bad float for " ^ key ^ ": '" ^ v ^ "'"))
+
+let parse_index line key pairs ~default =
+  match lookup pairs key with
+  | None -> (
+      match default with
+      | Some d -> Ok d
+      | None -> fail line ("missing " ^ key ^ "="))
+  | Some "*" -> Ok all
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some i when i >= 0 -> Ok i
+      | Some _ | None -> fail line ("bad index for " ^ key ^ ": '" ^ v ^ "'"))
+
+let parse_int line key pairs =
+  match lookup pairs key with
+  | None -> fail line ("missing " ^ key ^ "=")
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> fail line ("bad int for " ^ key ^ ": '" ^ v ^ "'"))
+
+let ( let* ) = Result.bind
+
+let parse_event line keyword fields =
+  let* pairs = parse_pairs line fields in
+  let* from_us = parse_float line "from" pairs ~default:None in
+  let* until_us = parse_float line "until" pairs ~default:None in
+  match keyword with
+  | "core-stall" ->
+      let* core = parse_index line "core" pairs ~default:None in
+      let* factor = parse_float line "factor" pairs ~default:(Some infinity) in
+      Ok (Core_stall { core; from_us; until_us; factor })
+  | "net" ->
+      let* queue = parse_index line "queue" pairs ~default:(Some all) in
+      let* drop = parse_float line "drop" pairs ~default:(Some 0.0) in
+      let* dup = parse_float line "dup" pairs ~default:(Some 0.0) in
+      let* reorder = parse_float line "reorder" pairs ~default:(Some 0.0) in
+      let* reorder_max_us =
+        parse_float line "reorder-max" pairs ~default:(Some 0.0)
+      in
+      Ok (Net_fault { queue; from_us; until_us; drop; dup; reorder; reorder_max_us })
+  | "squeeze" ->
+      let* queue = parse_index line "queue" pairs ~default:(Some all) in
+      let* capacity = parse_int line "capacity" pairs in
+      Ok (Ring_squeeze { queue; from_us; until_us; capacity })
+  | "ctrl-delay" -> Ok (Ctrl_delay { from_us; until_us })
+  | "ctrl-corrupt" -> (
+      match lookup pairs "mode" with
+      | None | Some "nan" -> Ok (Ctrl_corrupt { from_us; until_us; mode = Nan })
+      | Some v when String.length v > 1 && v.[0] = 'x' -> (
+          match float_of_string_opt (String.sub v 1 (String.length v - 1)) with
+          | Some s -> Ok (Ctrl_corrupt { from_us; until_us; mode = Scale s })
+          | None -> fail line ("bad scale: '" ^ v ^ "'"))
+      | Some v -> fail line ("bad mode: '" ^ v ^ "' (want nan or x<float>)"))
+  | kw -> fail line ("unknown event '" ^ kw ^ "'")
+
+let of_string ?(name = "custom") src =
+  let lines = String.split_on_char '\n' src in
+  let rec go n acc name = function
+    | [] -> Ok { name; events = List.rev acc }
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match split_fields line with
+        | [] -> go (n + 1) acc name rest
+        | [ "plan"; plan_name ] -> go (n + 1) acc plan_name rest
+        | keyword :: fields -> (
+            match parse_event n keyword fields with
+            | Ok ev -> go (n + 1) (ev :: acc) name rest
+            | Error _ as e -> e))
+  in
+  let* plan = go 1 [] name lines in
+  match validate plan with Ok () -> Ok plan | Error msg -> Error msg
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> of_string ~name:(Filename.remove_extension (Filename.basename path)) src
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let buf_time b v =
+  if v = infinity then Buffer.add_string b "end"
+  else Buffer.add_string b (string_of_float v)
+
+let buf_index b i =
+  if i = all then Buffer.add_char b '*' else Buffer.add_string b (string_of_int i)
+
+let buf_kv b k f =
+  Buffer.add_char b ' ';
+  Buffer.add_string b k;
+  Buffer.add_char b '=';
+  f b
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b ("plan " ^ t.name ^ "\n");
+  List.iter
+    (fun ev ->
+      (match ev with
+      | Core_stall { core; from_us; until_us; factor } ->
+          Buffer.add_string b "core-stall";
+          buf_kv b "core" (fun b -> buf_index b core);
+          buf_kv b "from" (fun b -> buf_time b from_us);
+          buf_kv b "until" (fun b -> buf_time b until_us);
+          buf_kv b "factor" (fun b -> buf_time b factor)
+      | Net_fault { queue; from_us; until_us; drop; dup; reorder; reorder_max_us } ->
+          Buffer.add_string b "net";
+          buf_kv b "queue" (fun b -> buf_index b queue);
+          buf_kv b "from" (fun b -> buf_time b from_us);
+          buf_kv b "until" (fun b -> buf_time b until_us);
+          buf_kv b "drop" (fun b -> Buffer.add_string b (string_of_float drop));
+          buf_kv b "dup" (fun b -> Buffer.add_string b (string_of_float dup));
+          buf_kv b "reorder" (fun b -> Buffer.add_string b (string_of_float reorder));
+          buf_kv b "reorder-max" (fun b ->
+              Buffer.add_string b (string_of_float reorder_max_us))
+      | Ring_squeeze { queue; from_us; until_us; capacity } ->
+          Buffer.add_string b "squeeze";
+          buf_kv b "queue" (fun b -> buf_index b queue);
+          buf_kv b "from" (fun b -> buf_time b from_us);
+          buf_kv b "until" (fun b -> buf_time b until_us);
+          buf_kv b "capacity" (fun b -> Buffer.add_string b (string_of_int capacity))
+      | Ctrl_delay { from_us; until_us } ->
+          Buffer.add_string b "ctrl-delay";
+          buf_kv b "from" (fun b -> buf_time b from_us);
+          buf_kv b "until" (fun b -> buf_time b until_us)
+      | Ctrl_corrupt { from_us; until_us; mode } ->
+          Buffer.add_string b "ctrl-corrupt";
+          buf_kv b "from" (fun b -> buf_time b from_us);
+          buf_kv b "until" (fun b -> buf_time b until_us);
+          buf_kv b "mode" (fun b ->
+              match mode with
+              | Nan -> Buffer.add_string b "nan"
+              | Scale s -> Buffer.add_string b ("x" ^ string_of_float s)));
+      Buffer.add_char b '\n')
+    t.events;
+  Buffer.contents b

@@ -11,7 +11,10 @@ type violation = {
 }
 
 let hot_dirs =
-  [ "lib/dsim/"; "lib/netsim/"; "lib/server/"; "lib/kv/"; "lib/obs/"; "lib/stats/" ]
+  [
+    "lib/dsim/"; "lib/netsim/"; "lib/server/"; "lib/kv/"; "lib/obs/";
+    "lib/stats/"; "lib/fault/";
+  ]
 
 (* Match the dir anywhere in the path so invocations from outside the
    repo root (absolute paths, sandboxes) still classify. *)

@@ -151,11 +151,12 @@ let to_buffer ?(name = "minos") ?timeline ?decisions recorder buf =
   | Some d ->
       for i = 0 to Decision_log.length d - 1 do
         event e
-          {|"ph":"C","name":"control","pid":0,"tid":%d,"ts":%s,"args":{"threshold_B":%s,"n_small":%d,"n_large":%d}|}
+          {|"ph":"C","name":"control","pid":0,"tid":%d,"ts":%s,"args":{"threshold_B":%s,"n_small":%d,"n_large":%d,"lost":%d}|}
           control_tid
           (ts_s (Decision_log.time d i))
           (ts_s (Decision_log.threshold d i))
           (Decision_log.n_small d i) (Decision_log.n_large d i)
+          (Decision_log.lost d i)
       done);
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
 

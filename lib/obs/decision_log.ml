@@ -6,6 +6,7 @@ type t = {
   thresholds : float array;
   n_small : int array;
   n_large : int array;
+  lost : int array;
   mutable n : int;
   mutable dropped : int;
 }
@@ -18,11 +19,12 @@ let create ?(capacity = 4096) () =
     thresholds = Array.make capacity Float.nan;
     n_small = Array.make capacity 0;
     n_large = Array.make capacity 0;
+    lost = Array.make capacity 0;
     n = 0;
     dropped = 0;
   }
 
-let record t ~now ~threshold ~n_small ~n_large =
+let record t ?(lost = 0) ~now ~threshold ~n_small ~n_large () =
   if t.n >= t.capacity then t.dropped <- t.dropped + 1
   else begin
     let i = t.n in
@@ -30,6 +32,7 @@ let record t ~now ~threshold ~n_small ~n_large =
     t.thresholds.(i) <- threshold;
     t.n_small.(i) <- n_small;
     t.n_large.(i) <- n_large;
+    t.lost.(i) <- lost;
     t.n <- i + 1
   end
 
@@ -39,6 +42,7 @@ let time t i = t.times.(i)
 let threshold t i = t.thresholds.(i)
 let n_small t i = t.n_small.(i)
 let n_large t i = t.n_large.(i)
+let lost t i = t.lost.(i)
 
 (* Number of epochs whose decision changed the small/large core split —
    the n_small -> n_large "moves" the paper's control loop makes. *)

@@ -10,7 +10,17 @@ type t
 val create : ?capacity:int -> unit -> t
 (** Default capacity 4096 epochs. *)
 
-val record : t -> now:float -> threshold:float -> n_small:int -> n_large:int -> unit
+val record :
+  t ->
+  ?lost:int ->
+  now:float ->
+  threshold:float ->
+  n_small:int ->
+  n_large:int ->
+  unit ->
+  unit
+(** [lost] is the cumulative count of requests lost so far (NIC drops +
+    ring drops + shed), so traces show loss accumulating per epoch. *)
 
 val length : t -> int
 val dropped : t -> int
@@ -19,6 +29,7 @@ val time : t -> int -> float
 val threshold : t -> int -> float
 val n_small : t -> int -> int
 val n_large : t -> int -> int
+val lost : t -> int -> int
 
 val moves : t -> int
 (** Number of epochs whose decision changed [n_large] — how often the

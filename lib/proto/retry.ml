@@ -1,27 +1,77 @@
-type config = { max_attempts : int; timeout_us : float; backoff : float }
+type config = {
+  max_attempts : int;
+  timeout_us : float;
+  backoff : float;
+  cap_us : float;
+}
 
-let default_config = { max_attempts = 5; timeout_us = 1000.0; backoff = 2.0 }
+let default_config =
+  { max_attempts = 5; timeout_us = 1000.0; backoff = 2.0; cap_us = infinity }
 
 let validate c =
   if c.max_attempts < 1 then invalid_arg "Retry: max_attempts must be >= 1";
   if not (c.timeout_us > 0.0) then invalid_arg "Retry: timeout must be > 0";
-  if c.backoff < 1.0 then invalid_arg "Retry: backoff must be >= 1.0"
+  if c.backoff < 1.0 then invalid_arg "Retry: backoff must be >= 1.0";
+  if not (c.cap_us >= c.timeout_us) then
+    invalid_arg "Retry: cap_us must be >= timeout_us"
 
-let call ?(config = default_config) ~send ~wait_reply () =
+module Budget = struct
+  type t = { capacity : float; earn_per_call : float; mutable tokens : float }
+
+  let create ?(capacity = 10.0) ?(earn_per_call = 0.1) () =
+    if not (capacity >= 1.0) then invalid_arg "Retry.Budget: capacity must be >= 1";
+    if not (earn_per_call >= 0.0) then
+      invalid_arg "Retry.Budget: earn_per_call must be >= 0";
+    { capacity; earn_per_call; tokens = capacity }
+
+  let tokens t = t.tokens
+
+  let try_spend t =
+    if t.tokens >= 1.0 then begin
+      t.tokens <- t.tokens -. 1.0;
+      true
+    end
+    else false
+
+  let earn t = t.tokens <- Float.min t.capacity (t.tokens +. t.earn_per_call)
+end
+
+(* Next attempt's timeout.  Deterministic: previous * backoff, capped.
+   Jittered (decorrelated): uniform in [base, min cap (previous * backoff)]
+   — never below the base timeout, never above the deterministic
+   schedule. *)
+let next_timeout c rng prev =
+  let ceiling = Float.min c.cap_us (prev *. c.backoff) in
+  match rng with
+  | None -> ceiling
+  | Some rng ->
+      let u = Dsim.Rng.unit_float rng in
+      c.timeout_us +. (u *. (ceiling -. c.timeout_us))
+
+let call ?(config = default_config) ?rng ?budget ~send ~wait_reply () =
   validate config;
+  (match budget with Some b -> Budget.earn b | None -> ());
   let rec attempt n timeout =
     send ~attempt:n;
     match wait_reply ~timeout_us:timeout with
     | Some reply -> Ok reply
     | None ->
         if n >= config.max_attempts then Error (`Timed_out n)
-        else attempt (n + 1) (timeout *. config.backoff)
+        else if
+          match budget with Some b -> not (Budget.try_spend b) | None -> false
+        then Error (`Budget_exhausted n)
+        else attempt (n + 1) (next_timeout config rng timeout)
   in
-  attempt 1 config.timeout_us
+  attempt 1 (Float.min config.timeout_us config.cap_us)
 
 let total_budget_us c =
   validate c;
   let rec go n timeout acc =
-    if n > c.max_attempts then acc else go (n + 1) (timeout *. c.backoff) (acc +. timeout)
+    if n > c.max_attempts then acc
+    else go (n + 1) (Float.min c.cap_us (timeout *. c.backoff)) (acc +. timeout)
   in
-  go 1 c.timeout_us 0.0
+  go 1 (Float.min c.timeout_us c.cap_us) 0.0
+
+let min_budget_us c =
+  validate c;
+  float_of_int c.max_attempts *. c.timeout_us

@@ -9,7 +9,7 @@ type request = {
   target_rx : int;
 }
 
-type status = Ok | Not_found
+type status = Ok | Not_found | Overloaded
 
 type reply = { id : int64; status : status; value : bytes option; client_ts : int64 }
 
@@ -38,9 +38,13 @@ let op_code = function Get -> 0 | Put -> 1 | Delete -> 2
 
 let op_of_code = function 0 -> Some Get | 1 -> Some Put | 2 -> Some Delete | _ -> None
 
-let status_code = function Ok -> 0 | Not_found -> 1
+let status_code = function Ok -> 0 | Not_found -> 1 | Overloaded -> 2
 
-let status_of_code = function 0 -> Some Ok | 1 -> Some Not_found | _ -> None
+let status_of_code = function
+  | 0 -> Some Ok
+  | 1 -> Some Not_found
+  | 2 -> Some Overloaded
+  | _ -> None
 
 let value_len = function None -> 0 | Some v -> Bytes.length v
 

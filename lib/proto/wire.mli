@@ -20,7 +20,12 @@ type request = {
   target_rx : int;     (** RX queue id the client aimed at, 0..65535 *)
 }
 
-type status = Ok | Not_found
+type status =
+  | Ok
+  | Not_found
+  | Overloaded
+      (** admission control shed the request; the client should back off
+          and retry (the request was {e not} executed) *)
 
 type reply = {
   id : int64;

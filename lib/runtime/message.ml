@@ -8,7 +8,7 @@ type request = {
   mutable obs_slot : int;
 }
 
-type status = Ok | Not_found
+type status = Ok | Not_found | Overloaded
 
 type reply = {
   request_id : int64;

@@ -20,7 +20,12 @@ type request = {
           request is sampled; construct with [-1] *)
 }
 
-type status = Ok | Not_found
+type status =
+  | Ok
+  | Not_found
+  | Overloaded
+      (** the server's admission control shed the request before
+          execution; back off and retry *)
 
 type reply = {
   request_id : int64;

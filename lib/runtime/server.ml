@@ -14,6 +14,9 @@ type config = {
   mode : mode;
   ring_capacity : int;
   idle_backoff_s : float;
+  shed_watermark : int option;
+  clamp_threshold : float option;
+  fault : Fault.Inject.t option;
 }
 
 let default_config =
@@ -27,6 +30,9 @@ let default_config =
     mode = Size_aware;
     ring_capacity = 4096;
     idle_backoff_s = 0.0002;
+    shed_watermark = None;
+    clamp_threshold = None;
+    fault = None;
   }
 
 type worker = {
@@ -49,6 +55,17 @@ type t = {
   plan : Kvserver.Control.plan Atomic.t;
   handoffs : int Atomic.t;
   epochs : int Atomic.t;
+  shed_small : int Atomic.t;
+  shed_large : int Atomic.t;
+  rx_rejected : int Atomic.t;
+  ctrl_stale : int Atomic.t;
+  (* Fault-clock outputs, sampled ~1 ms by a dedicated thread so workers
+     read plain atomics instead of scanning the plan's windows. *)
+  stall_us : int Atomic.t array; (* per-core extra sleep per iteration *)
+  rx_cap : int Atomic.t array; (* per-core effective RX admission cap *)
+  ctrl_delayed : bool Atomic.t;
+  started_ns : int64; (* monotonic origin of the fault-plan clock *)
+  mutable last_good_threshold : float;
   in_flight : int Atomic.t;
   accepting : bool Atomic.t;
   stop_flag : bool Atomic.t;
@@ -121,12 +138,24 @@ let submit t req =
   if not (Atomic.get t.accepting) then false
   else begin
     let ring_idx = dispatch_ring t req in
-    obs_sample_submit t req ~ring_idx;
-    if Netsim.Ring.try_push t.workers.(ring_idx).rx req then begin
-      Atomic.incr t.in_flight;
-      true
+    (* A ring-capacity squeeze lowers the effective RX depth below the
+       ring's physical capacity; beyond it the "NIC" tail-drops. *)
+    if Netsim.Ring.length t.workers.(ring_idx).rx >= Atomic.get t.rx_cap.(ring_idx)
+    then begin
+      Atomic.incr t.rx_rejected;
+      false
     end
-    else false
+    else begin
+      obs_sample_submit t req ~ring_idx;
+      if Netsim.Ring.try_push t.workers.(ring_idx).rx req then begin
+        Atomic.incr t.in_flight;
+        true
+      end
+      else begin
+        Atomic.incr t.rx_rejected;
+        false
+      end
+    end
   end
 
 let store_of t = t.store
@@ -203,6 +232,35 @@ let request_item_size t (req : Message.request) =
   | Message.Get ->
       Option.value ~default:0 (Kvstore.Store.size_of t.store req.Message.key)
 
+(* Graceful degradation (shed-large-first): above the watermark the
+   worker answers [Overloaded] instead of executing.  Large requests shed
+   first; small ones only under 4x the backlog, so the 99% of cheap
+   requests keep their latency while the expensive tail absorbs the
+   shortfall.  The reply still flows to the client, so in-flight
+   accounting stays exact and the client backs off. *)
+let try_shed t (w : worker) ~large =
+  match t.cfg.shed_watermark with
+  | None -> false
+  | Some wm ->
+      let backlog = Netsim.Ring.length w.rx + Netsim.Ring.length w.swq in
+      let limit = if large then wm else 4 * wm in
+      if backlog > limit then begin
+        Atomic.incr (if large then t.shed_large else t.shed_small);
+        true
+      end
+      else false
+
+let shed_reply t (w : worker) (req : Message.request) =
+  push_reply t
+    {
+      Message.request_id = req.Message.id;
+      status = Message.Overloaded;
+      value = None;
+      value_size = 0;
+      served_by = w.id;
+      completed_at = Unix.gettimeofday ();
+    }
+
 let classify_and_serve t (w : worker) plan req =
   let item_size = request_item_size t req in
   let size = float_of_int item_size in
@@ -215,7 +273,8 @@ let classify_and_serve t (w : worker) plan req =
          Obs.Recorder.set_meta o.Obs.Instrument.recorder req.Message.obs_slot
            Obs.Span.meta_size item_size);
   match Kvserver.Control.route plan size with
-  | None -> serve t w req
+  | None -> if try_shed t w ~large:false then shed_reply t w req else serve t w req
+  | Some _ when try_shed t w ~large:true -> shed_reply t w req
   | Some j ->
       let target =
         t.workers.(Kvserver.Control.large_core_id plan ~cores:t.cfg.cores j)
@@ -294,7 +353,15 @@ let keyhash_iteration t (w : worker) =
 (* ------------------------------------------------------------------ *)
 (* Control loop: run by core 0 between batches (as in the paper). *)
 
+let fault_now_us t =
+  Int64.to_float (Int64.sub (Monotonic_clock.now ()) t.started_ns) /. 1.0e3
+
 let controller_tick t ~smoothed =
+  (* A stat-delay fault starves the controller of fresh histograms; the
+     hardened loop skips the epoch (keeping the last good plan) rather
+     than recompute from a stale or empty merge. *)
+  if Atomic.get t.ctrl_delayed then Atomic.incr t.ctrl_stale
+  else begin
   let merged = fresh_hist () in
   Array.iter
     (fun w ->
@@ -308,9 +375,27 @@ let controller_tick t ~smoothed =
       | Some prev -> Stats.Log_histogram.smooth ~prev ~current:merged ~alpha:t.cfg.alpha
     in
     smoothed := Some s;
+    (* Same quantile [Control.compute] would take, surfaced so a
+       corruption fault can mangle it and [Control.sanitize] can reject
+       NaN / clamp runaway movement against the last good value. *)
+    let raw = Stats.Log_histogram.quantile s t.cfg.percentile in
+    let raw =
+      match t.cfg.fault with
+      | None -> raw
+      | Some f -> Fault.Inject.corrupt_threshold f ~now:(fault_now_us t) raw
+    in
+    let threshold =
+      match t.cfg.clamp_threshold with
+      | None -> raw
+      | Some _ ->
+          Kvserver.Control.sanitize ~last_good:t.last_good_threshold
+            ~clamp:t.cfg.clamp_threshold raw
+    in
+    if Float.is_finite threshold && threshold > 0.0 then
+      t.last_good_threshold <- threshold;
     let plan =
       Kvserver.Control.compute ~cores:t.cfg.cores ~cost_fn:t.cfg.cost_fn
-        ~percentile:t.cfg.percentile s
+        ~percentile:t.cfg.percentile ~threshold_override:threshold s
     in
     let old = Atomic.exchange t.plan plan in
     if
@@ -330,8 +415,9 @@ let controller_tick t ~smoothed =
         Obs.Decision_log.record o.Obs.Instrument.decisions ~now:(now_us ())
           ~threshold:plan.Kvserver.Control.threshold
           ~n_small:plan.Kvserver.Control.n_small
-          ~n_large:plan.Kvserver.Control.n_large);
+          ~n_large:plan.Kvserver.Control.n_large ());
     Atomic.incr t.epochs
+  end
   end
 
 let timeline_tick t tl ~now =
@@ -386,6 +472,8 @@ let worker_loop t (w : worker) =
         controller_tick t ~smoothed
       end
     end;
+    let stall = Atomic.get t.stall_us.(w.id) in
+    if stall > 0 then Unix.sleepf (float_of_int stall /. 1.0e6);
     if handled = 0 then begin
       incr idle_streak;
       if !idle_streak > 64 then begin
@@ -398,6 +486,30 @@ let worker_loop t (w : worker) =
   done
 
 (* ------------------------------------------------------------------ *)
+
+(* The fault clock: one posix thread re-samples the plan's windows every
+   millisecond into plain atomics.  Workers pay one atomic load per
+   iteration whether or not a plan is loaded; all window scanning happens
+   here, off the data path.  A slowdown factor f becomes an extra
+   (f - 1) x 100 us sleep per scheduling iteration (capped at 5 ms), a
+   serviceable stand-in for a core running f times slower. *)
+let fault_clock_loop t f =
+  while not (Atomic.get t.stop_flag) do
+    let now = fault_now_us t in
+    for c = 0 to t.cfg.cores - 1 do
+      let factor = Fault.Inject.slowdown f ~core:c ~now in
+      let stall =
+        if factor > 1.0 then
+          int_of_float (Float.min 5000.0 ((factor -. 1.0) *. 100.0))
+        else 0
+      in
+      Atomic.set t.stall_us.(c) stall;
+      Atomic.set t.rx_cap.(c)
+        (min t.cfg.ring_capacity (Fault.Inject.rx_capacity f ~queue:c ~now))
+    done;
+    Atomic.set t.ctrl_delayed (Fault.Inject.ctrl_delayed f ~now);
+    Thread.delay 0.001
+  done
 
 let start ?obs ?(config = default_config) store =
   if config.cores < 2 then invalid_arg "Server.start: need at least 2 cores";
@@ -422,6 +534,15 @@ let start ?obs ?(config = default_config) store =
       plan = Atomic.make (Kvserver.Control.initial ~cores:config.cores);
       handoffs = Atomic.make 0;
       epochs = Atomic.make 0;
+      shed_small = Atomic.make 0;
+      shed_large = Atomic.make 0;
+      rx_rejected = Atomic.make 0;
+      ctrl_stale = Atomic.make 0;
+      stall_us = Array.init config.cores (fun _ -> Atomic.make 0);
+      rx_cap = Array.init config.cores (fun _ -> Atomic.make config.ring_capacity);
+      ctrl_delayed = Atomic.make false;
+      started_ns = Monotonic_clock.now ();
+      last_good_threshold = infinity;
       in_flight = Atomic.make 0;
       accepting = Atomic.make true;
       stop_flag = Atomic.make false;
@@ -436,6 +557,9 @@ let start ?obs ?(config = default_config) store =
   t.domains <-
     List.init config.cores (fun i ->
         Domain.spawn (fun () -> worker_loop t t.workers.(i)));
+  (match config.fault with
+  | Some f -> ignore (Thread.create (fun () -> fault_clock_loop t f) ())
+  | None -> ());
   t
 
 type stats = {
@@ -445,6 +569,10 @@ type stats = {
   n_small : int;
   n_large : int;
   epochs : int;
+  shed_small : int;
+  shed_large : int;
+  rx_rejected : int;
+  ctrl_stale : int;
 }
 
 let stats (t : t) =
@@ -456,6 +584,10 @@ let stats (t : t) =
     n_small = plan.Kvserver.Control.n_small;
     n_large = plan.Kvserver.Control.n_large;
     epochs = Atomic.get t.epochs;
+    shed_small = Atomic.get t.shed_small;
+    shed_large = Atomic.get t.shed_large;
+    rx_rejected = Atomic.get t.rx_rejected;
+    ctrl_stale = Atomic.get t.ctrl_stale;
   }
 
 let stop t =

@@ -42,6 +42,22 @@ type config = {
   idle_backoff_s : float; (** sleep after repeated empty polls, so spinning
                               workers behave on machines with fewer
                               hardware threads than workers *)
+  shed_watermark : int option;
+      (** admission-control watermark on a worker's backlog (RX + software
+          queue): above it, large requests are answered [Overloaded]
+          instead of executed; small requests only shed above 4x the
+          watermark.  [None] (default) disables shedding. *)
+  clamp_threshold : float option;
+      (** harden the control loop: reject NaN / non-positive thresholds
+          and clamp per-epoch movement to this fraction of the last good
+          value ({!Kvserver.Control.sanitize}).  [None] keeps the
+          unguarded paper behaviour. *)
+  fault : Fault.Inject.t option;
+      (** deterministic fault plan to run the server under: a fault-clock
+          thread samples the plan's windows ~every millisecond into
+          per-core flags — core slowdowns become per-iteration stalls,
+          ring squeezes lower the effective RX admission cap, and control
+          stat-delay windows make the controller skip epochs. *)
 }
 
 val default_config : config
@@ -64,7 +80,8 @@ val start : ?obs:Obs.Instrument.t -> ?config:config -> Kvstore.Store.t -> t
 val submit : t -> Message.request -> bool
 (** Hardware-dispatch stand-in: route the request to an RX ring (random
     for GETs, keyhash for PUTs) — callable from any domain.  [false] when
-    the chosen ring is full (client should back off and retry). *)
+    the chosen ring is full or squeezed below its capacity by a fault
+    plan (client should back off and retry). *)
 
 val poll_reply : t -> Message.reply option
 (** Collect one completed reply, if any (multi-consumer safe). *)
@@ -80,6 +97,12 @@ type stats = {
   n_small : int;
   n_large : int;
   epochs : int;                  (** control-loop executions *)
+  shed_small : int;              (** small requests answered [Overloaded] *)
+  shed_large : int;              (** large requests answered [Overloaded] *)
+  rx_rejected : int;             (** submissions refused at the RX ring
+                                     (full ring or capacity squeeze) *)
+  ctrl_stale : int;              (** control epochs skipped because the
+                                     stat pipeline was delayed by a fault *)
 }
 
 val stats : t -> stats

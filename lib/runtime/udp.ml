@@ -124,12 +124,20 @@ let pump_loop t =
                   status =
                     (match reply.Message.status with
                     | Message.Ok -> Proto.Wire.Ok
-                    | Message.Not_found -> Proto.Wire.Not_found);
+                    | Message.Not_found -> Proto.Wire.Not_found
+                    | Message.Overloaded -> Proto.Wire.Overloaded);
                   value = reply.Message.value;
                   client_ts = p.client_ts;
                 }
             in
-            let encoded = cache_reply t id encoded in
+            (* Shed replies are not cached: a retransmission of a shed
+               request should re-attempt execution once the overload
+               passes, not replay the rejection. *)
+            let encoded =
+              match reply.Message.status with
+              | Message.Overloaded -> encoded
+              | Message.Ok | Message.Not_found -> cache_reply t id encoded
+            in
             send_fragments t.sockets.(p.queue) p.addr ~msg_id:id encoded)
   done
 
@@ -189,14 +197,26 @@ module Client = struct
     queues : int;
     retry : Proto.Retry.config;
     rng : Dsim.Rng.t;
+    budget : Proto.Retry.Budget.t;
     reassembler : Proto.Fragment.reassembler;
     buf : Bytes.t;
     mutable next_id : int64;
+    mutable sheds : int;
   }
 
   exception Timeout
 
-  let connect ?(retry = { Proto.Retry.max_attempts = 5; timeout_us = 200_000.0; backoff = 2.0 })
+  exception Budget_exhausted
+
+  let connect
+      ?(retry =
+        {
+          Proto.Retry.max_attempts = 5;
+          timeout_us = 200_000.0;
+          backoff = 2.0;
+          cap_us = infinity;
+        })
+      ?(budget = Proto.Retry.Budget.create ~capacity:50.0 ~earn_per_call:0.5 ())
       ?seed ?(base_port = 47700) ~queues () =
     let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
     Unix.setsockopt_int sock Unix.SO_RCVBUF (4 * 1024 * 1024);
@@ -216,9 +236,11 @@ module Client = struct
       queues;
       retry;
       rng;
+      budget;
       reassembler = Proto.Fragment.create_reassembler ();
       buf = Bytes.create (max_datagram + 64);
       next_id = Dsim.Rng.bits64 rng;
+      sheds = 0;
     }
 
   let close c = Unix.close c.sock
@@ -227,22 +249,37 @@ module Client = struct
     Kvstore.Keyhash.partition_of (Kvstore.Keyhash.hash key) ~bits:30 mod c.queues
 
   (* Wait up to [timeout_us] for the reply with [id], feeding any received
-     fragments (late replies of other requests are discarded). *)
+     fragments (late replies of other requests are discarded).  The
+     deadline is tracked on the monotonic clock — a wall-clock step (NTP
+     slew, suspend/resume) must not stretch or collapse the retry
+     schedule — and the loop survives EINTR, spurious wakeups and
+     truncated datagrams by re-checking the remaining time.  An
+     [Overloaded] reply is consumed (counted on the connection) but the
+     wait continues: the attempt then times out naturally and the caller
+     backs off before retransmitting, which is exactly the reaction a
+     shedding server asks for. *)
   let wait_reply c ~id ~timeout_us =
-    let deadline = Unix.gettimeofday () +. (timeout_us /. 1.0e6) in
+    let deadline =
+      Int64.add (Monotonic_clock.now ()) (Int64.of_float (timeout_us *. 1.0e3))
+    in
     let rec go () =
-      let remaining = deadline -. Unix.gettimeofday () in
-      if remaining <= 0.0 then None
+      let remaining_ns = Int64.sub deadline (Monotonic_clock.now ()) in
+      if Int64.compare remaining_ns 0L <= 0 then None
       else begin
-        Unix.setsockopt_float c.sock Unix.SO_RCVTIMEO (Float.max 0.001 remaining);
+        Unix.setsockopt_float c.sock Unix.SO_RCVTIMEO
+          (Float.max 0.001 (Int64.to_float remaining_ns /. 1.0e9));
         match Unix.recvfrom c.sock c.buf 0 (Bytes.length c.buf) [] with
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
           ->
             go ()
+        | 0, _ -> go ()
         | len, _ -> (
             match Proto.Fragment.offer c.reassembler (Bytes.sub c.buf 0 len) with
             | Some (msg_id, msg) when msg_id = id -> (
                 match Proto.Wire.decode_reply msg with
+                | Ok { Proto.Wire.status = Proto.Wire.Overloaded; _ } ->
+                    c.sheds <- c.sheds + 1;
+                    go ()
                 | Ok reply -> Some reply
                 | Error _ -> go ())
             | Some _ | None -> go ())
@@ -265,25 +302,31 @@ module Client = struct
     in
     let send ~attempt:_ = send_fragments c.sock addr ~msg_id:id encoded in
     match
-      Proto.Retry.call ~config:c.retry ~send
+      Proto.Retry.call ~config:c.retry ~rng:c.rng ~budget:c.budget ~send
         ~wait_reply:(fun ~timeout_us -> wait_reply c ~id ~timeout_us)
         ()
     with
     | Ok reply -> reply
     | Error (`Timed_out _) -> raise Timeout
+    | Error (`Budget_exhausted _) -> raise Budget_exhausted
 
   let get c key =
     let reply = rpc c Proto.Wire.Get key None in
     match reply.Proto.Wire.status with
     | Proto.Wire.Ok -> Some (Option.value ~default:Bytes.empty reply.Proto.Wire.value)
-    | Proto.Wire.Not_found -> None
+    | Proto.Wire.Not_found | Proto.Wire.Overloaded -> None
 
   let put c key value =
     let reply = rpc c Proto.Wire.Put key (Some value) in
     match reply.Proto.Wire.status with
     | Proto.Wire.Ok -> ()
-    | Proto.Wire.Not_found -> failwith "Udp.Client.put: unexpected Not_found"
+    | Proto.Wire.Not_found | Proto.Wire.Overloaded ->
+        failwith "Udp.Client.put: unexpected failure status"
 
   let delete c key =
-    (rpc c Proto.Wire.Delete key None).Proto.Wire.status = Proto.Wire.Ok
+    match (rpc c Proto.Wire.Delete key None).Proto.Wire.status with
+    | Proto.Wire.Ok -> true
+    | Proto.Wire.Not_found | Proto.Wire.Overloaded -> false
+
+  let sheds c = c.sheds
 end

@@ -40,10 +40,26 @@ module Client : sig
 
   exception Timeout
 
-  val connect : ?retry:Proto.Retry.config -> ?seed:int -> ?base_port:int -> queues:int -> unit -> c
+  exception Budget_exhausted
+  (** The connection's {!Proto.Retry.Budget} blocked a retransmission:
+      the server is systematically unresponsive or shedding, and piling
+      on more retries would amplify the overload.  Fail fast instead. *)
+
+  val connect :
+    ?retry:Proto.Retry.config ->
+    ?budget:Proto.Retry.Budget.t ->
+    ?seed:int ->
+    ?base_port:int ->
+    queues:int ->
+    unit ->
+    c
   (** [connect ~queues ()] prepares a client for a server with that many
       RX queues.  GETs go to a uniformly random queue, PUTs to the key's
-      master queue — the client-side dispatch of §3. *)
+      master queue — the client-side dispatch of §3.  Retransmission
+      timeouts jitter decorrelated on the client's seeded RNG (a fixed
+      [seed] reproduces the exact schedule); [budget] is the shared
+      token bucket retries draw from (default: 50 tokens, 0.5 earned per
+      call). *)
 
   val get : c -> string -> bytes option
   (** [None] when the key is absent.  Raises {!Timeout} when every
@@ -52,6 +68,11 @@ module Client : sig
   val put : c -> string -> bytes -> unit
 
   val delete : c -> string -> bool
+
+  val sheds : c -> int
+  (** [Overloaded] replies this connection has absorbed — each one is a
+      request the server's admission control rejected before execution
+      (the client then backed off and retransmitted). *)
 
   val close : c -> unit
 end

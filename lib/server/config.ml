@@ -16,6 +16,10 @@ type t = {
   window_us : float option;
   large_rx_steal : bool;
   hkh_erew : bool;
+  rx_capacity : int option;
+  shed_watermark : int option;
+  watchdog : bool;
+  clamp_threshold : float option;
 }
 
 let default =
@@ -37,6 +41,10 @@ let default =
     window_us = None;
     large_rx_steal = false;
     hkh_erew = false;
+    rx_capacity = None;
+    shed_watermark = None;
+    watchdog = false;
+    clamp_threshold = None;
   }
 
 let validate t =
@@ -51,4 +59,13 @@ let validate t =
   else if t.percentile <= 0.0 || t.percentile > 1.0 then err "percentile out of (0, 1]"
   else if t.handoff_cores < 1 || t.handoff_cores >= t.cores then
     err "handoff_cores out of [1, cores)"
+  else if (match t.rx_capacity with Some c -> c < 1 | None -> false) then
+    err "rx_capacity must be >= 1"
+  else if (match t.shed_watermark with Some w -> w < 1 | None -> false) then
+    err "shed_watermark must be >= 1"
+  else if
+    match t.clamp_threshold with
+    | Some c -> not (c > 0.0) || Float.is_nan c
+    | None -> false
+  then err "clamp_threshold must be > 0"
   else Ok ()

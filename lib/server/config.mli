@@ -30,6 +30,23 @@ type t = {
                               concentrates load on hot cores).  The paper
                               uses CREW — GETs to random cores — "the best
                               on skewed read-dominated workloads". *)
+  rx_capacity : int option;
+      (** bound each RX queue's depth; arrivals beyond it are tail-dropped
+          and counted ([None] = unbounded, the healthy-NIC model).  A
+          fault plan's ring squeeze lowers the effective bound further. *)
+  shed_watermark : int option;
+      (** overload control: when the total RX backlog exceeds this depth,
+          large-class requests are shed at classification (small requests
+          too beyond 4x the watermark); [None] disables shedding *)
+  watchdog : bool;
+      (** detect a stalled/degraded core from per-epoch progress and RX
+          depth, and re-derive the small/large split excluding it
+          (Minos only) *)
+  clamp_threshold : float option;
+      (** control-loop hardening: maximum fractional movement of the size
+          threshold per epoch (e.g. [0.5] allows x0.5..x1.5); NaN or
+          non-positive thresholds always fall back to the last good one
+          when set *)
 }
 
 val default : t

@@ -91,6 +91,23 @@ let compute ~cores ~cost_fn ~percentile ?threshold_override ?(extra_large_core =
       }
   end
 
+(* Control-loop hardening: never let a corrupt or wildly moving threshold
+   reach the routing plan.  NaN and non-positive candidates fall back to
+   the last good value; with a clamp, one epoch may move the threshold by
+   at most the given fraction in either direction. *)
+let sanitize ~last_good ~clamp candidate =
+  let bad v = Float.is_nan v || v <= 0.0 in
+  if bad candidate then if bad last_good then infinity else last_good
+  else
+    match clamp with
+    | None -> candidate
+    | Some c ->
+        if Float.is_finite last_good && last_good > 0.0 then
+          let lo = last_good /. (1.0 +. c) in
+          let hi = last_good *. (1.0 +. c) in
+          Float.min hi (Float.max lo candidate)
+        else candidate
+
 let route plan size =
   if size <= plan.threshold then None
   else if plan.n_large = 0 then Some 0 (* standby core, by convention *)

@@ -2,6 +2,11 @@ let name = "HKH"
 
 type core = { id : int; mutable idle : bool; batch : Engine.request Queue.t }
 
+(* Size-oblivious designs have no threshold to classify against; for
+   admission control they fall back to a fixed engineering cutoff (a
+   64 KB item spans many frames either way). *)
+let shed_large (req : Engine.request) = req.Engine.item_size > 65536
+
 let make eng =
   let cfg = Engine.config eng in
   let cores =
@@ -9,7 +14,9 @@ let make eng =
   in
   let rec step c =
     match Queue.take_opt c.batch with
-    | Some req -> Engine.execute eng ~core:c.id req ~k:(fun () -> step c)
+    | Some req ->
+        if Engine.try_shed eng ~large:(shed_large req) then step c
+        else Engine.execute eng ~core:c.id req ~k:(fun () -> step c)
     | None ->
         let rx = Engine.rx eng c.id in
         if Netsim.Fifo.is_empty rx then c.idle <- true

@@ -34,12 +34,16 @@ let make eng =
     | Cost_model.Put when Engine.put_master eng req <> c.id -> cost.Cost_model.lock_us
     | Cost_model.Put | Cost_model.Get -> 0.0
   in
+  (* Size-oblivious: admission control classifies by a fixed cutoff. *)
+  let shed_large (req : Engine.request) = req.Engine.item_size > 65536 in
   let rec step c =
     match Netsim.Fifo.pop c.swq with
     | Some req ->
         Engine.obs_handoff_deq eng req;
-        Engine.execute eng ~core:c.id ~extra_cpu:(put_lock_cost c req) req ~k:(fun () ->
-            step c)
+        if Engine.try_shed eng ~large:(shed_large req) then step c
+        else
+          Engine.execute eng ~core:c.id ~extra_cpu:(put_lock_cost c req) req
+            ~k:(fun () -> step c)
     | None ->
         if not (Netsim.Fifo.is_empty (Engine.rx eng c.id)) then begin
           ignore (move_batch (Engine.rx eng c.id) c.swq);
@@ -64,10 +68,12 @@ let make eng =
           in
           match steal_swq 0 with
           | Some req ->
-              Engine.execute eng ~core:c.id
-                ~extra_cpu:(cost.Cost_model.steal_us +. put_lock_cost c req)
-                req
-                ~k:(fun () -> step c)
+              if Engine.try_shed eng ~large:(shed_large req) then step c
+              else
+                Engine.execute eng ~core:c.id
+                  ~extra_cpu:(cost.Cost_model.steal_us +. put_lock_cost c req)
+                  req
+                  ~k:(fun () -> step c)
           | None -> (
               (* All software queues empty: steal a batch of packets from
                  another core's RX queue into our software queue. *)

@@ -8,13 +8,24 @@ type core = {
   hist : Stats.Log_histogram.t; (* item sizes observed this epoch *)
 }
 
+(* Roles are assigned to {e slots}, not physical cores: [slot_core] is a
+   permutation of the physical ids, the plan covers slots
+   [0 .. n_active - 1] (small cores first, large cores at the tail), and a
+   core the watchdog excluded sits in the slots beyond [n_active], where
+   no role ever reaches it.  With no watchdog the permutation stays the
+   identity and every slot computation reduces to the physical id. *)
 type state = {
   eng : Engine.t;
   cfg : Config.t;
-  n : int;
   cores : core array;
-  mutable plan : Control.plan;
+  slot_core : int array; (* slot -> physical core id *)
+  core_slot : int array; (* physical core id -> slot *)
+  mutable n_active : int;
+  mutable excluded : int; (* physical id, -1 when none *)
+  wd : Watchdog.t option;
+  mutable plan : Control.plan; (* over the [n_active] slots *)
   mutable smoothed : Stats.Log_histogram.t option;
+  mutable last_good_threshold : float;
   mutable standby_engaged : bool;
       (** In standby mode (n_large = 0), whether the standby core is
           currently acting as a large core.  While engaged it stops
@@ -32,19 +43,26 @@ let profiling_cost st =
   | Some _ -> 0.0
   | None -> st.cfg.Config.cost.Cost_model.profile_us
 
-(* PUTs on keys mastered by a large core may be written by any core and
-   need the partition spinlock (§4.2). *)
+let phys st slot = st.slot_core.(slot)
+let standby_phys st = phys st (Control.standby_core ~cores:st.n_active)
+
+(* PUTs on keys mastered by a large (or excluded) core may be written by
+   any core and need the partition spinlock (§4.2). *)
 let put_lock_cost st (req : Engine.request) =
   match req.Engine.op with
-  | Cost_model.Put when Engine.put_master st.eng req >= st.plan.Control.n_small ->
+  | Cost_model.Put
+    when st.core_slot.(Engine.put_master st.eng req) >= st.plan.Control.n_small ->
       st.cfg.Config.cost.Cost_model.lock_us
   | Cost_model.Put | Cost_model.Get -> 0.0
 
 let standby_mode st = st.plan.Control.n_large = 0
 
 let is_small st id =
-  Control.is_small_core st.plan id
-  && not (standby_mode st && st.standby_engaged && id = Control.standby_core ~cores:st.n)
+  let slot = st.core_slot.(id) in
+  slot < st.plan.Control.n_small
+  && not
+       (standby_mode st && st.standby_engaged
+       && slot = Control.standby_core ~cores:st.n_active)
 
 let rec step st c =
   if is_small st c.id then small_step st c else large_step st c
@@ -69,21 +87,30 @@ and classify_and_serve st c req =
   let profile = profiling_cost st in
   match Control.route st.plan size with
   | None ->
-      Engine.execute st.eng ~core:c.id
-        ~extra_cpu:(profile +. put_lock_cost st req)
-        req
-        ~k:(fun () -> step st c)
+      if Engine.try_shed st.eng ~large:false then
+        Engine.busy st.eng ~core:c.id profile ~k:(fun () -> step st c)
+      else
+        Engine.execute st.eng ~core:c.id
+          ~extra_cpu:(profile +. put_lock_cost st req)
+          req
+          ~k:(fun () -> step st c)
   | Some j ->
-      (* Software handoff: push onto the owning large core's queue.  In
-         standby mode this engages the standby core as a large core. *)
-      let target = st.cores.(Control.large_core_id st.plan ~cores:st.n j) in
-      if standby_mode st then st.standby_engaged <- true;
-      Engine.obs_handoff_enq st.eng req;
-      Netsim.Fifo.push target.swq req;
-      wake st target;
-      Engine.busy st.eng ~core:c.id
-        (st.cfg.Config.cost.Cost_model.handoff_us +. profile)
-        ~k:(fun () -> step st c)
+      if Engine.try_shed st.eng ~large:true then
+        Engine.busy st.eng ~core:c.id profile ~k:(fun () -> step st c)
+      else begin
+        (* Software handoff: push onto the owning large core's queue.  In
+           standby mode this engages the standby core as a large core. *)
+        let target =
+          st.cores.(phys st (Control.large_core_id st.plan ~cores:st.n_active j))
+        in
+        if standby_mode st then st.standby_engaged <- true;
+        Engine.obs_handoff_enq st.eng req;
+        Netsim.Fifo.push target.swq req;
+        wake st target;
+        Engine.busy st.eng ~core:c.id
+          (st.cfg.Config.cost.Cost_model.handoff_us +. profile)
+          ~k:(fun () -> step st c)
+      end
 
 and refill st c =
   let b = st.cfg.Config.batch in
@@ -107,19 +134,21 @@ and refill st c =
   in
   (* Own RX queue first, then an equal share of every large core's RX
      queue, so all queues drain at the same rate (§3).  An engaged standby
-     core counts as a large core here: its RX queue is drained by the
-     other small cores. *)
+     core counts as a large core here, and so does an excluded core: the
+     hardware keeps spraying arrivals at both, and the small cores drain
+     their RX queues for them. *)
   pull_from (Engine.rx st.eng c.id) b;
   let standby_engaged = standby_mode st && st.standby_engaged in
   let ns = max 1 (st.plan.Control.n_small - if standby_engaged then 1 else 0) in
   let share = (b + ns - 1) / ns in
-  for id = st.plan.Control.n_small to st.n - 1 do
-    pull_from (Engine.rx st.eng id) share
+  for slot = st.plan.Control.n_small to st.n_active - 1 do
+    pull_from (Engine.rx st.eng (phys st slot)) share
   done;
   if standby_engaged then begin
-    let standby = Control.standby_core ~cores:st.n in
+    let standby = standby_phys st in
     if c.id <> standby then pull_from (Engine.rx st.eng standby) share
   end;
+  if st.excluded >= 0 then pull_from (Engine.rx st.eng st.excluded) share;
   if !pulled > 0 then
     Engine.busy st.eng ~core:c.id st.cfg.Config.cost.Cost_model.poll_us ~k:(fun () ->
         step st c)
@@ -139,78 +168,162 @@ and large_step st c =
       match Queue.take_opt c.batch with
       | Some req -> classify_and_serve st c req
       | None ->
-          if st.cfg.Config.large_rx_steal && st.plan.Control.n_large > 0 then
-            rx_steal_step st c
+          if
+            st.cfg.Config.large_rx_steal
+            && st.plan.Control.n_large > 0
+            && c.id <> st.excluded
+          then rx_steal_step st c
           else
             (* An engaged standby core stays a large core until the next
                control epoch re-designates roles; reverting per-request
                would re-expose every batch it pulls to head-of-line
-               blocking behind the next large arrival. *)
+               blocking behind the next large arrival.  An excluded core
+               parks here until readmitted. *)
             c.idle <- true)
 
 (* §6.1 variant: an idle large core steals a single request from a small
    core's RX queue — one at a time, so a small request is never queued
    behind a large one. *)
 and rx_steal_step st c =
-  let rec scan id =
-    if id >= st.plan.Control.n_small then c.idle <- true
-    else
-      match Netsim.Fifo.pop (Engine.rx st.eng id) with
+  let rec scan slot =
+    if slot >= st.plan.Control.n_small then c.idle <- true
+    else begin
+      let victim = phys st slot in
+      match Netsim.Fifo.pop (Engine.rx st.eng victim) with
       | Some req ->
           Engine.obs_poll st.eng req;
           let size = float_of_int req.Engine.item_size in
           Stats.Log_histogram.record c.hist size;
           Engine.obs_classify st.eng req;
-          (* TX-queue discipline mirrors the size split: a stolen small
-             replies on the victim's (small) TX queue so it never
-             serializes behind this core's in-flight large replies; a
-             stolen large stays on this large core's queue so it never
-             blocks a small queue. *)
-          let tx_queue = if size <= st.plan.Control.threshold then id else c.id in
-          Engine.execute st.eng ~core:c.id ~tx_queue
-            ~extra_cpu:
-              (st.cfg.Config.cost.Cost_model.steal_us
-              +. profiling_cost st +. put_lock_cost st req)
-            req
-            ~k:(fun () -> step st c)
-      | None -> scan (id + 1)
+          if Engine.try_shed st.eng ~large:(size > st.plan.Control.threshold) then
+            Engine.busy st.eng ~core:c.id
+              (st.cfg.Config.cost.Cost_model.steal_us +. profiling_cost st)
+              ~k:(fun () -> step st c)
+          else begin
+            (* TX-queue discipline mirrors the size split: a stolen small
+               replies on the victim's (small) TX queue so it never
+               serializes behind this core's in-flight large replies; a
+               stolen large stays on this large core's queue so it never
+               blocks a small queue. *)
+            let tx_queue = if size <= st.plan.Control.threshold then victim else c.id in
+            Engine.execute st.eng ~core:c.id ~tx_queue
+              ~extra_cpu:
+                (st.cfg.Config.cost.Cost_model.steal_us
+                +. profiling_cost st +. put_lock_cost st req)
+              req
+              ~k:(fun () -> step st c)
+          end
+      | None -> scan (slot + 1)
+    end
   in
   scan 0
 
+(* ---------------- watchdog ---------------- *)
+
+(* Swap the physical core into / out of the tail of the slot permutation;
+   the plan is recomputed over the shrunken or regrown active set by the
+   caller (the epoch handler). *)
+let exclude st p =
+  let s = st.core_slot.(p) in
+  let last = st.n_active - 1 in
+  let q = st.slot_core.(last) in
+  st.slot_core.(s) <- q;
+  st.slot_core.(last) <- p;
+  st.core_slot.(q) <- s;
+  st.core_slot.(p) <- last;
+  st.n_active <- st.n_active - 1;
+  st.excluded <- p
+
+let readmit st p =
+  (* The excluded core already sits at slot [n_active]; growing the
+     active set re-covers it. *)
+  st.n_active <- st.n_active + 1;
+  st.excluded <- -1;
+  ignore p
+
+let watchdog_tick st =
+  match st.wd with
+  | None -> false
+  | Some wd -> (
+      match
+        Watchdog.observe wd
+          ~ops:(Engine.core_ops_live st.eng)
+          ~depth:(fun c -> Netsim.Fifo.length (Engine.rx st.eng c))
+      with
+      | Watchdog.No_change -> false
+      | Watchdog.Exclude p ->
+          exclude st p;
+          true
+      | Watchdog.Readmit p ->
+          readmit st p;
+          true)
+
 (* ---------------- control loop ---------------- *)
 
+(* Recompute the plan over the current active set.  The raw threshold (the
+   configured override or the smoothed histogram's percentile) passes
+   through the fault plan's corruption window, then — when hardening is
+   configured — through {!Control.sanitize}; the plan is derived from
+   whatever survives. *)
+let recompute st =
+  match st.smoothed with
+  | None -> (
+      match st.cfg.Config.static_threshold with
+      | Some threshold -> { (Control.initial ~cores:st.n_active) with Control.threshold }
+      | None -> Control.initial ~cores:st.n_active)
+  | Some smoothed ->
+      let raw =
+        match st.cfg.Config.static_threshold with
+        | Some t -> t
+        | None -> Stats.Log_histogram.quantile smoothed st.cfg.Config.percentile
+      in
+      let corrupted = Engine.corrupt_threshold st.eng raw in
+      let threshold =
+        match st.cfg.Config.clamp_threshold with
+        | None -> corrupted
+        | Some _ ->
+            Control.sanitize ~last_good:st.last_good_threshold
+              ~clamp:st.cfg.Config.clamp_threshold corrupted
+      in
+      if Float.is_finite threshold && threshold > 0.0 then
+        st.last_good_threshold <- threshold;
+      Control.compute ~cores:st.n_active ~cost_fn:st.cfg.Config.cost_fn
+        ~percentile:st.cfg.Config.percentile ~threshold_override:threshold
+        ~extra_large_core:st.cfg.Config.large_rx_steal smoothed
+
 let on_epoch st () =
+  let set_changed = watchdog_tick st in
+  let stale = Engine.ctrl_delayed st.eng in
   let merged = size_histogram () in
   Array.iter
     (fun c ->
       Stats.Log_histogram.merge_into ~dst:merged c.hist;
       Stats.Log_histogram.reset c.hist)
     st.cores;
-  if not (Stats.Log_histogram.is_empty merged) then begin
-    let smoothed =
-      match st.smoothed with
-      | None -> merged
-      | Some prev ->
-          Stats.Log_histogram.smooth ~prev ~current:merged ~alpha:st.cfg.Config.alpha
-    in
-    st.smoothed <- Some smoothed;
-    let new_plan =
-      Control.compute ~cores:st.n ~cost_fn:st.cfg.Config.cost_fn
-        ~percentile:st.cfg.Config.percentile
-        ?threshold_override:st.cfg.Config.static_threshold
-        ~extra_large_core:st.cfg.Config.large_rx_steal smoothed
-    in
+  let fresh = (not stale) && not (Stats.Log_histogram.is_empty merged) in
+  if fresh then
+    st.smoothed <-
+      Some
+        (match st.smoothed with
+        | None -> merged
+        | Some prev ->
+            Stats.Log_histogram.smooth ~prev ~current:merged
+              ~alpha:st.cfg.Config.alpha);
+  if fresh || set_changed then begin
+    let new_plan = recompute st in
     let old_plan = st.plan in
     st.plan <- new_plan;
     (* Each epoch re-designates roles; a previously engaged standby core
        returns to small duty once its queue is clear. *)
     st.standby_engaged <-
       new_plan.Control.n_large = 0
-      && not (Netsim.Fifo.is_empty st.cores.(Control.standby_core ~cores:st.n).swq);
+      && not (Netsim.Fifo.is_empty st.cores.(standby_phys st).swq);
     (* Requests queued for cores whose role or range changed are
-       re-routed under the new plan. *)
+       re-routed under the new plan; an active-set change displaces
+       everything queued at the excluded/readmitted core too. *)
     if
-      new_plan.Control.n_small <> old_plan.Control.n_small
+      set_changed
+      || new_plan.Control.n_small <> old_plan.Control.n_small
       || new_plan.Control.ranges <> old_plan.Control.ranges
     then begin
       let displaced = ref [] in
@@ -223,7 +336,13 @@ let on_epoch st () =
                 drain ()
             | None -> ()
           in
-          drain ())
+          drain ();
+          (* An excluded core's staged batch would otherwise be served at
+             its degraded speed; reclaim it. *)
+          if c.id = st.excluded then
+            while not (Queue.is_empty c.batch) do
+              displaced := Queue.pop c.batch :: !displaced
+            done)
         st.cores;
       List.iter
         (fun (r : Engine.request) ->
@@ -231,19 +350,21 @@ let on_epoch st () =
           | Some j ->
               if standby_mode st then st.standby_engaged <- true;
               Engine.obs_handoff_enq st.eng r;
-              Netsim.Fifo.push st.cores.(Control.large_core_id st.plan ~cores:st.n j).swq r
+              Netsim.Fifo.push
+                st.cores.(phys st (Control.large_core_id st.plan ~cores:st.n_active j))
+                  .swq r
           | None ->
               (* Under the new threshold this queued request counts as
                  small; stage it in a (small) core's local batch. *)
-              Queue.add r st.cores.(Control.standby_core ~cores:st.n).batch)
+              Queue.add r st.cores.(standby_phys st).batch)
         (List.rev !displaced)
     end;
-    (* Charge the aggregation work to core 0 if it is idle; when busy the
-       merge overlaps with request processing. *)
-    let c0 = st.cores.(0) in
+    (* Charge the aggregation work to the first active core if it is
+       idle; when busy the merge overlaps with request processing. *)
+    let c0 = st.cores.(phys st 0) in
     if c0.idle then begin
       c0.idle <- false;
-      Engine.busy st.eng ~core:0 st.cfg.Config.cost.Cost_model.epoch_aggregate_us
+      Engine.busy st.eng ~core:c0.id st.cfg.Config.cost.Cost_model.epoch_aggregate_us
         ~k:(fun () -> step st c0)
     end;
     (* Roles may have changed: give every core a chance to find work. *)
@@ -257,7 +378,6 @@ let make eng =
     {
       eng;
       cfg;
-      n;
       cores =
         Array.init n (fun id ->
             {
@@ -267,12 +387,18 @@ let make eng =
               swq = Netsim.Fifo.create ();
               hist = size_histogram ();
             });
+      slot_core = Array.init n (fun i -> i);
+      core_slot = Array.init n (fun i -> i);
+      n_active = n;
+      excluded = -1;
+      wd = (if cfg.Config.watchdog then Some (Watchdog.create ~cores:n ()) else None);
       plan =
         (match cfg.Config.static_threshold with
         | Some threshold ->
             { (Control.initial ~cores:n) with Control.threshold }
         | None -> Control.initial ~cores:n);
       smoothed = None;
+      last_good_threshold = infinity;
       standby_engaged = false;
     }
   in
@@ -294,15 +420,15 @@ let make eng =
             (* An idle large core may steal the queued request. *)
             match
               Array.find_opt
-                (fun c -> c.idle && not (is_small st c.id))
+                (fun c -> c.idle && (not (is_small st c.id)) && c.id <> st.excluded)
                 st.cores
             with
             | Some thief -> wake st thief
             | None -> ()
         end
         else
-          (* Large cores never read their own RX queue; wake an idle small
-             core to drain it. *)
+          (* Large (and excluded) cores never read their own RX queue;
+             wake an idle small core to drain it. *)
           match
             Array.find_opt (fun c -> c.idle && is_small st c.id) st.cores
           with

@@ -35,7 +35,11 @@ let make eng =
       end
     in
     match find 0 with
-    | Some req -> Engine.execute eng ~core:w.wid req ~k:(fun () -> worker_step w)
+    | Some req ->
+        (* Size-oblivious: admission control classifies by a fixed cutoff. *)
+        if Engine.try_shed eng ~large:(req.Engine.item_size > 65536) then
+          worker_step w
+        else Engine.execute eng ~core:w.wid req ~k:(fun () -> worker_step w)
     | None -> w.idle <- true
   in
   let wake_idle_worker () =

@@ -4,7 +4,7 @@ type request = {
   item_size : int;
   is_large_truth : bool;
   arrival_us : float;
-  frames_in : int;
+  mutable frames_in : int; (* doubled when a fault duplicates the frames *)
   mutable rx_queue : int;
   mutable span : int; (* flight-recorder slot, -1 when not sampled *)
 }
@@ -44,9 +44,15 @@ type t = {
   put_value : bytes; (* scratch buffer reused for real-store writes *)
   mutable probe : (core:int -> request -> unit) option;
   obs : Obs.Instrument.t option;
+  fault : Fault.Inject.t option;
+  rx_cap : int; (* configured RX ring bound, [max_int] when unbounded *)
+  mutable net_dropped : int;
+  mutable rx_dropped : int;
+  mutable shed_small : int;
+  mutable shed_large : int;
 }
 
-let create ?dynamic ?store ?source ?obs cfg gen ~offered_mops =
+let create ?dynamic ?store ?source ?obs ?fault cfg gen ~offered_mops =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.create: " ^ msg));
@@ -95,6 +101,12 @@ let create ?dynamic ?store ?source ?obs cfg gen ~offered_mops =
     put_value = Bytes.create 16;
     probe = None;
     obs;
+    fault;
+    rx_cap = (match cfg.Config.rx_capacity with Some c -> c | None -> max_int);
+    net_dropped = 0;
+    rx_dropped = 0;
+    shed_small = 0;
+    shed_large = 0;
   }
 
 let set_probe t f = t.probe <- Some f
@@ -156,9 +168,66 @@ let uniform_queue t = Dsim.Rng.int t.dispatch_rng t.cfg.Config.cores
 let in_window t time =
   time >= t.cfg.Config.warmup_us && time <= t.cfg.Config.duration_us
 
+(* ---------------- fault hooks ----------------
+
+   Same discipline as the flight-recorder hooks: with no injector
+   attached, every hook is one [match] on an immutable [None] field and
+   costs nothing — no call, no boxed float, no allocation.  The faulty
+   branches may allocate freely. *)
+
+(* CPU time under an open stall window: a finite factor slows the work, an
+   infinite one parks the core until the window closes (the work itself
+   then runs at full speed). *)
+let slowed t f ~core dt =
+  let now = Dsim.Sim.now t.sim in
+  let m = Fault.Inject.slowdown f ~core ~now in
+  if m = 1.0 then dt
+  else if Float.is_finite m then dt *. m
+  else Fault.Inject.stall_end f ~core ~now -. now +. dt
+
 let busy t ~core dt ~k =
+  let dt = match t.fault with None -> dt | Some f -> slowed t f ~core dt in
   t.core_busy_us.(core) <- t.core_busy_us.(core) +. dt;
   Dsim.Sim.schedule_after t.sim dt k
+
+let total_rx_backlog t =
+  let n = t.cfg.Config.cores in
+  let rec go i acc =
+    if i >= n then acc
+    else go (i + 1) (acc + Netsim.Fifo.length (Netsim.Nic.rx t.nic i))
+  in
+  go 0 0
+
+(* Admission control: above the watermark the large class is shed first —
+   large requests are rare but expensive (the paper's core insight), so
+   shedding them recovers the most capacity for the least goodput loss.
+   Smalls are shed only past 4x the watermark, when the backlog says the
+   system is drowning regardless of class. *)
+let try_shed t ~large =
+  match t.cfg.Config.shed_watermark with
+  | None -> false
+  | Some wm ->
+      let backlog = total_rx_backlog t in
+      if backlog > wm && (large || backlog > 4 * wm) then begin
+        if large then t.shed_large <- t.shed_large + 1
+        else t.shed_small <- t.shed_small + 1;
+        true
+      end
+      else false
+
+let ctrl_delayed t =
+  match t.fault with
+  | None -> false
+  | Some f -> Fault.Inject.ctrl_delayed f ~now:(Dsim.Sim.now t.sim)
+
+let corrupt_threshold t threshold =
+  match t.fault with
+  | None -> threshold
+  | Some f -> Fault.Inject.corrupt_threshold f ~now:(Dsim.Sim.now t.sim) threshold
+
+let lost t = t.net_dropped + t.rx_dropped + t.shed_small + t.shed_large
+let core_ops_live t = t.core_ops
+let core_busy_live t = t.core_busy_us
 
 let touch_real_store t req =
   match t.store with
@@ -192,6 +261,23 @@ let execute t ~core ?tx_queue ?(extra_cpu = 0.0) req ~k =
   let tx_queue = Option.value tx_queue ~default:core in
   let cpu =
     Cost_model.cpu_time t.cfg.Config.cost req.op ~item_size:req.item_size +. extra_cpu
+  in
+  let cpu =
+    match t.fault with
+    | None -> cpu
+    | Some f ->
+        (* Duplicated frames (retransmission echoes) cost their per-packet
+           handling; the request itself is still served once, so request
+           conservation is untouched. *)
+        let nominal = Cost_model.request_frames req.op ~item_size:req.item_size in
+        let cpu =
+          if req.frames_in > nominal then
+            cpu
+            +. float_of_int (req.frames_in - nominal)
+               *. t.cfg.Config.cost.Cost_model.per_packet_us
+          else cpu
+        in
+        slowed t f ~core cpu
   in
   (match t.probe with Some f -> f ~core req | None -> ());
   let start = Dsim.Sim.now t.sim in
@@ -284,6 +370,34 @@ let run t make_design =
   let design = make_design t in
   let cfg = t.cfg in
   let mean_gap = 1.0 /. t.offered_mops (* µs between arrivals at X Mops *) in
+  (* Final delivery step, after any fault fate was applied: tail-drop when
+     the RX ring (possibly squeezed by the plan) is full, else enqueue and
+     wake the design. *)
+  let deliver (req : request) =
+    let queue = req.rx_queue in
+    let cap =
+      match t.fault with
+      | None -> t.rx_cap
+      | Some f ->
+          min t.rx_cap
+            (Fault.Inject.rx_capacity f ~queue ~now:(Dsim.Sim.now t.sim))
+    in
+    if cap < max_int && Netsim.Fifo.length (Netsim.Nic.rx t.nic queue) >= cap then
+      t.rx_dropped <- t.rx_dropped + 1
+    else begin
+      let wire_bytes =
+        Netsim.Frame.wire_bytes_for_payload
+          (Cost_model.request_payload req.op ~item_size:req.item_size)
+      in
+      let wire_bytes =
+        if req.frames_in > Cost_model.request_frames req.op ~item_size:req.item_size
+        then 2 * wire_bytes
+        else wire_bytes
+      in
+      Netsim.Nic.deliver t.nic ~queue ~wire_bytes ~frames:req.frames_in req;
+      design.on_arrival ~queue
+    end
+  in
   let rec arrive () =
     if Dsim.Sim.now t.sim < cfg.Config.duration_us then begin
       let descriptor =
@@ -302,12 +416,20 @@ let run t make_design =
       req.rx_queue <- queue;
       t.issued <- t.issued + 1;
       obs_sample_arrival t req ~queue;
-      let wire_bytes =
-        Netsim.Frame.wire_bytes_for_payload
-          (Cost_model.request_payload req.op ~item_size:req.item_size)
-      in
-      Netsim.Nic.deliver t.nic ~queue ~wire_bytes ~frames:req.frames_in req;
-      design.on_arrival ~queue;
+      (match t.fault with
+      | None -> deliver req
+      | Some f -> (
+          match Fault.Inject.fate f ~queue ~now:(Dsim.Sim.now t.sim) with
+          | Fault.Inject.Pass -> deliver req
+          | Fault.Inject.Drop -> t.net_dropped <- t.net_dropped + 1
+          | Fault.Inject.Duplicate ->
+              req.frames_in <- 2 * req.frames_in;
+              deliver req
+          | Fault.Inject.Reorder ->
+              let d =
+                Fault.Inject.reorder_delay_us f ~queue ~now:(Dsim.Sim.now t.sim)
+              in
+              Dsim.Sim.schedule_after t.sim d (fun () -> deliver req)));
       Dsim.Sim.schedule_after t.sim
         (Dsim.Rng.exponential t.arrival_rng ~mean:mean_gap)
         arrive
@@ -322,10 +444,10 @@ let run t make_design =
       | None -> ()
       | Some o ->
           let n_large = design.large_core_count () in
-          Obs.Decision_log.record o.Obs.Instrument.decisions
+          Obs.Decision_log.record o.Obs.Instrument.decisions ~lost:(lost t)
             ~now:(Dsim.Sim.now t.sim)
             ~threshold:(design.current_threshold ())
-            ~n_small:(cfg.Config.cores - n_large) ~n_large);
+            ~n_small:(cfg.Config.cores - n_large) ~n_large ());
       Dsim.Sim.schedule_after t.sim cfg.Config.epoch_us epoch
     end
   in
@@ -353,7 +475,10 @@ let run t make_design =
       Netsim.Txsched.reset_counters t.tx);
   Dsim.Sim.run t.sim ~until:cfg.Config.duration_us;
   let window = cfg.Config.duration_us -. cfg.Config.warmup_us in
-  let in_flight = t.issued - t.processed_total in
+  (* Telescoping identity: everything issued was either served, lost to a
+     fault/overload mechanism (each loss counted exactly once), or is
+     still in flight. *)
+  let in_flight = t.issued - t.processed_total - lost t in
   (* Unstable when the leftover backlog exceeds what a loaded-but-stable
      system would plausibly hold in flight. *)
   let backlog_cap = max 2000 (int_of_float (0.02 *. float_of_int t.issued)) in
@@ -393,4 +518,9 @@ let run t make_design =
     mean_queue_wait_us = Stats.Summary.mean t.queue_wait;
     mean_service_us = Stats.Summary.mean t.service;
     mean_tx_wait_us = Stats.Summary.mean t.tx_wait;
+    served_total = t.processed_total;
+    net_dropped = t.net_dropped;
+    rx_dropped = t.rx_dropped;
+    shed_small = t.shed_small;
+    shed_large = t.shed_large;
   }

@@ -17,7 +17,9 @@ type request = {
                          PUT: size carried in the request *)
   is_large_truth : bool; (** dataset ground truth, for per-class metrics *)
   arrival_us : float;
-  frames_in : int;
+  mutable frames_in : int;
+      (** RX frames carrying the request; a fault plan's duplication
+          doubles it (retransmission echo) *)
   mutable rx_queue : int;
   mutable span : int;
       (** flight-recorder slot assigned at arrival, [-1] when the request
@@ -43,6 +45,7 @@ val create :
   ?store:Kvstore.Store.t ->
   ?source:(unit -> Workload.Generator.request) ->
   ?obs:Obs.Instrument.t ->
+  ?fault:Fault.Inject.t ->
   Config.t ->
   Workload.Generator.t ->
   offered_mops:float ->
@@ -59,7 +62,12 @@ val create :
     it perturbs no simulation randomness), the engine records RX-enqueue /
     service / TX / end-to-end timestamps, per-core timeline samples and
     one {!Obs.Decision_log} entry per control epoch; designs fill in the
-    poll / classify / handoff stages via the [obs_*] hooks below. *)
+    poll / classify / handoff stages via the [obs_*] hooks below.
+    [fault] attaches a seeded fault injector ({!Fault.Inject}): arrivals
+    draw a delivery fate (drop / duplicate / reorder), RX rings honour
+    plan squeezes (and [cfg.rx_capacity]), and core work is slowed or
+    stalled per the plan's windows.  The injector owns its RNG stream, so
+    attaching it perturbs none of the engine's randomness. *)
 
 val sim : t -> Dsim.Sim.t
 val config : t -> Config.t
@@ -100,6 +108,35 @@ val run : t -> (t -> design) -> Metrics.t
 val raw_latencies : t -> Stats.Float_vec.t
 (** All recorded end-to-end latencies (µs) of the last {!run}; used to
     combine distributions across NUMA domains ({!Minos.Numa}). *)
+
+val try_shed : t -> large:bool -> bool
+(** Admission control, called by designs at classification time with
+    their view of the request's class.  [true] when the request must be
+    dropped instead of served: the total RX backlog exceeds
+    [cfg.shed_watermark] and the request is large-classified (smalls are
+    shed only beyond 4x the watermark).  Counted per class in
+    {!Metrics}.  Always [false] (and free) when no watermark is set. *)
+
+val ctrl_delayed : t -> bool
+(** Whether a fault plan is currently starving the control loop of fresh
+    statistics; designs skip their epoch recomputation when it holds. *)
+
+val corrupt_threshold : t -> float -> float
+(** Apply the fault plan's control-corruption window (if open) to a
+    freshly computed threshold; identity otherwise. *)
+
+val lost : t -> int
+(** NIC drops + ring drops + shed so far (cumulative, whole run). *)
+
+val total_rx_backlog : t -> int
+(** Sum of all RX queue depths right now. *)
+
+val core_ops_live : t -> int array
+(** The live per-core served-operation counters (do not mutate); the
+    watchdog diffs them across epochs to detect a stalled core. *)
+
+val core_busy_live : t -> float array
+(** The live per-core busy-time accumulators (do not mutate). *)
 
 val set_probe : t -> (core:int -> request -> unit) -> unit
 (** Install an observer called at the start of every request execution

@@ -23,14 +23,30 @@ type t = {
   mean_queue_wait_us : float;
   mean_service_us : float;
   mean_tx_wait_us : float;
+  served_total : int;
+  net_dropped : int;
+  rx_dropped : int;
+  shed_small : int;
+  shed_large : int;
 }
+
+let shed_total t = t.shed_small + t.shed_large
+let lost_total t = t.net_dropped + t.rx_dropped + shed_total t
+
+let goodput_fraction t =
+  if t.issued = 0 then 1.0
+  else float_of_int (t.issued - lost_total t) /. float_of_int t.issued
 
 let pp_row fmt t =
   Format.fprintf fmt
     "%-10s offered=%.2fM tput=%.2fM mean=%.1fus p50=%.1f p99=%.1f p999=%.1f nic=%.0f%%%s"
     t.design t.offered_mops t.throughput_mops t.mean_us t.p50_us t.p99_us t.p999_us
     (100.0 *. t.nic_tx_utilization)
-    (if t.stable then "" else " UNSTABLE")
+    (if t.stable then "" else " UNSTABLE");
+  if lost_total t > 0 then
+    Format.fprintf fmt " lost: net=%d ring=%d shed=%d(%dL) goodput=%.1f%%"
+      t.net_dropped t.rx_dropped (shed_total t) t.shed_large
+      (100.0 *. goodput_fraction t)
 
 let pp_breakdown fmt t =
   Format.fprintf fmt

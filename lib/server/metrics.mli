@@ -32,7 +32,25 @@ type t = {
   mean_tx_wait_us : float;
       (** from end of service to the reply leaving the wire (queueing at
           the NIC + transmission) *)
+  served_total : int;
+      (** operations fully processed over the whole run (incl. warmup);
+          with the loss counters below this telescopes:
+          [issued = served_total + net_dropped + rx_dropped + shed_small
+          + shed_large + in_flight_end] *)
+  net_dropped : int;  (** lost by the (faulty) NIC before any queue *)
+  rx_dropped : int;   (** tail-dropped at a full RX ring *)
+  shed_small : int;   (** shed by admission control, small-classified *)
+  shed_large : int;   (** shed by admission control, large-classified *)
 }
+
+val shed_total : t -> int
+val lost_total : t -> int
+(** [net_dropped + rx_dropped + shed]: offered load that produced no
+    reply.  A lossy run can never masquerade as a healthy one — {!pp_row}
+    appends the loss/goodput segment whenever this is nonzero. *)
+
+val goodput_fraction : t -> float
+(** Fraction of issued requests not lost ([1.0] for a healthy run). *)
 
 val pp_row : Format.formatter -> t -> unit
 (** One human-readable summary line. *)

@@ -82,6 +82,25 @@ let test_ring_mpsc_bounded () =
   | Some (msg, _) -> Alcotest.failf "mpsc bounded: violation %s" msg);
   check int "mpsc bounded: no truncated schedules" 0 st.truncated
 
+let test_ring_shed_conservation () =
+  (* Three pushes race one consumer over a 2-slot ring, so schedules
+     exist where the full ring forces the shed path; no request may be
+     lost or double-counted across served/queued/shed. *)
+  let st =
+    Trace_sched.explore
+      (Model.ring_shed_conservation ~capacity:2 ~producers:1
+         ~pushes_per_producer:3 ~consumers:1 ~pops_per_consumer:1 ())
+  in
+  no_violation "shed conservation 1p/1c" st
+
+let test_ring_shed_conservation_deeper () =
+  let st =
+    Trace_sched.explore
+      (Model.ring_shed_conservation ~capacity:2 ~producers:2
+         ~pushes_per_producer:2 ~consumers:1 ~pops_per_consumer:2 ())
+  in
+  no_violation "shed conservation 2p/1c deeper" st
+
 let test_ring_length_bounds () =
   let st =
     Trace_sched.explore
@@ -175,6 +194,10 @@ let () =
           Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
           Alcotest.test_case "mpsc preemption-bounded" `Slow
             test_ring_mpsc_bounded;
+          Alcotest.test_case "shed conservation" `Quick
+            test_ring_shed_conservation;
+          Alcotest.test_case "shed conservation deeper" `Slow
+            test_ring_shed_conservation_deeper;
           Alcotest.test_case "length bounds" `Quick test_ring_length_bounds;
           Alcotest.test_case "sleep-set cross-validation" `Quick
             test_sleep_set_cross_validation;

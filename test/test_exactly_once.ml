@@ -70,7 +70,7 @@ let test_retry_eventual_success () =
   let sends = ref 0 in
   let r =
     Retry.call
-      ~config:{ Retry.max_attempts = 5; timeout_us = 10.0; backoff = 2.0 }
+      ~config:{ Retry.max_attempts = 5; timeout_us = 10.0; backoff = 2.0; cap_us = infinity }
       ~send:(fun ~attempt:_ -> incr sends)
       ~wait_reply:(fun ~timeout_us:_ -> if !sends >= 3 then Some "late" else None)
       ()
@@ -83,7 +83,7 @@ let test_retry_timeout () =
   let timeouts = ref [] in
   let r =
     Retry.call
-      ~config:{ Retry.max_attempts = 3; timeout_us = 10.0; backoff = 2.0 }
+      ~config:{ Retry.max_attempts = 3; timeout_us = 10.0; backoff = 2.0; cap_us = infinity }
       ~send:(fun ~attempt:_ -> incr sends)
       ~wait_reply:(fun ~timeout_us ->
         timeouts := timeout_us :: !timeouts;
@@ -96,15 +96,123 @@ let test_retry_timeout () =
     (List.rev !timeouts)
 
 let test_retry_budget () =
-  let c = { Retry.max_attempts = 3; timeout_us = 10.0; backoff = 2.0 } in
+  let c = { Retry.max_attempts = 3; timeout_us = 10.0; backoff = 2.0; cap_us = infinity } in
   check (Alcotest.float 1e-9) "budget" 70.0 (Retry.total_budget_us c)
+
+let test_retry_budget_exhaustion () =
+  (* Capacity 2, no earning: the first transmission is free, the next two
+     spend the bucket, and the fourth transmission is refused. *)
+  let budget = Retry.Budget.create ~capacity:2.0 ~earn_per_call:0.0 () in
+  let sends = ref 0 in
+  let r =
+    Retry.call
+      ~config:{ Retry.max_attempts = 10; timeout_us = 1.0; backoff = 2.0; cap_us = infinity }
+      ~budget
+      ~send:(fun ~attempt:_ -> incr sends)
+      ~wait_reply:(fun ~timeout_us:_ -> None)
+      ()
+  in
+  check bool "budget exhausted after 3 sends" true (r = Error (`Budget_exhausted 3));
+  check int "three sends" 3 !sends;
+  check bool "bucket empty" true (Retry.Budget.tokens budget < 1.0)
+
+let test_retry_budget_earn () =
+  let budget = Retry.Budget.create ~capacity:2.0 ~earn_per_call:0.5 () in
+  check bool "spend" true (Retry.Budget.try_spend budget);
+  check bool "spend" true (Retry.Budget.try_spend budget);
+  check bool "empty" false (Retry.Budget.try_spend budget);
+  Retry.Budget.earn budget;
+  check bool "half a token is not enough" false (Retry.Budget.try_spend budget);
+  Retry.Budget.earn budget;
+  check bool "earned a whole token" true (Retry.Budget.try_spend budget);
+  for _ = 1 to 100 do Retry.Budget.earn budget done;
+  check (Alcotest.float 1e-9) "earning caps at capacity" 2.0
+    (Retry.Budget.tokens budget)
+
+(* Replay the documented decorrelated-jitter schedule: attempt 1 waits
+   exactly [timeout_us]; attempt [n+1] waits
+   [timeout_us + u * (min cap (t_n * backoff) - timeout_us)]. *)
+let expected_schedule c ~seed ~attempts =
+  let rng = Dsim.Rng.create seed in
+  let rec go n prev acc =
+    if n > attempts then List.rev acc
+    else
+      let t =
+        if n = 1 then Float.min c.Retry.timeout_us c.Retry.cap_us
+        else
+          let ceiling = Float.min c.Retry.cap_us (prev *. c.Retry.backoff) in
+          let u = Dsim.Rng.unit_float rng in
+          c.Retry.timeout_us +. (u *. (ceiling -. c.Retry.timeout_us))
+      in
+      go (n + 1) t (t :: acc)
+  in
+  go 1 0.0 []
+
+let observed_schedule c ~seed =
+  let rng = Dsim.Rng.create seed in
+  let timeouts = ref [] in
+  (match
+     Retry.call ~config:c ~rng
+       ~send:(fun ~attempt:_ -> ())
+       ~wait_reply:(fun ~timeout_us ->
+         timeouts := timeout_us :: !timeouts;
+         None)
+       ()
+   with
+  | Ok _ -> Alcotest.fail "unreachable: wait_reply never succeeds"
+  | Error _ -> ());
+  List.rev !timeouts
+
+let prop_jitter_bounds_and_determinism =
+  QCheck.Test.make ~name:"jittered schedule: bounded, capped, reproducible"
+    ~count:300
+    QCheck.(
+      quad (int_range 2 8) (int_range 1 1000) (int_range 0 10000) bool)
+    (fun (attempts, base_int, seed, capped) ->
+      let base = float_of_int base_int in
+      let c =
+        {
+          Retry.max_attempts = attempts;
+          timeout_us = base;
+          backoff = 2.0;
+          cap_us = (if capped then base *. 3.0 else infinity);
+        }
+      in
+      let sched = observed_schedule c ~seed in
+      List.length sched = attempts
+      (* Every attempt stays within the documented bounds... *)
+      && List.for_all
+           (fun t -> t >= c.Retry.timeout_us && t <= c.Retry.cap_us)
+           sched
+      (* ...the nth never exceeds the deterministic schedule... *)
+      && List.mapi
+           (fun i t ->
+             t <= Float.min c.Retry.cap_us (base *. (2.0 ** float_of_int i)) +. 1e-9)
+           sched
+         |> List.for_all Fun.id
+      (* ...the total wait lands inside [min_budget, total_budget]... *)
+      && (let total = List.fold_left ( +. ) 0.0 sched in
+          total >= Retry.min_budget_us c -. 1e-6
+          && total <= Retry.total_budget_us c +. 1e-6)
+      (* ...and the same seed reproduces the schedule exactly. *)
+      && sched = observed_schedule c ~seed
+      && sched = expected_schedule c ~seed ~attempts)
+
+let prop_jitter_decorrelates =
+  QCheck.Test.make ~name:"different seeds draw different schedules" ~count:50
+    QCheck.(int_range 0 5000)
+    (fun seed ->
+      let c =
+        { Retry.max_attempts = 6; timeout_us = 100.0; backoff = 2.0; cap_us = infinity }
+      in
+      observed_schedule c ~seed <> observed_schedule c ~seed:(seed + 1))
 
 let test_retry_validation () =
   Alcotest.check_raises "attempts" (Invalid_argument "Retry: max_attempts must be >= 1")
     (fun () ->
       ignore
         (Retry.call
-           ~config:{ Retry.max_attempts = 0; timeout_us = 1.0; backoff = 1.0 }
+           ~config:{ Retry.max_attempts = 0; timeout_us = 1.0; backoff = 1.0; cap_us = infinity }
            ~send:(fun ~attempt:_ -> ())
            ~wait_reply:(fun ~timeout_us:_ -> None)
            ()))
@@ -147,11 +255,11 @@ let prop_exactly_once_over_lossy_channel =
         in
         match
           Retry.call
-            ~config:{ Retry.max_attempts = 8; timeout_us = 1.0; backoff = 1.5 }
+            ~config:{ Retry.max_attempts = 8; timeout_us = 1.0; backoff = 1.5; cap_us = infinity }
             ~send ~wait_reply ()
         with
         | Ok _ -> incr successes
-        | Error (`Timed_out _) -> ()
+        | Error (`Timed_out _ | `Budget_exhausted _) -> ()
       done;
       (* Side effects happened at most once per request, and exactly once
          for every request the client saw succeed. *)
@@ -173,7 +281,13 @@ let () =
           Alcotest.test_case "eventual success" `Quick test_retry_eventual_success;
           Alcotest.test_case "timeout + backoff" `Quick test_retry_timeout;
           Alcotest.test_case "budget" `Quick test_retry_budget;
+          Alcotest.test_case "budget exhaustion" `Quick
+            test_retry_budget_exhaustion;
+          Alcotest.test_case "budget earning" `Quick test_retry_budget_earn;
           Alcotest.test_case "validation" `Quick test_retry_validation;
         ] );
+      ( "jitter",
+        qsuite [ prop_jitter_bounds_and_determinism; prop_jitter_decorrelates ]
+      );
       ("composition", qsuite [ prop_exactly_once_over_lossy_channel ]);
     ]

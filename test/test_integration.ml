@@ -249,6 +249,11 @@ let synthetic_metrics rate p99 =
     mean_queue_wait_us = 0.0;
     mean_service_us = 0.0;
     mean_tx_wait_us = 0.0;
+    served_total = 1000;
+    net_dropped = 0;
+    rx_dropped = 0;
+    shed_small = 0;
+    shed_large = 0;
   }
 
 let test_slo_search_mechanics () =

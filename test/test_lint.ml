@@ -65,6 +65,7 @@ let test_is_hot_path () =
     (Lint_core.is_hot_path "/root/repo/lib/kv/store.ml");
   check bool "stats is hot" true (Lint_core.is_hot_path "lib/stats/quantile.ml");
   check bool "obs is hot" true (Lint_core.is_hot_path "lib/obs/recorder.ml");
+  check bool "fault is hot" true (Lint_core.is_hot_path "lib/fault/inject.ml");
   check bool "check is cold" false
     (Lint_core.is_hot_path "lib/check/trace_sched.ml")
 

@@ -257,9 +257,9 @@ let test_timeline_and_decisions () =
   ignore (Obs.Timeline.start_sample tl ~now:200.0);
   check int "capacity clamps" (-1) (Obs.Timeline.start_sample tl ~now:300.0);
   let dl = Obs.Decision_log.create ~capacity:2 () in
-  Obs.Decision_log.record dl ~now:1.0 ~threshold:1000.0 ~n_small:6 ~n_large:2;
-  Obs.Decision_log.record dl ~now:2.0 ~threshold:1500.0 ~n_small:5 ~n_large:3;
-  Obs.Decision_log.record dl ~now:3.0 ~threshold:1500.0 ~n_small:5 ~n_large:3;
+  Obs.Decision_log.record dl ~now:1.0 ~threshold:1000.0 ~n_small:6 ~n_large:2 ();
+  Obs.Decision_log.record dl ~now:2.0 ~threshold:1500.0 ~n_small:5 ~n_large:3 ();
+  Obs.Decision_log.record dl ~now:3.0 ~threshold:1500.0 ~n_small:5 ~n_large:3 ();
   check int "log bounded" 2 (Obs.Decision_log.length dl);
   check int "overflow counted" 1 (Obs.Decision_log.dropped dl);
   check int "core moves counted" 1 (Obs.Decision_log.moves dl)

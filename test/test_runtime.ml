@@ -234,12 +234,55 @@ let test_udp_many_operations () =
       check int "server served the RPCs" 600
         (Array.fold_left ( + ) 0 stats.Runtime.Server.served))
 
+let test_udp_dropped_reply_backoff () =
+  (* No server on the port: every reply is "dropped", so the client must
+     run the whole retransmission schedule.  The wall-clock wait brackets
+     the schedule exactly — at least the fully-jittered minimum, at most
+     the deterministic total (plus scheduling slack) — which fails both
+     if wait_reply returns early (EINTR, spurious wakeups) and if a
+     retransmission is skipped. *)
+  let retry =
+    { Proto.Retry.max_attempts = 3; timeout_us = 20_000.0; backoff = 2.0; cap_us = infinity }
+  in
+  let budget = Proto.Retry.Budget.create ~capacity:2.0 ~earn_per_call:0.0 () in
+  let client =
+    Runtime.Udp.Client.connect ~retry ~budget ~seed:9 ~base_port:48911
+      ~queues:4 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Runtime.Udp.Client.close client)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      (try
+         Runtime.Udp.Client.put client "k" (Bytes.of_string "v");
+         Alcotest.fail "put against a dead port must time out"
+       with Runtime.Udp.Client.Timeout -> ());
+      let elapsed_us = 1.0e6 *. (Unix.gettimeofday () -. t0) in
+      check bool "waited at least the jittered minimum" true
+        (elapsed_us >= Proto.Retry.min_budget_us retry);
+      check bool "waited at most the schedule + slack" true
+        (elapsed_us <= Proto.Retry.total_budget_us retry +. 200_000.0);
+      check int "no Overloaded replies involved" 0
+        (Runtime.Udp.Client.sheds client);
+      (* The two retransmissions drained the budget; the next call must
+         fail fast instead of re-running the schedule. *)
+      let t1 = Unix.gettimeofday () in
+      (try
+         Runtime.Udp.Client.put client "k" (Bytes.of_string "v");
+         Alcotest.fail "second put must exhaust the retry budget"
+       with Runtime.Udp.Client.Budget_exhausted -> ());
+      let second_us = 1.0e6 *. (Unix.gettimeofday () -. t1) in
+      check bool "fail-fast: one timeout, no retransmissions" true
+        (second_us <= (2.0 *. retry.Proto.Retry.timeout_us) +. 200_000.0))
+
 let () =
   Alcotest.run "runtime"
     [
       ( "udp",
         [
           Alcotest.test_case "roundtrip" `Quick test_udp_roundtrip;
+          Alcotest.test_case "dropped replies: full backoff, then budget"
+            `Quick test_udp_dropped_reply_backoff;
           Alcotest.test_case "large value fragmentation" `Quick
             test_udp_large_value_fragmentation;
           Alcotest.test_case "many operations" `Slow test_udp_many_operations;
