@@ -186,7 +186,7 @@ let perf_sim () =
   let eng = Kvserver.Engine.create cfg gen ~offered_mops:4.0 in
   let minor0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
-  let m = Kvserver.Engine.run eng (Minos.Experiment.maker Minos.Experiment.Minos) in
+  let m = Kvserver.Engine.run eng (Minos.Experiment.maker Kvserver.Design.minos) in
   let dt = Unix.gettimeofday () -. t0 in
   let minor = Gc.minor_words () -. minor0 in
   let events = Dsim.Sim.events_processed (Kvserver.Engine.sim eng) in
@@ -213,7 +213,7 @@ let obs_run ?obs () =
   let eng = Kvserver.Engine.create ?obs cfg gen ~offered_mops:4.0 in
   let minor0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
-  let m = Kvserver.Engine.run eng (Minos.Experiment.maker Minos.Experiment.Minos) in
+  let m = Kvserver.Engine.run eng (Minos.Experiment.maker Kvserver.Design.minos) in
   let dt = Unix.gettimeofday () -. t0 in
   let minor = Gc.minor_words () -. minor0 in
   let events = Dsim.Sim.events_processed (Kvserver.Engine.sim eng) in
@@ -337,6 +337,26 @@ let run_chaos () =
   close_out oc;
   Printf.printf "[chaos results written to BENCH_chaos.json]\n%!"
 
+(* ------------------------------------------------------------------ *)
+(* Cluster scale-out: 4 shard servers behind the client-side router,
+   size-aware Minos vs the keyhash baseline at the same offered load.
+   The JSON is the record CI compares: multi-GET p99 must grow with the
+   fan-out degree, per-server Minos p99 must stay strictly below the
+   keyhash baseline's, cluster loss accounting must telescope exactly,
+   and a rerun at the same seed (any MINOS_JOBS) must be byte-identical. *)
+
+let run_cluster () =
+  let cfg = Minos.Experiment.config_of_scale scale in
+  let t =
+    Minos.Cluster.run ~cfg ~seed:1 ~servers:4 Workload.Spec.default
+      ~offered_mops:8.0
+  in
+  Minos.Cluster.print t;
+  let oc = open_out "BENCH_cluster.json" in
+  output_string oc (Minos.Cluster.to_json t);
+  close_out oc;
+  Printf.printf "[cluster results written to BENCH_cluster.json]\n%!"
+
 let targets : (string * string * (unit -> unit)) list =
   [
     ("fig1", "service time vs item size", fun () -> Minos.Figures.print_fig1 ());
@@ -380,6 +400,7 @@ let targets : (string * string * (unit -> unit)) list =
       fun () -> Minos.Figures.print_ablation_erew ~scale () );
     ("capacity", "closed-form capacity model", run_capacity);
     ("chaos", "fault plans vs hardened/plain designs", run_chaos);
+    ("cluster", "multi-server sharding + fan-out multi-GET", run_cluster);
     ("obs", "flight-recorder overhead on/off", run_obs);
     ("numa", "multi-NUMA-domain scaling", run_numa);
     ("micro", "bechamel microbenchmarks", run_micro);

@@ -14,20 +14,28 @@ open Cmdliner
 (* ------------------------------------------------------------------ *)
 (* Shared argument definitions *)
 
+let design_names () =
+  String.concat "|"
+    (List.map
+       (fun d -> String.lowercase_ascii (Kvserver.Design.name d))
+       (Kvserver.Design.all ()))
+
 let design_conv =
   let parse s =
-    match Minos.Experiment.design_of_name s with
+    match Kvserver.Design.find s with
     | Some d -> Ok d
-    | None -> Error (`Msg (Printf.sprintf "unknown design %S (minos|hkh|hkh+ws|sho)" s))
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown design %S (%s)" s (design_names ())))
   in
-  let print fmt d = Format.pp_print_string fmt (Minos.Experiment.design_name d) in
+  let print fmt d = Format.pp_print_string fmt (Kvserver.Design.name d) in
   Arg.conv (parse, print)
 
 let design =
   Arg.(
     value
-    & opt design_conv Minos.Experiment.Minos
-    & info [ "d"; "design" ] ~docv:"DESIGN" ~doc:"Server design: minos, hkh, hkh+ws, sho.")
+    & opt design_conv Kvserver.Design.minos
+    & info [ "d"; "design" ] ~docv:"DESIGN"
+        ~doc:(Printf.sprintf "Server design: %s." (design_names ())))
 
 let load =
   Arg.(
@@ -96,9 +104,14 @@ let print_metrics m =
 
 let run_cmd =
   let action design load p_large s_large get_ratio quick seed =
-    let spec = spec_of ~p_large ~s_large ~get_ratio in
-    let cfg = Minos.Experiment.config_of_scale (scale_of quick) in
-    let m = Minos.Experiment.run ~cfg ~seed design spec ~offered_mops:load in
+    let m =
+      Minos.Experiment.Spec.make design
+      |> Minos.Experiment.Spec.with_workload (spec_of ~p_large ~s_large ~get_ratio)
+      |> Minos.Experiment.with_scale (scale_of quick)
+      |> Minos.Experiment.Spec.with_load load
+      |> Minos.Experiment.Spec.with_seed seed
+      |> Minos.Experiment.run_spec
+    in
     print_metrics m
   in
   Cmd.v
@@ -599,6 +612,113 @@ let chaos_cmd =
       const action $ plan_file $ plans_arg $ json_arg $ chaos_load $ p_large
       $ s_large $ get_ratio $ quick $ seed $ jobs)
 
+(* ------------------------------------------------------------------ *)
+(* cluster *)
+
+let cluster_cmd =
+  let servers_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "servers" ] ~docv:"N" ~doc:"Number of shard servers.")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt design_conv Kvserver.Design.hkh
+      & info [ "baseline" ] ~docv:"DESIGN"
+          ~doc:
+            (Printf.sprintf "Per-server baseline design to compare against: %s."
+               (design_names ())))
+  in
+  let policy_conv =
+    Arg.enum [ ("hash", Kvcluster.Run.Hash); ("range", Kvcluster.Run.Range) ]
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt policy_conv Kvcluster.Run.Hash
+      & info [ "policy" ] ~docv:"hash|range"
+          ~doc:
+            "Routing policy: consistent hashing over virtual nodes, or an \
+             explicit key-range map.")
+  in
+  let rebalance_arg =
+    Arg.(
+      value & flag
+      & info [ "rebalance" ]
+          ~doc:
+            "Re-cut range boundaries from probed per-bucket key load before \
+             the measured run (range policy only).")
+  in
+  let vnodes_arg =
+    Arg.(
+      value
+      & opt int 128
+      & info [ "vnodes" ] ~docv:"N" ~doc:"Virtual nodes per server (hash policy).")
+  in
+  let fanouts_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8; 16 ]
+      & info [ "fanouts" ] ~docv:"K,..."
+          ~doc:"Multi-GET fan-out degrees to measure.")
+  in
+  let trials_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trials" ] ~docv:"N" ~doc:"Multi-GET trials per fan-out degree.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the results as JSON.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a merged Chrome trace of the main run, one process group \
+             per shard server.")
+  in
+  let action design baseline servers policy rebalance vnodes fanouts trials json
+      trace_out load p_large s_large get_ratio quick seed jobs =
+    Minos.Par.set_jobs jobs;
+    let workload = spec_of ~p_large ~s_large ~get_ratio in
+    let cfg = Minos.Experiment.config_of_scale (scale_of quick) in
+    let t =
+      Minos.Cluster.run ~cfg ~design ~baseline ~policy ~vnodes ~rebalance
+        ~fanouts ?trials ~seed ?trace_out ~servers workload ~offered_mops:load
+    in
+    Minos.Cluster.print t;
+    (match trace_out with
+    | Some path -> Printf.printf "[cluster trace written to %s]\n%!" path
+    | None -> ());
+    match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Minos.Cluster.to_json t);
+        close_out oc;
+        Printf.printf "[cluster results written to %s]\n%!" file
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Simulate a sharded cluster: N independent servers behind a \
+          client-side router, under the chosen design and a baseline at the \
+          same offered load.  Reports per-shard and aggregate latency, \
+          loss-accounting, and multi-GET completion p99 versus fan-out \
+          degree.")
+    Term.(
+      const action $ design $ baseline_arg $ servers_arg $ policy_arg
+      $ rebalance_arg $ vnodes_arg $ fanouts_arg $ trials_arg $ json_arg
+      $ trace_arg $ load $ p_large $ s_large $ get_ratio $ quick $ seed $ jobs)
+
 let () =
   let info =
     Cmd.info "minos" ~version:"1.0.0"
@@ -609,5 +729,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; sweep_cmd; slo_cmd; figure_cmd; obs_cmd; queueing_cmd; trace_cmd;
-            numa_cmd; serve_cmd; kv_cmd; loadtest_cmd; chaos_cmd;
+            numa_cmd; serve_cmd; kv_cmd; loadtest_cmd; chaos_cmd; cluster_cmd;
           ]))

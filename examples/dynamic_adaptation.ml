@@ -25,8 +25,8 @@ let () =
     Minos.Experiment.run ~cfg ~dynamic:schedule design Workload.Spec.default
       ~offered_mops:2.0
   in
-  let minos = run Minos.Experiment.Minos in
-  let ws = run Minos.Experiment.Hkh_ws in
+  let minos = run Kvserver.Design.minos in
+  let ws = run Kvserver.Design.hkh_ws in
   let cores_at t =
     List.fold_left
       (fun acc (ct, n) -> if ct <= t then n else acc)

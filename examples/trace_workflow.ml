@@ -35,7 +35,7 @@ let () =
   let scale = Minos.Experiment.quick_scale in
   let base = Minos.Experiment.config_of_scale scale in
   let show label cfg =
-    let m = Minos.Experiment.run ~cfg Minos.Experiment.Minos spec ~offered_mops:5.0 in
+    let m = Minos.Experiment.run ~cfg Kvserver.Design.minos spec ~offered_mops:5.0 in
     Printf.printf "%-22s p50=%5.1fus p99=%6.1fus tput=%.2fM threshold=%.0fB\n" label
       m.Kvserver.Metrics.p50_us m.Kvserver.Metrics.p99_us
       m.Kvserver.Metrics.throughput_mops m.Kvserver.Metrics.final_threshold
@@ -46,7 +46,7 @@ let () =
 
   (* 4. trace-driven replay (same requests, not resampled) *)
   let m =
-    Minos.Experiment.run_trace ~cfg:base Minos.Experiment.Minos
+    Minos.Experiment.run_trace ~cfg:base Kvserver.Design.minos
       (Workload.Trace.load path) ~spec ~offered_mops:5.0
   in
   Printf.printf "%-22s p50=%5.1fus p99=%6.1fus tput=%.2fM threshold=%.0fB\n"

@@ -1,0 +1,66 @@
+(* SplitMix64-style finalizer on native ints (constants truncated to 63
+   bits, mirroring Dsim.Rng); positions are masked non-negative so the
+   binary search below works on a totally ordered int ring. *)
+let mix z =
+  let z = (z + 0x1E3779B97F4A7C15) * 0x2F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  (z lxor (z lsr 31)) land max_int
+
+type t = {
+  servers : int;
+  vnodes : int;
+  points : int array; (* sorted ring positions *)
+  owner : int array;  (* owner.(i) = server owning points.(i) *)
+}
+
+let create ?(vnodes = 128) ?(seed = 0) ~servers () =
+  if servers < 1 then invalid_arg "Ring.create: servers must be >= 1";
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes must be >= 1";
+  let n = servers * vnodes in
+  let pairs = Array.make n (0, 0) in
+  for s = 0 to servers - 1 do
+    for v = 0 to vnodes - 1 do
+      (* Feed (seed, server, vnode) through the mixer twice so vnode
+         points of one server are spread independently. *)
+      let h = mix (mix ((seed * 0x3779) lxor (s * 0x10001) lxor v) + v) in
+      pairs.((s * vnodes) + v) <- (h, s)
+    done
+  done;
+  Array.sort
+    (fun (a, sa) (b, sb) ->
+      if a <> b then Int.compare a b else Int.compare sa sb)
+    pairs;
+  {
+    servers;
+    vnodes;
+    points = Array.map fst pairs;
+    owner = Array.map snd pairs;
+  }
+
+let servers t = t.servers
+let vnodes t = t.vnodes
+
+let lookup t h =
+  let h = mix h in
+  let n = Array.length t.points in
+  (* First point >= h, else wrap to point 0. *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  t.owner.(if !lo = n then 0 else !lo)
+
+let remove t s =
+  if t.servers <= 1 then invalid_arg "Ring.remove: cannot remove the last server";
+  let keep = ref [] in
+  for i = Array.length t.points - 1 downto 0 do
+    if t.owner.(i) <> s then keep := (t.points.(i), t.owner.(i)) :: !keep
+  done;
+  let pairs = Array.of_list !keep in
+  {
+    servers = t.servers - 1;
+    vnodes = t.vnodes;
+    points = Array.map fst pairs;
+    owner = Array.map snd pairs;
+  }

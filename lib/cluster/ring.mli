@@ -1,0 +1,30 @@
+(** Consistent-hash ring with virtual nodes.
+
+    Each server owns [vnodes] pseudo-random points on a ring of hash
+    positions; a key is served by the owner of the first point at or
+    after the key's own hashed position (wrapping around).  Virtual nodes
+    smooth the load split: with 128 vnodes the heaviest shard carries
+    within ~1.3× the mean key share (pinned by test/test_cluster.ml).
+
+    The construction is a pure function of [(servers, vnodes, seed)] —
+    no global state — so routing is deterministic, and {!remove} shows
+    the defining property of consistent hashing: deleting one server
+    moves only the keys that server owned. *)
+
+type t
+
+val create : ?vnodes:int -> ?seed:int -> servers:int -> unit -> t
+(** [vnodes] defaults to 128, [seed] to 0.  [servers] must be >= 1. *)
+
+val servers : t -> int
+val vnodes : t -> int
+
+val lookup : t -> int -> int
+(** [lookup t h] is the server owning hash [h] (any non-negative int;
+    it is re-mixed internally, so raw key ids are acceptable input). *)
+
+val remove : t -> int -> t
+(** [remove t s] is the ring without server [s]'s points (server ids keep
+    their numbering).  Keys not owned by [s] keep their owner — the
+    stability property {!lookup} inherits from the ring structure.
+    Raises [Invalid_argument] when removing the last server. *)

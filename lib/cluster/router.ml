@@ -1,0 +1,25 @@
+type policy = Hash of (int -> int) * Ring.t | Range of Range_map.t
+
+type t = { policy : policy }
+
+let hash ~key_hash ring = { policy = Hash (key_hash, ring) }
+
+let range map = { policy = Range map }
+
+let servers t =
+  match t.policy with
+  | Hash (_, ring) -> Ring.servers ring
+  | Range map -> Range_map.servers map
+
+let policy_name t =
+  match t.policy with Hash _ -> "hash" | Range _ -> "range"
+
+let route t key_id =
+  match t.policy with
+  | Hash (key_hash, ring) -> Ring.lookup ring (key_hash key_id)
+  | Range map -> Range_map.lookup map key_id
+
+let rebalance t ~weights =
+  match t.policy with
+  | Hash _ -> t
+  | Range map -> { policy = Range (Range_map.rebalance map ~weights) }

@@ -1,0 +1,29 @@
+(** Client-side request router: key id → server id.
+
+    Two policies: consistent hashing over the key's name hash
+    ({!Ring}), and explicit key-id ranges ({!Range_map}).  The hash
+    policy takes a [key_hash] function so callers can route on the same
+    precomputed hash the engines dispatch on
+    ({!Workload.Dataset.key_partition}); routing is then a pure function
+    of the dataset and ring, independent of request order. *)
+
+type t
+
+val hash : key_hash:(int -> int) -> Ring.t -> t
+(** Route by consistent hashing: server = [Ring.lookup ring (key_hash
+    key_id)]. *)
+
+val range : Range_map.t -> t
+
+val servers : t -> int
+
+val policy_name : t -> string
+(** ["hash"] or ["range"]. *)
+
+val route : t -> int -> int
+(** [route t key_id] is the server the key's operations go to. *)
+
+val rebalance : t -> weights:float array -> t
+(** Re-cut a range router from observed per-bucket load
+    ({!Range_map.rebalance}); a hash router is returned unchanged
+    (consistent hashing has no explicit cut points to move). *)

@@ -1,0 +1,153 @@
+type shard_result = Kvserver.Metrics.t * Stats.Float_vec.t
+
+type policy = Hash | Range
+
+type rebalance_info = {
+  imbalance_before : float;
+  imbalance_after : float;
+  moved_share : float;
+}
+
+type t = {
+  servers : int;
+  policy_name : string;
+  design_name : string;
+  offered_mops : float;
+  seed : int;
+  metrics : Metrics.t;
+  fanout : Fanout.point list;
+  rebalance : rebalance_info option;
+}
+
+let probe_buckets = 128
+
+(* Replay [probe] requests from a dedicated generator stream through the
+   router: per-shard routed counts plus per-bucket key-load weights (the
+   input to a range rebalance).  The generator seed depends only on the
+   run seed, so the probe — and hence the shares every engine's offered
+   load derives from — is a pure function of (seed, dataset, router). *)
+let probe_shares ~probe ~seed ~workload ~dataset router =
+  let n_servers = Router.servers router in
+  let n_keys = Workload.Dataset.n_keys dataset in
+  let gen =
+    Workload.Generator.create ~seed:(seed + 7919)
+      ~p_large:workload.Workload.Spec.p_large
+      ~get_ratio:workload.Workload.Spec.get_ratio dataset
+  in
+  let counts = Array.make n_servers 0 in
+  let weights = Array.make probe_buckets 0.0 in
+  for _ = 1 to probe do
+    let r = Workload.Generator.next gen in
+    let s = Router.route router r.Workload.Generator.key_id in
+    counts.(s) <- counts.(s) + 1;
+    let b = r.Workload.Generator.key_id * probe_buckets / n_keys in
+    weights.(b) <- weights.(b) +. 1.0
+  done;
+  let floor_share = 1.0 /. float_of_int probe in
+  let shares =
+    Array.map
+      (fun c -> Float.max floor_share (float_of_int c /. float_of_int probe))
+      counts
+  in
+  (shares, weights)
+
+(* Fraction of the probe stream whose owning shard differs between the
+   two routers. *)
+let moved_share ~probe ~seed ~workload ~dataset before after =
+  let gen =
+    Workload.Generator.create ~seed:(seed + 7919)
+      ~p_large:workload.Workload.Spec.p_large
+      ~get_ratio:workload.Workload.Spec.get_ratio dataset
+  in
+  let moved = ref 0 in
+  for _ = 1 to probe do
+    let r = Workload.Generator.next gen in
+    let k = r.Workload.Generator.key_id in
+    if Router.route before k <> Router.route after k then incr moved
+  done;
+  float_of_int !moved /. float_of_int probe
+
+let imbalance_of shares =
+  let n = Array.length shares in
+  let max_s = Array.fold_left Float.max 0.0 shares in
+  let mean_s = Array.fold_left ( +. ) 0.0 shares /. float_of_int n in
+  if mean_s > 0.0 then max_s /. mean_s else Float.nan
+
+let run ?(vnodes = 128) ?(policy = Hash) ?(rebalance = false)
+    ?(fanouts = [ 1; 2; 4; 8; 16 ]) ?trials ?(probe = 65_536) ?(seed = 1)
+    ?instrument ?(map = fun f xs -> List.map f xs) ~cfg ~design ~dataset ~servers
+    ~workload ~offered_mops () =
+  if servers < 1 then invalid_arg "Cluster.run: servers must be >= 1";
+  if probe < 1 then invalid_arg "Cluster.run: probe must be >= 1";
+  if offered_mops <= 0.0 then invalid_arg "Cluster.run: offered load must be > 0";
+  let n_keys = Workload.Dataset.n_keys dataset in
+  let router =
+    match policy with
+    | Hash ->
+        Router.hash
+          ~key_hash:(Workload.Dataset.key_partition dataset)
+          (Ring.create ~vnodes ~servers ())
+    | Range -> Router.range (Range_map.create ~servers ~n_keys ())
+  in
+  let shares, weights = probe_shares ~probe ~seed ~workload ~dataset router in
+  let router, shares, rebalance =
+    if not rebalance then (router, shares, None)
+    else begin
+      let router' = Router.rebalance router ~weights in
+      let shares', _ = probe_shares ~probe ~seed ~workload ~dataset router' in
+      let info =
+        {
+          imbalance_before = imbalance_of shares;
+          imbalance_after = imbalance_of shares';
+          moved_share = moved_share ~probe ~seed ~workload ~dataset router router';
+        }
+      in
+      (router', shares', Some info)
+    end
+  in
+  let route k = Router.route router k in
+  let shard_job s =
+    let gen =
+      Workload.Generator.create ~seed:(seed + 101)
+        ~p_large:workload.Workload.Spec.p_large
+        ~get_ratio:workload.Workload.Spec.get_ratio dataset
+    in
+    (* Thin the shared request stream down to this shard's keys: the
+       shard sees its own requests in global order, at its routed share
+       of the total Poisson rate. *)
+    let rec source () =
+      let r = Workload.Generator.next gen in
+      if route r.Workload.Generator.key_id = s then r else source ()
+    in
+    let cfg_s =
+      { cfg with Kvserver.Config.seed = cfg.Kvserver.Config.seed + seed + (97 * s) }
+    in
+    let obs = match instrument with None -> None | Some f -> Some (f s) in
+    let eng =
+      Kvserver.Engine.create ~source ?obs cfg_s gen
+        ~offered_mops:(offered_mops *. shares.(s))
+    in
+    let m = Kvserver.Engine.run eng (Kvserver.Design.make design) in
+    (m, Kvserver.Engine.raw_latencies eng)
+  in
+  let results = Array.of_list (map shard_job (List.init servers Fun.id)) in
+  if Array.length results <> servers then
+    invalid_arg "Cluster.run: map must preserve length";
+  let metrics = Metrics.aggregate ~shard_share:shares results in
+  let fanout =
+    Fanout.measure
+      ~rng:(Dsim.Rng.create (seed lxor 0x0fa17007))
+      ~route
+      ~sample_key:(fun rng -> Workload.Dataset.sample_get_key dataset rng)
+      ~latencies:(Array.map snd results) ?trials ~fanouts ()
+  in
+  {
+    servers;
+    policy_name = Router.policy_name router;
+    design_name = Kvserver.Design.name design;
+    offered_mops;
+    seed;
+    metrics;
+    fanout;
+    rebalance;
+  }

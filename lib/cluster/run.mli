@@ -1,0 +1,70 @@
+(** One deterministic multi-server cluster run.
+
+    N independent {!Kvserver.Engine} instances — each with its own NIC,
+    cores, RNG streams and size-aware control loop — serve disjoint
+    keyspace shards behind a client-side {!Router}.  The client request
+    stream is an open-loop Poisson process; routing a Poisson stream
+    splits it into independent Poisson streams (thinning), so each shard
+    is simulated as its own engine at its routed share of the offered
+    load, replaying the same seeded request stream filtered down to the
+    keys it owns.  Per-shard results are therefore independent jobs —
+    [map] lets the caller fan them out over a domain pool, and results
+    are bit-identical to the sequential order by construction.
+
+    A run proceeds as: probe the routed shard shares (and per-bucket key
+    load) with a dedicated seeded generator; optionally rebalance a
+    range router from the observed bucket weights; run one engine per
+    shard; aggregate ({!Metrics.aggregate}); and measure fan-out
+    multi-GET completion ({!Fanout.measure}) over the recorded per-shard
+    latency distributions. *)
+
+type shard_result = Kvserver.Metrics.t * Stats.Float_vec.t
+
+type policy = Hash | Range
+
+type rebalance_info = {
+  imbalance_before : float; (** max/mean shard share before re-cutting *)
+  imbalance_after : float;
+  moved_share : float;      (** fraction of probed traffic that changed shard *)
+}
+
+type t = {
+  servers : int;
+  policy_name : string;
+  design_name : string;
+  offered_mops : float;
+  seed : int;
+  metrics : Metrics.t;
+  fanout : Fanout.point list;
+  rebalance : rebalance_info option;
+}
+
+val run :
+  ?vnodes:int ->
+  ?policy:policy ->
+  ?rebalance:bool ->
+  ?fanouts:int list ->
+  ?trials:int ->
+  ?probe:int ->
+  ?seed:int ->
+  ?instrument:(int -> Obs.Instrument.t) ->
+  ?map:((int -> shard_result) -> int list -> shard_result list) ->
+  cfg:Kvserver.Config.t ->
+  design:Kvserver.Design.t ->
+  dataset:Workload.Dataset.t ->
+  servers:int ->
+  workload:Workload.Spec.t ->
+  offered_mops:float ->
+  unit ->
+  t
+(** [policy] defaults to [Hash] (with [vnodes], default 128); [rebalance]
+    (default false) re-cuts a [Range] router between the probe and the
+    measured run and is a no-op under [Hash].  [fanouts] (default
+    [1; 2; 4; 8; 16]) and [trials] (default 20_000) drive the multi-GET
+    measurement; [probe] (default 65_536) is the number of routed probe
+    requests behind the share estimate.  [offered_mops] is the total
+    cluster load; each shard runs at its routed share of it.
+    [instrument s] supplies the per-shard flight recorder (create it
+    with [~server:s] so exported traces tag the shard); [map] supplies
+    the parallel fan-out (default: sequential [List.map]) and must
+    preserve order and length. *)

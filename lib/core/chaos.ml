@@ -36,9 +36,9 @@ let baseline_config (base : Kvserver.Config.t) =
 
 let variant_points base =
   [
-    ("Minos+guard", Experiment.Minos, guard_config base);
-    ("Minos", Experiment.Minos, base);
-    ("HKH+WS", Experiment.Hkh_ws, baseline_config base);
+    ("Minos+guard", Kvserver.Design.minos, guard_config base);
+    ("Minos", Kvserver.Design.minos, base);
+    ("HKH+WS", Kvserver.Design.hkh_ws, baseline_config base);
   ]
 
 let run_plan ?cfg ?(spec = Workload.Spec.default) ?(seed = 1) ?(offered_mops = 4.0)

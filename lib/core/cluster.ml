@@ -1,0 +1,209 @@
+type t = {
+  servers : int;
+  offered_mops : float;
+  seed : int;
+  main : Kvcluster.Run.t;
+  baseline : Kvcluster.Run.t;
+}
+
+let run ?cfg ?(design = Kvserver.Design.minos) ?(baseline = Kvserver.Design.hkh)
+    ?policy ?vnodes ?rebalance ?fanouts ?trials ?(seed = 1) ?trace_out ?spans
+    ?sample_rate ~servers workload ~offered_mops =
+  let cfg =
+    match cfg with
+    | Some c -> c
+    | None -> Experiment.config_of_scale Experiment.full_scale
+  in
+  let dataset = Experiment.dataset_for workload in
+  let instruments =
+    match trace_out with
+    | None -> None
+    | Some _ ->
+        Some
+          (Array.init servers (fun s ->
+               Obs.Instrument.create ~server:s ?spans ?sample_rate
+                 ~cores:cfg.Kvserver.Config.cores
+                 ~seed:(seed + (97 * s) + 0x0b5) ()))
+  in
+  let instrument =
+    Option.map (fun arr s -> arr.(s)) instruments
+  in
+  let go design ?instrument () =
+    Kvcluster.Run.run ?policy ?vnodes ?rebalance ?fanouts ?trials ~seed
+      ?instrument ~map:Par.map_list ~cfg ~design ~dataset ~servers ~workload
+      ~offered_mops ()
+  in
+  let main = go design ?instrument () in
+  let baseline = go baseline () in
+  (match (trace_out, instruments) with
+  | Some path, Some arr ->
+      let sections =
+        Array.to_list
+          (Array.mapi (fun s ins -> (Printf.sprintf "shard %d" s, ins)) arr)
+      in
+      Obs.Chrome_trace.write_cluster ~path sections
+  | _ -> ());
+  { servers; offered_mops; seed; main; baseline }
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let shard_table label (r : Kvcluster.Run.t) =
+  let m = r.Kvcluster.Run.metrics in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun s (sm : Kvserver.Metrics.t) ->
+           [
+             string_of_int s;
+             Report.pct m.Kvcluster.Metrics.shard_share.(s);
+             Report.f2 sm.Kvserver.Metrics.throughput_mops;
+             Report.f1 sm.Kvserver.Metrics.p50_us;
+             Report.f1 sm.Kvserver.Metrics.p99_us;
+             Report.f1 sm.Kvserver.Metrics.p999_us;
+             string_of_int (sm.Kvserver.Metrics.shed_small + sm.Kvserver.Metrics.shed_large);
+             (if sm.Kvserver.Metrics.stable then "yes" else "NO");
+           ])
+         m.Kvcluster.Metrics.per_shard)
+  in
+  Report.table
+    ~title:(Printf.sprintf "%s: per-shard (%s)" label r.Kvcluster.Run.design_name)
+    ~headers:[ "shard"; "share"; "tput Mops"; "p50 us"; "p99 us"; "p99.9 us"; "shed"; "stable" ]
+    rows;
+  Report.note "cluster: tput %s Mops  p50 %s  p99 %s  p99.9 %s us  worst-shard p99 %s us"
+    (Report.f2 m.Kvcluster.Metrics.throughput_mops)
+    (Report.f1 m.Kvcluster.Metrics.p50_us)
+    (Report.f1 m.Kvcluster.Metrics.p99_us)
+    (Report.f1 m.Kvcluster.Metrics.p999_us)
+    (Report.f1 m.Kvcluster.Metrics.worst_shard_p99_us);
+  Report.note "loss accounting %s  imbalance (max/mean share) %s"
+    (if Kvcluster.Metrics.telescopes m then "exact" else "BROKEN")
+    (Report.f2 m.Kvcluster.Metrics.imbalance);
+  match r.Kvcluster.Run.rebalance with
+  | None -> ()
+  | Some rb ->
+      Report.note "rebalance: imbalance %s -> %s, moved %s of traffic"
+        (Report.f2 rb.Kvcluster.Run.imbalance_before)
+        (Report.f2 rb.Kvcluster.Run.imbalance_after)
+        (Report.pct rb.Kvcluster.Run.moved_share)
+
+let print t =
+  Report.section
+    (Printf.sprintf "Cluster: %d servers, %s routing, %s Mops offered, seed %d"
+       t.servers t.main.Kvcluster.Run.policy_name
+       (Report.f2 t.offered_mops) t.seed);
+  shard_table "main" t.main;
+  shard_table "baseline" t.baseline;
+  let fanout_rows =
+    List.map2
+      (fun (a : Kvcluster.Fanout.point) (b : Kvcluster.Fanout.point) ->
+        [
+          string_of_int a.Kvcluster.Fanout.fanout;
+          Report.f1 a.Kvcluster.Fanout.p50_us;
+          Report.f1 a.Kvcluster.Fanout.p99_us;
+          Report.f1 b.Kvcluster.Fanout.p50_us;
+          Report.f1 b.Kvcluster.Fanout.p99_us;
+          Report.f2 (b.Kvcluster.Fanout.p99_us /. a.Kvcluster.Fanout.p99_us);
+        ])
+      t.main.Kvcluster.Run.fanout t.baseline.Kvcluster.Run.fanout
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf "Multi-GET completion vs fan-out (%s vs %s)"
+         t.main.Kvcluster.Run.design_name t.baseline.Kvcluster.Run.design_name)
+    ~headers:
+      [ "fanout"; "main p50"; "main p99"; "base p50"; "base p99"; "base/main p99" ]
+    fanout_rows
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let fl x = if Float.is_nan x then "null" else Printf.sprintf "%.3f" x
+
+let run_json b indent (r : Kvcluster.Run.t) =
+  let m = r.Kvcluster.Run.metrics in
+  let pad = String.make indent ' ' in
+  Buffer.add_string b (Printf.sprintf "%s\"design\": \"%s\",\n" pad r.Kvcluster.Run.design_name);
+  Buffer.add_string b (Printf.sprintf "%s\"policy\": \"%s\",\n" pad r.Kvcluster.Run.policy_name);
+  Buffer.add_string b
+    (Printf.sprintf
+       "%s\"issued\": %d, \"served\": %d, \"net_dropped\": %d, \"rx_dropped\": \
+        %d, \"shed_small\": %d, \"shed_large\": %d, \"in_flight_end\": %d,\n"
+       pad m.Kvcluster.Metrics.issued m.Kvcluster.Metrics.served_total
+       m.Kvcluster.Metrics.net_dropped m.Kvcluster.Metrics.rx_dropped
+       m.Kvcluster.Metrics.shed_small m.Kvcluster.Metrics.shed_large
+       m.Kvcluster.Metrics.in_flight_end);
+  Buffer.add_string b
+    (Printf.sprintf
+       "%s\"throughput_mops\": %s, \"p50_us\": %s, \"p99_us\": %s, \
+        \"p999_us\": %s, \"worst_shard_p99_us\": %s, \"imbalance\": %s, \
+        \"stable\": %b, \"telescopes\": %b,\n"
+       pad
+       (fl m.Kvcluster.Metrics.throughput_mops)
+       (fl m.Kvcluster.Metrics.p50_us)
+       (fl m.Kvcluster.Metrics.p99_us)
+       (fl m.Kvcluster.Metrics.p999_us)
+       (fl m.Kvcluster.Metrics.worst_shard_p99_us)
+       (fl m.Kvcluster.Metrics.imbalance)
+       m.Kvcluster.Metrics.stable
+       (Kvcluster.Metrics.telescopes m));
+  (match r.Kvcluster.Run.rebalance with
+  | None -> ()
+  | Some rb ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "%s\"rebalance\": {\"imbalance_before\": %s, \"imbalance_after\": \
+            %s, \"moved_share\": %s},\n"
+           pad
+           (fl rb.Kvcluster.Run.imbalance_before)
+           (fl rb.Kvcluster.Run.imbalance_after)
+           (fl rb.Kvcluster.Run.moved_share)));
+  Buffer.add_string b (Printf.sprintf "%s\"per_shard\": [\n" pad);
+  let n = Array.length m.Kvcluster.Metrics.per_shard in
+  Array.iteri
+    (fun s (sm : Kvserver.Metrics.t) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "%s  {\"shard\": %d, \"share\": %s, \"throughput_mops\": %s, \
+            \"p50_us\": %s, \"p99_us\": %s, \"p999_us\": %s, \"issued\": %d, \
+            \"served\": %d, \"stable\": %b}%s\n"
+           pad s
+           (fl m.Kvcluster.Metrics.shard_share.(s))
+           (fl sm.Kvserver.Metrics.throughput_mops)
+           (fl sm.Kvserver.Metrics.p50_us)
+           (fl sm.Kvserver.Metrics.p99_us)
+           (fl sm.Kvserver.Metrics.p999_us)
+           sm.Kvserver.Metrics.issued sm.Kvserver.Metrics.served_total
+           sm.Kvserver.Metrics.stable
+           (if s = n - 1 then "" else ",")))
+    m.Kvcluster.Metrics.per_shard;
+  Buffer.add_string b (Printf.sprintf "%s],\n" pad);
+  Buffer.add_string b (Printf.sprintf "%s\"fanout\": [\n" pad);
+  let nf = List.length r.Kvcluster.Run.fanout in
+  List.iteri
+    (fun i (p : Kvcluster.Fanout.point) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "%s  {\"fanout\": %d, \"p50_us\": %s, \"p99_us\": %s, \"mean_us\": \
+            %s}%s\n"
+           pad p.Kvcluster.Fanout.fanout
+           (fl p.Kvcluster.Fanout.p50_us)
+           (fl p.Kvcluster.Fanout.p99_us)
+           (fl p.Kvcluster.Fanout.mean_us)
+           (if i = nf - 1 then "" else ",")))
+    r.Kvcluster.Run.fanout;
+  Buffer.add_string b (Printf.sprintf "%s]\n" pad)
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"servers\": %d,\n  \"offered_mops\": %s,\n  \"seed\": %d,\n"
+       t.servers (fl t.offered_mops) t.seed);
+  Buffer.add_string b "  \"main\": {\n";
+  run_json b 4 t.main;
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"baseline\": {\n";
+  run_json b 4 t.baseline;
+  Buffer.add_string b "  }\n}\n";
+  Buffer.contents b

@@ -1,0 +1,53 @@
+(** Cluster-scale experiment front end.
+
+    Runs the same workload through a sharded cluster twice — once under
+    the chosen (size-aware) design, once under a baseline — over the
+    deterministic multi-server layer in {!Kvcluster.Run}, with the
+    per-shard engine jobs fanned out over {!Par}'s domain pool (results
+    are bit-identical to sequential, any [MINOS_JOBS]).  The headline
+    comparison: per-shard p99 and the fan-out multi-GET p99 (max over
+    shards) of size-aware sharding versus the keyhash baseline at the
+    same offered load. *)
+
+type t = {
+  servers : int;
+  offered_mops : float; (** total cluster load, split by routed share *)
+  seed : int;
+  main : Kvcluster.Run.t;
+  baseline : Kvcluster.Run.t;
+}
+
+val run :
+  ?cfg:Kvserver.Config.t ->
+  ?design:Kvserver.Design.t ->
+  ?baseline:Kvserver.Design.t ->
+  ?policy:Kvcluster.Run.policy ->
+  ?vnodes:int ->
+  ?rebalance:bool ->
+  ?fanouts:int list ->
+  ?trials:int ->
+  ?seed:int ->
+  ?trace_out:string ->
+  ?spans:int ->
+  ?sample_rate:float ->
+  servers:int ->
+  Workload.Spec.t ->
+  offered_mops:float ->
+  t
+(** [design] defaults to {!Kvserver.Design.minos}, [baseline] to
+    {!Kvserver.Design.hkh}; both runs share the router policy ([policy],
+    [vnodes], [rebalance]) and seed, so they see identical shard splits.
+    [trace_out] attaches one flight recorder per shard to the main run
+    and writes a merged Chrome trace whose process ids are the server
+    ids ({!Obs.Chrome_trace.write_cluster}); [spans] / [sample_rate]
+    configure those recorders.  Remaining knobs are passed through to
+    {!Kvcluster.Run.run}. *)
+
+val print : t -> unit
+(** Aligned text tables: per-shard breakdown for both designs, loss
+    accounting, rebalance effect (when enabled) and the fan-out p99
+    comparison. *)
+
+val to_json : t -> string
+(** The BENCH_cluster.json payload: per-shard and aggregate metrics for
+    both designs, telescoping flags, and p99 versus fan-out degree. *)

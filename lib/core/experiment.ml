@@ -1,26 +1,12 @@
-type design = Minos | Hkh | Hkh_ws | Sho
+type design = Kvserver.Design.t
 
-let all_designs = [ Minos; Hkh; Hkh_ws; Sho ]
+let all_designs = Kvserver.Design.all ()
 
-let design_name = function
-  | Minos -> Kvserver.Design_minos.name
-  | Hkh -> Kvserver.Design_hkh.name
-  | Hkh_ws -> Kvserver.Design_hkh_ws.name
-  | Sho -> Kvserver.Design_sho.name
+let design_name = Kvserver.Design.name
 
-let design_of_name s =
-  match String.lowercase_ascii s with
-  | "minos" -> Some Minos
-  | "hkh" -> Some Hkh
-  | "hkh+ws" | "hkh_ws" | "hkhws" | "ws" -> Some Hkh_ws
-  | "sho" -> Some Sho
-  | _ -> None
+let design_of_name = Kvserver.Design.find
 
-let maker = function
-  | Minos -> Kvserver.Design_minos.make
-  | Hkh -> Kvserver.Design_hkh.make
-  | Hkh_ws -> Kvserver.Design_hkh_ws.make
-  | Sho -> Kvserver.Design_sho.make
+let maker = Kvserver.Design.make
 
 type scale = {
   duration_us : float;
@@ -90,17 +76,80 @@ let config_of_scale ?(base = Kvserver.Config.default) scale =
     epoch_us = scale.epoch_us;
   }
 
-let run_raw ?cfg ?dynamic ?store ?obs ?fault ?(seed = 1) design spec ~offered_mops =
-  let cfg = match cfg with Some c -> c | None -> config_of_scale full_scale in
-  let dataset = dataset_for spec in
+module Spec = struct
+  type t = {
+    design : Kvserver.Design.t;
+    workload : Workload.Spec.t;
+    offered_mops : float;
+    cfg : Kvserver.Config.t;
+    seed : int;
+    dynamic : Workload.Dynamic.t option;
+    store : Kvstore.Store.t option;
+    obs : Obs.Instrument.t option;
+    fault : Fault.Inject.t option;
+  }
+
+  let make design =
+    {
+      design;
+      workload = Workload.Spec.default;
+      offered_mops = 3.0;
+      cfg = config_of_scale full_scale;
+      seed = 1;
+      dynamic = None;
+      store = None;
+      obs = None;
+      fault = None;
+    }
+
+  let with_design design t = { t with design }
+  let with_workload workload t = { t with workload }
+  let with_load offered_mops t = { t with offered_mops }
+  let with_cfg cfg t = { t with cfg }
+  let with_seed seed t = { t with seed }
+  let with_dynamic d t = { t with dynamic = Some d }
+  let with_store s t = { t with store = Some s }
+  let with_obs o t = { t with obs = Some o }
+  let with_fault f t = { t with fault = Some f }
+end
+
+let with_scale scale (s : Spec.t) =
+  { s with Spec.cfg = config_of_scale ~base:s.Spec.cfg scale }
+
+let run_spec_raw (s : Spec.t) =
+  let dataset = dataset_for s.Spec.workload in
   let gen =
-    Workload.Generator.create ~seed:(seed + 101)
-      ~p_large:spec.Workload.Spec.p_large ~get_ratio:spec.Workload.Spec.get_ratio dataset
+    Workload.Generator.create ~seed:(s.Spec.seed + 101)
+      ~p_large:s.Spec.workload.Workload.Spec.p_large
+      ~get_ratio:s.Spec.workload.Workload.Spec.get_ratio dataset
   in
-  let cfg = { cfg with Kvserver.Config.seed = cfg.Kvserver.Config.seed + seed } in
-  let eng = Kvserver.Engine.create ?dynamic ?store ?obs ?fault cfg gen ~offered_mops in
-  let metrics = Kvserver.Engine.run eng (maker design) in
+  let cfg =
+    { s.Spec.cfg with Kvserver.Config.seed = s.Spec.cfg.Kvserver.Config.seed + s.Spec.seed }
+  in
+  let eng =
+    Kvserver.Engine.create ?dynamic:s.Spec.dynamic ?store:s.Spec.store ?obs:s.Spec.obs
+      ?fault:s.Spec.fault cfg gen ~offered_mops:s.Spec.offered_mops
+  in
+  let metrics = Kvserver.Engine.run eng (Kvserver.Design.make s.Spec.design) in
   (metrics, Kvserver.Engine.raw_latencies eng)
+
+let run_spec s = fst (run_spec_raw s)
+
+let spec_of ?cfg ?dynamic ?store ?obs ?fault ?(seed = 1) design workload ~offered_mops =
+  {
+    Spec.design;
+    workload;
+    offered_mops;
+    cfg = (match cfg with Some c -> c | None -> config_of_scale full_scale);
+    seed;
+    dynamic;
+    store;
+    obs;
+    fault;
+  }
+
+let run_raw ?cfg ?dynamic ?store ?obs ?fault ?seed design spec ~offered_mops =
+  run_spec_raw (spec_of ?cfg ?dynamic ?store ?obs ?fault ?seed design spec ~offered_mops)
 
 let run ?cfg ?dynamic ?store ?obs ?fault ?seed design spec ~offered_mops =
   fst (run_raw ?cfg ?dynamic ?store ?obs ?fault ?seed design spec ~offered_mops)
@@ -117,16 +166,19 @@ let better (a : Kvserver.Metrics.t) (b : Kvserver.Metrics.t) =
   else if a.Kvserver.Metrics.p99_us <= b.Kvserver.Metrics.p99_us then a
   else b
 
-let run_sho_best ?cfg ?seed spec ~offered_mops =
+let run_best_handoff ?cfg ?seed design spec ~offered_mops =
   let base = match cfg with Some c -> c | None -> config_of_scale full_scale in
   [ 1; 2; 3 ]
   |> List.filter (fun h -> h < base.Kvserver.Config.cores)
   |> Par.map_list (fun handoff_cores ->
-         run ~cfg:{ base with Kvserver.Config.handoff_cores } ?seed Sho spec
+         run ~cfg:{ base with Kvserver.Config.handoff_cores } ?seed design spec
            ~offered_mops)
   |> function
   | [] -> invalid_arg "run_sho_best: no valid handoff configuration"
   | first :: rest -> List.fold_left better first rest
+
+let run_sho_best ?cfg ?seed spec ~offered_mops =
+  run_best_handoff ?cfg ?seed Kvserver.Design.sho spec ~offered_mops
 
 let run_trace ?cfg ?(seed = 1) design trace ~spec ~offered_mops =
   if Array.length trace = 0 then invalid_arg "run_trace: empty trace";
@@ -136,7 +188,7 @@ let run_trace ?cfg ?(seed = 1) design trace ~spec ~offered_mops =
   let next = Workload.Trace.replayer ~loop:true trace in
   let source () = Option.get (next ()) in
   let eng = Kvserver.Engine.create ~source cfg gen ~offered_mops in
-  Kvserver.Engine.run eng (maker design)
+  Kvserver.Engine.run eng (Kvserver.Design.make design)
 
 type replicated = {
   runs : Kvserver.Metrics.t list;
@@ -163,10 +215,13 @@ let run_replicated ?cfg ?(seeds = [ 1; 2; 3 ]) design spec ~offered_mops =
   }
 
 let sweep ?cfg ?(sho_best = false) design spec ~loads_mops =
+  let search_handoff =
+    sho_best && Kvserver.Design.supports design Kvserver.Design.Handoff_cores
+  in
   Par.map_list
     (fun load ->
       let m =
-        if sho_best && design = Sho then run_sho_best ?cfg spec ~offered_mops:load
+        if search_handoff then run_best_handoff ?cfg design spec ~offered_mops:load
         else run ?cfg design spec ~offered_mops:load
       in
       (load, m))

@@ -6,24 +6,30 @@
     dataset-shape fields of the spec, not on the request mix); the cache
     is mutex-guarded, so runs may execute on any domain.
 
+    Designs are {!Kvserver.Design} values — first-class modules looked up
+    through the registry, so anything {!Kvserver.Design.register}ed is
+    runnable here without new cases anywhere.
+
     {!sweep}, {!run_sho_best} and {!run_replicated} fan their independent
     points out over {!Par}'s domain pool.  Every point owns its own
     simulator and RNG streams and derives its seeds from the job, so
     parallel results are bit-identical to sequential ([MINOS_JOBS=1])
     ones. *)
 
-type design = Minos | Hkh | Hkh_ws | Sho
+type design = Kvserver.Design.t
 
 val all_designs : design list
-(** [Minos; Hkh; Hkh_ws; Sho] *)
+(** The registry's designs ({!Kvserver.Design.all}): builtins
+    [minos; hkh; hkh_ws; sho] plus anything registered since. *)
 
 val design_name : design -> string
 
 val design_of_name : string -> design option
-(** Case-insensitive; accepts ["minos"], ["hkh"], ["hkh+ws"/"hkh_ws"/"ws"],
-    ["sho"]. *)
+(** Case-insensitive registry lookup; accepts ["minos"], ["hkh"],
+    ["hkh+ws"/"hkh_ws"/"ws"], ["sho"] and any registered alias. *)
 
 val maker : design -> Kvserver.Engine.t -> Kvserver.Engine.design
+(** [Kvserver.Design.make]. *)
 
 (** Time parameters for one simulated run; see DESIGN.md on time scaling
     versus the paper's 60-second runs. *)
@@ -48,6 +54,71 @@ val dataset_for : Workload.Spec.t -> Workload.Dataset.t
 
 val config_of_scale : ?base:Kvserver.Config.t -> scale -> Kvserver.Config.t
 
+(** Typed run specification.
+
+    One record holds everything {!run} used to take as optional
+    arguments.  Build one with {!Spec.make} and refine it with the
+    [with_*] builders (each returns an updated copy, so they chain with
+    [|>]):
+
+    {[
+      Experiment.Spec.make Kvserver.Design.minos
+      |> Experiment.Spec.with_scale Experiment.quick_scale
+      |> Experiment.Spec.with_load 3.0
+      |> Experiment.Spec.with_seed 7
+      |> Experiment.run_spec
+    ]} *)
+module Spec : sig
+  type t = {
+    design : Kvserver.Design.t;
+    workload : Workload.Spec.t;
+    offered_mops : float;
+    cfg : Kvserver.Config.t;
+    seed : int;
+    dynamic : Workload.Dynamic.t option;
+    store : Kvstore.Store.t option;
+    obs : Obs.Instrument.t option;
+    fault : Fault.Inject.t option;
+  }
+
+  val make : Kvserver.Design.t -> t
+  (** Defaults: the default workload spec, 3.0 Mops offered load,
+      {!config_of_scale}[ full_scale], seed 1, no dynamic phase plan, no
+      store, no recorder, no fault plan. *)
+
+  val with_design : Kvserver.Design.t -> t -> t
+  val with_workload : Workload.Spec.t -> t -> t
+
+  val with_load : float -> t -> t
+  (** Offered load in million ops/s. *)
+
+  val with_cfg : Kvserver.Config.t -> t -> t
+
+  val with_seed : int -> t -> t
+
+  val with_dynamic : Workload.Dynamic.t -> t -> t
+  val with_store : Kvstore.Store.t -> t -> t
+  val with_obs : Obs.Instrument.t -> t -> t
+  val with_fault : Fault.Inject.t -> t -> t
+end
+
+val with_scale : scale -> Spec.t -> Spec.t
+(** Rewrite the spec's config time parameters via {!config_of_scale}
+    (keeping its other fields). *)
+
+val run_spec : Spec.t -> Kvserver.Metrics.t
+(** Simulate one point.  [spec.obs] attaches a flight recorder to the run
+    (see {!Kvserver.Engine.create}); sampling draws from the recorder's
+    own stream, so an instrumented run reports the same metrics as an
+    uninstrumented one.  [spec.fault] runs the point under a
+    deterministic fault plan ({!Fault.Inject.create}); each run needs its
+    own injector (its RNG advances during the run). *)
+
+val run_spec_raw : Spec.t -> Kvserver.Metrics.t * Stats.Float_vec.t
+(** Like {!run_spec}, additionally returning the raw latency samples (µs)
+    — for analyses that need the full distribution (fan-out, NUMA and
+    cluster merging). *)
+
 val run :
   ?cfg:Kvserver.Config.t ->
   ?dynamic:Workload.Dynamic.t ->
@@ -59,12 +130,20 @@ val run :
   Workload.Spec.t ->
   offered_mops:float ->
   Kvserver.Metrics.t
-(** Simulate one point.  [cfg] defaults to {!config_of_scale}[ full_scale].
-    [obs] attaches a flight recorder to the run (see {!Kvserver.Engine.create});
-    sampling draws from the recorder's own stream, so an instrumented run
-    reports the same metrics as an uninstrumented one.  [fault] runs the
-    point under a deterministic fault plan ({!Fault.Inject.create}); each
-    run needs its own injector (its RNG advances during the run). *)
+(** @deprecated Thin wrapper over {!run_spec}; build a {!Spec.t}. *)
+
+val run_raw :
+  ?cfg:Kvserver.Config.t ->
+  ?dynamic:Workload.Dynamic.t ->
+  ?store:Kvstore.Store.t ->
+  ?obs:Obs.Instrument.t ->
+  ?fault:Fault.Inject.t ->
+  ?seed:int ->
+  design ->
+  Workload.Spec.t ->
+  offered_mops:float ->
+  Kvserver.Metrics.t * Stats.Float_vec.t
+(** @deprecated Thin wrapper over {!run_spec_raw}; build a {!Spec.t}. *)
 
 val run_sho_best :
   ?cfg:Kvserver.Config.t ->
@@ -84,22 +163,9 @@ val sweep :
   loads_mops:float list ->
   (float * Kvserver.Metrics.t) list
 (** One run per offered load, computed in parallel across domains (results
-    in load order, identical to a sequential run). *)
-
-val run_raw :
-  ?cfg:Kvserver.Config.t ->
-  ?dynamic:Workload.Dynamic.t ->
-  ?store:Kvstore.Store.t ->
-  ?obs:Obs.Instrument.t ->
-  ?fault:Fault.Inject.t ->
-  ?seed:int ->
-  design ->
-  Workload.Spec.t ->
-  offered_mops:float ->
-  Kvserver.Metrics.t * Stats.Float_vec.t
-(** Like {!run}, additionally returning the raw latency samples (µs) —
-    for analyses that need the full distribution (fan-out, NUMA
-    merging). *)
+    in load order, identical to a sequential run).  With [sho_best], a
+    design supporting the [Handoff_cores] knob searches handoff core
+    counts per load point. *)
 
 val run_trace :
   ?cfg:Kvserver.Config.t ->

@@ -188,7 +188,7 @@ let print_fig5 ?scale ?loads () =
   print_curves "write-intensive workload" (fig5 ?scale ?loads ())
 
 let fig4 ?scale ?loads () =
-  run_curves ?scale ?loads Workload.Spec.default [ Experiment.Minos; Experiment.Hkh_ws ]
+  run_curves ?scale ?loads Workload.Spec.default [ Kvserver.Design.minos; Kvserver.Design.hkh_ws ]
 
 let print_fig4 ?scale ?loads () =
   Report.section "Figure 4: 99p latency of LARGE requests, default workload";
@@ -240,7 +240,7 @@ type slo_row = {
 let sho_handoff_for ~cfg spec =
   let score h =
     let m =
-      Experiment.run ~cfg:{ cfg with Kvserver.Config.handoff_cores = h } Experiment.Sho
+      Experiment.run ~cfg:{ cfg with Kvserver.Config.handoff_cores = h } Kvserver.Design.sho
         spec ~offered_mops:3.0
     in
     (m.Kvserver.Metrics.stable, m.Kvserver.Metrics.throughput_mops)
@@ -252,10 +252,9 @@ let sho_handoff_for ~cfg spec =
 
 let max_under_slo ~cfg ~iters design spec ~slo_us =
   let cfg =
-    match design with
-    | Experiment.Sho ->
-        { cfg with Kvserver.Config.handoff_cores = sho_handoff_for ~cfg spec }
-    | _ -> cfg
+    if Kvserver.Design.supports design Kvserver.Design.Handoff_cores then
+      { cfg with Kvserver.Config.handoff_cores = sho_handoff_for ~cfg spec }
+    else cfg
   in
   let eval rate = Experiment.run ~cfg design spec ~offered_mops:rate in
   (Slo_search.search ~eval ~slo_p99_us:slo_us ~lo_mops:0.25 ~hi_mops:8.0 ~iters)
@@ -284,10 +283,10 @@ let slo_rows ?(scale = Experiment.full_scale) specs ~varied_of =
          {
            varied = varied_of spec;
            slo_us;
-           minos_mops = max Experiment.Minos;
-           hkh_mops = max Experiment.Hkh;
-           hkh_ws_mops = max Experiment.Hkh_ws;
-           sho_mops = max Experiment.Sho;
+           minos_mops = max Kvserver.Design.minos;
+           hkh_mops = max Kvserver.Design.hkh;
+           hkh_ws_mops = max Kvserver.Design.hkh_ws;
+           sho_mops = max Kvserver.Design.sho;
          })
 
 let fig6 ?scale ?(p_values = [ 0.0625; 0.125; 0.25; 0.5; 0.75 ]) () =
@@ -353,7 +352,7 @@ let fig8 ?(scale = Experiment.full_scale) ?(samplings = [ 1.0; 0.75; 0.5; 0.25 ]
       let cfg =
         { (Experiment.config_of_scale scale) with Kvserver.Config.sampling }
       in
-      { sampling; points = Experiment.sweep ~cfg Experiment.Minos spec ~loads_mops:loads })
+      { sampling; points = Experiment.sweep ~cfg Kvserver.Design.minos spec ~loads_mops:loads })
     samplings
 
 let print_fig8 ?scale () =
@@ -402,7 +401,7 @@ let fig9 ?(scale = Experiment.full_scale) ?(p_values = [ 0.0625; 0.25; 0.75 ]) (
     (fun p_large ->
       let spec = Workload.Spec.with_p_large Workload.Spec.default p_large in
       (* A high-but-stable load so the balance is meaningful. *)
-      let m = Experiment.run ~cfg Experiment.Minos spec ~offered_mops:2.0 in
+      let m = Experiment.run ~cfg Kvserver.Design.minos spec ~offered_mops:2.0 in
       let share arr =
         let total = Array.fold_left ( + ) 0 arr in
         Array.map (fun v -> float_of_int v /. float_of_int (max total 1)) arr
@@ -471,7 +470,7 @@ let fig10 ?(scale = Experiment.full_scale) ?(rate_mops = 2.0) () =
       ~offered_mops:rate_mops
   in
   let minos, ws =
-    match Par.map_list run [ Experiment.Minos; Experiment.Hkh_ws ] with
+    match Par.map_list run [ Kvserver.Design.minos; Kvserver.Design.hkh_ws ] with
     | [ m; w ] -> (m, w)
     | _ -> assert false
   in
@@ -529,7 +528,7 @@ let fanout ?(scale = Experiment.full_scale) ?(fanouts = [ 1; 10; 40; 100 ])
       Par.map_list
         (fun design ->
           snd (Experiment.run_raw ~cfg design Workload.Spec.default ~offered_mops:load))
-        [ Experiment.Minos; Experiment.Hkh ]
+        [ Kvserver.Design.minos; Kvserver.Design.hkh ]
     with
     | [ m; h ] -> (m, h)
     | _ -> assert false
@@ -575,7 +574,7 @@ let print_ablation_threshold ?(scale = Experiment.full_scale) () =
     Par.map_list
       (fun (label, cfg) ->
         let m =
-          Experiment.run ~cfg Experiment.Minos Workload.Spec.write_intensive
+          Experiment.run ~cfg Kvserver.Design.minos Workload.Spec.write_intensive
             ~offered_mops:5.5
         in
         [ label; Report.f2 m.Kvserver.Metrics.throughput_mops;
@@ -596,7 +595,7 @@ let print_ablation_cost_fn ?(scale = Experiment.full_scale) () =
       (fun cost_fn ->
         let cfg = { base with Kvserver.Config.cost_fn } in
         let m =
-          Experiment.run ~cfg Experiment.Minos Workload.Spec.default ~offered_mops:4.5
+          Experiment.run ~cfg Kvserver.Design.minos Workload.Spec.default ~offered_mops:4.5
         in
         [ Kvserver.Cost_model.cost_fn_name cost_fn;
           Report.f2 m.Kvserver.Metrics.throughput_mops;
@@ -617,7 +616,7 @@ let print_ablation_steal ?(scale = Experiment.full_scale) () =
       (fun (label, large_rx_steal) ->
         let cfg = { base with Kvserver.Config.large_rx_steal } in
         let m =
-          Experiment.run ~cfg Experiment.Minos Workload.Spec.default ~offered_mops:4.5
+          Experiment.run ~cfg Kvserver.Design.minos Workload.Spec.default ~offered_mops:4.5
         in
         [ label;
           Report.f1 m.Kvserver.Metrics.p99_us;
@@ -639,7 +638,7 @@ let print_ablation_erew ?(scale = Experiment.full_scale) () =
     |> Par.map_list (fun (label, hkh_erew, load) ->
            let cfg = { base with Kvserver.Config.hkh_erew } in
            let m =
-             Experiment.run ~cfg Experiment.Hkh Workload.Spec.default ~offered_mops:load
+             Experiment.run ~cfg Kvserver.Design.hkh Workload.Spec.default ~offered_mops:load
            in
            let ops = m.Kvserver.Metrics.per_core_ops in
            let total = Array.fold_left ( + ) 0 ops in
@@ -676,7 +675,7 @@ let print_ablation_epoch ?(scale = Experiment.full_scale) () =
           }
         in
         let m =
-          Experiment.run ~cfg ~dynamic:schedule Experiment.Minos Workload.Spec.default
+          Experiment.run ~cfg ~dynamic:schedule Kvserver.Design.minos Workload.Spec.default
             ~offered_mops:2.25
         in
         let p99s = List.map snd m.Kvserver.Metrics.p99_series in

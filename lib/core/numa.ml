@@ -7,7 +7,7 @@ type result = {
   stable : bool;
 }
 
-let run ?cfg ?(design = Experiment.Minos) ?(seed = 1) ~domains spec ~offered_mops =
+let run ?cfg ?(design = Kvserver.Design.minos) ?(seed = 1) ~domains spec ~offered_mops =
   if domains < 1 then invalid_arg "Numa.run: need at least one domain";
   let cfg = match cfg with Some c -> c | None -> Experiment.config_of_scale Experiment.full_scale in
   (* Each domain owns a disjoint key-space slice: same size distribution,

@@ -21,7 +21,7 @@ let print_anatomy (a : Obs.Anatomy.t) =
   Report.note "spans: %d complete; component sums match end-to-end within %.4f us"
     a.Obs.Anatomy.spans_used a.Obs.Anatomy.max_sum_error_us
 
-let run ?(scale = Experiment.full_scale) ?(design = Experiment.Minos) ?(seed = 1)
+let run ?(scale = Experiment.full_scale) ?(design = Kvserver.Design.minos) ?(seed = 1)
     ?(spans = 65536) ?(sample_rate = 1.0) ?trace_out spec ~offered_mops =
   let cfg = Experiment.config_of_scale scale in
   let obs =

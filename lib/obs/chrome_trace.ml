@@ -24,7 +24,8 @@ let esc s =
 let ts_s v = Printf.sprintf "%.3f" v
 
 (* Track (tid) layout: cores at their id, TX queues offset, one synthetic
-   track for the control loop. *)
+   track for the control loop.  Tids are per-pid, so every server section
+   of a cluster trace reuses the same layout under its own pid. *)
 let tx_tid q = 1000 + q
 let control_tid = 9999
 
@@ -39,12 +40,12 @@ let event e fmt =
       Buffer.add_char e.buf '}')
     fmt
 
-let thread_name e ~tid name =
+let thread_name e ~pid ~tid name =
   event e
-    {|"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"%s"}|}
-    tid (esc name)
+    {|"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}|}
+    pid tid (esc name)
 
-let span_events e r slot =
+let span_events e ~pid r slot =
   let ts f = Recorder.get_ts r slot f in
   let meta f = Recorder.get_meta r slot f in
   let seq = meta Span.meta_seq in
@@ -62,32 +63,33 @@ let span_events e r slot =
   let t_end = ts Span.ts_end in
   (* Async request span: RX enqueue to end-to-end completion. *)
   event e
-    {|"ph":"b","cat":"request","id":%d,"name":"%s","pid":0,"tid":%d,"ts":%s|}
-    seq cls rx_queue (ts_s t0);
+    {|"ph":"b","cat":"request","id":%d,"name":"%s","pid":%d,"tid":%d,"ts":%s|}
+    seq cls pid rx_queue (ts_s t0);
   List.iter
     (fun f ->
       let v = ts f in
       if not (Float.is_nan v) then
         event e
-          {|"ph":"n","cat":"request","id":%d,"name":"%s","pid":0,"tid":%d,"ts":%s,"args":{"step":"%s"}|}
-          seq cls rx_queue (ts_s v) (Span.ts_name f))
+          {|"ph":"n","cat":"request","id":%d,"name":"%s","pid":%d,"tid":%d,"ts":%s,"args":{"step":"%s"}|}
+          seq cls pid rx_queue (ts_s v) (Span.ts_name f))
     [ Span.ts_poll; Span.ts_classify; Span.ts_handoff_enq; Span.ts_handoff_deq ];
   event e
-    {|"ph":"e","cat":"request","id":%d,"name":"%s","pid":0,"tid":%d,"ts":%s,"args":{"e2e_us":%s,"bytes":%d,"op":"%s"}|}
-    seq cls rx_queue (ts_s t_end)
+    {|"ph":"e","cat":"request","id":%d,"name":"%s","pid":%d,"tid":%d,"ts":%s,"args":{"e2e_us":%s,"bytes":%d,"op":"%s"}|}
+    seq cls pid rx_queue (ts_s t_end)
     (ts_s (t_end -. t0))
     (meta Span.meta_size) op;
   (* Service occupies the serving core; cores run one request at a time,
      so these B/E pairs are disjoint per track. *)
-  event e {|"ph":"B","name":"service","pid":0,"tid":%d,"ts":%s,"args":{"id":%d}|}
-    core (ts_s t_start) seq;
-  event e {|"ph":"E","name":"service","pid":0,"tid":%d,"ts":%s|} core
+  event e {|"ph":"B","name":"service","pid":%d,"tid":%d,"ts":%s,"args":{"id":%d}|}
+    pid core (ts_s t_start) seq;
+  event e {|"ph":"E","name":"service","pid":%d,"tid":%d,"ts":%s|} pid core
     (ts_s t_stop);
   (* Reply transmission: messages on one TX queue can overlap (frames are
      round-robined), so use complete events, which need not nest. *)
   if t_tx >= t_stop then
     event e
-      {|"ph":"X","name":"tx","pid":0,"tid":%d,"ts":%s,"dur":%s,"args":{"id":%d}|}
+      {|"ph":"X","name":"tx","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"id":%d}|}
+      pid
       (tx_tid (if txq >= 0 then txq else core))
       (ts_s t_stop)
       (ts_s (t_tx -. t_stop))
@@ -103,11 +105,11 @@ let counter_args_util tl s =
     (List.init (Timeline.cores tl) (fun c ->
          Printf.sprintf {|"core%d":%.4f|} c (Timeline.utilization tl s c)))
 
-let to_buffer ?(name = "minos") ?timeline ?decisions recorder buf =
-  let e = { buf; first = true } in
-  Buffer.add_string buf "{\"traceEvents\":[\n";
-  event e {|"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"%s"}|}
-    (esc name);
+(* One server's worth of events, all under process id [pid]. *)
+let section e ~pid ~name ?timeline ?decisions recorder =
+  event e
+    {|"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"%s"}|}
+    pid (esc name);
   (* Name the per-core and per-TX-queue tracks we will reference. *)
   let max_core = ref (-1) and max_tx = ref (-1) in
   (match timeline with
@@ -125,44 +127,71 @@ let to_buffer ?(name = "minos") ?timeline ?decisions recorder buf =
     end
   done;
   for c = 0 to !max_core do
-    thread_name e ~tid:c (Printf.sprintf "core %d" c)
+    thread_name e ~pid ~tid:c (Printf.sprintf "core %d" c)
   done;
   for q = 0 to !max_tx do
-    thread_name e ~tid:(tx_tid q) (Printf.sprintf "tx %d" q)
+    thread_name e ~pid ~tid:(tx_tid q) (Printf.sprintf "tx %d" q)
   done;
-  if decisions <> None then thread_name e ~tid:control_tid "control";
+  if decisions <> None then thread_name e ~pid ~tid:control_tid "control";
   for slot = 0 to n - 1 do
-    if Recorder.complete recorder slot then span_events e recorder slot
+    if Recorder.complete recorder slot then span_events e ~pid recorder slot
   done;
   (match timeline with
   | None -> ()
   | Some tl ->
       for s = 0 to Timeline.samples tl - 1 do
-        event e {|"ph":"C","name":"rx_depth","pid":0,"tid":0,"ts":%s,"args":{%s}|}
+        event e {|"ph":"C","name":"rx_depth","pid":%d,"tid":0,"ts":%s,"args":{%s}|}
+          pid
           (ts_s (Timeline.time tl s))
           (counter_args_int tl s);
         event e
-          {|"ph":"C","name":"utilization","pid":0,"tid":0,"ts":%s,"args":{%s}|}
+          {|"ph":"C","name":"utilization","pid":%d,"tid":0,"ts":%s,"args":{%s}|}
+          pid
           (ts_s (Timeline.time tl s))
           (counter_args_util tl s)
       done);
-  (match decisions with
+  match decisions with
   | None -> ()
   | Some d ->
       for i = 0 to Decision_log.length d - 1 do
         event e
-          {|"ph":"C","name":"control","pid":0,"tid":%d,"ts":%s,"args":{"threshold_B":%s,"n_small":%d,"n_large":%d,"lost":%d}|}
-          control_tid
+          {|"ph":"C","name":"control","pid":%d,"tid":%d,"ts":%s,"args":{"threshold_B":%s,"n_small":%d,"n_large":%d,"lost":%d}|}
+          pid control_tid
           (ts_s (Decision_log.time d i))
           (ts_s (Decision_log.threshold d i))
           (Decision_log.n_small d i) (Decision_log.n_large d i)
           (Decision_log.lost d i)
-      done);
+      done
+
+let to_buffer ?(name = "minos") ?timeline ?decisions recorder buf =
+  let e = { buf; first = true } in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  section e ~pid:(Recorder.server recorder) ~name ?timeline ?decisions recorder;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
 
 let write ~path ?name ?timeline ?decisions recorder =
   let buf = Buffer.create 65536 in
   to_buffer ?name ?timeline ?decisions recorder buf;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+let cluster_to_buffer sections buf =
+  let e = { buf; first = true } in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  List.iter
+    (fun (name, (i : Instrument.t)) ->
+      section e
+        ~pid:(Recorder.server i.Instrument.recorder)
+        ~name ?timeline:i.Instrument.timeline ~decisions:i.Instrument.decisions
+        i.Instrument.recorder)
+    sections;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let write_cluster ~path sections =
+  let buf = Buffer.create 65536 in
+  cluster_to_buffer sections buf;
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)

@@ -16,6 +16,10 @@
       from the {!Timeline}, and for the control loop's threshold and core
       split from the {!Decision_log}.
 
+    Every event carries the recorder's server id as its [pid], so a
+    single-server trace renders as process 0 and a cluster trace
+    ({!write_cluster}) as one process group per shard.
+
     Timestamps are microseconds formatted with fixed precision, and
     events are emitted in deterministic (slot/sample) order, so two runs
     with the same seed produce byte-identical files. *)
@@ -36,3 +40,11 @@ val to_buffer :
   Buffer.t ->
   unit
 (** Same, into a caller-supplied buffer (used by the tests). *)
+
+val write_cluster : path:string -> (string * Instrument.t) list -> unit
+(** One merged trace for a cluster run: each [(name, instrument)] pair
+    becomes a process section whose [pid] is the instrument recorder's
+    server id.  Section order and per-section event order are
+    deterministic, so fixed-seed cluster traces are byte-identical. *)
+
+val cluster_to_buffer : (string * Instrument.t) list -> Buffer.t -> unit

@@ -6,10 +6,10 @@ type t = {
   decisions : Decision_log.t;
 }
 
-let create ?spans ?sample_rate ?(timeline_interval_us = 500.0)
+let create ?server ?spans ?sample_rate ?(timeline_interval_us = 500.0)
     ?(timeline_capacity = 8192) ?(timeline = true) ~cores ~seed () =
   {
-    recorder = Recorder.create ?capacity:spans ?sample_rate ~seed ();
+    recorder = Recorder.create ?server ?capacity:spans ?sample_rate ~seed ();
     timeline =
       (if timeline then
          Some

@@ -10,6 +10,7 @@ type t = {
 }
 
 val create :
+  ?server:int ->
   ?spans:int ->
   ?sample_rate:float ->
   ?timeline_interval_us:float ->
@@ -19,7 +20,7 @@ val create :
   seed:int ->
   unit ->
   t
-(** [spans] and [sample_rate] configure the recorder (defaults 65536 and
-    1.0); the timeline samples every [timeline_interval_us] µs (default
-    500) for up to [timeline_capacity] samples, or is omitted entirely
-    with [~timeline:false]. *)
+(** [server], [spans] and [sample_rate] configure the recorder (defaults
+    0, 65536 and 1.0; see {!Recorder.create}); the timeline samples every
+    [timeline_interval_us] µs (default 500) for up to [timeline_capacity]
+    samples, or is omitted entirely with [~timeline:false]. *)

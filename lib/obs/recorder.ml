@@ -9,6 +9,7 @@
    ring push/pop the request itself travels through). *)
 
 type t = {
+  server : int;
   capacity : int;
   sample_rate : float;
   sample_threshold : int; (* of the 30-bit id hash, for try_sample_id *)
@@ -19,11 +20,13 @@ type t = {
   rng : Dsim.Rng.t; (* try_sample's deterministic sampling stream *)
 }
 
-let create ?(capacity = 65536) ?(sample_rate = 1.0) ~seed () =
+let create ?(server = 0) ?(capacity = 65536) ?(sample_rate = 1.0) ~seed () =
+  if server < 0 then invalid_arg "Recorder.create: server must be >= 0";
   if capacity < 1 then invalid_arg "Recorder.create: capacity must be >= 1";
   if not (sample_rate > 0.0 && sample_rate <= 1.0) then
     invalid_arg "Recorder.create: sample_rate out of (0, 1]";
   {
+    server;
     capacity;
     sample_rate;
     sample_threshold =
@@ -37,6 +40,7 @@ let create ?(capacity = 65536) ?(sample_rate = 1.0) ~seed () =
     rng = Dsim.Rng.create (seed lxor 0x0b5eca11);
   }
 
+let server t = t.server
 let capacity t = t.capacity
 let sample_rate t = t.sample_rate
 let recorded t = min (Atomic.get t.next) t.capacity

@@ -25,11 +25,17 @@
 
 type t
 
-val create : ?capacity:int -> ?sample_rate:float -> seed:int -> unit -> t
+val create :
+  ?server:int -> ?capacity:int -> ?sample_rate:float -> seed:int -> unit -> t
 (** [capacity] (default 65536) bounds the number of recorded spans;
     memory is [capacity * (n_ts + n_meta)] words, allocated up front.
     [sample_rate] in (0, 1] (default 1.0) is the fraction of requests
-    recorded. *)
+    recorded.  [server] (default 0) tags every span with the id of the
+    server instance that produced it — cluster runs give each shard its
+    own recorder, and exporters use the tag as the trace process id. *)
+
+val server : t -> int
+(** The server id the recorder was created with. *)
 
 val capacity : t -> int
 val sample_rate : t -> float

@@ -34,9 +34,20 @@ type reply = {
   client_ts : int64;   (** echoed request timestamp *)
 }
 
-type error = Truncated | Bad_magic | Bad_op | Bad_status
+type error =
+  | Truncated
+  | Bad_magic
+  | Bad_version of int
+      (** the header carried this (unsupported) protocol version *)
+  | Bad_op
+  | Bad_status
 
 val pp_error : Format.formatter -> error -> unit
+
+val version : int
+(** Protocol version this build speaks, carried in byte 1 of every
+    message (right after the magic).  Decoders reject any other value
+    with {!Bad_version} — additions to the format must bump it. *)
 
 val request_size : request -> int
 (** Exact encoded size in bytes, without encoding. *)

@@ -81,7 +81,7 @@ let test_trace_offline_threshold_matches_online () =
   let cfg =
     Minos.Experiment.config_of_scale Minos.Experiment.quick_scale
   in
-  let m = Minos.Experiment.run ~cfg Minos.Experiment.Minos small_spec ~offered_mops:2.0 in
+  let m = Minos.Experiment.run ~cfg Kvserver.Design.minos small_spec ~offered_mops:2.0 in
   let online = m.Kvserver.Metrics.final_threshold in
   (* The online value is a log-bucket upper bound; allow one bucket plus
      sampling noise. *)
@@ -102,11 +102,11 @@ let test_trace_driven_simulation () =
   let trace = make_trace 200_000 in
   let cfg = Minos.Experiment.config_of_scale Minos.Experiment.quick_scale in
   let replayed =
-    Minos.Experiment.run_trace ~cfg Minos.Experiment.Minos trace ~spec:small_spec
+    Minos.Experiment.run_trace ~cfg Kvserver.Design.minos trace ~spec:small_spec
       ~offered_mops:2.0
   in
   let synthetic =
-    Minos.Experiment.run ~cfg Minos.Experiment.Minos small_spec ~offered_mops:2.0
+    Minos.Experiment.run ~cfg Kvserver.Design.minos small_spec ~offered_mops:2.0
   in
   Alcotest.(check bool) "stable" true replayed.Kvserver.Metrics.stable;
   let rel a b = abs_float (a -. b) /. b in

@@ -308,7 +308,7 @@ let test_chaos_trace_byte_identical () =
     in
     let fault = Fault.Inject.create ~seed:3 plan in
     let m =
-      Minos.Experiment.run ~cfg ~obs ~fault ~seed:3 Minos.Experiment.Minos
+      Minos.Experiment.run ~cfg ~obs ~fault ~seed:3 Kvserver.Design.minos
         Workload.Spec.default ~offered_mops:2.0
     in
     let buf = Buffer.create 65536 in
@@ -346,15 +346,15 @@ let test_overload_telescopes () =
         m.Kvserver.Metrics.issued (telescope m);
       if Kvserver.Metrics.shed_total m > 0 then shed_seen := true)
     [
-      ("Minos+guard", Minos.Experiment.Minos, Minos.Chaos.guard_config cfg);
-      ("Minos", Minos.Experiment.Minos, cfg);
+      ("Minos+guard", Kvserver.Design.minos, Minos.Chaos.guard_config cfg);
+      ("Minos", Kvserver.Design.minos, cfg);
     ];
   check bool "admission control shed under overload" true !shed_seen
 
 let test_healthy_runs_lose_nothing () =
   let cfg = tiny_config () in
   let m =
-    Minos.Experiment.run ~cfg ~seed:5 Minos.Experiment.Minos
+    Minos.Experiment.run ~cfg ~seed:5 Kvserver.Design.minos
       Workload.Spec.default ~offered_mops:2.0
   in
   check int "no loss without faults" 0 (Kvserver.Metrics.lost_total m);

@@ -102,7 +102,7 @@ let test_print_functions_do_not_raise () =
   Format.printf "%a@." Kvserver.Metrics.pp_row
     (Minos.Experiment.run
        ~cfg:(Minos.Experiment.config_of_scale scale)
-       Minos.Experiment.Hkh Workload.Spec.default ~offered_mops:1.0);
+       Kvserver.Design.hkh Workload.Spec.default ~offered_mops:1.0);
   Format.printf "%a@." Workload.Spec.pp Workload.Spec.default;
   check bool "printed" true true
 

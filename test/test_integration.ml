@@ -19,15 +19,15 @@ let test_fig3_minos_dominates_tail () =
      an order of magnitude as soon as the load exceeds 1 Mops." *)
   List.iter
     (fun load ->
-      let minos = run Minos.Experiment.Minos load in
-      let hkh = run Minos.Experiment.Hkh load in
+      let minos = run Kvserver.Design.minos load in
+      let hkh = run Kvserver.Design.hkh load in
       check bool
         (Printf.sprintf "minos < hkh p99 at %.1fM" load)
         true
         (minos.Kvserver.Metrics.p99_us < hkh.Kvserver.Metrics.p99_us))
     [ 1.0; 3.0; 5.0 ];
-  let minos = run Minos.Experiment.Minos 3.0 in
-  let hkh = run Minos.Experiment.Hkh 3.0 in
+  let minos = run Kvserver.Design.minos 3.0 in
+  let hkh = run Kvserver.Design.hkh 3.0 in
   check bool "order of magnitude at 3 Mops" true
     (10.0 *. minos.Kvserver.Metrics.p99_us < hkh.Kvserver.Metrics.p99_us)
 
@@ -35,9 +35,9 @@ let test_fig3_ws_between () =
   (* Work stealing mitigates HoL at moderate load but degrades toward HKH
      as load grows. *)
   let at load =
-    ( (run Minos.Experiment.Minos load).Kvserver.Metrics.p99_us,
-      (run Minos.Experiment.Hkh_ws load).Kvserver.Metrics.p99_us,
-      (run Minos.Experiment.Hkh load).Kvserver.Metrics.p99_us )
+    ( (run Kvserver.Design.minos load).Kvserver.Metrics.p99_us,
+      (run Kvserver.Design.hkh_ws load).Kvserver.Metrics.p99_us,
+      (run Kvserver.Design.hkh load).Kvserver.Metrics.p99_us )
   in
   let m3, w3, h3 = at 3.0 in
   check bool "minos < ws at 3M" true (m3 < w3);
@@ -46,7 +46,7 @@ let test_fig3_ws_between () =
 let test_fig3_minos_meets_strict_slo_near_peak () =
   (* Minos keeps p99 <= 50us (10x mean service time) deep into the load
      range. *)
-  let m = run Minos.Experiment.Minos 5.5 in
+  let m = run Kvserver.Design.minos 5.5 in
   check bool "stable" true m.Kvserver.Metrics.stable;
   check bool "p99 within 50us at 5.5 Mops" true (m.Kvserver.Metrics.p99_us <= 50.0)
 
@@ -58,7 +58,7 @@ let test_fig3_peaks () =
       | [] -> best
       | load :: rest ->
           let m =
-            if design = Minos.Experiment.Sho then
+            if Kvserver.Design.equal design Kvserver.Design.sho then
               Minos.Experiment.run_sho_best ~cfg Workload.Spec.default ~offered_mops:load
             else run design load
           in
@@ -68,9 +68,9 @@ let test_fig3_peaks () =
     in
     highest_stable 0.0 [ 5.0; 5.5; 6.0; 6.3 ]
   in
-  let minos = peak Minos.Experiment.Minos in
-  let hkh = peak Minos.Experiment.Hkh in
-  let sho = peak Minos.Experiment.Sho in
+  let minos = peak Kvserver.Design.minos in
+  let hkh = peak Kvserver.Design.hkh in
+  let sho = peak Kvserver.Design.sho in
   check bool "minos within 10% of hkh peak" true (minos >= 0.9 *. hkh);
   check bool "sho below hkh peak" true (sho <= 0.97 *. hkh)
 
@@ -79,8 +79,8 @@ let test_fig3_peaks () =
 
 let test_fig4_large_requests_pay_a_bounded_price () =
   (* Minos penalizes large requests (bounded, ~2x before saturation). *)
-  let minos = run Minos.Experiment.Minos 4.0 in
-  let ws = run Minos.Experiment.Hkh_ws 4.0 in
+  let minos = run Kvserver.Design.minos 4.0 in
+  let ws = run Kvserver.Design.hkh_ws 4.0 in
   let ml = minos.Kvserver.Metrics.large_p99_us in
   let wl = ws.Kvserver.Metrics.large_p99_us in
   check bool "minos large p99 finite" true ((not (Float.is_nan ml)) && ml > 0.0);
@@ -98,8 +98,8 @@ let test_fig4_large_requests_pay_a_bounded_price () =
 let test_fig5_write_intensive () =
   (* Minos keeps its tail advantage on 50:50. *)
   let spec = Workload.Spec.write_intensive in
-  let minos = Minos.Experiment.run ~cfg Minos.Experiment.Minos spec ~offered_mops:4.0 in
-  let hkh = Minos.Experiment.run ~cfg Minos.Experiment.Hkh spec ~offered_mops:4.0 in
+  let minos = Minos.Experiment.run ~cfg Kvserver.Design.minos spec ~offered_mops:4.0 in
+  let hkh = Minos.Experiment.run ~cfg Kvserver.Design.hkh spec ~offered_mops:4.0 in
   check bool "tail advantage holds under writes" true
     (minos.Kvserver.Metrics.p99_us < hkh.Kvserver.Metrics.p99_us)
 
@@ -117,8 +117,8 @@ let test_fig6_slo_speedup () =
        ~slo_p99_us:50.0 ~lo_mops:0.25 ~hi_mops:7.0 ~iters:6)
       .Minos.Slo_search.max_mops
   in
-  let minos = max_of Minos.Experiment.Minos in
-  let hkh = max_of Minos.Experiment.Hkh in
+  let minos = max_of Kvserver.Design.minos in
+  let hkh = max_of Kvserver.Design.hkh in
   check bool "minos sustains load under slo" true (minos > 3.0);
   check bool "speedup > 2x" true (minos > 2.0 *. hkh)
 
@@ -130,7 +130,7 @@ let test_fig8_sampling_shifts_bottleneck () =
   let with_sampling s load =
     Minos.Experiment.run
       ~cfg:{ cfg with Kvserver.Config.sampling = s }
-      Minos.Experiment.Minos spec ~offered_mops:load
+      Kvserver.Design.minos spec ~offered_mops:load
   in
   (* At the same offered load, sampling frees NIC bandwidth... *)
   let full = with_sampling 1.0 1.5 in
@@ -153,7 +153,7 @@ let test_fig8_sampling_shifts_bottleneck () =
 let test_fig9_balanced_packets () =
   (* Packets processed per core are roughly uniform across cores, even
      though ops per core differ wildly between small and large cores. *)
-  let m = run Minos.Experiment.Minos 4.0 in
+  let m = run Kvserver.Design.minos 4.0 in
   let packets = m.Kvserver.Metrics.per_core_packets in
   let total = Array.fold_left ( + ) 0 packets in
   let n = Array.length packets in
@@ -279,7 +279,7 @@ let test_replication_stability () =
      spread, and every run is stable.  Guards against seed-sensitive
      artifacts in the reported numbers. *)
   let r =
-    Minos.Experiment.run_replicated ~cfg Minos.Experiment.Minos Workload.Spec.default
+    Minos.Experiment.run_replicated ~cfg Kvserver.Design.minos Workload.Spec.default
       ~offered_mops:3.0
   in
   check bool "all stable" true
@@ -311,7 +311,7 @@ let test_design_names_roundtrip () =
   List.iter
     (fun d ->
       match Minos.Experiment.design_of_name (Minos.Experiment.design_name d) with
-      | Some d' -> check bool "roundtrip" true (d = d')
+      | Some d' -> check bool "roundtrip" true (Kvserver.Design.equal d d')
       | None -> Alcotest.fail "name did not parse")
     Minos.Experiment.all_designs;
   check bool "unknown rejected" true (Minos.Experiment.design_of_name "nope" = None)

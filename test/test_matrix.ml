@@ -50,8 +50,8 @@ let test_minos_dominates_everywhere () =
   (* On every profile, Minos' p99 beats HKH's at this load. *)
   List.iter
     (fun spec ->
-      let minos = run Minos.Experiment.Minos spec in
-      let hkh = run Minos.Experiment.Hkh spec in
+      let minos = run Kvserver.Design.minos spec in
+      let hkh = run Kvserver.Design.hkh spec in
       if not (minos.Kvserver.Metrics.p99_us < hkh.Kvserver.Metrics.p99_us) then
         Alcotest.failf "pL=%.4f sL=%d: Minos %.1f vs HKH %.1f"
           spec.Workload.Spec.p_large spec.Workload.Spec.s_large_max
@@ -61,7 +61,7 @@ let test_minos_dominates_everywhere () =
 let test_minos_allocation_scales_with_pl () =
   (* More large traffic -> at least as many large cores. *)
   let large_cores p =
-    (run Minos.Experiment.Minos (Workload.Spec.with_p_large Workload.Spec.default p))
+    (run Kvserver.Design.minos (Workload.Spec.with_p_large Workload.Spec.default p))
       .Kvserver.Metrics.final_large_cores
   in
   let l0 = large_cores 0.0625

@@ -170,7 +170,7 @@ let instrumented_run ?(seed = 1) ?(spans = 4096) () =
     Obs.Instrument.create ~spans ~cores:cfg.Kvserver.Config.cores ~seed ()
   in
   let metrics =
-    Minos.Experiment.run ~cfg ~obs Minos.Experiment.Minos spec ~offered_mops:2.0
+    Minos.Experiment.run ~cfg ~obs Kvserver.Design.minos spec ~offered_mops:2.0
   in
   (obs, metrics)
 
@@ -453,6 +453,40 @@ let test_trace_metadata_escaping () =
   in
   check (option string) "escaped metadata round-trips" (Some {|quo"te\back|}) name
 
+let test_cluster_trace_pids () =
+  (* A merged cluster trace tags each section's events with the owning
+     recorder's server id as the Chrome pid. *)
+  let ins s = Obs.Instrument.create ~server:s ~spans:16 ~cores:2 ~seed:(s + 1) () in
+  let buf = Buffer.create 1024 in
+  Obs.Chrome_trace.cluster_to_buffer [ ("shard 0", ins 0); ("shard 1", ins 1) ] buf;
+  let events =
+    match Json.member "traceEvents" (Json.parse (Buffer.contents buf)) with
+    | Some (Json.List es) -> es
+    | _ -> fail "no traceEvents array"
+  in
+  let process_names =
+    List.filter_map
+      (fun e ->
+        match (Json.member "name" e, Json.member "pid" e, Json.member "args" e) with
+        | Some (Json.Str "process_name"), Some pid, Some args ->
+            Some
+              ( int_of_float (Json.num_exn pid),
+                Json.str_exn (Option.get (Json.member "name" args)) )
+        | _ -> None)
+      events
+  in
+  check (list (pair int string)) "one process group per shard"
+    [ (0, "shard 0"); (1, "shard 1") ]
+    process_names;
+  List.iter
+    (fun e ->
+      match Json.member "pid" e with
+      | Some pid ->
+          let p = int_of_float (Json.num_exn pid) in
+          check bool "pid is a server id" true (p = 0 || p = 1)
+      | None -> fail "event without pid")
+    events
+
 let () =
   run "obs"
     [
@@ -473,6 +507,8 @@ let () =
           test_case "byte-identical across runs and domain pools" `Slow
             test_trace_deterministic;
           test_case "string escaping" `Quick test_trace_metadata_escaping;
+          test_case "cluster trace: one pid per shard" `Quick
+            test_cluster_trace_pids;
         ] );
       ( "runtime",
         [ test_case "native server spans and trace" `Slow test_runtime_instrumented ]

@@ -83,7 +83,7 @@ let same a b = compare a b = 0
 
 let test_sweep_deterministic () =
   let loads = [ 1.0; 2.0; 3.0; 4.0 ] in
-  let go () = Minos.Experiment.sweep ~cfg Minos.Experiment.Minos spec ~loads_mops:loads in
+  let go () = Minos.Experiment.sweep ~cfg Kvserver.Design.minos spec ~loads_mops:loads in
   let seq = with_jobs 1 go in
   let par = with_jobs 4 go in
   check int "same number of points" (List.length seq) (List.length par);
@@ -92,7 +92,7 @@ let test_sweep_deterministic () =
 let test_replicated_deterministic () =
   let go () =
     Minos.Experiment.run_replicated ~cfg ~seeds:[ 1; 2; 3; 4 ]
-      Minos.Experiment.Hkh spec ~offered_mops:2.5
+      Kvserver.Design.hkh spec ~offered_mops:2.5
   in
   let seq = with_jobs 1 go in
   let par = with_jobs 4 go in
@@ -102,7 +102,7 @@ let test_slo_search_deterministic () =
   let go () =
     Minos.Slo_search.search
       ~eval:(fun load ->
-        Minos.Experiment.run ~cfg Minos.Experiment.Minos spec ~offered_mops:load)
+        Minos.Experiment.run ~cfg Kvserver.Design.minos spec ~offered_mops:load)
       ~slo_p99_us:50.0 ~lo_mops:0.5 ~hi_mops:5.0 ~iters:4
   in
   let seq = with_jobs 1 go in

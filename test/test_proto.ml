@@ -72,7 +72,7 @@ let test_decode_errors () =
   | Error Wire.Bad_magic -> ()
   | _ -> Alcotest.fail "expected Bad_magic");
   let bad_op = Bytes.copy good in
-  Bytes.set_uint8 bad_op 1 200;
+  Bytes.set_uint8 bad_op 2 200;
   (match Wire.decode_request bad_op with
   | Error Wire.Bad_op -> ()
   | _ -> Alcotest.fail "expected Bad_op");
@@ -81,6 +81,45 @@ let test_decode_errors () =
   match Wire.decode_request (Bytes.sub put 0 (Bytes.length put - 1)) with
   | Error Wire.Truncated -> ()
   | _ -> Alcotest.fail "expected Truncated value"
+
+let test_version_in_header () =
+  (* Byte 1 of every message is the protocol version, after the magic. *)
+  let r = Wire.encode_request (req ()) in
+  check int "request version byte" Wire.version (Bytes.get_uint8 r 1);
+  let rep = { Wire.id = 1L; status = Wire.Ok; value = None; client_ts = 0L } in
+  let e = Wire.encode_reply rep in
+  check int "reply version byte" Wire.version (Bytes.get_uint8 e 1);
+  (* Round trip: what we encode, we accept. *)
+  (match Wire.decode_request r with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "same-version decode failed: %a" Wire.pp_error e);
+  match Wire.decode_reply e with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "same-version reply decode failed: %a" Wire.pp_error e
+
+let test_unknown_version_rejected () =
+  (* Forward compatibility: a well-formed message from a future protocol
+     version is rejected cleanly (not mis-parsed under current offsets). *)
+  let future = Wire.encode_request (req ~op:Wire.Put ~value:(Bytes.create 8) ()) in
+  Bytes.set_uint8 future 1 (Wire.version + 1);
+  (match Wire.decode_request future with
+  | Error (Wire.Bad_version v) -> check int "reported version" (Wire.version + 1) v
+  | Ok _ -> Alcotest.fail "future version accepted"
+  | Error e -> Alcotest.failf "expected Bad_version, got: %a" Wire.pp_error e);
+  let rep = { Wire.id = 9L; status = Wire.Overloaded; value = None; client_ts = 4L } in
+  let old = Wire.encode_reply rep in
+  Bytes.set_uint8 old 1 0;
+  (match Wire.decode_reply old with
+  | Error (Wire.Bad_version 0) -> ()
+  | _ -> Alcotest.fail "version-0 reply accepted");
+  (* Version is checked before the opcode: a future message with an opcode
+     we do not know must still report the version mismatch. *)
+  let both = Wire.encode_request (req ()) in
+  Bytes.set_uint8 both 1 7;
+  Bytes.set_uint8 both 2 250;
+  match Wire.decode_request both with
+  | Error (Wire.Bad_version 7) -> ()
+  | _ -> Alcotest.fail "expected Bad_version before Bad_op"
 
 let test_size_accessors_match_encoding () =
   let get = req () in
@@ -285,6 +324,9 @@ let () =
             test_empty_value_distinct_from_none;
           Alcotest.test_case "reply roundtrip" `Quick test_reply_roundtrip;
           Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "version in header" `Quick test_version_in_header;
+          Alcotest.test_case "unknown version rejected" `Quick
+            test_unknown_version_rejected;
           Alcotest.test_case "size accessors" `Quick test_size_accessors_match_encoding;
         ]
         @ qsuite

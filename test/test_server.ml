@@ -248,7 +248,7 @@ let test_engine_conservation () =
       let processed = Array.fold_left ( + ) 0 m.Metrics.per_core_ops in
       check int "issued = processed + in flight" m.Metrics.issued
         (processed + m.Metrics.in_flight_end))
-    [ Design_minos.make; Design_hkh.make; Design_hkh_ws.make; Design_sho.make ]
+    [ (Design.make Design.minos); (Design.make Design.hkh); (Design.make Design.hkh_ws); (Design.make Design.sho) ]
 
 let test_engine_throughput_tracks_offered () =
   List.iter
@@ -258,10 +258,10 @@ let test_engine_throughput_tracks_offered () =
       if abs_float (m.Metrics.throughput_mops -. 2.0) > 0.15 then
         Alcotest.failf "%s throughput %.2f vs offered 2.0" m.Metrics.design
           m.Metrics.throughput_mops)
-    [ Design_minos.make; Design_hkh.make; Design_hkh_ws.make; Design_sho.make ]
+    [ (Design.make Design.minos); (Design.make Design.hkh); (Design.make Design.hkh_ws); (Design.make Design.sho) ]
 
 let test_engine_latencies_sane () =
-  let m = run_design Design_minos.make in
+  let m = run_design (Design.make Design.minos) in
   check bool "p50 above service floor" true (m.Metrics.p50_us > 4.0);
   check bool "p50 below 20us at 2 Mops" true (m.Metrics.p50_us < 20.0);
   check bool "p99 >= p50" true (m.Metrics.p99_us >= m.Metrics.p50_us);
@@ -270,19 +270,19 @@ let test_engine_latencies_sane () =
     (m.Metrics.mean_us > 0.5 *. m.Metrics.p50_us && m.Metrics.mean_us < m.Metrics.p999_us)
 
 let test_minos_forms_plan () =
-  let m = run_design Design_minos.make in
+  let m = run_design (Design.make Design.minos) in
   check int "one large core on default-like workload" 1 m.Metrics.final_large_cores;
   if m.Metrics.final_threshold < 900.0 || m.Metrics.final_threshold > 1600.0 then
     Alcotest.failf "threshold %.0f" m.Metrics.final_threshold
 
 let test_minos_isolates_small_requests () =
-  let minos = run_design ~offered:4.0 Design_minos.make in
-  let hkh = run_design ~offered:4.0 Design_hkh.make in
+  let minos = run_design ~offered:4.0 (Design.make Design.minos) in
+  let hkh = run_design ~offered:4.0 (Design.make Design.hkh) in
   check bool "minos p99 well below hkh p99" true
     (minos.Metrics.p99_us *. 3.0 < hkh.Metrics.p99_us)
 
 let test_minos_small_large_split_visible_in_ops () =
-  let m = run_design ~offered:4.0 Design_minos.make in
+  let m = run_design ~offered:4.0 (Design.make Design.minos) in
   let n = Array.length m.Metrics.per_core_ops in
   let large_ops = m.Metrics.per_core_ops.(n - 1) in
   let small_ops = m.Metrics.per_core_ops.(0) in
@@ -294,7 +294,7 @@ let test_minos_standby_when_no_larges () =
   let dataset = Workload.Dataset.create spec in
   let gen = Workload.Generator.create dataset in
   let eng = Engine.create mini_cfg gen ~offered_mops:2.0 in
-  let m = Engine.run eng Design_minos.make in
+  let m = Engine.run eng (Design.make Design.minos) in
   check int "no large cores" 0 m.Metrics.final_large_cores;
   check bool "stable" true m.Metrics.stable;
   let processed = Array.fold_left ( + ) 0 m.Metrics.per_core_ops in
@@ -302,22 +302,22 @@ let test_minos_standby_when_no_larges () =
 
 let test_minos_static_threshold () =
   let cfg = { mini_cfg with Config.static_threshold = Some 1472.0 } in
-  let m = run_design ~cfg Design_minos.make in
+  let m = run_design ~cfg (Design.make Design.minos) in
   check (approx 1e-9) "threshold pinned" 1472.0 m.Metrics.final_threshold;
   check bool "stable" true m.Metrics.stable
 
 let test_minos_large_rx_steal_variant () =
   let cfg = { mini_cfg with Config.large_rx_steal = true } in
-  let m = run_design ~cfg ~offered:4.0 Design_minos.make in
+  let m = run_design ~cfg ~offered:4.0 (Design.make Design.minos) in
   check bool "stable" true m.Metrics.stable;
   check int "over-allocates one large core" 2 m.Metrics.final_large_cores;
   let processed = Array.fold_left ( + ) 0 m.Metrics.per_core_ops in
   check int "conservation" m.Metrics.issued (processed + m.Metrics.in_flight_end)
 
 let test_sampling_reduces_nic_load () =
-  let full = run_design ~offered:3.0 Design_minos.make in
+  let full = run_design ~offered:3.0 (Design.make Design.minos) in
   let sampled =
-    run_design ~cfg:{ mini_cfg with Config.sampling = 0.25 } ~offered:3.0 Design_minos.make
+    run_design ~cfg:{ mini_cfg with Config.sampling = 0.25 } ~offered:3.0 (Design.make Design.minos)
   in
   check bool "nic util drops with sampling" true
     (sampled.Metrics.nic_tx_utilization < 0.6 *. full.Metrics.nic_tx_utilization);
@@ -330,9 +330,9 @@ let test_sho_handoff_bottleneck () =
      drive it past that and it must go unstable while Minos stays up. *)
   let over = 6.5 in
   let sho = run_design ~cfg:{ mini_cfg with Config.handoff_cores = 1 } ~offered:over
-      Design_sho.make
+      (Design.make Design.sho)
   in
-  let minos = run_design ~offered:over Design_minos.make in
+  let minos = run_design ~offered:over (Design.make Design.minos) in
   check bool "sho saturates first" true
     ((not sho.Metrics.stable) || sho.Metrics.p99_us > minos.Metrics.p99_us)
 
@@ -346,7 +346,7 @@ let test_dynamic_adapts_large_cores () =
   let dataset = Workload.Dataset.create mini_spec in
   let gen = Workload.Generator.create dataset in
   let eng = Engine.create ~dynamic:schedule cfg gen ~offered_mops:2.0 in
-  let m = Engine.run eng Design_minos.make in
+  let m = Engine.run eng (Design.make Design.minos) in
   (* After the switch to pL=0.75 the controller must raise n_large. *)
   let early =
     List.filter (fun (t, _) -> t < 55_000.0) m.Metrics.large_core_series
@@ -365,7 +365,7 @@ let test_minos_no_epoch_during_run () =
      standby mode, and must still serve everything (large requests route
      through the standby core). *)
   let cfg = { mini_cfg with Config.epoch_us = 10.0e6 } in
-  let m = run_design ~cfg Design_minos.make in
+  let m = run_design ~cfg (Design.make Design.minos) in
   check bool "stable" true m.Metrics.stable;
   check int "standby the whole run" 0 m.Metrics.final_large_cores;
   let processed = Array.fold_left ( + ) 0 m.Metrics.per_core_ops in
@@ -381,11 +381,11 @@ let test_minimal_core_count () =
       check bool (m.Metrics.design ^ " stable on 2 cores") true m.Metrics.stable;
       let processed = Array.fold_left ( + ) 0 m.Metrics.per_core_ops in
       check int "conservation" m.Metrics.issued (processed + m.Metrics.in_flight_end))
-    [ Design_minos.make; Design_hkh.make; Design_hkh_ws.make; Design_sho.make ]
+    [ (Design.make Design.minos); (Design.make Design.hkh); (Design.make Design.hkh_ws); (Design.make Design.sho) ]
 
 let test_batch_size_one () =
   let cfg = { mini_cfg with Config.batch = 1 } in
-  let m = run_design ~cfg Design_minos.make in
+  let m = run_design ~cfg (Design.make Design.minos) in
   check bool "stable with batch=1" true m.Metrics.stable;
   (* Per-request polling costs more CPU but everything still completes. *)
   let processed = Array.fold_left ( + ) 0 m.Metrics.per_core_ops in
@@ -393,7 +393,7 @@ let test_batch_size_one () =
 
 let test_aggressive_sampling () =
   let cfg = { mini_cfg with Config.sampling = 0.01 } in
-  let m = run_design ~cfg Design_minos.make in
+  let m = run_design ~cfg (Design.make Design.minos) in
   (* 95% GETs sampled at 1% + 5% PUTs always replied: ~6% of ops produce
      latency samples, yet throughput still counts all processed ops and
      the percentiles remain computable. *)
@@ -461,7 +461,7 @@ let test_size_aware_execution_invariant () =
           end);
   let m =
     Engine.run eng (fun e ->
-        let d = Design_minos.make e in
+        let d = (Design.make Design.minos) e in
         design := Some d;
         d)
   in
@@ -482,7 +482,7 @@ let test_standby_acts_as_large_core () =
   let dataset = Workload.Dataset.create spec in
   let gen = Workload.Generator.create dataset in
   let eng = Engine.create mini_cfg gen ~offered_mops:4.5 in
-  let m = Engine.run eng Design_minos.make in
+  let m = Engine.run eng (Design.make Design.minos) in
   check bool "stable" true m.Metrics.stable;
   check int "engaged standby reported as one large core" 1 m.Metrics.final_large_cores;
   if m.Metrics.p99_us > 40.0 then
@@ -492,8 +492,8 @@ let test_latency_breakdown () =
   (* Stage means must compose into the end-to-end mean (minus the constant
      pipeline latency), and head-of-line blocking must show up in HKH's
      queue-wait stage specifically. *)
-  let minos = run_design ~offered:4.0 Design_minos.make in
-  let hkh = run_design ~offered:4.0 Design_hkh.make in
+  let minos = run_design ~offered:4.0 (Design.make Design.minos) in
+  let hkh = run_design ~offered:4.0 (Design.make Design.hkh) in
   List.iter
     (fun (m : Metrics.t) ->
       check bool "waits nonnegative" true
@@ -529,13 +529,13 @@ let test_engine_with_real_store () =
   let gen = Workload.Generator.create dataset in
   let cfg = { mini_cfg with Config.duration_us = 20_000.0; warmup_us = 5_000.0 } in
   let eng = Engine.create ~store cfg gen ~offered_mops:1.0 in
-  let m = Engine.run eng Design_minos.make in
+  let m = Engine.run eng (Design.make Design.minos) in
   check bool "ran" true (m.Metrics.completed > 0);
   check bool "store intact" true ((Kvstore.Store.stats store).Kvstore.Store.items = 2_000)
 
 let test_windowed_series () =
   let cfg = { mini_cfg with Config.window_us = Some 10_000.0 } in
-  let m = run_design ~cfg Design_hkh.make in
+  let m = run_design ~cfg (Design.make Design.hkh) in
   check bool "has windows" true (List.length m.Metrics.p99_series >= 3);
   List.iter (fun (_, p99) -> if p99 <= 0.0 then Alcotest.fail "bad window p99")
     m.Metrics.p99_series
