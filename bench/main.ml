@@ -55,7 +55,7 @@ let micro_tests () =
            ignore (Netsim.Ring.try_push ring 42);
            ignore (Netsim.Ring.try_pop ring)))
   in
-  let heap = Dsim.Heap.create () in
+  let heap = Dsim.Heap.create ~dummy:() () in
   let heap_seq = ref 0 in
   let heap_cycle =
     Test.make ~name:"heap.add+pop"
@@ -63,6 +63,17 @@ let micro_tests () =
            incr heap_seq;
            Dsim.Heap.add heap ~time:(float_of_int (!heap_seq land 0xFF)) ~seq:!heap_seq ();
            ignore (Dsim.Heap.pop_min heap)))
+  in
+  let wheel = Dsim.Wheel.create ~dummy:() () in
+  let wheel_seq = ref 0 in
+  let wheel_cycle =
+    Test.make ~name:"wheel.add+pop"
+      (Staged.stage (fun () ->
+           incr wheel_seq;
+           Dsim.Wheel.add wheel
+             ~time:(float_of_int (!wheel_seq land 0xFF))
+             ~seq:!wheel_seq ();
+           ignore (Dsim.Wheel.pop wheel)))
   in
   let toeplitz =
     Test.make ~name:"toeplitz.hash_ipv4"
@@ -119,7 +130,7 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Proto.Fragment.split ~msg_id:1L big)))
   in
   [
-    kv_get; kv_put; ring_cycle; heap_cycle; toeplitz; zipf_sample; hist_record;
+    kv_get; kv_put; ring_cycle; heap_cycle; wheel_cycle; toeplitz; zipf_sample; hist_record;
     slab_cycle; encode; decode; fragment;
   ]
 
@@ -158,7 +169,7 @@ let run_micro () =
    BENCH_perf.json so runs can be compared across commits. *)
 
 let perf_heap_ns () =
-  let heap = Dsim.Heap.create () in
+  let heap = Dsim.Heap.create ~dummy:() () in
   for i = 1 to 64 do
     Dsim.Heap.add heap ~time:(float_of_int i) ~seq:i ()
   done;
@@ -170,6 +181,24 @@ let perf_heap_ns () =
   for i = 1 to iters do
     Dsim.Heap.add heap ~time:(float_of_int (i land 0xFF)) ~seq:i ();
     ignore (Dsim.Heap.pop heap)
+  done;
+  1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int iters
+
+(* Same cycle through the timing wheel (the queue the simulator actually
+   uses since the wheel kernel landed). *)
+let perf_wheel_ns () =
+  let wheel = Dsim.Wheel.create ~dummy:() () in
+  for i = 1 to 64 do
+    Dsim.Wheel.add wheel ~time:(float_of_int i) ~seq:i ()
+  done;
+  for _ = 1 to 64 do
+    Dsim.Wheel.drop wheel
+  done;
+  let iters = 2_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to iters do
+    Dsim.Wheel.add wheel ~time:(float_of_int (i land 0xFF)) ~seq:i ();
+    Dsim.Wheel.drop wheel
   done;
   1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int iters
 
@@ -409,6 +438,7 @@ let targets : (string * string * (unit -> unit)) list =
 let run_perf sweep_target =
   Minos.Report.section "Hot-path performance profile";
   let heap_ns = perf_heap_ns () in
+  let wheel_ns = perf_wheel_ns () in
   let events_per_sec, words_per_req, events, issued = perf_sim () in
   let sweep_fn =
     match List.find_opt (fun (n, _, _) -> n = sweep_target) targets with
@@ -423,6 +453,7 @@ let run_perf sweep_target =
   Minos.Report.table ~title:"perf summary" ~headers:[ "metric"; "value" ]
     [
       [ "heap add+pop ns/op"; Printf.sprintf "%.1f" heap_ns ];
+      [ "wheel add+pop ns/op"; Printf.sprintf "%.1f" wheel_ns ];
       [ "dsim events/sec"; Printf.sprintf "%.0f" events_per_sec ];
       [ "minor words/request"; Printf.sprintf "%.1f" words_per_req ];
       [ sweep_target ^ " sweep seconds"; Printf.sprintf "%.2f" sweep_s ];
@@ -433,6 +464,7 @@ let run_perf sweep_target =
   "quick": %b,
   "jobs": %d,
   "heap_add_pop_ns": %.2f,
+  "wheel_add_pop_ns": %.2f,
   "dsim_events_per_sec": %.0f,
   "minor_words_per_request": %.2f,
   "sim_events": %d,
@@ -441,8 +473,8 @@ let run_perf sweep_target =
   "sweep_seconds": %.3f
 }
 |}
-    quick (Minos.Par.jobs ()) heap_ns events_per_sec words_per_req events issued
-    sweep_target sweep_s;
+    quick (Minos.Par.jobs ()) heap_ns wheel_ns events_per_sec words_per_req events
+    issued sweep_target sweep_s;
   close_out oc;
   Printf.printf "[perf profile written to BENCH_perf.json]\n%!"
 
@@ -463,6 +495,13 @@ let () =
   | "perf" :: rest ->
       let sweep_target = match rest with [] -> "fig3" | t :: _ -> t in
       run_perf sweep_target
+  | [ "profsim" ] ->
+      (* Undocumented: loop the perf_sim workload so a sampling profiler
+         (gprofng, perf) sees only the simulator hot path. *)
+      for _ = 1 to 5 do
+        let ev, w, _, _ = perf_sim () in
+        Printf.printf "events/sec %.0f  words/req %.1f\n%!" ev w
+      done
   | [] ->
       Printf.printf "Minos benchmark harness (%s scale)\n"
         (if quick then "quick" else "full");

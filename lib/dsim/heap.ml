@@ -11,13 +11,14 @@ type 'a t = {
   mutable seqs : int array;
   mutable vals : 'a array;
   mutable size : int;
+  dummy : 'a;
 }
 
-(* Unused value slots are filled with a previously stored (or just-added)
-   value so the array stays well-typed without [Obj.magic]; [size] bounds
-   all reads, so the filler is never observed. *)
+(* Unused value slots hold [dummy] so the array stays well-typed without
+   [Obj.magic] and — unlike a previously stored value — keeps nothing the
+   caller handed us reachable after [pop]/[clear]. *)
 
-let create () = { times = [||]; seqs = [||]; vals = [||]; size = 0 }
+let create ~dummy () = { times = [||]; seqs = [||]; vals = [||]; size = 0; dummy }
 
 let length t = t.size
 
@@ -25,12 +26,12 @@ let is_empty t = t.size = 0
 
 let capacity t = Array.length t.vals
 
-let grow t filler =
+let grow t =
   let cap = Array.length t.vals in
   let new_cap = if cap = 0 then 16 else 2 * cap in
   let times = Array.make new_cap 0.0 in
   let seqs = Array.make new_cap 0 in
-  let vals = Array.make new_cap filler in
+  let vals = Array.make new_cap t.dummy in
   Array.blit t.times 0 times 0 t.size;
   Array.blit t.seqs 0 seqs 0 t.size;
   Array.blit t.vals 0 vals 0 t.size;
@@ -39,7 +40,7 @@ let grow t filler =
   t.vals <- vals
 
 let add t ~time ~seq value =
-  if t.size = Array.length t.vals then grow t value;
+  if t.size = Array.length t.vals then grow t;
   let times = t.times and seqs = t.seqs and vals = t.vals in
   (* Sift the hole up from the new leaf until [time, seq] fits. *)
   let i = ref t.size in
@@ -100,6 +101,10 @@ let min_seq t =
   if t.size = 0 then invalid_arg "Heap.min_seq: empty heap";
   t.seqs.(0)
 
+let min_value t =
+  if t.size = 0 then invalid_arg "Heap.min_value: empty heap";
+  t.vals.(0)
+
 let pop t =
   if t.size = 0 then invalid_arg "Heap.pop: empty heap";
   let v = t.vals.(0) in
@@ -107,9 +112,10 @@ let pop t =
   t.size <- n;
   if n > 0 then begin
     let lt = t.times.(n) and ls = t.seqs.(n) and lv = t.vals.(n) in
-    t.vals.(n) <- v (* keep the slot typed; overwritten on the next add *);
+    t.vals.(n) <- t.dummy (* vacated slot: drop the reference so [lv] is collectable once popped *);
     sift_down_root t lt ls lv
-  end;
+  end
+  else t.vals.(0) <- t.dummy;
   v
 
 let pop_min t =
@@ -125,9 +131,7 @@ let peek_min t =
 
 let clear t =
   (* Retain the backing arrays so a reused heap does not re-grow from 16;
-     overwrite the value slots with one surviving filler so at most a
-     single previously stored value stays reachable. *)
-  (if Array.length t.vals > 0 then
-     let filler = t.vals.(0) in
-     Array.fill t.vals 0 (Array.length t.vals) filler);
+     overwrite the value slots with [dummy] so no stored value stays
+     reachable after the clear. *)
+  Array.fill t.vals 0 (Array.length t.vals) t.dummy;
   t.size <- 0

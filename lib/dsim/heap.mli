@@ -12,7 +12,10 @@
 
 type 'a t
 
-val create : unit -> 'a t
+val create : dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] makes an empty heap.  [dummy] fills unused value
+    slots so that popped/cleared values become collectable immediately; it
+    is never returned by any accessor. *)
 
 val length : 'a t -> int
 
@@ -32,6 +35,10 @@ val min_seq : 'a t -> int
 (** Sequence key of the minimum element.  O(1).
     @raise Invalid_argument on an empty heap. *)
 
+val min_value : 'a t -> 'a
+(** Value of the minimum element without removing it.  O(1).
+    @raise Invalid_argument on an empty heap. *)
+
 val pop : 'a t -> 'a
 (** Remove the minimum element and return its value, without materializing
     a tuple.  Read {!min_time} first if the key is needed.  O(log n).
@@ -47,5 +54,5 @@ val peek_min : 'a t -> (float * int * 'a) option
 
 val clear : 'a t -> unit
 (** Remove all elements.  The backing arrays (capacity) are retained so a
-    reused heap does not re-grow from scratch; at most one previously
-    stored value may stay reachable as the slot filler. *)
+    reused heap does not re-grow from scratch; value slots are reset to
+    [dummy], so no previously stored value stays reachable. *)

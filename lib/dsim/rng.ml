@@ -10,14 +10,14 @@ type t = { mutable state : int }
 
 let golden_gamma = 0x1E3779B97F4A7C15
 
-let mix z =
+let[@inline] mix z =
   let z = (z lxor (z lsr 30)) * 0x2F58476D1CE4E5B9 in
   let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
   z lxor (z lsr 31)
 
 let create seed = { state = mix seed }
 
-let bits t =
+let[@inline] bits t =
   t.state <- t.state + golden_gamma;
   mix t.state
 
@@ -33,15 +33,21 @@ let copy t = { state = t.state }
 
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Rejection sampling to avoid modulo bias. *)
-  let rec go () =
+  (* Rejection sampling to avoid modulo bias.  A while loop instead of a
+     local recursive function: the latter costs a closure allocation per
+     call without flambda, and this runs once per simulated GET. *)
+  let v = ref 0 and rejected = ref true in
+  while !rejected do
     let r = bits t lsr 1 in
-    let v = r mod n in
-    if r - v > max_int - (n - 1) then go () else v
-  in
-  go ()
+    let x = r mod n in
+    if r - x <= max_int - (n - 1) then begin
+      v := x;
+      rejected := false
+    end
+  done;
+  !v
 
-let unit_float t =
+let[@inline] unit_float t =
   (* 53 random bits scaled into [0,1). *)
   let r = bits t lsr 10 in
   float_of_int r *. 0x1p-53
@@ -52,7 +58,7 @@ let float t x =
 
 let bool t = bits t land 1 = 1
 
-let exponential t ~mean =
+let[@inline] exponential t ~mean =
   let u = unit_float t in
   (* 1 - u is in (0, 1], so log is finite. *)
   -.mean *. log1p (-.u)

@@ -1,15 +1,28 @@
 (** Discrete-event simulation engine.
 
-    A simulation is a clock (in microseconds) plus a priority queue of
-    pending events.  Events are thunks scheduled at absolute or relative
-    times; ties are broken by insertion order, so a run is fully
+    A simulation is a clock (in microseconds) plus a timing-wheel queue of
+    pending events ({!Wheel}).  Events are scheduled at absolute or
+    relative times; ties are broken by insertion order, so a run is fully
     deterministic for a given seed.
 
-    The engine is deliberately minimal: entities (cores, NICs, clients) are
-    ordinary OCaml values whose methods schedule further events by capturing
-    the simulation in closures. *)
+    Events come in two flavours:
+
+    - {e closure events} ({!schedule_at}/{!schedule_after}): a thunk,
+      maximally flexible, one closure allocation per event.  The escape
+      hatch for cold paths.
+    - {e typed events} ({!schedule_call_at}/{!schedule_call_after}): a
+      handler tag registered once up front ({!register_handler}) plus two
+      int operands, dispatched through the handler table without any
+      per-event allocation.  Hot event kinds (service completions, TX
+      frame completions, polls, control ticks) should use these.
+
+    {!schedule_timer_after} additionally returns a {!handle} for O(1)
+    cancellation — the kernel support for hedged/tied requests. *)
 
 type t
+
+type handle
+(** Cancellation handle returned by {!schedule_timer_after}. *)
 
 val create : ?seed:int -> unit -> t
 (** [create ~seed ()] makes a simulation whose clock starts at 0.0 µs and
@@ -32,6 +45,30 @@ val schedule_at : t -> float -> (unit -> unit) -> unit
 
 val schedule_after : t -> float -> (unit -> unit) -> unit
 (** [schedule_after t delay f] runs [f] [delay] µs from now ([delay >= 0]). *)
+
+val register_handler : t -> (int -> int -> unit) -> int
+(** [register_handler t f] adds [f] to the handler table and returns its
+    tag for use with the [schedule_call_*]/[schedule_timer_*] functions.
+    Registration is cold (one small allocation); call it at entity setup
+    time, once per event kind. *)
+
+val schedule_call_at : t -> float -> tag:int -> i:int -> j:int -> unit
+(** [schedule_call_at t time ~tag ~i ~j] runs [handler i j] when the
+    clock reaches [time], where [handler] was registered under [tag].
+    Allocation-free in steady state.  Scheduling in the past raises
+    [Invalid_argument]. *)
+
+val schedule_call_after : t -> float -> tag:int -> i:int -> j:int -> unit
+(** Relative-time variant of {!schedule_call_at} ([delay >= 0]). *)
+
+val schedule_timer_after : t -> float -> tag:int -> i:int -> j:int -> handle
+(** Like {!schedule_call_after} but returns a {!handle} that can cancel
+    the event in O(1) before it fires. *)
+
+val cancel : t -> handle -> bool
+(** Cancel a pending timer.  Returns [false] if it already fired, was
+    already cancelled, or the handle is stale (its queue slot was
+    reused). *)
 
 val run : t -> until:float -> unit
 (** Process events in time order until the clock would exceed [until] or no

@@ -1,23 +1,64 @@
-type 'a t = { q : 'a Queue.t; mutable total : int; mutable high_water : int }
+(* Growable circular buffer.  Steady-state push/pop_exn touch only the
+   backing array and a few int fields — no per-element cell (Stdlib.Queue)
+   or option box.  Vacated slots are overwritten with [dummy] so popped
+   values do not linger reachable from the buffer (same discipline as
+   Dsim.Heap). *)
 
-let create () = { q = Queue.create (); total = 0; high_water = 0 }
+type 'a t = {
+  mutable buf : 'a array; (* capacity is always a power of two *)
+  mutable head : int; (* index of the front element *)
+  mutable len : int;
+  dummy : 'a;
+  mutable total : int;
+  mutable high_water : int;
+}
 
-let push t v =
-  Queue.add v t.q;
+let create ~dummy () =
+  { buf = Array.make 16 dummy; head = 0; len = 0; dummy; total = 0; high_water = 0 }
+
+let grow t =
+  let cap = Array.length t.buf in
+  let nbuf = Array.make (2 * cap) t.dummy in
+  let tail_len = cap - t.head in
+  Array.blit t.buf t.head nbuf 0 tail_len;
+  Array.blit t.buf 0 nbuf tail_len t.head;
+  t.buf <- nbuf;
+  t.head <- 0
+
+let[@inline] push t v =
+  if t.len = Array.length t.buf then grow t;
+  t.buf.((t.head + t.len) land (Array.length t.buf - 1)) <- v;
+  t.len <- t.len + 1;
   t.total <- t.total + 1;
-  let n = Queue.length t.q in
-  if n > t.high_water then t.high_water <- n
+  if t.len > t.high_water then t.high_water <- t.len
 
-let pop t = Queue.take_opt t.q
+let[@inline never] empty_pop () = invalid_arg "Fifo.pop_exn: empty"
 
-let peek t = Queue.peek_opt t.q
+let[@inline] pop_exn t =
+  if t.len = 0 then empty_pop ();
+  let v = t.buf.(t.head) in
+  t.buf.(t.head) <- t.dummy;
+  t.head <- (t.head + 1) land (Array.length t.buf - 1);
+  t.len <- t.len - 1;
+  v
 
-let length t = Queue.length t.q
+let pop t = if t.len = 0 then None else Some (pop_exn t)
 
-let is_empty t = Queue.is_empty t.q
+let peek_exn t =
+  if t.len = 0 then invalid_arg "Fifo.peek_exn: empty";
+  t.buf.(t.head)
+
+let peek t = if t.len = 0 then None else Some t.buf.(t.head)
+
+let[@inline] length t = t.len
+
+let[@inline] is_empty t = t.len = 0
 
 let total_enqueued t = t.total
 
 let max_occupancy t = t.high_water
 
-let clear t = Queue.clear t.q
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) t.dummy;
+  t.head <- 0;
+  t.len <- 0

@@ -6,10 +6,10 @@ type 'a t = {
   tx : Txlink.t;
 }
 
-let create ~queues ~tx_gbps =
+let create ~queues ~tx_gbps ~dummy =
   if queues <= 0 then invalid_arg "Nic.create: need at least one queue";
   {
-    rx_queues = Array.init queues (fun _ -> Fifo.create ());
+    rx_queues = Array.init queues (fun _ -> Fifo.create ~dummy ());
     stats = Array.init queues (fun _ -> { frames = 0; wire_bytes = 0 });
     tx = Txlink.create ~gbps:tx_gbps;
   }

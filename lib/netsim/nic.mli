@@ -11,7 +11,8 @@
 
 type 'a t
 
-val create : queues:int -> tx_gbps:float -> 'a t
+val create : queues:int -> tx_gbps:float -> dummy:'a -> 'a t
+(** [dummy] fills vacated RX-queue slots (see {!Fifo.create}). *)
 
 val queues : 'a t -> int
 

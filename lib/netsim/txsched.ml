@@ -1,9 +1,13 @@
+(* Messages are pooled: [send] reuses a record from [pool] instead of
+   allocating, and completion is reported through the single [on_complete]
+   callback installed at creation, keyed by the caller's [token] — so the
+   steady-state TX path allocates nothing per message or per frame. *)
 type message = {
   mutable full_frames_left : int;
-  full_frame_bytes : int;
-  last_frame_bytes : int; (* transmitted after all full frames *)
+  mutable full_frame_bytes : int;
+  mutable last_frame_bytes : int; (* transmitted after all full frames *)
   mutable last_done : bool;
-  on_complete : float -> unit;
+  mutable token : int;
 }
 
 (* Flat float cell: avoids boxing the per-frame busy-time accumulation
@@ -12,18 +16,20 @@ type accum = { mutable v : float }
 
 type t = {
   us_per_byte : float;
-  queues : message Queue.t array;
+  queues : message Fifo.t array;
+  pool : message Fifo.t; (* free messages for reuse *)
   mutable rr : int; (* next queue to consider *)
   mutable wire_busy : bool;
   busy_accum : accum;
   mutable total_bytes : int;
-  schedule : float -> (unit -> unit) -> unit;
+  schedule : float -> unit;
+      (* arrange for [frame_done] to be called after the given delay: the
+         wire serializes frames, so at most one callback is outstanding
+         and the caller can wire it to a single preallocated (typed)
+         simulator event — nothing is allocated per frame *)
   now : unit -> float;
+  on_complete : int -> float -> unit;
   mutable inflight : message; (* message owning the frame on the wire *)
-  mutable on_frame_done : unit -> unit;
-      (* preallocated completion continuation: the wire serializes frames,
-         so at most one is outstanding and a single closure suffices
-         (allocating one per frame was a measurable hot-path cost) *)
 }
 
 let dummy_message =
@@ -32,8 +38,23 @@ let dummy_message =
     full_frame_bytes = 0;
     last_frame_bytes = 0;
     last_done = false;
-    on_complete = ignore;
+    token = -1;
   }
+
+let alloc_message t =
+  if Fifo.is_empty t.pool then
+    {
+      full_frames_left = 0;
+      full_frame_bytes = 0;
+      last_frame_bytes = 0;
+      last_done = false;
+      token = -1;
+    }
+  else Fifo.pop_exn t.pool
+
+let free_message t m =
+  m.token <- -1;
+  Fifo.push t.pool m
 
 let message_done m = m.full_frames_left = 0 && m.last_done
 
@@ -49,9 +70,9 @@ let next_frame_bytes t =
     else begin
       let qi = (t.rr + i) mod n in
       let q = t.queues.(qi) in
-      if Queue.is_empty q then scan (i + 1)
+      if Fifo.is_empty q then scan (i + 1)
       else begin
-        let m = Queue.peek q in
+        let m = Fifo.peek_exn q in
         t.rr <- (qi + 1) mod n;
         let bytes =
           if m.full_frames_left > 0 then begin
@@ -63,7 +84,7 @@ let next_frame_bytes t =
             m.last_frame_bytes
           end
         in
-        if message_done m then ignore (Queue.pop q);
+        if message_done m then ignore (Fifo.pop_exn q);
         t.inflight <- m;
         bytes
       end
@@ -79,59 +100,56 @@ let pump t =
     let dt = float_of_int bytes *. t.us_per_byte in
     t.busy_accum.v <- t.busy_accum.v +. dt;
     t.total_bytes <- t.total_bytes + bytes;
-    t.schedule dt t.on_frame_done
+    t.schedule dt
   end
 
-let create ~gbps ~queues ~schedule ~now =
+let frame_done t =
+  let m = t.inflight in
+  if message_done m then begin
+    t.on_complete m.token (t.now ());
+    free_message t m
+  end;
+  pump t
+
+let create ~gbps ~queues ~schedule ~now ~on_complete =
   if not (gbps > 0.0) then invalid_arg "Txsched.create: rate must be > 0";
   if queues < 1 then invalid_arg "Txsched.create: need at least one queue";
-  let t =
-    {
-      us_per_byte = 8.0e-3 /. gbps;
-      queues = Array.init queues (fun _ -> Queue.create ());
-      rr = 0;
-      wire_busy = false;
-      busy_accum = { v = 0.0 };
-      total_bytes = 0;
-      schedule;
-      now;
-      inflight = dummy_message;
-      on_frame_done = (fun () -> ());
-    }
-  in
-  t.on_frame_done <-
-    (fun () ->
-      let m = t.inflight in
-      if message_done m then m.on_complete (t.now ());
-      pump t);
-  t
+  {
+    us_per_byte = 8.0e-3 /. gbps;
+    queues = Array.init queues (fun _ -> Fifo.create ~dummy:dummy_message ());
+    pool = Fifo.create ~dummy:dummy_message ();
+    rr = 0;
+    wire_busy = false;
+    busy_accum = { v = 0.0 };
+    total_bytes = 0;
+    schedule;
+    now;
+    on_complete;
+    inflight = dummy_message;
+  }
 
-let send t ~queue ~payload_bytes ~on_complete =
+let send t ~queue ~payload_bytes ~token =
   if payload_bytes < 0 then invalid_arg "Txsched.send: negative payload";
   let max_p = Frame.max_udp_payload in
   let full = payload_bytes / max_p in
   let rest = payload_bytes - (full * max_p) in
+  let m = alloc_message t in
+  let full_wire = Frame.wire_bytes_for_frame_payload max_p in
   (* A payload that is an exact multiple of the fragment size has no
      partial trailer; its "last frame" is one of the full ones. *)
-  let m =
-    if rest = 0 && full > 0 then
-      {
-        full_frames_left = full - 1;
-        full_frame_bytes = Frame.wire_bytes_for_frame_payload max_p;
-        last_frame_bytes = Frame.wire_bytes_for_frame_payload max_p;
-        last_done = false;
-        on_complete;
-      }
-    else
-      {
-        full_frames_left = full;
-        full_frame_bytes = Frame.wire_bytes_for_frame_payload max_p;
-        last_frame_bytes = Frame.wire_bytes_for_frame_payload rest;
-        last_done = false;
-        on_complete;
-      }
-  in
-  Queue.add m t.queues.(queue);
+  if rest = 0 && full > 0 then begin
+    m.full_frames_left <- full - 1;
+    m.full_frame_bytes <- full_wire;
+    m.last_frame_bytes <- full_wire
+  end
+  else begin
+    m.full_frames_left <- full;
+    m.full_frame_bytes <- full_wire;
+    m.last_frame_bytes <- Frame.wire_bytes_for_frame_payload rest
+  end;
+  m.last_done <- false;
+  m.token <- token;
+  Fifo.push t.queues.(queue) m;
   if not t.wire_busy then pump t
 
 let busy t = t.wire_busy
@@ -147,4 +165,4 @@ let reset_counters t =
   t.total_bytes <- 0
 
 let pending_messages t =
-  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
+  Array.fold_left (fun acc q -> acc + Fifo.length q) 0 t.queues

@@ -10,24 +10,42 @@
     would add a ~50 µs tail at any load.
 
     The scheduler is driven by the simulator through the [schedule]
-    closure supplied at creation; one event per frame is processed only
-    while the wire is busy. *)
+    closure supplied at creation, which must arrange for {!frame_done} to
+    run after the given delay; one event per frame is processed only
+    while the wire is busy.  The wire serializes frames, so at most one
+    callback is ever outstanding — the caller can wire [schedule] to a
+    single preallocated (typed) simulator event and the per-frame path
+    allocates nothing.
+
+    Completion is reported through the single [on_complete] callback
+    installed at creation, keyed by the integer [token] the caller passed
+    to {!send} (the server uses its request-pool slot).  Messages are
+    pooled internally, so steady-state sends allocate nothing. *)
 
 type t
 
 val create :
   gbps:float ->
   queues:int ->
-  schedule:(float -> (unit -> unit) -> unit) ->
+  schedule:(float -> unit) ->
   now:(unit -> float) ->
+  on_complete:(int -> float -> unit) ->
   t
-(** [schedule delay f] must run [f] after [delay] µs; [now ()] must return
-    the current simulation time. *)
+(** [schedule delay] must arrange for {!frame_done} on this scheduler to
+    run after [delay] µs; [now ()] must return the current simulation
+    time.  [on_complete token finish] fires when the message submitted
+    with [token] finishes its last frame. *)
 
-val send :
-  t -> queue:int -> payload_bytes:int -> on_complete:(float -> unit) -> unit
+val frame_done : t -> unit
+(** Wire-completion callback for the frame currently on the wire: reports
+    the message if that was its last frame and puts the next frame on the
+    wire.  Must be invoked exactly once per [schedule] request, after the
+    requested delay. *)
+
+val send : t -> queue:int -> payload_bytes:int -> token:int -> unit
 (** Enqueue one UDP message (fragmented per {!Frame}) on a TX queue.
-    [on_complete] fires with the wire-completion time of its last frame. *)
+    [on_complete] (from {!create}) fires with [token] and the
+    wire-completion time of its last frame. *)
 
 val busy : t -> bool
 

@@ -36,6 +36,8 @@ type result = {
 
 type job = { arrival : float; service : float; index : int }
 
+let dummy_job = { arrival = 0.0; service = 0.0; index = -1 }
+
 type core = { mutable busy : bool; queue : job Netsim.Fifo.t }
 
 type state = {
@@ -135,8 +137,10 @@ let run discipline (cfg : config) =
     {
       sim;
       cfg;
-      cores = Array.init cfg.cores (fun _ -> { busy = false; queue = Netsim.Fifo.create () });
-      shared = Netsim.Fifo.create ();
+      cores =
+        Array.init cfg.cores (fun _ ->
+            { busy = false; queue = Netsim.Fifo.create ~dummy:dummy_job () });
+      shared = Netsim.Fifo.create ~dummy:dummy_job ();
       latencies = Stats.Float_vec.create ~capacity:cfg.requests ();
       completed_measured = 0;
       first_measured_completion = 0.0;

@@ -1,6 +1,8 @@
 let name = "HKH"
 
-type core = { id : int; mutable idle : bool; batch : Engine.request Queue.t }
+(* [batch] holds pool slots (see [Engine.rx]): int queues skip the GC
+   write barrier on every push. *)
+type core = { id : int; mutable idle : bool; batch : int Netsim.Fifo.t }
 
 (* Size-oblivious designs have no threshold to classify against; for
    admission control they fall back to a fixed engineering cutoff (a
@@ -10,35 +12,31 @@ let shed_large (req : Engine.request) = req.Engine.item_size > 65536
 let make eng =
   let cfg = Engine.config eng in
   let cores =
-    Array.init (Engine.cores eng) (fun id -> { id; idle = true; batch = Queue.create () })
+    Array.init (Engine.cores eng) (fun id ->
+        { id; idle = true; batch = Netsim.Fifo.create ~dummy:(-1) () })
   in
   let rec step c =
-    match Queue.take_opt c.batch with
-    | Some req ->
-        if Engine.try_shed eng ~large:(shed_large req) then step c
-        else Engine.execute eng ~core:c.id req ~k:(fun () -> step c)
-    | None ->
-        let rx = Engine.rx eng c.id in
-        if Netsim.Fifo.is_empty rx then c.idle <- true
-        else begin
-          let pulled = ref 0 in
-          while
-            !pulled < cfg.Config.batch
-            &&
-            match Netsim.Fifo.pop rx with
-            | Some r ->
-                Engine.obs_poll eng r;
-                Queue.add r c.batch;
-                incr pulled;
-                true
-            | None -> false
-          do
-            ()
-          done;
-          Engine.busy eng ~core:c.id cfg.Config.cost.Cost_model.poll_us ~k:(fun () ->
-              step c)
-        end
+    if not (Netsim.Fifo.is_empty c.batch) then begin
+      let req = Engine.req_of_slot eng (Netsim.Fifo.pop_exn c.batch) in
+      if Engine.try_shed eng req ~large:(shed_large req) then step c
+      else Engine.execute eng ~core:c.id ~tx_queue:c.id ~extra_cpu:0.0 req
+    end
+    else begin
+      let rx = Engine.rx eng c.id in
+      if Netsim.Fifo.is_empty rx then c.idle <- true
+      else begin
+        let pulled = ref 0 in
+        while !pulled < cfg.Config.batch && not (Netsim.Fifo.is_empty rx) do
+          let r = Netsim.Fifo.pop_exn rx in
+          Engine.obs_poll eng (Engine.req_of_slot eng r);
+          Netsim.Fifo.push c.batch r;
+          incr pulled
+        done;
+        Engine.busy eng ~core:c.id cfg.Config.cost.Cost_model.poll_us
+      end
+    end
   in
+  Engine.set_resume eng (fun id -> step cores.(id));
   let wake c =
     if c.idle then begin
       c.idle <- false;

@@ -1,30 +1,29 @@
 let name = "HKH+WS"
 
-type core = { id : int; mutable idle : bool; swq : Engine.request Netsim.Fifo.t }
+(* [swq] holds pool slots (see [Engine.rx]): int queues skip the GC
+   write barrier on every push. *)
+type core = { id : int; mutable idle : bool; swq : int Netsim.Fifo.t }
 
 let make eng =
   let cfg = Engine.config eng in
   let n = Engine.cores eng in
   let cost = cfg.Config.cost in
-  let cores = Array.init n (fun id -> { id; idle = true; swq = Netsim.Fifo.create () }) in
+  let cores =
+    Array.init n (fun id ->
+        { id; idle = true; swq = Netsim.Fifo.create ~dummy:(-1) () })
+  in
   let steal_rng = Dsim.Sim.fork_rng (Engine.sim eng) in
   let move_batch src dst =
     let pulled = ref 0 in
-    while
-      !pulled < cfg.Config.batch
-      &&
-      match Netsim.Fifo.pop src with
-      | Some r ->
-          (* Both call sites move RX → software queue: the pop is the poll,
-             the push the handoff enqueue. *)
-          Engine.obs_poll eng r;
-          Engine.obs_handoff_enq eng r;
-          Netsim.Fifo.push dst r;
-          incr pulled;
-          true
-      | None -> false
-    do
-      ()
+    while !pulled < cfg.Config.batch && not (Netsim.Fifo.is_empty src) do
+      (* Both call sites move RX → software queue: the pop is the poll,
+         the push the handoff enqueue. *)
+      let r = Netsim.Fifo.pop_exn src in
+      let req = Engine.req_of_slot eng r in
+      Engine.obs_poll eng req;
+      Engine.obs_handoff_enq eng req;
+      Netsim.Fifo.push dst r;
+      incr pulled
     done;
     !pulled
   in
@@ -37,19 +36,19 @@ let make eng =
   (* Size-oblivious: admission control classifies by a fixed cutoff. *)
   let shed_large (req : Engine.request) = req.Engine.item_size > 65536 in
   let rec step c =
-    match Netsim.Fifo.pop c.swq with
-    | Some req ->
-        Engine.obs_handoff_deq eng req;
-        if Engine.try_shed eng ~large:(shed_large req) then step c
-        else
-          Engine.execute eng ~core:c.id ~extra_cpu:(put_lock_cost c req) req
-            ~k:(fun () -> step c)
-    | None ->
-        if not (Netsim.Fifo.is_empty (Engine.rx eng c.id)) then begin
-          ignore (move_batch (Engine.rx eng c.id) c.swq);
-          Engine.busy eng ~core:c.id cost.Cost_model.poll_us ~k:(fun () -> step c)
-        end
-        else begin
+    if not (Netsim.Fifo.is_empty c.swq) then begin
+      let req = Engine.req_of_slot eng (Netsim.Fifo.pop_exn c.swq) in
+      Engine.obs_handoff_deq eng req;
+      if Engine.try_shed eng req ~large:(shed_large req) then step c
+      else
+        Engine.execute eng ~core:c.id ~tx_queue:c.id
+          ~extra_cpu:(put_lock_cost c req) req
+    end
+    else if not (Netsim.Fifo.is_empty (Engine.rx eng c.id)) then begin
+      ignore (move_batch (Engine.rx eng c.id) c.swq);
+      Engine.busy eng ~core:c.id cost.Cost_model.poll_us
+    end
+    else begin
           (* Steal one queued request from another core's software queue,
              scanning from a random start. *)
           let start = Dsim.Rng.int steal_rng n in
@@ -60,7 +59,8 @@ let make eng =
               if victim.id = c.id then steal_swq (i + 1)
               else
                 match Netsim.Fifo.pop victim.swq with
-                | Some r ->
+                | Some slot ->
+                    let r = Engine.req_of_slot eng slot in
                     Engine.obs_handoff_deq eng r;
                     Some r
                 | None -> steal_swq (i + 1)
@@ -68,12 +68,11 @@ let make eng =
           in
           match steal_swq 0 with
           | Some req ->
-              if Engine.try_shed eng ~large:(shed_large req) then step c
+              if Engine.try_shed eng req ~large:(shed_large req) then step c
               else
-                Engine.execute eng ~core:c.id
+                Engine.execute eng ~core:c.id ~tx_queue:c.id
                   ~extra_cpu:(cost.Cost_model.steal_us +. put_lock_cost c req)
                   req
-                  ~k:(fun () -> step c)
           | None -> (
               (* All software queues empty: steal a batch of packets from
                  another core's RX queue into our software queue. *)
@@ -92,10 +91,10 @@ let make eng =
               | 0 -> c.idle <- true
               | _ ->
                   Engine.busy eng ~core:c.id
-                    (cost.Cost_model.poll_us +. cost.Cost_model.steal_us)
-                    ~k:(fun () -> step c))
-        end
+                    (cost.Cost_model.poll_us +. cost.Cost_model.steal_us))
+    end
   in
+  Engine.set_resume eng (fun id -> step cores.(id));
   let wake c =
     if c.idle then begin
       c.idle <- false;

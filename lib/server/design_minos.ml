@@ -3,8 +3,10 @@ let name = "Minos"
 type core = {
   id : int;
   mutable idle : bool;
-  batch : Engine.request Queue.t; (* small-core run-to-completion batch *)
-  swq : Engine.request Netsim.Fifo.t; (* software queue when large/standby *)
+  batch : int Netsim.Fifo.t; (* small-core run-to-completion batch *)
+  swq : int Netsim.Fifo.t; (* software queue when large/standby *)
+  (* Queues hold pool slots (see [Engine.rx]): pushing ints skips the
+     GC write barrier that pointer queues pay on every store. *)
   hist : Stats.Log_histogram.t; (* item sizes observed this epoch *)
 }
 
@@ -76,27 +78,26 @@ and wake st c =
 (* ---------------- small cores ---------------- *)
 
 and small_step st c =
-  match Queue.take_opt c.batch with
-  | Some req -> classify_and_serve st c req
-  | None -> refill st c
+  if Netsim.Fifo.is_empty c.batch then refill st c
+  else classify_and_serve st c (Netsim.Fifo.pop_exn c.batch)
 
-and classify_and_serve st c req =
+and classify_and_serve st c slot =
+  let req = Engine.req_of_slot st.eng slot in
   let size = float_of_int req.Engine.item_size in
   Stats.Log_histogram.record c.hist size;
   Engine.obs_classify st.eng req;
   let profile = profiling_cost st in
   match Control.route st.plan size with
   | None ->
-      if Engine.try_shed st.eng ~large:false then
-        Engine.busy st.eng ~core:c.id profile ~k:(fun () -> step st c)
+      if Engine.try_shed st.eng req ~large:false then
+        Engine.busy st.eng ~core:c.id profile
       else
-        Engine.execute st.eng ~core:c.id
+        Engine.execute st.eng ~core:c.id ~tx_queue:c.id
           ~extra_cpu:(profile +. put_lock_cost st req)
           req
-          ~k:(fun () -> step st c)
   | Some j ->
-      if Engine.try_shed st.eng ~large:true then
-        Engine.busy st.eng ~core:c.id profile ~k:(fun () -> step st c)
+      if Engine.try_shed st.eng req ~large:true then
+        Engine.busy st.eng ~core:c.id profile
       else begin
         (* Software handoff: push onto the owning large core's queue.  In
            standby mode this engages the standby core as a large core. *)
@@ -105,11 +106,10 @@ and classify_and_serve st c req =
         in
         if standby_mode st then st.standby_engaged <- true;
         Engine.obs_handoff_enq st.eng req;
-        Netsim.Fifo.push target.swq req;
+        Netsim.Fifo.push target.swq slot;
         wake st target;
         Engine.busy st.eng ~core:c.id
           (st.cfg.Config.cost.Cost_model.handoff_us +. profile)
-          ~k:(fun () -> step st c)
       end
 
 and refill st c =
@@ -117,18 +117,11 @@ and refill st c =
   let pulled = ref 0 in
   let pull_from rx limit =
     let got = ref 0 in
-    while
-      !got < limit
-      &&
-      match Netsim.Fifo.pop rx with
-      | Some r ->
-          Engine.obs_poll st.eng r;
-          Queue.add r c.batch;
-          incr got;
-          true
-      | None -> false
-    do
-      ()
+    while !got < limit && not (Netsim.Fifo.is_empty rx) do
+      let r = Netsim.Fifo.pop_exn rx in
+      Engine.obs_poll st.eng (Engine.req_of_slot st.eng r);
+      Netsim.Fifo.push c.batch r;
+      incr got
     done;
     pulled := !pulled + !got
   in
@@ -150,36 +143,35 @@ and refill st c =
   end;
   if st.excluded >= 0 then pull_from (Engine.rx st.eng st.excluded) share;
   if !pulled > 0 then
-    Engine.busy st.eng ~core:c.id st.cfg.Config.cost.Cost_model.poll_us ~k:(fun () ->
-        step st c)
+    Engine.busy st.eng ~core:c.id st.cfg.Config.cost.Cost_model.poll_us
   else c.idle <- true
 
 (* ---------------- large cores ---------------- *)
 
 and large_step st c =
-  match Netsim.Fifo.pop c.swq with
-  | Some req ->
-      Engine.obs_handoff_deq st.eng req;
-      Engine.execute st.eng ~core:c.id ~extra_cpu:(put_lock_cost st req) req ~k:(fun () ->
-          step st c)
-  | None -> (
-      (* A core that just turned large may still hold a batch it pulled
-         while small; classify those so nothing is stranded. *)
-      match Queue.take_opt c.batch with
-      | Some req -> classify_and_serve st c req
-      | None ->
-          if
-            st.cfg.Config.large_rx_steal
-            && st.plan.Control.n_large > 0
-            && c.id <> st.excluded
-          then rx_steal_step st c
-          else
-            (* An engaged standby core stays a large core until the next
-               control epoch re-designates roles; reverting per-request
-               would re-expose every batch it pulls to head-of-line
-               blocking behind the next large arrival.  An excluded core
-               parks here until readmitted. *)
-            c.idle <- true)
+  if not (Netsim.Fifo.is_empty c.swq) then begin
+    let req = Engine.req_of_slot st.eng (Netsim.Fifo.pop_exn c.swq) in
+    Engine.obs_handoff_deq st.eng req;
+    Engine.execute st.eng ~core:c.id ~tx_queue:c.id
+      ~extra_cpu:(put_lock_cost st req) req
+  end
+  else if
+    (* A core that just turned large may still hold a batch it pulled
+       while small; classify those so nothing is stranded. *)
+    not (Netsim.Fifo.is_empty c.batch)
+  then classify_and_serve st c (Netsim.Fifo.pop_exn c.batch)
+  else if
+    st.cfg.Config.large_rx_steal
+    && st.plan.Control.n_large > 0
+    && c.id <> st.excluded
+  then rx_steal_step st c
+  else
+    (* An engaged standby core stays a large core until the next
+       control epoch re-designates roles; reverting per-request
+       would re-expose every batch it pulls to head-of-line
+       blocking behind the next large arrival.  An excluded core
+       parks here until readmitted. *)
+    c.idle <- true
 
 (* §6.1 variant: an idle large core steals a single request from a small
    core's RX queue — one at a time, so a small request is never queued
@@ -189,16 +181,16 @@ and rx_steal_step st c =
     if slot >= st.plan.Control.n_small then c.idle <- true
     else begin
       let victim = phys st slot in
-      match Netsim.Fifo.pop (Engine.rx st.eng victim) with
-      | Some req ->
+      if not (Netsim.Fifo.is_empty (Engine.rx st.eng victim)) then begin
+          let req = Engine.req_of_slot st.eng (Netsim.Fifo.pop_exn (Engine.rx st.eng victim)) in
           Engine.obs_poll st.eng req;
           let size = float_of_int req.Engine.item_size in
           Stats.Log_histogram.record c.hist size;
           Engine.obs_classify st.eng req;
-          if Engine.try_shed st.eng ~large:(size > st.plan.Control.threshold) then
+          if Engine.try_shed st.eng req ~large:(size > st.plan.Control.threshold)
+          then
             Engine.busy st.eng ~core:c.id
               (st.cfg.Config.cost.Cost_model.steal_us +. profiling_cost st)
-              ~k:(fun () -> step st c)
           else begin
             (* TX-queue discipline mirrors the size split: a stolen small
                replies on the victim's (small) TX queue so it never
@@ -211,9 +203,9 @@ and rx_steal_step st c =
                 (st.cfg.Config.cost.Cost_model.steal_us
                 +. profiling_cost st +. put_lock_cost st req)
               req
-              ~k:(fun () -> step st c)
           end
-      | None -> scan (slot + 1)
+      end
+      else scan (slot + 1)
     end
   in
   scan 0
@@ -340,23 +332,24 @@ let on_epoch st () =
           (* An excluded core's staged batch would otherwise be served at
              its degraded speed; reclaim it. *)
           if c.id = st.excluded then
-            while not (Queue.is_empty c.batch) do
-              displaced := Queue.pop c.batch :: !displaced
+            while not (Netsim.Fifo.is_empty c.batch) do
+              displaced := Netsim.Fifo.pop_exn c.batch :: !displaced
             done)
         st.cores;
       List.iter
-        (fun (r : Engine.request) ->
+        (fun slot ->
+          let r = Engine.req_of_slot st.eng slot in
           match Control.route st.plan (float_of_int r.Engine.item_size) with
           | Some j ->
               if standby_mode st then st.standby_engaged <- true;
               Engine.obs_handoff_enq st.eng r;
               Netsim.Fifo.push
                 st.cores.(phys st (Control.large_core_id st.plan ~cores:st.n_active j))
-                  .swq r
+                  .swq slot
           | None ->
               (* Under the new threshold this queued request counts as
                  small; stage it in a (small) core's local batch. *)
-              Queue.add r st.cores.(standby_phys st).batch)
+              Netsim.Fifo.push st.cores.(standby_phys st).batch slot)
         (List.rev !displaced)
     end;
     (* Charge the aggregation work to the first active core if it is
@@ -365,7 +358,6 @@ let on_epoch st () =
     if c0.idle then begin
       c0.idle <- false;
       Engine.busy st.eng ~core:c0.id st.cfg.Config.cost.Cost_model.epoch_aggregate_us
-        ~k:(fun () -> step st c0)
     end;
     (* Roles may have changed: give every core a chance to find work. *)
     Array.iter (fun c -> wake st c) st.cores
@@ -383,8 +375,8 @@ let make eng =
             {
               id;
               idle = true;
-              batch = Queue.create ();
-              swq = Netsim.Fifo.create ();
+              batch = Netsim.Fifo.create ~dummy:(-1) ();
+              swq = Netsim.Fifo.create ~dummy:(-1) ();
               hist = size_histogram ();
             });
       slot_core = Array.init n (fun i -> i);
@@ -402,6 +394,7 @@ let make eng =
       standby_engaged = false;
     }
   in
+  Engine.set_resume eng (fun id -> step st st.cores.(id));
   {
     Engine.name;
     dispatch =

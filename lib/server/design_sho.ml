@@ -3,8 +3,10 @@ let name = "SHO"
 type handoff = {
   id : int;
   mutable idle : bool;
-  staged : Engine.request Queue.t; (* batch pulled from RX, not yet dispatched *)
-  swq : Engine.request Netsim.Fifo.t;
+  staged : int Netsim.Fifo.t;
+      (* batch pulled from RX, not yet dispatched; both queues hold pool
+         slots (see [Engine.rx]) so pushes skip the GC write barrier *)
+  swq : int Netsim.Fifo.t;
 }
 
 type worker = { wid : int; mutable idle : bool; mutable rr : int }
@@ -15,7 +17,12 @@ let make eng =
   let n_handoff = cfg.Config.handoff_cores in
   let handoffs =
     Array.init n_handoff (fun id ->
-        { id; idle = true; staged = Queue.create (); swq = Netsim.Fifo.create () })
+        {
+          id;
+          idle = true;
+          staged = Netsim.Fifo.create ~dummy:(-1) ();
+          swq = Netsim.Fifo.create ~dummy:(-1) ();
+        })
   in
   let workers =
     Array.init (n - n_handoff) (fun i -> { wid = n_handoff + i; idle = true; rr = 0 })
@@ -26,20 +33,21 @@ let make eng =
       if i >= n_handoff then None
       else begin
         let h = handoffs.((w.rr + i) mod n_handoff) in
-        match Netsim.Fifo.pop h.swq with
-        | Some r ->
-            Engine.obs_handoff_deq eng r;
-            w.rr <- (w.rr + i + 1) mod n_handoff;
-            Some r
-        | None -> find (i + 1)
+        if not (Netsim.Fifo.is_empty h.swq) then begin
+          let r = Engine.req_of_slot eng (Netsim.Fifo.pop_exn h.swq) in
+          Engine.obs_handoff_deq eng r;
+          w.rr <- (w.rr + i + 1) mod n_handoff;
+          Some r
+        end
+        else find (i + 1)
       end
     in
     match find 0 with
     | Some req ->
         (* Size-oblivious: admission control classifies by a fixed cutoff. *)
-        if Engine.try_shed eng ~large:(req.Engine.item_size > 65536) then
+        if Engine.try_shed eng req ~large:(req.Engine.item_size > 65536) then
           worker_step w
-        else Engine.execute eng ~core:w.wid req ~k:(fun () -> worker_step w)
+        else Engine.execute eng ~core:w.wid ~tx_queue:w.wid ~extra_cpu:0.0 req
     | None -> w.idle <- true
   in
   let wake_idle_worker () =
@@ -49,36 +57,32 @@ let make eng =
         worker_step w
     | None -> ()
   in
-  let rec handoff_step h =
-    match Queue.take_opt h.staged with
-    | Some req ->
-        Engine.obs_handoff_enq eng req;
-        Netsim.Fifo.push h.swq req;
-        wake_idle_worker ();
-        Engine.busy eng ~core:h.id cfg.Config.cost.Cost_model.handoff_us ~k:(fun () ->
-            handoff_step h)
-    | None ->
-        let rx = Engine.rx eng h.id in
-        if Netsim.Fifo.is_empty rx then h.idle <- true
-        else begin
-          let pulled = ref 0 in
-          while
-            !pulled < cfg.Config.batch
-            &&
-            match Netsim.Fifo.pop rx with
-            | Some r ->
-                Engine.obs_poll eng r;
-                Queue.add r h.staged;
-                incr pulled;
-                true
-            | None -> false
-          do
-            ()
-          done;
-          Engine.busy eng ~core:h.id cfg.Config.cost.Cost_model.poll_us ~k:(fun () ->
-              handoff_step h)
-        end
+  let handoff_step h =
+    if not (Netsim.Fifo.is_empty h.staged) then begin
+      let slot = Netsim.Fifo.pop_exn h.staged in
+      Engine.obs_handoff_enq eng (Engine.req_of_slot eng slot);
+      Netsim.Fifo.push h.swq slot;
+      wake_idle_worker ();
+      Engine.busy eng ~core:h.id cfg.Config.cost.Cost_model.handoff_us
+    end
+    else begin
+      let rx = Engine.rx eng h.id in
+      if Netsim.Fifo.is_empty rx then h.idle <- true
+      else begin
+        let pulled = ref 0 in
+        while !pulled < cfg.Config.batch && not (Netsim.Fifo.is_empty rx) do
+          let r = Netsim.Fifo.pop_exn rx in
+          Engine.obs_poll eng (Engine.req_of_slot eng r);
+          Netsim.Fifo.push h.staged r;
+          incr pulled
+        done;
+        Engine.busy eng ~core:h.id cfg.Config.cost.Cost_model.poll_us
+      end
+    end
   in
+  Engine.set_resume eng (fun core ->
+      if core < n_handoff then handoff_step handoffs.(core)
+      else worker_step workers.(core - n_handoff));
   {
     Engine.name;
     dispatch =

@@ -11,12 +11,16 @@
     transmission, sampling and statistics. *)
 
 type request = {
-  op : Cost_model.op;
-  key_id : int;
-  item_size : int;   (** GET: stored size (discovered at lookup);
-                         PUT: size carried in the request *)
-  is_large_truth : bool; (** dataset ground truth, for per-class metrics *)
-  arrival_us : float;
+  slot : int;
+      (** permanent index in the engine's request pool; every other field
+          is overwritten when the slot is reused for a new arrival *)
+  mutable op : Cost_model.op;
+  mutable key_id : int;
+  mutable item_size : int;
+      (** GET: stored size (discovered at lookup);
+          PUT: size carried in the request *)
+  mutable is_large_truth : bool;
+      (** dataset ground truth, for per-class metrics *)
   mutable frames_in : int;
       (** RX frames carrying the request; a fault plan's duplication
           doubles it (retransmission echo) *)
@@ -73,7 +77,16 @@ val sim : t -> Dsim.Sim.t
 val config : t -> Config.t
 val cores : t -> int
 val now : t -> float
-val rx : t -> int -> request Netsim.Fifo.t
+val rx : t -> int -> int Netsim.Fifo.t
+(** RX queue [i].  Queues carry pool {e slots} (resolve with
+    {!req_of_slot}), not request pointers: int queues keep the
+    per-request push/pop free of the GC write barrier.  Use [-1] as the
+    [dummy] for design-side slot queues. *)
+
+val req_of_slot : t -> int -> request
+(** The pooled request currently occupying [slot].  Valid until the
+    engine retires the slot (see {!execute}). *)
+
 val dispatch_rng : t -> Dsim.Rng.t
 (** RNG stream reserved for design dispatch decisions. *)
 
@@ -84,23 +97,27 @@ val put_master : t -> request -> int
 val uniform_queue : t -> int
 (** A uniformly random RX queue (GET dispatch). *)
 
-val busy : t -> core:int -> float -> k:(unit -> unit) -> unit
-(** Occupy [core] for the given CPU time, then continue with [k]. *)
+val set_resume : t -> (int -> unit) -> unit
+(** Install the design's continuation: [resume core] is called whenever
+    [core] finishes a {!busy} interval or a request's service completes.
+    Dispatched through a typed simulator event, so neither {!busy} nor
+    {!execute} allocates a per-event closure.  A design installs it once
+    at construction; the engine does nothing until it is set. *)
 
-val execute :
-  t ->
-  core:int ->
-  ?tx_queue:int ->
-  ?extra_cpu:float ->
-  request ->
-  k:(unit -> unit) ->
-  unit
+val busy : t -> core:int -> float -> unit
+(** Occupy [core] for the given CPU time, then resume it (see
+    {!set_resume}). *)
+
+val execute : t -> core:int -> tx_queue:int -> extra_cpu:float -> request -> unit
 (** Serve [request] on [core]: consumes its CPU cost (+ [extra_cpu]),
     then transmits the reply (subject to sampling), records latency and
-    per-core counters, and finally calls [k].  [tx_queue] overrides the TX
-    queue the reply leaves on (default: [core]'s own queue) — the §6.1
-    RX-stealing variant sends stolen smalls' replies through the victim's
-    queue so they never serialize behind a large reply. *)
+    per-core counters, and finally resumes [core] (see {!set_resume}).
+    [tx_queue] is the TX queue the reply leaves on (normally [core]'s own
+    queue) — the §6.1 RX-stealing variant sends stolen smalls' replies
+    through the victim's queue so they never serialize behind a large
+    reply.  The engine retires the request (returns its pool slot) once
+    the reply leaves the wire, or at completion when sampling elides the
+    reply; designs must not touch it afterwards. *)
 
 val run : t -> (t -> design) -> Metrics.t
 (** Build the design, generate load, simulate, and report. *)
@@ -109,13 +126,15 @@ val raw_latencies : t -> Stats.Float_vec.t
 (** All recorded end-to-end latencies (µs) of the last {!run}; used to
     combine distributions across NUMA domains ({!Minos.Numa}). *)
 
-val try_shed : t -> large:bool -> bool
+val try_shed : t -> request -> large:bool -> bool
 (** Admission control, called by designs at classification time with
     their view of the request's class.  [true] when the request must be
     dropped instead of served: the total RX backlog exceeds
     [cfg.shed_watermark] and the request is large-classified (smalls are
     shed only beyond 4x the watermark).  Counted per class in
-    {!Metrics}.  Always [false] (and free) when no watermark is set. *)
+    {!Metrics}.  On [true] the engine retires the request (returns its
+    pool slot); the caller must not touch it afterwards.  Always [false]
+    (and free) when no watermark is set. *)
 
 val ctrl_delayed : t -> bool
 (** Whether a fault plan is currently starving the control loop of fresh

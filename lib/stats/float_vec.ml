@@ -5,7 +5,7 @@ let create ?(capacity = 1024) () =
 
 let length t = t.len
 
-let push t x =
+let[@inline] push t x =
   if t.len = Array.length t.arr then begin
     let arr = Array.make (2 * t.len) 0.0 in
     Array.blit t.arr 0 arr 0 t.len;

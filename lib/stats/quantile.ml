@@ -47,6 +47,29 @@ let sort_floats (a : float array) =
   in
   if Array.length a > 1 then qsort 0 (Array.length a - 1)
 
+(* Standard two-finger merge.  Equal elements are interchangeable (they
+   are plain floats), so merging two sorted class-partitioned arrays
+   yields exactly the array a direct sort of their union would. *)
+let merge_sorted a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then Array.copy b
+  else if nb = 0 then Array.copy a
+  else begin
+    let out = Array.make (na + nb) 0.0 in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to na + nb - 1 do
+      if !j >= nb || (!i < na && a.(!i) <= b.(!j)) then begin
+        out.(k) <- a.(!i);
+        incr i
+      end
+      else begin
+        out.(k) <- b.(!j);
+        incr j
+      end
+    done;
+    out
+  end
+
 let of_sorted sorted q =
   let n = Array.length sorted in
   if n = 0 then invalid_arg "Quantile.of_sorted: empty sample";

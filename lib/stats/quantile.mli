@@ -5,6 +5,16 @@
     of 100 samples is the 99th smallest.  This matches how the paper reports
     "the 99th percentile". *)
 
+val sort_floats : float array -> unit
+(** In-place float-specialized sort (no per-element boxing, unlike
+    [Array.sort compare] on a [float array]).  Samples must be finite:
+    NaNs are not ordered. *)
+
+val merge_sorted : float array -> float array -> float array
+(** Merge two sorted arrays into a fresh sorted array.  When the inputs
+    partition a sample (e.g. per-class latency vectors), this reproduces
+    the sorted union for half the sorting work. *)
+
 val of_sorted : float array -> float -> float
 (** [of_sorted sorted q] with [0 < q <= 1].  Raises [Invalid_argument] on an
     empty array or out-of-range [q]. *)

@@ -12,7 +12,7 @@ type t = {
 
 let create () = { n = 0.0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
 
-let add t x =
+let[@inline] add t x =
   t.n <- t.n +. 1.0;
   let delta = x -. t.mean in
   t.mean <- t.mean +. (delta /. t.n);

@@ -1,6 +1,13 @@
 type t = {
   spec : Spec.t;
-  sizes : int array;
+  n : int;
+  small_sizes : Bytes.t;
+      (* 16-bit little-endian entry per small key.  Small sizes are
+         bounded by [Spec.small_max] (1400), so 2 bytes suffice: the
+         packed table is 4x smaller than an [int array], and the random
+         zipf-driven [size_of_key] on the GET path mostly hits cache
+         instead of DRAM. *)
+  large_sizes : int array; (* one entry per large key; up to s_large_max *)
   zipf : Dsim.Dist.Zipf.t;
   n_small : int;
   perm_key : int; (* parameter of the rank -> key-id scrambling *)
@@ -39,19 +46,25 @@ let create ?(seed = 7) spec =
   let n = spec.Spec.n_keys in
   let n_large = spec.Spec.n_large_keys in
   let n_small = n - n_large in
-  let sizes = Array.make n 0 in
+  assert (Spec.small_max < 0x10000);
+  let small_sizes = Bytes.create (2 * n_small) in
   for i = 0 to n_small - 1 do
-    if Dsim.Rng.unit_float rng < spec.Spec.tiny_fraction then
-      sizes.(i) <- Dsim.Dist.uniform_int_in rng ~lo:Spec.tiny_min ~hi:Spec.tiny_max
-    else sizes.(i) <- Dsim.Dist.uniform_int_in rng ~lo:Spec.small_min ~hi:Spec.small_max
+    let size =
+      if Dsim.Rng.unit_float rng < spec.Spec.tiny_fraction then
+        Dsim.Dist.uniform_int_in rng ~lo:Spec.tiny_min ~hi:Spec.tiny_max
+      else Dsim.Dist.uniform_int_in rng ~lo:Spec.small_min ~hi:Spec.small_max
+    in
+    Bytes.set_uint16_le small_sizes (2 * i) size
   done;
-  for i = n_small to n - 1 do
-    sizes.(i) <-
-      Dsim.Dist.uniform_int_in rng ~lo:Spec.large_min ~hi:spec.Spec.s_large_max
-  done;
+  let large_sizes =
+    Array.init (n - n_small) (fun _ ->
+        Dsim.Dist.uniform_int_in rng ~lo:Spec.large_min ~hi:spec.Spec.s_large_max)
+  in
   {
     spec;
-    sizes;
+    n;
+    small_sizes;
+    large_sizes;
     zipf = Dsim.Dist.Zipf.create ~n:n_small ~theta:spec.Spec.zipf_theta;
     n_small;
     perm_key = coprime_mult n_small 2_654_435_761;
@@ -62,22 +75,24 @@ let create ?(seed = 7) spec =
 
 let spec t = t.spec
 
-let n_keys t = Array.length t.sizes
+let n_keys t = t.n
 
 let n_small_keys t = t.n_small
 
-let size_of_key t id = t.sizes.(id)
+let[@inline] size_of_key t id =
+  if id < t.n_small then Bytes.get_uint16_le t.small_sizes (2 * id)
+  else t.large_sizes.(id - t.n_small)
 
-let is_large_key t id = id >= t.n_small
+let[@inline] is_large_key t id = id >= t.n_small
 
-let key_partition t id = t.part30.(id)
+let[@inline] key_partition t id = t.part30.(id)
 
 let sample_small_key t rng =
   let rank = Dsim.Dist.Zipf.sample t.zipf rng in
   scramble ~n:t.n_small ~mult:t.perm_key rank
 
 let sample_large_key t rng =
-  t.n_small + Dsim.Rng.int rng (Array.length t.sizes - t.n_small)
+  t.n_small + Dsim.Rng.int rng (Array.length t.large_sizes)
 
 let sample_get_key t rng =
   if Dsim.Rng.unit_float rng < t.spec.Spec.p_large /. 100.0 then sample_large_key t rng
@@ -88,7 +103,7 @@ let sample_put t rng =
   let new_size =
     if is_large_key t key then
       Dsim.Dist.uniform_int_in rng ~lo:Spec.large_min ~hi:t.spec.Spec.s_large_max
-    else if t.sizes.(key) <= Spec.tiny_max then
+    else if size_of_key t key <= Spec.tiny_max then
       Dsim.Dist.uniform_int_in rng ~lo:Spec.tiny_min ~hi:Spec.tiny_max
     else Dsim.Dist.uniform_int_in rng ~lo:Spec.small_min ~hi:Spec.small_max
   in

@@ -7,6 +7,13 @@ type t = {
   rng : Dsim.Rng.t;
   mutable p_large : float;
   get_ratio : float;
+  (* Scratch fields filled by [next_into]: all immediate values, so the
+     allocation-free path writes no boxes.  [next] wraps them back into a
+     record for callers that want one. *)
+  mutable last_op : op;
+  mutable last_key_id : int;
+  mutable last_item_size : int;
+  mutable last_is_large : bool;
 }
 
 let create ?(seed = 11) ?p_large ?get_ratio dataset =
@@ -16,6 +23,10 @@ let create ?(seed = 11) ?p_large ?get_ratio dataset =
     rng = Dsim.Rng.create seed;
     p_large = Option.value p_large ~default:spec.Spec.p_large;
     get_ratio = Option.value get_ratio ~default:spec.Spec.get_ratio;
+    last_op = Get;
+    last_key_id = 0;
+    last_item_size = 0;
+    last_is_large = false;
   }
 
 let dataset t = t.dataset
@@ -26,14 +37,18 @@ let set_p_large t p =
   if p < 0.0 || p > 100.0 then invalid_arg "Generator.set_p_large: out of [0, 100]";
   t.p_large <- p
 
-let next t =
+let next_into t =
   let large = Dsim.Rng.unit_float t.rng < t.p_large /. 100.0 in
   let key_id =
     if large then Dataset.sample_large_key t.dataset t.rng
     else Dataset.sample_small_key t.dataset t.rng
   in
-  if Dsim.Rng.unit_float t.rng < t.get_ratio then
-    { op = Get; key_id; item_size = Dataset.size_of_key t.dataset key_id; is_large = large }
+  t.last_key_id <- key_id;
+  t.last_is_large <- large;
+  if Dsim.Rng.unit_float t.rng < t.get_ratio then begin
+    t.last_op <- Get;
+    t.last_item_size <- Dataset.size_of_key t.dataset key_id
+  end
   else begin
     let spec = Dataset.spec t.dataset in
     let new_size =
@@ -43,8 +58,23 @@ let next t =
         Dsim.Dist.uniform_int_in t.rng ~lo:Spec.tiny_min ~hi:Spec.tiny_max
       else Dsim.Dist.uniform_int_in t.rng ~lo:Spec.small_min ~hi:Spec.small_max
     in
-    { op = Put; key_id; item_size = new_size; is_large = large }
+    t.last_op <- Put;
+    t.last_item_size <- new_size
   end
+
+let last_op t = t.last_op
+let last_key_id t = t.last_key_id
+let last_item_size t = t.last_item_size
+let last_is_large t = t.last_is_large
+
+let next t =
+  next_into t;
+  {
+    op = t.last_op;
+    key_id = t.last_key_id;
+    item_size = t.last_item_size;
+    is_large = t.last_is_large;
+  }
 
 let request_wire_bytes r ~key_size =
   match r.op with

@@ -34,6 +34,20 @@ val set_p_large : t -> float -> unit
 val next : t -> request
 (** Generate the next request. *)
 
+val next_into : t -> unit
+(** Allocation-free variant of {!next}: draws the next request (same RNG
+    stream and draw order as {!next}) into internal scratch fields, read
+    back via the [last_*] accessors below.  The scratch is overwritten by
+    the following [next]/[next_into] call. *)
+
+val last_op : t -> op
+
+val last_key_id : t -> int
+
+val last_item_size : t -> int
+
+val last_is_large : t -> bool
+
 val request_wire_bytes : request -> key_size:int -> int
 (** Bytes the request occupies on the wire (the whole encoded request for
     a PUT, the small fixed-size request for a GET), including framing. *)

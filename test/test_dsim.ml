@@ -187,7 +187,7 @@ let prop_alias_in_range =
 (* Heap *)
 
 let test_heap_ordering () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:"" () in
   Heap.add h ~time:3.0 ~seq:0 "c";
   Heap.add h ~time:1.0 ~seq:1 "a";
   Heap.add h ~time:2.0 ~seq:2 "b";
@@ -198,7 +198,7 @@ let test_heap_ordering () =
   check bool "empty" true (Heap.is_empty h)
 
 let test_heap_tie_break_by_seq () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:"" () in
   Heap.add h ~time:1.0 ~seq:5 "later";
   Heap.add h ~time:1.0 ~seq:2 "earlier";
   (match Heap.pop_min h with
@@ -212,7 +212,7 @@ let prop_heap_sorts =
   QCheck.Test.make ~name:"heap pops in sorted key order" ~count:200
     QCheck.(list (pair (float_bound_inclusive 1000.0) small_nat))
     (fun pairs ->
-      let h = Heap.create () in
+      let h = Heap.create ~dummy:0 () in
       List.iteri (fun i (t, _) -> Heap.add h ~time:t ~seq:i i) pairs;
       let rec drain acc =
         match Heap.pop_min h with
@@ -224,7 +224,7 @@ let prop_heap_sorts =
       popped = sorted)
 
 let test_heap_peek () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:0 () in
   check bool "peek empty" true (Heap.peek_min h = None);
   Heap.add h ~time:9.0 ~seq:0 42;
   (match Heap.peek_min h with
@@ -241,7 +241,7 @@ let prop_heap_interleaved =
   QCheck.Test.make ~name:"heap interleaved add/pop matches model" ~count:300
     QCheck.(list (option (float_bound_inclusive 100.0)))
     (fun ops ->
-      let h = Heap.create () in
+      let h = Heap.create ~dummy:(-1) () in
       let model = ref [] (* ascending by (time, seq) *) in
       let seq = ref 0 in
       List.for_all
@@ -262,7 +262,7 @@ let prop_heap_interleaved =
         ops)
 
 let test_heap_nonallocating_accessors () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:"" () in
   Alcotest.check_raises "min_time empty"
     (Invalid_argument "Heap.min_time: empty heap") (fun () ->
       ignore (Heap.min_time h));
@@ -274,7 +274,7 @@ let test_heap_nonallocating_accessors () =
   check Alcotest.string "pop" "x" (Heap.pop h)
 
 let test_heap_capacity_steady_state () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:0 () in
   for i = 1 to 64 do
     Heap.add h ~time:(float_of_int i) ~seq:i i
   done;
@@ -290,7 +290,7 @@ let test_heap_capacity_steady_state () =
   check int "steady-state add/pop never grows" cap (Heap.capacity h)
 
 let test_heap_clear_retains_capacity () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:0 () in
   for i = 1 to 100 do
     Heap.add h ~time:(float_of_int i) ~seq:i i
   done;
@@ -300,6 +300,26 @@ let test_heap_clear_retains_capacity () =
   check int "capacity retained" cap (Heap.capacity h);
   Heap.add h ~time:1.0 ~seq:0 7;
   check int "usable after clear" 1 (Heap.length h)
+
+let test_heap_releases_values () =
+  (* Regression: [pop] and [clear] must overwrite vacated value slots
+     with [dummy].  The heap once left the last popped value (and, after
+     [clear], the whole former contents) reachable through its backing
+     array, pinning arbitrarily large closures across simulations. *)
+  let h = Heap.create ~dummy:"" () in
+  let wk = Weak.create 2 in
+  (let v = Bytes.to_string (Bytes.make 64 'x') in
+   Weak.set wk 0 (Some v);
+   Heap.add h ~time:1.0 ~seq:0 v);
+  (let v = Bytes.to_string (Bytes.make 64 'y') in
+   Weak.set wk 1 (Some v);
+   Heap.add h ~time:2.0 ~seq:1 v);
+  ignore (Heap.pop h : string);
+  Heap.clear h;
+  Gc.full_major ();
+  Gc.full_major ();
+  check bool "popped value collected" true (Weak.get wk 0 = None);
+  check bool "cleared value collected" true (Weak.get wk 1 = None)
 
 (* ------------------------------------------------------------------ *)
 (* Sim *)
@@ -399,6 +419,7 @@ let () =
             test_heap_nonallocating_accessors;
           Alcotest.test_case "steady-state capacity" `Quick
             test_heap_capacity_steady_state;
+          Alcotest.test_case "releases values" `Quick test_heap_releases_values;
           Alcotest.test_case "clear retains capacity" `Quick
             test_heap_clear_retains_capacity;
         ]

@@ -408,7 +408,7 @@ let prop_ring_mpsc_conservation =
 (* Fifo *)
 
 let test_fifo_basic () =
-  let f = Fifo.create () in
+  let f = Fifo.create ~dummy:"" () in
   check bool "fresh empty" true (Fifo.is_empty f);
   Fifo.push f "a";
   Fifo.push f "b";
@@ -448,7 +448,7 @@ let test_txlink_utilization () =
 (* Nic *)
 
 let test_nic_delivery () =
-  let nic = Nic.create ~queues:4 ~tx_gbps:40.0 in
+  let nic = Nic.create ~queues:4 ~tx_gbps:40.0 ~dummy:"" in
   Nic.deliver nic ~queue:2 ~wire_bytes:100 ~frames:1 "req1";
   Nic.deliver nic ~queue:2 ~wire_bytes:3000 ~frames:3 "req2";
   let s = Nic.rx_stats nic 2 in

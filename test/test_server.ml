@@ -411,11 +411,11 @@ let test_put_master_spread () =
   for id = 0 to 9999 do
     let req =
       {
-        Engine.op = Cost_model.Put;
+        Engine.slot = 0;
+        op = Cost_model.Put;
         key_id = id;
         item_size = 100;
         is_large_truth = false;
-        arrival_us = 0.0;
         frames_in = 1;
         rx_queue = 0;
         span = -1;

@@ -14,16 +14,48 @@ let us_per_byte = 8.0e-3 /. 40.0
 
 let full_frame_wire = Netsim.Frame.wire_bytes_for_frame_payload Netsim.Frame.max_udp_payload
 
+(* The scheduler reports completions through one [on_complete] callback
+   keyed by the sender's token; for test ergonomics, [send] below assigns
+   tokens from a counter and dispatches to a per-send closure, recovering
+   the old per-send [~on_complete] shape. *)
+let cbs : (float -> unit) array ref = ref [||]
+let ncb = ref 0
+
 let make_sched sim ~queues =
-  Netsim.Txsched.create ~gbps:40.0 ~queues
-    ~schedule:(fun d f -> Dsim.Sim.schedule_after sim d f)
-    ~now:(fun () -> Dsim.Sim.now sim)
+  cbs := Array.make 64 (fun (_ : float) -> ());
+  ncb := 0;
+  (* Tie the creation knot the same way the engine does: [schedule] fires
+     [frame_done] on the scheduler it is creating. *)
+  let tx_cell = ref None in
+  let tx =
+    Netsim.Txsched.create ~gbps:40.0 ~queues
+      ~schedule:(fun d ->
+        Dsim.Sim.schedule_after sim d (fun () ->
+            match !tx_cell with
+            | Some tx -> Netsim.Txsched.frame_done tx
+            | None -> assert false))
+      ~now:(fun () -> Dsim.Sim.now sim)
+      ~on_complete:(fun tok t -> !cbs.(tok) t)
+  in
+  tx_cell := Some tx;
+  tx
+
+let send tx ~queue ~payload_bytes ~on_complete =
+  let tok = !ncb in
+  incr ncb;
+  if tok >= Array.length !cbs then begin
+    let n = Array.make (2 * Array.length !cbs) (fun (_ : float) -> ()) in
+    Array.blit !cbs 0 n 0 (Array.length !cbs);
+    cbs := n
+  end;
+  !cbs.(tok) <- on_complete;
+  Netsim.Txsched.send tx ~queue ~payload_bytes ~token:tok
 
 let test_single_message_timing () =
   let sim = Dsim.Sim.create () in
   let tx = make_sched sim ~queues:4 in
   let done_at = ref 0.0 in
-  Netsim.Txsched.send tx ~queue:0 ~payload_bytes:1000
+  send tx ~queue:0 ~payload_bytes:1000
     ~on_complete:(fun t -> done_at := t);
   Dsim.Sim.run_until_idle sim;
   let expected = float_of_int (Netsim.Frame.wire_bytes_for_payload 1000) *. us_per_byte in
@@ -37,7 +69,7 @@ let test_multi_frame_message () =
   let done_at = ref 0.0 in
   (* 3 full fragments + remainder. *)
   let payload = (3 * Netsim.Frame.max_udp_payload) + 100 in
-  Netsim.Txsched.send tx ~queue:0 ~payload_bytes:payload
+  send tx ~queue:0 ~payload_bytes:payload
     ~on_complete:(fun t -> done_at := t);
   Dsim.Sim.run_until_idle sim;
   let expected = float_of_int (Netsim.Frame.wire_bytes_for_payload payload) *. us_per_byte in
@@ -50,7 +82,7 @@ let test_exact_multiple_payload () =
   let tx = make_sched sim ~queues:1 in
   let done_at = ref 0.0 in
   let payload = 2 * Netsim.Frame.max_udp_payload in
-  Netsim.Txsched.send tx ~queue:0 ~payload_bytes:payload
+  send tx ~queue:0 ~payload_bytes:payload
     ~on_complete:(fun t -> done_at := t);
   Dsim.Sim.run_until_idle sim;
   check (approx 1e-6) "exactly two frames"
@@ -66,9 +98,9 @@ let test_small_interleaves_past_large () =
   let tx = make_sched sim ~queues:2 in
   let large_done = ref 0.0 and small_done = ref 0.0 in
   let large_payload = 100 * Netsim.Frame.max_udp_payload in
-  Netsim.Txsched.send tx ~queue:0 ~payload_bytes:large_payload
+  send tx ~queue:0 ~payload_bytes:large_payload
     ~on_complete:(fun t -> large_done := t);
-  Netsim.Txsched.send tx ~queue:1 ~payload_bytes:100
+  send tx ~queue:1 ~payload_bytes:100
     ~on_complete:(fun t -> small_done := t);
   Dsim.Sim.run_until_idle sim;
   let frame_time = float_of_int full_frame_wire *. us_per_byte in
@@ -86,8 +118,8 @@ let test_fifo_within_queue () =
   let sim = Dsim.Sim.create () in
   let tx = make_sched sim ~queues:2 in
   let first = ref 0.0 and second = ref 0.0 in
-  Netsim.Txsched.send tx ~queue:0 ~payload_bytes:50_000 ~on_complete:(fun t -> first := t);
-  Netsim.Txsched.send tx ~queue:0 ~payload_bytes:10 ~on_complete:(fun t -> second := t);
+  send tx ~queue:0 ~payload_bytes:50_000 ~on_complete:(fun t -> first := t);
+  send tx ~queue:0 ~payload_bytes:10 ~on_complete:(fun t -> second := t);
   Dsim.Sim.run_until_idle sim;
   check bool "same-queue order preserved" true (!second > !first)
 
@@ -98,8 +130,8 @@ let test_round_robin_fair_shares () =
   let tx = make_sched sim ~queues:2 in
   let d0 = ref 0.0 and d1 = ref 0.0 in
   let payload = 50 * Netsim.Frame.max_udp_payload in
-  Netsim.Txsched.send tx ~queue:0 ~payload_bytes:payload ~on_complete:(fun t -> d0 := t);
-  Netsim.Txsched.send tx ~queue:1 ~payload_bytes:payload ~on_complete:(fun t -> d1 := t);
+  send tx ~queue:0 ~payload_bytes:payload ~on_complete:(fun t -> d0 := t);
+  send tx ~queue:1 ~payload_bytes:payload ~on_complete:(fun t -> d1 := t);
   Dsim.Sim.run_until_idle sim;
   let frame_time = float_of_int full_frame_wire *. us_per_byte in
   check bool "fair finish" true (abs_float (!d0 -. !d1) <= 1.5 *. frame_time)
@@ -107,7 +139,7 @@ let test_round_robin_fair_shares () =
 let test_utilization_and_reset () =
   let sim = Dsim.Sim.create () in
   let tx = make_sched sim ~queues:1 in
-  Netsim.Txsched.send tx ~queue:0 ~payload_bytes:1000 ~on_complete:(fun _ -> ());
+  send tx ~queue:0 ~payload_bytes:1000 ~on_complete:(fun _ -> ());
   Dsim.Sim.run_until_idle sim;
   let busy = float_of_int (Netsim.Frame.wire_bytes_for_payload 1000) *. us_per_byte in
   check (approx 1e-9) "utilization" (busy /. 10.0) (Netsim.Txsched.utilization tx ~elapsed:10.0);
@@ -121,9 +153,9 @@ let test_idle_restart () =
   let sim = Dsim.Sim.create () in
   let tx = make_sched sim ~queues:1 in
   let d = ref 0.0 in
-  Netsim.Txsched.send tx ~queue:0 ~payload_bytes:100 ~on_complete:(fun _ -> ());
+  send tx ~queue:0 ~payload_bytes:100 ~on_complete:(fun _ -> ());
   Dsim.Sim.schedule_at sim 50.0 (fun () ->
-      Netsim.Txsched.send tx ~queue:0 ~payload_bytes:100 ~on_complete:(fun t -> d := t));
+      send tx ~queue:0 ~payload_bytes:100 ~on_complete:(fun t -> d := t));
   Dsim.Sim.run_until_idle sim;
   let wire = float_of_int (Netsim.Frame.wire_bytes_for_payload 100) *. us_per_byte in
   check (approx 1e-9) "starts at submit time" (50.0 +. wire) !d;
@@ -139,7 +171,7 @@ let prop_all_messages_complete =
       let completions = ref 0 in
       List.iter
         (fun (q, payload) ->
-          Netsim.Txsched.send tx ~queue:q ~payload_bytes:payload
+          send tx ~queue:q ~payload_bytes:payload
             ~on_complete:(fun _ -> incr completions))
         msgs;
       Dsim.Sim.run_until_idle sim;
@@ -153,7 +185,7 @@ let prop_total_bytes_conserved =
       let tx = make_sched sim ~queues:3 in
       List.iteri
         (fun i p ->
-          Netsim.Txsched.send tx ~queue:(i mod 3) ~payload_bytes:p
+          send tx ~queue:(i mod 3) ~payload_bytes:p
             ~on_complete:(fun _ -> ()))
         payloads;
       Dsim.Sim.run_until_idle sim;
@@ -174,7 +206,7 @@ let prop_single_queue_matches_txlink =
       let last_sched = ref 0.0 in
       List.iter
         (fun p ->
-          Netsim.Txsched.send tx ~queue:0 ~payload_bytes:p
+          send tx ~queue:0 ~payload_bytes:p
             ~on_complete:(fun t -> last_sched := t))
         payloads;
       Dsim.Sim.run_until_idle sim;

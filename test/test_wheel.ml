@@ -1,0 +1,254 @@
+(* Queue-contract tests for the timing wheel.
+
+   The wheel replaced the binary heap as the simulator's event queue on
+   the promise of an *identical* (time, seq) total order — every
+   simulation golden depends on it.  The heap stays in the tree as the
+   executable specification: the differential property below drives both
+   structures through random interleavings (same-timestamp ties, bucket
+   boundaries, far-future overflow) and requires bit-identical behaviour.
+   Deterministic cases pin the cascade edges (level boundaries, horizon
+   overflow, clear/rewind reuse, lazy cancellation), and a Sim-level
+   property checks conservation of the event accounting. *)
+
+open Dsim
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let approx t = Alcotest.float t
+
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
+
+(* ------------------------------------------------------------------ *)
+(* Differential: wheel = heap *)
+
+(* Deltas relative to the current front (time of the last pop): exact
+   duplicates and near-ties exercise same-tick ordering; 63.99/64.0/64.01
+   straddle the level-0 wrap (256 slots x 0.25 us); 6553.6 lands deep in
+   level 1; 16384+ and 1e6 overflow the horizon into the far heap.  The
+   front only moves forward, matching the simulator's
+   no-scheduling-in-the-past contract. *)
+let delta_pool =
+  [|
+    0.0; 0.0; 1e-9; 0.1; 0.25; 0.25; 0.5; 1.0; 3.7; 63.99; 64.0; 64.01;
+    127.75; 6553.6; 16383.75; 16384.0; 16500.0; 1.0e6;
+  |]
+
+let gen_ops = QCheck.(list (pair bool (int_bound (Array.length delta_pool - 1))))
+
+let prop_wheel_matches_heap =
+  QCheck.Test.make ~name:"wheel = heap on random interleavings" ~count:300 gen_ops
+    (fun ops ->
+      let w = Wheel.create ~dummy:(-1) () in
+      let h = Heap.create ~dummy:(-1) () in
+      let seq = ref 0 in
+      let front = ref 0.0 in
+      let ok = ref true in
+      let step (is_add, d) =
+        if is_add then begin
+          let time = !front +. delta_pool.(d) in
+          (* alternate payload forms: even seqs closure, odd seqs typed *)
+          if !seq land 1 = 0 then Wheel.add w ~time ~seq:!seq !seq
+          else Wheel.add_call w ~time ~seq:!seq ~tag:7 ~i:!seq ~j:0;
+          Heap.add h ~time ~seq:!seq !seq;
+          incr seq
+        end
+        else if not (Heap.is_empty h) then begin
+          let ht = Heap.min_time h and hs = Heap.min_seq h in
+          let hv = Heap.pop h in
+          if Wheel.is_empty w then ok := false
+          else begin
+            let same_key = Wheel.min_time w = ht && Wheel.min_seq w = hs in
+            let same_val =
+              if Wheel.min_tag w >= 0 then begin
+                let v = Wheel.min_i w in
+                Wheel.drop w;
+                v = hv
+              end
+              else Wheel.pop w = hv
+            in
+            ok :=
+              !ok && same_key && same_val && Wheel.length w = Heap.length h;
+            front := ht
+          end
+        end
+      in
+      List.iter step ops;
+      while (not (Heap.is_empty h)) && !ok do
+        step (false, 0)
+      done;
+      !ok && Wheel.is_empty w && Wheel.length w = 0)
+
+let prop_sim_run_until_horizons =
+  (* Sim.run ~until must fire exactly the events due by the horizon, in
+     (time, scheduling order), across several mid-run horizons. *)
+  QCheck.Test.make ~name:"Sim.run ~until fires exactly the due prefix" ~count:200
+    QCheck.(
+      pair
+        (list (float_bound_inclusive 100.0))
+        (list (float_bound_inclusive 120.0)))
+    (fun (times, horizons) ->
+      let sim = Sim.create () in
+      let fired = ref [] in
+      List.iteri
+        (fun i t -> Sim.schedule_at sim t (fun () -> fired := (t, i) :: !fired))
+        times;
+      let expected =
+        List.stable_sort
+          (fun (a, _) (b, _) -> compare (a : float) b)
+          (List.mapi (fun i t -> (t, i)) times)
+      in
+      let ok = ref true in
+      List.iter
+        (fun u ->
+          Sim.run sim ~until:u;
+          let due = List.filter (fun (t, _) -> t <= u) expected in
+          ok := !ok && List.rev !fired = due)
+        (List.sort_uniq compare horizons);
+      Sim.run_until_idle sim;
+      !ok && List.rev !fired = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Cascade edge cases *)
+
+let drain_seqs w =
+  let out = ref [] in
+  while not (Wheel.is_empty w) do
+    out := Wheel.min_seq w :: !out;
+    Wheel.drop w
+  done;
+  List.rev !out
+
+let test_bucket_boundaries () =
+  (* Ascending times planted on level-0 slot edges, the level-0 wrap, the
+     level-1 cascade points and past the horizon must pop in insertion
+     order. *)
+  let w = Wheel.create ~dummy:(-1) () in
+  let times =
+    [
+      0.0; 0.125; 0.25; 63.75; 64.0; 64.25; 127.75; 128.0; 6553.6; 16383.75;
+      16384.0; 16384.25; 1.0e9;
+    ]
+  in
+  List.iteri (fun i t -> Wheel.add w ~time:t ~seq:i i) times;
+  check (Alcotest.list int) "boundary order"
+    (List.mapi (fun i _ -> i) times)
+    (drain_seqs w);
+  check bool "empty after drain" true (Wheel.is_empty w)
+
+let test_far_future_overflow () =
+  (* Events beyond the wheel horizon live in the far heap until the
+     cursor approaches; interleaving near and far events must still pop
+     in global (time, seq) order, including a same-time far tie. *)
+  let w = Wheel.create ~dummy:(-1) () in
+  Wheel.add w ~time:20000.0 ~seq:0 0;
+  Wheel.add w ~time:1.0 ~seq:1 1;
+  Wheel.add w ~time:20000.0 ~seq:2 2;
+  Wheel.add w ~time:17000.0 ~seq:3 3;
+  Wheel.add w ~time:0.5 ~seq:4 4;
+  check (Alcotest.list int) "near/far interleave" [ 4; 1; 3; 0; 2 ]
+    (drain_seqs w)
+
+let test_clear_rewinds_cursor () =
+  (* [clear] rewinds to time zero: events earlier than anything popped
+     before the clear must be accepted and served. *)
+  let w = Wheel.create ~dummy:(-1) () in
+  Wheel.add w ~time:5000.0 ~seq:0 0;
+  Wheel.add w ~time:9000.0 ~seq:1 1;
+  Wheel.drop w;
+  (* cursor now sits at ~5000 us *)
+  Wheel.clear w;
+  check int "cleared" 0 (Wheel.length w);
+  check bool "empty" true (Wheel.is_empty w);
+  Wheel.add w ~time:0.25 ~seq:2 2;
+  Wheel.add w ~time:0.1 ~seq:3 3;
+  check (approx 0.0) "rewound head" 0.1 (Wheel.min_time w);
+  check (Alcotest.list int) "post-clear order" [ 3; 2 ] (drain_seqs w)
+
+let test_cancellation () =
+  let w = Wheel.create ~dummy:(-1) () in
+  let h1 = Wheel.add_timer w ~time:1.0 ~seq:0 ~tag:1 ~i:10 ~j:0 in
+  let h2 = Wheel.add_timer w ~time:2.0 ~seq:1 ~tag:1 ~i:20 ~j:0 in
+  let h3 = Wheel.add_timer w ~time:20000.0 ~seq:2 ~tag:1 ~i:30 ~j:0 in
+  check bool "cancel pending" true (Wheel.cancel w h2);
+  check bool "double cancel" false (Wheel.cancel w h2);
+  check int "length excludes cancelled" 2 (Wheel.length w);
+  check (approx 0.0) "head unaffected" 1.0 (Wheel.min_time w);
+  check bool "cancel far-future" true (Wheel.cancel w h3);
+  check int "far cancel counted" 1 (Wheel.length w);
+  Wheel.drop w;
+  check bool "stale handle after pop" false (Wheel.cancel w h1);
+  check bool "empty: cancelled never surface" true (Wheel.is_empty w)
+
+let test_values_released () =
+  (* Neither popping nor [clear] may keep closure payloads reachable
+     through the arena (the [dummy] reset). *)
+  let w = Wheel.create ~dummy:"" () in
+  let wk = Weak.create 2 in
+  (let v = Bytes.to_string (Bytes.make 64 'x') in
+   Weak.set wk 0 (Some v);
+   Wheel.add w ~time:1.0 ~seq:0 v);
+  (let v = Bytes.to_string (Bytes.make 64 'y') in
+   Weak.set wk 1 (Some v);
+   Wheel.add w ~time:2.0 ~seq:1 v);
+  ignore (Wheel.pop w : string);
+  Wheel.clear w;
+  Gc.full_major ();
+  Gc.full_major ();
+  check bool "popped value collected" true (Weak.get wk 0 = None);
+  check bool "cleared value collected" true (Weak.get wk 1 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Conservation *)
+
+let prop_event_conservation =
+  (* Every scheduled event is exactly one of: processed, still pending,
+     or cancelled — at any run horizon and at the end. *)
+  QCheck.Test.make ~name:"scheduled = processed + pending + cancelled"
+    ~count:200
+    QCheck.(
+      triple
+        (list (float_bound_inclusive 100.0))
+        (list (float_bound_inclusive 100.0))
+        (float_bound_inclusive 100.0))
+    (fun (closure_times, timer_times, until) ->
+      let sim = Sim.create () in
+      let tag = Sim.register_handler sim (fun _ _ -> ()) in
+      List.iter (fun t -> Sim.schedule_at sim t ignore) closure_times;
+      let handles =
+        List.map
+          (fun t -> Sim.schedule_timer_after sim t ~tag ~i:0 ~j:0)
+          timer_times
+      in
+      let cancelled = ref 0 in
+      List.iteri
+        (fun i h -> if i land 1 = 0 && Sim.cancel sim h then incr cancelled)
+        handles;
+      let scheduled = List.length closure_times + List.length timer_times in
+      Sim.run sim ~until;
+      let mid =
+        Sim.events_processed sim + Sim.pending_events sim + !cancelled
+        = scheduled
+      in
+      Sim.run_until_idle sim;
+      mid
+      && Sim.events_processed sim + !cancelled = scheduled
+      && Sim.pending_events sim = 0)
+
+let () =
+  Alcotest.run "wheel"
+    [
+      ( "differential",
+        qsuite [ prop_wheel_matches_heap; prop_sim_run_until_horizons ] );
+      ( "cascade",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "far-future overflow" `Quick
+            test_far_future_overflow;
+          Alcotest.test_case "clear rewinds cursor" `Quick
+            test_clear_rewinds_cursor;
+          Alcotest.test_case "cancellation" `Quick test_cancellation;
+          Alcotest.test_case "values released" `Quick test_values_released;
+        ] );
+      ("conservation", qsuite [ prop_event_conservation ]);
+    ]
