@@ -1,0 +1,376 @@
+(* Whole-program call-graph resolution and rooted traversal.
+
+   Nodes are (function, substitution) pairs: a functor body is analyzed
+   once by {!Scan} with symbolic [Functor_param] calls, and each
+   instantiation path through an [Ir.Apply] alias re-enters it with the
+   actual argument substituted — so [Ring.Make(Traced_atomic).try_push]
+   and the hand-specialized default are distinct nodes with distinct
+   verdicts.
+
+   Resolution is name-based over the alias/def tables, innermost scope
+   first.  Anything that cannot be resolved — higher-order heads,
+   un-instantiated functor parameters, members no packed module provides
+   — yields a conservative "unknown-callee" finding rather than a silent
+   pass. *)
+
+(* Parameter substitution: functor param -> (argument module, scopes the
+   argument name is relative to). *)
+type subst = (string * (string * string list)) list
+
+type resolved =
+  | Found of Ir.func * subst
+  | Extern of Tables.extern_class * string  (** stdlib/primitive verdict *)
+  | Unresolved of string  (** best-normalized name, for the message *)
+
+let take n l =
+  let rec go n acc = function
+    | x :: tl when n > 0 -> go (n - 1) (x :: acc) tl
+    | _ -> List.rev acc
+  in
+  go n [] l
+
+let drop n l =
+  let rec go n = function _ :: tl when n > 0 -> go (n - 1) tl | l -> l in
+  go n l
+
+(* Does [name] look like a module path the program knows anything about?
+   Used to re-qualify scope-relative alias targets. *)
+let known_prefixes (prog : Ir.program) =
+  let t = Hashtbl.create 1024 in
+  let add_prefixes name =
+    let parts = String.split_on_char '.' name in
+    let n = List.length parts in
+    for k = 1 to n - 1 do
+      Hashtbl.replace t (String.concat "." (take k parts)) ()
+    done
+  in
+  Hashtbl.iter (fun k _ -> add_prefixes (k ^ ".x")) prog.aliases;
+  Hashtbl.iter (fun k _ -> add_prefixes k) prog.funcs;
+  Hashtbl.iter (fun k _ -> add_prefixes (k ^ ".x")) prog.packed;
+  t
+
+type t = {
+  prog : Ir.program;
+  known : (string, unit) Hashtbl.t;
+}
+
+let create prog = { prog; known = known_prefixes prog }
+
+(* Qualify a possibly-scope-relative name: pick the first scope under
+   which its head module is known to the program. *)
+let qualify g ~scopes name =
+  let head =
+    match String.index_opt name '.' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  let rec go = function
+    | [] -> name
+    | s :: tl ->
+        if Hashtbl.mem g.known (s ^ "." ^ head) then s ^ "." ^ name else go tl
+  in
+  if Hashtbl.mem g.known head then name else go scopes
+
+type norm =
+  | NName of string
+  | NApply of {
+      functor_path : string;
+      ascopes : string list;
+      args : string list;
+      rest : string list;  (** path components after the instantiation *)
+    }
+
+(* Rewrite [name] through [Plain] aliases to a fixpoint; stop at the
+   first [Apply] alias (the caller expands the functor body). *)
+let normalize g name =
+  let rec go fuel name =
+    if fuel = 0 then NName name
+    else
+      let parts = String.split_on_char '.' name in
+      let n = List.length parts in
+      let rec try_len k =
+        if k = 0 then NName name
+        else
+          let prefix = String.concat "." (take k parts) in
+          match Hashtbl.find_opt g.prog.aliases prefix with
+          | Some (Ir.Plain target, ascopes) ->
+              let target = qualify g ~scopes:ascopes target in
+              go (fuel - 1)
+                (String.concat "." (target :: drop k parts))
+          | Some (Ir.Apply { functor_path; args }, ascopes) ->
+              NApply { functor_path; ascopes; args; rest = drop k parts }
+          | None -> try_len (k - 1)
+      in
+      try_len (n - 1)
+  in
+  go 10 name
+
+(* Normalize a module name all the way to a canonical [Plain] name (for
+   functor arguments); an argument that is itself an instantiated
+   functor keeps its alias key so later member lookups expand it. *)
+let normalize_module g ~scopes name =
+  match normalize g (qualify g ~scopes name) with
+  | NName n -> n
+  | NApply _ -> qualify g ~scopes name
+
+let functor_params_of g fpath = Hashtbl.find_opt g.prog.functor_params fpath
+
+(* Resolve a dotted value name, trying [scopes] innermost-first, then
+   the raw name; expand at most one functor instantiation per lookup
+   (nested instantiations resolve through the kept alias keys). *)
+let rec resolve_direct g ~scopes ~(subst : subst) name : resolved =
+  let candidates = List.map (fun s -> s ^ "." ^ name) scopes @ [ name ] in
+  let rec try_cands best = function
+    | [] -> (
+        (* No project definition: maybe it is a stdlib name. *)
+        let stripped = Tables.strip_stdlib name in
+        if Tables.is_stdlib_name name then
+          Extern (Tables.classify_stdlib stripped, stripped)
+        else Unresolved (match best with Some b -> b | None -> name))
+    | cand :: tl -> (
+        match normalize g cand with
+        | NName n -> (
+            match Hashtbl.find_opt g.prog.funcs n with
+            | Some f -> Found (f, [])
+            | None -> try_cands (if best = None then Some n else best) tl)
+        | NApply { functor_path; ascopes; args; rest } -> (
+            match expand_apply g ~ascopes ~subst ~functor_path ~args ~rest with
+            | Some r -> r
+            | None -> try_cands best tl))
+  in
+  try_cands None candidates
+
+and expand_apply g ~ascopes ~subst ~functor_path ~args ~rest =
+  let fpath =
+    match normalize g (qualify g ~scopes:ascopes functor_path) with
+    | NName n -> n
+    | NApply _ -> qualify g ~scopes:ascopes functor_path
+  in
+  let fn = String.concat "." (fpath :: rest) in
+  match Hashtbl.find_opt g.prog.funcs fn with
+  | None -> None
+  | Some f ->
+      let params =
+        match functor_params_of g fpath with Some ps -> ps | None -> []
+      in
+      let arg_binding a =
+        (* An argument that names a parameter of the *enclosing* functor
+           resolves through the current node's substitution. *)
+        match List.assoc_opt a subst with
+        | Some binding -> binding
+        | None -> (normalize_module g ~scopes:ascopes a, ascopes)
+      in
+      let rec zip ps args =
+        match (ps, args) with
+        | p :: ps, a :: args -> (p, arg_binding a) :: zip ps args
+        | _ -> []
+      in
+      Some (Found (f, zip params args))
+
+(* ------------------------------------------------------------------ *)
+(* Traversal *)
+
+type node_state = {
+  nkey : string;
+  nfunc : Ir.func;
+  nsubst : subst;
+  parent : (string * Ir.site) option;  (** parent node key + call site *)
+}
+
+let subst_key subst =
+  String.concat ","
+    (List.map (fun (p, (a, _)) -> p ^ "=" ^ a) subst)
+
+let node_key fname subst =
+  match subst with [] -> fname | _ -> fname ^ "[" ^ subst_key subst ^ "]"
+
+type pass = Alloc_pass | Taint_pass
+
+type stats = { mutable visited : int; mutable edges : int }
+
+(* Walk the graph from [roots]; [emit] receives each finding with its
+   full root-to-site witness. *)
+let traverse g ~pass ~roots ~emit =
+  let states : (string, node_state) Hashtbl.t = Hashtbl.create 512 in
+  let stats = { visited = 0; edges = 0 } in
+  let queue = Queue.create () in
+  let push ~parent f subst =
+    let key = node_key f.Ir.fname subst in
+    if not (Hashtbl.mem states key) then begin
+      let st = { nkey = key; nfunc = f; nsubst = subst; parent } in
+      Hashtbl.add states key st;
+      Queue.add st queue
+    end
+  in
+  List.iter (fun f -> push ~parent:None f []) roots;
+  let rec witness key acc =
+    match Hashtbl.find_opt states key with
+    | None -> acc
+    | Some st -> (
+        match st.parent with
+        | None -> (st.nfunc.Ir.fname, st.nfunc.Ir.fsite) :: acc
+        | Some (pkey, via) -> witness pkey ((st.nfunc.Ir.fname, via) :: acc))
+  in
+  let root_of key =
+    match witness key [] with (r, _) :: _ -> r | [] -> "?"
+  in
+  let emit_at st ~category ~ident ~message ~fsite_ =
+    emit
+      {
+        Ir.category;
+        ident;
+        message;
+        fsite_;
+        root = root_of st.nkey;
+        witness = witness st.nkey [];
+      }
+  in
+  while not (Queue.is_empty queue) do
+    let st = Queue.pop queue in
+    let f = st.nfunc in
+    stats.visited <- stats.visited + 1;
+    (* Local findings. *)
+    (match pass with
+    | Alloc_pass ->
+        List.iter
+          (fun (a : Ir.alloc) ->
+            emit_at st
+              ~category:(Ir.alloc_category a.akind)
+              ~ident:a.aident
+              ~message:
+                (match a.akind with
+                | Ir.C_stub ->
+                    "C stub the analyzer has no verdict for (may allocate)"
+                | Ir.Closure -> "closure allocated per enclosing call"
+                | Ir.Partial_apply -> "partial application builds a closure"
+                | _ -> "allocates on the hot path")
+              ~fsite_:a.asite)
+          f.Ir.allocs
+    | Taint_pass ->
+        List.iter
+          (fun (t : Ir.taint) ->
+            emit_at st ~category:"taint" ~ident:t.source
+              ~message:
+                (Printf.sprintf
+                   "nondeterminism source %s flows into a deterministic sink"
+                   t.source)
+              ~fsite_:t.tsite)
+          f.Ir.taints);
+    (* Edges. *)
+    let unknown_category =
+      match pass with
+      | Alloc_pass -> "unknown-callee"
+      | Taint_pass -> "taint-unknown-callee"
+    in
+    (* Partial application: decided here, where the callee's definition
+       arity is known (see Ir.call).  Escape edges never flag — a bare
+       reference to a top-level function is a static closure. *)
+    let partial_check ~via ~escape (c : Ir.call) ~arity ~label =
+      if
+        pass = Alloc_pass && (not escape) && c.Ir.ret_arrow
+        && c.Ir.supplied < arity
+      then
+        emit_at st ~category:(Ir.alloc_category Ir.Partial_apply) ~ident:label
+          ~message:"partial application builds a closure" ~fsite_:via
+    in
+    let follow ~via ~(call : Ir.call) (r : resolved) ~escape ~label =
+      match r with
+      | Found (callee, subst) ->
+          partial_check ~via ~escape call ~arity:callee.Ir.arity ~label;
+          if not (callee.Ir.diverging || callee.Ir.cold) then begin
+            stats.edges <- stats.edges + 1;
+            push ~parent:(Some (st.nkey, via)) callee subst
+          end
+      | Extern (cls, name) -> (
+          (* No definition arity for stdlib functions: an arrow-typed
+             result is treated as a partial application (the rare
+             function-returning stdlib call can be allowlisted). *)
+          (match cls with
+          | Tables.Terminal -> ()
+          | _ -> partial_check ~via ~escape call ~arity:max_int ~label:name);
+          match (pass, cls) with
+          | Alloc_pass, Tables.Alloc k ->
+              emit_at st ~category:(Ir.alloc_category k) ~ident:name
+                ~message:"allocating stdlib call on the hot path" ~fsite_:via
+          | Alloc_pass, Tables.Unknown when not escape ->
+              emit_at st ~category:unknown_category ~ident:name
+                ~message:"stdlib call with no allocation verdict" ~fsite_:via
+          | _ -> ())
+      | Unresolved n ->
+          if not escape then
+            emit_at st ~category:unknown_category ~ident:label
+              ~message:
+                (Printf.sprintf "cannot resolve callee '%s' statically" n)
+              ~fsite_:via
+    in
+    List.iter
+      (fun (c : Ir.call) ->
+        let via = c.Ir.csite in
+        match c.Ir.callee with
+        | Ir.Direct { path; escape } ->
+            follow ~via ~call:c
+              (resolve_direct g ~scopes:f.Ir.scopes ~subst:st.nsubst path)
+              ~escape ~label:path
+        | Ir.Functor_param { param; member } -> (
+            match List.assoc_opt param st.nsubst with
+            | Some (arg, ascopes) ->
+                follow ~via ~call:c
+                  (resolve_direct g ~scopes:ascopes ~subst:st.nsubst
+                     (arg ^ "." ^ member))
+                  ~escape:false
+                  ~label:(param ^ "." ^ member)
+            | None ->
+                emit_at st ~category:unknown_category
+                  ~ident:(param ^ "." ^ member)
+                  ~message:
+                    "call through an un-instantiated functor parameter"
+                  ~fsite_:via)
+        | Ir.First_class { member } -> (
+            (* Conservative: every module the program ever packs that
+               provides [member] is a candidate callee. *)
+            let cands =
+              Hashtbl.fold
+                (fun p () acc ->
+                  match
+                    resolve_direct g ~scopes:[] ~subst:[] (p ^ "." ^ member)
+                  with
+                  | Found (f, s) -> (f, s) :: acc
+                  | _ -> acc)
+                g.prog.packed []
+            in
+            match cands with
+            | [] ->
+                emit_at st ~category:unknown_category ~ident:member
+                  ~message:
+                    (Printf.sprintf
+                       "first-class module call '.%s': no packed module \
+                        provides it"
+                       member)
+                  ~fsite_:via
+            | _ ->
+                List.iter
+                  (fun (callee, subst) ->
+                    partial_check ~via ~escape:false c
+                      ~arity:callee.Ir.arity ~label:member;
+                    if not (callee.Ir.diverging || callee.Ir.cold) then begin
+                      stats.edges <- stats.edges + 1;
+                      push ~parent:(Some (st.nkey, via)) callee subst
+                    end)
+                  cands)
+        | Ir.Higher_order { label } ->
+            (* Taint pass: calls through a plain local/parameter binding
+               are not reported — the closure's body was scanned inline
+               where it was built, and named functions passed as
+               arguments create escape edges, so the passing site (in
+               the cone if reachable) already covers them.  Field and
+               expression dispatch stays a finding in both passes. *)
+            let param_call =
+              label <> "" && label.[0] <> '.' && label.[0] <> '<'
+            in
+            if not (pass = Taint_pass && param_call) then
+              emit_at st ~category:unknown_category ~ident:label
+                ~message:"higher-order call site; callee statically unknown"
+                ~fsite_:via)
+      f.Ir.calls
+  done;
+  stats

@@ -1,0 +1,42 @@
+(* .cmt discovery and deserialization.  The analyzer is pointed at one
+   or more roots — typically dune's install tree
+   (_build/install/default/lib/minos) or a .objs directory — and loads
+   every implementation .cmt it can find.  Dot-directories are NOT
+   skipped: dune keeps per-library objects under [.libname.objs]. *)
+
+type unit_info = {
+  modname : string;  (** compilation unit, e.g. [Dsim__Sim] *)
+  source : string;  (** source path as recorded at compile time *)
+  structure : Typedtree.structure;
+}
+
+let rec cmt_files path =
+  match Sys.is_directory path with
+  | true ->
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.concat_map (fun name -> cmt_files (Filename.concat path name))
+  | false -> if Filename.check_suffix path ".cmt" then [ path ] else []
+  | exception Sys_error _ -> []
+
+let load_cmt path =
+  match Cmt_format.read_cmt path with
+  | { cmt_annots = Cmt_format.Implementation structure; cmt_modname; cmt_sourcefile; _ }
+    ->
+      let source =
+        match cmt_sourcefile with Some s -> s | None -> cmt_modname
+      in
+      Some { modname = cmt_modname; source; structure }
+  | _ -> None
+  | exception _ -> None
+
+(* Load every unit under [roots], deduplicating by unit name (the same
+   .cmt can appear both under .objs and in the install tree). *)
+let load_roots roots =
+  let seen = Hashtbl.create 64 in
+  List.concat_map cmt_files roots
+  |> List.filter_map (fun path ->
+         match load_cmt path with
+         | Some u when not (Hashtbl.mem seen u.modname) ->
+             Hashtbl.add seen u.modname ();
+             Some u
+         | _ -> None)

@@ -1,0 +1,102 @@
+(* Analysis roots come from two places: [[@hot]] attributes picked up by
+   the scanner, and a roots file with lines
+
+     hot  <qualified-function>     # allocation-proof root
+     sink <module-prefix>          # determinism sink: every function under it
+
+   '#' starts a comment; blank lines are skipped.  A [hot] line that
+   names no known function, or a [sink] prefix matching no function, is
+   an error — the roots file must not rot. *)
+
+type t = {
+  hot_roots : Ir.func list;
+  sink_roots : Ir.func list;
+  errors : string list;
+}
+
+let parse_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> Ok None
+  | [ "hot"; fn ] -> Ok (Some (`Hot fn))
+  | [ "sink"; prefix ] -> Ok (Some (`Sink prefix))
+  | _ -> Error (Printf.sprintf "malformed roots line: %S" (String.trim line))
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let load (prog : Ir.program) path =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let hot = ref [] in
+  let sinks = ref [] in
+  (if Sys.file_exists path then
+     List.iter
+       (fun line ->
+         match parse_line line with
+         | Ok None -> ()
+         | Ok (Some (`Hot fn)) -> (
+             match Hashtbl.find_opt prog.Ir.funcs fn with
+             | Some f -> hot := f :: !hot
+             | None -> err "roots: no function named %s (stale 'hot' line)" fn)
+         | Ok (Some (`Sink prefix)) ->
+             let matched =
+               Hashtbl.fold
+                 (fun name f acc ->
+                   if name = prefix || has_prefix ~prefix:(prefix ^ ".") name
+                   then f :: acc
+                   else acc)
+                 prog.Ir.funcs []
+             in
+             if matched = [] then
+               err "roots: 'sink %s' matches no function (stale line)" prefix
+             else sinks := matched @ !sinks
+         | Error e -> err "roots: %s" e)
+       (read_lines path)
+   else err "roots: file %s not found" path);
+  (* Attribute roots, added after file roots so file order is stable. *)
+  let attr_hot =
+    Hashtbl.fold
+      (fun _ f acc -> if f.Ir.hot then f :: acc else acc)
+      prog.Ir.funcs []
+    |> List.sort (fun a b -> String.compare a.Ir.fname b.Ir.fname)
+  in
+  let dedup fs =
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun f ->
+        if Hashtbl.mem seen f.Ir.fname then false
+        else (
+          Hashtbl.add seen f.Ir.fname ();
+          true))
+      fs
+  in
+  {
+    hot_roots = dedup (List.rev !hot @ attr_hot);
+    sink_roots =
+      dedup
+        (List.sort (fun a b -> String.compare a.Ir.fname b.Ir.fname)
+           !sinks);
+    errors = List.rev !errors;
+  }

@@ -26,7 +26,7 @@ let is_empty t = t.size = 0
 
 let capacity t = Array.length t.vals
 
-let grow t =
+let[@cold] grow t =
   let cap = Array.length t.vals in
   let new_cap = if cap = 0 then 16 else 2 * cap in
   let times = Array.make new_cap 0.0 in

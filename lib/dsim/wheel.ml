@@ -134,7 +134,7 @@ let capacity t = Array.length t.state
 
 let tick_of t time = int_of_float (time *. t.inv_g)
 
-let grow t =
+let[@cold] grow t =
   let cap = Array.length t.state in
   let new_cap = if cap = 0 then 256 else 2 * cap in
   if new_cap > id_limit then invalid_arg "Wheel: pending-event limit exceeded";
@@ -184,7 +184,7 @@ let free t id =
   t.next.(id) <- t.free_head;
   t.free_head <- id
 
-let grow_run t =
+let[@cold] grow_run t =
   let cap = Array.length t.run in
   let new_cap = if cap = 0 then 64 else 2 * cap in
   let run = Array.make new_cap (-1) in

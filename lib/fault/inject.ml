@@ -92,51 +92,50 @@ let create ~seed (plan : Plan.t) =
 let plan t = t.plan
 let in_window ~from_us ~until_us now = now >= from_us && now < until_us
 
-let slowdown t ~core ~now =
-  let n = Array.length t.stall_core in
-  let rec go i acc =
-    if i >= n then acc
-    else
-      let acc =
-        if
-          (t.stall_core.(i) = core || t.stall_core.(i) = Plan.all)
-          && in_window ~from_us:t.stall_from.(i) ~until_us:t.stall_until.(i) now
-        then Float.max acc t.stall_factor.(i)
-        else acc
-      in
-      go (i + 1) acc
-  in
-  go 0 1.0
+(* The window scans below are top-level recursions over the index, not
+   local [let rec]s: a local recursive function captures [t]/[now] in a
+   closure allocated on every query, and these run once per event under
+   fault plans — the @analyze zero-allocation proof rejects them. *)
 
-let stall_end t ~core ~now =
-  let n = Array.length t.stall_core in
-  let rec go i acc =
-    if i >= n then acc
-    else
-      let acc =
-        if
-          (t.stall_core.(i) = core || t.stall_core.(i) = Plan.all)
-          && in_window ~from_us:t.stall_from.(i) ~until_us:t.stall_until.(i) now
-        then Float.max acc t.stall_until.(i)
-        else acc
-      in
-      go (i + 1) acc
-  in
-  go 0 now
+let rec slowdown_scan t core now i acc =
+  if i >= Array.length t.stall_core then acc
+  else
+    let acc =
+      if
+        (t.stall_core.(i) = core || t.stall_core.(i) = Plan.all)
+        && in_window ~from_us:t.stall_from.(i) ~until_us:t.stall_until.(i) now
+      then Float.max acc t.stall_factor.(i)
+      else acc
+    in
+    slowdown_scan t core now (i + 1) acc
+
+let slowdown t ~core ~now = slowdown_scan t core now 0 1.0
+
+let rec stall_end_scan t core now i acc =
+  if i >= Array.length t.stall_core then acc
+  else
+    let acc =
+      if
+        (t.stall_core.(i) = core || t.stall_core.(i) = Plan.all)
+        && in_window ~from_us:t.stall_from.(i) ~until_us:t.stall_until.(i) now
+      then Float.max acc t.stall_until.(i)
+      else acc
+    in
+    stall_end_scan t core now (i + 1) acc
+
+let stall_end t ~core ~now = stall_end_scan t core now 0 now
 
 (* First matching open net window wins; plans with overlapping windows on
    the same queue are legal but only the first listed applies. *)
-let net_window t ~queue ~now =
-  let n = Array.length t.net_queue in
-  let rec go i =
-    if i >= n then -1
-    else if
-      (t.net_queue.(i) = queue || t.net_queue.(i) = Plan.all)
-      && in_window ~from_us:t.net_from.(i) ~until_us:t.net_until.(i) now
-    then i
-    else go (i + 1)
-  in
-  go 0
+let rec net_window_scan t queue now i =
+  if i >= Array.length t.net_queue then -1
+  else if
+    (t.net_queue.(i) = queue || t.net_queue.(i) = Plan.all)
+    && in_window ~from_us:t.net_from.(i) ~until_us:t.net_until.(i) now
+  then i
+  else net_window_scan t queue now (i + 1)
+
+let net_window t ~queue ~now = net_window_scan t queue now 0
 
 let fate t ~queue ~now =
   let i = net_window t ~queue ~now in
@@ -155,41 +154,36 @@ let reorder_delay_us t ~queue ~now =
   let u = Dsim.Rng.unit_float t.rng in
   (1.0 -. u) *. max_us
 
-let rx_capacity t ~queue ~now =
-  let n = Array.length t.sq_queue in
-  let rec go i acc =
-    if i >= n then acc
-    else
-      let acc =
-        if
-          (t.sq_queue.(i) = queue || t.sq_queue.(i) = Plan.all)
-          && in_window ~from_us:t.sq_from.(i) ~until_us:t.sq_until.(i) now
-        then min acc t.sq_cap.(i)
-        else acc
-      in
-      go (i + 1) acc
-  in
-  go 0 max_int
+let rec rx_capacity_scan t queue now i acc =
+  if i >= Array.length t.sq_queue then acc
+  else
+    let acc =
+      if
+        (t.sq_queue.(i) = queue || t.sq_queue.(i) = Plan.all)
+        && in_window ~from_us:t.sq_from.(i) ~until_us:t.sq_until.(i) now
+      then min acc t.sq_cap.(i)
+      else acc
+    in
+    rx_capacity_scan t queue now (i + 1) acc
 
-let ctrl_delayed t ~now =
-  let n = Array.length t.cd_from in
-  let rec go i =
-    if i >= n then false
-    else if in_window ~from_us:t.cd_from.(i) ~until_us:t.cd_until.(i) now then true
-    else go (i + 1)
-  in
-  go 0
+let rx_capacity t ~queue ~now = rx_capacity_scan t queue now 0 max_int
 
-let corrupt_threshold t ~now threshold =
-  let n = Array.length t.cc_from in
-  let rec go i acc =
-    if i >= n then acc
-    else
-      let acc =
-        if in_window ~from_us:t.cc_from.(i) ~until_us:t.cc_until.(i) now then
-          if t.cc_nan.(i) then Float.nan else acc *. t.cc_scale.(i)
-        else acc
-      in
-      go (i + 1) acc
-  in
-  go 0 threshold
+let rec ctrl_delayed_scan t now i =
+  if i >= Array.length t.cd_from then false
+  else if in_window ~from_us:t.cd_from.(i) ~until_us:t.cd_until.(i) now then
+    true
+  else ctrl_delayed_scan t now (i + 1)
+
+let ctrl_delayed t ~now = ctrl_delayed_scan t now 0
+
+let rec corrupt_scan t now i acc =
+  if i >= Array.length t.cc_from then acc
+  else
+    let acc =
+      if in_window ~from_us:t.cc_from.(i) ~until_us:t.cc_until.(i) now then
+        if t.cc_nan.(i) then Float.nan else acc *. t.cc_scale.(i)
+      else acc
+    in
+    corrupt_scan t now (i + 1) acc
+
+let corrupt_threshold t ~now threshold = corrupt_scan t now 0 threshold

@@ -16,7 +16,7 @@ type 'a t = {
 let create ~dummy () =
   { buf = Array.make 16 dummy; head = 0; len = 0; dummy; total = 0; high_water = 0 }
 
-let grow t =
+let[@cold] grow t =
   let cap = Array.length t.buf in
   let nbuf = Array.make (2 * cap) t.dummy in
   let tail_len = cap - t.head in

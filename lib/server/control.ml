@@ -108,20 +108,26 @@ let sanitize ~last_good ~clamp candidate =
           Float.min hi (Float.max lo candidate)
         else candidate
 
-let route plan size =
-  if size <= plan.threshold then None
-  else if plan.n_large = 0 then Some 0 (* standby core, by convention *)
+(* Top-level recursion: a local [let rec] would close over [plan]/[size]
+   and allocate a closure per routed request. *)
+let rec route_range ranges size n i =
+  if i >= n - 1 then n - 1
   else begin
-    let n = Array.length plan.ranges in
-    let rec go i =
-      if i >= n - 1 then Some (n - 1)
-      else begin
-        let _, hi = plan.ranges.(i) in
-        if size <= hi then Some i else go (i + 1)
-      end
-    in
-    go 0
+    let _, hi = ranges.(i) in
+    if size <= hi then i else route_range ranges size n (i + 1)
   end
+
+(* Allocation-free variant for the per-request dispatch path: [-1] means
+   small (the [None] of [route]); [0] in standby mode is the standby
+   core by convention. *)
+let route_idx plan size =
+  if size <= plan.threshold then -1
+  else if plan.n_large = 0 then 0 (* standby core, by convention *)
+  else route_range plan.ranges size (Array.length plan.ranges) 0
+
+let route plan size =
+  let j = route_idx plan size in
+  if j < 0 then None else Some j
 
 let is_small_core plan id = id < plan.n_small
 

@@ -87,62 +87,77 @@ and classify_and_serve st c slot =
   Stats.Log_histogram.record c.hist size;
   Engine.obs_classify st.eng req;
   let profile = profiling_cost st in
-  match Control.route st.plan size with
-  | None ->
-      if Engine.try_shed st.eng req ~large:false then
-        Engine.busy st.eng ~core:c.id profile
-      else
-        Engine.execute st.eng ~core:c.id ~tx_queue:c.id
-          ~extra_cpu:(profile +. put_lock_cost st req)
-          req
-  | Some j ->
-      if Engine.try_shed st.eng req ~large:true then
-        Engine.busy st.eng ~core:c.id profile
-      else begin
-        (* Software handoff: push onto the owning large core's queue.  In
-           standby mode this engages the standby core as a large core. *)
-        let target =
-          st.cores.(phys st (Control.large_core_id st.plan ~cores:st.n_active j))
-        in
-        if standby_mode st then st.standby_engaged <- true;
-        Engine.obs_handoff_enq st.eng req;
-        Netsim.Fifo.push target.swq slot;
-        wake st target;
-        Engine.busy st.eng ~core:c.id
-          (st.cfg.Config.cost.Cost_model.handoff_us +. profile)
-      end
+  (* [route_idx] rather than [route]: [Some j] is a boxed allocation on
+     the per-request path; [-1] encodes small. *)
+  let j = Control.route_idx st.plan size in
+  if j < 0 then begin
+    if Engine.try_shed st.eng req ~large:false then
+      Engine.busy st.eng ~core:c.id profile
+    else
+      Engine.execute st.eng ~core:c.id ~tx_queue:c.id
+        ~extra_cpu:(profile +. put_lock_cost st req)
+        req
+  end
+  else begin
+    if Engine.try_shed st.eng req ~large:true then
+      Engine.busy st.eng ~core:c.id profile
+    else begin
+      (* Software handoff: push onto the owning large core's queue.  In
+         standby mode this engages the standby core as a large core. *)
+      let target =
+        st.cores.(phys st (Control.large_core_id st.plan ~cores:st.n_active j))
+      in
+      if standby_mode st then st.standby_engaged <- true;
+      Engine.obs_handoff_enq st.eng req;
+      Netsim.Fifo.push target.swq slot;
+      wake st target;
+      Engine.busy st.eng ~core:c.id
+        (st.cfg.Config.cost.Cost_model.handoff_us +. profile)
+    end
+  end
+
+(* Pull up to [limit] requests from [rx] into [c.batch]; returns the
+   count.  Part of the [step] recursion rather than a local closure so
+   the per-poll path allocates nothing (depth is bounded by the batch
+   size, so the non-tail recursion is safe). *)
+and pull_from st c rx limit =
+  if limit <= 0 || Netsim.Fifo.is_empty rx then 0
+  else begin
+    let r = Netsim.Fifo.pop_exn rx in
+    Engine.obs_poll st.eng (Engine.req_of_slot st.eng r);
+    Netsim.Fifo.push c.batch r;
+    1 + pull_from st c rx (limit - 1)
+  end
+
+and pull_large_shares st c share slot acc =
+  if slot >= st.n_active then acc
+  else
+    pull_large_shares st c share (slot + 1)
+      (acc + pull_from st c (Engine.rx st.eng (phys st slot)) share)
 
 and refill st c =
   let b = st.cfg.Config.batch in
-  let pulled = ref 0 in
-  let pull_from rx limit =
-    let got = ref 0 in
-    while !got < limit && not (Netsim.Fifo.is_empty rx) do
-      let r = Netsim.Fifo.pop_exn rx in
-      Engine.obs_poll st.eng (Engine.req_of_slot st.eng r);
-      Netsim.Fifo.push c.batch r;
-      incr got
-    done;
-    pulled := !pulled + !got
-  in
   (* Own RX queue first, then an equal share of every large core's RX
      queue, so all queues drain at the same rate (§3).  An engaged standby
      core counts as a large core here, and so does an excluded core: the
      hardware keeps spraying arrivals at both, and the small cores drain
      their RX queues for them. *)
-  pull_from (Engine.rx st.eng c.id) b;
+  let pulled = pull_from st c (Engine.rx st.eng c.id) b in
   let standby_engaged = standby_mode st && st.standby_engaged in
   let ns = max 1 (st.plan.Control.n_small - if standby_engaged then 1 else 0) in
   let share = (b + ns - 1) / ns in
-  for slot = st.plan.Control.n_small to st.n_active - 1 do
-    pull_from (Engine.rx st.eng (phys st slot)) share
-  done;
-  if standby_engaged then begin
-    let standby = standby_phys st in
-    if c.id <> standby then pull_from (Engine.rx st.eng standby) share
-  end;
-  if st.excluded >= 0 then pull_from (Engine.rx st.eng st.excluded) share;
-  if !pulled > 0 then
+  let pulled = pull_large_shares st c share st.plan.Control.n_small pulled in
+  let pulled =
+    if standby_engaged && c.id <> standby_phys st then
+      pulled + pull_from st c (Engine.rx st.eng (standby_phys st)) share
+    else pulled
+  in
+  let pulled =
+    if st.excluded >= 0 then
+      pulled + pull_from st c (Engine.rx st.eng st.excluded) share
+    else pulled
+  in
+  if pulled > 0 then
     Engine.busy st.eng ~core:c.id st.cfg.Config.cost.Cost_model.poll_us
   else c.idle <- true
 
@@ -176,39 +191,38 @@ and large_step st c =
 (* §6.1 variant: an idle large core steals a single request from a small
    core's RX queue — one at a time, so a small request is never queued
    behind a large one. *)
-and rx_steal_step st c =
-  let rec scan slot =
-    if slot >= st.plan.Control.n_small then c.idle <- true
-    else begin
-      let victim = phys st slot in
-      if not (Netsim.Fifo.is_empty (Engine.rx st.eng victim)) then begin
-          let req = Engine.req_of_slot st.eng (Netsim.Fifo.pop_exn (Engine.rx st.eng victim)) in
-          Engine.obs_poll st.eng req;
-          let size = float_of_int req.Engine.item_size in
-          Stats.Log_histogram.record c.hist size;
-          Engine.obs_classify st.eng req;
-          if Engine.try_shed st.eng req ~large:(size > st.plan.Control.threshold)
-          then
-            Engine.busy st.eng ~core:c.id
-              (st.cfg.Config.cost.Cost_model.steal_us +. profiling_cost st)
-          else begin
-            (* TX-queue discipline mirrors the size split: a stolen small
-               replies on the victim's (small) TX queue so it never
-               serializes behind this core's in-flight large replies; a
-               stolen large stays on this large core's queue so it never
-               blocks a small queue. *)
-            let tx_queue = if size <= st.plan.Control.threshold then victim else c.id in
-            Engine.execute st.eng ~core:c.id ~tx_queue
-              ~extra_cpu:
-                (st.cfg.Config.cost.Cost_model.steal_us
-                +. profiling_cost st +. put_lock_cost st req)
-              req
-          end
-      end
-      else scan (slot + 1)
+and rx_steal_step st c = rx_steal_scan st c 0
+
+and rx_steal_scan st c slot =
+  if slot >= st.plan.Control.n_small then c.idle <- true
+  else begin
+    let victim = phys st slot in
+    if not (Netsim.Fifo.is_empty (Engine.rx st.eng victim)) then begin
+        let req = Engine.req_of_slot st.eng (Netsim.Fifo.pop_exn (Engine.rx st.eng victim)) in
+        Engine.obs_poll st.eng req;
+        let size = float_of_int req.Engine.item_size in
+        Stats.Log_histogram.record c.hist size;
+        Engine.obs_classify st.eng req;
+        if Engine.try_shed st.eng req ~large:(size > st.plan.Control.threshold)
+        then
+          Engine.busy st.eng ~core:c.id
+            (st.cfg.Config.cost.Cost_model.steal_us +. profiling_cost st)
+        else begin
+          (* TX-queue discipline mirrors the size split: a stolen small
+             replies on the victim's (small) TX queue so it never
+             serializes behind this core's in-flight large replies; a
+             stolen large stays on this large core's queue so it never
+             blocks a small queue. *)
+          let tx_queue = if size <= st.plan.Control.threshold then victim else c.id in
+          Engine.execute st.eng ~core:c.id ~tx_queue
+            ~extra_cpu:
+              (st.cfg.Config.cost.Cost_model.steal_us
+              +. profiling_cost st +. put_lock_cost st req)
+            req
+        end
     end
-  in
-  scan 0
+    else rx_steal_scan st c (slot + 1)
+  end
 
 (* ---------------- watchdog ---------------- *)
 

@@ -98,7 +98,7 @@ let set_resume t f = t.resume <- f
 
 (* ---------------- request pool ---------------- *)
 
-let grow_pool t =
+let[@cold] grow_pool t =
   let old = Array.length t.pool in
   let n = 2 * old in
   let pool = Array.make n dummy_request in
@@ -215,13 +215,14 @@ let busy t ~core dt =
   t.core_busy_us.(core) <- t.core_busy_us.(core) +. dt;
   Dsim.Sim.schedule_call_after t.sim dt ~tag:t.tag_resume ~i:core ~j:0
 
-let total_rx_backlog t =
-  let n = t.cfg.Config.cores in
-  let rec go i acc =
-    if i >= n then acc
-    else go (i + 1) (acc + Netsim.Fifo.length (Netsim.Nic.rx t.nic i))
-  in
-  go 0 0
+(* Top-level recursion, not a local [let rec]: a local recursive
+   function closes over [t] and allocates on every call, and this runs
+   per admission decision on the hot path. *)
+let rec rx_backlog_scan t n i acc =
+  if i >= n then acc
+  else rx_backlog_scan t n (i + 1) (acc + Netsim.Fifo.length (Netsim.Nic.rx t.nic i))
+
+let total_rx_backlog t = rx_backlog_scan t t.cfg.Config.cores 0 0
 
 (* Admission control: above the watermark the large class is shed first —
    large requests are rare but expensive (the paper's core insight), so
