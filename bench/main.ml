@@ -386,6 +386,38 @@ let run_cluster () =
   close_out oc;
   Printf.printf "[cluster results written to BENCH_cluster.json]\n%!"
 
+(* Elastic resharding: the add-remove plan (a server joins mid-run, then
+   server 1 drains out) against a 4-shard cluster at 8 Mops, size-aware
+   Minos vs the keyhash baseline over the same routing table.  The JSON
+   is the record CI compares: loss accounting must telescope exactly
+   across the reshard events, the key-conservation audit must report
+   zero lost/duplicated/stale keys, the p99 during migration must stay
+   within 3x of steady state, and a rerun at the same seed (any
+   MINOS_JOBS) must be byte-identical. *)
+
+let run_reshard () =
+  let cfg =
+    {
+      (Minos.Experiment.config_of_scale scale) with
+      Kvserver.Config.window_us = Some scale.Minos.Experiment.window_us;
+    }
+  in
+  let plan =
+    Option.get
+      (Shardmgr.Plan.canned "add-remove"
+         ~warmup_us:cfg.Kvserver.Config.warmup_us
+         ~duration_us:cfg.Kvserver.Config.duration_us)
+  in
+  let t =
+    Minos.Reshard.run ~cfg ~seed:1 ~servers:4 ~plan Workload.Spec.default
+      ~offered_mops:8.0 ()
+  in
+  Minos.Reshard.print t;
+  let oc = open_out "BENCH_reshard.json" in
+  output_string oc (Minos.Reshard.to_json t);
+  close_out oc;
+  Printf.printf "[reshard results written to BENCH_reshard.json]\n%!"
+
 let targets : (string * string * (unit -> unit)) list =
   [
     ("fig1", "service time vs item size", fun () -> Minos.Figures.print_fig1 ());
@@ -430,6 +462,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("capacity", "closed-form capacity model", run_capacity);
     ("chaos", "fault plans vs hardened/plain designs", run_chaos);
     ("cluster", "multi-server sharding + fan-out multi-GET", run_cluster);
+    ("reshard", "elastic resharding: live migration + replicas", run_reshard);
     ("obs", "flight-recorder overhead on/off", run_obs);
     ("numa", "multi-NUMA-domain scaling", run_numa);
     ("micro", "bechamel microbenchmarks", run_micro);

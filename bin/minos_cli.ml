@@ -719,6 +719,153 @@ let cluster_cmd =
       $ rebalance_arg $ vnodes_arg $ fanouts_arg $ trials_arg $ json_arg
       $ trace_arg $ load $ p_large $ s_large $ get_ratio $ quick $ seed $ jobs)
 
+(* ------------------------------------------------------------------ *)
+(* reshard *)
+
+let reshard_cmd =
+  let servers_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "servers" ] ~docv:"N" ~doc:"Initial number of shard servers.")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt design_conv Kvserver.Design.hkh
+      & info [ "baseline" ] ~docv:"DESIGN"
+          ~doc:
+            (Printf.sprintf "Per-server baseline design to compare against: %s."
+               (design_names ())))
+  in
+  let plan_file_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "reshard-plan" ] ~docv:"FILE"
+          ~doc:
+            "Run a reshard plan from a file (see lib/shardmgr/plan.mli for \
+             the format) instead of a canned scenario.")
+  in
+  let plan_name_arg =
+    Arg.(
+      value
+      & opt string "add-remove"
+      & info [ "plan" ] ~docv:"NAME"
+          ~doc:
+            "Canned reshard scenario: noop, add-remove (a server joins \
+             early, server 1 leaves later) or replica-cycle.  Ignored with \
+             $(b,--reshard-plan).")
+  in
+  let groups_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "groups" ] ~docv:"N"
+          ~doc:"Key groups cutting over at staggered instants per migration.")
+  in
+  let vnodes_arg =
+    Arg.(
+      value
+      & opt int 128
+      & info [ "vnodes" ] ~docv:"N" ~doc:"Virtual nodes per server.")
+  in
+  let manage_arg =
+    Arg.(
+      value & flag
+      & info [ "manage" ]
+          ~doc:
+            "Run the shard-manager control loop: a first membership-only \
+             pass records per-shard p99 windows, the manager's hysteresis \
+             turns them into add/drop-replica events, and the measured run \
+             replays with those appended to the plan.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the results as JSON.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a merged Chrome trace of the main run: one process group \
+             per server plus a shardmgr track carrying the reshard schedule.")
+  in
+  let reshard_load =
+    Arg.(
+      value
+      & opt float 8.0
+      & info [ "l"; "load" ] ~docv:"MOPS"
+          ~doc:"Total offered load in million ops/s (default 8.0).")
+  in
+  let action design baseline servers plan_file plan_name groups vnodes manage
+      json trace_out load p_large s_large get_ratio quick seed jobs =
+    Minos.Par.set_jobs jobs;
+    let workload = spec_of ~p_large ~s_large ~get_ratio in
+    let s = scale_of quick in
+    let cfg =
+      {
+        (Minos.Experiment.config_of_scale s) with
+        Kvserver.Config.window_us = Some s.Minos.Experiment.window_us;
+      }
+    in
+    let plan =
+      match plan_file with
+      | Some file -> (
+          match Shardmgr.Plan.of_file file with
+          | Ok p -> p
+          | Error e ->
+              Printf.eprintf "reshard: %s\n" e;
+              exit 1)
+      | None -> (
+          match
+            Shardmgr.Plan.canned plan_name
+              ~warmup_us:cfg.Kvserver.Config.warmup_us
+              ~duration_us:cfg.Kvserver.Config.duration_us
+          with
+          | Some p -> p
+          | None ->
+              Printf.eprintf "reshard: unknown plan %S (canned: %s)\n"
+                plan_name
+                (String.concat ", " Shardmgr.Plan.canned_names);
+              exit 1)
+    in
+    let manage = if manage then Some Shardmgr.Manager.default else None in
+    let t =
+      Minos.Reshard.run ~cfg ~design ~baseline ~vnodes ~groups ~seed ?manage
+        ?trace_out ~servers ~plan workload ~offered_mops:load ()
+    in
+    Minos.Reshard.print t;
+    (match trace_out with
+    | Some path -> Printf.printf "[reshard trace written to %s]\n%!" path
+    | None -> ());
+    match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Minos.Reshard.to_json t);
+        close_out oc;
+        Printf.printf "[reshard results written to %s]\n%!" file
+  in
+  Cmd.v
+    (Cmd.info "reshard"
+       ~doc:
+         "Elastic resharding: replay a timed plan of server add/remove and \
+          replica events against a live cluster run (drain, dual-route, \
+          staggered cutover), under the chosen design and a baseline.  \
+          Reports the p99 timeline across the migrations, exact loss \
+          accounting and a key-conservation audit; fixed (seed, plan) pairs \
+          reproduce byte-identical results.")
+    Term.(
+      const action $ design $ baseline_arg $ servers_arg $ plan_file_arg
+      $ plan_name_arg $ groups_arg $ vnodes_arg $ manage_arg $ json_arg
+      $ trace_arg $ reshard_load $ p_large $ s_large $ get_ratio $ quick $ seed
+      $ jobs)
+
 let () =
   let info =
     Cmd.info "minos" ~version:"1.0.0"
@@ -730,4 +877,5 @@ let () =
           [
             run_cmd; sweep_cmd; slo_cmd; figure_cmd; obs_cmd; queueing_cmd; trace_cmd;
             numa_cmd; serve_cmd; kv_cmd; loadtest_cmd; chaos_cmd; cluster_cmd;
+            reshard_cmd;
           ]))

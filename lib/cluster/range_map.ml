@@ -1,5 +1,25 @@
 type t = { n_keys : int; starts : int array }
 
+type weight_error =
+  | All_zero
+  | Negative of int
+  | Not_finite of int
+  | Too_few_buckets of { buckets : int; servers : int }
+  | Too_many_buckets of { buckets : int; n_keys : int }
+
+exception Bad_weights of weight_error
+
+let weight_error_to_string = function
+  | All_zero -> "all probe weights are zero"
+  | Negative b -> "negative weight in bucket " ^ string_of_int b
+  | Not_finite b -> "non-finite weight in bucket " ^ string_of_int b
+  | Too_few_buckets { buckets; servers } ->
+      "only " ^ string_of_int buckets ^ " buckets for " ^ string_of_int servers
+      ^ " servers (need at least one per server)"
+  | Too_many_buckets { buckets; n_keys } ->
+      string_of_int buckets ^ " buckets exceed the " ^ string_of_int n_keys
+      ^ "-key space"
+
 let validate_starts ~servers ~n_keys starts =
   if Array.length starts <> servers then
     invalid_arg "Range_map: starts length must equal servers";
@@ -36,21 +56,36 @@ let lookup t key_id =
   done;
   !lo
 
-let rebalance t ~weights =
+let check_weights t ~weights =
   let n_servers = Array.length t.starts in
   let buckets = Array.length weights in
   if buckets < n_servers then
-    invalid_arg "Range_map.rebalance: need at least one bucket per server";
-  if buckets > t.n_keys then
-    invalid_arg "Range_map.rebalance: more buckets than keys";
-  let total = ref 0.0 in
-  Array.iter
-    (fun w ->
-      if w < 0.0 then invalid_arg "Range_map.rebalance: negative weight";
-      total := !total +. w)
-    weights;
-  if !total <= 0.0 then t
+    Error (Too_few_buckets { buckets; servers = n_servers })
+  else if buckets > t.n_keys then
+    Error (Too_many_buckets { buckets; n_keys = t.n_keys })
   else begin
+    let err = ref None in
+    let total = ref 0.0 in
+    for b = buckets - 1 downto 0 do
+      let w = weights.(b) in
+      if not (Float.is_finite w) then err := Some (Not_finite b)
+      else if w < 0.0 then err := Some (Negative b);
+      total := !total +. w
+    done;
+    match !err with
+    | Some e -> Error e
+    | None -> if !total <= 0.0 then Error All_zero else Ok ()
+  end
+
+let rebalance t ~weights =
+  (match check_weights t ~weights with
+  | Ok () -> ()
+  | Error e -> raise (Bad_weights e));
+  let n_servers = Array.length t.starts in
+  let buckets = Array.length weights in
+  let total = ref 0.0 in
+  Array.iter (fun w -> total := !total +. w) weights;
+  begin
     (* Walk the buckets, cutting a new range once the running weight
        passes the next multiple of total/servers.  A cut at bucket
        boundary [b + 1] is only legal when it advances past the previous

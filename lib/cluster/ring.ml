@@ -13,17 +13,33 @@ type t = {
   owner : int array;  (* owner.(i) = server owning points.(i) *)
 }
 
-let create ?(vnodes = 128) ?(seed = 0) ~servers () =
-  if servers < 1 then invalid_arg "Ring.create: servers must be >= 1";
-  if vnodes < 1 then invalid_arg "Ring.create: vnodes must be >= 1";
-  let n = servers * vnodes in
+(* Feed (seed, server, vnode) through the mixer twice so vnode points of
+   one server are spread independently.  A server's points depend only on
+   (seed, server, vnode): growing or shrinking the membership never moves
+   another server's points, which is what makes add/remove migrations
+   minimal. *)
+let point ~seed s v = mix (mix ((seed * 0x3779) lxor (s * 0x10001) lxor v) + v)
+
+let of_members ?(vnodes = 128) ?(seed = 0) members =
+  let m = Array.of_list members in
+  let k = Array.length m in
+  if k < 1 then invalid_arg "Ring.of_members: need at least one member";
+  if vnodes < 1 then invalid_arg "Ring.of_members: vnodes must be >= 1";
+  Array.iter
+    (fun s ->
+      if s < 0 then invalid_arg "Ring.of_members: negative server id")
+    m;
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      if m.(i) = m.(j) then invalid_arg "Ring.of_members: duplicate server id"
+    done
+  done;
+  let n = k * vnodes in
   let pairs = Array.make n (0, 0) in
-  for s = 0 to servers - 1 do
+  for i = 0 to k - 1 do
+    let s = m.(i) in
     for v = 0 to vnodes - 1 do
-      (* Feed (seed, server, vnode) through the mixer twice so vnode
-         points of one server are spread independently. *)
-      let h = mix (mix ((seed * 0x3779) lxor (s * 0x10001) lxor v) + v) in
-      pairs.((s * vnodes) + v) <- (h, s)
+      pairs.((i * vnodes) + v) <- (point ~seed s v, s)
     done
   done;
   Array.sort
@@ -31,11 +47,15 @@ let create ?(vnodes = 128) ?(seed = 0) ~servers () =
       if a <> b then Int.compare a b else Int.compare sa sb)
     pairs;
   {
-    servers;
+    servers = k;
     vnodes;
     points = Array.map fst pairs;
     owner = Array.map snd pairs;
   }
+
+let create ?(vnodes = 128) ?(seed = 0) ~servers () =
+  if servers < 1 then invalid_arg "Ring.create: servers must be >= 1";
+  of_members ~vnodes ~seed (List.init servers Fun.id)
 
 let servers t = t.servers
 let vnodes t = t.vnodes

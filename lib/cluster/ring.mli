@@ -14,9 +14,22 @@
 type t
 
 val create : ?vnodes:int -> ?seed:int -> servers:int -> unit -> t
-(** [vnodes] defaults to 128, [seed] to 0.  [servers] must be >= 1. *)
+(** [vnodes] defaults to 128, [seed] to 0.  [servers] must be >= 1.
+    Equivalent to [of_members (List.init servers Fun.id)]. *)
+
+val of_members : ?vnodes:int -> ?seed:int -> int list -> t
+(** The ring over an explicit membership (arbitrary non-negative,
+    distinct server ids).  A server's points are a pure function of
+    [(seed, server, vnode)], independent of the other members — so
+    [of_members (ms @ [s])] moves only keys that land on [s]'s new
+    points, and [remove (of_members ms) s] routes identically to
+    [of_members] over [ms] without [s] (pinned by qcheck in
+    test/test_cluster.ml).  The elastic-resharding cutover protocol
+    ({!Shardmgr}) relies on exactly these two properties. *)
 
 val servers : t -> int
+(** Number of members (not the largest id). *)
+
 val vnodes : t -> int
 
 val lookup : t -> int -> int

@@ -1,0 +1,302 @@
+(* Elastic-resharding experiment front end; see reshard.mli. *)
+
+type t = {
+  servers : int;
+  n_servers : int;
+  offered_mops : float;
+  seed : int;
+  plan : Shardmgr.Plan.t;
+  manager_events : int;
+  table : Shardmgr.Table.t;
+  main : Shardmgr.Run.t;
+  baseline : Shardmgr.Run.t;
+}
+
+let log_kind = function
+  | Shardmgr.Table.Drain_start -> Obs.Decision_log.kind_drain_start
+  | Shardmgr.Table.Dual_start -> Obs.Decision_log.kind_dual_start
+  | Shardmgr.Table.Cutover -> Obs.Decision_log.kind_cutover
+  | Shardmgr.Table.Replica_add -> Obs.Decision_log.kind_replica_add
+  | Shardmgr.Table.Replica_drop -> Obs.Decision_log.kind_replica_drop
+
+(* Shards the plan ever removes: the manager must not replicate them
+   (compile rejects removing a shard with live replicas, and a replica
+   of a gone shard is useless anyway). *)
+let removed_shards (plan : Shardmgr.Plan.t) =
+  List.filter_map
+    (function
+      | Shardmgr.Plan.Remove_server { server; _ } -> Some server
+      | _ -> None)
+    plan.Shardmgr.Plan.events
+
+let manager_plan ~mcfg ~window_us ~duration_us ~servers ~plan
+    (pass1 : Shardmgr.Run.t) =
+  let series = Array.sub pass1.Shardmgr.Run.shard_series 0 servers in
+  let removed = removed_shards plan in
+  let events =
+    Shardmgr.Manager.decide_all mcfg ~window_us series
+    |> List.filter (function
+         | Shardmgr.Plan.Add_replica { shard; at_us }
+         | Shardmgr.Plan.Drop_replica { shard; at_us } ->
+             (not (List.mem shard removed)) && at_us < duration_us
+         | _ -> true)
+  in
+  ( { plan with Shardmgr.Plan.events = plan.Shardmgr.Plan.events @ events },
+    List.length events )
+
+let run ?cfg ?(design = Kvserver.Design.minos) ?(baseline = Kvserver.Design.hkh)
+    ?vnodes ?groups ?probe ?(seed = 1) ?manage ?fault ?trace_out ?spans
+    ?sample_rate ~servers ~plan workload ~offered_mops () =
+  let cfg =
+    match cfg with
+    | Some c -> c
+    | None ->
+        let s = Experiment.full_scale in
+        {
+          (Experiment.config_of_scale s) with
+          Kvserver.Config.window_us = Some s.Experiment.window_us;
+        }
+  in
+  let dataset = Experiment.dataset_for workload in
+  let duration_us = cfg.Kvserver.Config.duration_us in
+  let compile plan =
+    Shardmgr.Table.compile ?vnodes ?groups ?probe ~seed ~servers ~workload
+      ~dataset ~duration_us ~offered_mops plan
+  in
+  let go ?instrument design table =
+    Shardmgr.Run.run ~seed ?fault ?instrument ~map:Par.map_list ~cfg ~design
+      ~workload ~table ()
+  in
+  (* Managed mode is two deterministic passes: record the per-shard p99
+     series under the membership-only plan, fold it through the manager,
+     replay with the emitted replica events appended.  (A mid-run
+     feedback loop would not reproduce across MINOS_JOBS.) *)
+  let plan, manager_events =
+    match manage with
+    | None -> (plan, 0)
+    | Some mcfg ->
+        let window_us =
+          match cfg.Kvserver.Config.window_us with
+          | Some w -> w
+          | None ->
+              invalid_arg "Reshard.run: manage mode needs cfg.window_us"
+        in
+        let pass1 = go design (compile plan) in
+        manager_plan ~mcfg ~window_us ~duration_us ~servers ~plan pass1
+  in
+  let table = compile plan in
+  let n_servers = Shardmgr.Table.n_servers table in
+  let instruments =
+    match trace_out with
+    | None -> None
+    | Some _ ->
+        Some
+          (Array.init n_servers (fun s ->
+               Obs.Instrument.create ~server:s ?spans ?sample_rate
+                 ~cores:cfg.Kvserver.Config.cores
+                 ~seed:(seed + (97 * s) + 0x0b5) ()))
+  in
+  let instrument = Option.map (fun arr s -> arr.(s)) instruments in
+  let main = go ?instrument design table in
+  let baseline = go baseline table in
+  (match (trace_out, instruments) with
+  | Some path, Some arr ->
+      (* One pseudo-process carries the planned reshard schedule, so the
+         drain / dual / cutover / replica marks land on their own track
+         next to the per-shard sections. *)
+      let mgr =
+        Obs.Instrument.create ~server:n_servers ~spans:1 ~timeline:false
+          ~cores:1 ~seed:0 ()
+      in
+      List.iter
+        (fun (ev : Shardmgr.Table.logged) ->
+          Obs.Decision_log.record_reshard mgr.Obs.Instrument.decisions
+            ~kind:(log_kind ev.Shardmgr.Table.kind) ~now:ev.Shardmgr.Table.at
+            ~until:ev.Shardmgr.Table.until ~server:ev.Shardmgr.Table.server
+            ~shard:ev.Shardmgr.Table.shard ~epoch:ev.Shardmgr.Table.epoch)
+        (Shardmgr.Table.events table);
+      let sections =
+        Array.to_list
+          (Array.mapi (fun s ins -> (Printf.sprintf "shard %d" s, ins)) arr)
+        @ [ ("shardmgr", mgr) ]
+      in
+      Obs.Chrome_trace.write_cluster ~path sections
+  | _ -> ());
+  {
+    servers;
+    n_servers;
+    offered_mops;
+    seed;
+    plan;
+    manager_events;
+    table;
+    main;
+    baseline;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let kind_str k = Obs.Decision_log.kind_name (log_kind k)
+
+let run_table label (r : Shardmgr.Run.t) =
+  let m = r.Shardmgr.Run.metrics in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun s (sm : Kvserver.Metrics.t) ->
+           [
+             string_of_int s;
+             Report.pct m.Kvcluster.Metrics.shard_share.(s);
+             Report.f2 sm.Kvserver.Metrics.throughput_mops;
+             Report.f1 sm.Kvserver.Metrics.p50_us;
+             Report.f1 sm.Kvserver.Metrics.p99_us;
+             string_of_int sm.Kvserver.Metrics.issued;
+             (if sm.Kvserver.Metrics.stable then "yes" else "NO");
+           ])
+         m.Kvcluster.Metrics.per_shard)
+  in
+  Report.table
+    ~title:(Printf.sprintf "%s: per-server (%s)" label r.Shardmgr.Run.design_name)
+    ~headers:[ "srv"; "share"; "tput Mops"; "p50 us"; "p99 us"; "issued"; "stable" ]
+    rows;
+  let p = r.Shardmgr.Run.protocol in
+  Report.note
+    "cluster: tput %s Mops  p99 %s us  migration p99 %s us  steady p99 %s us"
+    (Report.f2 m.Kvcluster.Metrics.throughput_mops)
+    (Report.f1 m.Kvcluster.Metrics.p99_us)
+    (Report.f1 r.Shardmgr.Run.mig_p99_us)
+    (Report.f1 r.Shardmgr.Run.steady_p99_us);
+  Report.note
+    "loss accounting %s  keys: %d transferred, %d fallback reads, lost %d, duplicated %d, stale %d"
+    (if Kvcluster.Metrics.telescopes m then "exact" else "BROKEN")
+    p.Shardmgr.Protocol.transferred p.Shardmgr.Protocol.fallback_reads
+    p.Shardmgr.Protocol.lost p.Shardmgr.Protocol.duplicated
+    p.Shardmgr.Protocol.stale
+
+let print t =
+  Report.section
+    (Printf.sprintf
+       "Reshard: plan '%s', %d -> %d servers, %s Mops offered, seed %d"
+       t.plan.Shardmgr.Plan.name t.servers t.n_servers
+       (Report.f2 t.offered_mops) t.seed);
+  let events = Shardmgr.Table.events t.table in
+  Report.note "%d routing epochs, %d protocol events%s"
+    (Shardmgr.Table.epoch_count t.table)
+    (List.length events)
+    (if t.manager_events > 0 then
+       Printf.sprintf " (%d appended by the manager)" t.manager_events
+     else "");
+  List.iter
+    (fun (ev : Shardmgr.Table.logged) ->
+      Report.note "  %8s us  %-12s srv %d  shard/group %d  epoch %d"
+        (Report.f1 ev.Shardmgr.Table.at)
+        (kind_str ev.Shardmgr.Table.kind)
+        ev.Shardmgr.Table.server ev.Shardmgr.Table.shard
+        ev.Shardmgr.Table.epoch)
+    events;
+  run_table "main" t.main;
+  run_table "baseline" t.baseline
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let fl x = if Float.is_nan x then "null" else Printf.sprintf "%.3f" x
+
+let run_json b indent (r : Shardmgr.Run.t) =
+  let m = r.Shardmgr.Run.metrics in
+  let pad = String.make indent ' ' in
+  Buffer.add_string b
+    (Printf.sprintf "%s\"design\": \"%s\",\n" pad r.Shardmgr.Run.design_name);
+  Buffer.add_string b
+    (Printf.sprintf
+       "%s\"issued\": %d, \"served\": %d, \"net_dropped\": %d, \"rx_dropped\": \
+        %d, \"shed_small\": %d, \"shed_large\": %d, \"in_flight_end\": %d,\n"
+       pad m.Kvcluster.Metrics.issued m.Kvcluster.Metrics.served_total
+       m.Kvcluster.Metrics.net_dropped m.Kvcluster.Metrics.rx_dropped
+       m.Kvcluster.Metrics.shed_small m.Kvcluster.Metrics.shed_large
+       m.Kvcluster.Metrics.in_flight_end);
+  Buffer.add_string b
+    (Printf.sprintf
+       "%s\"throughput_mops\": %s, \"p50_us\": %s, \"p99_us\": %s, \
+        \"worst_shard_p99_us\": %s, \"stable\": %b, \"telescopes\": %b,\n"
+       pad
+       (fl m.Kvcluster.Metrics.throughput_mops)
+       (fl m.Kvcluster.Metrics.p50_us)
+       (fl m.Kvcluster.Metrics.p99_us)
+       (fl m.Kvcluster.Metrics.worst_shard_p99_us)
+       m.Kvcluster.Metrics.stable
+       (Kvcluster.Metrics.telescopes m));
+  Buffer.add_string b
+    (Printf.sprintf "%s\"mig_p99_us\": %s, \"steady_p99_us\": %s,\n" pad
+       (fl r.Shardmgr.Run.mig_p99_us)
+       (fl r.Shardmgr.Run.steady_p99_us));
+  let p = r.Shardmgr.Run.protocol in
+  Buffer.add_string b
+    (Printf.sprintf
+       "%s\"protocol\": {\"ops\": %d, \"puts\": %d, \"gets\": %d, \
+        \"fallback_reads\": %d, \"transferred\": %d, \"lost\": %d, \
+        \"duplicated\": %d, \"stale\": %d},\n"
+       pad p.Shardmgr.Protocol.ops p.Shardmgr.Protocol.puts
+       p.Shardmgr.Protocol.gets p.Shardmgr.Protocol.fallback_reads
+       p.Shardmgr.Protocol.transferred p.Shardmgr.Protocol.lost
+       p.Shardmgr.Protocol.duplicated p.Shardmgr.Protocol.stale);
+  Buffer.add_string b (Printf.sprintf "%s\"p99_series\": [" pad);
+  List.iteri
+    (fun i (st, p99) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s[%s, %s]" (if i = 0 then "" else ", ") (fl st)
+           (fl p99)))
+    r.Shardmgr.Run.p99_series;
+  Buffer.add_string b "],\n";
+  Buffer.add_string b (Printf.sprintf "%s\"per_shard\": [\n" pad);
+  let n = Array.length m.Kvcluster.Metrics.per_shard in
+  Array.iteri
+    (fun s (sm : Kvserver.Metrics.t) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "%s  {\"server\": %d, \"share\": %s, \"throughput_mops\": %s, \
+            \"p99_us\": %s, \"issued\": %d, \"served\": %d, \"stable\": %b}%s\n"
+           pad s
+           (fl m.Kvcluster.Metrics.shard_share.(s))
+           (fl sm.Kvserver.Metrics.throughput_mops)
+           (fl sm.Kvserver.Metrics.p99_us)
+           sm.Kvserver.Metrics.issued sm.Kvserver.Metrics.served_total
+           sm.Kvserver.Metrics.stable
+           (if s = n - 1 then "" else ",")))
+    m.Kvcluster.Metrics.per_shard;
+  Buffer.add_string b (Printf.sprintf "%s]\n" pad)
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"plan\": \"%s\",\n  \"servers\": %d,\n  \"n_servers\": %d,\n  \
+        \"offered_mops\": %s,\n  \"seed\": %d,\n  \"manager_events\": %d,\n"
+       t.plan.Shardmgr.Plan.name t.servers t.n_servers (fl t.offered_mops)
+       t.seed t.manager_events);
+  Buffer.add_string b "  \"events\": [\n";
+  let events = Shardmgr.Table.events t.table in
+  let ne = List.length events in
+  List.iteri
+    (fun i (ev : Shardmgr.Table.logged) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"kind\": \"%s\", \"at_us\": %s, \"until_us\": %s, \
+            \"server\": %d, \"shard\": %d, \"epoch\": %d}%s\n"
+           (kind_str ev.Shardmgr.Table.kind)
+           (fl ev.Shardmgr.Table.at)
+           (fl ev.Shardmgr.Table.until)
+           ev.Shardmgr.Table.server ev.Shardmgr.Table.shard
+           ev.Shardmgr.Table.epoch
+           (if i = ne - 1 then "" else ",")))
+    events;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"main\": {\n";
+  run_json b 4 t.main;
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"baseline\": {\n";
+  run_json b 4 t.baseline;
+  Buffer.add_string b "  }\n}\n";
+  Buffer.contents b

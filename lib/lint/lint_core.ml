@@ -13,7 +13,7 @@ type violation = {
 let hot_dirs =
   [
     "lib/dsim/"; "lib/netsim/"; "lib/server/"; "lib/kv/"; "lib/obs/";
-    "lib/stats/"; "lib/fault/"; "lib/cluster/";
+    "lib/stats/"; "lib/fault/"; "lib/cluster/"; "lib/shardmgr/";
   ]
 
 (* Match the dir anywhere in the path so invocations from outside the

@@ -23,10 +23,15 @@ let esc s =
 
 let ts_s v = Printf.sprintf "%.3f" v
 
+(* For values that may be non-finite (a control loop that has never seen
+   a large request reports threshold infinity): JSON has no inf/nan. *)
+let num_s v = if Float.is_finite v then Printf.sprintf "%.3f" v else "null"
+
 (* Track (tid) layout: cores at their id, TX queues offset, one synthetic
    track for the control loop.  Tids are per-pid, so every server section
    of a cluster trace reuses the same layout under its own pid. *)
 let tx_tid q = 1000 + q
+let reshard_tid = 9998
 let control_tid = 9999
 
 type emitter = { buf : Buffer.t; mutable first : bool }
@@ -44,6 +49,8 @@ let thread_name e ~pid ~tid name =
   event e
     {|"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}|}
     pid tid (esc name)
+
+let kind_label k = esc (Decision_log.kind_name k)
 
 let span_events e ~pid r slot =
   let ts f = Recorder.get_ts r slot f in
@@ -133,6 +140,15 @@ let section e ~pid ~name ?timeline ?decisions recorder =
     thread_name e ~pid ~tid:(tx_tid q) (Printf.sprintf "tx %d" q)
   done;
   if decisions <> None then thread_name e ~pid ~tid:control_tid "control";
+  (match decisions with
+  | Some d ->
+      let has_reshard = ref false in
+      for i = 0 to Decision_log.length d - 1 do
+        if Decision_log.kind d i <> Decision_log.kind_control then
+          has_reshard := true
+      done;
+      if !has_reshard then thread_name e ~pid ~tid:reshard_tid "reshard"
+  | None -> ());
   for slot = 0 to n - 1 do
     if Recorder.complete recorder slot then span_events e ~pid recorder slot
   done;
@@ -154,13 +170,36 @@ let section e ~pid ~name ?timeline ?decisions recorder =
   | None -> ()
   | Some d ->
       for i = 0 to Decision_log.length d - 1 do
-        event e
-          {|"ph":"C","name":"control","pid":%d,"tid":%d,"ts":%s,"args":{"threshold_B":%s,"n_small":%d,"n_large":%d,"lost":%d}|}
-          pid control_tid
-          (ts_s (Decision_log.time d i))
-          (ts_s (Decision_log.threshold d i))
-          (Decision_log.n_small d i) (Decision_log.n_large d i)
-          (Decision_log.lost d i)
+        let k = Decision_log.kind d i in
+        if k = Decision_log.kind_control then
+          event e
+            {|"ph":"C","name":"control","pid":%d,"tid":%d,"ts":%s,"args":{"threshold_B":%s,"n_small":%d,"n_large":%d,"lost":%d}|}
+            pid control_tid
+            (ts_s (Decision_log.time d i))
+            (num_s (Decision_log.threshold d i))
+            (Decision_log.n_small d i) (Decision_log.n_large d i)
+            (Decision_log.lost d i)
+        else begin
+          (* Reshard protocol state changes: dual-route windows as
+             complete spans, everything else as instants, all on the
+             dedicated reshard track. *)
+          let until = Decision_log.until_us d i in
+          if not (Float.is_nan until) then
+            event e
+              {|"ph":"X","name":"%s","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"server":%d,"shard":%d,"epoch":%d}|}
+              (kind_label k) pid reshard_tid
+              (ts_s (Decision_log.time d i))
+              (ts_s (until -. Decision_log.time d i))
+              (Decision_log.server d i) (Decision_log.shard d i)
+              (Decision_log.epoch d i)
+          else
+            event e
+              {|"ph":"i","s":"p","name":"%s","pid":%d,"tid":%d,"ts":%s,"args":{"server":%d,"shard":%d,"epoch":%d}|}
+              (kind_label k) pid reshard_tid
+              (ts_s (Decision_log.time d i))
+              (Decision_log.server d i) (Decision_log.shard d i)
+              (Decision_log.epoch d i)
+        end
       done
 
 let to_buffer ?(name = "minos") ?timeline ?decisions recorder buf =

@@ -1,12 +1,33 @@
-(* Bounded control-loop decision log; see decision_log.mli. *)
+(* Bounded control-loop / reshard decision log; see decision_log.mli. *)
+
+let kind_control = 0
+let kind_drain_start = 1
+let kind_dual_start = 2
+let kind_cutover = 3
+let kind_replica_add = 4
+let kind_replica_drop = 5
+
+let kind_name = function
+  | 0 -> "control"
+  | 1 -> "drain_start"
+  | 2 -> "dual_start"
+  | 3 -> "cutover"
+  | 4 -> "replica_add"
+  | 5 -> "replica_drop"
+  | _ -> "unknown"
 
 type t = {
   capacity : int;
+  kinds : int array;
   times : float array;
+  untils : float array; (* reshard window end; nan for instants *)
   thresholds : float array;
   n_small : int array;
   n_large : int array;
   lost : int array;
+  servers : int array; (* reshard: joining/leaving server, -1 n/a *)
+  shards : int array; (* reshard: shard or cutover key group *)
+  epochs : int array; (* reshard: routing epoch in force *)
   mutable n : int;
   mutable dropped : int;
 }
@@ -15,11 +36,16 @@ let create ?(capacity = 4096) () =
   if capacity < 1 then invalid_arg "Decision_log.create: capacity must be >= 1";
   {
     capacity;
+    kinds = Array.make capacity 0;
     times = Array.make capacity Float.nan;
+    untils = Array.make capacity Float.nan;
     thresholds = Array.make capacity Float.nan;
     n_small = Array.make capacity 0;
     n_large = Array.make capacity 0;
     lost = Array.make capacity 0;
+    servers = Array.make capacity (-1);
+    shards = Array.make capacity (-1);
+    epochs = Array.make capacity 0;
     n = 0;
     dropped = 0;
   }
@@ -28,6 +54,7 @@ let record t ?(lost = 0) ~now ~threshold ~n_small ~n_large () =
   if t.n >= t.capacity then t.dropped <- t.dropped + 1
   else begin
     let i = t.n in
+    t.kinds.(i) <- kind_control;
     t.times.(i) <- now;
     t.thresholds.(i) <- threshold;
     t.n_small.(i) <- n_small;
@@ -36,19 +63,45 @@ let record t ?(lost = 0) ~now ~threshold ~n_small ~n_large () =
     t.n <- i + 1
   end
 
+let record_reshard t ~kind ~now ~until ~server ~shard ~epoch =
+  if kind < 1 || kind > 5 then
+    invalid_arg "Decision_log.record_reshard: not a reshard kind";
+  if t.n >= t.capacity then t.dropped <- t.dropped + 1
+  else begin
+    let i = t.n in
+    t.kinds.(i) <- kind;
+    t.times.(i) <- now;
+    t.untils.(i) <- until;
+    t.servers.(i) <- server;
+    t.shards.(i) <- shard;
+    t.epochs.(i) <- epoch;
+    t.n <- i + 1
+  end
+
 let length t = t.n
 let dropped t = t.dropped
+let kind t i = t.kinds.(i)
 let time t i = t.times.(i)
+let until_us t i = t.untils.(i)
 let threshold t i = t.thresholds.(i)
 let n_small t i = t.n_small.(i)
 let n_large t i = t.n_large.(i)
 let lost t i = t.lost.(i)
+let server t i = t.servers.(i)
+let shard t i = t.shards.(i)
+let epoch t i = t.epochs.(i)
 
-(* Number of epochs whose decision changed the small/large core split —
-   the n_small -> n_large "moves" the paper's control loop makes. *)
+(* Number of control epochs whose decision changed the small/large core
+   split — the n_small -> n_large "moves" the paper's control loop
+   makes.  Reshard entries are not decisions of this loop and are
+   skipped. *)
 let moves t =
   let m = ref 0 in
-  for i = 1 to t.n - 1 do
-    if t.n_large.(i) <> t.n_large.(i - 1) then incr m
+  let prev = ref min_int in
+  for i = 0 to t.n - 1 do
+    if t.kinds.(i) = kind_control then begin
+      if !prev <> min_int && t.n_large.(i) <> !prev then incr m;
+      prev := t.n_large.(i)
+    end
   done;
   !m

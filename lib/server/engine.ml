@@ -30,6 +30,17 @@ let fresh_request slot =
 
 let dummy_request = fresh_request (-1)
 
+(* Time-varying offered load for reshard runs: [rate_at now] is the
+   offered rate (Mops) at simulated time [now]; [next_change now] is the
+   next time the rate changes (so a parked arrival loop knows when to
+   wake).  Both must be pure functions of [now].  A constant-rate pacing
+   equal to [offered_mops] reproduces the unpaced arrival stream draw
+   for draw. *)
+type pacing = {
+  rate_at : float -> float;
+  next_change : float -> float;
+}
+
 type t = {
   cfg : Config.t;
   sim : Dsim.Sim.t;
@@ -38,6 +49,7 @@ type t = {
   key_names : string array;
       (* materialized key strings, only when a real store is attached *)
   source : (unit -> Workload.Generator.request) option;
+  pacing : pacing option;
   dynamic : Workload.Dynamic.t option;
   store : Kvstore.Store.t option;
   nic : int Netsim.Nic.t;
@@ -376,7 +388,7 @@ let execute t ~core ~tx_queue ~extra_cpu req =
   Dsim.Sim.schedule_call_after t.sim cpu ~tag:t.tag_service ~i:req.slot
     ~j:(core lor (tx_queue lsl 16))
 
-let create ?dynamic ?store ?source ?obs ?fault cfg gen ~offered_mops =
+let create ?dynamic ?store ?source ?pacing ?obs ?fault cfg gen ~offered_mops =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.create: " ^ msg));
@@ -396,6 +408,7 @@ let create ?dynamic ?store ?source ?obs ?fault cfg gen ~offered_mops =
         | Some _ ->
             Array.init (Workload.Dataset.n_keys dataset) Workload.Dataset.key_name);
       source;
+      pacing;
       dynamic;
       store;
       nic =
@@ -485,6 +498,7 @@ let fill_request t req op ~key_id ~item_size ~is_large =
   req.span <- -1
 
 let raw_latencies t = t.latencies
+let windowed t = t.windowed
 
 let run t make_design =
   let design = make_design t in
@@ -525,7 +539,19 @@ let run t make_design =
      (write barrier) per arrival for the same one handler. *)
   let tag_arrive = ref (-1) in
   let arrive () =
-    if Dsim.Sim.now t.sim < cfg.Config.duration_us then begin
+    let arrive_now = Dsim.Sim.now t.sim in
+    if arrive_now < cfg.Config.duration_us then begin
+      match t.pacing with
+      | Some p when p.rate_at arrive_now <= 0.0 ->
+          (* Parked: the engine serves no traffic in the current routing
+             interval.  Nothing is generated and no RNG stream advances,
+             so the draws made inside active intervals are identical to
+             those of an engine that was never parked. *)
+          let wake = p.next_change arrive_now in
+          if wake < cfg.Config.duration_us then
+            Dsim.Sim.schedule_call_after t.sim (wake -. arrive_now)
+              ~tag:!tag_arrive ~i:0 ~j:0
+      | pacing ->
       let req = alloc_req t in
       (match t.source with
       | Some next ->
@@ -575,8 +601,11 @@ let run t make_design =
                 Fault.Inject.reorder_delay_us f ~queue ~now:(Dsim.Sim.now t.sim)
               in
               Dsim.Sim.schedule_after t.sim d (fun () -> deliver req)));
+      let mean =
+        match pacing with None -> mean_gap | Some p -> 1.0 /. p.rate_at arrive_now
+      in
       Dsim.Sim.schedule_call_after t.sim
-        (Dsim.Rng.exponential t.arrival_rng ~mean:mean_gap)
+        (Dsim.Rng.exponential t.arrival_rng ~mean)
         ~tag:!tag_arrive ~i:0 ~j:0
     end
   in

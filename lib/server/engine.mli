@@ -32,6 +32,19 @@ type request = {
 
 type t
 
+(** Time-varying offered load, for elastic-resharding runs
+    ({!Shardmgr}).  [rate_at now] is the offered rate (Mops) at simulated
+    time [now]; [next_change now] is the next time the rate changes.
+    Both must be pure functions of [now], piecewise-constant between
+    changes.  While [rate_at] is [0.0] the arrival loop parks until
+    [next_change] — no request is generated and no RNG stream advances —
+    so a constant positive rate reproduces the unpaced arrival stream
+    draw for draw. *)
+type pacing = {
+  rate_at : float -> float;
+  next_change : float -> float;
+}
+
 (** The policy interface a server design implements. *)
 type design = {
   name : string;
@@ -48,6 +61,7 @@ val create :
   ?dynamic:Workload.Dynamic.t ->
   ?store:Kvstore.Store.t ->
   ?source:(unit -> Workload.Generator.request) ->
+  ?pacing:pacing ->
   ?obs:Obs.Instrument.t ->
   ?fault:Fault.Inject.t ->
   Config.t ->
@@ -61,7 +75,8 @@ val create :
     must already contain the dataset's keys).  [source] overrides the
     generator as the supplier of request descriptors — e.g. a looping
     {!Workload.Trace.replayer} for trace-driven simulation; [dynamic] is
-    ignored in that case.  [obs] attaches a flight recorder: arrivals are
+    ignored in that case.  [pacing] makes the offered rate time-varying
+    (reshard runs); [offered_mops] then only labels the metrics.  [obs] attaches a flight recorder: arrivals are
     sampled into spans (from the recorder's own RNG stream, so attaching
     it perturbs no simulation randomness), the engine records RX-enqueue /
     service / TX / end-to-end timestamps, per-core timeline samples and
@@ -125,6 +140,11 @@ val run : t -> (t -> design) -> Metrics.t
 val raw_latencies : t -> Stats.Float_vec.t
 (** All recorded end-to-end latencies (µs) of the last {!run}; used to
     combine distributions across NUMA domains ({!Minos.Numa}). *)
+
+val windowed : t -> Stats.Windowed.t option
+(** The per-window latency recorder (present when [cfg.window_us] is
+    set); reshard runs union the raw windows across engines for a
+    cluster-level p99 timeline. *)
 
 val try_shed : t -> request -> large:bool -> bool
 (** Admission control, called by designs at classification time with

@@ -1,0 +1,97 @@
+(* Shard-manager control loop, after DynamicCache's add/drop-replica
+   algorithm: sample each shard's per-window p99, replicate a shard
+   once it has run hot for [k_up] consecutive windows, retire its most
+   recent replica after [k_down] consecutive cold windows, and refuse to
+   flap — every decision starts a cooldown during which the shard's
+   counters are frozen.
+
+   [decide] is a pure fold over a recorded p99 series, so the manager is
+   deterministic by construction: the integration runs a first
+   membership-only pass, feeds the per-shard series through [decide],
+   and replays the run with the emitted replica events appended to the
+   plan (two honest passes instead of a mid-run feedback loop the DES
+   could not reproduce across job counts). *)
+
+type cfg = {
+  hi_p99_us : float; (* replicate when the window p99 exceeds this *)
+  lo_p99_us : float; (* retire a replica when it stays below this *)
+  k_up : int; (* consecutive hot windows before add-replica *)
+  k_down : int; (* consecutive cold windows before drop-replica *)
+  cooldown_us : float; (* freeze after any decision *)
+  max_replicas : int; (* replicas per shard, beyond the primary *)
+}
+
+let default =
+  {
+    hi_p99_us = 50.0;
+    lo_p99_us = 10.0;
+    k_up = 2;
+    k_down = 3;
+    cooldown_us = 20_000.0;
+    max_replicas = 1;
+  }
+
+let validate c =
+  if not (c.hi_p99_us > 0.0 && Float.is_finite c.hi_p99_us) then
+    Error "hi_p99_us must be finite and > 0"
+  else if not (c.lo_p99_us >= 0.0 && c.lo_p99_us < c.hi_p99_us) then
+    Error "lo_p99_us must be in [0, hi_p99_us)"
+  else if c.k_up < 1 || c.k_down < 1 then Error "k_up/k_down must be >= 1"
+  else if not (c.cooldown_us >= 0.0) then Error "cooldown_us must be >= 0"
+  else if c.max_replicas < 0 then Error "max_replicas must be >= 0"
+  else Ok ()
+
+(* Decisions for one shard from its windowed p99 series
+   [(window_start, p99); ...] in time order.  Events are stamped at the
+   end of the deciding window — the first instant the full window's
+   statistics exist. *)
+let decide c ~shard ~window_us series =
+  (match validate c with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Shardmgr.Manager.decide: " ^ m));
+  let events = ref [] in
+  let hot = ref 0 and cold = ref 0 in
+  let replicas = ref 0 in
+  let cooldown_until = ref neg_infinity in
+  List.iter
+    (fun (start, p99) ->
+      let at = start +. window_us in
+      if at > !cooldown_until && Float.is_finite p99 then begin
+        if p99 > c.hi_p99_us then begin
+          cold := 0;
+          incr hot;
+          if !hot >= c.k_up && !replicas < c.max_replicas then begin
+            events := Plan.Add_replica { shard; at_us = at } :: !events;
+            incr replicas;
+            hot := 0;
+            cooldown_until := at +. c.cooldown_us
+          end
+        end
+        else if p99 < c.lo_p99_us then begin
+          hot := 0;
+          incr cold;
+          if !cold >= c.k_down && !replicas > 0 then begin
+            events := Plan.Drop_replica { shard; at_us = at } :: !events;
+            decr replicas;
+            cold := 0;
+            cooldown_until := at +. c.cooldown_us
+          end
+        end
+        else begin
+          hot := 0;
+          cold := 0
+        end
+      end)
+    series;
+  List.rev !events
+
+(* Decisions across all base shards of a pass-1 run; [series.(s)] is
+   shard [s]'s p99 series.  Events keep shard order then time order —
+   Table.compile re-sorts by time and allocates replica ids
+   deterministically. *)
+let decide_all c ~window_us series =
+  let acc = ref [] in
+  Array.iteri
+    (fun shard s -> acc := !acc @ decide c ~shard ~window_us s)
+    series;
+  !acc

@@ -1,0 +1,260 @@
+(* A reshard plan is the elastic counterpart of a fault plan: a named
+   list of timed reconfiguration events in the same textual key=value
+   format (Fault.Plan), so chaos and reshard scenarios read alike and
+   can be driven through the same harnesses. *)
+
+type event =
+  | Add_server of { at_us : float; drain_us : float; dual_us : float }
+  | Remove_server of {
+      server : int;
+      at_us : float;
+      drain_us : float;
+      dual_us : float;
+    }
+  | Add_replica of { shard : int; at_us : float }
+  | Drop_replica of { shard : int; at_us : float }
+
+type t = { name : string; events : event list }
+
+let empty = { name = "noop"; events = [] }
+
+let at_us = function
+  | Add_server { at_us; _ }
+  | Remove_server { at_us; _ }
+  | Add_replica { at_us; _ }
+  | Drop_replica { at_us; _ } -> at_us
+
+(* Membership changes own a three-phase window [at, at+drain+dual):
+   drain, then dual-route, then (per key group, staggered inside the
+   dual phase) cutover.  Replica events are instants. *)
+let window = function
+  | Add_server { at_us; drain_us; dual_us } ->
+      Some (at_us, at_us +. drain_us +. dual_us)
+  | Remove_server { at_us; drain_us; dual_us; _ } ->
+      Some (at_us, at_us +. drain_us +. dual_us)
+  | Add_replica _ | Drop_replica _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+let phases_ok ~at_us ~drain_us ~dual_us =
+  Float.is_finite at_us && at_us >= 0.0
+  && Float.is_finite drain_us && drain_us >= 0.0
+  && Float.is_finite dual_us && dual_us >= 0.0
+
+let validate_event = function
+  | Add_server { at_us; drain_us; dual_us } ->
+      if phases_ok ~at_us ~drain_us ~dual_us then Ok ()
+      else Error "add-server: at/drain/dual must be finite and >= 0"
+  | Remove_server { server; at_us; drain_us; dual_us } ->
+      if server < 0 then Error "remove-server: bad server index"
+      else if phases_ok ~at_us ~drain_us ~dual_us then Ok ()
+      else Error "remove-server: at/drain/dual must be finite and >= 0"
+  | Add_replica { shard; at_us } ->
+      if shard < 0 then Error "add-replica: bad shard index"
+      else if Float.is_finite at_us && at_us >= 0.0 then Ok ()
+      else Error "add-replica: at must be finite and >= 0"
+  | Drop_replica { shard; at_us } ->
+      if shard < 0 then Error "drop-replica: bad shard index"
+      else if Float.is_finite at_us && at_us >= 0.0 then Ok ()
+      else Error "drop-replica: at must be finite and >= 0"
+
+(* Migration windows must not overlap: the routing table handles one
+   membership change at a time (epochs are totally ordered). *)
+let windows_disjoint events =
+  let ws = List.filter_map window events in
+  let ws = List.sort (fun (a, _) (b, _) -> Float.compare a b) ws in
+  let rec go = function
+    | (_, e1) :: ((s2, _) :: _ as rest) ->
+        if s2 < e1 then Error "migration windows overlap" else go rest
+    | _ -> Ok ()
+  in
+  go ws
+
+let validate t =
+  let rec go = function
+    | [] -> windows_disjoint t.events
+    | e :: rest -> (
+        match validate_event e with Ok () -> go rest | Error _ as e -> e)
+  in
+  go t.events
+
+(* ------------------------------------------------------------------ *)
+(* Canned scenarios (times as fractions of the measurement window, so
+   the same name works at quick and full scale) *)
+
+let canned_names = [ "noop"; "add-remove"; "replica-cycle" ]
+
+let canned name ~warmup_us ~duration_us =
+  let w = duration_us -. warmup_us in
+  match name with
+  | "noop" -> Some { empty with name }
+  | "add-remove" ->
+      (* One server joins early in the window, another leaves later:
+         both migrations complete well before the run ends. *)
+      Some
+        {
+          name;
+          events =
+            [
+              Add_server
+                {
+                  at_us = warmup_us +. (0.10 *. w);
+                  drain_us = 0.05 *. w;
+                  dual_us = 0.20 *. w;
+                };
+              Remove_server
+                {
+                  server = 1;
+                  at_us = warmup_us +. (0.55 *. w);
+                  drain_us = 0.03 *. w;
+                  dual_us = 0.15 *. w;
+                };
+            ];
+        }
+  | "replica-cycle" ->
+      Some
+        {
+          name;
+          events =
+            [
+              Add_replica { shard = 0; at_us = warmup_us +. (0.20 *. w) };
+              Drop_replica { shard = 0; at_us = warmup_us +. (0.70 *. w) };
+            ];
+        }
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Textual format (same conventions as Fault.Plan: '#' comments, a
+   'plan NAME' header, one 'keyword key=value ...' event per line) *)
+
+let fail line msg = Error ("line " ^ string_of_int line ^ ": " ^ msg)
+
+let split_fields s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun f -> f <> "")
+
+let lookup pairs key = List.assoc_opt key pairs
+
+let parse_pairs line fields =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | f :: rest -> (
+        match String.index_opt f '=' with
+        | None -> fail line ("expected key=value, got '" ^ f ^ "'")
+        | Some i ->
+            let k = String.sub f 0 i in
+            let v = String.sub f (i + 1) (String.length f - i - 1) in
+            go ((k, v) :: acc) rest)
+  in
+  go [] fields
+
+let parse_float line key pairs ~default =
+  match lookup pairs key with
+  | None -> (
+      match default with
+      | Some d -> Ok d
+      | None -> fail line ("missing " ^ key ^ "="))
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> fail line ("bad float for " ^ key ^ ": '" ^ v ^ "'"))
+
+let parse_index line key pairs =
+  match lookup pairs key with
+  | None -> fail line ("missing " ^ key ^ "=")
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some i when i >= 0 -> Ok i
+      | Some _ | None -> fail line ("bad index for " ^ key ^ ": '" ^ v ^ "'"))
+
+let ( let* ) = Result.bind
+
+let parse_event line keyword fields =
+  let* pairs = parse_pairs line fields in
+  let* at_us = parse_float line "at" pairs ~default:None in
+  match keyword with
+  | "add-server" ->
+      let* drain_us = parse_float line "drain" pairs ~default:(Some 2000.0) in
+      let* dual_us = parse_float line "dual" pairs ~default:(Some 10000.0) in
+      Ok (Add_server { at_us; drain_us; dual_us })
+  | "remove-server" ->
+      let* server = parse_index line "server" pairs in
+      let* drain_us = parse_float line "drain" pairs ~default:(Some 2000.0) in
+      let* dual_us = parse_float line "dual" pairs ~default:(Some 10000.0) in
+      Ok (Remove_server { server; at_us; drain_us; dual_us })
+  | "add-replica" ->
+      let* shard = parse_index line "shard" pairs in
+      Ok (Add_replica { shard; at_us })
+  | "drop-replica" ->
+      let* shard = parse_index line "shard" pairs in
+      Ok (Drop_replica { shard; at_us })
+  | kw -> fail line ("unknown event '" ^ kw ^ "'")
+
+let of_string ?(name = "custom") src =
+  let lines = String.split_on_char '\n' src in
+  let rec go n acc name = function
+    | [] -> Ok { name; events = List.rev acc }
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match split_fields line with
+        | [] -> go (n + 1) acc name rest
+        | [ "plan"; plan_name ] -> go (n + 1) acc plan_name rest
+        | keyword :: fields -> (
+            match parse_event n keyword fields with
+            | Ok ev -> go (n + 1) (ev :: acc) name rest
+            | Error _ as e -> e))
+  in
+  let* plan = go 1 [] name lines in
+  match validate plan with Ok () -> Ok plan | Error msg -> Error msg
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> of_string ~name:(Filename.remove_extension (Filename.basename path)) src
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let buf_kv b k f =
+  Buffer.add_char b ' ';
+  Buffer.add_string b k;
+  Buffer.add_char b '=';
+  f b
+
+let buf_float b v = Buffer.add_string b (string_of_float v)
+let buf_int b i = Buffer.add_string b (string_of_int i)
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b ("plan " ^ t.name ^ "\n");
+  List.iter
+    (fun ev ->
+      (match ev with
+      | Add_server { at_us; drain_us; dual_us } ->
+          Buffer.add_string b "add-server";
+          buf_kv b "at" (fun b -> buf_float b at_us);
+          buf_kv b "drain" (fun b -> buf_float b drain_us);
+          buf_kv b "dual" (fun b -> buf_float b dual_us)
+      | Remove_server { server; at_us; drain_us; dual_us } ->
+          Buffer.add_string b "remove-server";
+          buf_kv b "server" (fun b -> buf_int b server);
+          buf_kv b "at" (fun b -> buf_float b at_us);
+          buf_kv b "drain" (fun b -> buf_float b drain_us);
+          buf_kv b "dual" (fun b -> buf_float b dual_us)
+      | Add_replica { shard; at_us } ->
+          Buffer.add_string b "add-replica";
+          buf_kv b "shard" (fun b -> buf_int b shard);
+          buf_kv b "at" (fun b -> buf_float b at_us)
+      | Drop_replica { shard; at_us } ->
+          Buffer.add_string b "drop-replica";
+          buf_kv b "shard" (fun b -> buf_int b shard);
+          buf_kv b "at" (fun b -> buf_float b at_us));
+      Buffer.add_char b '\n')
+    t.events;
+  Buffer.contents b

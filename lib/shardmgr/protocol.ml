@@ -1,0 +1,176 @@
+(* Key-level conservation model of the drain -> dual-route -> cutover
+   protocol: replay a seeded client stream against per-server key/value
+   maps driven by a compiled routing table, with the background
+   transfers a real system performs — at each key group's cutover
+   instant the old owner's backlog is copied to the new owner (dual
+   writes already put fresh values there) and the old copy retired; a
+   freshly added replica receives a full copy of its shard.
+
+   Every write stamps a monotone sequence number, so the checker can
+   assert the tentpole's contract exactly: across any sequence of
+   reshard events, no key is lost, none is duplicated outside its
+   current write-target set, and every read (including the dual-phase
+   old-owner fallback) observes the last written value. *)
+
+type result = {
+  ops : int;
+  puts : int;
+  gets : int;
+  fallback_reads : int; (* dual-phase GETs served by the old owner *)
+  transferred : int; (* cutover + replica-add background copies *)
+  lost : int; (* reads/keys with no surviving copy *)
+  duplicated : int; (* keys left on a server outside their write set *)
+  stale : int; (* reads that observed anything but the last write *)
+}
+
+let ok r = r.lost = 0 && r.duplicated = 0 && r.stale = 0
+
+let check ?(ops = 20_000) ?(seed = 1) ~workload table =
+  if ops < 1 then invalid_arg "Shardmgr.Protocol.check: ops must be >= 1";
+  let n = Table.n_servers table in
+  let dataset = Table.dataset table in
+  let duration = Table.duration_us table in
+  let epochs = Table.epoch_count table in
+  let stores = Array.init n (fun _ -> Hashtbl.create 1024) in
+  let written = Hashtbl.create 1024 in
+  let gen =
+    Workload.Generator.create ~seed:(seed + 303)
+      ~p_large:workload.Workload.Spec.p_large
+      ~get_ratio:workload.Workload.Spec.get_ratio dataset
+  in
+  let puts = ref 0 and gets = ref 0 in
+  let fallback_reads = ref 0 and transferred = ref 0 in
+  let lost = ref 0 and duplicated = ref 0 and stale = ref 0 in
+  let seq = ref 0 in
+  let holds s k = Hashtbl.mem stores.(s) k in
+  (* Entering epoch [e]: perform the background work the boundary
+     stands for. *)
+  let enter_epoch e =
+    (* Replica churn: a gained mirror receives a full copy of its
+       shard's holdings; a dropped one leaves service and clears. *)
+    let prev = Table.epoch_replicas table (e - 1) in
+    let cur = Table.epoch_replicas table e in
+    for o = 0 to n - 1 do
+      let was r = Array.exists (fun x -> x = r) prev.(o) in
+      Array.iter
+        (fun r ->
+          if r <> o && not (was r) then
+            Hashtbl.iter
+              (fun k v ->
+                if List.mem o (Table.write_targets table ~epoch:e k) then begin
+                  Hashtbl.replace stores.(r) k v;
+                  incr transferred
+                end)
+              stores.(o))
+        cur.(o);
+      Array.iter
+        (fun r ->
+          if r <> o && not (Array.exists (fun x -> x = r) cur.(o)) then
+            Hashtbl.reset stores.(r))
+        prev.(o)
+    done;
+    (* Cutovers: keys whose group just cut move their backlog to the
+       new write set; copies outside the new set are retired. *)
+    Hashtbl.iter
+      (fun k _ ->
+        if Table.cut_pending table ~epoch:(e - 1) k
+           && not (Table.cut_pending table ~epoch:e k)
+        then begin
+          let wt = Table.write_targets table ~epoch:e k in
+          let src = Table.read_fallback table ~epoch:(e - 1) k in
+          let v =
+            match Hashtbl.find_opt stores.(src) k with
+            | Some v -> Some v
+            | None ->
+                (* the old owner may already be gone from a previous
+                   event; any surviving copy is a valid source *)
+                let found = ref None in
+                for s = 0 to n - 1 do
+                  match Hashtbl.find_opt stores.(s) k with
+                  | Some v when !found = None -> found := Some v
+                  | _ -> ()
+                done;
+                !found
+          in
+          (match v with
+          | None -> incr lost (* a written key with no surviving copy *)
+          | Some v ->
+              List.iter
+                (fun s ->
+                  if not (holds s k) then begin
+                    Hashtbl.replace stores.(s) k v;
+                    incr transferred
+                  end)
+                wt);
+          for s = 0 to n - 1 do
+            if holds s k && not (List.mem s wt) then Hashtbl.remove stores.(s) k
+          done
+        end)
+      written
+  in
+  let epoch = ref 0 in
+  let advance_to time =
+    while
+      !epoch + 1 < epochs && Table.epoch_start table (!epoch + 1) <= time
+    do
+      incr epoch;
+      enter_epoch !epoch
+    done
+  in
+  for i = 1 to ops do
+    let time = duration *. float_of_int i /. float_of_int (ops + 1) in
+    advance_to time;
+    let r = Workload.Generator.next gen in
+    let k = r.Workload.Generator.key_id in
+    match r.Workload.Generator.op with
+    | Workload.Generator.Put ->
+        incr puts;
+        incr seq;
+        Hashtbl.replace written k !seq;
+        List.iter
+          (fun s -> Hashtbl.replace stores.(s) k !seq)
+          (Table.write_targets table ~epoch:!epoch k)
+    | Workload.Generator.Get -> (
+        incr gets;
+        let expect = Hashtbl.find_opt written k in
+        let tgt = Table.read_target table ~epoch:!epoch k in
+        match Hashtbl.find_opt stores.(tgt) k with
+        | Some v -> if expect <> Some v then incr stale
+        | None -> (
+            let fb = Table.read_fallback table ~epoch:!epoch k in
+            match Hashtbl.find_opt stores.(fb) k with
+            | Some v ->
+                if fb <> tgt then incr fallback_reads;
+                if expect <> Some v then incr stale
+            | None -> if expect <> None then incr lost))
+  done;
+  advance_to duration;
+  (* Final audit: every written key readable with its last value on the
+     final routing, and resident only inside its final write set. *)
+  let final = epochs - 1 in
+  Hashtbl.iter
+    (fun k v ->
+      let tgt = Table.read_target table ~epoch:final k in
+      (match Hashtbl.find_opt stores.(tgt) k with
+      | Some got -> if got <> v then incr stale
+      | None -> (
+          match Hashtbl.find_opt stores.(Table.read_fallback table ~epoch:final k) k with
+          | Some got -> if got <> v then incr stale
+          | None -> incr lost));
+      let wt = Table.write_targets table ~epoch:final k in
+      let extra = ref false in
+      for s = 0 to n - 1 do
+        if holds s k && not (List.mem s wt) then extra := true
+      done;
+      if !extra then incr duplicated)
+    written;
+  {
+    ops;
+    puts = !puts;
+    gets = !gets;
+    fallback_reads = !fallback_reads;
+    transferred = !transferred;
+    lost = !lost;
+    duplicated = !duplicated;
+    stale = !stale;
+  }

@@ -1,0 +1,31 @@
+(** Key-level conservation check for the reshard protocol.
+
+    Replays a seeded client stream against per-server key stores driven
+    by a compiled {!Table}, modelling the background work each epoch
+    boundary stands for (cutover backlog transfer, replica full-copy),
+    and counts violations of the protocol's contract: across any
+    sequence of reshard events no key is lost, none is left duplicated
+    outside its current write-target set, and every read — including
+    the dual-phase old-owner fallback — observes the last written
+    value.  Deterministic: a pure function of (table, workload, ops,
+    seed). *)
+
+type result = {
+  ops : int;
+  puts : int;
+  gets : int;
+  fallback_reads : int;  (** dual-phase GETs served by the old owner *)
+  transferred : int;  (** cutover + replica-add background copies *)
+  lost : int;  (** reads/keys with no surviving copy *)
+  duplicated : int;  (** keys left on a server outside their write set *)
+  stale : int;  (** reads that observed anything but the last write *)
+}
+
+val ok : result -> bool
+(** No lost, duplicated, or stale keys. *)
+
+val check :
+  ?ops:int -> ?seed:int -> workload:Workload.Spec.t -> Table.t -> result
+(** [check ~workload table] replays [ops] (20000) operations from a
+    generator seeded [seed + 303] at evenly spaced instants across the
+    table's duration.  Raises [Invalid_argument] if [ops < 1]. *)

@@ -1,0 +1,167 @@
+(* Elastic-resharding run: one engine per server id the table ever
+   routes to (base membership plus every plan-allocated id), each
+   replaying the shared seeded request stream thinned to the keys the
+   table routes to it *at the request's simulated arrival time*, at the
+   epoch rate the compile-time probe measured.
+
+   This is Kvcluster.Run's Poisson-thinning construction with the static
+   router replaced by the epoch-stamped table, plus a pacing hook so an
+   engine's offered rate follows the plan: a not-yet-added server parks
+   at rate 0, a removed one parks after its migration ends.  Everything
+   an engine draws is a pure function of (seed, table, server id), so
+   the run is reproducible at any MINOS_JOBS. *)
+
+type t = {
+  design_name : string;
+  seed : int;
+  metrics : Kvcluster.Metrics.t;
+  p99_series : (float * float) list;
+      (* cluster-level per-window p99: union of every engine's window
+         samples, merged by window start *)
+  shard_series : (float * float) list array;
+      (* per-engine per-window p99 (the manager's input) *)
+  mig_p99_us : float; (* worst window p99 inside a migration window *)
+  steady_p99_us : float; (* worst window p99 outside them *)
+  protocol : Protocol.result;
+}
+
+(* Merge per-engine windows into cluster-level ones.  Window starts are
+   exact multiples of the shared width, so grouping by float equality is
+   exact; engines are visited in index order, keeping the merged sample
+   order independent of MINOS_JOBS. *)
+let merge_windows per_engine =
+  let all =
+    List.concat_map
+      (fun ws ->
+        List.map (fun w -> (w.Stats.Windowed.start_time, w.samples)) ws)
+      (Array.to_list per_engine)
+  in
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) all
+  in
+  let rec group = function
+    | [] -> []
+    | (st, v) :: rest ->
+        let merged = Stats.Float_vec.create () in
+        Stats.Float_vec.append merged v;
+        let rec take = function
+          | (st', v') :: rest' when Float.compare st st' = 0 ->
+              Stats.Float_vec.append merged v';
+              take rest'
+          | rest' -> rest'
+        in
+        let rest = take rest in
+        (st, merged) :: group rest
+  in
+  group sorted
+
+let p99_of_windows ws =
+  List.filter_map
+    (fun (st, v) ->
+      if Stats.Float_vec.length v = 0 then None
+      else Some (st, Stats.Quantile.of_vec v 0.99))
+    ws
+
+(* Worst window p99 inside / outside the table's migration windows. *)
+let split_p99 ~width ~migrations series =
+  let in_migration st =
+    List.exists (fun (a, b) -> st < b && st +. width > a) migrations
+  in
+  let mig = ref Float.nan and steady = ref Float.nan in
+  List.iter
+    (fun (st, p) ->
+      let slot = if in_migration st then mig else steady in
+      if not (!slot >= p) then slot := p)
+    series;
+  (!mig, !steady)
+
+let run ?(seed = 1) ?fault ?instrument ?(map = fun f xs -> List.map f xs) ~cfg
+    ~design ~workload ~table () =
+  let n = Table.n_servers table in
+  if cfg.Kvserver.Config.duration_us <> Table.duration_us table then
+    invalid_arg "Shardmgr.Run.run: cfg duration differs from the table's";
+  let dataset = Table.dataset table in
+  let shard_job s =
+    let gen =
+      Workload.Generator.create ~seed:(seed + 101)
+        ~p_large:workload.Workload.Spec.p_large
+        ~get_ratio:workload.Workload.Spec.get_ratio dataset
+    in
+    (* Thin the shared stream down to what the table routes to [s] at
+       the request's arrival time.  The engine's clock is only known
+       after [create]; the filter reads it through a reference. *)
+    let sim_now = ref (fun () -> 0.0) in
+    let rec source () =
+      let r = Workload.Generator.next gen in
+      let now = !sim_now () in
+      if
+        Table.routes_to table ~now
+          ~get:(r.Workload.Generator.op = Workload.Generator.Get)
+          ~key:r.Workload.Generator.key_id s
+      then r
+      else source ()
+    in
+    let pacing =
+      {
+        Kvserver.Engine.rate_at = (fun now -> Table.rate_at table ~now s);
+        next_change = (fun now -> Table.next_change table ~now);
+      }
+    in
+    let cfg_s = { cfg with Kvserver.Config.seed = cfg.Kvserver.Config.seed + seed + (97 * s) } in
+    let obs = match instrument with None -> None | Some f -> Some (f s) in
+    let fault_inj =
+      match fault with
+      | None -> None
+      | Some plan -> Some (Fault.Inject.create ~seed:(seed + (1013 * s)) plan)
+    in
+    (* The label only feeds the metrics' offered-load fields (pacing
+       drives the actual gaps); a never-routed server gets an epsilon to
+       satisfy create's positivity check. *)
+    let label = Float.max 1e-9 (Table.avg_rate table s) in
+    let eng =
+      Kvserver.Engine.create ~source ~pacing ?obs ?fault:fault_inj cfg_s gen
+        ~offered_mops:label
+    in
+    sim_now := (fun () -> Dsim.Sim.now (Kvserver.Engine.sim eng));
+    let m = Kvserver.Engine.run eng (Kvserver.Design.make design) in
+    let windows =
+      match Kvserver.Engine.windowed eng with
+      | None -> []
+      | Some w -> Stats.Windowed.windows w
+    in
+    (m, Kvserver.Engine.raw_latencies eng, windows)
+  in
+  let results = Array.of_list (map shard_job (List.init n Fun.id)) in
+  if Array.length results <> n then
+    invalid_arg "Shardmgr.Run.run: map must preserve length";
+  let shard_share = Array.init n (fun s -> Table.avg_share table s) in
+  let metrics =
+    Kvcluster.Metrics.aggregate ~shard_share
+      (Array.map (fun (m, v, _) -> (m, v)) results)
+  in
+  let per_engine = Array.map (fun (_, _, w) -> w) results in
+  let p99_series = p99_of_windows (merge_windows per_engine) in
+  let shard_series =
+    Array.map
+      (fun ws ->
+        p99_of_windows
+          (List.map (fun w -> (w.Stats.Windowed.start_time, w.samples)) ws))
+      per_engine
+  in
+  let mig_p99_us, steady_p99_us =
+    match cfg.Kvserver.Config.window_us with
+    | None -> (Float.nan, Float.nan)
+    | Some width ->
+        split_p99 ~width ~migrations:(Table.migration_windows table) p99_series
+  in
+  let protocol = Protocol.check ~seed ~workload table in
+  {
+    design_name = Kvserver.Design.name design;
+    seed;
+    metrics;
+    p99_series;
+    shard_series;
+    mig_p99_us;
+    steady_p99_us;
+    protocol;
+  }

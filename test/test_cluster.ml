@@ -145,13 +145,82 @@ let test_range_rebalance_reduces_imbalance () =
     true (after < before);
   check bool "near-even after re-cut" true (after < 1.5)
 
-let test_range_rebalance_zero_weights_noop () =
+let test_range_rebalance_bad_weights_typed () =
+  (* Degenerate weight vectors raise a typed error instead of silently
+     returning the old cuts (the old no-op behavior hid probe bugs). *)
   let m = Kvcluster.Range_map.create ~servers:3 ~n_keys:99 () in
-  let m' = Kvcluster.Range_map.rebalance m ~weights:(Array.make 16 0.0) in
-  for k = 0 to 98 do
-    check int "unchanged" (Kvcluster.Range_map.lookup m k)
-      (Kvcluster.Range_map.lookup m' k)
-  done
+  let expect err weights =
+    match Kvcluster.Range_map.rebalance m ~weights with
+    | _ -> Alcotest.failf "expected Bad_weights"
+    | exception Kvcluster.Range_map.Bad_weights e ->
+        check Alcotest.string "error"
+          (Kvcluster.Range_map.weight_error_to_string err)
+          (Kvcluster.Range_map.weight_error_to_string e)
+  in
+  expect Kvcluster.Range_map.All_zero (Array.make 16 0.0);
+  let w = Array.make 16 1.0 in
+  w.(3) <- -2.0;
+  expect (Kvcluster.Range_map.Negative 3) w;
+  let w = Array.make 16 1.0 in
+  w.(7) <- Float.nan;
+  expect (Kvcluster.Range_map.Not_finite 7) w;
+  expect
+    (Kvcluster.Range_map.Too_few_buckets { buckets = 2; servers = 3 })
+    (Array.make 2 1.0);
+  (* check_weights is the same validation without the raise *)
+  check bool "check_weights ok on sane input" true
+    (Kvcluster.Range_map.check_weights m ~weights:(Array.make 16 1.0)
+     = Ok ());
+  check bool "check_weights flags all-zero" true
+    (Kvcluster.Range_map.check_weights m ~weights:(Array.make 16 0.0)
+     = Error Kvcluster.Range_map.All_zero)
+
+(* ------------------------------------------------------------------ *)
+(* Ring membership properties (qcheck) *)
+
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
+
+(* Pinned for ring.mli's of_members stability contract: removing one
+   member only moves the keys that member owned, and routes identically
+   to building the ring without it in the first place. *)
+let qcheck_ring_remove_only_victim_moves =
+  QCheck.Test.make ~name:"remove moves only the victim's keys" ~count:50
+    QCheck.(
+      triple (int_range 2 8) (int_range 8 64) (int_range 0 7))
+    (fun (servers, vnodes, victim_raw) ->
+      let victim = victim_raw mod servers in
+      let members = List.init servers Fun.id in
+      let ring = Kvcluster.Ring.of_members ~vnodes members in
+      let shrunk = Kvcluster.Ring.remove ring victim in
+      let rebuilt =
+        Kvcluster.Ring.of_members ~vnodes
+          (List.filter (fun s -> s <> victim) members)
+      in
+      let ok = ref true in
+      for k = 0 to 4_999 do
+        let before = Kvcluster.Ring.lookup ring k in
+        let after = Kvcluster.Ring.lookup shrunk k in
+        if before <> victim && after <> before then ok := false;
+        if after = victim then ok := false;
+        if Kvcluster.Ring.lookup rebuilt k <> after then ok := false
+      done;
+      !ok)
+
+let qcheck_ring_add_only_new_server_gains =
+  QCheck.Test.make ~name:"adding a member only moves keys it now owns"
+    ~count:50
+    QCheck.(pair (int_range 1 7) (int_range 8 64))
+    (fun (servers, vnodes) ->
+      let members = List.init servers Fun.id in
+      let ring = Kvcluster.Ring.of_members ~vnodes members in
+      let grown = Kvcluster.Ring.of_members ~vnodes (members @ [ servers ]) in
+      let ok = ref true in
+      for k = 0 to 4_999 do
+        let before = Kvcluster.Ring.lookup ring k in
+        let after = Kvcluster.Ring.lookup grown k in
+        if after <> before && after <> servers then ok := false
+      done;
+      !ok)
 
 (* ------------------------------------------------------------------ *)
 (* Fan-out analytics *)
@@ -324,9 +393,15 @@ let () =
             test_range_map_explicit_starts;
           Alcotest.test_case "rebalance reduces imbalance" `Quick
             test_range_rebalance_reduces_imbalance;
-          Alcotest.test_case "zero weights is a no-op" `Quick
-            test_range_rebalance_zero_weights_noop;
+          Alcotest.test_case "degenerate weights raise typed errors" `Quick
+            test_range_rebalance_bad_weights_typed;
         ] );
+      ( "ring-membership",
+        qsuite
+          [
+            qcheck_ring_remove_only_victim_moves;
+            qcheck_ring_add_only_new_server_gains;
+          ] );
       ( "fanout",
         [
           Alcotest.test_case "analytic max-of-k = order statistic" `Quick

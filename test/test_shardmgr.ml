@@ -1,0 +1,317 @@
+(* Shardmgr tests: plan parsing and validation, the compiled routing
+   table's invariants, the manager's hysteresis, the key-conservation
+   protocol audit, and miniature end-to-end reshard runs pinning the
+   determinism contract — a no-op plan is byte-identical to the static
+   cluster run, and mid-run add/remove preserves exact loss accounting
+   with zero lost/duplicated keys, at any MINOS_JOBS. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let with_jobs n f =
+  Minos.Par.set_jobs (Some n);
+  Fun.protect ~finally:(fun () -> Minos.Par.set_jobs None) f
+
+let scale = Minos.Experiment.quick_scale
+
+let cfg =
+  {
+    (Minos.Experiment.config_of_scale scale) with
+    Kvserver.Config.window_us = Some scale.Minos.Experiment.window_us;
+  }
+
+let workload = Workload.Spec.default
+let dataset () = Minos.Experiment.dataset_for workload
+
+let canned name =
+  Option.get
+    (Shardmgr.Plan.canned name ~warmup_us:cfg.Kvserver.Config.warmup_us
+       ~duration_us:cfg.Kvserver.Config.duration_us)
+
+let compile ?(servers = 2) ?(offered = 4.0) ?(seed = 3) plan =
+  Shardmgr.Table.compile ~seed ~servers ~workload ~dataset:(dataset ())
+    ~duration_us:cfg.Kvserver.Config.duration_us ~offered_mops:offered plan
+
+(* ------------------------------------------------------------------ *)
+(* Plan *)
+
+let test_plan_round_trip () =
+  List.iter
+    (fun name ->
+      let p = canned name in
+      check bool (name ^ " validates") true (Shardmgr.Plan.validate p = Ok ());
+      match Shardmgr.Plan.of_string (Shardmgr.Plan.to_string p) with
+      | Error e -> Alcotest.failf "%s does not re-parse: %s" name e
+      | Ok p' ->
+          check bool (name ^ " round-trips") true (compare p p' = 0))
+    Shardmgr.Plan.canned_names
+
+let test_plan_rejects_overlapping_windows () =
+  let p =
+    {
+      Shardmgr.Plan.name = "bad";
+      events =
+        [
+          Shardmgr.Plan.Add_server
+            { at_us = 1000.0; drain_us = 500.0; dual_us = 2000.0 };
+          Shardmgr.Plan.Add_server
+            { at_us = 2000.0; drain_us = 500.0; dual_us = 2000.0 };
+        ];
+    }
+  in
+  check bool "overlap rejected" true
+    (Result.is_error (Shardmgr.Plan.validate p))
+
+let test_plan_parse_errors () =
+  List.iter
+    (fun line ->
+      match Shardmgr.Plan.of_string line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" line)
+    [
+      "frobnicate at=10";
+      "add-server at=-5";
+      "add-server at=nope";
+      "remove-server at=10";
+      (* missing server= *)
+      "add-replica at=10";
+      (* missing shard= *)
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_compile_rejects_impossible_steps () =
+  let expect plan =
+    match compile plan with
+    | _ -> Alcotest.fail "impossible plan compiled"
+    | exception Invalid_argument _ -> ()
+  in
+  (* removing a non-member *)
+  expect
+    {
+      Shardmgr.Plan.name = "bad";
+      events =
+        [
+          Shardmgr.Plan.Remove_server
+            { server = 5; at_us = 50_000.0; drain_us = 500.0; dual_us = 2000.0 };
+        ];
+    };
+  (* dropping a replica that does not exist *)
+  expect
+    {
+      Shardmgr.Plan.name = "bad";
+      events = [ Shardmgr.Plan.Drop_replica { shard = 0; at_us = 50_000.0 } ];
+    };
+  (* migration window past the run's end *)
+  expect
+    {
+      Shardmgr.Plan.name = "bad";
+      events =
+        [
+          Shardmgr.Plan.Add_server
+            {
+              at_us = cfg.Kvserver.Config.duration_us -. 1000.0;
+              drain_us = 500.0;
+              dual_us = 2000.0;
+            };
+        ];
+    }
+
+let test_table_routing_invariants () =
+  let table = compile (canned "add-remove") in
+  let n = Shardmgr.Table.n_servers table in
+  check int "add allocates one fresh id" 3 n;
+  let epochs = Shardmgr.Table.epoch_count table in
+  check bool "several epochs" true (epochs > 4);
+  for e = 0 to epochs - 1 do
+    let k = ref 1 in
+    while !k < 1_000_000 do
+      let tgt = Shardmgr.Table.read_target table ~epoch:e !k in
+      let wt = Shardmgr.Table.write_targets table ~epoch:e !k in
+      check bool "write set non-empty" true (wt <> []);
+      check bool "read target is a write target" true (List.mem tgt wt);
+      let fb = Shardmgr.Table.read_fallback table ~epoch:e !k in
+      check bool "fallback in range" true (fb >= 0 && fb < n);
+      k := (!k * 7) + 13
+    done
+  done;
+  (* routes_to at an epoch's start time agrees with the offline views *)
+  let k = 12_345 in
+  for e = 0 to epochs - 1 do
+    let now = Shardmgr.Table.epoch_start table e in
+    check int "epoch_at inverts epoch_start" e
+      (Shardmgr.Table.epoch_at table ~now);
+    let wt = Shardmgr.Table.write_targets table ~epoch:e k in
+    for s = 0 to n - 1 do
+      check bool "put routing agrees" (List.mem s wt)
+        (Shardmgr.Table.routes_to table ~now ~get:false ~key:k s);
+      check bool "get routing agrees"
+        (s = Shardmgr.Table.read_target table ~epoch:e k)
+        (Shardmgr.Table.routes_to table ~now ~get:true ~key:k s)
+    done
+  done
+
+let test_table_rates_follow_membership () =
+  let table = compile (canned "add-remove") in
+  (* server 2 (the fresh id) has rate 0 before its drain starts and
+     positive traffic after its cutovers; server 1 drops to 0 after its
+     own migration ends. *)
+  let first = 0 and last = Shardmgr.Table.epoch_count table - 1 in
+  check bool "fresh server parked at start" true
+    ((Shardmgr.Table.epoch_rates table first).(2) = 0.0);
+  check bool "fresh server serving at end" true
+    ((Shardmgr.Table.epoch_rates table last).(2) > 0.0);
+  check bool "removed server parked at end" true
+    ((Shardmgr.Table.epoch_rates table last).(1) = 0.0);
+  check bool "removed server serving at start" true
+    ((Shardmgr.Table.epoch_rates table first).(1) > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Manager *)
+
+let test_manager_hysteresis () =
+  let c =
+    {
+      Shardmgr.Manager.hi_p99_us = 50.0;
+      lo_p99_us = 10.0;
+      k_up = 2;
+      k_down = 2;
+      cooldown_us = 25.0;
+      max_replicas = 1;
+    }
+  in
+  let series =
+    [
+      (0.0, 60.0); (10.0, 70.0); (20.0, 5.0); (30.0, 5.0); (40.0, 5.0);
+      (50.0, 5.0); (60.0, 5.0);
+    ]
+  in
+  let events = Shardmgr.Manager.decide c ~shard:0 ~window_us:10.0 series in
+  check bool "add after k_up hot windows, drop after cooldown + k_down cold"
+    true
+    (compare events
+       [
+         Shardmgr.Plan.Add_replica { shard = 0; at_us = 20.0 };
+         Shardmgr.Plan.Drop_replica { shard = 0; at_us = 60.0 };
+       ]
+     = 0);
+  (* max_replicas caps additions; a single hot window never triggers *)
+  let all_hot = List.init 10 (fun i -> (float_of_int i *. 10.0, 99.0)) in
+  let adds =
+    Shardmgr.Manager.decide c ~shard:1 ~window_us:10.0 all_hot
+    |> List.filter (function Shardmgr.Plan.Add_replica _ -> true | _ -> false)
+  in
+  check int "capped at max_replicas" 1 (List.length adds);
+  check int "one hot window alone is not enough" 0
+    (List.length (Shardmgr.Manager.decide c ~shard:0 ~window_us:10.0 [ (0.0, 99.0) ]));
+  (* NaN windows (no samples) are skipped, not treated as cold *)
+  let with_gap = [ (0.0, 60.0); (10.0, Float.nan); (20.0, 70.0) ] in
+  check bool "nan does not break a hot streak" true
+    (compare
+       (Shardmgr.Manager.decide c ~shard:0 ~window_us:10.0 with_gap)
+       [ Shardmgr.Plan.Add_replica { shard = 0; at_us = 30.0 } ]
+     = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol audit (offline — no engines) *)
+
+let test_protocol_conserves_keys () =
+  List.iter
+    (fun name ->
+      let table = compile (canned name) in
+      let p = Shardmgr.Protocol.check ~seed:3 ~workload table in
+      check bool (name ^ ": audit clean") true (Shardmgr.Protocol.ok p);
+      check int (name ^ ": nothing lost") 0 p.Shardmgr.Protocol.lost;
+      check int (name ^ ": nothing duplicated") 0
+        p.Shardmgr.Protocol.duplicated;
+      check int (name ^ ": nothing stale") 0 p.Shardmgr.Protocol.stale;
+      if name <> "noop" then
+        check bool (name ^ ": some backlog transferred") true
+          (p.Shardmgr.Protocol.transferred > 0))
+    Shardmgr.Plan.canned_names
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end runs (quick scale) *)
+
+let reshard_run ?(plan = canned "add-remove") ?(servers = 2) () =
+  let table = compile ~servers plan in
+  Shardmgr.Run.run ~seed:3 ~map:Minos.Par.map_list ~cfg
+    ~design:Kvserver.Design.minos ~workload ~table ()
+
+let test_noop_reproduces_static_cluster () =
+  (* The tentpole's base case: under the no-op plan the paced, epoch-
+     routed engines must reproduce the static cluster run byte for byte
+     — same metrics record, NaNs included. *)
+  let r = reshard_run ~plan:Shardmgr.Plan.empty () in
+  let c =
+    Kvcluster.Run.run ~seed:3 ~trials:128 ~cfg ~design:Kvserver.Design.minos
+      ~dataset:(dataset ()) ~servers:2 ~workload ~offered_mops:4.0 ()
+  in
+  check bool "metrics byte-identical to Kvcluster.Run" true
+    (compare r.Shardmgr.Run.metrics c.Kvcluster.Run.metrics = 0);
+  check bool "audit clean" true
+    (Shardmgr.Protocol.ok r.Shardmgr.Run.protocol)
+
+let test_reshard_preserves_accounting () =
+  let r = reshard_run () in
+  let m = r.Shardmgr.Run.metrics in
+  check bool "telescopes across reshard events" true
+    (Kvcluster.Metrics.telescopes m);
+  check bool "audit clean" true (Shardmgr.Protocol.ok r.Shardmgr.Run.protocol);
+  check bool "dual-phase fallback reads observed" true
+    (r.Shardmgr.Run.protocol.Shardmgr.Protocol.fallback_reads >= 0);
+  check bool "p99 timeline recorded" true (r.Shardmgr.Run.p99_series <> []);
+  check bool "all engines issued something somewhere" true
+    (m.Kvcluster.Metrics.issued > 0)
+
+let test_reshard_deterministic_across_jobs () =
+  let go () =
+    Minos.Reshard.to_json
+      (Minos.Reshard.run ~cfg ~seed:3 ~servers:2 ~plan:(canned "add-remove")
+         workload ~offered_mops:4.0 ())
+  in
+  let a = with_jobs 1 go in
+  let b = with_jobs 4 go in
+  check Alcotest.string "jobs=1 vs jobs=4 byte-identical" a b
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "shardmgr"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "canned plans validate and round-trip" `Quick
+            test_plan_round_trip;
+          Alcotest.test_case "overlapping windows rejected" `Quick
+            test_plan_rejects_overlapping_windows;
+          Alcotest.test_case "parse errors" `Quick test_plan_parse_errors;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "impossible steps rejected" `Quick
+            test_compile_rejects_impossible_steps;
+          Alcotest.test_case "routing invariants per epoch" `Quick
+            test_table_routing_invariants;
+          Alcotest.test_case "rates follow membership" `Quick
+            test_table_rates_follow_membership;
+        ] );
+      ( "manager",
+        [ Alcotest.test_case "hysteresis + cooldown" `Quick test_manager_hysteresis ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "canned plans conserve every key" `Quick
+            test_protocol_conserves_keys;
+        ] );
+      ( "reshard-run",
+        [
+          Alcotest.test_case "no-op plan reproduces the static cluster" `Slow
+            test_noop_reproduces_static_cluster;
+          Alcotest.test_case "mid-run add+remove preserves accounting" `Slow
+            test_reshard_preserves_accounting;
+          Alcotest.test_case "deterministic across MINOS_JOBS" `Slow
+            test_reshard_deterministic_across_jobs;
+        ] );
+    ]
