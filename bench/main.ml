@@ -418,6 +418,27 @@ let run_reshard () =
   close_out oc;
   Printf.printf "[reshard results written to BENCH_reshard.json]\n%!"
 
+(* Replica-aware tail-cutting: the hedged/tied/unhedged variant grid
+   against a 4-shard, 1-mirror cluster at 8 Mops, fault-free and under
+   the canned kill-server plan.  The JSON is the chaos-SLO record CI
+   asserts: copy accounting must telescope exactly in every variant, the
+   key audit across the crash must be clean, the hedged size-aware p99
+   under the kill must stay within 3x of fault-free while the unhedged
+   one degrades by at least 10x, and a rerun at the same seed (any
+   MINOS_JOBS) must be byte-identical. *)
+
+let run_hedge () =
+  let t =
+    Minos.Hedge.run
+      ~config:(Minos.Hedge.config_of_scale scale)
+      ~seed:1 ~offered_mops:8.0 ()
+  in
+  Minos.Hedge.print t;
+  let oc = open_out "BENCH_hedge.json" in
+  output_string oc (Minos.Hedge.to_json t);
+  close_out oc;
+  Printf.printf "[hedge results written to BENCH_hedge.json]\n%!"
+
 let targets : (string * string * (unit -> unit)) list =
   [
     ("fig1", "service time vs item size", fun () -> Minos.Figures.print_fig1 ());
@@ -463,6 +484,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("chaos", "fault plans vs hardened/plain designs", run_chaos);
     ("cluster", "multi-server sharding + fan-out multi-GET", run_cluster);
     ("reshard", "elastic resharding: live migration + replicas", run_reshard);
+    ("hedge", "replica-aware tail-cutting vs kill-server chaos", run_hedge);
     ("obs", "flight-recorder overhead on/off", run_obs);
     ("numa", "multi-NUMA-domain scaling", run_numa);
     ("micro", "bechamel microbenchmarks", run_micro);

@@ -866,6 +866,113 @@ let reshard_cmd =
       $ trace_arg $ reshard_load $ p_large $ s_large $ get_ratio $ quick $ seed
       $ jobs)
 
+(* ------------------------------------------------------------------ *)
+(* hedge *)
+
+let hedge_cmd =
+  let shards_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "shards" ] ~docv:"N" ~doc:"Number of primary shards.")
+  in
+  let mirrors_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "mirrors" ] ~docv:"N"
+          ~doc:"Replicas per shard beyond the primary (at least 1).")
+  in
+  let cores_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "cores" ] ~docv:"N" ~doc:"Worker cores per server.")
+  in
+  let quantile_arg =
+    Arg.(
+      value
+      & opt float 0.95
+      & info [ "hedge-quantile" ] ~docv:"Q"
+          ~doc:
+            "Completion-latency quantile tracked as the hedge delay \
+             (default 0.95: hedge after the windowed p95).")
+  in
+  let detect_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "detect" ] ~docv:"US"
+          ~doc:
+            "Failure-detector timeout in microseconds (default: 15% of the \
+             measured window).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the results as JSON.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace whose decision track carries the hedged \
+             kill-server variant's crash / restart / hedge-delay instants.")
+  in
+  let hedge_load =
+    Arg.(
+      value
+      & opt float 8.0
+      & info [ "l"; "load" ] ~docv:"MOPS"
+          ~doc:"Total offered load in million ops/s (default 8.0).")
+  in
+  let action shards mirrors cores quantile detect json trace_out load p_large
+      s_large get_ratio quick seed jobs =
+    Minos.Par.set_jobs jobs;
+    let workload = spec_of ~p_large ~s_large ~get_ratio in
+    let config =
+      {
+        (Minos.Hedge.config_of_scale (scale_of quick)) with
+        Kvhedge.Config.shards = shards;
+        mirrors;
+        cores;
+        hedge_quantile = quantile;
+        detect_us = detect;
+      }
+    in
+    let t =
+      Minos.Hedge.run ~config ~seed ?trace_out ~workload ~offered_mops:load ()
+    in
+    Minos.Hedge.print t;
+    (match trace_out with
+    | Some path -> Printf.printf "[hedge trace written to %s]\n%!" path
+    | None -> ());
+    match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Minos.Hedge.to_json t);
+        close_out oc;
+        Printf.printf "[hedge results written to %s]\n%!" file
+  in
+  Cmd.v
+    (Cmd.info "hedge"
+       ~doc:
+         "Replica-aware tail-cutting: spread GETs over shard replicas and \
+          race hedged or tied backup copies against a crashed server.  Runs \
+          the variant grid (size-aware/keyhash x hedged/tied/off x \
+          spread/p2c) fault-free and under a canned kill-server plan, \
+          reports exact copy-level loss accounting, the hedge tax and a \
+          key-conservation audit across the crash; fixed seeds reproduce \
+          byte-identical results.")
+    Term.(
+      const action $ shards_arg $ mirrors_arg $ cores_arg $ quantile_arg
+      $ detect_arg $ json_arg $ trace_arg $ hedge_load $ p_large $ s_large
+      $ get_ratio $ quick $ seed $ jobs)
+
 let () =
   let info =
     Cmd.info "minos" ~version:"1.0.0"
@@ -877,5 +984,5 @@ let () =
           [
             run_cmd; sweep_cmd; slo_cmd; figure_cmd; obs_cmd; queueing_cmd; trace_cmd;
             numa_cmd; serve_cmd; kv_cmd; loadtest_cmd; chaos_cmd; cluster_cmd;
-            reshard_cmd;
+            reshard_cmd; hedge_cmd;
           ]))

@@ -41,3 +41,28 @@ val analytic_max_quantile : float array -> k:int -> q:float -> float
     [k] iid draws from the empirical distribution given by [sorted]
     (ascending), i.e. the [q{^ 1/k}]-quantile of the base distribution —
     the inverse-CDF identity [P(max <= x) = F(x){^ k}]. *)
+
+val analytic_hedge_quantile : float array -> d:float -> q:float -> float
+(** [analytic_hedge_quantile sorted ~d ~q]: the [q]-quantile of a hedged
+    request's completion time [min (X{_1}, d + X{_2})] — primary issued
+    at 0, backup after delay [d], both latencies iid draws from the
+    empirical distribution given by [sorted] (ascending).  The hedged
+    CDF is [G(x) = F(x) + (1 - F(x)) * F(x - d)]: for [x < d] only the
+    primary can have finished, beyond that the backup cuts the tail.
+    [G] is a step function jumping only at the sample points and their
+    [d]-shifts, so the quantile is found by exact inversion over that
+    candidate set.  [d = 0] degenerates to min-of-two (tied requests);
+    large [d] recovers the unhedged quantile. *)
+
+val sample_hedge_quantile :
+  rng:Dsim.Rng.t ->
+  float array ->
+  d:float ->
+  q:float ->
+  ?trials:int ->
+  unit ->
+  float
+(** Monte-Carlo estimate of {!analytic_hedge_quantile}: [trials]
+    (default 20_000) draws of [min (X{_1}, d + X{_2})] resampled from
+    [sorted] with [rng].  The tests check it converges to the analytic
+    answer. *)

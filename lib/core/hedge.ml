@@ -1,0 +1,345 @@
+(* Replica-aware tail-cutting experiment front end; see hedge.mli. *)
+
+type entry = {
+  label : string;
+  sizeaware : bool;
+  mode : string;
+  route : string;
+  plan : string;
+  metrics : Kvhedge.Metrics.t;
+}
+
+type t = {
+  shards : int;
+  mirrors : int;
+  cores : int;
+  offered_mops : float;
+  seed : int;
+  detect_us : float;
+  kill_at_us : float;
+  recover_at_us : float;
+  killed_server : int;
+  hedge_tax : float;
+  entries : entry list;
+  audit : Shardmgr.Protocol.result;
+}
+
+let config_of_scale (s : Experiment.scale) =
+  {
+    Kvhedge.Config.default with
+    Kvhedge.Config.duration_us = s.Experiment.duration_us;
+    warmup_us = s.Experiment.warmup_us;
+    epoch_us = s.Experiment.epoch_us;
+    (* the experiment scales' reporting window outlasts the measured
+       interval at quick scale; the epoch gives a usable p99 series *)
+    window_us = s.Experiment.epoch_us;
+  }
+
+(* The canned crash: kill the FIRST MIRROR (server id [shards], i.e.
+   replica 1 of shard 0) 30 % into the measured window, restart it at
+   80 %.  Killing a mirror rather than a primary keeps every PUT's
+   completion leg alive, so the hedged GET path is what the tail
+   measures; the audit proves the crash is key-lossless either way
+   (every key still has its primary copy). *)
+let kill_fractions = (0.3, 0.8)
+
+let kill_plan ~server ~kill_at_us ~recover_at_us =
+  {
+    Fault.Plan.name = "kill-server";
+    events =
+      [
+        Fault.Plan.Kill_server { server; at_us = kill_at_us };
+        Fault.Plan.Recover_server { server; at_us = recover_at_us };
+      ];
+  }
+
+(* The replicated routing table the audit replays: one [add-replica] per
+   shard per mirror, in shard order, opening the run — exactly the
+   server-id layout {!Kvhedge.Config} documents (replica [k] of shard
+   [s] is server [k * shards + s]). *)
+let audit_plan ~shards ~mirrors =
+  {
+    Shardmgr.Plan.name = "hedge-replicas";
+    events =
+      List.concat
+        (List.init mirrors (fun _ ->
+             List.init shards (fun shard ->
+                 Shardmgr.Plan.Add_replica { shard; at_us = 0.0 })));
+  }
+
+let run ?(config = config_of_scale Experiment.full_scale) ?(seed = 1)
+    ?trace_out ?(workload = Workload.Spec.default) ~offered_mops () =
+  (match Kvhedge.Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Hedge.run: " ^ msg));
+  if config.Kvhedge.Config.mirrors < 1 then
+    invalid_arg "Hedge.run: tail-cutting needs at least one mirror per shard";
+  let shards = config.Kvhedge.Config.shards in
+  let mirrors = config.Kvhedge.Config.mirrors in
+  let duration = config.Kvhedge.Config.duration_us in
+  let warmup = config.Kvhedge.Config.warmup_us in
+  let measured = duration -. warmup in
+  let f_kill, f_recover = kill_fractions in
+  let kill_at_us = warmup +. (f_kill *. measured) in
+  let recover_at_us = warmup +. (f_recover *. measured) in
+  let killed_server = shards in
+  let plan = kill_plan ~server:killed_server ~kill_at_us ~recover_at_us in
+  let dataset = Experiment.dataset_for workload in
+  let base = { config with Kvhedge.Config.mode = Kvhedge.Config.Off } in
+  let variants =
+    [
+      ( "sizeaware+hedged/none",
+        { base with Kvhedge.Config.mode = Kvhedge.Config.Hedged },
+        None );
+      ("sizeaware/none", base, None);
+      ( "sizeaware+hedged/kill-server",
+        { base with Kvhedge.Config.mode = Kvhedge.Config.Hedged },
+        Some plan );
+      ("sizeaware/kill-server", base, Some plan);
+      ( "sizeaware+tied/kill-server",
+        { base with Kvhedge.Config.mode = Kvhedge.Config.Tied },
+        Some plan );
+      ( "keyhash+hedged/kill-server",
+        {
+          base with
+          Kvhedge.Config.sizeaware = false;
+          mode = Kvhedge.Config.Hedged;
+        },
+        Some plan );
+      ("keyhash/none", { base with Kvhedge.Config.sizeaware = false }, None);
+      ( "p2c+hedged/kill-server",
+        {
+          base with
+          Kvhedge.Config.route = Kvhedge.Config.P2c;
+          mode = Kvhedge.Config.Hedged;
+        },
+        Some plan );
+      ( "p2c/kill-server",
+        { base with Kvhedge.Config.route = Kvhedge.Config.P2c },
+        Some plan );
+    ]
+  in
+  let job (label, cfg, plan) =
+    let c =
+      Kvhedge.Cluster.create cfg ~dataset ~offered_mops ?plan ~seed ()
+    in
+    (* Every job records its tail-cutting decisions locally (cheap, cold
+       path); the traced variant's list feeds the Chrome trace after the
+       parallel map. *)
+    let events = ref [] in
+    Kvhedge.Cluster.set_hooks c
+      ~on_kill:(fun now s ->
+        events := (Obs.Decision_log.kind_server_kill, now, s, Float.nan) :: !events)
+      ~on_recover:(fun now s ->
+        events :=
+          (Obs.Decision_log.kind_server_recover, now, s, Float.nan) :: !events)
+      ~on_delay:(fun now d ->
+        events := (Obs.Decision_log.kind_hedge_delay, now, -1, d) :: !events)
+      ();
+    Dsim.Sim.run (Kvhedge.Cluster.sim c) ~until:cfg.Kvhedge.Config.duration_us;
+    let m = Kvhedge.Cluster.metrics c in
+    let plan_name =
+      match plan with None -> "none" | Some p -> p.Fault.Plan.name
+    in
+    ( {
+        label;
+        sizeaware = cfg.Kvhedge.Config.sizeaware;
+        mode = Kvhedge.Config.mode_name cfg.Kvhedge.Config.mode;
+        route = Kvhedge.Config.route_name cfg.Kvhedge.Config.route;
+        plan = plan_name;
+        metrics = m;
+      },
+      List.rev !events )
+  in
+  let results = Par.map_list job variants in
+  let entries = List.map fst results in
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      (* One pseudo-process carries the traced variant's kill / recover
+         / hedge-delay instants on its decision track. *)
+      let traced =
+        match
+          List.find_opt
+            (fun (e, _) -> e.label = "sizeaware+hedged/kill-server")
+            results
+        with
+        | Some (_, evs) -> evs
+        | None -> []
+      in
+      let ins =
+        Obs.Instrument.create ~server:0 ~spans:1 ~timeline:false ~cores:1
+          ~seed:0 ()
+      in
+      List.iter
+        (fun (kind, now, server, delay_us) ->
+          Obs.Decision_log.record_hedge ins.Obs.Instrument.decisions ~kind ~now
+            ~server ~delay_us)
+        traced;
+      Obs.Chrome_trace.write_cluster ~path [ ("hedge", ins) ]);
+  (* The hedge tax, measured where hedging buys nothing: the fault-free
+     hedged run's wasted backup legs per request. *)
+  let hedge_tax =
+    match List.find_opt (fun e -> e.label = "sizeaware+hedged/none") entries with
+    | Some e when e.metrics.Kvhedge.Metrics.requests > 0 ->
+        float_of_int e.metrics.Kvhedge.Metrics.hedged_wasted
+        /. float_of_int e.metrics.Kvhedge.Metrics.requests
+    | _ -> Float.nan
+  in
+  (* Key-level conservation across the same crash, on the equivalent
+     replicated routing table. *)
+  let table =
+    Shardmgr.Table.compile ~seed ~servers:shards ~workload ~dataset
+      ~duration_us:duration ~offered_mops
+      (audit_plan ~shards ~mirrors)
+  in
+  let audit = Shardmgr.Protocol.check ~seed ~fault:plan ~workload table in
+  {
+    shards;
+    mirrors;
+    cores = config.Kvhedge.Config.cores;
+    offered_mops;
+    seed;
+    detect_us = Kvhedge.Config.detect_us config;
+    kill_at_us;
+    recover_at_us;
+    killed_server;
+    hedge_tax;
+    entries;
+    audit;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let print t =
+  Report.section
+    (Printf.sprintf
+       "Hedge: %d shards x %d replicas x %d cores, %s Mops offered, seed %d"
+       t.shards (t.mirrors + 1) t.cores (Report.f2 t.offered_mops) t.seed);
+  Report.note
+    "kill-server: server %d down %s..%s us, detector timeout %s us"
+    t.killed_server (Report.f0 t.kill_at_us) (Report.f0 t.recover_at_us)
+    (Report.f0 t.detect_us);
+  let rows =
+    List.map
+      (fun e ->
+        let m = e.metrics in
+        [
+          e.label;
+          Report.f1 m.Kvhedge.Metrics.p50_us;
+          Report.f1 m.Kvhedge.Metrics.p99_us;
+          Report.f1 m.Kvhedge.Metrics.p999_us;
+          string_of_int m.Kvhedge.Metrics.hedges_issued;
+          string_of_int m.Kvhedge.Metrics.hedged_wasted;
+          string_of_int m.Kvhedge.Metrics.cancelled;
+          string_of_int m.Kvhedge.Metrics.failovers;
+          string_of_int m.Kvhedge.Metrics.net_dropped;
+          string_of_int m.Kvhedge.Metrics.failed;
+          (if Kvhedge.Metrics.telescopes m then "exact" else "BROKEN");
+        ])
+      t.entries
+  in
+  Report.table ~title:"variants (latency us; copy accounting)"
+    ~headers:
+      [
+        "variant"; "p50"; "p99"; "p999"; "hedges"; "wasted"; "canc"; "failover";
+        "netdrop"; "failed"; "acct";
+      ]
+    rows;
+  Report.note "hedge tax (fault-free wasted backups per request): %s"
+    (Report.pct t.hedge_tax);
+  (match
+     List.find_opt (fun e -> e.label = "sizeaware+hedged/kill-server") t.entries
+   with
+  | Some e ->
+      Report.note "final hedge delay %s us (windowed-quantile estimate)"
+        (Report.f1 e.metrics.Kvhedge.Metrics.hedge_delay_final_us)
+  | None -> ());
+  Report.note
+    "key audit under the crash: %d transferred, %d fallback reads, lost %d, \
+     duplicated %d, stale %d -> %s"
+    t.audit.Shardmgr.Protocol.transferred
+    t.audit.Shardmgr.Protocol.fallback_reads t.audit.Shardmgr.Protocol.lost
+    t.audit.Shardmgr.Protocol.duplicated t.audit.Shardmgr.Protocol.stale
+    (if Shardmgr.Protocol.ok t.audit then "clean" else "VIOLATED")
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let fl x = if Float.is_nan x then "null" else Printf.sprintf "%.3f" x
+
+let entry_json b (e : entry) ~last =
+  let m = e.metrics in
+  Buffer.add_string b
+    (Printf.sprintf
+       "    {\"label\": \"%s\", \"sizeaware\": %b, \"mode\": \"%s\", \
+        \"route\": \"%s\", \"plan\": \"%s\",\n"
+       e.label e.sizeaware e.mode e.route e.plan);
+  Buffer.add_string b
+    (Printf.sprintf
+       "     \"p50_us\": %s, \"p95_us\": %s, \"p99_us\": %s, \"p999_us\": %s, \
+        \"mean_us\": %s, \"samples\": %d,\n"
+       (fl m.Kvhedge.Metrics.p50_us) (fl m.Kvhedge.Metrics.p95_us)
+       (fl m.Kvhedge.Metrics.p99_us)
+       (fl m.Kvhedge.Metrics.p999_us)
+       (fl m.Kvhedge.Metrics.mean_us)
+       m.Kvhedge.Metrics.samples);
+  Buffer.add_string b
+    (Printf.sprintf
+       "     \"issued\": %d, \"served\": %d, \"net_dropped\": %d, \
+        \"rx_dropped\": %d, \"shed\": %d, \"hedged_wasted\": %d, \
+        \"cancelled\": %d, \"in_flight_end\": %d, \"telescopes\": %b,\n"
+       m.Kvhedge.Metrics.issued m.Kvhedge.Metrics.served
+       m.Kvhedge.Metrics.net_dropped m.Kvhedge.Metrics.rx_dropped
+       m.Kvhedge.Metrics.shed m.Kvhedge.Metrics.hedged_wasted
+       m.Kvhedge.Metrics.cancelled m.Kvhedge.Metrics.in_flight_end
+       (Kvhedge.Metrics.telescopes m));
+  Buffer.add_string b
+    (Printf.sprintf
+       "     \"requests\": %d, \"completed\": %d, \"failed\": %d, \
+        \"hedges_issued\": %d, \"ties_issued\": %d, \"failovers\": %d, \
+        \"budget_exhausted\": %d, \"budget_spent\": %s,\n"
+       m.Kvhedge.Metrics.requests m.Kvhedge.Metrics.completed
+       m.Kvhedge.Metrics.failed m.Kvhedge.Metrics.hedges_issued
+       m.Kvhedge.Metrics.ties_issued m.Kvhedge.Metrics.failovers
+       m.Kvhedge.Metrics.budget_exhausted
+       (fl m.Kvhedge.Metrics.budget_spent));
+  Buffer.add_string b
+    (Printf.sprintf
+       "     \"server_killed\": %d, \"server_recovered\": %d, \
+        \"hedge_delay_final_us\": %s, \"large_cores\": %d, \"events\": %d}%s\n"
+       m.Kvhedge.Metrics.server_killed m.Kvhedge.Metrics.server_recovered
+       (fl m.Kvhedge.Metrics.hedge_delay_final_us)
+       m.Kvhedge.Metrics.large_cores m.Kvhedge.Metrics.events
+       (if last then "" else ","))
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"shards\": %d, \"mirrors\": %d, \"cores\": %d, \"offered_mops\": \
+        %s, \"seed\": %d,\n"
+       t.shards t.mirrors t.cores (fl t.offered_mops) t.seed);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"killed_server\": %d, \"kill_at_us\": %s, \"recover_at_us\": %s, \
+        \"detect_us\": %s,\n"
+       t.killed_server (fl t.kill_at_us) (fl t.recover_at_us) (fl t.detect_us));
+  Buffer.add_string b (Printf.sprintf "  \"hedge_tax\": %s,\n" (fl t.hedge_tax));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"audit\": {\"ops\": %d, \"puts\": %d, \"gets\": %d, \
+        \"fallback_reads\": %d, \"transferred\": %d, \"lost\": %d, \
+        \"duplicated\": %d, \"stale\": %d, \"ok\": %b},\n"
+       t.audit.Shardmgr.Protocol.ops t.audit.Shardmgr.Protocol.puts
+       t.audit.Shardmgr.Protocol.gets t.audit.Shardmgr.Protocol.fallback_reads
+       t.audit.Shardmgr.Protocol.transferred t.audit.Shardmgr.Protocol.lost
+       t.audit.Shardmgr.Protocol.duplicated t.audit.Shardmgr.Protocol.stale
+       (Shardmgr.Protocol.ok t.audit));
+  Buffer.add_string b "  \"entries\": [\n";
+  let n = List.length t.entries in
+  List.iteri (fun i e -> entry_json b e ~last:(i = n - 1)) t.entries;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b

@@ -5,6 +5,9 @@ type clock_cell = { mutable now_us : float }
 
 type handle = Wheel.handle
 
+let null_handle : handle = -1
+let is_null (h : handle) = h = -1
+
 type t = {
   clock : clock_cell;
   mutable seq : int;

@@ -24,6 +24,16 @@ type t
 type handle
 (** Cancellation handle returned by {!schedule_timer_after}. *)
 
+val null_handle : handle
+(** A handle that never names a live timer: {!cancel} on it is a no-op
+    returning [false].  An immediate int, so storing it in a
+    [handle array] slot costs no allocation — use it as the rest value
+    in pooled per-request handle arrays. *)
+
+val is_null : handle -> bool
+(** [is_null h] iff [h] is {!null_handle}.  Monomorphic int equality, so
+    callers under the hot-path lint need no polymorphic compare. *)
+
 val create : ?seed:int -> unit -> t
 (** [create ~seed ()] makes a simulation whose clock starts at 0.0 µs and
     whose root RNG is seeded with [seed] (default 42). *)

@@ -26,6 +26,9 @@ type t = {
   cc_until : float array;
   cc_nan : bool array;
   cc_scale : float array;
+  dead_server : int array;
+  dead_from : float array;
+  dead_until : float array;
 }
 
 let create ~seed (plan : Plan.t) =
@@ -36,7 +39,9 @@ let create ~seed (plan : Plan.t) =
   and nets = ref []
   and squeezes = ref []
   and delays = ref []
-  and corrupts = ref [] in
+  and corrupts = ref []
+  and kills = ref []
+  and recovers = ref [] in
   List.iter
     (fun ev ->
       match (ev : Plan.event) with
@@ -50,8 +55,29 @@ let create ~seed (plan : Plan.t) =
       | Plan.Ctrl_delay { from_us; until_us } ->
           delays := (from_us, until_us) :: !delays
       | Plan.Ctrl_corrupt { from_us; until_us; mode } ->
-          corrupts := (from_us, until_us, mode) :: !corrupts)
+          corrupts := (from_us, until_us, mode) :: !corrupts
+      | Plan.Kill_server { server; at_us } -> kills := (server, at_us) :: !kills
+      | Plan.Recover_server { server; at_us } ->
+          recovers := (server, at_us) :: !recovers)
     plan.Plan.events;
+  (* Pair each kill with the earliest matching recover after it (same
+     server or a wildcard on either side); unmatched kills stay dead to
+     the end of the run. *)
+  let deads =
+    List.rev_map
+      (fun (server, at_us) ->
+        let until =
+          List.fold_left
+            (fun acc (s, r_at) ->
+              if (s = server || s = Plan.all || server = Plan.all) && r_at > at_us
+              then Float.min acc r_at
+              else acc)
+            infinity !recovers
+        in
+        (server, at_us, until))
+      !kills
+    |> Array.of_list
+  in
   let stalls = Array.of_list (List.rev !stalls) in
   let nets = Array.of_list (List.rev !nets) in
   let squeezes = Array.of_list (List.rev !squeezes) in
@@ -87,6 +113,9 @@ let create ~seed (plan : Plan.t) =
       Array.map
         (fun (_, _, mode) -> match mode with Plan.Nan -> 1.0 | Plan.Scale s -> s)
         corrupts;
+    dead_server = Array.map (fun (s, _, _) -> s) deads;
+    dead_from = Array.map (fun (_, f, _) -> f) deads;
+    dead_until = Array.map (fun (_, _, u) -> u) deads;
   }
 
 let plan t = t.plan
@@ -187,3 +216,18 @@ let rec corrupt_scan t now i acc =
     corrupt_scan t now (i + 1) acc
 
 let corrupt_threshold t ~now threshold = corrupt_scan t now 0 threshold
+
+let rec dead_scan t server now i =
+  if i >= Array.length t.dead_server then false
+  else if
+    (t.dead_server.(i) = server || t.dead_server.(i) = Plan.all)
+    && in_window ~from_us:t.dead_from.(i) ~until_us:t.dead_until.(i) now
+  then true
+  else dead_scan t server now (i + 1)
+
+let server_dead t ~server ~now = dead_scan t server now 0
+
+let dead_windows t =
+  Array.to_list
+    (Array.init (Array.length t.dead_server) (fun i ->
+         (t.dead_server.(i), t.dead_from.(i), t.dead_until.(i))))

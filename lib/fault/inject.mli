@@ -46,3 +46,14 @@ val ctrl_delayed : t -> now:float -> bool
 val corrupt_threshold : t -> now:float -> float -> float
 (** Corrupt a computed control threshold per the open window (identity
     when none). *)
+
+val server_dead : t -> server:int -> now:float -> bool
+(** Whether a [kill-server] window covers [now] for [server]: the window
+    opens at the kill instant and closes at the earliest matching
+    [recover-server] after it (never, when unmatched).  Allocation-free
+    scan, safe per-arrival. *)
+
+val dead_windows : t -> (int * float * float) list
+(** Compiled [(server, kill_us, recover_us)] windows, [recover_us =
+    infinity] when the kill is unmatched.  Cold-path accessor for
+    schedulers that want the instants as events. *)

@@ -14,6 +14,8 @@ type event =
   | Ring_squeeze of { queue : int; from_us : float; until_us : float; capacity : int }
   | Ctrl_delay of { from_us : float; until_us : float }
   | Ctrl_corrupt of { from_us : float; until_us : float; mode : corrupt }
+  | Kill_server of { server : int; at_us : float }
+  | Recover_server of { server : int; at_us : float }
 
 type t = { name : string; events : event list }
 
@@ -63,6 +65,16 @@ let validate_event = function
         | Scale s ->
             if Float.is_finite s && s > 0.0 then Ok ()
             else Error "ctrl-corrupt: scale must be finite and > 0")
+  | Kill_server { server; at_us } ->
+      if server < all then Error "kill-server: bad server index"
+      else if not (Float.is_finite at_us && at_us >= 0.0) then
+        Error "kill-server: bad instant"
+      else Ok ()
+  | Recover_server { server; at_us } ->
+      if server < all then Error "recover-server: bad server index"
+      else if not (Float.is_finite at_us && at_us >= 0.0) then
+        Error "recover-server: bad instant"
+      else Ok ()
 
 let validate t =
   let rec go = function
@@ -214,6 +226,16 @@ let ( let* ) = Result.bind
 
 let parse_event line keyword fields =
   let* pairs = parse_pairs line fields in
+  match keyword with
+  | "kill-server" ->
+      let* server = parse_index line "server" pairs ~default:None in
+      let* at_us = parse_float line "at" pairs ~default:None in
+      Ok (Kill_server { server; at_us })
+  | "recover-server" ->
+      let* server = parse_index line "server" pairs ~default:None in
+      let* at_us = parse_float line "at" pairs ~default:None in
+      Ok (Recover_server { server; at_us })
+  | _ ->
   let* from_us = parse_float line "from" pairs ~default:None in
   let* until_us = parse_float line "until" pairs ~default:None in
   match keyword with
@@ -326,7 +348,15 @@ let to_string t =
           buf_kv b "mode" (fun b ->
               match mode with
               | Nan -> Buffer.add_string b "nan"
-              | Scale s -> Buffer.add_string b ("x" ^ string_of_float s)));
+              | Scale s -> Buffer.add_string b ("x" ^ string_of_float s))
+      | Kill_server { server; at_us } ->
+          Buffer.add_string b "kill-server";
+          buf_kv b "server" (fun b -> buf_index b server);
+          buf_kv b "at" (fun b -> buf_time b at_us)
+      | Recover_server { server; at_us } ->
+          Buffer.add_string b "recover-server";
+          buf_kv b "server" (fun b -> buf_index b server);
+          buf_kv b "at" (fun b -> buf_time b at_us));
       Buffer.add_char b '\n')
     t.events;
   Buffer.contents b

@@ -45,6 +45,12 @@ type event =
       (** the control loop sees no fresh statistics (stale windows) *)
   | Ctrl_corrupt of { from_us : float; until_us : float; mode : corrupt }
       (** the computed threshold is corrupted before it is applied *)
+  | Kill_server of { server : int; at_us : float }
+      (** the server process crashes at [at_us]: queues freeze, in-service
+          requests never complete, arrivals bounce.  Stays dead until a
+          matching [Recover_server], else forever. *)
+  | Recover_server of { server : int; at_us : float }
+      (** the crashed server restarts (empty, warm) at [at_us] *)
 
 type t = { name : string; events : event list }
 
@@ -77,6 +83,8 @@ val of_string : ?name:string -> string -> (t, string) result
     squeeze queue=* from=0 until=end capacity=256
     ctrl-delay from=800000 until=end
     ctrl-corrupt from=500000 until=800000 mode=nan
+    kill-server server=2 at=700000
+    recover-server server=2 at=1100000
     v}
     [queue=*]/[core=*] are wildcards; [until=end] means [infinity];
     [mode] is [nan] or [x<float>] (scale).  The result is validated. *)

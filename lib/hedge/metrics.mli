@@ -1,0 +1,69 @@
+(** Result of one hedged-cluster run, with copy-level loss accounting.
+
+    The unit of accounting is the {e copy}: every enqueue attempt of a
+    request on some replica.  A GET routed once is one copy; its hedge
+    or tied backup is a second; a crash-failover reissue is a third.
+    Every copy resolves into exactly one of the legs below, so the run
+    telescopes exactly ({!telescopes}):
+
+    [issued = served + net_dropped + rx_dropped + shed + hedged_wasted
+    + cancelled + in_flight_end]
+
+    - [served]: the copy completed service and its result was wanted
+      (the winning GET copy; every PUT write copy that completed).
+    - [net_dropped]: the copy died with a killed server — in its queue,
+      in service at the kill instant, or bounced off the dead NIC on
+      arrival before the router detected the crash.
+    - [rx_dropped] / [shed]: refused at enqueue by the per-core queue
+      cap / the shed-large watermark.
+    - [hedged_wasted]: a GET copy that completed after its request was
+      already won by another copy (the hedge tax, measured).
+    - [cancelled]: removed before service — a tied loser cancelled on
+      its peer's dequeue, or a queued loser cancelled when the winner
+      completed.
+    - [in_flight_end]: still queued or in service when the run ended.
+
+    Request-level counters sit alongside: [requests] arrivals split into
+    [completed], [failed] (no routable replica, refused with no backup,
+    or failover denied by the retry budget), and still-in-flight. *)
+
+type t = {
+  issued : int;
+  served : int;
+  net_dropped : int;
+  rx_dropped : int;
+  shed : int;
+  hedged_wasted : int;
+  cancelled : int;
+  in_flight_end : int;
+  requests : int;
+  completed : int;
+  failed : int;
+  hedges_issued : int;
+  ties_issued : int;
+  failovers : int;  (** crash-failover reissues granted by the budget *)
+  budget_exhausted : int;  (** failovers denied (request failed) *)
+  budget_spent : float;  (** retry-budget tokens consumed *)
+  server_killed : int;
+  server_recovered : int;
+  samples : int;  (** completions with arrival inside the measured window *)
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  p999_us : float;
+  p99_series : (float * float) list;
+      (** (window start µs, window p99) over completion time *)
+  hedge_delay_series : (float * float) list;
+      (** (epoch end µs, re-estimated hedge delay) *)
+  hedge_delay_final_us : float;
+  large_cores : int;  (** per-server large pool (0 under keyhash) *)
+  small_cores : int;
+  events : int;  (** simulator events processed *)
+}
+
+val telescopes : t -> bool
+(** The copy-level loss-accounting identity above, checked exactly. *)
+
+val requests_account : t -> bool
+(** [requests >= completed + failed] (the remainder is in flight). *)

@@ -179,6 +179,15 @@ let section e ~pid ~name ?timeline ?decisions recorder =
             (num_s (Decision_log.threshold d i))
             (Decision_log.n_small d i) (Decision_log.n_large d i)
             (Decision_log.lost d i)
+        else if k >= Decision_log.kind_server_kill then
+          (* Tail-cutting events: crash/restart instants and hedge-delay
+             re-estimates, on the reshard track. *)
+          event e
+            {|"ph":"i","s":"p","name":"%s","pid":%d,"tid":%d,"ts":%s,"args":{"server":%d,"delay_us":%s}|}
+            (kind_label k) pid reshard_tid
+            (ts_s (Decision_log.time d i))
+            (Decision_log.server d i)
+            (num_s (Decision_log.threshold d i))
         else begin
           (* Reshard protocol state changes: dual-route windows as
              complete spans, everything else as instants, all on the

@@ -6,6 +6,9 @@ let kind_dual_start = 2
 let kind_cutover = 3
 let kind_replica_add = 4
 let kind_replica_drop = 5
+let kind_server_kill = 6
+let kind_server_recover = 7
+let kind_hedge_delay = 8
 
 let kind_name = function
   | 0 -> "control"
@@ -14,6 +17,9 @@ let kind_name = function
   | 3 -> "cutover"
   | 4 -> "replica_add"
   | 5 -> "replica_drop"
+  | 6 -> "server_kill"
+  | 7 -> "server_recover"
+  | 8 -> "hedge_delay"
   | _ -> "unknown"
 
 type t = {
@@ -75,6 +81,22 @@ let record_reshard t ~kind ~now ~until ~server ~shard ~epoch =
     t.servers.(i) <- server;
     t.shards.(i) <- shard;
     t.epochs.(i) <- epoch;
+    t.n <- i + 1
+  end
+
+(* Hedge-cluster entries: crash instants and hedge-delay re-estimates.
+   The delay rides in the thresholds column — both are the "control
+   value chosen at this instant" of their loop. *)
+let record_hedge t ~kind ~now ~server ~delay_us =
+  if kind < 6 || kind > 8 then
+    invalid_arg "Decision_log.record_hedge: not a hedge kind";
+  if t.n >= t.capacity then t.dropped <- t.dropped + 1
+  else begin
+    let i = t.n in
+    t.kinds.(i) <- kind;
+    t.times.(i) <- now;
+    t.servers.(i) <- server;
+    t.thresholds.(i) <- delay_us;
     t.n <- i + 1
   end
 

@@ -33,6 +33,9 @@ val kind_dual_start : int
 val kind_cutover : int
 val kind_replica_add : int
 val kind_replica_drop : int
+val kind_server_kill : int
+val kind_server_recover : int
+val kind_hedge_delay : int
 val kind_name : int -> string
 
 val record_reshard :
@@ -43,6 +46,16 @@ val record_reshard :
     joining/leaving server or replica id ([-1] if n/a); [shard] the
     replicated shard or the cutover key group; [epoch] the routing epoch
     in force.  Raises [Invalid_argument] on a non-reshard kind. *)
+
+(** {2 Hedge-cluster entries} *)
+
+val record_hedge :
+  t -> kind:int -> now:float -> server:int -> delay_us:float -> unit
+(** A tail-cutting event: a server crash ({!kind_server_kill}) or
+    restart ({!kind_server_recover}) with [server] set and [delay_us]
+    nan, or a hedge-delay re-estimate ({!kind_hedge_delay}) with the new
+    delay in [delay_us] (readable back through {!threshold}) and
+    [server] [-1].  Raises [Invalid_argument] on a non-hedge kind. *)
 
 val length : t -> int
 val dropped : t -> int

@@ -192,8 +192,7 @@ let stop t =
 
 module Client = struct
   type c = {
-    sock : Unix.file_descr;
-    base_port : int;
+    socks : Unix.file_descr array; (* one connect()ed socket per queue *)
     queues : int;
     retry : Proto.Retry.config;
     rng : Dsim.Rng.t;
@@ -208,6 +207,8 @@ module Client = struct
 
   exception Budget_exhausted
 
+  exception Server_dead
+
   let connect
       ?(retry =
         {
@@ -218,8 +219,19 @@ module Client = struct
         })
       ?(budget = Proto.Retry.Budget.create ~capacity:50.0 ~earn_per_call:0.5 ())
       ?seed ?(base_port = 47700) ~queues () =
-    let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
-    Unix.setsockopt_int sock Unix.SO_RCVBUF (4 * 1024 * 1024);
+    (* One connect()ed socket per server queue: an unconnected datagram
+       socket never learns of the ICMP port-unreachable a dead endpoint
+       answers with, so a crashed server would silently burn the whole
+       retry schedule.  Connected sockets surface it as [ECONNREFUSED]
+       on the next send or receive, which {!rpc} turns into the typed
+       {!Server_dead} — fail fast, retry budget untouched. *)
+    let socks =
+      Array.init queues (fun q ->
+          let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+          Unix.setsockopt_int sock Unix.SO_RCVBUF (4 * 1024 * 1024);
+          Unix.connect sock (Unix.ADDR_INET (loopback, base_port + q));
+          sock)
+    in
     (* Distinct client sessions must not reuse request ids: the server's
        dedup cache would replay another session's replies.  Each session
        draws a random id-space origin (a fixed [seed] makes it
@@ -231,8 +243,7 @@ module Client = struct
     in
     let rng = Dsim.Rng.create seed in
     {
-      sock;
-      base_port;
+      socks;
       queues;
       retry;
       rng;
@@ -243,7 +254,7 @@ module Client = struct
       sheds = 0;
     }
 
-  let close c = Unix.close c.sock
+  let close c = Array.iter Unix.close c.socks
 
   let key_queue c key =
     Kvstore.Keyhash.partition_of (Kvstore.Keyhash.hash key) ~bits:30 mod c.queues
@@ -258,7 +269,7 @@ module Client = struct
      wait continues: the attempt then times out naturally and the caller
      backs off before retransmitting, which is exactly the reaction a
      shedding server asks for. *)
-  let wait_reply c ~id ~timeout_us =
+  let wait_reply c ~sock ~id ~timeout_us =
     let deadline =
       Int64.add (Monotonic_clock.now ()) (Int64.of_float (timeout_us *. 1.0e3))
     in
@@ -266,12 +277,14 @@ module Client = struct
       let remaining_ns = Int64.sub deadline (Monotonic_clock.now ()) in
       if Int64.compare remaining_ns 0L <= 0 then None
       else begin
-        Unix.setsockopt_float c.sock Unix.SO_RCVTIMEO
+        Unix.setsockopt_float sock Unix.SO_RCVTIMEO
           (Float.max 0.001 (Int64.to_float remaining_ns /. 1.0e9));
-        match Unix.recvfrom c.sock c.buf 0 (Bytes.length c.buf) [] with
+        match Unix.recvfrom sock c.buf 0 (Bytes.length c.buf) [] with
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
           ->
             go ()
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+            raise Server_dead
         | 0, _ -> go ()
         | len, _ -> (
             match Proto.Fragment.offer c.reassembler (Bytes.sub c.buf 0 len) with
@@ -295,15 +308,21 @@ module Client = struct
       | Proto.Wire.Get -> Dsim.Rng.int c.rng c.queues
       | Proto.Wire.Put | Proto.Wire.Delete -> key_queue c key
     in
-    let addr = Unix.ADDR_INET (loopback, c.base_port + queue) in
+    let sock = c.socks.(queue) in
     let encoded =
       Proto.Wire.encode_request
         { Proto.Wire.id; op; key; value; client_ts = 0L; target_rx = queue }
     in
-    let send ~attempt:_ = send_fragments c.sock addr ~msg_id:id encoded in
+    let send ~attempt:_ =
+      try
+        List.iter
+          (fun frag -> ignore (Unix.send sock frag 0 (Bytes.length frag) []))
+          (Proto.Fragment.split ~msg_id:id encoded)
+      with Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> raise Server_dead
+    in
     match
       Proto.Retry.call ~config:c.retry ~rng:c.rng ~budget:c.budget ~send
-        ~wait_reply:(fun ~timeout_us -> wait_reply c ~id ~timeout_us)
+        ~wait_reply:(fun ~timeout_us -> wait_reply c ~sock ~id ~timeout_us)
         ()
     with
     | Ok reply -> reply

@@ -45,6 +45,16 @@ module Client : sig
       the server is systematically unresponsive or shedding, and piling
       on more retries would amplify the overload.  Fail fast instead. *)
 
+  exception Server_dead
+  (** The destination answered with ICMP port-unreachable
+      ([ECONNREFUSED] on the connected socket): nothing listens there —
+      the server process is gone, not slow.  Raised immediately, with
+      the retry schedule abandoned and the retry budget untouched:
+      crash recovery is the caller's (failover's) job, and burning
+      timeouts or tokens on a dead endpoint would only delay it.  A
+      {e silently} dead endpoint (e.g. a firewall eating packets) still
+      surfaces as {!Timeout} after the full schedule. *)
+
   val connect :
     ?retry:Proto.Retry.config ->
     ?budget:Proto.Retry.Budget.t ->
@@ -55,7 +65,9 @@ module Client : sig
     c
   (** [connect ~queues ()] prepares a client for a server with that many
       RX queues.  GETs go to a uniformly random queue, PUTs to the key's
-      master queue — the client-side dispatch of §3.  Retransmission
+      master queue — the client-side dispatch of §3.  One [connect()]ed
+      socket per queue, so a dead endpoint's ICMP rejection surfaces as
+      {!Server_dead} instead of a silent retry burn.  Retransmission
       timeouts jitter decorrelated on the client's seeded RNG (a fixed
       [seed] reproduces the exact schedule); [budget] is the shared
       token bucket retries draw from (default: 50 tokens, 0.5 earned per

@@ -97,6 +97,7 @@ type t = {
   mutable probe : (core:int -> request -> unit) option;
   obs : Obs.Instrument.t option;
   fault : Fault.Inject.t option;
+  server : int; (* id kill-server plan events match against *)
   rx_cap : int; (* configured RX ring bound, [max_int] when unbounded *)
   mutable net_dropped : int;
   mutable rx_dropped : int;
@@ -388,7 +389,9 @@ let execute t ~core ~tx_queue ~extra_cpu req =
   Dsim.Sim.schedule_call_after t.sim cpu ~tag:t.tag_service ~i:req.slot
     ~j:(core lor (tx_queue lsl 16))
 
-let create ?dynamic ?store ?source ?pacing ?obs ?fault cfg gen ~offered_mops =
+let create ?dynamic ?store ?source ?pacing ?obs ?fault ?(server = 0) cfg gen
+    ~offered_mops =
+  if server < 0 then invalid_arg "Engine.create: server must be >= 0";
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.create: " ^ msg));
@@ -454,6 +457,7 @@ let create ?dynamic ?store ?source ?pacing ?obs ?fault cfg gen ~offered_mops =
       probe = None;
       obs;
       fault;
+      server;
       rx_cap = (match cfg.Config.rx_capacity with Some c -> c | None -> max_int);
       net_dropped = 0;
       rx_dropped = 0;
@@ -587,6 +591,13 @@ let run t make_design =
       obs_sample_arrival t req ~queue;
       (match t.fault with
       | None -> deliver req
+      | Some f when
+          Fault.Inject.server_dead f ~server:t.server ~now:(Dsim.Sim.now t.sim)
+        ->
+          (* The whole server is crashed: the arrival bounces off a dead
+             NIC, same leg as a net-fault drop. *)
+          t.net_dropped <- t.net_dropped + 1;
+          free_req t req
       | Some f -> (
           match Fault.Inject.fate f ~queue ~now:(Dsim.Sim.now t.sim) with
           | Fault.Inject.Pass -> deliver req

@@ -64,6 +64,7 @@ val create :
   ?pacing:pacing ->
   ?obs:Obs.Instrument.t ->
   ?fault:Fault.Inject.t ->
+  ?server:int ->
   Config.t ->
   Workload.Generator.t ->
   offered_mops:float ->
@@ -86,7 +87,11 @@ val create :
     draw a delivery fate (drop / duplicate / reorder), RX rings honour
     plan squeezes (and [cfg.rx_capacity]), and core work is slowed or
     stalled per the plan's windows.  The injector owns its RNG stream, so
-    attaching it perturbs none of the engine's randomness. *)
+    attaching it perturbs none of the engine's randomness.  [server]
+    (default 0) is the id the plan's [kill-server]/[recover-server]
+    windows match against: while this server is dead, every arrival
+    bounces off the crashed NIC and counts [net_dropped] — multi-engine
+    drivers ({!Shardmgr.Run}) pass each engine its cluster id. *)
 
 val sim : t -> Dsim.Sim.t
 val config : t -> Config.t

@@ -10,7 +10,14 @@
    assert the tentpole's contract exactly: across any sequence of
    reshard events, no key is lost, none is duplicated outside its
    current write-target set, and every read (including the dual-phase
-   old-owner fallback) observes the last written value. *)
+   old-owner fallback) observes the last written value.
+
+   With [?fault], kill-server/recover-server windows overlay crashes on
+   the replay: a kill wipes the server's store (in-memory data dies with
+   the process) and marks it dead — writes skip it, reads fall back to
+   the owner's surviving mirrors, epoch background copies avoid it — and
+   a recover resyncs its current holdings from live copies (counted in
+   [transferred]) before it serves again. *)
 
 type result = {
   ops : int;
@@ -25,7 +32,7 @@ type result = {
 
 let ok r = r.lost = 0 && r.duplicated = 0 && r.stale = 0
 
-let check ?(ops = 20_000) ?(seed = 1) ~workload table =
+let check ?(ops = 20_000) ?(seed = 1) ?fault ~workload table =
   if ops < 1 then invalid_arg "Shardmgr.Protocol.check: ops must be >= 1";
   let n = Table.n_servers table in
   let dataset = Table.dataset table in
@@ -33,6 +40,40 @@ let check ?(ops = 20_000) ?(seed = 1) ~workload table =
   let epochs = Table.epoch_count table in
   let stores = Array.init n (fun _ -> Hashtbl.create 1024) in
   let written = Hashtbl.create 1024 in
+  let dead = Array.make n false in
+  (* Kill/recover instants from the fault plan, chronological.  The
+     injector already pairs each kill with its earliest matching
+     recover; a [Plan.all] wildcard expands to every server here. *)
+  let fault_events =
+    match fault with
+    | None -> [||]
+    | Some plan ->
+        let inj = Fault.Inject.create ~seed:(seed + 911) plan in
+        let evs = ref [] in
+        List.iter
+          (fun (s, kill_us, recover_us) ->
+            if s >= n then
+              invalid_arg "Shardmgr.Protocol.check: kill-server id out of range";
+            let add s =
+              evs := (kill_us, 0, s) :: !evs;
+              if Float.is_finite recover_us then
+                evs := (recover_us, 1, s) :: !evs
+            in
+            if s = Fault.Plan.all then
+              for s = 0 to n - 1 do add s done
+            else add s)
+          (Fault.Inject.dead_windows inj);
+        let a = Array.of_list !evs in
+        Array.sort
+          (fun (t1, k1, s1) (t2, k2, s2) ->
+            let c = Float.compare t1 t2 in
+            if c <> 0 then c
+            else
+              let c = Int.compare k1 k2 in
+              if c <> 0 then c else Int.compare s1 s2)
+          a;
+        a
+  in
   let gen =
     Workload.Generator.create ~seed:(seed + 303)
       ~p_large:workload.Workload.Spec.p_large
@@ -54,7 +95,7 @@ let check ?(ops = 20_000) ?(seed = 1) ~workload table =
       let was r = Array.exists (fun x -> x = r) prev.(o) in
       Array.iter
         (fun r ->
-          if r <> o && not (was r) then
+          if r <> o && not (was r) && not dead.(r) then
             Hashtbl.iter
               (fun k v ->
                 if List.mem o (Table.write_targets table ~epoch:e k) then begin
@@ -97,7 +138,7 @@ let check ?(ops = 20_000) ?(seed = 1) ~workload table =
           | Some v ->
               List.iter
                 (fun s ->
-                  if not (holds s k) then begin
+                  if not (holds s k) && not dead.(s) then begin
                     Hashtbl.replace stores.(s) k v;
                     incr transferred
                   end)
@@ -109,13 +150,80 @@ let check ?(ops = 20_000) ?(seed = 1) ~workload table =
       written
   in
   let epoch = ref 0 in
+  (* A crash loses the server's in-memory store whole; a restart resyncs
+     every key the routing currently assigns it from a surviving live
+     copy before the server serves again (the copies count in
+     [transferred], same as the planned background transfers). *)
+  let kill_server s =
+    Hashtbl.reset stores.(s);
+    dead.(s) <- true
+  in
+  let recover_server s =
+    dead.(s) <- false;
+    Hashtbl.iter
+      (fun k _ ->
+        if
+          List.mem s (Table.write_targets table ~epoch:!epoch k)
+          && not (holds s k)
+        then begin
+          let found = ref None in
+          for src = 0 to n - 1 do
+            if not dead.(src) then
+              match Hashtbl.find_opt stores.(src) k with
+              | Some v when !found = None -> found := Some v
+              | _ -> ()
+          done;
+          match !found with
+          | Some v ->
+              Hashtbl.replace stores.(s) k v;
+              incr transferred
+          | None -> ()
+        end)
+      written
+  in
+  (* Replay epoch boundaries and kill/recover instants in time order —
+     a recover's resync must see the epoch routing in force at that
+     moment. *)
+  let fidx = ref 0 in
   let advance_to time =
-    while
-      !epoch + 1 < epochs && Table.epoch_start table (!epoch + 1) <= time
-    do
-      incr epoch;
-      enter_epoch !epoch
+    let continue = ref true in
+    while !continue do
+      let te =
+        if !epoch + 1 < epochs then Table.epoch_start table (!epoch + 1)
+        else infinity
+      in
+      let tf =
+        if !fidx < Array.length fault_events then
+          let t, _, _ = fault_events.(!fidx) in
+          t
+        else infinity
+      in
+      if te <= tf && te <= time then begin
+        incr epoch;
+        enter_epoch !epoch
+      end
+      else if tf <= time then begin
+        let _, op, s = fault_events.(!fidx) in
+        incr fidx;
+        if op = 0 then kill_server s else recover_server s
+      end
+      else continue := false
     done
+  in
+  (* The GET target with crash fallback: when the spread replica is
+     dead, the first live mirror of the owning shard serves instead;
+     [-1] when the whole replica set is down (the caller then tries the
+     migration fallback before declaring the read lost). *)
+  let live_read_target ~epoch k =
+    let tgt = Table.read_target table ~epoch k in
+    if not dead.(tgt) then tgt
+    else begin
+      let owner = Table.read_owner table ~epoch k in
+      let reps = (Table.epoch_replicas table epoch).(owner) in
+      let alt = ref (-1) in
+      Array.iter (fun s -> if not dead.(s) && !alt = -1 then alt := s) reps;
+      !alt
+    end
   in
   for i = 1 to ops do
     let time = duration *. float_of_int i /. float_of_int (ops + 1) in
@@ -128,21 +236,26 @@ let check ?(ops = 20_000) ?(seed = 1) ~workload table =
         incr seq;
         Hashtbl.replace written k !seq;
         List.iter
-          (fun s -> Hashtbl.replace stores.(s) k !seq)
+          (fun s -> if not dead.(s) then Hashtbl.replace stores.(s) k !seq)
           (Table.write_targets table ~epoch:!epoch k)
     | Workload.Generator.Get -> (
         incr gets;
         let expect = Hashtbl.find_opt written k in
-        let tgt = Table.read_target table ~epoch:!epoch k in
-        match Hashtbl.find_opt stores.(tgt) k with
+        let tgt = live_read_target ~epoch:!epoch k in
+        let v = if tgt = -1 then None else Hashtbl.find_opt stores.(tgt) k in
+        match v with
         | Some v -> if expect <> Some v then incr stale
         | None -> (
             let fb = Table.read_fallback table ~epoch:!epoch k in
-            match Hashtbl.find_opt stores.(fb) k with
-            | Some v ->
-                if fb <> tgt then incr fallback_reads;
-                if expect <> Some v then incr stale
-            | None -> if expect <> None then incr lost))
+            if dead.(fb) then begin
+              if expect <> None then incr lost
+            end
+            else
+              match Hashtbl.find_opt stores.(fb) k with
+              | Some v ->
+                  if fb <> tgt then incr fallback_reads;
+                  if expect <> Some v then incr stale
+              | None -> if expect <> None then incr lost))
   done;
   advance_to duration;
   (* Final audit: every written key readable with its last value on the
@@ -150,13 +263,16 @@ let check ?(ops = 20_000) ?(seed = 1) ~workload table =
   let final = epochs - 1 in
   Hashtbl.iter
     (fun k v ->
-      let tgt = Table.read_target table ~epoch:final k in
-      (match Hashtbl.find_opt stores.(tgt) k with
+      let tgt = live_read_target ~epoch:final k in
+      (match (if tgt = -1 then None else Hashtbl.find_opt stores.(tgt) k) with
       | Some got -> if got <> v then incr stale
       | None -> (
-          match Hashtbl.find_opt stores.(Table.read_fallback table ~epoch:final k) k with
-          | Some got -> if got <> v then incr stale
-          | None -> incr lost));
+          let fb = Table.read_fallback table ~epoch:final k in
+          if dead.(fb) then incr lost
+          else
+            match Hashtbl.find_opt stores.(fb) k with
+            | Some got -> if got <> v then incr stale
+            | None -> incr lost));
       let wt = Table.write_targets table ~epoch:final k in
       let extra = ref false in
       for s = 0 to n - 1 do

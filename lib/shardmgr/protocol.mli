@@ -25,7 +25,23 @@ val ok : result -> bool
 (** No lost, duplicated, or stale keys. *)
 
 val check :
-  ?ops:int -> ?seed:int -> workload:Workload.Spec.t -> Table.t -> result
+  ?ops:int ->
+  ?seed:int ->
+  ?fault:Fault.Plan.t ->
+  workload:Workload.Spec.t ->
+  Table.t ->
+  result
 (** [check ~workload table] replays [ops] (20000) operations from a
     generator seeded [seed + 303] at evenly spaced instants across the
-    table's duration.  Raises [Invalid_argument] if [ops < 1]. *)
+    table's duration.  Raises [Invalid_argument] if [ops < 1].
+
+    [?fault] overlays the plan's [kill-server]/[recover-server] windows
+    on the replay: a kill wipes the server's store and marks it dead
+    (writes skip it, reads fall back to the owner's live mirrors —
+    {!Table.read_owner} — and background copies avoid it); a recover
+    resyncs the server's current holdings from surviving copies, counted
+    in [transferred].  A kill is only key-{e lossless} when every key it
+    holds has a live replica or a dual-route copy elsewhere — the audit
+    proves exactly that for the replicated plans the hedge bench runs.
+    Raises [Invalid_argument] when a kill names a server id outside the
+    table. *)

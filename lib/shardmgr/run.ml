@@ -119,8 +119,8 @@ let run ?(seed = 1) ?fault ?instrument ?(map = fun f xs -> List.map f xs) ~cfg
        satisfy create's positivity check. *)
     let label = Float.max 1e-9 (Table.avg_rate table s) in
     let eng =
-      Kvserver.Engine.create ~source ~pacing ?obs ?fault:fault_inj cfg_s gen
-        ~offered_mops:label
+      Kvserver.Engine.create ~source ~pacing ?obs ?fault:fault_inj ~server:s
+        cfg_s gen ~offered_mops:label
     in
     sim_now := (fun () -> Dsim.Sim.now (Kvserver.Engine.sim eng));
     let m = Kvserver.Engine.run eng (Kvserver.Design.make design) in
@@ -154,7 +154,7 @@ let run ?(seed = 1) ?fault ?instrument ?(map = fun f xs -> List.map f xs) ~cfg
     | Some width ->
         split_p99 ~width ~migrations:(Table.migration_windows table) p99_series
   in
-  let protocol = Protocol.check ~seed ~workload table in
+  let protocol = Protocol.check ~seed ?fault ~workload table in
   {
     design_name = Kvserver.Design.name design;
     seed;

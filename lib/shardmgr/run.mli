@@ -44,7 +44,11 @@ val run :
     aggregates.  [seed] (1) must match the one the table was compiled
     with (it seeds the shared request stream, per-engine config
     perturbation and the protocol check).  [fault] attaches a per-engine
-    {!Fault.Inject} with decorrelated seeds; [instrument] attaches a
+    {!Fault.Inject} with decorrelated seeds — each engine is created
+    with its cluster [~server] id, so the plan's
+    [kill-server]/[recover-server] windows crash the matching engine's
+    NIC, and the same plan overlays crashes on the key-level
+    {!Protocol.check} audit; [instrument] attaches a
     flight recorder per engine; [map] substitutes a parallel map
     ({!Minos.Par.map_list}) and must preserve order and length.  Raises
     [Invalid_argument] when [cfg.duration_us] differs from the

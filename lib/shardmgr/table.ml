@@ -154,6 +154,14 @@ let read_target t ~epoch k =
   let h = Workload.Dataset.key_partition t.dataset k in
   pick seg h (get_primary seg ~groups:t.groups ~n_keys:t.n_keys h k)
 
+(* The owning primary before replica spread: which shard's replica set
+   serves the key.  The crash-aware audit uses it to try the owner's
+   other mirrors when the spread target is dead. *)
+let read_owner t ~epoch k =
+  let seg = t.segs.(epoch) in
+  let h = Workload.Dataset.key_partition t.dataset k in
+  get_primary seg ~groups:t.groups ~n_keys:t.n_keys h k
+
 (* The old-owner primary a migrating read falls back to on a store miss;
    equals the read target when the key is not mid-migration. *)
 let read_fallback t ~epoch k =

@@ -96,6 +96,14 @@ val avg_share : t -> int -> float
     constant across epochs (feeds [Metrics.aggregate ~shard_share]). *)
 
 val read_target : t -> epoch:int -> int -> int
+
+val read_owner : t -> epoch:int -> int -> int
+(** The owning primary a GET routes to before replica spread — the
+    shard whose replica set ({!epoch_replicas}) serves the key.  Equals
+    {!read_target} when the shard has no mirrors.  {!Protocol} uses it
+    to fall back to the owner's other mirrors when the spread target is
+    crashed. *)
+
 val read_fallback : t -> epoch:int -> int -> int
 (** The old-owner primary a migrating read falls back to on a store
     miss; the read target itself when the key is not mid-migration. *)

@@ -268,6 +268,66 @@ let test_analytic_matches_sampled_max () =
     (Printf.sprintf "sampled %.1f vs analytic %.1f (rel %.3f)" sampled analytic rel)
     true (rel < 0.05)
 
+let test_hedge_quantile_degenerate_cases () =
+  (* The hedged CDF G(x) = F(x) + (1 - F(x)) F(x - d) pins both ends:
+     a delay beyond the largest sample means the backup can never win
+     (unhedged quantile, exactly), and d = 0 is min-of-two — the base
+     quantile at 1 - sqrt(1 - q).  In between the quantile is monotone
+     in the delay. *)
+  let n = 10_000 in
+  let sorted = Array.init n (fun i -> float_of_int (i + 1)) in
+  let q = 0.99 in
+  let exact_at p = sorted.(int_of_float (Float.ceil (p *. float_of_int n)) - 1) in
+  check (Alcotest.float 1e-9) "large d recovers the unhedged quantile"
+    (exact_at q)
+    (Kvcluster.Fanout.analytic_hedge_quantile sorted ~d:1.0e9 ~q);
+  let tied = Kvcluster.Fanout.analytic_hedge_quantile sorted ~d:0.0 ~q in
+  check bool "d = 0 is min-of-two" true
+    (Float.abs (tied -. exact_at (1.0 -. sqrt (1.0 -. q))) <= 1.0);
+  let prev = ref tied in
+  List.iter
+    (fun d ->
+      let x = Kvcluster.Fanout.analytic_hedge_quantile sorted ~d ~q in
+      check bool
+        (Printf.sprintf "monotone in the delay (d=%g)" d)
+        true
+        (x >= !prev -. 1e-9);
+      prev := x)
+    [ 10.0; 100.0; 1_000.0; 20_000.0 ];
+  let rejects f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  check bool "empty samples rejected" true
+    (rejects (fun () ->
+         Kvcluster.Fanout.analytic_hedge_quantile [||] ~d:1.0 ~q:0.5));
+  check bool "negative delay rejected" true
+    (rejects (fun () ->
+         Kvcluster.Fanout.analytic_hedge_quantile sorted ~d:(-1.0) ~q:0.5));
+  check bool "q outside (0, 1] rejected" true
+    (rejects (fun () ->
+         Kvcluster.Fanout.analytic_hedge_quantile sorted ~d:1.0 ~q:0.0))
+
+let prop_hedge_quantile_matches_sampled =
+  (* Monte-Carlo resampling of min(X1, d + X2) must converge to the
+     closed-form hedged quantile across delays and target quantiles. *)
+  let n = 4_096 in
+  let sorted =
+    let rng = Dsim.Rng.create 19 in
+    let a = Array.init n (fun _ -> Dsim.Rng.exponential rng ~mean:100.0) in
+    Array.sort Float.compare a;
+    a
+  in
+  QCheck.Test.make ~name:"analytic hedge quantile = sampled" ~count:30
+    QCheck.(pair (float_bound_inclusive 400.0) (int_bound 2))
+    (fun (d, qi) ->
+      let q = [| 0.5; 0.95; 0.99 |].(qi) in
+      let analytic = Kvcluster.Fanout.analytic_hedge_quantile sorted ~d ~q in
+      let sampled =
+        Kvcluster.Fanout.sample_hedge_quantile ~rng:(Dsim.Rng.create 7) sorted
+          ~d ~q ~trials:30_000 ()
+      in
+      Float.abs (sampled -. analytic) /. Float.max 1.0 analytic < 0.06)
+
 let test_fanout_p99_grows_with_degree () =
   (* Synthetic 4-shard cluster with identical per-shard latency vecs:
      completion p99 must be monotone non-decreasing in the fan-out degree
@@ -410,7 +470,10 @@ let () =
             test_analytic_matches_sampled_max;
           Alcotest.test_case "completion p99 grows with degree" `Quick
             test_fanout_p99_grows_with_degree;
-        ] );
+          Alcotest.test_case "hedged quantile: degenerate ends" `Quick
+            test_hedge_quantile_degenerate_cases;
+        ]
+        @ qsuite [ prop_hedge_quantile_matches_sampled ] );
       ( "cluster-run",
         [
           Alcotest.test_case "deterministic across MINOS_JOBS" `Slow

@@ -108,6 +108,43 @@ let test_plan_parse_forms () =
       check bool "garbage rejected" true
         (Result.is_error (Fault.Plan.of_string "not an event"))
 
+let test_plan_kill_recover () =
+  (* The crash events: validation bounds, parse forms, and the textual
+     round-trip the hedge bench's canned plan relies on. *)
+  let ok p = check bool "valid" true (Result.is_ok (Fault.Plan.validate p)) in
+  let bad p =
+    check bool "invalid" true (Result.is_error (Fault.Plan.validate p))
+  in
+  let p =
+    plan
+      [
+        Fault.Plan.Kill_server { server = 2; at_us = 700.0 };
+        Fault.Plan.Recover_server { server = 2; at_us = 1100.0 };
+      ]
+  in
+  ok p;
+  ok (plan [ Fault.Plan.Kill_server { server = Fault.Plan.all; at_us = 0.0 } ]);
+  bad (plan [ Fault.Plan.Kill_server { server = -2; at_us = 0.0 } ]);
+  bad (plan [ Fault.Plan.Kill_server { server = 0; at_us = -1.0 } ]);
+  bad (plan [ Fault.Plan.Recover_server { server = 0; at_us = nan } ]);
+  let rendered = Fault.Plan.to_string p in
+  (match Fault.Plan.of_string ~name:"test" rendered with
+  | Error e -> Alcotest.failf "kill plan does not re-parse: %s" e
+  | Ok p' ->
+      check string "kill/recover round-trip is a fixed point" rendered
+        (Fault.Plan.to_string p'));
+  match
+    Fault.Plan.of_string ~name:"k"
+      "kill-server server=* at=500\nrecover-server server=1 at=900\n"
+  with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok p -> (
+      match p.Fault.Plan.events with
+      | [ Fault.Plan.Kill_server { server; at_us } ; Fault.Plan.Recover_server _ ] ->
+          check int "server wildcard" Fault.Plan.all server;
+          check bool "instant parsed" true (at_us = 500.0)
+      | _ -> Alcotest.fail "unexpected event shapes")
+
 (* ------------------------------------------------------------------ *)
 (* Inject: seeded determinism and window semantics *)
 
@@ -192,6 +229,41 @@ let test_inject_rx_capacity_and_ctrl () =
     (Fault.Inject.corrupt_threshold inj ~now:650.0 128.0);
   check (Alcotest.float 1e-9) "identity outside" 128.0
     (Fault.Inject.corrupt_threshold inj ~now:750.0 128.0)
+
+let test_inject_server_dead_windows () =
+  (* A kill window opens at the kill instant and closes at the earliest
+     matching recover (never, when unmatched); wildcard kills cover
+     every server; [dead_windows] exposes the compiled pairing. *)
+  let p =
+    plan
+      [
+        Fault.Plan.Kill_server { server = 2; at_us = 700.0 };
+        Fault.Plan.Recover_server { server = 2; at_us = 1100.0 };
+        Fault.Plan.Kill_server { server = 0; at_us = 400.0 };
+      ]
+  in
+  let inj = Fault.Inject.create ~seed:1 p in
+  let dead s now = Fault.Inject.server_dead inj ~server:s ~now in
+  check bool "before the kill" false (dead 2 600.0);
+  check bool "the kill instant opens the window" true (dead 2 700.0);
+  check bool "inside the window" true (dead 2 900.0);
+  check bool "the recover instant closes it" false (dead 2 1100.0);
+  check bool "other servers unaffected" false (dead 1 900.0);
+  check bool "unmatched kill is forever" true (dead 0 1.0e12);
+  let windows = List.sort compare (Fault.Inject.dead_windows inj) in
+  check bool "compiled windows pair kills with recovers" true
+    (windows = [ (0, 400.0, infinity); (2, 700.0, 1100.0) ]);
+  (* Wildcard: one kill event covers every server id. *)
+  let w =
+    Fault.Inject.create ~seed:1
+      (plan [ Fault.Plan.Kill_server { server = Fault.Plan.all; at_us = 10.0 } ])
+  in
+  check bool "wildcard kills server 0" true
+    (Fault.Inject.server_dead w ~server:0 ~now:10.0);
+  check bool "wildcard kills server 7" true
+    (Fault.Inject.server_dead w ~server:7 ~now:10.0);
+  check bool "wildcard window in dead_windows" true
+    (Fault.Inject.dead_windows w = [ (Fault.Plan.all, 10.0, infinity) ])
 
 (* ------------------------------------------------------------------ *)
 (* Watchdog: hysteresis of exclusion and readmission *)
@@ -377,6 +449,8 @@ let () =
           Alcotest.test_case "canned plans" `Quick test_plan_canned_names;
           Alcotest.test_case "parser round-trip" `Quick test_plan_round_trip;
           Alcotest.test_case "parse forms" `Quick test_plan_parse_forms;
+          Alcotest.test_case "kill/recover events" `Quick
+            test_plan_kill_recover;
         ] );
       ( "inject",
         [
@@ -388,6 +462,8 @@ let () =
             test_inject_slowdown_windows;
           Alcotest.test_case "rx capacity + control faults" `Quick
             test_inject_rx_capacity_and_ctrl;
+          Alcotest.test_case "server-dead windows" `Quick
+            test_inject_server_dead_windows;
         ] );
       ( "watchdog",
         [

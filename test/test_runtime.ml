@@ -234,15 +234,14 @@ let test_udp_many_operations () =
       check int "server served the RPCs" 600
         (Array.fold_left ( + ) 0 stats.Runtime.Server.served))
 
-let test_udp_dropped_reply_backoff () =
-  (* No server on the port: every reply is "dropped", so the client must
-     run the whole retransmission schedule.  The wall-clock wait brackets
-     the schedule exactly — at least the fully-jittered minimum, at most
-     the deterministic total (plus scheduling slack) — which fails both
-     if wait_reply returns early (EINTR, spurious wakeups) and if a
-     retransmission is skipped. *)
+let test_udp_dead_endpoint_fails_fast () =
+  (* Nothing listens on the port, so the kernel answers the connected
+     socket with ICMP port-unreachable: the client must surface
+     [Server_dead] immediately — no retransmission schedule — and leave
+     the retry budget untouched (crash failover is the caller's job;
+     burning tokens on a dead endpoint would only delay it). *)
   let retry =
-    { Proto.Retry.max_attempts = 3; timeout_us = 20_000.0; backoff = 2.0; cap_us = infinity }
+    { Proto.Retry.max_attempts = 3; timeout_us = 200_000.0; backoff = 2.0; cap_us = infinity }
   in
   let budget = Proto.Retry.Budget.create ~capacity:2.0 ~earn_per_call:0.0 () in
   let client =
@@ -253,9 +252,49 @@ let test_udp_dropped_reply_backoff () =
     ~finally:(fun () -> Runtime.Udp.Client.close client)
     (fun () ->
       let t0 = Unix.gettimeofday () in
+      for _ = 1 to 3 do
+        try
+          Runtime.Udp.Client.put client "k" (Bytes.of_string "v");
+          Alcotest.fail "put against a dead endpoint must raise Server_dead"
+        with Runtime.Udp.Client.Server_dead -> ()
+      done;
+      let elapsed_us = 1.0e6 *. (Unix.gettimeofday () -. t0) in
+      check bool "fail-fast: well inside one retry timeout" true
+        (elapsed_us < retry.Proto.Retry.timeout_us);
+      check (Alcotest.float 1e-9) "retry budget untouched" 2.0
+        (Proto.Retry.Budget.tokens budget))
+
+let test_udp_silent_endpoint_backoff () =
+  (* A silently dead endpoint — sockets bound but never answering, so no
+     ICMP is generated — must still run the whole retransmission
+     schedule and surface [Timeout].  The wall-clock wait brackets the
+     schedule exactly — at least the fully-jittered minimum, at most the
+     deterministic total (plus scheduling slack) — which fails both if
+     wait_reply returns early (EINTR, spurious wakeups) and if a
+     retransmission is skipped. *)
+  let base_port = 48961 and queues = 4 in
+  let silent =
+    List.init queues (fun q ->
+        let s = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+        Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, base_port + q));
+        s)
+  in
+  let retry =
+    { Proto.Retry.max_attempts = 3; timeout_us = 20_000.0; backoff = 2.0; cap_us = infinity }
+  in
+  let budget = Proto.Retry.Budget.create ~capacity:2.0 ~earn_per_call:0.0 () in
+  let client =
+    Runtime.Udp.Client.connect ~retry ~budget ~seed:9 ~base_port ~queues ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Runtime.Udp.Client.close client;
+      List.iter Unix.close silent)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
       (try
          Runtime.Udp.Client.put client "k" (Bytes.of_string "v");
-         Alcotest.fail "put against a dead port must time out"
+         Alcotest.fail "put against a silent endpoint must time out"
        with Runtime.Udp.Client.Timeout -> ());
       let elapsed_us = 1.0e6 *. (Unix.gettimeofday () -. t0) in
       check bool "waited at least the jittered minimum" true
@@ -281,8 +320,10 @@ let () =
       ( "udp",
         [
           Alcotest.test_case "roundtrip" `Quick test_udp_roundtrip;
-          Alcotest.test_case "dropped replies: full backoff, then budget"
-            `Quick test_udp_dropped_reply_backoff;
+          Alcotest.test_case "dead endpoint: Server_dead, budget intact"
+            `Quick test_udp_dead_endpoint_fails_fast;
+          Alcotest.test_case "silent endpoint: full backoff, then budget"
+            `Quick test_udp_silent_endpoint_backoff;
           Alcotest.test_case "large value fragmentation" `Quick
             test_udp_large_value_fragmentation;
           Alcotest.test_case "many operations" `Slow test_udp_many_operations;

@@ -233,6 +233,99 @@ let test_protocol_conserves_keys () =
     Shardmgr.Plan.canned_names
 
 (* ------------------------------------------------------------------ *)
+(* Protocol audit under crash faults *)
+
+let replicated_plan =
+  {
+    Shardmgr.Plan.name = "hedge-replicas";
+    events =
+      [
+        Shardmgr.Plan.Add_replica { shard = 0; at_us = 0.0 };
+        Shardmgr.Plan.Add_replica { shard = 1; at_us = 0.0 };
+      ];
+  }
+
+let kill_fault ~server ~kill ~recover =
+  {
+    Fault.Plan.name = "kill-server";
+    events =
+      (Fault.Plan.Kill_server { server; at_us = kill }
+      ::
+      (match recover with
+      | None -> []
+      | Some at_us -> [ Fault.Plan.Recover_server { server; at_us } ]));
+  }
+
+let test_protocol_crash_failover_lossless () =
+  (* A replicated table survives a mirror crash: the kill wipes the
+     mirror's store, GETs fall back to the owner's live copies, the
+     recover resyncs the restarted mirror from the survivors (counted in
+     [transferred]), and the audit stays key-lossless. *)
+  let table = compile ~servers:2 replicated_plan in
+  let dur = Shardmgr.Table.duration_us table in
+  let fault = kill_fault ~server:2 ~kill:(0.4 *. dur) ~recover:(Some (0.8 *. dur)) in
+  let p = Shardmgr.Protocol.check ~seed:3 ~fault ~workload table in
+  check bool "crash audit clean" true (Shardmgr.Protocol.ok p);
+  check int "nothing lost across the crash" 0 p.Shardmgr.Protocol.lost;
+  check bool "recovery resynced the mirror" true
+    (p.Shardmgr.Protocol.transferred > 0);
+  (* An unrecovered mirror is still lossless — the owner holds every
+     key — it just stays out of the read set. *)
+  let q =
+    Shardmgr.Protocol.check ~seed:3
+      ~fault:(kill_fault ~server:2 ~kill:(0.4 *. dur) ~recover:None)
+      ~workload table
+  in
+  check bool "unrecovered mirror still lossless" true (Shardmgr.Protocol.ok q)
+
+let test_protocol_unreplicated_crash_loses_keys () =
+  (* Killing a sole owner must be *visible*: with no replica or dual
+     route holding the keys, the audit reports losses — proving the
+     clean result above comes from failover, not from a blind check. *)
+  let table = compile ~servers:2 (canned "noop") in
+  let dur = Shardmgr.Table.duration_us table in
+  let p =
+    Shardmgr.Protocol.check ~seed:3
+      ~fault:(kill_fault ~server:0 ~kill:(0.5 *. dur) ~recover:None)
+      ~workload table
+  in
+  check bool "sole-owner crash loses keys" true (p.Shardmgr.Protocol.lost > 0);
+  check bool "audit flags it" false (Shardmgr.Protocol.ok p);
+  (* A kill naming a server outside the table is a caller bug. *)
+  check bool "out-of-range server rejected" true
+    (match
+       Shardmgr.Protocol.check ~seed:3
+         ~fault:(kill_fault ~server:99 ~kill:(0.5 *. dur) ~recover:None)
+         ~workload table
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_read_owner_covers_spread () =
+  (* In every epoch the owner read_owner names must hold the key: the
+     spread target sits inside the owner's replica set, and without
+     mirrors the owner *is* the target. *)
+  let table = compile ~servers:2 replicated_plan in
+  for epoch = 0 to Shardmgr.Table.epoch_count table - 1 do
+    let replicas = Shardmgr.Table.epoch_replicas table epoch in
+    for k = 0 to 499 do
+      let owner = Shardmgr.Table.read_owner table ~epoch k in
+      let target = Shardmgr.Table.read_target table ~epoch k in
+      check bool
+        (Printf.sprintf "epoch %d key %d: target in owner's replica set"
+           epoch k)
+        true
+        (Array.exists (fun s -> s = target) replicas.(owner))
+    done
+  done;
+  let bare = compile ~servers:2 (canned "noop") in
+  for k = 0 to 499 do
+    check int "no mirrors: owner = target"
+      (Shardmgr.Table.read_target bare ~epoch:0 k)
+      (Shardmgr.Table.read_owner bare ~epoch:0 k)
+  done
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end runs (quick scale) *)
 
 let reshard_run ?(plan = canned "add-remove") ?(servers = 2) () =
@@ -304,6 +397,12 @@ let () =
         [
           Alcotest.test_case "canned plans conserve every key" `Quick
             test_protocol_conserves_keys;
+          Alcotest.test_case "mirror crash is key-lossless" `Quick
+            test_protocol_crash_failover_lossless;
+          Alcotest.test_case "sole-owner crash loses keys" `Quick
+            test_protocol_unreplicated_crash_loses_keys;
+          Alcotest.test_case "read_owner covers the spread" `Quick
+            test_read_owner_covers_spread;
         ] );
       ( "reshard-run",
         [

@@ -180,6 +180,32 @@ let test_cancellation () =
   check bool "stale handle after pop" false (Wheel.cancel w h1);
   check bool "empty: cancelled never surface" true (Wheel.is_empty w)
 
+let test_cancelled_slots_reclaimed () =
+  (* The hedged-request pattern: a completion event at t and a backup
+     timer slightly later, the timer cancelled when the completion fires
+     first.  Cancellation is lazy, so the dead entries must be reclaimed
+     as the cursor sweeps past them — churning many rounds keeps the
+     arena at its steady-state size instead of growing per hedge. *)
+  let w = Wheel.create ~dummy:(-1) () in
+  let seq = ref 0 in
+  let stale = ref (-1) in
+  for round = 1 to 20_000 do
+    let now = float_of_int round in
+    Wheel.add w ~time:now ~seq:!seq round;
+    incr seq;
+    let h =
+      Wheel.add_timer w ~time:(now +. 0.5) ~seq:!seq ~tag:1 ~i:round ~j:0
+    in
+    incr seq;
+    check int "completion pops first" round (Wheel.pop w);
+    check bool "pending backup cancels" true (Wheel.cancel w h);
+    if round = 1 then stale := h
+  done;
+  check int "no live timers left" 0 (Wheel.length w);
+  check bool "stale handle stays dead" false (Wheel.cancel w !stale);
+  check bool "cancelled slots reclaimed: arena stays small" true
+    (Wheel.capacity w < 1024)
+
 let test_values_released () =
   (* Neither popping nor [clear] may keep closure payloads reachable
      through the arena (the [dummy] reset). *)
@@ -248,6 +274,8 @@ let () =
           Alcotest.test_case "clear rewinds cursor" `Quick
             test_clear_rewinds_cursor;
           Alcotest.test_case "cancellation" `Quick test_cancellation;
+          Alcotest.test_case "cancelled slots reclaimed" `Quick
+            test_cancelled_slots_reclaimed;
           Alcotest.test_case "values released" `Quick test_values_released;
         ] );
       ("conservation", qsuite [ prop_event_conservation ]);
