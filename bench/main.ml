@@ -377,7 +377,7 @@ let run_chaos () =
 let run_cluster () =
   let cfg = Minos.Experiment.config_of_scale scale in
   let t =
-    Minos.Cluster.run ~cfg ~seed:1 ~servers:4 Workload.Spec.default
+    Minos.Cluster.run ~cfg ~seed:1 ~servers:4 Workload.Scenario.default
       ~offered_mops:8.0
   in
   Minos.Cluster.print t;
@@ -409,7 +409,7 @@ let run_reshard () =
          ~duration_us:cfg.Kvserver.Config.duration_us)
   in
   let t =
-    Minos.Reshard.run ~cfg ~seed:1 ~servers:4 ~plan Workload.Spec.default
+    Minos.Reshard.run ~cfg ~seed:1 ~servers:4 ~plan Workload.Scenario.default
       ~offered_mops:8.0 ()
   in
   Minos.Reshard.print t;
@@ -417,6 +417,24 @@ let run_reshard () =
   output_string oc (Minos.Reshard.to_json t);
   close_out oc;
   Printf.printf "[reshard results written to BENCH_reshard.json]\n%!"
+
+(* Scenario suite: every registry scenario beyond the paper's static
+   Poisson mix — diurnal ramps, bursts, TTL churn, scan-heavy, and the
+   larger-than-memory cold tier — size-aware Minos vs the keyhash
+   baseline.  The JSON is the record CI compares: the extended
+   loss-accounting identity (with the expired-miss leg) must hold
+   exactly in every row, size-aware p99 must beat keyhash on the
+   scan-heavy scenario, and a rerun at the same seed (any MINOS_JOBS)
+   must be byte-identical. *)
+
+let run_scenarios () =
+  let cfg = Minos.Experiment.config_of_scale scale in
+  let t = Minos.Scenarios.run ~cfg ~seed:1 () in
+  Minos.Scenarios.print t;
+  let oc = open_out "BENCH_scenarios.json" in
+  output_string oc (Minos.Scenarios.to_json t);
+  close_out oc;
+  Printf.printf "[scenario results written to BENCH_scenarios.json]\n%!"
 
 (* Replica-aware tail-cutting: the hedged/tied/unhedged variant grid
    against a 4-shard, 1-mirror cluster at 8 Mops, fault-free and under
@@ -485,6 +503,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("cluster", "multi-server sharding + fan-out multi-GET", run_cluster);
     ("reshard", "elastic resharding: live migration + replicas", run_reshard);
     ("hedge", "replica-aware tail-cutting vs kill-server chaos", run_hedge);
+    ("scenarios", "scenario suite: arrivals/TTL/scans/cold-tier", run_scenarios);
     ("obs", "flight-recorder overhead on/off", run_obs);
     ("numa", "multi-NUMA-domain scaling", run_numa);
     ("micro", "bechamel microbenchmarks", run_micro);

@@ -85,6 +85,44 @@ let spec_of ~p_large ~s_large ~get_ratio =
     get_ratio;
   }
 
+(* The one composable workload selector: --workload NAME[,k=v,...] picks a
+   registered scenario ({!Workload.Scenario}); the legacy --p-large /
+   --s-large / --get-ratio knobs still work when it is absent. *)
+let workload_conv =
+  let parse s =
+    match Workload.Scenario.parse s with
+    | Ok t -> Ok t
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt (t : Workload.Scenario.t) =
+    Format.pp_print_string fmt t.Workload.Scenario.label
+  in
+  Arg.conv (parse, print)
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (some workload_conv) None
+    & info [ "w"; "workload" ] ~docv:"NAME[,k=v,...]"
+        ~doc:
+          "Workload scenario from the registry (list with $(b,minos workloads)), \
+           with optional knob overrides, e.g. $(b,-w ttl-churn,ttl_ms=20).  \
+           Overrides --p-large/--s-large/--get-ratio.")
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "trace-file" ] ~docv:"FILE"
+        ~doc:
+          "Replay a captured trace file (see $(b,minos trace)) instead of the \
+           synthetic generator; a timed trace replays at its recorded pacing.")
+
+let scenario_of ~workload ~p_large ~s_large ~get_ratio =
+  match workload with
+  | Some sc -> sc
+  | None -> Workload.Scenario.of_spec (spec_of ~p_large ~s_large ~get_ratio)
+
 let scale_of quick =
   if quick then Minos.Experiment.quick_scale else Minos.Experiment.full_scale
 
@@ -103,20 +141,34 @@ let print_metrics m =
 (* run *)
 
 let run_cmd =
-  let action design load p_large s_large get_ratio quick seed =
-    let m =
-      Minos.Experiment.Spec.make design
-      |> Minos.Experiment.Spec.with_workload (spec_of ~p_large ~s_large ~get_ratio)
-      |> Minos.Experiment.with_scale (scale_of quick)
-      |> Minos.Experiment.Spec.with_load load
-      |> Minos.Experiment.Spec.with_seed seed
-      |> Minos.Experiment.run_spec
-    in
-    print_metrics m
+  let action design load workload trace_file p_large s_large get_ratio quick seed =
+    match trace_file with
+    | Some path ->
+        let trace = Workload.Trace.load path in
+        let sc = scenario_of ~workload ~p_large ~s_large ~get_ratio in
+        let cfg = Minos.Experiment.config_of_scale (scale_of quick) in
+        let m =
+          Minos.Experiment.run_trace ~cfg ~seed design trace
+            ~spec:sc.Workload.Scenario.spec ~offered_mops:load
+        in
+        print_metrics m
+    | None ->
+        let m =
+          Minos.Experiment.Spec.make design
+          |> Minos.Experiment.Spec.with_workload
+               (scenario_of ~workload ~p_large ~s_large ~get_ratio)
+          |> Minos.Experiment.with_scale (scale_of quick)
+          |> Minos.Experiment.Spec.with_load load
+          |> Minos.Experiment.Spec.with_seed seed
+          |> Minos.Experiment.run_spec
+        in
+        print_metrics m
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one (design, workload, load) point.")
-    Term.(const action $ design $ load $ p_large $ s_large $ get_ratio $ quick $ seed)
+    Term.(
+      const action $ design $ load $ workload_arg $ trace_file_arg $ p_large $ s_large
+      $ get_ratio $ quick $ seed)
 
 (* ------------------------------------------------------------------ *)
 (* sweep *)
@@ -305,13 +357,24 @@ let trace_cmd =
       & info [ "replay" ] ~docv:"DESIGN"
           ~doc:"After capturing, replay the trace through this design.")
   in
-  let action out count p_large s_large get_ratio seed replay load quick =
-    let spec = spec_of ~p_large ~s_large ~get_ratio in
+  let action out count workload p_large s_large get_ratio seed replay load quick =
+    let sc = scenario_of ~workload ~p_large ~s_large ~get_ratio in
+    let spec = sc.Workload.Scenario.spec in
     let dataset = Minos.Experiment.dataset_for spec in
-    let gen = Workload.Generator.create ~seed ~p_large ~get_ratio dataset in
-    let trace = Workload.Trace.capture gen ~n:count in
+    let trace =
+      match workload with
+      | Some sc ->
+          (* A scenario capture is timed: replaying it reproduces the
+             scenario's arrival process at its recorded pacing. *)
+          Workload.Scenario.capture ~seed sc dataset ~rate_mops:load ~n:count
+      | None ->
+          let gen = Workload.Generator.create ~seed ~p_large ~get_ratio dataset in
+          Workload.Trace.capture gen ~n:count
+    in
     Workload.Trace.save out trace;
-    Format.printf "wrote %d requests to %s@." count out;
+    Format.printf "wrote %d%s requests to %s@." count
+      (if Workload.Trace.timed trace then " timed" else "")
+      out;
     Format.printf "offline analysis: p99 item size = %.0f B (static threshold),@."
       (Workload.Trace.size_percentile trace 0.99);
     Format.printf "  %.3f%% large requests, mean item %.0f B@."
@@ -333,8 +396,8 @@ let trace_cmd =
          "Capture a workload trace, derive the static size threshold offline, and \
           optionally replay it.")
     Term.(
-      const action $ out $ count $ p_large $ s_large $ get_ratio $ seed $ replay $ load
-      $ quick)
+      const action $ out $ count $ workload_arg $ p_large $ s_large $ get_ratio $ seed
+      $ replay $ load $ quick)
 
 (* ------------------------------------------------------------------ *)
 (* numa: multi-domain scaling *)
@@ -569,9 +632,10 @@ let chaos_cmd =
             "Base offered load in million ops/s (default 4.0).  Canned plans \
              scale it per plan: loss10 runs at 1.75x, overload at 2x.")
   in
-  let action plan_file plans json load p_large s_large get_ratio quick seed jobs =
+  let action plan_file plans json load workload p_large s_large get_ratio quick seed
+      jobs =
     Minos.Par.set_jobs jobs;
-    let spec = spec_of ~p_large ~s_large ~get_ratio in
+    let workload = scenario_of ~workload ~p_large ~s_large ~get_ratio in
     let cfg = Minos.Experiment.config_of_scale (scale_of quick) in
     let t =
       match plan_file with
@@ -585,12 +649,12 @@ let chaos_cmd =
               {
                 Minos.Chaos.seed;
                 rows =
-                  Minos.Chaos.run_plan ~cfg ~spec ~seed ~offered_mops:offered
+                  Minos.Chaos.run_plan ~cfg ~workload ~seed ~offered_mops:offered
                     plan;
               })
       | None ->
           let plans = match plans with [] -> None | l -> Some l in
-          Minos.Chaos.run ~cfg ~spec ~seed ?offered_mops:load ?plans ()
+          Minos.Chaos.run ~cfg ~workload ~seed ?offered_mops:load ?plans ()
     in
     Minos.Chaos.print t;
     match json with
@@ -609,8 +673,8 @@ let chaos_cmd =
           the plain Minos and the HKH+WS baseline.  Fixed (plan, seed) pairs \
           reproduce byte-identical results.")
     Term.(
-      const action $ plan_file $ plans_arg $ json_arg $ chaos_load $ p_large
-      $ s_large $ get_ratio $ quick $ seed $ jobs)
+      const action $ plan_file $ plans_arg $ json_arg $ chaos_load $ workload_arg
+      $ p_large $ s_large $ get_ratio $ quick $ seed $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* cluster *)
@@ -686,9 +750,9 @@ let cluster_cmd =
              per shard server.")
   in
   let action design baseline servers policy rebalance vnodes fanouts trials json
-      trace_out load p_large s_large get_ratio quick seed jobs =
+      trace_out load workload p_large s_large get_ratio quick seed jobs =
     Minos.Par.set_jobs jobs;
-    let workload = spec_of ~p_large ~s_large ~get_ratio in
+    let workload = scenario_of ~workload ~p_large ~s_large ~get_ratio in
     let cfg = Minos.Experiment.config_of_scale (scale_of quick) in
     let t =
       Minos.Cluster.run ~cfg ~design ~baseline ~policy ~vnodes ~rebalance
@@ -717,7 +781,8 @@ let cluster_cmd =
     Term.(
       const action $ design $ baseline_arg $ servers_arg $ policy_arg
       $ rebalance_arg $ vnodes_arg $ fanouts_arg $ trials_arg $ json_arg
-      $ trace_arg $ load $ p_large $ s_large $ get_ratio $ quick $ seed $ jobs)
+      $ trace_arg $ load $ workload_arg $ p_large $ s_large $ get_ratio $ quick
+      $ seed $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* reshard *)
@@ -803,9 +868,9 @@ let reshard_cmd =
           ~doc:"Total offered load in million ops/s (default 8.0).")
   in
   let action design baseline servers plan_file plan_name groups vnodes manage
-      json trace_out load p_large s_large get_ratio quick seed jobs =
+      json trace_out load workload p_large s_large get_ratio quick seed jobs =
     Minos.Par.set_jobs jobs;
-    let workload = spec_of ~p_large ~s_large ~get_ratio in
+    let workload = scenario_of ~workload ~p_large ~s_large ~get_ratio in
     let s = scale_of quick in
     let cfg =
       {
@@ -863,8 +928,8 @@ let reshard_cmd =
     Term.(
       const action $ design $ baseline_arg $ servers_arg $ plan_file_arg
       $ plan_name_arg $ groups_arg $ vnodes_arg $ manage_arg $ json_arg
-      $ trace_arg $ reshard_load $ p_large $ s_large $ get_ratio $ quick $ seed
-      $ jobs)
+      $ trace_arg $ reshard_load $ workload_arg $ p_large $ s_large $ get_ratio
+      $ quick $ seed $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* hedge *)
@@ -929,10 +994,10 @@ let hedge_cmd =
       & info [ "l"; "load" ] ~docv:"MOPS"
           ~doc:"Total offered load in million ops/s (default 8.0).")
   in
-  let action shards mirrors cores quantile detect json trace_out load p_large
-      s_large get_ratio quick seed jobs =
+  let action shards mirrors cores quantile detect json trace_out load workload
+      p_large s_large get_ratio quick seed jobs =
     Minos.Par.set_jobs jobs;
-    let workload = spec_of ~p_large ~s_large ~get_ratio in
+    let workload = scenario_of ~workload ~p_large ~s_large ~get_ratio in
     let config =
       {
         (Minos.Hedge.config_of_scale (scale_of quick)) with
@@ -970,8 +1035,83 @@ let hedge_cmd =
           byte-identical results.")
     Term.(
       const action $ shards_arg $ mirrors_arg $ cores_arg $ quantile_arg
-      $ detect_arg $ json_arg $ trace_arg $ hedge_load $ p_large $ s_large
-      $ get_ratio $ quick $ seed $ jobs)
+      $ detect_arg $ json_arg $ trace_arg $ hedge_load $ workload_arg $ p_large
+      $ s_large $ get_ratio $ quick $ seed $ jobs)
+
+(* ------------------------------------------------------------------ *)
+(* workloads: list the scenario registry *)
+
+let workloads_cmd =
+  let action () =
+    List.iter
+      (fun (i : Workload.Scenario.info) ->
+        let aliases =
+          match i.Workload.Scenario.aliases with
+          | [] -> ""
+          | l -> Printf.sprintf " (aliases: %s)" (String.concat ", " l)
+        in
+        Format.printf "%-16s %s%s@." i.Workload.Scenario.name
+          i.Workload.Scenario.summary aliases;
+        List.iter
+          (fun (k, doc) -> Format.printf "    %-14s %s@." k doc)
+          i.Workload.Scenario.knobs)
+      (Workload.Scenario.all ());
+    Format.printf "@.common knobs (every scenario):@.";
+    List.iter
+      (fun (k, doc) -> Format.printf "    %-14s %s@." k doc)
+      Workload.Scenario.common_knobs
+  in
+  Cmd.v
+    (Cmd.info "workloads"
+       ~doc:
+         "List the workload scenario registry: names, aliases and the k=v knobs \
+          accepted by --workload.")
+    Term.(const action $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* scenarios: the scenario suite, size-aware vs keyhash *)
+
+let scenarios_cmd =
+  let names_arg =
+    Arg.(
+      value
+      & opt (list string) Minos.Scenarios.suite
+      & info [ "names" ] ~docv:"NAME,..."
+          ~doc:"Scenarios to run (default: the full suite).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write results as JSON to $(docv).")
+  in
+  let scen_load =
+    Arg.(
+      value
+      & opt float 2.5
+      & info [ "l"; "load" ] ~docv:"MOPS" ~doc:"Offered load in million ops/s.")
+  in
+  let action names json load quick seed jobs =
+    Minos.Par.set_jobs jobs;
+    let cfg = Minos.Experiment.config_of_scale (scale_of quick) in
+    let t = Minos.Scenarios.run ~cfg ~seed ~offered_mops:load ~names () in
+    Minos.Scenarios.print t;
+    match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Minos.Scenarios.to_json t);
+        close_out oc;
+        Printf.printf "[scenario results written to %s]\n%!" file
+  in
+  Cmd.v
+    (Cmd.info "scenarios"
+       ~doc:
+         "Run the scenario suite (diurnal ramps, bursts, TTL churn, scan-heavy, \
+          larger-than-memory cold tier) size-aware vs keyhash and report p99s \
+          plus the extended loss-accounting identity; fixed seeds reproduce \
+          byte-identical results at any --jobs.")
+    Term.(const action $ names_arg $ json_arg $ scen_load $ quick $ seed $ jobs)
 
 let () =
   let info =
@@ -984,5 +1124,5 @@ let () =
           [
             run_cmd; sweep_cmd; slo_cmd; figure_cmd; obs_cmd; queueing_cmd; trace_cmd;
             numa_cmd; serve_cmd; kv_cmd; loadtest_cmd; chaos_cmd; cluster_cmd;
-            reshard_cmd; hedge_cmd;
+            reshard_cmd; hedge_cmd; workloads_cmd; scenarios_cmd;
           ]))

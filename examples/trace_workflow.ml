@@ -18,7 +18,8 @@ let () =
   let trace = Workload.Trace.capture gen ~n:500_000 in
   let path = Filename.temp_file "minos_trace" ".bin" in
   Workload.Trace.save path trace;
-  Printf.printf "captured %d requests -> %s (%d bytes)\n" (Array.length trace) path
+  Printf.printf "captured %d requests -> %s (%d bytes)\n"
+    (Workload.Trace.length trace) path
     (let st = open_in_bin path in
      let n = in_channel_length st in
      close_in st;

@@ -59,6 +59,18 @@ let server_loop sock store stop =
                   { Proto.Wire.id = req.Proto.Wire.id;
                     status = (if existed then Proto.Wire.Ok else Proto.Wire.Not_found);
                     value = None; client_ts = req.Proto.Wire.client_ts }
+              | Proto.Wire.Scan ->
+                  let count =
+                    Option.value ~default:0
+                      (Option.bind req.Proto.Wire.value Proto.Wire.decode_scan_count)
+                  in
+                  let visited =
+                    Kvstore.Store.scan store ~start:req.Proto.Wire.key ~count
+                      (fun _key _size -> ())
+                  in
+                  { Proto.Wire.id = req.Proto.Wire.id;
+                    status = (if visited > 0 then Proto.Wire.Ok else Proto.Wire.Not_found);
+                    value = None; client_ts = req.Proto.Wire.client_ts }
             in
             send_message sock client ~msg_id:req.Proto.Wire.id
               (Proto.Wire.encode_reply reply))
@@ -69,6 +81,7 @@ let () =
     Kvstore.Store.create ~partition_bits:3 ~bucket_bits:8
       ~value_arena_bytes:(16 * 1024 * 1024) ()
   in
+  Kvstore.Store.ensure_ordered store;
   let server_sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   Unix.bind server_sock server_addr;
   (* Generous kernel buffers: a 300 KB value arrives as a burst of ~200
@@ -118,6 +131,14 @@ let () =
     | Proto.Wire.Ok -> "Ok?");
   let r = rpc Proto.Wire.Delete "greeting" None in
   assert (r.Proto.Wire.status = Proto.Wire.Ok);
+
+  (* An ordered SCAN over whatever keys remain (v2 wire opcode). *)
+  let r = rpc Proto.Wire.Scan "a" (Some (Proto.Wire.encode_scan_count 8)) in
+  Printf.printf "SCAN from 'a' -> %s\n"
+    (match r.Proto.Wire.status with
+    | Proto.Wire.Ok -> "Ok"
+    | Proto.Wire.Not_found -> "Not_found"
+    | Proto.Wire.Overloaded -> "Overloaded?");
 
   (* A small closed-loop latency measurement, like Figure 1's setup. *)
   let n = 2000 in

@@ -41,8 +41,8 @@ let variant_points base =
     ("HKH+WS", Kvserver.Design.hkh_ws, baseline_config base);
   ]
 
-let run_plan ?cfg ?(spec = Workload.Spec.default) ?(seed = 1) ?(offered_mops = 4.0)
-    plan =
+let run_plan ?cfg ?(workload = Workload.Scenario.default) ?(seed = 1)
+    ?(offered_mops = 4.0) plan =
   let base =
     match cfg with Some c -> c | None -> Experiment.config_of_scale Experiment.full_scale
   in
@@ -52,10 +52,18 @@ let run_plan ?cfg ?(spec = Workload.Spec.default) ?(seed = 1) ?(offered_mops = 4
             run consumes it, so sharing one across runs would entangle
             their decisions. *)
          let fault = Fault.Inject.create ~seed plan in
-         let metrics = Experiment.run ~cfg ~fault ~seed design spec ~offered_mops in
+         let metrics =
+           Experiment.Spec.make design
+           |> Experiment.Spec.with_workload workload
+           |> Experiment.Spec.with_cfg cfg
+           |> Experiment.Spec.with_seed seed
+           |> Experiment.Spec.with_load offered_mops
+           |> Experiment.Spec.with_fault fault
+           |> Experiment.run_spec
+         in
          { plan = plan.Fault.Plan.name; label; offered_mops; metrics })
 
-let run ?cfg ?spec ?(seed = 1) ?offered_mops ?plans () =
+let run ?cfg ?workload ?(seed = 1) ?offered_mops ?plans () =
   let base =
     match cfg with Some c -> c | None -> Experiment.config_of_scale Experiment.full_scale
   in
@@ -72,7 +80,7 @@ let run ?cfg ?spec ?(seed = 1) ?offered_mops ?plans () =
           | Some p -> p
           | None -> invalid_arg ("Chaos.run: unknown canned plan " ^ name)
         in
-        run_plan ~cfg:base ?spec ~seed
+        run_plan ~cfg:base ?workload ~seed
           ~offered_mops:(plan_load ?base:offered_mops name)
           plan)
       names

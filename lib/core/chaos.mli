@@ -40,17 +40,20 @@ val guard_config : Kvserver.Config.t -> Kvserver.Config.t
 
 val run_plan :
   ?cfg:Kvserver.Config.t ->
-  ?spec:Workload.Spec.t ->
+  ?workload:Workload.Scenario.t ->
   ?seed:int ->
   ?offered_mops:float ->
   Fault.Plan.t ->
   row list
 (** Run the three variants under one plan (in parallel over {!Par}).
-    Each variant gets a fresh injector over the same plan and seed. *)
+    Each variant gets a fresh injector over the same plan and seed.
+    [workload] (default {!Workload.Scenario.default}) composes with the
+    faults — TTL churn or an arrival ramp under a fault plan is a valid
+    point. *)
 
 val run :
   ?cfg:Kvserver.Config.t ->
-  ?spec:Workload.Spec.t ->
+  ?workload:Workload.Scenario.t ->
   ?seed:int ->
   ?offered_mops:float ->
   ?plans:string list ->

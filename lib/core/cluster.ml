@@ -14,6 +14,9 @@ let run ?cfg ?(design = Kvserver.Design.minos) ?(baseline = Kvserver.Design.hkh)
     | Some c -> c
     | None -> Experiment.config_of_scale Experiment.full_scale
   in
+  (* The cluster driver consumes the scenario's flat mix; arrival/TTL/scan
+     extras are single-engine features (see Experiment.run_spec). *)
+  let workload = workload.Workload.Scenario.spec in
   let dataset = Experiment.dataset_for workload in
   let instruments =
     match trace_out with

@@ -31,12 +31,14 @@ val run :
   ?spans:int ->
   ?sample_rate:float ->
   servers:int ->
-  Workload.Spec.t ->
+  Workload.Scenario.t ->
   offered_mops:float ->
   t
 (** [design] defaults to {!Kvserver.Design.minos}, [baseline] to
     {!Kvserver.Design.hkh}; both runs share the router policy ([policy],
     [vnodes], [rebalance]) and seed, so they see identical shard splits.
+    The workload is a registry scenario; the cluster driver uses its flat
+    request mix (arrival/TTL/scan extras are single-engine features).
     [trace_out] attaches one flight recorder per shard to the main run
     and writes a merged Chrome trace whose process ids are the server
     ids ({!Obs.Chrome_trace.write_cluster}); [spans] / [sample_rate]

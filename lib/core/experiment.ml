@@ -79,7 +79,7 @@ let config_of_scale ?(base = Kvserver.Config.default) scale =
 module Spec = struct
   type t = {
     design : Kvserver.Design.t;
-    workload : Workload.Spec.t;
+    workload : Workload.Scenario.t;
     offered_mops : float;
     cfg : Kvserver.Config.t;
     seed : int;
@@ -92,7 +92,7 @@ module Spec = struct
   let make design =
     {
       design;
-      workload = Workload.Spec.default;
+      workload = Workload.Scenario.default;
       offered_mops = 3.0;
       cfg = config_of_scale full_scale;
       seed = 1;
@@ -104,6 +104,7 @@ module Spec = struct
 
   let with_design design t = { t with design }
   let with_workload workload t = { t with workload }
+  let with_workload_spec spec t = { t with workload = Workload.Scenario.of_spec spec }
   let with_load offered_mops t = { t with offered_mops }
   let with_cfg cfg t = { t with cfg }
   let with_seed seed t = { t with seed }
@@ -116,19 +117,67 @@ end
 let with_scale scale (s : Spec.t) =
   { s with Spec.cfg = config_of_scale ~base:s.Spec.cfg scale }
 
+(* How many requests a timed capture holds for a [replay] scenario: about
+   one run's worth at the offered rate, clamped so captures stay cheap.
+   The replay loops (re-based each lap) if the run outlasts it. *)
+let capture_n ~offered_mops (cfg : Kvserver.Config.t) =
+  let expected = offered_mops *. cfg.Kvserver.Config.duration_us in
+  max 1024 (min 262_144 (int_of_float expected))
+
 let run_spec_raw (s : Spec.t) =
-  let dataset = dataset_for s.Spec.workload in
-  let gen =
-    Workload.Generator.create ~seed:(s.Spec.seed + 101)
-      ~p_large:s.Spec.workload.Workload.Spec.p_large
-      ~get_ratio:s.Spec.workload.Workload.Spec.get_ratio dataset
-  in
+  let sc = s.Spec.workload in
+  (match Workload.Scenario.validate sc with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Experiment.run_spec: " ^ msg));
+  let dataset = dataset_for sc.Workload.Scenario.spec in
+  let gen = Workload.Scenario.generator ~seed:(s.Spec.seed + 101) sc dataset in
   let cfg =
     { s.Spec.cfg with Kvserver.Config.seed = s.Spec.cfg.Kvserver.Config.seed + s.Spec.seed }
   in
+  (* Scenario extras.  Every one of these is [None] for a plain scenario,
+     so runs through the original spec path stay byte-identical. *)
+  let pacing =
+    match sc.Workload.Scenario.arrival with
+    | Workload.Arrival.Poisson -> None
+    | arrival ->
+        let base = s.Spec.offered_mops in
+        Some
+          {
+            Kvserver.Engine.rate_at = (fun now -> Workload.Arrival.rate_at arrival ~base now);
+            next_change = (fun now -> Workload.Arrival.next_change arrival ~base now);
+          }
+  in
+  let residency =
+    match (sc.Workload.Scenario.ttl_us, sc.Workload.Scenario.mem_fraction) with
+    | None, None -> None
+    | ttl_us, mem_fraction ->
+        let budget_bytes =
+          Option.map
+            (fun f ->
+              max 1
+                (int_of_float
+                   (f *. float_of_int (Workload.Dataset.total_value_bytes dataset))))
+            mem_fraction
+        in
+        let res = Kvserver.Residency.create ?ttl_us ?budget_bytes dataset in
+        ignore (Kvserver.Residency.populate res ~now:0.0);
+        Some res
+  in
+  let sweep_us =
+    match residency with None -> None | Some _ -> sc.Workload.Scenario.sweep_us
+  in
+  let timed =
+    if not sc.Workload.Scenario.replay then None
+    else
+      Some
+        (Workload.Scenario.capture ~seed:(s.Spec.seed + 211) sc dataset
+           ~rate_mops:s.Spec.offered_mops
+           ~n:(capture_n ~offered_mops:s.Spec.offered_mops cfg))
+  in
   let eng =
-    Kvserver.Engine.create ?dynamic:s.Spec.dynamic ?store:s.Spec.store ?obs:s.Spec.obs
-      ?fault:s.Spec.fault cfg gen ~offered_mops:s.Spec.offered_mops
+    Kvserver.Engine.create ?dynamic:s.Spec.dynamic ?store:s.Spec.store ?pacing ?timed
+      ?residency ?sweep_us ?obs:s.Spec.obs ?fault:s.Spec.fault cfg gen
+      ~offered_mops:s.Spec.offered_mops
   in
   let metrics = Kvserver.Engine.run eng (Kvserver.Design.make s.Spec.design) in
   (metrics, Kvserver.Engine.raw_latencies eng)
@@ -138,7 +187,7 @@ let run_spec s = fst (run_spec_raw s)
 let spec_of ?cfg ?dynamic ?store ?obs ?fault ?(seed = 1) design workload ~offered_mops =
   {
     Spec.design;
-    workload;
+    workload = Workload.Scenario.of_spec workload;
     offered_mops;
     cfg = (match cfg with Some c -> c | None -> config_of_scale full_scale);
     seed;
@@ -181,13 +230,21 @@ let run_sho_best ?cfg ?seed spec ~offered_mops =
   run_best_handoff ?cfg ?seed Kvserver.Design.sho spec ~offered_mops
 
 let run_trace ?cfg ?(seed = 1) design trace ~spec ~offered_mops =
-  if Array.length trace = 0 then invalid_arg "run_trace: empty trace";
+  if Workload.Trace.length trace = 0 then invalid_arg "run_trace: empty trace";
   let cfg = match cfg with Some c -> c | None -> config_of_scale full_scale in
   let cfg = { cfg with Kvserver.Config.seed = cfg.Kvserver.Config.seed + seed } in
   let gen = Workload.Generator.create ~seed:(seed + 101) (dataset_for spec) in
-  let next = Workload.Trace.replayer ~loop:true trace in
-  let source () = Option.get (next ()) in
-  let eng = Kvserver.Engine.create ~source cfg gen ~offered_mops in
+  let eng =
+    if Workload.Trace.timed trace then
+      (* A timed trace carries its own arrival process: replay it at the
+         recorded pacing (looping with rebasing if the run outlasts it)
+         instead of drawing Poisson arrivals at [offered_mops]. *)
+      Kvserver.Engine.create ~timed:trace cfg gen ~offered_mops
+    else
+      let next = Workload.Trace.replayer ~loop:true trace in
+      let source () = Option.get (next ()) in
+      Kvserver.Engine.create ~source cfg gen ~offered_mops
+  in
   Kvserver.Engine.run eng (Kvserver.Design.make design)
 
 type replicated = {

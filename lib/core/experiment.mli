@@ -71,7 +71,7 @@ val config_of_scale : ?base:Kvserver.Config.t -> scale -> Kvserver.Config.t
 module Spec : sig
   type t = {
     design : Kvserver.Design.t;
-    workload : Workload.Spec.t;
+    workload : Workload.Scenario.t;
     offered_mops : float;
     cfg : Kvserver.Config.t;
     seed : int;
@@ -82,12 +82,19 @@ module Spec : sig
   }
 
   val make : Kvserver.Design.t -> t
-  (** Defaults: the default workload spec, 3.0 Mops offered load,
+  (** Defaults: the default workload scenario, 3.0 Mops offered load,
       {!config_of_scale}[ full_scale], seed 1, no dynamic phase plan, no
       store, no recorder, no fault plan. *)
 
   val with_design : Kvserver.Design.t -> t -> t
-  val with_workload : Workload.Spec.t -> t -> t
+
+  val with_workload : Workload.Scenario.t -> t -> t
+  (** Select the workload as a scenario — registry entries
+      ({!Workload.Scenario.find}) or hand-built records both work. *)
+
+  val with_workload_spec : Workload.Spec.t -> t -> t
+  (** Wrap a flat spec ({!Workload.Scenario.of_spec}); runs exactly as the
+      pre-scenario API did. *)
 
   val with_load : float -> t -> t
   (** Offered load in million ops/s. *)
@@ -107,12 +114,22 @@ val with_scale : scale -> Spec.t -> Spec.t
     (keeping its other fields). *)
 
 val run_spec : Spec.t -> Kvserver.Metrics.t
-(** Simulate one point.  [spec.obs] attaches a flight recorder to the run
-    (see {!Kvserver.Engine.create}); sampling draws from the recorder's
-    own stream, so an instrumented run reports the same metrics as an
-    uninstrumented one.  [spec.fault] runs the point under a
-    deterministic fault plan ({!Fault.Inject.create}); each run needs its
-    own injector (its RNG advances during the run). *)
+(** Simulate one point.  The spec's workload scenario is compiled onto the
+    engine: a non-Poisson arrival process becomes a pacing function, a TTL
+    or memory budget attaches a {!Kvserver.Residency} model (populated in
+    key order up to the budget, with the background sweep scheduled when
+    the scenario asks for one), scan knobs flow into the generator, and a
+    [replay] scenario first captures a timed trace
+    ({!Workload.Scenario.capture}, seeded from the spec's seed) and runs
+    through it.  Plain scenarios take none of these paths and reproduce
+    the pre-scenario byte streams exactly.  [spec.obs] attaches a flight
+    recorder to the run (see {!Kvserver.Engine.create}); sampling draws
+    from the recorder's own stream, so an instrumented run reports the
+    same metrics as an uninstrumented one.  [spec.fault] runs the point
+    under a deterministic fault plan ({!Fault.Inject.create}); each run
+    needs its own injector (its RNG advances during the run).  Raises
+    [Invalid_argument] on a scenario that fails
+    {!Workload.Scenario.validate}. *)
 
 val run_spec_raw : Spec.t -> Kvserver.Metrics.t * Stats.Float_vec.t
 (** Like {!run_spec}, additionally returning the raw latency samples (µs)

@@ -68,7 +68,10 @@ let audit_plan ~shards ~mirrors =
   }
 
 let run ?(config = config_of_scale Experiment.full_scale) ?(seed = 1)
-    ?trace_out ?(workload = Workload.Spec.default) ~offered_mops () =
+    ?trace_out ?(workload = Workload.Scenario.default) ~offered_mops () =
+  (* The hedge driver consumes the scenario's flat mix; arrival/TTL/scan
+     extras are single-engine features (see Experiment.run_spec). *)
+  let workload = workload.Workload.Scenario.spec in
   (match Kvhedge.Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Hedge.run: " ^ msg));

@@ -57,6 +57,9 @@ let run ?cfg ?(design = Kvserver.Design.minos) ?(baseline = Kvserver.Design.hkh)
           Kvserver.Config.window_us = Some s.Experiment.window_us;
         }
   in
+  (* The reshard driver consumes the scenario's flat mix; arrival/TTL/scan
+     extras are single-engine features (see Experiment.run_spec). *)
+  let workload = workload.Workload.Scenario.spec in
   let dataset = Experiment.dataset_for workload in
   let duration_us = cfg.Kvserver.Config.duration_us in
   let compile plan =

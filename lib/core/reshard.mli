@@ -40,12 +40,14 @@ val run :
   ?sample_rate:float ->
   servers:int ->
   plan:Shardmgr.Plan.t ->
-  Workload.Spec.t ->
+  Workload.Scenario.t ->
   offered_mops:float ->
   unit ->
   t
 (** [design] defaults to {!Kvserver.Design.minos}, [baseline] to
     {!Kvserver.Design.hkh}; both replay the same compiled table.  The
+    workload is a registry scenario; the reshard driver uses its flat
+    request mix (arrival/TTL/scan extras are single-engine features).  The
     default [cfg] is {!Experiment.full_scale} with its p99 window
     enabled (a caller-supplied [cfg] needs [window_us] set to get the
     timeline, and manage mode requires it).  [trace_out] writes a merged

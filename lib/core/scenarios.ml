@@ -1,0 +1,164 @@
+type row = {
+  scenario : string;
+  design : string;
+  offered_mops : float;
+  metrics : Kvserver.Metrics.t;
+  telescopes : bool;
+}
+
+type t = { seed : int; offered_mops : float; rows : row list }
+
+let suite = [ "diurnal"; "bursts"; "ttl-churn"; "scan-heavy"; "cold-tier" ]
+
+let designs () = [ Kvserver.Design.minos; Kvserver.Design.hkh ]
+
+(* The extended telescoping identity: every issued request is accounted
+   for by exactly one fate, with the TTL/eviction leg included. *)
+let telescopes (m : Kvserver.Metrics.t) =
+  m.Kvserver.Metrics.issued
+  = m.Kvserver.Metrics.served_total + m.Kvserver.Metrics.net_dropped
+    + m.Kvserver.Metrics.rx_dropped + m.Kvserver.Metrics.shed_small
+    + m.Kvserver.Metrics.shed_large + m.Kvserver.Metrics.expired_misses
+    + m.Kvserver.Metrics.in_flight_end
+
+let run ?cfg ?(seed = 1) ?(offered_mops = 2.5) ?(names = suite) () =
+  let cfg =
+    match cfg with
+    | Some c -> c
+    | None -> Experiment.config_of_scale Experiment.full_scale
+  in
+  let points =
+    List.concat_map
+      (fun name ->
+        let info =
+          match Workload.Scenario.find name with
+          | Some i -> i
+          | None -> invalid_arg ("Scenarios.run: unknown scenario " ^ name)
+        in
+        List.map (fun design -> (info, design)) (designs ()))
+      names
+  in
+  let rows =
+    Par.map_list
+      (fun ((info : Workload.Scenario.info), design) ->
+        let metrics =
+          Experiment.Spec.make design
+          |> Experiment.Spec.with_workload info.Workload.Scenario.base
+          |> Experiment.Spec.with_cfg cfg
+          |> Experiment.Spec.with_seed seed
+          |> Experiment.Spec.with_load offered_mops
+          |> Experiment.run_spec
+        in
+        {
+          scenario = info.Workload.Scenario.name;
+          design = Kvserver.Design.name design;
+          offered_mops;
+          metrics;
+          telescopes = telescopes metrics;
+        })
+      points
+  in
+  { seed; offered_mops; rows }
+
+let scenario_names t =
+  List.fold_left
+    (fun acc r -> if List.mem r.scenario acc then acc else acc @ [ r.scenario ])
+    [] t.rows
+
+let print t =
+  Report.section
+    (Printf.sprintf "Scenarios: %s Mops offered, seed %d" (Report.f2 t.offered_mops)
+       t.seed);
+  List.iter
+    (fun name ->
+      let rows = List.filter (fun r -> r.scenario = name) t.rows in
+      let summary =
+        match Workload.Scenario.find name with
+        | Some i -> i.Workload.Scenario.summary
+        | None -> ""
+      in
+      Report.table
+        ~title:(Printf.sprintf "%s — %s" name summary)
+        ~headers:
+          [ "design"; "p50 us"; "p99 us"; "tput Mops"; "miss"; "expired"; "evicted";
+            "exact" ]
+        (List.map
+           (fun r ->
+             let m = r.metrics in
+             [
+               r.design;
+               Report.f1 m.Kvserver.Metrics.p50_us;
+               Report.f1 m.Kvserver.Metrics.p99_us;
+               Report.f2 m.Kvserver.Metrics.throughput_mops;
+               string_of_int m.Kvserver.Metrics.expired_misses;
+               string_of_int m.Kvserver.Metrics.expired_keys;
+               string_of_int m.Kvserver.Metrics.evicted_keys;
+               (if r.telescopes then "yes" else "BROKEN");
+             ])
+           rows);
+      match
+        ( List.find_opt (fun r -> r.design = "minos") rows,
+          List.find_opt (fun r -> r.design = "hkh") rows )
+      with
+      | Some a, Some b ->
+          Report.note "size-aware p99 %s us vs keyhash %s us (%sx)"
+            (Report.f1 a.metrics.Kvserver.Metrics.p99_us)
+            (Report.f1 b.metrics.Kvserver.Metrics.p99_us)
+            (Report.f2
+               (b.metrics.Kvserver.Metrics.p99_us
+               /. Float.max a.metrics.Kvserver.Metrics.p99_us 0.001))
+      | _ -> ())
+    (scenario_names t)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b " "
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  let fl x = if Float.is_nan x then "null" else Printf.sprintf "%.3f" x in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"seed\": %d,\n  \"offered_mops\": %s,\n" t.seed
+       (fl t.offered_mops));
+  Buffer.add_string b "  \"scenarios\": {\n";
+  let names = scenario_names t in
+  List.iteri
+    (fun ni name ->
+      Buffer.add_string b (Printf.sprintf "    \"%s\": {\n" (json_escape name));
+      let rows = List.filter (fun r -> r.scenario = name) t.rows in
+      List.iteri
+        (fun ri r ->
+          let m = r.metrics in
+          Buffer.add_string b
+            (Printf.sprintf
+               "      \"%s\": {\"p50_us\": %s, \"p99_us\": %s, \
+                \"throughput_mops\": %s, \"issued\": %d, \"served\": %d, \
+                \"expired_misses\": %d, \"expired_keys\": %d, \"evicted_keys\": \
+                %d, \"shed\": %d, \"in_flight_end\": %d, \"stable\": %b, \
+                \"telescopes\": %b}%s\n"
+               (json_escape r.design)
+               (fl m.Kvserver.Metrics.p50_us)
+               (fl m.Kvserver.Metrics.p99_us)
+               (fl m.Kvserver.Metrics.throughput_mops)
+               m.Kvserver.Metrics.issued m.Kvserver.Metrics.served_total
+               m.Kvserver.Metrics.expired_misses m.Kvserver.Metrics.expired_keys
+               m.Kvserver.Metrics.evicted_keys
+               (Kvserver.Metrics.shed_total m)
+               m.Kvserver.Metrics.in_flight_end m.Kvserver.Metrics.stable
+               r.telescopes
+               (if ri = List.length rows - 1 then "" else ",")))
+        rows;
+      Buffer.add_string b
+        (Printf.sprintf "    }%s\n" (if ni = List.length names - 1 then "" else ",")))
+    names;
+  Buffer.add_string b "  }\n}\n";
+  Buffer.contents b

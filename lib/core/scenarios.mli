@@ -1,0 +1,47 @@
+(** The scenario suite: every registry scenario that exercises a feature
+    beyond the paper's static Poisson mix, run size-aware vs keyhash.
+
+    Each point is one {!Experiment.run_spec} call, so a scenario gets the
+    full compilation: diurnal/burst arrivals become pacing, TTL and memory
+    budgets attach the residency model, scans flow through dispatch and
+    the cost model, and [cold-tier] runs through a captured timed trace.
+    Points fan out over {!Par} and derive their seeds from the point, so
+    results are byte-identical at any [MINOS_JOBS].
+
+    The headline per scenario is the size-aware vs keyhash p99 — the
+    paper's claim carried into richer operating regimes — plus the
+    extended telescoping identity (issued = served + dropped + shed +
+    expired_misses + in_flight_end), checked per row. *)
+
+type row = {
+  scenario : string;  (** registry name, e.g. ["ttl-churn"] *)
+  design : string;    (** ["minos"] or ["hkh"] *)
+  offered_mops : float;
+  metrics : Kvserver.Metrics.t;
+  telescopes : bool;  (** extended loss-accounting identity exact *)
+}
+
+type t = { seed : int; offered_mops : float; rows : row list }
+
+val suite : string list
+(** [["diurnal"; "bursts"; "ttl-churn"; "scan-heavy"; "cold-tier"]]. *)
+
+val telescopes : Kvserver.Metrics.t -> bool
+(** [issued = served + net_dropped + rx_dropped + shed_small + shed_large
+    + expired_misses + in_flight_end]. *)
+
+val run :
+  ?cfg:Kvserver.Config.t ->
+  ?seed:int ->
+  ?offered_mops:float ->
+  ?names:string list ->
+  unit ->
+  t
+(** Run [names] (default {!suite}) × [minos; hkh] at [offered_mops]
+    (default 2.5).  Raises [Invalid_argument] on an unregistered name. *)
+
+val print : t -> unit
+(** One table per scenario with the size-aware/keyhash p99 ratio note. *)
+
+val to_json : t -> string
+(** The BENCH_scenarios.json payload. *)

@@ -521,8 +521,9 @@ let on_request t =
   t.r_size.(r) <- Workload.Generator.last_item_size t.gen;
   t.r_large.(r) <- (if Workload.Generator.last_is_large t.gen then 1 else 0);
   t.r_put.(r) <-
+    (* SCANs are reads: hedgeable/tieable like GETs. *)
     (match Workload.Generator.last_op t.gen with
-    | Workload.Generator.Get -> 0
+    | Workload.Generator.Get | Workload.Generator.Scan -> 0
     | Workload.Generator.Put -> 1);
   t.r_shard.(r) <- Workload.Dataset.key_partition t.ds key mod t.shards;
   t.r_last.(r) <- -1;
@@ -649,6 +650,7 @@ let split_cores (cfg : Config.t) ds seed =
       let op =
         match Workload.Generator.last_op g with
         | Workload.Generator.Get -> Cost.Get
+        | Workload.Generator.Scan -> Cost.Scan
         | Workload.Generator.Put -> Cost.Put
       in
       let c =

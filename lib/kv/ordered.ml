@@ -1,0 +1,29 @@
+module SMap = Map.Make (String)
+
+type t = { snapshot : unit SMap.t Atomic.t; lock : Spinlock.t }
+
+let create () = { snapshot = Atomic.make SMap.empty; lock = Spinlock.create () }
+
+let add t key =
+  Spinlock.with_lock t.lock (fun () ->
+      Atomic.set t.snapshot (SMap.add key () (Atomic.get t.snapshot)))
+
+let remove t key =
+  Spinlock.with_lock t.lock (fun () ->
+      Atomic.set t.snapshot (SMap.remove key (Atomic.get t.snapshot)))
+
+let cardinal t = SMap.cardinal (Atomic.get t.snapshot)
+
+let mem t key = SMap.mem key (Atomic.get t.snapshot)
+
+let iter_from t ~start f =
+  (* Readers walk an immutable snapshot: concurrent writers publish a new
+     map, so a scan never observes a half-applied mutation (it may miss
+     keys inserted after the scan started, which is the documented
+     non-linearizable contract). *)
+  let rec walk seq =
+    match seq () with
+    | Seq.Nil -> ()
+    | Seq.Cons ((key, ()), rest) -> if f key then walk rest
+  in
+  walk (SMap.to_seq_from start (Atomic.get t.snapshot))

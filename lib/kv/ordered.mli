@@ -1,0 +1,24 @@
+(** A sorted key index: the ordered view that backs SCAN.
+
+    The store's hash table gives O(1) point lookups but no key order; this
+    side index keeps the live key set in a balanced map so range reads can
+    walk keys in lexicographic order.  Writers mutate under a spinlock and
+    publish a fresh immutable snapshot; readers iterate snapshots without
+    locking, so scans never block writers (and are not linearizable with
+    respect to them — a scan may miss keys inserted after it started). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> unit
+
+val remove : t -> string -> unit
+
+val cardinal : t -> int
+
+val mem : t -> string -> bool
+
+val iter_from : t -> start:string -> (string -> bool) -> unit
+(** [iter_from t ~start f] applies [f] to every key [>= start] in
+    ascending order, stopping early when [f] returns [false]. *)

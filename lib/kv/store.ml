@@ -6,6 +6,7 @@ type slot = {
   mutable tag : int; (* 0 = empty *)
   mutable key : string;
   mutable region : Slab.region option;
+  mutable expires_at : float; (* absolute deadline; infinity = no TTL *)
 }
 
 type bucket = { slots : slot array; mutable overflow : bucket option }
@@ -21,11 +22,15 @@ type t = {
   slab : Slab.t;
   items : int Atomic.t;
   overflow_count : int Atomic.t;
+  expired : int Atomic.t;
+  mutable ordered : Ordered.t option;
 }
 
 let fresh_bucket () =
   {
-    slots = Array.init slots_per_bucket (fun _ -> { tag = 0; key = ""; region = None });
+    slots =
+      Array.init slots_per_bucket (fun _ ->
+          { tag = 0; key = ""; region = None; expires_at = infinity });
     overflow = None;
   }
 
@@ -47,6 +52,8 @@ let create ?(partition_bits = 4) ?(bucket_bits = 10) ?(value_arena_bytes = 256 *
     slab = Slab.create ~capacity:value_arena_bytes;
     items = Atomic.make 0;
     overflow_count = Atomic.make 0;
+    expired = Atomic.make 0;
+    ordered = None;
   }
 
 let partition_count t = Array.length t.partitions
@@ -96,21 +103,28 @@ let optimistic_read chain f =
   in
   attempt ()
 
-let get t key =
+(* Lazy expiry: a read at [now] past the slot's deadline answers as if
+   the item were absent.  The slot itself is reclaimed by [expire] /
+   [expire_sweep] — readers hold no write permission under the epoch
+   protocol.  The [neg_infinity] default makes the check free for callers
+   without a clock. *)
+let get ?(now = neg_infinity) t key =
   let _, chain, tag = locate t key in
   optimistic_read chain (fun () ->
       match find_slot chain.head tag key with
-      | Some s -> ( match s.region with Some r -> Some (Slab.read t.slab r) | None -> None)
-      | None -> None)
+      | Some s when now < s.expires_at -> (
+          match s.region with Some r -> Some (Slab.read t.slab r) | None -> None)
+      | Some _ | None -> None)
 
-let size_of t key =
+let size_of ?(now = neg_infinity) t key =
   let _, chain, tag = locate t key in
   optimistic_read chain (fun () ->
       match find_slot chain.head tag key with
-      | Some s -> ( match s.region with Some r -> Some r.Slab.len | None -> None)
-      | None -> None)
+      | Some s when now < s.expires_at -> (
+          match s.region with Some r -> Some r.Slab.len | None -> None)
+      | Some _ | None -> None)
 
-let mem t key = size_of t key <> None
+let mem ?now t key = size_of ?now t key <> None
 
 (* Find an empty slot in the chain, extending it with an overflow bucket if
    necessary.  Must be called inside the write critical section. *)
@@ -140,7 +154,12 @@ let with_guard partition guard f =
   | `Crew -> f ()
   | `Lock -> Spinlock.with_lock partition.lock f
 
-let put t ~guard key value =
+let index_add t key = match t.ordered with Some idx -> Ordered.add idx key | None -> ()
+
+let index_remove t key =
+  match t.ordered with Some idx -> Ordered.remove idx key | None -> ()
+
+let put ?(expires_at = infinity) t ~guard key value =
   let partition, chain, tag = locate t key in
   with_guard partition guard (fun () ->
       match find_slot chain.head tag key with
@@ -153,6 +172,7 @@ let put t ~guard key value =
           Slab.write t.slab r value;
           begin_write chain;
           s.region <- Some r;
+          s.expires_at <- expires_at;
           end_write chain;
           (match old with Some r0 -> Slab.free t.slab r0 | None -> ())
       | None ->
@@ -162,31 +182,107 @@ let put t ~guard key value =
           let s = empty_slot t chain.head in
           s.key <- key;
           s.region <- Some r;
+          s.expires_at <- expires_at;
           s.tag <- tag (* publish last: readers scan by tag *);
           end_write chain;
-          Atomic.incr t.items)
+          Atomic.incr t.items;
+          index_add t key)
+
+(* Clear a slot inside the write critical section of its chain. *)
+let clear_slot t chain s =
+  let old = s.region in
+  begin_write chain;
+  let key = s.key in
+  s.tag <- 0;
+  s.key <- "";
+  s.region <- None;
+  s.expires_at <- infinity;
+  end_write chain;
+  (match old with Some r -> Slab.free t.slab r | None -> ());
+  Atomic.decr t.items;
+  index_remove t key
 
 let delete t ~guard key =
   let partition, chain, tag = locate t key in
   with_guard partition guard (fun () ->
       match find_slot chain.head tag key with
       | Some s ->
-          let old = s.region in
-          begin_write chain;
-          s.tag <- 0;
-          s.key <- "";
-          s.region <- None;
-          end_write chain;
-          (match old with Some r -> Slab.free t.slab r | None -> ());
-          Atomic.decr t.items;
+          clear_slot t chain s;
           true
       | None -> false)
+
+let expire t ~guard ~now key =
+  let partition, chain, tag = locate t key in
+  with_guard partition guard (fun () ->
+      match find_slot chain.head tag key with
+      | Some s when s.expires_at <= now ->
+          clear_slot t chain s;
+          Atomic.incr t.expired;
+          true
+      | Some _ | None -> false)
+
+let expire_sweep t ~now =
+  (* Background reclamation of lapsed slots.  Always takes the partition
+     spinlock: the sweeper is not a partition master, so CREW does not
+     cover it. *)
+  let removed = ref 0 in
+  let rec sweep_bucket chain b =
+    Array.iter
+      (fun s ->
+        if s.tag <> 0 && s.expires_at <= now then begin
+          clear_slot t chain s;
+          Atomic.incr t.expired;
+          incr removed
+        end)
+      b.slots;
+    match b.overflow with Some b -> sweep_bucket chain b | None -> ()
+  in
+  Array.iter
+    (fun p ->
+      Spinlock.with_lock p.lock (fun () ->
+          Array.iter (fun c -> sweep_bucket c c.head) p.chains))
+    t.partitions;
+  !removed
+
+let ensure_ordered t =
+  match t.ordered with
+  | Some _ -> ()
+  | None ->
+      let idx = Ordered.create () in
+      (* Install the index before the backfill so writes racing with the
+         backfill are captured; double insertion is idempotent. *)
+      t.ordered <- Some idx;
+      let rec index_bucket b =
+        Array.iter (fun s -> if s.tag <> 0 then Ordered.add idx s.key) b.slots;
+        match b.overflow with Some b -> index_bucket b | None -> ()
+      in
+      Array.iter
+        (fun p -> Array.iter (fun c -> index_bucket c.head) p.chains)
+        t.partitions
+
+let scan ?(now = neg_infinity) t ~start ~count f =
+  match t.ordered with
+  | None -> invalid_arg "Store.scan: ensure_ordered has not been called"
+  | Some idx ->
+      let visited = ref 0 in
+      Ordered.iter_from idx ~start (fun key ->
+          if !visited >= count then false
+          else begin
+            (match size_of ~now t key with
+            | Some len ->
+                f key len;
+                incr visited
+            | None -> () (* deleted or lapsed since the snapshot *));
+            !visited < count
+          end);
+      !visited
 
 type stats = {
   items : int;
   value_bytes : int;
   overflow_buckets : int;
   partitions : int;
+  expired : int;
 }
 
 let stats (t : t) =
@@ -195,6 +291,7 @@ let stats (t : t) =
     value_bytes = Slab.used_bytes t.slab;
     overflow_buckets = Atomic.get t.overflow_count;
     partitions = partition_count t;
+    expired = Atomic.get t.expired;
   }
 
 let iter (t : t) f =

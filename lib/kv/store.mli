@@ -36,27 +36,50 @@ val partition_of_key : t -> string -> int
 (** The partition a key hashes to; the server layer uses this to implement
     CREW master assignment. *)
 
-val get : t -> string -> bytes option
-(** Optimistic read; returns a copy of the value. *)
+val get : ?now:float -> t -> string -> bytes option
+(** Optimistic read; returns a copy of the value.  With [~now], an item
+    whose TTL deadline is [<= now] answers [None] (lazy expiry) — its slot
+    is reclaimed separately by {!expire} or {!expire_sweep}. *)
 
-val size_of : t -> string -> int option
+val size_of : ?now:float -> t -> string -> int option
 (** Size of the stored value without copying it.  This is the lookup a
     Minos small core performs to classify a GET as small or large (§3). *)
 
-val put : t -> guard:guard -> string -> bytes -> unit
-(** Insert or update.  Raises {!Slab.Out_of_memory} if the value arena is
-    exhausted. *)
+val put : ?expires_at:float -> t -> guard:guard -> string -> bytes -> unit
+(** Insert or update; [~expires_at] attaches an absolute TTL deadline
+    (default: never expires).  Raises {!Slab.Out_of_memory} if the value
+    arena is exhausted. *)
 
 val delete : t -> guard:guard -> string -> bool
 (** Remove a key; [true] if it was present. *)
 
-val mem : t -> string -> bool
+val expire : t -> guard:guard -> now:float -> string -> bool
+(** Reclaim the key's slot iff its deadline is [<= now]; [true] if it was
+    removed.  The read path calls this after a lazy-expiry miss. *)
+
+val expire_sweep : t -> now:float -> int
+(** Walk every slot and reclaim those whose deadline is [<= now]; returns
+    the number removed.  Takes each partition's spinlock (the sweeper is
+    not a partition master, so CREW does not cover it). *)
+
+val mem : ?now:float -> t -> string -> bool
+
+val ensure_ordered : t -> unit
+(** Build (once) the sorted key index that {!scan} walks.  After this,
+    every insert/remove also maintains the index.  Idempotent. *)
+
+val scan : ?now:float -> t -> start:string -> count:int -> (string -> int -> unit) -> int
+(** [scan t ~start ~count f] visits up to [count] live items with key
+    [>= start] in ascending key order, calling [f key value_size]; returns
+    the number visited.  Skips items deleted or lapsed since the index
+    snapshot.  Raises [Invalid_argument] unless {!ensure_ordered} ran. *)
 
 type stats = {
   items : int;
   value_bytes : int;      (** bytes handed out by the slab (rounded to class) *)
   overflow_buckets : int; (** dynamically chained buckets *)
   partitions : int;
+  expired : int;          (** slots reclaimed by {!expire} / {!expire_sweep} *)
 }
 
 val stats : t -> stats

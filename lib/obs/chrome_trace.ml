@@ -62,7 +62,10 @@ let span_events e ~pid r slot =
   let cls =
     if meta Span.meta_class = Span.class_large then "large" else "small"
   in
-  let op = if meta Span.meta_op = Span.op_put then "put" else "get" in
+  let op =
+    let m = meta Span.meta_op in
+    if m = Span.op_put then "put" else if m = Span.op_scan then "scan" else "get"
+  in
   let t0 = ts Span.ts_rx_enq in
   let t_start = ts Span.ts_service_start in
   let t_stop = ts Span.ts_service_end in

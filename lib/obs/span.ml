@@ -36,6 +36,7 @@ let class_small = 0
 let class_large = 1
 let op_get = 0
 let op_put = 1
+let op_scan = 2
 
 (* The five telescoping latency components (consecutive deltas over the
    ordered timestamps, plus the constant pipeline tail); by construction

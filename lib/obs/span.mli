@@ -57,7 +57,7 @@ val meta_class : int
 (** {!class_small} or {!class_large}. *)
 
 val meta_op : int
-(** {!op_get} or {!op_put}. *)
+(** {!op_get}, {!op_put} or {!op_scan}. *)
 
 val meta_size : int
 (** Item size in bytes. *)
@@ -68,6 +68,7 @@ val class_small : int
 val class_large : int
 val op_get : int
 val op_put : int
+val op_scan : int
 
 val n_components : int
 (** Number of latency-anatomy components (see {!Anatomy}). *)

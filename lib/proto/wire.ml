@@ -1,4 +1,4 @@
-type op = Get | Put | Delete
+type op = Get | Put | Delete | Scan
 
 type request = {
   id : int64;
@@ -24,7 +24,10 @@ let pp_error fmt = function
 
 let request_magic = 0xA5
 let reply_magic = 0x5A
-let version = 1
+
+(* v2 added the SCAN opcode (3).  Decoders reject any other version, so a
+   v1 peer fails fast with [Bad_version 2] instead of misparsing. *)
+let version = 2
 
 (* Request layout:
    magic(1) version(1) op(1) id(8) client_ts(8) target_rx(2) key_len(2)
@@ -37,9 +40,14 @@ let reply_header = 1 + 1 + 1 + 8 + 8 + 4
 
 let no_value = 0xFFFFFFFF
 
-let op_code = function Get -> 0 | Put -> 1 | Delete -> 2
+let op_code = function Get -> 0 | Put -> 1 | Delete -> 2 | Scan -> 3
 
-let op_of_code = function 0 -> Some Get | 1 -> Some Put | 2 -> Some Delete | _ -> None
+let op_of_code = function
+  | 0 -> Some Get
+  | 1 -> Some Put
+  | 2 -> Some Delete
+  | 3 -> Some Scan
+  | _ -> None
 
 let status_code = function Ok -> 0 | Not_found -> 1 | Overloaded -> 2
 
@@ -58,6 +66,22 @@ let reply_size r = reply_header + value_len r.value
 let get_request_size ~key_len = request_header + key_len
 
 let put_request_size ~key_len ~value_len = request_header + key_len + value_len
+
+(* A SCAN names its start key and carries the requested entry count as a
+   4-byte value payload — the request record itself is unchanged. *)
+let scan_request_size ~key_len = request_header + key_len + 4
+
+let encode_scan_count count =
+  if count < 0 || count > 0xFFFFFF then invalid_arg "Wire.encode_scan_count";
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int count);
+  b
+
+let decode_scan_count b =
+  if Bytes.length b <> 4 then None
+  else
+    let v = Int32.to_int (Bytes.get_int32_le b 0) land 0xFFFFFFFF in
+    if v > 0xFFFFFF then None else Some v
 
 let get_reply_size ~value_len = reply_header + value_len
 

@@ -9,13 +9,19 @@
     The encoding is little-endian with fixed-width fields — no varints, so
     sizes are predictable for the framing arithmetic. *)
 
-type op = Get | Put | Delete
+type op =
+  | Get
+  | Put
+  | Delete
+  | Scan
+      (** ordered range read: [key] is the start key; the value payload
+          carries the requested entry count ({!encode_scan_count}) *)
 
 type request = {
   id : int64;          (** client-chosen id, echoed in the reply *)
   op : op;
   key : string;
-  value : bytes option;(** present for [Put] *)
+  value : bytes option;(** present for [Put] and [Scan] *)
   client_ts : int64;   (** client send timestamp (ns or µs; opaque) *)
   target_rx : int;     (** RX queue id the client aimed at, 0..65535 *)
 }
@@ -74,3 +80,15 @@ val get_request_size : key_len:int -> int
 val put_reply_size : int
 (** PUT replies carry no value payload — the reason 50:50 workloads push
     more ops through the same NIC (§6.2). *)
+
+val scan_request_size : key_len:int -> int
+(** Encoded size of a SCAN request: header + start key + the 4-byte entry
+    count carried as its value payload. *)
+
+val encode_scan_count : int -> bytes
+(** The 4-byte SCAN value payload.  Raises [Invalid_argument] outside
+    [0, 0xFFFFFF]. *)
+
+val decode_scan_count : bytes -> int option
+(** Inverse of {!encode_scan_count}; [None] on wrong length or an
+    out-of-range count. *)

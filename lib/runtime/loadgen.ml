@@ -13,10 +13,13 @@ type result = {
 }
 
 (* The common client loop.  [make_id] namespaces request ids (concurrent
-   clients must not collide) and [poll] supplies this client's replies. *)
-let client_loop ?(concurrency = 64) ~server ~dataset ~requests ~seed ~make_id ~poll () =
+   clients must not collide) and [poll] supplies this client's replies.
+   [ttl_s] attaches a TTL to every PUT; [scan_ratio]/[scan_len] mix in
+   ordered range reads (both default off, preserving the original mix). *)
+let client_loop ?(concurrency = 64) ?ttl_s ?(scan_ratio = 0.0) ?(scan_len = 16) ~server
+    ~dataset ~requests ~seed ~make_id ~poll () =
   if requests < 0 then invalid_arg "Loadgen.run: negative request count";
-  let gen = Workload.Generator.create ~seed dataset in
+  let gen = Workload.Generator.create ~seed ~scan_ratio ~scan_len dataset in
   let outstanding : (int64, Message.request) Hashtbl.t = Hashtbl.create concurrency in
   let latencies = Stats.Float_vec.create ~capacity:requests () in
   let completed = ref 0 and not_found = ref 0 and rejected = ref 0 in
@@ -29,8 +32,12 @@ let client_loop ?(concurrency = 64) ~server ~dataset ~requests ~seed ~make_id ~p
       op =
         (match g.Workload.Generator.op with
         | Workload.Generator.Get -> Message.Get
-        | Workload.Generator.Put ->
-            Message.Put (Bytes.create g.Workload.Generator.item_size));
+        | Workload.Generator.Scan -> Message.Scan g.Workload.Generator.scan_len
+        | Workload.Generator.Put -> (
+            let value = Bytes.create g.Workload.Generator.item_size in
+            match ttl_s with
+            | None -> Message.Put value
+            | Some ttl -> Message.Put_ttl (value, ttl)));
       key = Workload.Dataset.key_name g.Workload.Generator.key_id;
       submitted_at = Unix.gettimeofday ();
       obs_slot = -1;
@@ -90,8 +97,9 @@ let client_loop ?(concurrency = 64) ~server ~dataset ~requests ~seed ~make_id ~p
     rejected_submits = !rejected;
   }
 
-let run ?concurrency ~server ~dataset ~requests ~seed () =
-  client_loop ?concurrency ~server ~dataset ~requests ~seed ~make_id:Fun.id
+let run ?concurrency ?ttl_s ?scan_ratio ?scan_len ~server ~dataset ~requests ~seed () =
+  client_loop ?concurrency ?ttl_s ?scan_ratio ?scan_len ~server ~dataset ~requests ~seed
+    ~make_id:Fun.id
     ~poll:(fun () -> Server.poll_reply server)
     ()
 

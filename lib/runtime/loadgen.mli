@@ -19,6 +19,9 @@ type result = {
 
 val run :
   ?concurrency:int ->
+  ?ttl_s:float ->
+  ?scan_ratio:float ->
+  ?scan_len:int ->
   server:Server.t ->
   dataset:Workload.Dataset.t ->
   requests:int ->
@@ -27,7 +30,9 @@ val run :
   result
 (** [run ~server ~dataset ~requests ~seed ()] issues [requests] operations
     drawn from the dataset's spec (GET:PUT mix, zipf popularity, size
-    classes) and waits for all replies.  [concurrency] defaults to 64. *)
+    classes) and waits for all replies.  [concurrency] defaults to 64.
+    [ttl_s] attaches a TTL to every PUT; [scan_ratio] diverts that
+    fraction of draws to SCANs of [scan_len] entries (default 16). *)
 
 val run_concurrent :
   ?clients:int ->

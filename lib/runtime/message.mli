@@ -8,7 +8,13 @@
 type op =
   | Get
   | Put of bytes  (** the bytes to store *)
+  | Put_ttl of bytes * float
+      (** store with a TTL in seconds; the item expires lazily on read
+          and eagerly via the server's background sweep *)
   | Delete        (** "considered [a] special version of PUT" (§3) *)
+  | Scan of int
+      (** ordered range read of up to this many items starting at [key]
+          (inclusive); the reply reports the range's total bytes *)
 
 type request = {
   id : int64;

@@ -16,6 +16,7 @@ type config = {
   idle_backoff_s : float;
   shed_watermark : int option;
   clamp_threshold : float option;
+  expiry_sweep_s : float;
   fault : Fault.Inject.t option;
 }
 
@@ -32,6 +33,7 @@ let default_config =
     idle_backoff_s = 0.0002;
     shed_watermark = None;
     clamp_threshold = None;
+    expiry_sweep_s = 0.0;
     fault = None;
   }
 
@@ -108,11 +110,12 @@ let obs_sample_submit t (req : Message.request) ~ring_idx =
         Obs.Recorder.set_meta r slot Obs.Span.meta_op
           (match req.Message.op with
           | Message.Get -> Obs.Span.op_get
-          | Message.Put _ | Message.Delete -> Obs.Span.op_put);
+          | Message.Scan _ -> Obs.Span.op_scan
+          | Message.Put _ | Message.Put_ttl _ | Message.Delete -> Obs.Span.op_put);
         Obs.Recorder.set_meta r slot Obs.Span.meta_size
           (match req.Message.op with
-          | Message.Put v -> Bytes.length v
-          | Message.Get | Message.Delete -> 0)
+          | Message.Put v | Message.Put_ttl (v, _) -> Bytes.length v
+          | Message.Get | Message.Delete | Message.Scan _ -> 0)
       end
 
 let fresh_hist () =
@@ -130,9 +133,9 @@ let key_master t key =
 
 let dispatch_ring t (req : Message.request) =
   match req.Message.op with
-  | Message.Get -> Int64.to_int (Int64.rem (mix64 req.Message.id) (Int64.of_int t.cfg.cores))
-                   |> abs
-  | Message.Put _ | Message.Delete -> key_master t req.Message.key
+  | Message.Get | Message.Scan _ ->
+      Int64.to_int (Int64.rem (mix64 req.Message.id) (Int64.of_int t.cfg.cores)) |> abs
+  | Message.Put _ | Message.Put_ttl _ | Message.Delete -> key_master t req.Message.key
 
 let submit t req =
   if not (Atomic.get t.accepting) then false
@@ -207,15 +210,39 @@ let serve t (w : worker) (req : Message.request) =
   in
   (match req.Message.op with
   | Message.Get -> (
-      match Kvstore.Store.get t.store req.Message.key with
+      let now = Unix.gettimeofday () in
+      match Kvstore.Store.get ~now t.store req.Message.key with
       | Some value -> reply_with Message.Ok (Some value) (Bytes.length value)
-      | None -> reply_with Message.Not_found None 0)
+      | None ->
+          (* Lazy expiry: a miss may be a lapsed slot; reclaim it now so
+             memory is not held until the background sweep passes. *)
+          let master = key_master t req.Message.key in
+          let guard = if master = w.id then `Crew else `Lock in
+          ignore (Kvstore.Store.expire t.store ~guard ~now req.Message.key);
+          reply_with Message.Not_found None 0)
   | Message.Put value ->
       let master = key_master t req.Message.key in
       (* CREW: the master core writes lock-free; anyone else locks. *)
       let guard = if master = w.id then `Crew else `Lock in
       Kvstore.Store.put t.store ~guard req.Message.key value;
       reply_with Message.Ok None (Bytes.length value)
+  | Message.Put_ttl (value, ttl_s) ->
+      let master = key_master t req.Message.key in
+      let guard = if master = w.id then `Crew else `Lock in
+      Kvstore.Store.put
+        ~expires_at:(Unix.gettimeofday () +. ttl_s)
+        t.store ~guard req.Message.key value;
+      reply_with Message.Ok None (Bytes.length value)
+  | Message.Scan count ->
+      let now = Unix.gettimeofday () in
+      let total = ref 0 in
+      let visited =
+        Kvstore.Store.scan ~now t.store ~start:req.Message.key ~count (fun _ len ->
+            total := !total + len)
+      in
+      reply_with
+        (if visited > 0 then Message.Ok else Message.Not_found)
+        None !total
   | Message.Delete ->
       let master = key_master t req.Message.key in
       let guard = if master = w.id then `Crew else `Lock in
@@ -227,10 +254,18 @@ let serve t (w : worker) (req : Message.request) =
    lookup the paper's small cores perform), the carried size for PUTs. *)
 let request_item_size t (req : Message.request) =
   match req.Message.op with
-  | Message.Put value -> Bytes.length value
+  | Message.Put value | Message.Put_ttl (value, _) -> Bytes.length value
   | Message.Delete -> 0 (* always "small": frees, never copies *)
   | Message.Get ->
       Option.value ~default:0 (Kvstore.Store.size_of t.store req.Message.key)
+  | Message.Scan count ->
+      (* The size-aware classifier needs the range's total bytes — the
+         same ordered walk the serve path performs, minus the copies. *)
+      let total = ref 0 in
+      ignore
+        (Kvstore.Store.scan t.store ~start:req.Message.key ~count (fun _ len ->
+             total := !total + len));
+      !total
 
 (* Graceful degradation (shed-large-first): above the watermark the
    worker answers [Overloaded] instead of executing.  Large requests shed
@@ -511,9 +546,23 @@ let fault_clock_loop t f =
     Thread.delay 0.001
   done
 
+(* Background expiry: one posix thread walks the store every sweep
+   period, reclaiming lapsed slots — the eager companion to the read
+   path's lazy expiry, same split as the DES engine's wheel-scheduled
+   sweep event. *)
+let expiry_sweep_loop t =
+  while not (Atomic.get t.stop_flag) do
+    ignore (Kvstore.Store.expire_sweep t.store ~now:(Unix.gettimeofday ()));
+    Thread.delay t.cfg.expiry_sweep_s
+  done
+
 let start ?obs ?(config = default_config) store =
   if config.cores < 2 then invalid_arg "Server.start: need at least 2 cores";
   if config.batch < 1 then invalid_arg "Server.start: batch must be >= 1";
+  if config.expiry_sweep_s < 0.0 then
+    invalid_arg "Server.start: expiry_sweep_s must be >= 0";
+  (* SCANs walk the sorted key index; build it before workers serve. *)
+  Kvstore.Store.ensure_ordered store;
   let t =
     {
       cfg = config;
@@ -560,6 +609,8 @@ let start ?obs ?(config = default_config) store =
   (match config.fault with
   | Some f -> ignore (Thread.create (fun () -> fault_clock_loop t f) ())
   | None -> ());
+  if config.expiry_sweep_s > 0.0 then
+    ignore (Thread.create (fun () -> expiry_sweep_loop t) ());
   t
 
 type stats = {
@@ -573,6 +624,7 @@ type stats = {
   shed_large : int;
   rx_rejected : int;
   ctrl_stale : int;
+  expired : int;
 }
 
 let stats (t : t) =
@@ -588,6 +640,7 @@ let stats (t : t) =
     shed_large = Atomic.get t.shed_large;
     rx_rejected = Atomic.get t.rx_rejected;
     ctrl_stale = Atomic.get t.ctrl_stale;
+    expired = (Kvstore.Store.stats t.store).Kvstore.Store.expired;
   }
 
 let stop t =

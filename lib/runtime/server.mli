@@ -52,6 +52,11 @@ type config = {
           and clamp per-epoch movement to this fraction of the last good
           value ({!Kvserver.Control.sanitize}).  [None] keeps the
           unguarded paper behaviour. *)
+  expiry_sweep_s : float;
+      (** period of the background expiry-sweep thread that reclaims
+          TTL-lapsed items ({!Kvstore.Store.expire_sweep}); [0.0]
+          (default) disables it — lapsed items are then reclaimed only
+          lazily when a read misses them. *)
   fault : Fault.Inject.t option;
       (** deterministic fault plan to run the server under: a fault-clock
           thread samples the plan's windows ~every millisecond into
@@ -79,7 +84,7 @@ val start : ?obs:Obs.Instrument.t -> ?config:config -> Kvstore.Store.t -> t
 
 val submit : t -> Message.request -> bool
 (** Hardware-dispatch stand-in: route the request to an RX ring (random
-    for GETs, keyhash for PUTs) — callable from any domain.  [false] when
+    for GETs/SCANs, keyhash for PUTs) — callable from any domain.  [false] when
     the chosen ring is full or squeezed below its capacity by a fault
     plan (client should back off and retry). *)
 
@@ -103,6 +108,8 @@ type stats = {
                                      (full ring or capacity squeeze) *)
   ctrl_stale : int;              (** control epochs skipped because the
                                      stat pipeline was delayed by a fault *)
+  expired : int;                 (** TTL-lapsed slots reclaimed (lazily on
+                                     read or by the sweep thread) *)
 }
 
 val stats : t -> stats

@@ -79,7 +79,12 @@ let reader_loop t queue =
                           | Proto.Wire.Put ->
                               Message.Put
                                 (Option.value ~default:Bytes.empty req.Proto.Wire.value)
-                          | Proto.Wire.Delete -> Message.Delete);
+                          | Proto.Wire.Delete -> Message.Delete
+                          | Proto.Wire.Scan ->
+                              Message.Scan
+                                (Option.value ~default:0
+                                   (Option.bind req.Proto.Wire.value
+                                      Proto.Wire.decode_scan_count)));
                         key = req.Proto.Wire.key;
                         submitted_at = Unix.gettimeofday ();
                         obs_slot = -1;
@@ -305,7 +310,7 @@ module Client = struct
     let id = c.next_id in
     let queue =
       match op with
-      | Proto.Wire.Get -> Dsim.Rng.int c.rng c.queues
+      | Proto.Wire.Get | Proto.Wire.Scan -> Dsim.Rng.int c.rng c.queues
       | Proto.Wire.Put | Proto.Wire.Delete -> key_queue c key
     in
     let sock = c.socks.(queue) in

@@ -33,17 +33,21 @@ let default =
 
 let key_size = 8
 
-type op = Get | Put
+type op = Get | Put | Scan
 
+(* For a SCAN, [item_size] is the total bytes of the scanned range: the
+   reply carries them all, so the per-byte and per-frame terms below price
+   the whole range exactly like an equally-sized GET. *)
 let reply_payload op ~item_size =
   match op with
-  | Get -> Proto.Wire.get_reply_size ~value_len:item_size
+  | Get | Scan -> Proto.Wire.get_reply_size ~value_len:item_size
   | Put -> Proto.Wire.put_reply_size
 
 let request_payload op ~item_size =
   match op with
   | Get -> Proto.Wire.get_request_size ~key_len:key_size
   | Put -> Proto.Wire.put_request_size ~key_len:key_size ~value_len:item_size
+  | Scan -> Proto.Wire.scan_request_size ~key_len:key_size
 
 let request_frames op ~item_size =
   Netsim.Frame.frames_for_payload (request_payload op ~item_size)
@@ -69,7 +73,8 @@ let request_cost fn op ~item_size =
       float_of_int
         (match op with
         | Get -> reply_frames Get ~item_size
-        | Put -> request_frames Put ~item_size)
+        | Put -> request_frames Put ~item_size
+        | Scan -> reply_frames Scan ~item_size)
   | Bytes -> float_of_int item_size
   | Constant_plus_bytes c -> c +. float_of_int item_size
 

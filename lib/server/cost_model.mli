@@ -35,10 +35,12 @@ val default : t
 val key_size : int
 (** Constant 8-byte keys (§5.3). *)
 
-type op = Get | Put
+type op = Get | Put | Scan
 
 val reply_payload : op -> item_size:int -> int
-(** Encoded reply bytes: GET replies carry the value, PUT replies do not. *)
+(** Encoded reply bytes: GET (and SCAN) replies carry the value bytes —
+    for a SCAN, [item_size] is the {e total} bytes of the scanned range —
+    PUT replies do not. *)
 
 val request_payload : op -> item_size:int -> int
 

@@ -48,9 +48,10 @@ let make eng =
     dispatch =
       (fun req ->
         match req.Engine.op with
-        | Cost_model.Get ->
-            (* CREW sprays GETs; EREW sends them to the key's master core
-               (all-exclusive, better locality, skew-sensitive). *)
+        | Cost_model.Get | Cost_model.Scan ->
+            (* CREW sprays GETs (and SCANs); EREW sends them to the key's
+               master core (all-exclusive, better locality,
+               skew-sensitive). *)
             if cfg.Config.hkh_erew then Engine.put_master eng req
             else Engine.uniform_queue eng
         | Cost_model.Put -> Engine.put_master eng req);

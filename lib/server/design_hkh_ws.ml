@@ -31,7 +31,7 @@ let make eng =
   let put_lock_cost c req =
     match req.Engine.op with
     | Cost_model.Put when Engine.put_master eng req <> c.id -> cost.Cost_model.lock_us
-    | Cost_model.Put | Cost_model.Get -> 0.0
+    | Cost_model.Put | Cost_model.Get | Cost_model.Scan -> 0.0
   in
   (* Size-oblivious: admission control classifies by a fixed cutoff. *)
   let shed_large (req : Engine.request) = req.Engine.item_size > 65536 in
@@ -106,7 +106,7 @@ let make eng =
     dispatch =
       (fun req ->
         match req.Engine.op with
-        | Cost_model.Get -> Engine.uniform_queue eng
+        | Cost_model.Get | Cost_model.Scan -> Engine.uniform_queue eng
         | Cost_model.Put -> Engine.put_master eng req);
     on_arrival =
       (fun ~queue ->

@@ -55,7 +55,7 @@ let put_lock_cost st (req : Engine.request) =
   | Cost_model.Put
     when st.core_slot.(Engine.put_master st.eng req) >= st.plan.Control.n_small ->
       st.cfg.Config.cost.Cost_model.lock_us
-  | Cost_model.Put | Cost_model.Get -> 0.0
+  | Cost_model.Put | Cost_model.Get | Cost_model.Scan -> 0.0
 
 let standby_mode st = st.plan.Control.n_large = 0
 
@@ -413,10 +413,10 @@ let make eng =
     Engine.name;
     dispatch =
       (fun req ->
-        (* Clients are unaware of roles: GETs go to a random RX queue,
-           PUTs to the keyhash queue (§3). *)
+        (* Clients are unaware of roles: GETs (and SCANs) go to a random
+           RX queue, PUTs to the keyhash queue (§3). *)
         match req.Engine.op with
-        | Cost_model.Get -> Engine.uniform_queue eng
+        | Cost_model.Get | Cost_model.Scan -> Engine.uniform_queue eng
         | Cost_model.Put -> Engine.put_master eng req);
     on_arrival =
       (fun ~queue ->

@@ -8,6 +8,8 @@ type request = {
   mutable key_id : int;
   mutable item_size : int;
   mutable is_large_truth : bool;
+  mutable scan_len : int; (* keys covered by a SCAN, 0 otherwise *)
+  mutable miss : bool; (* GET found no live item (TTL / eviction) *)
   mutable frames_in : int; (* doubled when a fault duplicates the frames *)
   mutable rx_queue : int;
   mutable span : int; (* flight-recorder slot, -1 when not sampled *)
@@ -23,6 +25,8 @@ let fresh_request slot =
     key_id = 0;
     item_size = 0;
     is_large_truth = false;
+    scan_len = 0;
+    miss = false;
     frames_in = 0;
     rx_queue = 0;
     span = -1;
@@ -50,8 +54,14 @@ type t = {
       (* materialized key strings, only when a real store is attached *)
   source : (unit -> Workload.Generator.request) option;
   pacing : pacing option;
+  timed : Workload.Trace.t option;
+      (* replay requests at their recorded timestamps (overrides the
+         Poisson arrival loop; [source]/[pacing] are ignored) *)
   dynamic : Workload.Dynamic.t option;
   store : Kvstore.Store.t option;
+  residency : Residency.t option;
+      (* TTL/eviction model for scenario runs; [None] on the plain path *)
+  sweep_us : float option; (* background expiry-sweep period *)
   nic : int Netsim.Nic.t;
       (* RX queues carry pool slots, not request pointers: int queues keep
          [Fifo] push/pop free of the pointer-store write barrier, which is
@@ -93,6 +103,10 @@ type t = {
   arrival_rng : Dsim.Rng.t;
   sampling_rng : Dsim.Rng.t;
   dispatch_rng : Dsim.Rng.t;
+  mutable eviction_rng : Dsim.Rng.t;
+      (* forked from the sim only when residency is attached, after the
+         three streams above — plain runs fork exactly as before, so
+         every pre-scenario golden stays byte-identical *)
   put_value : bytes; (* scratch buffer reused for real-store writes *)
   mutable probe : (core:int -> request -> unit) option;
   obs : Obs.Instrument.t option;
@@ -103,6 +117,8 @@ type t = {
   mutable rx_dropped : int;
   mutable shed_small : int;
   mutable shed_large : int;
+  mutable expired_misses : int;
+      (* GETs processed but answered not-found: the new telescoping leg *)
 }
 
 let set_probe t f = t.probe <- Some f
@@ -182,7 +198,8 @@ let obs_sample_arrival t (req : request) ~queue =
         Obs.Recorder.set_meta r slot Obs.Span.meta_op
           (match req.op with
           | Cost_model.Get -> Obs.Span.op_get
-          | Cost_model.Put -> Obs.Span.op_put);
+          | Cost_model.Put -> Obs.Span.op_put
+          | Cost_model.Scan -> Obs.Span.op_scan);
         Obs.Recorder.set_meta r slot Obs.Span.meta_size req.item_size
       end
 
@@ -276,6 +293,11 @@ let touch_real_store t req =
       let key = t.key_names.(req.key_id) in
       match req.op with
       | Cost_model.Get -> ignore (Kvstore.Store.size_of store key)
+      | Cost_model.Scan ->
+          (* Fidelity touch only: the simulated scan's bytes/frames come
+             from the dataset; real ordered iteration is exercised by
+             {!Kvstore.Store.scan} in the runtime server and tests. *)
+          ignore (Kvstore.Store.size_of store key)
       | Cost_model.Put ->
           (* Write a small marker value: materializing multi-hundred-KB
              values for every simulated PUT would swamp the run without
@@ -328,6 +350,7 @@ let service_done t slot j =
   let replied =
     match req.op with
     | Cost_model.Put -> true
+    | Cost_model.Scan -> true (* the reply carries the range; never elided *)
     | Cost_model.Get ->
         t.cfg.Config.sampling >= 1.0
         || Dsim.Rng.unit_float t.sampling_rng < t.cfg.Config.sampling
@@ -337,6 +360,7 @@ let service_done t slot j =
   t.core_packets.(core) <-
     t.core_packets.(core) + req.frames_in + (if replied then reply_frames else 0);
   t.processed_total <- t.processed_total + 1;
+  if req.miss then t.expired_misses <- t.expired_misses + 1;
   if in_window t (Dsim.Sim.now t.sim) then
     t.processed_window <- t.processed_window + 1;
   obs_mark t Obs.Span.ts_service_end req;
@@ -351,6 +375,21 @@ let service_done t slot j =
   t.resume core
 
 let execute t ~core ~tx_queue ~extra_cpu req =
+  (* Residency is consulted at service start: a GET that finds no live
+     item (expired, evicted, never loaded) becomes a cheap not-found
+     reply; a PUT (re)loads its key, evicting under the memory budget. *)
+  (match t.residency with
+  | None -> ()
+  | Some res -> (
+      match req.op with
+      | Cost_model.Get ->
+          if not (Residency.on_get res ~now:(Dsim.Sim.now t.sim) req.key_id) then begin
+            req.miss <- true;
+            req.item_size <- 0
+          end
+      | Cost_model.Put ->
+          Residency.on_put res ~now:(Dsim.Sim.now t.sim) t.eviction_rng req.key_id
+      | Cost_model.Scan -> () (* scans read the ordered index, not residency *)));
   let cpu =
     Cost_model.cpu_time t.cfg.Config.cost req.op ~item_size:req.item_size +. extra_cpu
   in
@@ -389,13 +428,23 @@ let execute t ~core ~tx_queue ~extra_cpu req =
   Dsim.Sim.schedule_call_after t.sim cpu ~tag:t.tag_service ~i:req.slot
     ~j:(core lor (tx_queue lsl 16))
 
-let create ?dynamic ?store ?source ?pacing ?obs ?fault ?(server = 0) cfg gen
-    ~offered_mops =
+let create ?dynamic ?store ?source ?pacing ?timed ?residency ?sweep_us ?obs ?fault
+    ?(server = 0) cfg gen ~offered_mops =
   if server < 0 then invalid_arg "Engine.create: server must be >= 0";
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.create: " ^ msg));
   if not (offered_mops > 0.0) then invalid_arg "Engine.create: offered_mops must be > 0";
+  (match timed with
+  | Some trace when not (Workload.Trace.timed trace) ->
+      invalid_arg "Engine.create: timed replay needs a timestamped trace"
+  | Some trace when Workload.Trace.length trace = 0 ->
+      invalid_arg "Engine.create: timed trace is empty"
+  | Some _ | None -> ());
+  (match sweep_us with
+  | Some s when not (s > 0.0) ->
+      invalid_arg "Engine.create: sweep_us must be positive"
+  | Some _ | None -> ());
   let sim = Dsim.Sim.create ~seed:cfg.Config.seed () in
   let dataset = Workload.Generator.dataset gen in
   let pool_init = 256 in
@@ -412,8 +461,11 @@ let create ?dynamic ?store ?source ?pacing ?obs ?fault ?(server = 0) cfg gen
             Array.init (Workload.Dataset.n_keys dataset) Workload.Dataset.key_name);
       source;
       pacing;
+      timed;
       dynamic;
       store;
+      residency;
+      sweep_us;
       nic =
         Netsim.Nic.create ~queues:cfg.Config.cores ~tx_gbps:cfg.Config.tx_gbps
           ~dummy:(-1);
@@ -453,6 +505,7 @@ let create ?dynamic ?store ?source ?pacing ?obs ?fault ?(server = 0) cfg gen
       arrival_rng = Dsim.Sim.fork_rng sim;
       sampling_rng = Dsim.Sim.fork_rng sim;
       dispatch_rng = Dsim.Sim.fork_rng sim;
+      eviction_rng = Dsim.Rng.create 0 (* replaced below iff residency *);
       put_value = Bytes.create 16;
       probe = None;
       obs;
@@ -463,8 +516,16 @@ let create ?dynamic ?store ?source ?pacing ?obs ?fault ?(server = 0) cfg gen
       rx_dropped = 0;
       shed_small = 0;
       shed_large = 0;
+      expired_misses = 0;
     }
   in
+  (* Forked after the record is built so it always comes after the three
+     streams above, whatever the literal's evaluation order — and only
+     when residency is attached, keeping plain runs' fork sequence (and
+     hence every existing golden) untouched. *)
+  (match residency with
+  | Some _ -> t.eviction_rng <- Dsim.Sim.fork_rng sim
+  | None -> ());
   (* TX frame completions go through a typed event: the wire serializes
      frames, so one handler tag (reading [t.tx] at fire time) covers every
      frame with no per-frame closure. *)
@@ -491,11 +552,13 @@ type design = {
 }
 
 (* Overwrite a pooled request's fields for a new arrival. *)
-let fill_request t req op ~key_id ~item_size ~is_large =
+let fill_request t req op ~key_id ~item_size ~is_large ~scan_len =
   req.op <- op;
   req.key_id <- key_id;
   req.item_size <- item_size;
   req.is_large_truth <- is_large;
+  req.scan_len <- scan_len;
+  req.miss <- false;
   t.arrivals.(req.slot) <- Dsim.Sim.now t.sim;
   req.frames_in <- Cost_model.request_frames op ~item_size;
   req.rx_queue <- 0;
@@ -538,6 +601,34 @@ let run t make_design =
       design.on_arrival ~queue
     end
   in
+  (* Dispatch + issue accounting + fault fate, shared by the Poisson
+     arrival loop and the timed-trace pump. *)
+  let admit (req : request) =
+    let queue = design.dispatch req in
+    req.rx_queue <- queue;
+    t.issued <- t.issued + 1;
+    obs_sample_arrival t req ~queue;
+    match t.fault with
+    | None -> deliver req
+    | Some f when Fault.Inject.server_dead f ~server:t.server ~now:(Dsim.Sim.now t.sim)
+      ->
+        (* The whole server is crashed: the arrival bounces off a dead
+           NIC, same leg as a net-fault drop. *)
+        t.net_dropped <- t.net_dropped + 1;
+        free_req t req
+    | Some f -> (
+        match Fault.Inject.fate f ~queue ~now:(Dsim.Sim.now t.sim) with
+        | Fault.Inject.Pass -> deliver req
+        | Fault.Inject.Drop ->
+            t.net_dropped <- t.net_dropped + 1;
+            free_req t req
+        | Fault.Inject.Duplicate ->
+            req.frames_in <- 2 * req.frames_in;
+            deliver req
+        | Fault.Inject.Reorder ->
+            let d = Fault.Inject.reorder_delay_us f ~queue ~now:(Dsim.Sim.now t.sim) in
+            Dsim.Sim.schedule_after t.sim d (fun () -> deliver req))
+  in
   (* Arrivals are a typed event too: the generator loop is one event per
      request, so the closure-payload path would pay two pointer stores
      (write barrier) per arrival for the same one handler. *)
@@ -564,10 +655,12 @@ let run t make_design =
             match g.Workload.Generator.op with
             | Workload.Generator.Get -> Cost_model.Get
             | Workload.Generator.Put -> Cost_model.Put
+            | Workload.Generator.Scan -> Cost_model.Scan
           in
           fill_request t req op ~key_id:g.Workload.Generator.key_id
             ~item_size:g.Workload.Generator.item_size
             ~is_large:g.Workload.Generator.is_large
+            ~scan_len:g.Workload.Generator.scan_len
       | None ->
           (match t.dynamic with
           | Some sched ->
@@ -580,38 +673,14 @@ let run t make_design =
             match Workload.Generator.last_op gen with
             | Workload.Generator.Get -> Cost_model.Get
             | Workload.Generator.Put -> Cost_model.Put
+            | Workload.Generator.Scan -> Cost_model.Scan
           in
           fill_request t req op
             ~key_id:(Workload.Generator.last_key_id gen)
             ~item_size:(Workload.Generator.last_item_size gen)
-            ~is_large:(Workload.Generator.last_is_large gen));
-      let queue = design.dispatch req in
-      req.rx_queue <- queue;
-      t.issued <- t.issued + 1;
-      obs_sample_arrival t req ~queue;
-      (match t.fault with
-      | None -> deliver req
-      | Some f when
-          Fault.Inject.server_dead f ~server:t.server ~now:(Dsim.Sim.now t.sim)
-        ->
-          (* The whole server is crashed: the arrival bounces off a dead
-             NIC, same leg as a net-fault drop. *)
-          t.net_dropped <- t.net_dropped + 1;
-          free_req t req
-      | Some f -> (
-          match Fault.Inject.fate f ~queue ~now:(Dsim.Sim.now t.sim) with
-          | Fault.Inject.Pass -> deliver req
-          | Fault.Inject.Drop ->
-              t.net_dropped <- t.net_dropped + 1;
-              free_req t req
-          | Fault.Inject.Duplicate ->
-              req.frames_in <- 2 * req.frames_in;
-              deliver req
-          | Fault.Inject.Reorder ->
-              let d =
-                Fault.Inject.reorder_delay_us f ~queue ~now:(Dsim.Sim.now t.sim)
-              in
-              Dsim.Sim.schedule_after t.sim d (fun () -> deliver req)));
+            ~is_large:(Workload.Generator.last_is_large gen)
+            ~scan_len:(Workload.Generator.last_scan_len gen));
+      admit req;
       let mean =
         match pacing with None -> mean_gap | Some p -> 1.0 /. p.rate_at arrive_now
       in
@@ -637,8 +706,62 @@ let run t make_design =
       Dsim.Sim.schedule_after t.sim cfg.Config.epoch_us epoch
     end
   in
-  Dsim.Sim.schedule_call_after t.sim 0.0 ~tag:!tag_arrive ~i:0 ~j:0;
+  (* Timed-trace replay: each recorded request is injected at its recorded
+     offset from the trace start (re-based to the run's origin), looping
+     with a re-base each lap so the recorded rate carries across the
+     seam.  A typed event with the trace index as operand — no per-request
+     closure. *)
+  (match t.timed with
+  | None -> Dsim.Sim.schedule_call_after t.sim 0.0 ~tag:!tag_arrive ~i:0 ~j:0
+  | Some trace ->
+      let reqs = Workload.Trace.requests trace in
+      let ts = Workload.Trace.timestamps trace in
+      let n = Array.length reqs in
+      let t0 = ts.(0) in
+      let span =
+        if n = 1 then 1.0
+        else (ts.(n - 1) -. t0) *. float_of_int n /. float_of_int (n - 1)
+      in
+      let tag_replay = ref (-1) in
+      let pump i =
+        if Dsim.Sim.now t.sim < cfg.Config.duration_us then begin
+          let r = reqs.(i) in
+          let req = alloc_req t in
+          let op =
+            match r.Workload.Generator.op with
+            | Workload.Generator.Get -> Cost_model.Get
+            | Workload.Generator.Put -> Cost_model.Put
+            | Workload.Generator.Scan -> Cost_model.Scan
+          in
+          fill_request t req op ~key_id:r.Workload.Generator.key_id
+            ~item_size:r.Workload.Generator.item_size
+            ~is_large:r.Workload.Generator.is_large
+            ~scan_len:r.Workload.Generator.scan_len;
+          admit req;
+          let gap =
+            if i + 1 < n then ts.(i + 1) -. ts.(i) else span -. (ts.(n - 1) -. t0)
+          in
+          Dsim.Sim.schedule_call_after t.sim gap ~tag:!tag_replay ~i:((i + 1) mod n)
+            ~j:0
+        end
+      in
+      tag_replay := Dsim.Sim.register_handler t.sim (fun i _ -> pump i);
+      Dsim.Sim.schedule_call_after t.sim 0.0 ~tag:!tag_replay ~i:0 ~j:0);
   Dsim.Sim.schedule_after t.sim cfg.Config.epoch_us epoch;
+  (* Background expiry sweep: a chunked cursor walk per period, sized to
+     cover the resident set a few times per run without a stop-the-world
+     pass. *)
+  (match (t.residency, t.sweep_us) with
+  | Some res, Some period ->
+      let rec sweep () =
+        if Dsim.Sim.now t.sim < cfg.Config.duration_us then begin
+          let chunk = max 1024 (Residency.resident res / 4) in
+          ignore (Residency.sweep_step res ~now:(Dsim.Sim.now t.sim) ~chunk);
+          Dsim.Sim.schedule_after t.sim period sweep
+        end
+      in
+      Dsim.Sim.schedule_after t.sim period sweep
+  | (Some _ | None), _ -> ());
   (match t.obs with
   | Some { Obs.Instrument.timeline = Some tl; _ } ->
       let rec tick () =
@@ -710,9 +833,14 @@ let run t make_design =
     mean_queue_wait_us = Stats.Summary.mean t.queue_wait;
     mean_service_us = Stats.Summary.mean t.service;
     mean_tx_wait_us = Stats.Summary.mean t.tx_wait;
-    served_total = t.processed_total;
+    served_total = t.processed_total - t.expired_misses;
     net_dropped = t.net_dropped;
     rx_dropped = t.rx_dropped;
     shed_small = t.shed_small;
     shed_large = t.shed_large;
+    expired_misses = t.expired_misses;
+    expired_keys =
+      (match t.residency with Some r -> Residency.expired_keys r | None -> 0);
+    evicted_keys =
+      (match t.residency with Some r -> Residency.evicted_keys r | None -> 0);
   }

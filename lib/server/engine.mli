@@ -21,6 +21,12 @@ type request = {
           PUT: size carried in the request *)
   mutable is_large_truth : bool;
       (** dataset ground truth, for per-class metrics *)
+  mutable scan_len : int;
+      (** keys covered by a SCAN ([item_size] is the range's total
+          bytes); 0 for GET/PUT *)
+  mutable miss : bool;
+      (** the GET found no live item — expired, evicted or never loaded;
+          set at service start when a residency model is attached *)
   mutable frames_in : int;
       (** RX frames carrying the request; a fault plan's duplication
           doubles it (retransmission echo) *)
@@ -62,6 +68,9 @@ val create :
   ?store:Kvstore.Store.t ->
   ?source:(unit -> Workload.Generator.request) ->
   ?pacing:pacing ->
+  ?timed:Workload.Trace.t ->
+  ?residency:Residency.t ->
+  ?sweep_us:float ->
   ?obs:Obs.Instrument.t ->
   ?fault:Fault.Inject.t ->
   ?server:int ->
@@ -77,7 +86,18 @@ val create :
     generator as the supplier of request descriptors — e.g. a looping
     {!Workload.Trace.replayer} for trace-driven simulation; [dynamic] is
     ignored in that case.  [pacing] makes the offered rate time-varying
-    (reshard runs); [offered_mops] then only labels the metrics.  [obs] attaches a flight recorder: arrivals are
+    (reshard and diurnal/burst scenario runs); [offered_mops] then only
+    labels the metrics.  [timed] replays a {e timestamped} trace at its
+    recorded arrival times (looping, re-based each lap), overriding the
+    Poisson arrival loop entirely — [source] and [pacing] are ignored;
+    raises [Invalid_argument] on an untimed or empty trace.
+    [residency] attaches the TTL/eviction model ({!Residency}): GETs that
+    find no live item become not-found replies counted in
+    [Metrics.expired_misses], PUTs (re)load their key and evict under the
+    memory budget (from an RNG stream forked only when residency is
+    attached, so plain runs are byte-identical to pre-scenario builds);
+    [sweep_us] additionally schedules the chunked background expiry sweep
+    at that period.  [obs] attaches a flight recorder: arrivals are
     sampled into spans (from the recorder's own RNG stream, so attaching
     it perturbs no simulation randomness), the engine records RX-enqueue /
     service / TX / end-to-end timestamps, per-core timeline samples and

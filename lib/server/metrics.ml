@@ -28,6 +28,9 @@ type t = {
   rx_dropped : int;
   shed_small : int;
   shed_large : int;
+  expired_misses : int;
+  expired_keys : int;
+  evicted_keys : int;
 }
 
 let shed_total t = t.shed_small + t.shed_large
@@ -46,7 +49,10 @@ let pp_row fmt t =
   if lost_total t > 0 then
     Format.fprintf fmt " lost: net=%d ring=%d shed=%d(%dL) goodput=%.1f%%"
       t.net_dropped t.rx_dropped (shed_total t) t.shed_large
-      (100.0 *. goodput_fraction t)
+      (100.0 *. goodput_fraction t);
+  if t.expired_misses > 0 || t.expired_keys > 0 || t.evicted_keys > 0 then
+    Format.fprintf fmt " residency: miss=%d expired=%d evicted=%d" t.expired_misses
+      t.expired_keys t.evicted_keys
 
 let pp_breakdown fmt t =
   Format.fprintf fmt

@@ -33,14 +33,21 @@ type t = {
       (** from end of service to the reply leaving the wire (queueing at
           the NIC + transmission) *)
   served_total : int;
-      (** operations fully processed over the whole run (incl. warmup);
-          with the loss counters below this telescopes:
+      (** operations fully processed {e with a live item} over the whole
+          run (incl. warmup); with the loss counters below this
+          telescopes:
           [issued = served_total + net_dropped + rx_dropped + shed_small
-          + shed_large + in_flight_end] *)
+          + shed_large + expired_misses + in_flight_end] *)
   net_dropped : int;  (** lost by the (faulty) NIC before any queue *)
   rx_dropped : int;   (** tail-dropped at a full RX ring *)
   shed_small : int;   (** shed by admission control, small-classified *)
   shed_large : int;   (** shed by admission control, large-classified *)
+  expired_misses : int;
+      (** GETs processed but answered not-found because the item had
+          expired, been evicted, or was never loaded (TTL / larger-than-
+          memory scenarios); 0 otherwise *)
+  expired_keys : int; (** items reclaimed past their TTL deadline *)
+  evicted_keys : int; (** live items evicted by the memory budget *)
 }
 
 val shed_total : t -> int

@@ -238,7 +238,8 @@ let check ?(ops = 20_000) ?(seed = 1) ?fault ~workload table =
         List.iter
           (fun s -> if not dead.(s) then Hashtbl.replace stores.(s) k !seq)
           (Table.write_targets table ~epoch:!epoch k)
-    | Workload.Generator.Get -> (
+    (* SCANs route like GETs: audit their start key as a point read. *)
+    | Workload.Generator.Get | Workload.Generator.Scan -> (
         incr gets;
         let expect = Hashtbl.find_opt written k in
         let tgt = live_read_target ~epoch:!epoch k in

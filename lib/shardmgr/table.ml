@@ -471,7 +471,7 @@ let compile ?(vnodes = 128) ?(groups = 8) ?(probe = 65_536) ?(seed = 1)
           let k = r.Workload.Generator.key_id in
           let h = Workload.Dataset.key_partition dataset k in
           match r.Workload.Generator.op with
-          | Workload.Generator.Get ->
+          | Workload.Generator.Get | Workload.Generator.Scan ->
               let s = pick seg h (get_primary seg ~groups ~n_keys h k) in
               counts.(s) <- counts.(s) + 1
           | Workload.Generator.Put ->

@@ -109,6 +109,13 @@ let sample_put t rng =
   in
   (key, new_size)
 
+let total_value_bytes t =
+  let acc = ref 0 in
+  for id = 0 to t.n - 1 do
+    acc := !acc + size_of_key t id
+  done;
+  !acc
+
 let mean_item_bytes_per_request t =
   let pl = t.spec.Spec.p_large /. 100.0 in
   (pl *. Spec.mean_large_item_bytes t.spec)

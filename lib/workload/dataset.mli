@@ -49,5 +49,9 @@ val sample_put : t -> Dsim.Rng.t -> int * int
     from the key's own class (tiny/small/large), modelling updates that
     keep an item's character without keeping its exact size. *)
 
+val total_value_bytes : t -> int
+(** Sum of all stored item sizes — the resident-set size of the fully
+    populated dataset, which a memory budget is measured against. *)
+
 val mean_item_bytes_per_request : t -> float
 (** Expected item size per request under the spec's request mix. *)

@@ -1,28 +1,45 @@
 (** Request stream generator.
 
-    Draws the operation (GET/PUT per the spec's ratio), the key and — for
-    PUTs — the new item size.  The large-request probability can be changed
-    at runtime, which is how the dynamic workload of §6.6 varies [p_l]
-    while everything else stays fixed. *)
+    Draws the operation (GET/PUT per the spec's ratio, plus optional
+    ordered SCANs), the key and — for PUTs — the new item size.  The
+    large-request probability can be changed at runtime, which is how the
+    dynamic workload of §6.6 varies [p_l] while everything else stays
+    fixed. *)
 
-type op = Get | Put
+type op =
+  | Get
+  | Put
+  | Scan  (** ordered range read over consecutive key ids *)
 
 type request = {
   op : op;
   key_id : int;
+      (** key for GET/PUT; first key of the range for SCAN *)
   item_size : int;
       (** For GET: the stored size of the item (what the server will
           discover at lookup).  For PUT: the size being written (carried in
-          the request, §3). *)
+          the request, §3).  For SCAN: the total stored bytes of the
+          scanned range — the reply payload. *)
   is_large : bool; (** ground truth w.r.t. the dataset class, for metrics *)
+  scan_len : int;  (** number of keys in a SCAN; 0 for GET/PUT *)
 }
 
 type t
 
-val create : ?seed:int -> ?p_large:float -> ?get_ratio:float -> Dataset.t -> t
+val create :
+  ?seed:int ->
+  ?p_large:float ->
+  ?get_ratio:float ->
+  ?scan_ratio:float ->
+  ?scan_len:int ->
+  Dataset.t ->
+  t
 (** [p_large] and [get_ratio] default to the dataset's spec.  Overrides let
     one dataset (whose sizes do not depend on the mix) serve many request
-    mixes. *)
+    mixes.  [scan_ratio] (default 0) is the fraction of requests that are
+    SCANs of [scan_len] keys (default 16); with [scan_ratio = 0] the RNG
+    draw sequence is exactly the scan-free one, so existing runs stay
+    byte-identical. *)
 
 val dataset : t -> Dataset.t
 
@@ -30,6 +47,10 @@ val p_large : t -> float
 (** Current large-request percentage (initially the spec's). *)
 
 val set_p_large : t -> float -> unit
+
+val scan_bytes : Dataset.t -> start:int -> len:int -> int
+(** Total stored bytes of [len] consecutive keys from [start] — the reply
+    size of a SCAN over that range (key names sort in id order). *)
 
 val next : t -> request
 (** Generate the next request. *)
@@ -48,6 +69,9 @@ val last_item_size : t -> int
 
 val last_is_large : t -> bool
 
+val last_scan_len : t -> int
+
 val request_wire_bytes : request -> key_size:int -> int
 (** Bytes the request occupies on the wire (the whole encoded request for
-    a PUT, the small fixed-size request for a GET), including framing. *)
+    a PUT, the small fixed-size request for a GET/SCAN), including
+    framing. *)

@@ -368,7 +368,7 @@ let cfg = Minos.Experiment.config_of_scale scale
 
 let cluster_run ?(servers = 2) ?policy ?rebalance () =
   Minos.Cluster.run ~cfg ?policy ?rebalance ~servers ~seed:3
-    ~fanouts:[ 1; 2; 4; 8 ] ~trials:5_000 Workload.Spec.default
+    ~fanouts:[ 1; 2; 4; 8 ] ~trials:5_000 Workload.Scenario.default
     ~offered_mops:4.0
 
 let test_cluster_deterministic_across_jobs () =

@@ -18,11 +18,12 @@ let make_trace n =
 
 let test_trace_capture () =
   let t = make_trace 1000 in
-  check int "length" 1000 (Array.length t);
+  check int "length" 1000 (Workload.Trace.length t);
+  check bool "untimed" false (Workload.Trace.timed t);
   Array.iter
     (fun (r : Workload.Generator.request) ->
       if r.Workload.Generator.item_size < 1 then Alcotest.fail "bad size")
-    t
+    (Workload.Trace.requests t)
 
 let test_trace_save_load_roundtrip () =
   let t = make_trace 5000 in
@@ -32,17 +33,18 @@ let test_trace_save_load_roundtrip () =
     (fun () ->
       Workload.Trace.save path t;
       let t' = Workload.Trace.load path in
-      check int "count preserved" (Array.length t) (Array.length t');
+      check int "count preserved" (Workload.Trace.length t) (Workload.Trace.length t');
+      let reqs' = Workload.Trace.requests t' in
       Array.iteri
         (fun i (r : Workload.Generator.request) ->
-          let r' = t'.(i) in
+          let r' = reqs'.(i) in
           if
             r.Workload.Generator.op <> r'.Workload.Generator.op
             || r.Workload.Generator.key_id <> r'.Workload.Generator.key_id
             || r.Workload.Generator.item_size <> r'.Workload.Generator.item_size
             || r.Workload.Generator.is_large <> r'.Workload.Generator.is_large
           then Alcotest.failf "record %d differs" i)
-        t)
+        (Workload.Trace.requests t))
 
 let test_trace_load_rejects_garbage () =
   let path = Filename.temp_file "minos_trace" ".bin" in
@@ -59,10 +61,11 @@ let test_trace_load_rejects_garbage () =
 let test_trace_replayer () =
   let t = make_trace 5 in
   let next = Workload.Trace.replayer t in
+  let reqs = Workload.Trace.requests t in
   for i = 0 to 4 do
     match next () with
     | Some r ->
-        check int (Printf.sprintf "record %d" i) t.(i).Workload.Generator.key_id
+        check int (Printf.sprintf "record %d" i) reqs.(i).Workload.Generator.key_id
           r.Workload.Generator.key_id
     | None -> Alcotest.fail "ended early"
   done;

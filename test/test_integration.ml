@@ -254,6 +254,9 @@ let synthetic_metrics rate p99 =
     rx_dropped = 0;
     shed_small = 0;
     shed_large = 0;
+    expired_misses = 0;
+    expired_keys = 0;
+    evicted_keys = 0;
   }
 
 let test_slo_search_mechanics () =

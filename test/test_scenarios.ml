@@ -1,0 +1,364 @@
+(* Tests for the scenario engine: the versioned trace format (timed
+   round-trips and the decode-error contract), TTL expiry (lazy reads vs
+   the background sweep must agree), the eviction conservation identity,
+   SCAN against a sorted reference, and the scenario suite's determinism
+   contract (byte-identical at any MINOS_JOBS). *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let tmp_file name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+(* A small dataset so the residency/store tests stay fast. *)
+let small_spec =
+  { Workload.Spec.default with Workload.Spec.n_keys = 2_000; n_large_keys = 16 }
+
+let small_dataset = Workload.Dataset.create small_spec
+
+(* ------------------------------------------------------------------ *)
+(* Trace format *)
+
+let sample_requests n =
+  let gen =
+    Workload.Generator.create ~seed:7 ~scan_ratio:0.1 ~scan_len:8 small_dataset
+  in
+  Array.init n (fun _ -> Workload.Generator.next gen)
+
+let test_trace_timed_roundtrip () =
+  let reqs = sample_requests 257 in
+  let ts = Array.init 257 (fun i -> 3.5 *. float_of_int i) in
+  let trace = Workload.Trace.of_timed reqs ts in
+  let path = tmp_file "minos_trace_v2.bin" in
+  Workload.Trace.save path trace;
+  let back = Workload.Trace.load path in
+  Sys.remove path;
+  check bool "timed" true (Workload.Trace.timed back);
+  check int "length" 257 (Workload.Trace.length back);
+  check bool "requests equal" true (Workload.Trace.requests back = reqs);
+  check bool "timestamps equal" true (Workload.Trace.timestamps back = ts)
+
+let test_trace_untimed_stays_v1 () =
+  (* A scan-free untimed capture must keep the original v1 format so old
+     files and old readers stay compatible. *)
+  let gen = Workload.Generator.create ~seed:9 small_dataset in
+  let trace = Workload.Trace.capture gen ~n:100 in
+  let path = tmp_file "minos_trace_v1.bin" in
+  Workload.Trace.save path trace;
+  let ic = open_in_bin path in
+  let header = really_input_string ic 6 in
+  close_in ic;
+  let back = Workload.Trace.load path in
+  Sys.remove path;
+  check string "v1 header" "MNTR1\n" header;
+  check bool "untimed" false (Workload.Trace.timed back);
+  check bool "requests equal" true
+    (Workload.Trace.requests back = Workload.Trace.requests trace)
+
+let expect_load_failure name path =
+  (match Workload.Trace.load path with
+  | _ -> Alcotest.failf "%s: load should have raised" name
+  | exception Failure _ -> ());
+  Sys.remove path
+
+let write_valid_trace path =
+  let gen = Workload.Generator.create ~seed:11 small_dataset in
+  Workload.Trace.save path (Workload.Trace.capture gen ~n:32)
+
+let test_trace_rejects_garbage () =
+  (* Trailing bytes after the declared records. *)
+  let path = tmp_file "minos_trace_garbage.bin" in
+  write_valid_trace path;
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o600 path in
+  output_string oc "xx";
+  close_out oc;
+  expect_load_failure "trailing garbage" path;
+  (* Truncation. *)
+  let path = tmp_file "minos_trace_trunc.bin" in
+  write_valid_trace path;
+  let len = (Unix.stat path).Unix.st_size in
+  let ic = open_in_bin path in
+  let data = really_input_string ic (len - 5) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc;
+  expect_load_failure "truncated" path;
+  (* Item-size field overflow: corrupt the first record's size field
+     (file offset 6-byte header + 8-byte count + op + is_large + key_id). *)
+  let path = tmp_file "minos_trace_overflow.bin" in
+  write_valid_trace path;
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o600 in
+  ignore (Unix.lseek fd 24 Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "\xff\xff\xff\x7f") 0 4);
+  Unix.close fd;
+  expect_load_failure "size overflow" path
+
+let test_trace_rejects_future_version () =
+  (* Forward compatibility: a version we do not know is an explicit
+     decode error, never a silent misparse. *)
+  let path = tmp_file "minos_trace_v9.bin" in
+  write_valid_trace path;
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o600 in
+  ignore (Unix.lseek fd 4 Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "9") 0 1);
+  Unix.close fd;
+  expect_load_failure "future version" path;
+  let path = tmp_file "minos_trace_magic.bin" in
+  write_valid_trace path;
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o600 in
+  ignore (Unix.write fd (Bytes.of_string "XXXX") 0 4);
+  Unix.close fd;
+  expect_load_failure "bad magic" path
+
+(* ------------------------------------------------------------------ *)
+(* TTL expiry: lazy reads and the background sweep must agree. *)
+
+let ttl_store () =
+  Kvstore.Store.create ~partition_bits:2 ~bucket_bits:8
+    ~value_arena_bytes:(1 lsl 22) ()
+
+let ttl_keys = Array.init 200 Workload.Dataset.key_name
+
+let populate_ttl store =
+  Array.iteri
+    (fun i key ->
+      (* Even ids lapse at t=100, odd ids live until t=1000. *)
+      let expires_at = if i mod 2 = 0 then 100.0 else 1000.0 in
+      Kvstore.Store.put ~expires_at store ~guard:`Lock key (Bytes.create 32))
+    ttl_keys
+
+let test_ttl_lazy_vs_sweep () =
+  let lazy_store = ttl_store () and sweep_store = ttl_store () in
+  populate_ttl lazy_store;
+  populate_ttl sweep_store;
+  let now = 500.0 in
+  (* Sweep store: one background pass reclaims every lapsed item. *)
+  let swept = Kvstore.Store.expire_sweep sweep_store ~now in
+  (* Lazy store: read every key; a lazy miss reclaims via [expire]. *)
+  let lazy_reclaimed = ref 0 in
+  Array.iter
+    (fun key ->
+      match Kvstore.Store.get ~now lazy_store key with
+      | Some _ -> ()
+      | None ->
+          if Kvstore.Store.expire lazy_store ~guard:`Lock ~now key then
+            incr lazy_reclaimed)
+    ttl_keys;
+  check int "same reclaim count" swept !lazy_reclaimed;
+  check int "expired stat agrees"
+    (Kvstore.Store.stats sweep_store).Kvstore.Store.expired
+    (Kvstore.Store.stats lazy_store).Kvstore.Store.expired;
+  (* Both stores now hold exactly the same (odd-id) survivors. *)
+  Array.iteri
+    (fun i key ->
+      let expect = i mod 2 = 1 in
+      check bool "lazy survivor" expect (Kvstore.Store.mem ~now lazy_store key);
+      check bool "sweep survivor" expect (Kvstore.Store.mem ~now sweep_store key))
+    ttl_keys
+
+let test_residency_lazy_vs_sweep () =
+  (* The model-side residency tracker: sweeping early must reclaim the
+     same keys a lazy read pass would, with identical expiry counts. *)
+  let make () =
+    let r = Kvserver.Residency.create ~ttl_us:100.0 small_dataset in
+    ignore (Kvserver.Residency.populate r ~now:0.0);
+    r
+  in
+  let lazy_r = make () and sweep_r = make () in
+  let n = Workload.Dataset.n_keys small_dataset in
+  let live = ref 0 in
+  for id = 0 to n - 1 do
+    if Kvserver.Residency.on_get lazy_r ~now:250.0 id then incr live
+  done;
+  let reclaimed = ref 0 in
+  while
+    let got = Kvserver.Residency.sweep_step sweep_r ~now:250.0 ~chunk:64 in
+    reclaimed := !reclaimed + got;
+    Kvserver.Residency.resident sweep_r > 0
+  do
+    ()
+  done;
+  check int "everything lapsed" 0 !live;
+  check int "sweep reclaims the same keys" n !reclaimed;
+  check int "expired counts agree"
+    (Kvserver.Residency.expired_keys lazy_r)
+    (Kvserver.Residency.expired_keys sweep_r);
+  check int "lazy misses recorded" n (Kvserver.Residency.expired_misses lazy_r)
+
+(* ------------------------------------------------------------------ *)
+(* Eviction conservation *)
+
+let test_eviction_conservation () =
+  let budget = Workload.Dataset.total_value_bytes small_dataset / 4 in
+  let r =
+    Kvserver.Residency.create ~ttl_us:5_000.0 ~budget_bytes:budget small_dataset
+  in
+  let populated = Kvserver.Residency.populate r ~now:0.0 in
+  check bool "dataset larger than memory" true
+    (populated < Workload.Dataset.n_keys small_dataset);
+  let rng = Dsim.Rng.create 42 in
+  let n = Workload.Dataset.n_keys small_dataset in
+  for i = 1 to 20_000 do
+    let now = float_of_int i in
+    let id = Dsim.Rng.int rng n in
+    if Dsim.Rng.int rng 100 < 30 then Kvserver.Residency.on_put r ~now rng id
+    else ignore (Kvserver.Residency.on_get r ~now id);
+    if i mod 512 = 0 then ignore (Kvserver.Residency.sweep_step r ~now ~chunk:32)
+  done;
+  check bool "memory within budget" true
+    (Kvserver.Residency.mem_used r <= Kvserver.Residency.budget_bytes r);
+  check bool "eviction happened" true (Kvserver.Residency.evicted_keys r > 0);
+  check bool "expiry happened" true (Kvserver.Residency.expired_keys r > 0);
+  (* The conservation identity: every insertion is still resident or was
+     reclaimed by exactly one of the two legs. *)
+  check int "inserts = resident + evicted + expired"
+    (Kvserver.Residency.inserts r)
+    (Kvserver.Residency.resident r
+    + Kvserver.Residency.evicted_keys r
+    + Kvserver.Residency.expired_keys r)
+
+(* ------------------------------------------------------------------ *)
+(* SCAN vs a sorted reference *)
+
+let test_scan_matches_sorted_reference () =
+  let store = ttl_store () in
+  Kvstore.Store.ensure_ordered store;
+  (* A scattered subset of ids, inserted in shuffled order. *)
+  let rng = Dsim.Rng.create 5 in
+  let ids = Array.init 300 (fun _ -> Dsim.Rng.int rng 100_000) in
+  Array.iter
+    (fun id ->
+      Kvstore.Store.put store ~guard:`Lock (Workload.Dataset.key_name id)
+        (Bytes.create ((id mod 50) + 1)))
+    ids;
+  let sorted =
+    List.sort_uniq compare (Array.to_list (Array.map Workload.Dataset.key_name ids))
+  in
+  let start = Workload.Dataset.key_name 30_000 in
+  let expect =
+    List.filteri (fun i _ -> i < 40) (List.filter (fun k -> k >= start) sorted)
+  in
+  let got = ref [] in
+  let visited =
+    Kvstore.Store.scan store ~start ~count:40 (fun key size ->
+        check int "scan reports stored size" ((int_of_string ("0x" ^ String.sub key 1 8) mod 50) + 1) size;
+        got := key :: !got)
+  in
+  check int "visited count" (List.length expect) visited;
+  check bool "keys in ascending order" true (List.rev !got = expect);
+  (* Deleting a key mid-range removes it from subsequent scans. *)
+  match expect with
+  | [] | [ _ ] -> Alcotest.fail "reference range unexpectedly small"
+  | _ :: victim :: _ ->
+      ignore (Kvstore.Store.delete store ~guard:`Lock victim);
+      let got' = ref [] in
+      ignore
+        (Kvstore.Store.scan store ~start ~count:(List.length expect - 1)
+           (fun key _ -> got' := key :: !got'));
+      check bool "deleted key skipped" true
+        (not (List.mem victim (List.rev !got')))
+
+(* ------------------------------------------------------------------ *)
+(* Scenario suite determinism *)
+
+let with_jobs n f =
+  Minos.Par.set_jobs (Some n);
+  Fun.protect ~finally:(fun () -> Minos.Par.set_jobs None) f
+
+let quick_cfg () = Minos.Experiment.config_of_scale Minos.Experiment.quick_scale
+
+let test_scenarios_jobs_identical () =
+  let names = [ "ttl-churn"; "scan-heavy" ] in
+  let run jobs =
+    with_jobs jobs (fun () ->
+        Minos.Scenarios.to_json
+          (Minos.Scenarios.run ~cfg:(quick_cfg ()) ~seed:3 ~names ()))
+  in
+  let sequential = run 1 in
+  check string "MINOS_JOBS=4 byte-identical" sequential (run 4);
+  check string "rerun byte-identical" sequential (run 1)
+
+let test_scenarios_telescope () =
+  (* The larger-than-memory scenario must complete with the extended
+     loss-accounting identity exact, and actually exercise the new legs. *)
+  let t =
+    Minos.Scenarios.run ~cfg:(quick_cfg ()) ~seed:1
+      ~names:[ "cold-tier"; "diurnal"; "bursts" ] ()
+  in
+  List.iter
+    (fun (r : Minos.Scenarios.row) ->
+      check bool
+        (Printf.sprintf "%s/%s telescopes" r.Minos.Scenarios.scenario
+           r.Minos.Scenarios.design)
+        true r.Minos.Scenarios.telescopes)
+    t.Minos.Scenarios.rows;
+  let cold =
+    List.filter
+      (fun (r : Minos.Scenarios.row) -> r.Minos.Scenarios.scenario = "cold-tier")
+      t.Minos.Scenarios.rows
+  in
+  check bool "cold-tier ran" true (cold <> []);
+  List.iter
+    (fun (r : Minos.Scenarios.row) ->
+      let m = r.Minos.Scenarios.metrics in
+      check bool "cold-tier misses" true (m.Kvserver.Metrics.expired_misses > 0);
+      check bool "cold-tier evicts" true (m.Kvserver.Metrics.evicted_keys > 0))
+    cold
+
+let test_timed_trace_replay_deterministic () =
+  (* A timed capture replayed through the engine must be reproducible,
+     and must go down the recorded-pacing path (no Poisson draws). *)
+  let sc =
+    match Workload.Scenario.parse "bursts" with
+    | Ok sc -> sc
+    | Error e -> Alcotest.fail e
+  in
+  let dataset = Minos.Experiment.dataset_for sc.Workload.Scenario.spec in
+  let trace =
+    Workload.Scenario.capture ~seed:13 sc dataset ~rate_mops:2.0 ~n:20_000
+  in
+  check bool "capture is timed" true (Workload.Trace.timed trace);
+  let run () =
+    Minos.Experiment.run_trace ~cfg:(quick_cfg ()) ~seed:2 Kvserver.Design.minos
+      trace ~spec:sc.Workload.Scenario.spec ~offered_mops:2.0
+  in
+  let a = run () and b = run () in
+  check bool "identical metrics" true (compare a b = 0);
+  check bool "served requests" true (a.Kvserver.Metrics.served_total > 0)
+
+let () =
+  Alcotest.run "scenarios"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "timed round-trip" `Quick test_trace_timed_roundtrip;
+          Alcotest.test_case "untimed stays v1" `Quick test_trace_untimed_stays_v1;
+          Alcotest.test_case "rejects corruption" `Quick test_trace_rejects_garbage;
+          Alcotest.test_case "rejects future versions" `Quick
+            test_trace_rejects_future_version;
+        ] );
+      ( "ttl",
+        [
+          Alcotest.test_case "store lazy vs sweep" `Quick test_ttl_lazy_vs_sweep;
+          Alcotest.test_case "residency lazy vs sweep" `Quick
+            test_residency_lazy_vs_sweep;
+        ] );
+      ( "eviction",
+        [ Alcotest.test_case "conservation" `Quick test_eviction_conservation ] );
+      ( "scan",
+        [
+          Alcotest.test_case "matches sorted reference" `Quick
+            test_scan_matches_sorted_reference;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "jobs byte-identical" `Quick
+            test_scenarios_jobs_identical;
+          Alcotest.test_case "telescoping + cold tier" `Quick
+            test_scenarios_telescope;
+          Alcotest.test_case "timed replay deterministic" `Quick
+            test_timed_trace_replay_deterministic;
+        ] );
+    ]

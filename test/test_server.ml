@@ -419,6 +419,8 @@ let test_put_master_spread () =
         frames_in = 1;
         rx_queue = 0;
         span = -1;
+        scan_len = 0;
+        miss = false;
       }
     in
     let q = Engine.put_master eng req in

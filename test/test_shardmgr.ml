@@ -363,7 +363,7 @@ let test_reshard_deterministic_across_jobs () =
   let go () =
     Minos.Reshard.to_json
       (Minos.Reshard.run ~cfg ~seed:3 ~servers:2 ~plan:(canned "add-remove")
-         workload ~offered_mops:4.0 ())
+         (Workload.Scenario.of_spec workload) ~offered_mops:4.0 ())
   in
   let a = with_jobs 1 go in
   let b = with_jobs 4 go in

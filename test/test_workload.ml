@@ -189,7 +189,9 @@ let test_generator_mix () =
   let n = 100_000 in
   for _ = 1 to n do
     let r = Generator.next g in
-    (match r.Generator.op with Generator.Get -> incr gets | Generator.Put -> ());
+    (match r.Generator.op with
+    | Generator.Get -> incr gets
+    | Generator.Put | Generator.Scan -> ());
     if r.Generator.is_large then incr larges
   done;
   let get_frac = float_of_int !gets /. float_of_int n in
@@ -235,7 +237,7 @@ let test_generator_wire_bytes () =
   check bool "positive" true (bytes > 0);
   (* A GET request always fits one frame. *)
   match r.Generator.op with
-  | Generator.Get -> check bool "single frame" true (bytes < 1600)
+  | Generator.Get | Generator.Scan -> check bool "single frame" true (bytes < 1600)
   | Generator.Put -> ()
 
 (* ------------------------------------------------------------------ *)
